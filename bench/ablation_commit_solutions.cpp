@@ -1,0 +1,63 @@
+// Sec. 5.1 ablation: encode/decode throughput and compressed size of the
+// three mid-bit commit strategies of Fig. 5 (Solution A: bit packing;
+// Solution B: byte+residual split; Solution C: right-shift alignment --
+// SZx's contribution).  Shape target: C clearly fastest, at a small size
+// overhead vs A/B (quantified in the Fig. 6 bench).
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace szx;
+
+void OneField(const data::Field& f, double rel_eb) {
+  std::printf("\n%s @ REL %.0e (%.1f MB)\n", f.name.c_str(), rel_eb,
+              static_cast<double>(f.size_bytes()) / 1e6);
+  std::printf("%-10s %12s %12s %10s %10s\n", "solution", "comp MB/s",
+              "decomp MB/s", "CR", "rel size");
+  const int reps = szx::bench::BenchReps();
+  std::size_t size_c = 0;
+  for (const CommitSolution sol :
+       {CommitSolution::kC, CommitSolution::kA, CommitSolution::kB}) {
+    Params p;
+    p.mode = ErrorBoundMode::kValueRangeRelative;
+    p.error_bound = rel_eb;
+    p.solution = sol;
+    ByteBuffer stream;
+    std::vector<float> recon;
+    const double cs =
+        szx::bench::TimeBest(reps, [&] { stream = Compress<float>(f.values, p); });
+    const double ds =
+        szx::bench::TimeBest(reps, [&] { recon = Decompress<float>(stream); });
+    if (sol == CommitSolution::kC) size_c = stream.size();
+    const double mb = static_cast<double>(f.size_bytes()) / 1e6;
+    std::printf("%-10c %12.1f %12.1f %10.2f %9.2f%%\n",
+                sol == CommitSolution::kA ? 'A'
+                                          : (sol == CommitSolution::kB ? 'B'
+                                                                       : 'C'),
+                mb / cs, mb / ds,
+                static_cast<double>(f.size_bytes()) /
+                    static_cast<double>(stream.size()),
+                100.0 * static_cast<double>(stream.size()) /
+                    static_cast<double>(size_c));
+  }
+}
+
+}  // namespace
+
+int main() {
+  szx::bench::PrintBanner(
+      "Ablation (Sec. 5.1)",
+      "mid-bit commit strategies: bit-pack (A) vs byte+residual (B) vs "
+      "right-shift (C)");
+  for (const char* name : {"density", "velocity-x", "pressure"}) {
+    const data::Field f = data::GenerateField(data::App::kMiranda, name,
+                                              szx::bench::BenchScale());
+    OneField(f, 1e-3);
+    OneField(f, 1e-4);
+  }
+  std::printf(
+      "\nExpected: Solution C is the throughput winner (byte-aligned "
+      "memcpy\ncommits); A and B pay per-value bit-twiddling; C's size "
+      "overhead is\nsmall (Fig. 6 bench quantifies it).\n");
+  return 0;
+}

@@ -1,0 +1,232 @@
+// Shared infrastructure for the paper-reproduction benchmark binaries:
+// wall-clock timing, throughput measurement of every codec in the repo,
+// dataset caching, and fixed-width table printing in the paper's layout.
+//
+// Environment knobs:
+//   SZX_BENCH_SCALE  linear grid scale factor (default 0.35; the paper's
+//                    full-size grids correspond to roughly 2.5-3).
+//   SZX_BENCH_REPS   timing repetitions, best-of (default 3).
+//   SZX_BENCH_FULL_ROSTER=1  use the full Table 2 field rosters (notably
+//                    CESM-ATM's 77 fields) instead of the representative
+//                    subsets; slower but matches the paper's field counts.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "core/omp_codec.hpp"
+#include "data/datasets.hpp"
+#include "lzref/lzref.hpp"
+#include "metrics/metrics.hpp"
+#include "szref/sz2.hpp"
+#include "szref/szref.hpp"
+#include "zfpref/zfpref.hpp"
+
+namespace szx::bench {
+
+inline double BenchScale() {
+  const char* env = std::getenv("SZX_BENCH_SCALE");
+  if (env != nullptr) {
+    const double v = std::atof(env);
+    if (v > 0.0) return v;
+  }
+  return 0.35;
+}
+
+inline int BenchReps() {
+  const char* env = std::getenv("SZX_BENCH_REPS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 3;
+}
+
+inline double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Best-of-N wall-clock time of a callable, in seconds.
+template <typename Fn>
+double TimeBest(int reps, Fn&& fn) {
+  double best = 1e30;
+  for (int r = 0; r < reps; ++r) {
+    const double t0 = NowSeconds();
+    fn();
+    best = std::min(best, NowSeconds() - t0);
+  }
+  return best;
+}
+
+/// Cached per-app field generation (several benches share datasets).
+inline const std::vector<data::Field>& AppFields(data::App app) {
+  static std::map<data::App, std::vector<data::Field>> cache;
+  auto it = cache.find(app);
+  if (it == cache.end()) {
+    const char* full = std::getenv("SZX_BENCH_FULL_ROSTER");
+    std::vector<data::Field> fields;
+    if (full != nullptr && full[0] == '1') {
+      for (const auto& name : data::ExtendedFieldNames(app)) {
+        fields.push_back(data::GenerateField(app, name, BenchScale()));
+      }
+    } else {
+      fields = data::GenerateApp(app, BenchScale());
+    }
+    it = cache.emplace(app, std::move(fields)).first;
+  }
+  return it->second;
+}
+
+/// One codec measurement on one field.
+struct CodecResult {
+  double compress_s = 0.0;
+  double decompress_s = 0.0;
+  double ratio = 0.0;
+  double max_err = 0.0;
+  double psnr_db = 0.0;
+  std::size_t compressed_bytes = 0;
+
+  double CompressMBps(std::size_t bytes) const {
+    return static_cast<double>(bytes) / 1e6 / compress_s;
+  }
+  double DecompressMBps(std::size_t bytes) const {
+    return static_cast<double>(bytes) / 1e6 / decompress_s;
+  }
+};
+
+enum class Codec { kSzx, kSzxOmp, kSz, kSz2, kSzOmp, kZfp, kZfpOmp, kLz };
+
+inline const char* CodecName(Codec c) {
+  switch (c) {
+    case Codec::kSzx: return "SZx";
+    case Codec::kSzxOmp: return "omp-SZx";
+    case Codec::kSz: return "SZ";
+    case Codec::kSz2: return "SZ2.1";
+    case Codec::kSzOmp: return "omp-SZ";
+    case Codec::kZfp: return "ZFP";
+    case Codec::kZfpOmp: return "omp-ZFP";
+    case Codec::kLz: return "zstd-like";
+  }
+  return "?";
+}
+
+/// Runs one codec on one field at a value-range-relative bound and measures
+/// timing/ratio/quality.  `threads` applies to the OpenMP variants.
+inline CodecResult MeasureCodec(Codec codec, const data::Field& f,
+                                double rel_eb, int threads = 0) {
+  const int reps = BenchReps();
+  CodecResult r;
+  ByteBuffer stream;
+  std::vector<float> recon;
+  switch (codec) {
+    case Codec::kSzx: {
+      Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(reps, [&] { stream = Compress<float>(f.values, p); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = Decompress<float>(stream); });
+      break;
+    }
+    case Codec::kSzxOmp: {
+      Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(
+          reps, [&] { stream = CompressOmp<float>(f.values, p, nullptr,
+                                                  threads); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = DecompressOmp<float>(stream,
+                                                            threads); });
+      break;
+    }
+    case Codec::kSz: {
+      szref::SzParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(
+          reps, [&] { stream = szref::SzCompress(f.values, f.dims, p); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = szref::SzDecompress(stream); });
+      break;
+    }
+    case Codec::kSz2: {
+      szref::Sz2Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(
+          reps, [&] { stream = szref::Sz2Compress(f.values, f.dims, p); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = szref::Sz2Decompress(stream); });
+      break;
+    }
+    case Codec::kSzOmp: {
+      szref::SzParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(reps, [&] {
+        stream = szref::SzCompressOmp(f.values, f.dims, p, nullptr, threads);
+      });
+      r.decompress_s = TimeBest(
+          reps, [&] { recon = szref::SzDecompressOmp(stream, threads); });
+      break;
+    }
+    case Codec::kZfp: {
+      zfpref::ZfpParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(
+          reps, [&] { stream = zfpref::ZfpCompress(f.values, f.dims, p); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = zfpref::ZfpDecompress(stream); });
+      break;
+    }
+    case Codec::kZfpOmp: {
+      zfpref::ZfpParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      r.compress_s = TimeBest(reps, [&] {
+        stream = zfpref::ZfpCompressOmp(f.values, f.dims, p, nullptr,
+                                        threads);
+      });
+      // Like the paper's omp-ZFP there is no parallel decompressor.
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = zfpref::ZfpDecompress(stream); });
+      break;
+    }
+    case Codec::kLz: {
+      r.compress_s =
+          TimeBest(reps, [&] { stream = lzref::LzCompressFloats(f.values); });
+      r.decompress_s =
+          TimeBest(reps, [&] { recon = lzref::LzDecompressFloats(stream); });
+      break;
+    }
+  }
+  r.compressed_bytes = stream.size();
+  r.ratio = static_cast<double>(f.size_bytes()) /
+            static_cast<double>(stream.size());
+  const auto dist = metrics::ComputeDistortion<float>(f.values, recon);
+  r.max_err = dist.max_abs_error;
+  r.psnr_db = dist.psnr_db;
+  return r;
+}
+
+/// Prints a header line naming the paper artifact being reproduced.
+inline void PrintBanner(const char* artifact, const char* description) {
+  std::printf("==========================================================\n");
+  std::printf("%s -- %s\n", artifact, description);
+  std::printf("grid scale %.2f, best of %d reps (SZX_BENCH_SCALE/_REPS)\n",
+              BenchScale(), BenchReps());
+  std::printf("==========================================================\n");
+}
+
+}  // namespace szx::bench

@@ -1,0 +1,76 @@
+// Fig. 1 reproduction: visual demonstration of the high local smoothness
+// of the four datasets the paper shows (Miranda pressure, Nyx temperature,
+// QMCPack slice, Hurricane U).  Dumps grayscale PGM slices for visual
+// inspection and prints the quantitative smoothness summary each panel is
+// meant to convey.
+#include "bench_util.hpp"
+#include "metrics/quality_report.hpp"
+
+namespace {
+
+using namespace szx;
+
+void OnePanel(data::App app, const char* field) {
+  const data::Field f = data::GenerateField(app, field, bench::BenchScale());
+  std::size_t nx, ny;
+  std::span<const float> slice;
+  if (f.dims.size() == 2) {
+    ny = f.dims[0];
+    nx = f.dims[1];
+    slice = f.span();
+  } else {
+    ny = f.dims[1];
+    nx = f.dims[2];
+    slice = f.span().subspan((f.dims[0] / 2) * ny * nx, ny * nx);
+  }
+  // Dump.
+  char path[128];
+  std::snprintf(path, sizeof(path), "fig01_%s_%s.pgm", data::AppName(app),
+                field);
+  for (char* c = path; *c != '\0'; ++c) {
+    if (*c == ' ' || *c == '-') *c = '_';
+  }
+  float vmin = slice[0], vmax = slice[0];
+  for (const float v : slice) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  std::FILE* fp = std::fopen(path, "wb");
+  if (fp != nullptr) {
+    std::fprintf(fp, "P5\n%zu %zu\n255\n", nx, ny);
+    const float range = vmax > vmin ? vmax - vmin : 1.0f;
+    for (const float v : slice) {
+      std::fputc(static_cast<int>(255.0f * (v - vmin) / range), fp);
+    }
+    std::fclose(fp);
+  }
+  // Quantitative smoothness: mean |adjacent difference| relative to range.
+  double acc = 0.0;
+  for (std::size_t i = 1; i < slice.size(); ++i) {
+    acc += std::fabs(static_cast<double>(slice[i]) -
+                     static_cast<double>(slice[i - 1]));
+  }
+  const double rel_grad =
+      acc / static_cast<double>(slice.size() - 1) /
+      (vmax > vmin ? static_cast<double>(vmax) - vmin : 1.0);
+  std::printf("%-12s %-14s slice %zux%zu  range [%.3g, %.3g]  "
+              "mean |grad| %.2e of range   -> %s\n",
+              data::AppName(app), field, nx, ny, vmin, vmax, rel_grad,
+              path);
+}
+
+}  // namespace
+
+int main() {
+  szx::bench::PrintBanner(
+      "Figure 1", "visual smoothness of the scientific datasets");
+  OnePanel(data::App::kMiranda, "pressure");
+  OnePanel(data::App::kNyx, "temperature");
+  OnePanel(data::App::kQmcpack, "einspline_real");
+  OnePanel(data::App::kHurricane, "U");
+  std::printf(
+      "\nPaper shape: all four fields vary smoothly at the grid scale\n"
+      "(per-sample gradients orders of magnitude below the value range),\n"
+      "which is the property SZx's constant-block design exploits.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig. 2 reproduction: CDF of the block relative value range for block
+// sizes 8..128 on the four datasets the paper plots (Miranda, Nyx,
+// QMCPack, Hurricane).  Shape target: high smoothness -- a large fraction
+// of small blocks with tiny relative ranges, CDF shifting right as block
+// size grows.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace szx;
+
+void OneDataset(data::App app, const char* field) {
+  const data::Field f = data::GenerateField(app, field, bench::BenchScale());
+  std::printf("\n%s (%s), %zu points\n", data::AppName(app), field,
+              f.size());
+  const std::vector<double> thresholds = {0.001, 0.005, 0.01, 0.02, 0.05,
+                                          0.1,   0.2,   0.4};
+  std::printf("%-10s", "blocksize");
+  for (const double t : thresholds) std::printf("  <=%-6.3f", t);
+  std::printf("\n");
+  for (const std::size_t bs : {8u, 16u, 32u, 64u, 128u}) {
+    const auto ranges = metrics::BlockRelativeRanges<float>(f.values, bs);
+    const auto cdf = metrics::EmpiricalCdf(ranges, thresholds);
+    std::printf("%-10zu", bs);
+    for (const double c : cdf) std::printf("  %6.1f%% ", 100.0 * c);
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  szx::bench::PrintBanner(
+      "Figure 2", "CDF of block relative value range vs block size");
+  OneDataset(data::App::kMiranda, "pressure");
+  OneDataset(data::App::kNyx, "temperature");
+  OneDataset(data::App::kQmcpack, "einspline_real");
+  OneDataset(data::App::kHurricane, "U");
+  std::printf(
+      "\nPaper shape: for Miranda/QMCPack 80+%% of blocksize-8 blocks have\n"
+      "relative range <= 0.01; CDFs shift right as block size grows.\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 8 reproduction: compression ratio and PSNR of SZx on the seven
+// Miranda fields across block sizes {8..224} at REL 1e-3 and 1e-4.
+// Shape targets: CR grows with block size and converges around 128;
+// PSNR stays essentially flat across block sizes.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace szx;
+
+void OneBound(double rel_eb) {
+  const auto& fields = bench::AppFields(data::App::kMiranda);
+  const std::vector<std::uint32_t> sizes = {8, 16, 32, 64, 128, 224};
+
+  std::printf("\nCompression ratio (e=%.0e)\n%-12s", rel_eb, "field");
+  for (const auto bs : sizes) std::printf(" bs=%-5u", bs);
+  std::printf("\n");
+  for (const auto& f : fields) {
+    std::printf("%-12s", f.name.c_str());
+    for (const auto bs : sizes) {
+      Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      p.block_size = bs;
+      CompressionStats stats;
+      Compress<float>(f.values, p, &stats);
+      std::printf(" %7.2f", stats.CompressionRatio(sizeof(float)));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPSNR dB (e=%.0e)\n%-12s", rel_eb, "field");
+  for (const auto bs : sizes) std::printf(" bs=%-5u", bs);
+  std::printf("\n");
+  for (const auto& f : fields) {
+    std::printf("%-12s", f.name.c_str());
+    for (const auto bs : sizes) {
+      Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = rel_eb;
+      p.block_size = bs;
+      const auto stream = Compress<float>(f.values, p);
+      const auto recon = Decompress<float>(stream);
+      const auto d = metrics::ComputeDistortion<float>(f.values, recon);
+      std::printf(" %7.2f", d.psnr_db);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  szx::bench::PrintBanner(
+      "Figure 8", "SZx compression quality vs block size (Miranda)");
+  OneBound(1e-3);
+  OneBound(1e-4);
+  std::printf(
+      "\nPaper shape: CR increases with block size and converges beyond "
+      "128;\nPSNR stays at the same level across block sizes (best block "
+      "size: 128).\n");
+  return 0;
+}

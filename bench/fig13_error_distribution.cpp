@@ -1,0 +1,61 @@
+// Fig. 13 reproduction: distribution (PDF) of SZx compression errors at
+// absolute bounds 1e-4 and 1e-6 across nine representative fields.
+// Shape targets: every error strictly inside [-e, +e]; distribution roughly
+// symmetric and concentrated near zero.
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace szx;
+
+void OneBound(double abs_eb) {
+  std::printf("\nAbsolute error bound e = %.0e\n", abs_eb);
+  const std::pair<data::App, const char*> fields[] = {
+      {data::App::kCesm, "CLDHGH"},      {data::App::kCesm, "PHIS"},
+      {data::App::kHurricane, "CLOUD"},  {data::App::kHurricane, "QSNOW"},
+      {data::App::kMiranda, "pressure"}, {data::App::kMiranda, "density"},
+      {data::App::kNyx, "baryon_density"},
+      {data::App::kQmcpack, "einspline_real"},
+      {data::App::kScaleLetkf, "V"},
+  };
+  constexpr std::size_t kBins = 8;
+  std::printf("%-28s %10s %10s  PDF over [-e, +e] in %zu bins\n", "field",
+              "max|err|", "in-bound", kBins);
+  for (const auto& [app, name] : fields) {
+    const data::Field f =
+        data::GenerateField(app, name, szx::bench::BenchScale());
+    Params p;
+    p.mode = ErrorBoundMode::kAbsolute;
+    p.error_bound = abs_eb;
+    const auto recon = Decompress<float>(Compress<float>(f.values, p));
+    const auto d = metrics::ComputeDistortion<float>(f.values, recon);
+    const auto h = metrics::ComputeErrorHistogram<float>(
+        f.values, recon, -abs_eb, abs_eb * 1.0000001, kBins);
+    std::uint64_t total = h.out_of_range;
+    for (const auto c : h.counts) total += c;
+    std::printf("%-20s/%-7s %10.2e %9.3f%%  ", data::AppName(app), name,
+                d.max_abs_error,
+                100.0 * (1.0 - static_cast<double>(h.out_of_range) /
+                                   static_cast<double>(total)));
+    for (std::size_t b = 0; b < kBins; ++b) {
+      std::printf("%6.3f ", h.Density(b) * abs_eb);  // normalized density
+    }
+    std::printf("\n");
+    if (d.max_abs_error > abs_eb) {
+      std::printf("  *** ERROR BOUND VIOLATED ***\n");
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  szx::bench::PrintBanner("Figure 13",
+                          "distribution of SZx compression errors");
+  OneBound(1e-4);
+  OneBound(1e-6);
+  std::printf(
+      "\nPaper shape: SZx always respects the user bound (100%% of errors\n"
+      "inside [-e, +e]) even at e = 1e-6; PDFs are concentrated near 0.\n");
+  return 0;
+}

@@ -1,0 +1,265 @@
+// google-benchmark micro-benchmarks of the hot loops in every codec:
+// block statistics, SZx block encode/decode, full-stream (de)compression,
+// the SZ baseline's Huffman stages, the ZFP baseline's transform, and the
+// LZ matcher.  Complements the table benches with per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/block_stats.hpp"
+#include "core/compressor.hpp"
+#include "core/random_access.hpp"
+#include "core/streaming.hpp"
+#include "hybrid/hybrid.hpp"
+#include "core/encode.hpp"
+#include "cusim/cusim_codec.hpp"
+#include "data/datasets.hpp"
+#include "lzref/lzref.hpp"
+#include "szref/huffman.hpp"
+#include "szref/szref.hpp"
+#include "zfpref/zfp_block.hpp"
+#include "zfpref/zfpref.hpp"
+
+namespace {
+
+using namespace szx;
+
+const data::Field& MirandaDensity() {
+  static const data::Field f =
+      data::GenerateField(data::App::kMiranda, "density", 0.25);
+  return f;
+}
+
+void BM_BlockStatsScalar(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  const std::size_t bs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < f.size(); i += bs) {
+      acc += ComputeBlockStatsScalar<float>(
+                 std::span<const float>(f.values).subspan(
+                     i, std::min(bs, f.size() - i)))
+                 .radius;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_BlockStatsScalar)->Arg(128);
+
+void BM_BlockStatsSimd(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  const std::size_t bs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < f.size(); i += bs) {
+      acc += ComputeBlockStatsSimd<float>(
+                 std::span<const float>(f.values).subspan(
+                     i, std::min(bs, f.size() - i)))
+                 .radius;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_BlockStatsSimd)->Arg(128);
+
+void BM_SzxCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  for (auto _ : state) {
+    auto stream = Compress<float>(f.values, p);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzxCompress);
+
+void BM_SzxDecompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const auto stream = Compress<float>(f.values, p);
+  for (auto _ : state) {
+    auto recon = Decompress<float>(stream);
+    benchmark::DoNotOptimize(recon.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzxDecompress);
+
+void BM_SzCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  szref::SzParams p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  for (auto _ : state) {
+    auto stream = szref::SzCompress(f.values, f.dims, p);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzCompress);
+
+void BM_ZfpCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  zfpref::ZfpParams p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  for (auto _ : state) {
+    auto stream = zfpref::ZfpCompress(f.values, f.dims, p);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_ZfpCompress);
+
+void BM_LzCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  for (auto _ : state) {
+    auto stream = lzref::LzCompressFloats(f.values);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_LzCompress);
+
+void BM_HuffmanEncode(benchmark::State& state) {
+  std::vector<std::uint16_t> codes(1 << 20);
+  std::uint64_t s = 1;
+  for (auto& c : codes) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    c = static_cast<std::uint16_t>(32768 + static_cast<int>(s % 17) - 8);
+  }
+  szref::HuffmanCodec codec;
+  codec.BuildFromSymbols(codes);
+  for (auto _ : state) {
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    codec.Encode(codes, bw);
+    bw.Flush();
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(codes.size()));
+}
+BENCHMARK(BM_HuffmanEncode);
+
+void BM_ZfpXform3D(benchmark::State& state) {
+  std::array<zfpref::Int, 64> block;
+  std::uint64_t s = 7;
+  for (auto& x : block) {
+    s = s * 6364136223846793005ull + 1;
+    x = static_cast<zfpref::Int>(s % (1u << 28));
+  }
+  for (auto _ : state) {
+    auto copy = block;
+    zfpref::FwdXform(copy.data(), 3);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_ZfpXform3D);
+
+void BM_CusimDecompressSchedule(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const auto stream = Compress<float>(f.values, p);
+  for (auto _ : state) {
+    auto recon = cusim::DecompressCuda<float>(stream);
+    benchmark::DoNotOptimize(recon.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_CusimDecompressSchedule);
+
+void BM_SzxPointwiseRelCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-3;
+  for (auto _ : state) {
+    auto stream = Compress<float>(f.values, p);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_SzxPointwiseRelCompress);
+
+void BM_HybridCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  for (auto _ : state) {
+    auto stream = hybrid::Compress<float>(f.values, p);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_HybridCompress);
+
+void BM_RandomAccessSlab(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const auto stream = Compress<float>(f.values, p);
+  const std::size_t count = 1 << 14;
+  std::size_t offset = 0;
+  for (auto _ : state) {
+    auto slab = DecompressRange<float>(stream, offset, count);
+    benchmark::DoNotOptimize(slab.data());
+    offset = (offset + count) % (f.size() - count);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count * sizeof(float)));
+}
+BENCHMARK(BM_RandomAccessSlab);
+
+void BM_StreamingAppend(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const std::size_t chunk = 1 << 16;
+  for (auto _ : state) {
+    StreamWriter<float> writer(p);
+    for (std::size_t off = 0; off + chunk <= f.size(); off += chunk) {
+      writer.Append(std::span<const float>(f.values).subspan(off, chunk));
+    }
+    auto container = std::move(writer).Finish();
+    benchmark::DoNotOptimize(container.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_StreamingAppend);
+
+void BM_ZfpFixedRateCompress(benchmark::State& state) {
+  const auto& f = MirandaDensity();
+  for (auto _ : state) {
+    auto stream = zfpref::ZfpCompressFixedRate(f.values, f.dims, 8.0);
+    benchmark::DoNotOptimize(stream.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(f.size_bytes()));
+}
+BENCHMARK(BM_ZfpFixedRateCompress);
+
+}  // namespace
+
+BENCHMARK_MAIN();

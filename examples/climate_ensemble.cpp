@@ -1,0 +1,58 @@
+// Post-hoc analysis storage for a climate/weather ensemble -- the Table 3 /
+// Fig. 12 style workflow: compress every field of a Hurricane-ISABEL-like
+// snapshot at several error bounds, tabulate ratio and quality per field,
+// and show how to pick a bound per variable class (dynamic vs hydrometeor
+// fields need different treatment).
+//
+//   ./examples/climate_ensemble
+#include <cstdio>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "data/datasets.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace szx;
+  const auto fields = data::GenerateApp(data::App::kHurricane, 0.4);
+  std::printf("Hurricane-ISABEL-style snapshot: %zu fields of %zu values\n",
+              fields.size(), fields[0].size());
+
+  for (const double eb : {1e-2, 1e-3}) {
+    std::printf("\nREL error bound %.0e\n", eb);
+    std::printf("%-8s %10s %10s %10s %12s %9s\n", "field", "CR", "PSNR",
+                "SSIM", "max err", "const%");
+    double total_raw = 0.0, total_comp = 0.0;
+    for (const auto& f : fields) {
+      Params p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = eb;
+      CompressionStats stats;
+      const ByteBuffer stream = Compress<float>(f.values, p, &stats);
+      const auto recon = Decompress<float>(stream);
+      const auto d = metrics::ComputeDistortion<float>(f.values, recon);
+      // Mid-altitude slice SSIM (2-D metric on a 3-D field).
+      const std::size_t ny = f.dims[1], nx = f.dims[2];
+      const std::size_t z = f.dims[0] / 2;
+      const double ssim = metrics::ComputeSsim2D<float>(
+          std::span<const float>(f.values).subspan(z * ny * nx, ny * nx),
+          std::span<const float>(recon).subspan(z * ny * nx, ny * nx), nx,
+          ny);
+      std::printf("%-8s %10.2f %10.2f %10.4f %12.3e %8.1f%%\n",
+                  f.name.c_str(), stats.CompressionRatio(sizeof(float)),
+                  d.psnr_db, ssim, d.max_abs_error,
+                  100.0 * static_cast<double>(stats.num_constant_blocks) /
+                      static_cast<double>(stats.num_blocks));
+      total_raw += static_cast<double>(f.size_bytes());
+      total_comp += static_cast<double>(stream.size());
+    }
+    std::printf("snapshot: %.1f MB -> %.1f MB (overall %.2fx)\n",
+                total_raw / 1e6, total_comp / 1e6, total_raw / total_comp);
+  }
+  std::printf(
+      "\nNote the split the paper's Table 3 shows: hydrometeor fields\n"
+      "(CLOUD/QSNOW/...) with their zero plateaus compress far better than\n"
+      "the dynamic fields (U/V/W/TC/P); an ensemble pipeline can afford a\n"
+      "tighter bound on the former at negligible cost.\n");
+  return 0;
+}

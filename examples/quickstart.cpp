@@ -1,0 +1,58 @@
+// Quickstart: compress a scientific field with SZx, inspect the stream,
+// decompress, and verify the error bound -- the 60-second tour of the
+// public API.
+//
+//   ./examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "data/datasets.hpp"
+#include "metrics/metrics.hpp"
+
+int main() {
+  using namespace szx;
+
+  // 1. Get some data: a Miranda-style turbulence field (or bring your own
+  //    float array -- any contiguous buffer works).
+  const data::Field field =
+      data::GenerateField(data::App::kMiranda, "density", 0.4);
+  std::printf("input: %s, %zu values (%.1f MB)\n", field.name.c_str(),
+              field.size(), static_cast<double>(field.size_bytes()) / 1e6);
+
+  // 2. Pick parameters.  The default is a value-range-relative bound of
+  //    1e-3 with block size 128 (the paper's recommended setting).
+  Params params;
+  params.mode = ErrorBoundMode::kValueRangeRelative;
+  params.error_bound = 1e-3;
+
+  // 3. Compress.
+  CompressionStats stats;
+  const ByteBuffer stream = Compress<float>(field.values, params, &stats);
+  std::printf("compressed: %zu bytes, ratio %.2fx\n", stream.size(),
+              stats.CompressionRatio(sizeof(float)));
+  std::printf("  %llu blocks, %llu constant (%.1f%%), abs bound %.3g\n",
+              static_cast<unsigned long long>(stats.num_blocks),
+              static_cast<unsigned long long>(stats.num_constant_blocks),
+              100.0 * static_cast<double>(stats.num_constant_blocks) /
+                  static_cast<double>(stats.num_blocks),
+              stats.absolute_bound);
+
+  // 4. Streams are self-describing; you can inspect one without decoding.
+  const Header header = PeekHeader(stream);
+  std::printf("header: dtype=%s, block=%u, %llu elements\n",
+              header.dtype == 0 ? "float32" : "float64", header.block_size,
+              static_cast<unsigned long long>(header.num_elements));
+
+  // 5. Decompress and verify quality.
+  const std::vector<float> recon = Decompress<float>(stream);
+  const auto d = metrics::ComputeDistortion<float>(field.values, recon);
+  std::printf("reconstruction: max err %.3g (bound %.3g), PSNR %.2f dB\n",
+              d.max_abs_error, stats.absolute_bound, d.psnr_db);
+  if (d.max_abs_error > stats.absolute_bound) {
+    std::printf("ERROR: bound violated!\n");
+    return 1;
+  }
+  std::printf("error bound respected.\n");
+  return 0;
+}

@@ -1,0 +1,170 @@
+// IEEE-754 bit-level analysis used by the SZx codec (paper Sec. 4, Formulae
+// 4 and 5).  Everything here is branch-light and inlineable: these helpers
+// sit on the per-block hot path.
+#pragma once
+
+#include <bit>
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+#include "core/common.hpp"
+
+namespace szx {
+
+/// Bit-layout traits for the two supported IEEE-754 types.
+template <typename T>
+struct FloatTraits;
+
+template <>
+struct FloatTraits<float> {
+  using Bits = std::uint32_t;
+  static constexpr int kTotalBits = 32;
+  static constexpr int kExponentBits = 8;
+  static constexpr int kMantissaBits = 23;
+  static constexpr int kBias = 127;
+  /// Sign + exponent must always be kept: the shortest useful length.
+  static constexpr int kMinReqLength = 1 + kExponentBits;  // 9
+  static constexpr DataType kTag = DataType::kFloat32;
+};
+
+template <>
+struct FloatTraits<double> {
+  using Bits = std::uint64_t;
+  static constexpr int kTotalBits = 64;
+  static constexpr int kExponentBits = 11;
+  static constexpr int kMantissaBits = 52;
+  static constexpr int kBias = 1023;
+  static constexpr int kMinReqLength = 1 + kExponentBits;  // 12
+  static constexpr DataType kTag = DataType::kFloat64;
+};
+
+template <typename T>
+concept SupportedFloat = std::is_same_v<T, float> || std::is_same_v<T, double>;
+
+/// p(x): binary exponent of |x| such that 2^p <= |x| < 2^(p+1) for finite
+/// non-zero x.  Zero maps to a sentinel far below any representable exponent
+/// so that required-length formulas degrade gracefully.  Subnormals are
+/// handled exactly (ilogb semantics) via the slow path.
+template <SupportedFloat T>
+inline int ExponentOf(T x) {
+  using Traits = FloatTraits<T>;
+  const auto bits = std::bit_cast<typename Traits::Bits>(x);
+  const int raw = static_cast<int>(
+      (bits >> Traits::kMantissaBits) &
+      ((typename Traits::Bits{1} << Traits::kExponentBits) - 1));
+  if (raw != 0) [[likely]] {
+    return raw - Traits::kBias;
+  }
+  // Subnormal or zero.
+  if (x == T(0)) {
+    return -Traits::kBias - Traits::kMantissaBits - 1;
+  }
+  return std::ilogb(x);
+}
+
+/// Required-length plan for one non-constant block (Formulae 4 and 5).
+struct ReqPlan {
+  std::uint8_t req_length = 0;   ///< R: bits that must survive truncation
+  std::uint8_t shift = 0;        ///< s: right shift to byte-align R
+  std::uint8_t num_bytes = 0;    ///< nb = (R + s) / 8, bytes stored per value
+  /// True when the bound demands more mantissa bits than the type has; the
+  /// codec must then fall back to the exact lossless path (normalization
+  /// rounding alone would already exceed the bound).
+  bool exceeds_precision = false;
+};
+
+/// Computes R_k from the block's normalized-value exponent and the absolute
+/// error bound's exponent.  Keeping m = radExpo - ebExpo + 1 mantissa bits
+/// makes the truncation error < 2^(ebExpo - 1) <= e/2, leaving margin for the
+/// final de-normalization rounding.
+template <SupportedFloat T>
+inline ReqPlan ComputeReqPlan(int rad_expo, int eb_expo) {
+  using Traits = FloatTraits<T>;
+  // Subnormal guard: a subnormal value stores its payload as if its
+  // exponent were the minimum normal one (1 - bias), so bits dropped by
+  // truncation weigh up to 2^(1 - bias - m) regardless of how small the
+  // block radius is.  Budgeting from the clamped exponent keeps the bound
+  // strict for subnormal-heavy blocks.
+  rad_expo = std::max(rad_expo, 1 - Traits::kBias);
+  int mantissa = rad_expo - eb_expo + 1;
+  ReqPlan plan;
+  if (mantissa > Traits::kMantissaBits) {
+    plan.exceeds_precision = true;
+    mantissa = Traits::kMantissaBits;
+  }
+  if (mantissa < 0) mantissa = 0;
+  const int req = Traits::kMinReqLength + mantissa;
+  const int shift = (8 - req % 8) % 8;
+  plan.req_length = static_cast<std::uint8_t>(req);
+  plan.shift = static_cast<std::uint8_t>(shift);
+  plan.num_bytes = static_cast<std::uint8_t>((req + shift) / 8);
+  return plan;
+}
+
+/// Plan for the exact lossless path (full-width bytes, no shift).
+template <SupportedFloat T>
+inline ReqPlan LosslessPlan() {
+  ReqPlan plan;
+  plan.req_length = FloatTraits<T>::kTotalBits;
+  plan.shift = 0;
+  plan.num_bytes = sizeof(T);
+  return plan;
+}
+
+/// Reconstructs shift / byte count from a stored req_length (stream decode).
+template <SupportedFloat T>
+inline ReqPlan PlanFromReqLength(std::uint8_t req_length) {
+  using Traits = FloatTraits<T>;
+  if (req_length < Traits::kMinReqLength ||
+      req_length > Traits::kTotalBits) {
+    throw Error("szx: corrupt stream (required length " +
+                std::to_string(int(req_length)) + " out of range)");
+  }
+  const int shift = (8 - req_length % 8) % 8;
+  ReqPlan plan;
+  plan.req_length = req_length;
+  plan.shift = static_cast<std::uint8_t>(shift);
+  plan.num_bytes = static_cast<std::uint8_t>((req_length + shift) / 8);
+  return plan;
+}
+
+/// Mask keeping the top `num_bytes` bytes of a word.
+template <SupportedFloat T>
+inline typename FloatTraits<T>::Bits KeepMask(int num_bytes) {
+  using Bits = typename FloatTraits<T>::Bits;
+  constexpr int kTotal = FloatTraits<T>::kTotalBits;
+  const int drop = kTotal - 8 * num_bytes;
+  if (drop >= kTotal) return Bits{0};  // avoid shift-by-width UB
+  return drop <= 0 ? ~Bits{0} : static_cast<Bits>(~Bits{0} << drop);
+}
+
+/// Number of identical leading bytes between two words, capped at 3 so it
+/// fits the 2-bit lead code of Fig. 4.
+template <SupportedFloat T>
+inline int LeadingIdenticalBytes(typename FloatTraits<T>::Bits a,
+                                 typename FloatTraits<T>::Bits b) {
+  const auto x = a ^ b;
+  if (x == 0) return 3;
+  const int lead = std::countl_zero(x) >> 3;
+  return lead > 3 ? 3 : lead;
+}
+
+/// Extracts byte `idx` counting from the most significant byte.
+template <SupportedFloat T>
+inline std::uint8_t TopByte(typename FloatTraits<T>::Bits w, int idx) {
+  constexpr int kTotal = FloatTraits<T>::kTotalBits;
+  return static_cast<std::uint8_t>(w >> (kTotal - 8 * (idx + 1)));
+}
+
+/// Inserts byte `idx` (from the most significant end) into a word.
+template <SupportedFloat T>
+inline typename FloatTraits<T>::Bits PlaceTopByte(std::uint8_t byte, int idx) {
+  using Bits = typename FloatTraits<T>::Bits;
+  constexpr int kTotal = FloatTraits<T>::kTotalBits;
+  return static_cast<Bits>(Bits{byte} << (kTotal - 8 * (idx + 1)));
+}
+
+}  // namespace szx

@@ -1,0 +1,58 @@
+// Per-block statistics (min, max, mu, radius) -- step 1 of the SZx pipeline
+// (Fig. 3).  Scalar and AVX2 kernels produce bit-identical results; the
+// dispatcher picks AVX2 when compiled in.
+#pragma once
+
+#include <span>
+
+#include "core/bitops.hpp"
+#include "core/common.hpp"
+
+namespace szx {
+
+/// Statistics of one block needed to classify and encode it.
+template <SupportedFloat T>
+struct BlockStats {
+  T min = T(0);
+  T max = T(0);
+  T mu = T(0);  ///< mean of min and max (paper's mu_k / medianValue)
+  /// Upper bound on |fl(v - mu)| over the block, computed in double (exact
+  /// for float inputs; rounded up one ulp for double inputs) so that the
+  /// constant-block test and Formula 4 are conservative.
+  double radius = 0.0;
+  bool all_finite = true;
+};
+
+/// Scalar reference implementation (always available, used in tests as the
+/// ground truth for the SIMD kernel).
+template <SupportedFloat T>
+BlockStats<T> ComputeBlockStatsScalar(std::span<const T> block);
+
+/// AVX2 implementation; falls back to scalar when not compiled with AVX2.
+template <SupportedFloat T>
+BlockStats<T> ComputeBlockStatsSimd(std::span<const T> block);
+
+/// Default entry point used by the codecs.
+template <SupportedFloat T>
+inline BlockStats<T> ComputeBlockStats(std::span<const T> block) {
+#if defined(SZX_HAVE_AVX2)
+  return ComputeBlockStatsSimd<T>(block);
+#else
+  return ComputeBlockStatsScalar<T>(block);
+#endif
+}
+
+/// Scans a whole dataset for its global value range (used by the
+/// value-range-relative error-bound mode).  Returns {min, max, all_finite};
+/// non-finite values are skipped for range purposes.
+template <SupportedFloat T>
+struct GlobalRange {
+  T min = T(0);
+  T max = T(0);
+  bool any_finite = false;
+};
+
+template <SupportedFloat T>
+GlobalRange<T> ComputeGlobalRange(std::span<const T> data);
+
+}  // namespace szx

@@ -1,0 +1,86 @@
+// SZx reproduction -- common types shared by every subsystem.
+//
+// The public API uses std::span / std::byte and throws szx::Error on any
+// malformed input (bad parameters, truncated or corrupted streams).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace szx {
+
+/// All stream-level failures (truncation, bad magic, corrupt metadata).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// How the user-supplied error bound is interpreted.
+enum class ErrorBoundMode : std::uint8_t {
+  kAbsolute = 0,            ///< |d - d'| <= eb
+  kValueRangeRelative = 1,  ///< |d - d'| <= eb * (max(D) - min(D))
+  /// |d - d'| <= eb * |d| for every point (the SZ-family "PW_REL" mode,
+  /// Di et al., TPDS'19 -- reference [13] of the paper).  Implemented with
+  /// a per-block bound of eb * min|d| over the block, which is strictly
+  /// conservative; blocks containing zeros are stored losslessly.
+  kPointwiseRelative = 2,
+};
+
+/// The three mid-bit commit strategies of Fig. 5 in the paper.  kC (bitwise
+/// right shift to byte alignment) is SZx's contribution and the default; A and
+/// B exist for the Sec. 5.1/5.2 ablation and the Fig. 6 overhead study.
+enum class CommitSolution : std::uint8_t {
+  kA = 0,  ///< arbitrary-width bit packing of all necessary bits
+  kB = 1,  ///< split into alpha whole bytes + beta residual bits
+  kC = 2,  ///< right shift by s so the necessary bits are byte aligned
+};
+
+/// Element type tag carried in the stream header.
+enum class DataType : std::uint8_t {
+  kFloat32 = 0,
+  kFloat64 = 1,
+};
+
+/// Compression parameters.  Defaults follow the paper's recommendations
+/// (block size 128, Sec. 5.3).
+struct Params {
+  ErrorBoundMode mode = ErrorBoundMode::kValueRangeRelative;
+  double error_bound = 1e-3;
+  std::uint32_t block_size = 128;
+  CommitSolution solution = CommitSolution::kC;
+
+  /// Throws szx::Error if the parameter combination is unusable.
+  void Validate() const;
+};
+
+/// Limits enforced by Params::Validate (block payload sizes must fit the
+/// 16-bit zsize array used for parallel decompression, Sec. 6.1).
+inline constexpr std::uint32_t kMinBlockSize = 4;
+inline constexpr std::uint32_t kMaxBlockSize = 4096;
+
+/// Per-run bookkeeping, filled by the compressor on request.
+struct CompressionStats {
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_constant_blocks = 0;
+  std::uint64_t num_lossless_blocks = 0;  ///< blocks with non-finite values
+  std::uint64_t payload_bytes = 0;        ///< lead arrays + mid bytes
+  std::uint64_t compressed_bytes = 0;
+  double absolute_bound = 0.0;  ///< resolved absolute bound actually enforced
+
+  double CompressionRatio(std::size_t bytes_per_elem) const {
+    return compressed_bytes == 0
+               ? 0.0
+               : static_cast<double>(num_elements * bytes_per_elem) /
+                     static_cast<double>(compressed_bytes);
+  }
+};
+
+using ByteSpan = std::span<const std::byte>;
+using ByteBuffer = std::vector<std::byte>;
+
+}  // namespace szx

@@ -1,0 +1,261 @@
+#include "core/compressor.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "core/block_plan.hpp"
+#include "core/block_stats.hpp"
+#include "core/encode.hpp"
+
+namespace szx {
+
+void Params::Validate() const {
+  if (!(error_bound > 0.0) || !std::isfinite(error_bound)) {
+    throw Error("szx: error bound must be finite and > 0");
+  }
+  if (block_size < kMinBlockSize || block_size > kMaxBlockSize) {
+    throw Error("szx: block size must be in [" +
+                std::to_string(kMinBlockSize) + ", " +
+                std::to_string(kMaxBlockSize) + "]");
+  }
+}
+
+template <SupportedFloat T>
+double ResolveAbsoluteBound(std::span<const T> data, const Params& params) {
+  params.Validate();
+  if (params.mode == ErrorBoundMode::kAbsolute) {
+    return params.error_bound;
+  }
+  if (params.mode == ErrorBoundMode::kPointwiseRelative) {
+    // No single absolute bound exists: it is eb * |d| per point.
+    return 0.0;
+  }
+  const GlobalRange<T> r = ComputeGlobalRange(data);
+  if (!r.any_finite) return 0.0;
+  return params.error_bound *
+         (static_cast<double>(r.max) - static_cast<double>(r.min));
+}
+
+namespace {
+
+template <SupportedFloat T>
+std::size_t EncodeBlockDispatch(CommitSolution sol, std::span<const T> block,
+                                T mu, const ReqPlan& plan, ByteBuffer& out) {
+  switch (sol) {
+    case CommitSolution::kA:
+      return EncodeBlockA(block, mu, plan, out);
+    case CommitSolution::kB:
+      return EncodeBlockB(block, mu, plan, out);
+    case CommitSolution::kC:
+      return EncodeBlockC(block, mu, plan, out);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+template <SupportedFloat T>
+void DecodeBlockDispatch(CommitSolution sol, ByteSpan payload, T mu,
+                         const ReqPlan& plan, std::span<T> out) {
+  switch (sol) {
+    case CommitSolution::kA:
+      return DecodeBlockA(payload, mu, plan, out);
+    case CommitSolution::kB:
+      return DecodeBlockB(payload, mu, plan, out);
+    case CommitSolution::kC:
+      return DecodeBlockC(payload, mu, plan, out);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+template <SupportedFloat T>
+ByteBuffer RawPassthrough(std::span<const T> data, const Params& params,
+                          double abs_bound) {
+  Header h;
+  h.dtype = static_cast<std::uint8_t>(FloatTraits<T>::kTag);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.solution = static_cast<std::uint8_t>(params.solution);
+  h.flags = kFlagRawPassthrough;
+  h.block_size = params.block_size;
+  h.error_bound_user = params.error_bound;
+  h.error_bound_abs = abs_bound;
+  h.num_elements = data.size();
+  h.num_blocks = (data.size() + params.block_size - 1) / params.block_size;
+  ByteBuffer out;
+  out.reserve(sizeof(Header) + data.size_bytes());
+  ByteWriter w(out);
+  w.Write(h);
+  w.WriteBytes(data.data(), data.size_bytes());
+  return out;
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+ByteBuffer Compress(std::span<const T> data, const Params& params,
+                    CompressionStats* stats) {
+  params.Validate();
+  const double abs_bound = ResolveAbsoluteBound(data, params);
+  const std::uint64_t n = data.size();
+  const std::uint32_t bs = params.block_size;
+  const std::uint64_t num_blocks = n == 0 ? 0 : (n + bs - 1) / bs;
+  const int eb_expo = params.mode == ErrorBoundMode::kPointwiseRelative
+                          ? kLosslessEbExpo
+                          : BoundExponent(abs_bound);
+
+  // Section accumulators.
+  ByteBuffer type_bits((num_blocks + 7) / 8, std::byte{0});
+  ByteBuffer const_mu;
+  ByteBuffer ncb_req;
+  ByteBuffer ncb_mu;
+  ByteBuffer ncb_zsize;
+  ByteBuffer payload;
+  const_mu.reserve(num_blocks * sizeof(T) / 2);
+  payload.reserve(data.size_bytes() / 4);
+
+  std::uint64_t num_constant = 0;
+  std::uint64_t num_lossless = 0;
+  ByteWriter const_mu_w(const_mu);
+  ByteWriter ncb_mu_w(ncb_mu);
+  ByteWriter zsize_w(ncb_zsize);
+
+  for (std::uint64_t k = 0; k < num_blocks; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count = std::min<std::uint64_t>(bs, n - begin);
+    const std::span<const T> block = data.subspan(begin, count);
+    const BlockStats<T> st = ComputeBlockStats(block);
+    const BlockDecision<T> d = DecideBlock(block, st, params.mode,
+                                           params.error_bound, abs_bound,
+                                           eb_expo);
+    if (d.is_constant) {
+      // Constant block: mu represents every value within the bound.
+      ++num_constant;
+      const_mu_w.Write(d.mu);
+      continue;
+    }
+    SetNonConstant(type_bits.data(), k);
+    if (d.is_lossless) ++num_lossless;
+    ncb_req.push_back(std::byte{d.plan.req_length});
+    ncb_mu_w.Write(d.mu);
+    const std::size_t zsize =
+        EncodeBlockDispatch(params.solution, block, d.mu, d.plan, payload);
+    zsize_w.Write(static_cast<std::uint16_t>(zsize));
+  }
+
+  Header h;
+  h.dtype = static_cast<std::uint8_t>(FloatTraits<T>::kTag);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.solution = static_cast<std::uint8_t>(params.solution);
+  h.block_size = bs;
+  h.error_bound_user = params.error_bound;
+  h.error_bound_abs = abs_bound;
+  h.num_elements = n;
+  h.num_blocks = num_blocks;
+  h.num_constant = num_constant;
+  h.payload_bytes = payload.size();
+
+  const std::size_t total = sizeof(Header) + type_bits.size() +
+                            const_mu.size() + ncb_req.size() + ncb_mu.size() +
+                            ncb_zsize.size() + payload.size();
+
+  ByteBuffer out;
+  if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
+    out = RawPassthrough(data, params, abs_bound);
+  } else {
+    out.reserve(total);
+    ByteWriter w(out);
+    w.Write(h);
+    out.insert(out.end(), type_bits.begin(), type_bits.end());
+    out.insert(out.end(), const_mu.begin(), const_mu.end());
+    out.insert(out.end(), ncb_req.begin(), ncb_req.end());
+    out.insert(out.end(), ncb_mu.begin(), ncb_mu.end());
+    out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.end());
+    out.insert(out.end(), payload.begin(), payload.end());
+  }
+
+  if (stats != nullptr) {
+    stats->num_elements = n;
+    stats->num_blocks = num_blocks;
+    stats->num_constant_blocks = num_constant;
+    stats->num_lossless_blocks = num_lossless;
+    stats->payload_bytes = payload.size();
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = abs_bound;
+  }
+  return out;
+}
+
+Header PeekHeader(ByteSpan stream) { return ParseHeader(stream); }
+
+template <SupportedFloat T>
+void DecompressInto(ByteSpan stream, std::span<T> out) {
+  const Sections<T> s = ParseSections<T>(stream);
+  const Header& h = s.header;
+  if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
+    throw Error("szx: stream element type mismatch");
+  }
+  if (out.size() != h.num_elements) {
+    throw Error("szx: output buffer size mismatch");
+  }
+  if (h.flags & kFlagRawPassthrough) {
+    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    return;
+  }
+  const auto solution = static_cast<CommitSolution>(h.solution);
+  const std::uint32_t bs = h.block_size;
+
+  std::uint64_t const_idx = 0;
+  std::uint64_t ncb_idx = 0;
+  std::uint64_t offset = 0;  // payload offset
+  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count =
+        std::min<std::uint64_t>(bs, h.num_elements - begin);
+    std::span<T> block = out.subspan(begin, count);
+    if (!IsNonConstant(s.type_bits, k)) {
+      if (const_idx >= h.num_constant) {
+        throw Error("szx: corrupt stream (constant block overflow)");
+      }
+      const T mu = s.ConstMu(const_idx++);
+      for (T& v : block) v = mu;
+      continue;
+    }
+    if (ncb_idx >= h.num_blocks - h.num_constant) {
+      throw Error("szx: corrupt stream (non-constant block overflow)");
+    }
+    const ReqPlan plan = PlanFromReqLength<T>(s.Req(ncb_idx));
+    const T mu = s.NcbMu(ncb_idx);
+    const std::uint16_t zsize = s.Zsize(ncb_idx);
+    ++ncb_idx;
+    if (offset + zsize > s.payload.size()) {
+      throw Error("szx: corrupt stream (payload overrun)");
+    }
+    DecodeBlockDispatch(solution, s.payload.subspan(offset, zsize), mu, plan,
+                        block);
+    offset += zsize;
+  }
+  if (const_idx != h.num_constant) {
+    throw Error("szx: corrupt stream (constant count mismatch)");
+  }
+}
+
+template <SupportedFloat T>
+std::vector<T> Decompress(ByteSpan stream) {
+  const Header h = ParseHeader(stream);
+  std::vector<T> out(h.num_elements);
+  DecompressInto<T>(stream, std::span<T>(out));
+  return out;
+}
+
+template ByteBuffer Compress<float>(std::span<const float>, const Params&,
+                                    CompressionStats*);
+template ByteBuffer Compress<double>(std::span<const double>, const Params&,
+                                     CompressionStats*);
+template std::vector<float> Decompress<float>(ByteSpan);
+template std::vector<double> Decompress<double>(ByteSpan);
+template void DecompressInto<float>(ByteSpan, std::span<float>);
+template void DecompressInto<double>(ByteSpan, std::span<double>);
+template double ResolveAbsoluteBound<float>(std::span<const float>,
+                                            const Params&);
+template double ResolveAbsoluteBound<double>(std::span<const double>,
+                                             const Params&);
+
+}  // namespace szx

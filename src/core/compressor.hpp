@@ -1,0 +1,45 @@
+// SZx serial compressor / decompressor -- the public entry points of the
+// core library (paper Algorithm 1 + Sec. 5 optimizations).
+//
+// Quick use:
+//   szx::Params p;                       // REL 1e-3, block 128, Solution C
+//   auto stream = szx::Compress<float>(data, p);
+//   auto recon  = szx::Decompress<float>(stream);
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/bitops.hpp"
+#include "core/common.hpp"
+#include "core/format.hpp"
+
+namespace szx {
+
+/// Compresses `data` under `params`; returns the self-describing stream.
+/// If the encoded stream would exceed the raw size, a raw-passthrough frame
+/// is emitted instead (still decodable by Decompress).
+template <SupportedFloat T>
+ByteBuffer Compress(std::span<const T> data, const Params& params,
+                    CompressionStats* stats = nullptr);
+
+/// Decompresses a stream produced by Compress<T>.  Throws szx::Error if the
+/// stream is truncated, corrupt, or of a different element type.
+template <SupportedFloat T>
+std::vector<T> Decompress(ByteSpan stream);
+
+/// In-place variant; `out.size()` must equal the element count in the
+/// stream header.
+template <SupportedFloat T>
+void DecompressInto(ByteSpan stream, std::span<T> out);
+
+/// Reads the header without touching the body.
+Header PeekHeader(ByteSpan stream);
+
+/// Resolves the absolute error bound a Params would enforce on `data`
+/// (identity for kAbsolute; scales by global value range for kRel).
+template <SupportedFloat T>
+double ResolveAbsoluteBound(std::span<const T> data, const Params& params);
+
+}  // namespace szx

@@ -1,0 +1,75 @@
+// Non-constant block encode/decode: IEEE-754 binary representation analysis
+// (paper Sec. 4 step 3-4, Fig. 4) with the three mid-bit commit strategies of
+// Fig. 5.  Solution C (bitwise right shift, Sec. 5.1) is the SZx default.
+#pragma once
+
+#include <span>
+
+#include "core/bitops.hpp"
+#include "core/common.hpp"
+
+namespace szx {
+
+/// Size in bytes of the 2-bit-per-value lead array for an n-value block.
+inline constexpr std::size_t LeadArrayBytes(std::size_t n) {
+  return (n + 3) / 4;
+}
+
+/// Upper bound on the encoded payload of one block (lead array + mid bytes).
+template <SupportedFloat T>
+inline constexpr std::size_t MaxBlockPayload(std::size_t n) {
+  return LeadArrayBytes(n) + n * sizeof(T);
+}
+
+/// Encodes one non-constant block with Solution C.
+///
+/// `block` holds the raw values, `mu` the block's normalization offset and
+/// `plan` the required-length plan.  The payload -- lead array followed by
+/// mid bytes -- is appended to `out`.  Returns the number of payload bytes
+/// appended (always <= MaxBlockPayload<T>(n), and <= 65535 for the block
+/// sizes admitted by Params::Validate, so it fits the uint16 zsize array).
+template <SupportedFloat T>
+std::size_t EncodeBlockC(std::span<const T> block, T mu, const ReqPlan& plan,
+                         ByteBuffer& out);
+
+/// Decodes one Solution-C block payload into `out` (must hold block.size()
+/// values).  Throws szx::Error if payload is shorter than required.
+template <SupportedFloat T>
+void DecodeBlockC(ByteSpan payload, T mu, const ReqPlan& plan,
+                  std::span<T> out);
+
+/// Solution A: packs exactly (R - 8 * lead) bits per value into a bit stream
+/// via shift/or operations on an accumulator (the Pastri-style strategy).
+template <SupportedFloat T>
+std::size_t EncodeBlockA(std::span<const T> block, T mu, const ReqPlan& plan,
+                         ByteBuffer& out);
+
+template <SupportedFloat T>
+void DecodeBlockA(ByteSpan payload, T mu, const ReqPlan& plan,
+                  std::span<T> out);
+
+/// Solution B: splits the necessary bits into alpha whole bytes committed to
+/// a byte array plus beta residual bits gathered in a bit array (the SZ-style
+/// strategy).
+template <SupportedFloat T>
+std::size_t EncodeBlockB(std::span<const T> block, T mu, const ReqPlan& plan,
+                         ByteBuffer& out);
+
+template <SupportedFloat T>
+void DecodeBlockB(ByteSpan payload, T mu, const ReqPlan& plan,
+                  std::span<T> out);
+
+/// Bit-count characterization for the Fig. 6 space-overhead study: for one
+/// block, the total stored payload bits under Solution C (R + s - 8 L') and
+/// under Solutions A/B (R - 8 L), where L / L' are the identical leading
+/// bytes without / with the right shift applied.
+struct ShiftOverheadBits {
+  std::uint64_t solution_c_bits = 0;
+  std::uint64_t solution_ab_bits = 0;
+};
+
+template <SupportedFloat T>
+ShiftOverheadBits CharacterizeShiftOverhead(std::span<const T> block, T mu,
+                                            const ReqPlan& plan);
+
+}  // namespace szx

@@ -1,0 +1,140 @@
+// Compressed stream layout.
+//
+//   [Header]
+//   [type_bits  : ceil(num_blocks / 8) bytes, bit i = 1 iff block i is
+//                 non-constant]
+//   [const_mu   : num_constant * sizeof(T)]       (mu per constant block)
+//   [ncb_req    : num_nonconstant * 1]            (required length per block)
+//   [ncb_mu     : num_nonconstant * sizeof(T)]    (mu per non-constant block)
+//   [ncb_zsize  : num_nonconstant * 2]            (payload bytes per block)
+//   [payload    : concatenated self-contained block payloads]
+//
+// Self-contained payloads plus the zsize prefix sum are what make fully
+// parallel decompression possible (paper Sec. 6.1).  Sections are unaligned
+// byte views; element accessors use memcpy (no unaligned-pointer UB).
+#pragma once
+
+#include <array>
+#include <cstring>
+
+#include "core/common.hpp"
+#include "core/stream.hpp"
+
+namespace szx {
+
+inline constexpr std::array<char, 4> kMagic = {'S', 'Z', 'X', '1'};
+inline constexpr std::uint8_t kFormatVersion = 1;
+
+/// Header flags.
+inline constexpr std::uint8_t kFlagRawPassthrough = 0x01;
+
+#pragma pack(push, 1)
+struct Header {
+  std::array<char, 4> magic = kMagic;
+  std::uint8_t version = kFormatVersion;
+  std::uint8_t dtype = 0;
+  std::uint8_t eb_mode = 0;
+  std::uint8_t solution = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t reserved[7] = {0, 0, 0, 0, 0, 0, 0};
+  std::uint32_t block_size = 0;
+  std::uint32_t reserved2 = 0;
+  double error_bound_user = 0.0;  ///< bound as supplied (abs or rel)
+  double error_bound_abs = 0.0;   ///< resolved absolute bound enforced
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_constant = 0;
+  std::uint64_t payload_bytes = 0;
+};
+#pragma pack(pop)
+static_assert(sizeof(Header) == 72);
+
+/// Parses and validates a header; throws szx::Error on any inconsistency.
+inline Header ParseHeader(ByteSpan stream) {
+  if (stream.size() < sizeof(Header)) {
+    throw Error("szx: stream shorter than header");
+  }
+  Header h;
+  std::memcpy(&h, stream.data(), sizeof(Header));
+  if (h.magic != kMagic) {
+    throw Error("szx: bad magic");
+  }
+  if (h.version != kFormatVersion) {
+    throw Error("szx: unsupported format version");
+  }
+  if (h.dtype > 1 || h.eb_mode > 2 || h.solution > 2) {
+    throw Error("szx: corrupt header enums");
+  }
+  if (h.block_size < kMinBlockSize || h.block_size > kMaxBlockSize) {
+    throw Error("szx: corrupt header block size");
+  }
+  if (h.num_elements > 0 &&
+      h.num_blocks != (h.num_elements + h.block_size - 1) / h.block_size) {
+    throw Error("szx: header block count mismatch");
+  }
+  if (h.num_constant > h.num_blocks) {
+    throw Error("szx: header constant count exceeds block count");
+  }
+  return h;
+}
+
+/// Unaligned little-endian load of a trivially copyable value.
+template <typename V>
+inline V LoadAt(ByteSpan section, std::uint64_t index) {
+  V v;
+  std::memcpy(&v, section.data() + index * sizeof(V), sizeof(V));
+  return v;
+}
+
+/// Section views over a parsed stream (zero-copy byte spans).
+template <typename T>
+struct Sections {
+  Header header;
+  ByteSpan type_bits;
+  ByteSpan const_mu;   ///< num_constant values of T
+  ByteSpan ncb_req;    ///< num_nonconstant uint8
+  ByteSpan ncb_mu;     ///< num_nonconstant values of T
+  ByteSpan ncb_zsize;  ///< num_nonconstant uint16
+  ByteSpan payload;
+
+  T ConstMu(std::uint64_t i) const { return LoadAt<T>(const_mu, i); }
+  std::uint8_t Req(std::uint64_t i) const {
+    return std::to_integer<std::uint8_t>(ncb_req[i]);
+  }
+  T NcbMu(std::uint64_t i) const { return LoadAt<T>(ncb_mu, i); }
+  std::uint16_t Zsize(std::uint64_t i) const {
+    return LoadAt<std::uint16_t>(ncb_zsize, i);
+  }
+};
+
+template <typename T>
+inline Sections<T> ParseSections(ByteSpan stream) {
+  Sections<T> s;
+  s.header = ParseHeader(stream);
+  const Header& h = s.header;
+  ByteReader r(stream);
+  r.Slice(sizeof(Header));
+  if (h.flags & kFlagRawPassthrough) {
+    s.payload = r.Slice(h.num_elements * sizeof(T));
+    return s;
+  }
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+  s.type_bits = r.Slice((h.num_blocks + 7) / 8);
+  s.const_mu = r.Slice(h.num_constant * sizeof(T));
+  s.ncb_req = r.Slice(nnc);
+  s.ncb_mu = r.Slice(nnc * sizeof(T));
+  s.ncb_zsize = r.Slice(nnc * 2);
+  s.payload = r.Slice(h.payload_bytes);
+  return s;
+}
+
+/// Bit test on the type array: true iff block k is non-constant.
+inline bool IsNonConstant(ByteSpan type_bits, std::uint64_t k) {
+  return (std::to_integer<unsigned>(type_bits[k >> 3]) >> (k & 7)) & 1u;
+}
+
+inline void SetNonConstant(std::byte* type_bits, std::uint64_t k) {
+  type_bits[k >> 3] |= std::byte{static_cast<std::uint8_t>(1u << (k & 7))};
+}
+
+}  // namespace szx

@@ -1,0 +1,306 @@
+#include "core/omp_codec.hpp"
+
+#include <cstring>
+
+#include "core/block_plan.hpp"
+#include "core/block_stats.hpp"
+#include "core/encode.hpp"
+
+#if defined(SZX_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace szx {
+
+std::vector<std::uint64_t> PrefixSumZsizes(ByteSpan zsize_section,
+                                           std::uint64_t count) {
+  if (zsize_section.size() < count * 2) {
+    throw Error("szx: zsize section shorter than block count");
+  }
+  std::vector<std::uint64_t> offsets(count + 1);
+  std::uint64_t acc = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    offsets[i] = acc;
+    acc += LoadAt<std::uint16_t>(zsize_section, i);
+  }
+  offsets[count] = acc;
+  return offsets;
+}
+
+namespace {
+
+// Private per-thread section fragments.
+template <SupportedFloat T>
+struct SectionFragment {
+  ByteBuffer type_bits;
+  ByteBuffer const_mu;
+  ByteBuffer ncb_req;
+  ByteBuffer ncb_mu;
+  ByteBuffer ncb_zsize;
+  ByteBuffer payload;
+  std::uint64_t num_constant = 0;
+  std::uint64_t num_lossless = 0;
+};
+
+template <SupportedFloat T>
+std::size_t EncodeDispatch(CommitSolution sol, std::span<const T> block, T mu,
+                           const ReqPlan& plan, ByteBuffer& out) {
+  switch (sol) {
+    case CommitSolution::kA:
+      return EncodeBlockA(block, mu, plan, out);
+    case CommitSolution::kB:
+      return EncodeBlockB(block, mu, plan, out);
+    case CommitSolution::kC:
+      return EncodeBlockC(block, mu, plan, out);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+template <SupportedFloat T>
+void DecodeDispatch(CommitSolution sol, ByteSpan payload, T mu,
+                    const ReqPlan& plan, std::span<T> out) {
+  switch (sol) {
+    case CommitSolution::kA:
+      return DecodeBlockA(payload, mu, plan, out);
+    case CommitSolution::kB:
+      return DecodeBlockB(payload, mu, plan, out);
+    case CommitSolution::kC:
+      return DecodeBlockC(payload, mu, plan, out);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+// Compresses blocks [first, last) into a fragment.  `first` must be a
+// multiple of 8 so the fragment's type bits start on a byte boundary.
+template <SupportedFloat T>
+void CompressBlockRange(std::span<const T> data, const Params& params,
+                        double abs_bound, int eb_expo, std::uint64_t first,
+                        std::uint64_t last, SectionFragment<T>& frag) {
+  const std::uint32_t bs = params.block_size;
+  const std::uint64_t n = data.size();
+  frag.type_bits.assign((last - first + 7) / 8, std::byte{0});
+  ByteWriter const_mu_w(frag.const_mu);
+  ByteWriter ncb_mu_w(frag.ncb_mu);
+  ByteWriter zsize_w(frag.ncb_zsize);
+
+  for (std::uint64_t k = first; k < last; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count = std::min<std::uint64_t>(bs, n - begin);
+    const std::span<const T> block = data.subspan(begin, count);
+    const BlockStats<T> st = ComputeBlockStats(block);
+    const BlockDecision<T> d = DecideBlock(block, st, params.mode,
+                                           params.error_bound, abs_bound,
+                                           eb_expo);
+    if (d.is_constant) {
+      ++frag.num_constant;
+      const_mu_w.Write(d.mu);
+      continue;
+    }
+    SetNonConstant(frag.type_bits.data(), k - first);
+    if (d.is_lossless) ++frag.num_lossless;
+    frag.ncb_req.push_back(std::byte{d.plan.req_length});
+    ncb_mu_w.Write(d.mu);
+    const std::size_t zsize =
+        EncodeDispatch(params.solution, block, d.mu, d.plan, frag.payload);
+    zsize_w.Write(static_cast<std::uint16_t>(zsize));
+  }
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
+                       CompressionStats* stats, int num_threads) {
+#if !defined(SZX_HAVE_OPENMP)
+  (void)num_threads;
+  return Compress(data, params, stats);
+#else
+  params.Validate();
+  const double abs_bound = ResolveAbsoluteBound(data, params);
+  const std::uint64_t n = data.size();
+  const std::uint32_t bs = params.block_size;
+  const std::uint64_t num_blocks = n == 0 ? 0 : (n + bs - 1) / bs;
+  const int eb_expo = params.mode == ErrorBoundMode::kPointwiseRelative
+                          ? kLosslessEbExpo
+                          : BoundExponent(abs_bound);
+
+  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  // Each thread needs at least 8 blocks for byte-aligned type bits.
+  const std::uint64_t max_useful =
+      num_blocks == 0 ? 1 : (num_blocks + 7) / 8;
+  if (static_cast<std::uint64_t>(threads) > max_useful) {
+    threads = static_cast<int>(max_useful);
+  }
+  const std::uint64_t chunks = static_cast<std::uint64_t>(threads);
+  // Chunk boundaries in blocks, rounded to multiples of 8.
+  std::vector<std::uint64_t> bounds(chunks + 1, num_blocks);
+  bounds[0] = 0;
+  for (std::uint64_t c = 1; c < chunks; ++c) {
+    std::uint64_t b = num_blocks * c / chunks;
+    b = (b + 7) / 8 * 8;
+    bounds[c] = std::min(b, num_blocks);
+  }
+
+  std::vector<SectionFragment<T>> frags(chunks);
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    if (bounds[c] < bounds[c + 1]) {
+      CompressBlockRange(data, params, abs_bound, eb_expo, bounds[c],
+                         bounds[c + 1], frags[c]);
+    }
+  }
+
+  // Serial concatenation of fragments.
+  std::uint64_t num_constant = 0;
+  std::uint64_t num_lossless = 0;
+  std::uint64_t payload_bytes = 0;
+  std::size_t const_mu_bytes = 0, req_bytes = 0, ncb_mu_bytes = 0,
+              zsize_bytes = 0;
+  for (const auto& f : frags) {
+    num_constant += f.num_constant;
+    num_lossless += f.num_lossless;
+    payload_bytes += f.payload.size();
+    const_mu_bytes += f.const_mu.size();
+    req_bytes += f.ncb_req.size();
+    ncb_mu_bytes += f.ncb_mu.size();
+    zsize_bytes += f.ncb_zsize.size();
+  }
+
+  Header h;
+  h.dtype = static_cast<std::uint8_t>(FloatTraits<T>::kTag);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.solution = static_cast<std::uint8_t>(params.solution);
+  h.block_size = bs;
+  h.error_bound_user = params.error_bound;
+  h.error_bound_abs = abs_bound;
+  h.num_elements = n;
+  h.num_blocks = num_blocks;
+  h.num_constant = num_constant;
+  h.payload_bytes = payload_bytes;
+
+  const std::size_t type_bytes = (num_blocks + 7) / 8;
+  const std::size_t total = sizeof(Header) + type_bytes + const_mu_bytes +
+                            req_bytes + ncb_mu_bytes + zsize_bytes +
+                            payload_bytes;
+
+  ByteBuffer out;
+  if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
+    // Raw passthrough must match the serial compressor byte for byte.
+    return Compress(data, params, stats);
+  }
+  out.reserve(total);
+  ByteWriter w(out);
+  w.Write(h);
+  auto append_all = [&out, &frags](ByteBuffer SectionFragment<T>::*member) {
+    for (const auto& f : frags) {
+      const ByteBuffer& b = f.*member;
+      out.insert(out.end(), b.begin(), b.end());
+    }
+  };
+  append_all(&SectionFragment<T>::type_bits);
+  append_all(&SectionFragment<T>::const_mu);
+  append_all(&SectionFragment<T>::ncb_req);
+  append_all(&SectionFragment<T>::ncb_mu);
+  append_all(&SectionFragment<T>::ncb_zsize);
+  append_all(&SectionFragment<T>::payload);
+
+  if (stats != nullptr) {
+    stats->num_elements = n;
+    stats->num_blocks = num_blocks;
+    stats->num_constant_blocks = num_constant;
+    stats->num_lossless_blocks = num_lossless;
+    stats->payload_bytes = payload_bytes;
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = abs_bound;
+  }
+  return out;
+#endif
+}
+
+template <SupportedFloat T>
+void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
+#if !defined(SZX_HAVE_OPENMP)
+  (void)num_threads;
+  return DecompressInto(stream, out);
+#else
+  const Sections<T> s = ParseSections<T>(stream);
+  const Header& h = s.header;
+  if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
+    throw Error("szx: stream element type mismatch");
+  }
+  if (out.size() != h.num_elements) {
+    throw Error("szx: output buffer size mismatch");
+  }
+  if (h.flags & kFlagRawPassthrough) {
+    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    return;
+  }
+  const auto solution = static_cast<CommitSolution>(h.solution);
+  const std::uint32_t bs = h.block_size;
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+
+  // Per-block metadata indices (the serial scan the paper replaces with a
+  // parallel prefix sum; O(num_blocks) and trivially cheap next to decode).
+  const std::vector<std::uint64_t> offsets = PrefixSumZsizes(s.ncb_zsize, nnc);
+  if (offsets[nnc] != h.payload_bytes) {
+    throw Error("szx: corrupt stream (payload size mismatch)");
+  }
+  std::vector<std::uint64_t> meta_index(h.num_blocks);
+  std::uint64_t ci = 0, nci = 0;
+  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
+    meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
+  }
+  if (ci != h.num_constant || nci != nnc) {
+    throw Error("szx: corrupt stream (type bit counts mismatch)");
+  }
+
+  const int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  // Exceptions must not escape an OpenMP region; latch the first failure.
+  std::exception_ptr failure = nullptr;
+#pragma omp parallel for num_threads(threads) schedule(static)
+  for (std::int64_t k = 0; k < static_cast<std::int64_t>(h.num_blocks); ++k) {
+    try {
+      const std::uint64_t begin = static_cast<std::uint64_t>(k) * bs;
+      const std::uint64_t count =
+          std::min<std::uint64_t>(bs, h.num_elements - begin);
+      std::span<T> block = out.subspan(begin, count);
+      const std::uint64_t idx = meta_index[k];
+      if (!IsNonConstant(s.type_bits, static_cast<std::uint64_t>(k))) {
+        const T mu = s.ConstMu(idx);
+        for (T& v : block) v = mu;
+      } else {
+        const ReqPlan plan = PlanFromReqLength<T>(s.Req(idx));
+        const T mu = s.NcbMu(idx);
+        DecodeDispatch(
+            solution,
+            s.payload.subspan(offsets[idx], offsets[idx + 1] - offsets[idx]),
+            mu, plan, block);
+      }
+    } catch (...) {
+#pragma omp critical
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+#endif
+}
+
+template <SupportedFloat T>
+std::vector<T> DecompressOmp(ByteSpan stream, int num_threads) {
+  const Header h = ParseHeader(stream);
+  std::vector<T> out(h.num_elements);
+  DecompressOmpInto<T>(stream, std::span<T>(out), num_threads);
+  return out;
+}
+
+template ByteBuffer CompressOmp<float>(std::span<const float>, const Params&,
+                                       CompressionStats*, int);
+template ByteBuffer CompressOmp<double>(std::span<const double>,
+                                        const Params&, CompressionStats*,
+                                        int);
+template void DecompressOmpInto<float>(ByteSpan, std::span<float>, int);
+template void DecompressOmpInto<double>(ByteSpan, std::span<double>, int);
+template std::vector<float> DecompressOmp<float>(ByteSpan, int);
+template std::vector<double> DecompressOmp<double>(ByteSpan, int);
+
+}  // namespace szx

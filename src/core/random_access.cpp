@@ -1,0 +1,126 @@
+#include "core/random_access.hpp"
+
+#include <cstring>
+
+#include "core/encode.hpp"
+
+namespace szx {
+namespace {
+
+template <SupportedFloat T>
+void DecodeOneBlock(const Sections<T>& s, CommitSolution solution,
+                    std::uint64_t meta_idx, std::uint64_t payload_offset,
+                    std::span<T> block) {
+  const ReqPlan plan = PlanFromReqLength<T>(s.Req(meta_idx));
+  const T mu = s.NcbMu(meta_idx);
+  const std::uint16_t zsize = s.Zsize(meta_idx);
+  if (payload_offset + zsize > s.payload.size()) {
+    throw Error("szx: corrupt stream (payload overrun)");
+  }
+  ByteSpan pay = s.payload.subspan(payload_offset, zsize);
+  switch (solution) {
+    case CommitSolution::kA:
+      return DecodeBlockA(pay, mu, plan, block);
+    case CommitSolution::kB:
+      return DecodeBlockB(pay, mu, plan, block);
+    case CommitSolution::kC:
+      return DecodeBlockC(pay, mu, plan, block);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+void DecompressRangeInto(ByteSpan stream, std::uint64_t first,
+                         std::span<T> out) {
+  const Sections<T> s = ParseSections<T>(stream);
+  const Header& h = s.header;
+  if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
+    throw Error("szx: stream element type mismatch");
+  }
+  const std::uint64_t count = out.size();
+  if (first > h.num_elements || count > h.num_elements - first) {
+    throw Error("szx: range exceeds stream element count");
+  }
+  if (count == 0) return;
+  if (h.flags & kFlagRawPassthrough) {
+    std::memcpy(out.data(), s.payload.data() + first * sizeof(T),
+                count * sizeof(T));
+    return;
+  }
+  const auto solution = static_cast<CommitSolution>(h.solution);
+  const std::uint32_t bs = h.block_size;
+  const std::uint64_t first_block = first / bs;
+  const std::uint64_t last_block = (first + count - 1) / bs;
+
+  // Index walk: constant index, non-constant index, and payload offset of
+  // the first covered block (O(num_blocks) bit tests + zsize loads; no
+  // payload decoding happens before the range).
+  std::uint64_t const_idx = 0;
+  std::uint64_t ncb_idx = 0;
+  std::uint64_t offset = 0;
+  for (std::uint64_t k = 0; k < first_block; ++k) {
+    if (IsNonConstant(s.type_bits, k)) {
+      offset += s.Zsize(ncb_idx);
+      ++ncb_idx;
+    } else {
+      ++const_idx;
+    }
+  }
+
+  std::vector<T> scratch(bs);
+  for (std::uint64_t k = first_block; k <= last_block; ++k) {
+    const std::uint64_t block_begin = k * bs;
+    const std::uint64_t block_count =
+        std::min<std::uint64_t>(bs, h.num_elements - block_begin);
+    // Intersection of the block with the requested range.
+    const std::uint64_t lo = std::max(first, block_begin);
+    const std::uint64_t hi =
+        std::min(first + count, block_begin + block_count);
+    if (!IsNonConstant(s.type_bits, k)) {
+      if (const_idx >= h.num_constant) {
+        throw Error("szx: corrupt stream (constant block overflow)");
+      }
+      const T mu = s.ConstMu(const_idx++);
+      for (std::uint64_t i = lo; i < hi; ++i) out[i - first] = mu;
+      continue;
+    }
+    if (ncb_idx >= h.num_blocks - h.num_constant) {
+      throw Error("szx: corrupt stream (non-constant block overflow)");
+    }
+    const std::uint16_t zsize = s.Zsize(ncb_idx);
+    if (lo == block_begin && hi == block_begin + block_count) {
+      // Whole block requested: decode straight into the output.
+      DecodeOneBlock(s, solution, ncb_idx, offset,
+                     out.subspan(lo - first, block_count));
+    } else {
+      DecodeOneBlock(s, solution, ncb_idx, offset,
+                     std::span<T>(scratch.data(), block_count));
+      for (std::uint64_t i = lo; i < hi; ++i) {
+        out[i - first] = scratch[i - block_begin];
+      }
+    }
+    offset += zsize;
+    ++ncb_idx;
+  }
+}
+
+template <SupportedFloat T>
+std::vector<T> DecompressRange(ByteSpan stream, std::uint64_t first,
+                               std::uint64_t count) {
+  std::vector<T> out(count);
+  DecompressRangeInto<T>(stream, first, std::span<T>(out));
+  return out;
+}
+
+template void DecompressRangeInto<float>(ByteSpan, std::uint64_t,
+                                         std::span<float>);
+template void DecompressRangeInto<double>(ByteSpan, std::uint64_t,
+                                          std::span<double>);
+template std::vector<float> DecompressRange<float>(ByteSpan, std::uint64_t,
+                                                   std::uint64_t);
+template std::vector<double> DecompressRange<double>(ByteSpan, std::uint64_t,
+                                                     std::uint64_t);
+
+}  // namespace szx

@@ -1,0 +1,27 @@
+// Random access into a compressed stream: decompress only the blocks
+// covering an element range, without touching the rest of the payload.
+// This is the capability the per-block zsize array buys beyond parallel
+// decompression (Sec. 6.1): offsets of all blocks are recoverable with one
+// prefix sum, so any sub-range costs O(num_blocks) index work plus decode
+// of the covered blocks only.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace szx {
+
+/// Decompresses elements [first, first + count) into `out` (which must
+/// hold exactly `count` values).  Throws szx::Error if the range exceeds
+/// the stream's element count or the stream is corrupt.
+template <SupportedFloat T>
+void DecompressRangeInto(ByteSpan stream, std::uint64_t first,
+                         std::span<T> out);
+
+template <SupportedFloat T>
+std::vector<T> DecompressRange(ByteSpan stream, std::uint64_t first,
+                               std::uint64_t count);
+
+}  // namespace szx

@@ -1,0 +1,99 @@
+#include "core/streaming.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace szx {
+namespace {
+
+constexpr std::array<char, 4> kStreamMagic = {'S', 'Z', 'X', 'S'};
+constexpr std::uint8_t kStreamVersion = 1;
+constexpr std::size_t kContainerHeader = 8;
+constexpr std::size_t kFrameHeader = 16;
+
+}  // namespace
+
+std::uint64_t Fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : data) {
+    h = (h ^ std::to_integer<std::uint8_t>(b)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <SupportedFloat T>
+StreamWriter<T>::StreamWriter(const Params& params) : params_(params) {
+  params_.Validate();
+  ByteWriter w(buffer_);
+  w.WriteBytes(kStreamMagic.data(), 4);
+  w.Write(kStreamVersion);
+  w.Write(static_cast<std::uint8_t>(FloatTraits<T>::kTag));
+  w.Write(std::uint16_t{0});
+}
+
+template <SupportedFloat T>
+void StreamWriter<T>::Append(std::span<const T> chunk) {
+  const ByteBuffer frame = Compress<T>(chunk, params_);
+  ByteWriter w(buffer_);
+  w.Write(static_cast<std::uint64_t>(frame.size()));
+  w.Write(Fnv1a64(frame));
+  buffer_.insert(buffer_.end(), frame.begin(), frame.end());
+  ++frames_;
+  raw_bytes_ += chunk.size_bytes();
+}
+
+template <SupportedFloat T>
+ByteBuffer StreamWriter<T>::Finish() && {
+  return std::move(buffer_);
+}
+
+template <SupportedFloat T>
+StreamReader<T>::StreamReader(ByteSpan container) : container_(container) {
+  if (container.size() < kContainerHeader ||
+      std::memcmp(container.data(), kStreamMagic.data(), 4) != 0) {
+    throw Error("szx stream: bad container magic");
+  }
+  if (std::to_integer<std::uint8_t>(container[4]) != kStreamVersion) {
+    throw Error("szx stream: unsupported container version");
+  }
+  if (std::to_integer<std::uint8_t>(container[5]) !=
+      static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
+    throw Error("szx stream: element type mismatch");
+  }
+  pos_ = kContainerHeader;
+}
+
+template <SupportedFloat T>
+bool StreamReader<T>::Next(std::vector<T>& out) {
+  if (pos_ == container_.size()) {
+    return false;
+  }
+  if (container_.size() - pos_ < kFrameHeader) {
+    throw Error("szx stream: truncated frame header");
+  }
+  std::uint64_t frame_bytes = 0;
+  std::uint64_t checksum = 0;
+  std::memcpy(&frame_bytes, container_.data() + pos_, 8);
+  std::memcpy(&checksum, container_.data() + pos_ + 8, 8);
+  pos_ += kFrameHeader;
+  if (container_.size() - pos_ < frame_bytes) {
+    throw Error("szx stream: truncated frame payload");
+  }
+  ByteSpan frame = container_.subspan(pos_, frame_bytes);
+  pos_ += frame_bytes;
+  if (Fnv1a64(frame) != checksum) {
+    throw Error("szx stream: frame checksum mismatch");
+  }
+  const Header h = PeekHeader(frame);
+  out.resize(h.num_elements);
+  DecompressInto<T>(frame, out);
+  ++frames_read_;
+  return true;
+}
+
+template class StreamWriter<float>;
+template class StreamWriter<double>;
+template class StreamReader<float>;
+template class StreamReader<double>;
+
+}  // namespace szx

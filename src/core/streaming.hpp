@@ -1,0 +1,65 @@
+// Streaming frame container: compress an unbounded sequence of chunks
+// (detector frames, simulation timesteps) with bounded memory -- the
+// paper's online-instrument use case (Sec. 1, LCLS-II).
+//
+// Container layout:
+//   "SZXS" | u8 version | u8 dtype | u16 reserved
+//   per frame: u64 frame_bytes | u64 fnv1a(frame) | SZx stream
+//
+// Each frame is an independent SZx stream, so a corrupted frame is
+// detected (checksum) and later frames remain decodable after a reader
+// resynchronizes on the recorded sizes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace szx {
+
+/// FNV-1a content hash used by the frame checksums.
+std::uint64_t Fnv1a64(ByteSpan data);
+
+template <SupportedFloat T>
+class StreamWriter {
+ public:
+  explicit StreamWriter(const Params& params);
+
+  /// Compresses one chunk and appends it as a frame.
+  void Append(std::span<const T> chunk);
+
+  /// Returns the finished container (writer stays reusable afterwards
+  /// only via a new instance).
+  ByteBuffer Finish() &&;
+
+  std::uint64_t frames() const { return frames_; }
+  std::uint64_t raw_bytes() const { return raw_bytes_; }
+  std::uint64_t compressed_bytes() const { return buffer_.size(); }
+
+ private:
+  Params params_;
+  ByteBuffer buffer_;
+  std::uint64_t frames_ = 0;
+  std::uint64_t raw_bytes_ = 0;
+};
+
+template <SupportedFloat T>
+class StreamReader {
+ public:
+  /// Validates the container header; throws szx::Error on mismatch.
+  explicit StreamReader(ByteSpan container);
+
+  /// Decompresses the next frame into `out`.  Returns false cleanly at
+  /// end of container; throws on truncation or checksum mismatch.
+  bool Next(std::vector<T>& out);
+
+  std::uint64_t frames_read() const { return frames_read_; }
+
+ private:
+  ByteSpan container_;
+  std::size_t pos_ = 0;
+  std::uint64_t frames_read_ = 0;
+};
+
+}  // namespace szx

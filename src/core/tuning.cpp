@@ -1,0 +1,99 @@
+#include "core/tuning.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace szx {
+namespace {
+
+constexpr std::array<std::uint32_t, 6> kDefaultCandidates = {8,  16, 32,
+                                                             64, 128, 256};
+
+// Gathers an evenly spaced sample of whole stripes so the sample preserves
+// local block statistics (random gather would destroy smoothness).
+template <SupportedFloat T>
+std::vector<T> SampleStripes(std::span<const T> data,
+                             std::size_t sample_elems,
+                             std::size_t stripe_elems) {
+  if (data.size() <= sample_elems) {
+    return std::vector<T>(data.begin(), data.end());
+  }
+  const std::size_t stripes =
+      std::max<std::size_t>(1, sample_elems / stripe_elems);
+  const std::size_t stride = data.size() / stripes;
+  std::vector<T> sample;
+  sample.reserve(stripes * stripe_elems);
+  for (std::size_t s = 0; s < stripes; ++s) {
+    const std::size_t begin = s * stride;
+    const std::size_t count =
+        std::min(stripe_elems, data.size() - begin);
+    sample.insert(sample.end(), data.begin() + begin,
+                  data.begin() + begin + count);
+  }
+  return sample;
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+std::vector<BlockSizeChoice> SweepBlockSizes(
+    std::span<const T> data, const Params& base,
+    std::span<const std::uint32_t> candidates, std::size_t sample_elems) {
+  base.Validate();
+  std::span<const std::uint32_t> cands =
+      candidates.empty() ? std::span<const std::uint32_t>(kDefaultCandidates)
+                         : candidates;
+  // Stripes must cover several blocks of the largest candidate.
+  const std::uint32_t max_candidate =
+      *std::max_element(cands.begin(), cands.end());
+  const std::vector<T> sample =
+      SampleStripes(data, sample_elems, std::size_t{max_candidate} * 8);
+
+  std::vector<BlockSizeChoice> out;
+  out.reserve(cands.size());
+  for (const std::uint32_t bs : cands) {
+    Params p = base;
+    p.block_size = bs;
+    p.Validate();
+    CompressionStats stats;
+    Compress<T>(sample, p, &stats);
+    out.push_back({bs, stats.CompressionRatio(sizeof(T))});
+  }
+  return out;
+}
+
+template <SupportedFloat T>
+BlockSizeChoice ChooseBlockSize(std::span<const T> data, const Params& base,
+                                std::span<const std::uint32_t> candidates,
+                                std::size_t sample_elems, double tolerance) {
+  const auto sweep = SweepBlockSizes(data, base, candidates, sample_elems);
+  if (sweep.empty()) {
+    throw Error("szx: no block size candidates");
+  }
+  double best = 0.0;
+  for (const auto& c : sweep) best = std::max(best, c.sampled_ratio);
+  // Smallest candidate within tolerance of the best (candidates are
+  // scanned in the given order; defaults are ascending).
+  for (const auto& c : sweep) {
+    if (c.sampled_ratio >= best * (1.0 - tolerance)) {
+      return c;
+    }
+  }
+  return sweep.back();
+}
+
+template std::vector<BlockSizeChoice> SweepBlockSizes<float>(
+    std::span<const float>, const Params&, std::span<const std::uint32_t>,
+    std::size_t);
+template std::vector<BlockSizeChoice> SweepBlockSizes<double>(
+    std::span<const double>, const Params&, std::span<const std::uint32_t>,
+    std::size_t);
+template BlockSizeChoice ChooseBlockSize<float>(std::span<const float>,
+                                                const Params&,
+                                                std::span<const std::uint32_t>,
+                                                std::size_t, double);
+template BlockSizeChoice ChooseBlockSize<double>(
+    std::span<const double>, const Params&, std::span<const std::uint32_t>,
+    std::size_t, double);
+
+}  // namespace szx

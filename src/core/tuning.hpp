@@ -1,0 +1,40 @@
+// Block-size auto-tuning: operationalizes the paper's Sec. 5.3 study.
+// The best block size balances impact factors A/B/C (constant-block
+// coverage vs per-block mu overhead vs per-block radius); 128 is the
+// paper's default, but sparse or rough fields can prefer other settings.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace szx {
+
+struct BlockSizeChoice {
+  std::uint32_t block_size = 0;
+  double sampled_ratio = 0.0;  ///< CR measured on the sample at that size
+};
+
+/// Compresses an evenly spaced sample of `data` (about `sample_elems`
+/// values) at each candidate block size and returns the smallest candidate
+/// whose sampled ratio is within `tolerance` of the best.  Preferring the
+/// smallest near-optimal size follows the paper's observation that smaller
+/// blocks give better GPU performance at equal accuracy (Sec. 5.3).
+///
+/// Default candidates are the paper's sweep {8, 16, 32, 64, 128, 256}.
+template <SupportedFloat T>
+BlockSizeChoice ChooseBlockSize(
+    std::span<const T> data, const Params& base,
+    std::span<const std::uint32_t> candidates = {},
+    std::size_t sample_elems = std::size_t{1} << 18,
+    double tolerance = 0.02);
+
+/// Per-candidate sampled ratios (the full curve, for reporting).
+template <SupportedFloat T>
+std::vector<BlockSizeChoice> SweepBlockSizes(
+    std::span<const T> data, const Params& base,
+    std::span<const std::uint32_t> candidates = {},
+    std::size_t sample_elems = std::size_t{1} << 18);
+
+}  // namespace szx

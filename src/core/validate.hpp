@@ -1,0 +1,26 @@
+// Stream validation without reconstruction: structural checks over every
+// section plus (optionally) a full decode into scratch.  Lets ingestion
+// pipelines reject corrupt streams before committing them to storage.
+#pragma once
+
+#include <string>
+
+#include "core/compressor.hpp"
+
+namespace szx {
+
+struct ValidationReport {
+  bool ok = false;
+  std::string error;  ///< empty when ok
+  Header header;
+  std::uint64_t payload_bytes_walked = 0;
+};
+
+/// Structural validation: header invariants, section extents, type-bit
+/// counts, required lengths, zsize sum.  With `deep` set, additionally
+/// decodes every block into scratch (catches payload-level truncation the
+/// structure cannot see).  Never throws; failures land in the report.
+template <SupportedFloat T>
+ValidationReport ValidateStream(ByteSpan stream, bool deep = false);
+
+}  // namespace szx

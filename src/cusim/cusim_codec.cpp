@@ -1,0 +1,339 @@
+#include "cusim/cusim_codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "core/block_plan.hpp"
+#include "core/block_stats.hpp"
+#include "core/encode.hpp"
+#include "cusim/warp_ops.hpp"
+
+namespace szx::cusim {
+namespace {
+
+// Lockstep parallel min/max/finiteness reduction over lane values, the
+// warp-collective the compression kernel opens with.
+template <SupportedFloat T>
+BlockStats<T> ParallelBlockStats(std::span<const T> block,
+                                 KernelCounters* counters) {
+  const std::size_t n = block.size();
+  std::vector<T> mins(block.begin(), block.end());
+  std::vector<T> maxs(block.begin(), block.end());
+  std::vector<std::uint8_t> fin(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fin[i] = std::isfinite(block[i]) ? 1 : 0;
+  }
+  for (std::size_t stride = (n + 1) / 2, width = n; width > 1;
+       width = stride, stride = (stride + 1) / 2) {
+    // Each lane i < stride folds lane i + stride (tree reduction round).
+    for (std::size_t i = 0; i + stride < width; ++i) {
+      const T a = mins[i + stride];
+      const T b = maxs[i + stride];
+      if (a < mins[i]) mins[i] = a;
+      if (b > maxs[i]) maxs[i] = b;
+      fin[i] &= fin[i + stride];
+    }
+    if (counters != nullptr) ++counters->reduction_rounds;
+    if (stride == width) break;  // width == 1 handled by loop condition
+  }
+  if (!fin[0]) {
+    // Match the serial scalar path exactly for non-finite blocks.
+    return ComputeBlockStatsScalar(block);
+  }
+  // Finalization (mu/radius) must match the serial code bit for bit; feed
+  // the reduced extremes through the same scalar finalizer.
+  const T two[2] = {mins[0], maxs[0]};
+  return ComputeBlockStatsScalar(std::span<const T>(two, 2));
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
+                        CompressionStats* stats, KernelCounters* counters) {
+  params.Validate();
+  if (params.solution != CommitSolution::kC) {
+    throw Error("cusim: the GPU kernels implement Solution C only");
+  }
+  const double abs_bound = ResolveAbsoluteBound(data, params);
+  const std::uint64_t n = data.size();
+  const std::uint32_t bs = params.block_size;
+  const std::uint64_t num_blocks = n == 0 ? 0 : (n + bs - 1) / bs;
+  const int eb_expo = params.mode == ErrorBoundMode::kPointwiseRelative
+                          ? kLosslessEbExpo
+                          : BoundExponent(abs_bound);
+
+  using Bits = typename FloatTraits<T>::Bits;
+  ByteBuffer type_bits((num_blocks + 7) / 8, std::byte{0});
+  ByteBuffer const_mu, ncb_req, ncb_mu, ncb_zsize, payload;
+  ByteWriter const_mu_w(const_mu);
+  ByteWriter ncb_mu_w(ncb_mu);
+  ByteWriter zsize_w(ncb_zsize);
+  std::uint64_t num_constant = 0;
+  std::uint64_t num_lossless = 0;
+
+  std::vector<std::uint32_t> midcount;
+  std::vector<Bits> trunc;
+  std::vector<std::uint8_t> leads;
+
+  for (std::uint64_t k = 0; k < num_blocks; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count = std::min<std::uint64_t>(bs, n - begin);
+    const std::span<const T> block = data.subspan(begin, count);
+    const BlockStats<T> st = ParallelBlockStats(block, counters);
+    const BlockDecision<T> dec = DecideBlock(block, st, params.mode,
+                                             params.error_bound, abs_bound,
+                                             eb_expo);
+    if (dec.is_constant) {
+      ++num_constant;
+      const_mu_w.Write(dec.mu);
+      continue;
+    }
+    SetNonConstant(type_bits.data(), k);
+    if (dec.is_lossless) ++num_lossless;
+    const ReqPlan plan = dec.plan;
+    const T mu = dec.mu;
+    ncb_req.push_back(std::byte{plan.req_length});
+    ncb_mu_w.Write(mu);
+
+    const int nb = plan.num_bytes;
+    const int s = plan.shift;
+    const Bits keep = KeepMask<T>(nb);
+    trunc.assign(count, Bits{0});
+    leads.assign(count, 0);
+    midcount.assign(count, 0);
+    // Lane phase: every lane reads its own and its predecessor's *input*
+    // value (dependency depth 1 -> no serialization, paper Solution 2).
+    auto trunc_of = [&](std::uint64_t i) -> Bits {
+      const T v = block[i];
+      const Bits bits =
+          mu == T(0)
+              ? std::bit_cast<Bits>(v)
+              : std::bit_cast<Bits>(static_cast<T>(v - mu));
+      return static_cast<Bits>((bits >> s) & keep);
+    };
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const Bits t = trunc_of(i);
+      const Bits prev = i == 0 ? Bits{0} : trunc_of(i - 1);
+      const int lead = LeadingIdenticalBytes<T>(t, prev);
+      const int copy = lead < nb ? lead : nb;
+      trunc[i] = t;
+      leads[i] = static_cast<std::uint8_t>(lead);
+      midcount[i] = static_cast<std::uint32_t>(nb - copy);
+    }
+    if (counters != nullptr) {
+      counters->lane_ops += count * 12;
+      counters->bytes_moved += count * sizeof(T);
+    }
+    // Scan phase (Solution 1): scatter offsets for the mid bytes.
+    const std::uint32_t total_mid = ExclusiveScan(std::span(midcount));
+    if (counters != nullptr && count > 1) {
+      counters->scan_rounds +=
+          static_cast<std::uint64_t>(std::bit_width(count - 1));
+    }
+
+    // Commit phase: lead codes and scattered mid bytes.
+    const std::size_t lead_bytes = LeadArrayBytes(count);
+    const std::size_t block_payload = lead_bytes + total_mid;
+    const std::size_t base_off = payload.size();
+    payload.resize(base_off + block_payload, std::byte{0});
+    std::byte* lead_dst = payload.data() + base_off;
+    std::byte* mid_dst = lead_dst + lead_bytes;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const int shift2 = 6 - 2 * static_cast<int>(i & 3);
+      lead_dst[i >> 2] |= std::byte{
+          static_cast<std::uint8_t>(leads[i] << shift2)};
+      // After the exclusive scan, midcount[i] holds lane i's scatter offset.
+      const int copy = std::min<int>(leads[i], nb);
+      std::byte* at = mid_dst + midcount[i];
+      for (int j = copy; j < nb; ++j) {
+        *at++ = std::byte{TopByte<T>(trunc[i], j)};
+      }
+    }
+    if (counters != nullptr) counters->bytes_moved += block_payload;
+    zsize_w.Write(static_cast<std::uint16_t>(block_payload));
+  }
+
+  Header h;
+  h.dtype = static_cast<std::uint8_t>(FloatTraits<T>::kTag);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.solution = static_cast<std::uint8_t>(params.solution);
+  h.block_size = bs;
+  h.error_bound_user = params.error_bound;
+  h.error_bound_abs = abs_bound;
+  h.num_elements = n;
+  h.num_blocks = num_blocks;
+  h.num_constant = num_constant;
+  h.payload_bytes = payload.size();
+
+  const std::size_t total = sizeof(Header) + type_bits.size() +
+                            const_mu.size() + ncb_req.size() + ncb_mu.size() +
+                            ncb_zsize.size() + payload.size();
+  ByteBuffer out;
+  if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
+    // Raw passthrough identical to the serial compressor's.
+    return Compress(data, params, stats);
+  }
+  out.reserve(total);
+  ByteWriter w(out);
+  w.Write(h);
+  out.insert(out.end(), type_bits.begin(), type_bits.end());
+  out.insert(out.end(), const_mu.begin(), const_mu.end());
+  out.insert(out.end(), ncb_req.begin(), ncb_req.end());
+  out.insert(out.end(), ncb_mu.begin(), ncb_mu.end());
+  out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+
+  if (stats != nullptr) {
+    stats->num_elements = n;
+    stats->num_blocks = num_blocks;
+    stats->num_constant_blocks = num_constant;
+    stats->num_lossless_blocks = num_lossless;
+    stats->payload_bytes = payload.size();
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = abs_bound;
+  }
+  if (counters != nullptr) counters->elements += n;
+  return out;
+}
+
+template <SupportedFloat T>
+std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const Sections<T> s = ParseSections<T>(stream);
+  const Header& h = s.header;
+  if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
+    throw Error("cusim: stream element type mismatch");
+  }
+  std::vector<T> out(h.num_elements);
+  if (h.flags & kFlagRawPassthrough) {
+    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    return out;
+  }
+  if (static_cast<CommitSolution>(h.solution) != CommitSolution::kC) {
+    throw Error("cusim: the GPU kernels implement Solution C only");
+  }
+  const std::uint32_t bs = h.block_size;
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+  std::vector<std::uint64_t> offsets(nnc + 1, 0);
+  {
+    // Grid-level zsize prefix sum.
+    std::vector<std::uint32_t> z(nnc);
+    for (std::uint64_t i = 0; i < nnc; ++i) z[i] = s.Zsize(i);
+    const std::uint32_t total = ExclusiveScan(std::span(z));
+    for (std::uint64_t i = 0; i < nnc; ++i) offsets[i] = z[i];
+    offsets[nnc] = total;
+    if (counters != nullptr && nnc > 1) {
+      counters->scan_rounds +=
+          static_cast<std::uint64_t>(std::bit_width(nnc - 1));
+    }
+  }
+  if (offsets[nnc] != h.payload_bytes) {
+    throw Error("cusim: corrupt stream (payload size mismatch)");
+  }
+
+  std::vector<std::uint64_t> meta_index(h.num_blocks);
+  std::uint64_t ci = 0, nci = 0;
+  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
+    meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
+  }
+  if (ci != h.num_constant || nci != nnc) {
+    throw Error("cusim: corrupt stream (type bit counts mismatch)");
+  }
+
+  std::vector<std::uint32_t> copies, midcount, chain;
+  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count =
+        std::min<std::uint64_t>(bs, h.num_elements - begin);
+    std::span<T> block(out.data() + begin, count);
+    const std::uint64_t idx = meta_index[k];
+    if (!IsNonConstant(s.type_bits, k)) {
+      const T mu = s.ConstMu(idx);
+      for (T& v : block) v = mu;
+      continue;
+    }
+    const ReqPlan plan = PlanFromReqLength<T>(s.Req(idx));
+    const T mu = s.NcbMu(idx);
+    const std::uint64_t off = offsets[idx];
+    const std::uint64_t zsize = offsets[idx + 1] - off;
+    ByteSpan pay = s.payload.subspan(off, zsize);
+    const std::size_t lead_bytes = LeadArrayBytes(count);
+    if (pay.size() < lead_bytes) {
+      throw Error("cusim: truncated block payload");
+    }
+    const std::byte* lead = pay.data();
+    ByteSpan mid = pay.subspan(lead_bytes);
+    const int nb = plan.num_bytes;
+
+    // Lane phase 1: lead codes -> per-lane mid counts.
+    copies.assign(count, 0);
+    midcount.assign(count, 0);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const int shift2 = 6 - 2 * static_cast<int>(i & 3);
+      const unsigned code =
+          (std::to_integer<unsigned>(lead[i >> 2]) >> shift2) & 3u;
+      const int copy = static_cast<int>(code) < nb ? static_cast<int>(code)
+                                                   : nb;
+      copies[i] = static_cast<std::uint32_t>(copy);
+      midcount[i] = static_cast<std::uint32_t>(nb - copy);
+    }
+    // Lane phase 2: scatter offsets (Solution 1).
+    const std::uint32_t total_mid = ExclusiveScan(std::span(midcount));
+    if (total_mid != mid.size()) {
+      throw Error("cusim: corrupt block payload size");
+    }
+    if (counters != nullptr && count > 1) {
+      counters->scan_rounds +=
+          static_cast<std::uint64_t>(std::bit_width(count - 1));
+    }
+
+    // Lane phase 3: per byte position, resolve dependence chains with the
+    // index propagation of Fig. 11, then read every byte hazard-free.
+    std::vector<Bits> words(count, Bits{0});
+    chain.resize(count);
+    for (int j = 0; j < nb; ++j) {
+      for (std::uint64_t i = 0; i < count; ++i) {
+        chain[i] = j >= static_cast<int>(copies[i])
+                       ? static_cast<std::uint32_t>(i + 1)
+                       : 0u;
+      }
+      IndexPropagate(std::span(chain.data(), count));
+      if (counters != nullptr && count > 1) {
+        counters->propagate_rounds +=
+            static_cast<std::uint64_t>(std::bit_width(count - 1));
+      }
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (chain[i] == 0) continue;  // rooted at the virtual zero word
+        const std::uint64_t src = chain[i] - 1;
+        const std::uint64_t pos =
+            midcount[src] + (static_cast<std::uint32_t>(j) - copies[src]);
+        words[i] |= PlaceTopByte<T>(
+            std::to_integer<std::uint8_t>(mid[pos]), j);
+      }
+    }
+    // Lane phase 4: left shift + de-normalize.
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const T v = std::bit_cast<T>(static_cast<Bits>(words[i] << plan.shift));
+      block[i] = mu == T(0) ? v : static_cast<T>(v + mu);
+    }
+    if (counters != nullptr) {
+      counters->lane_ops += count * (8 + 4 * nb);
+      counters->bytes_moved += zsize + count * sizeof(T);
+    }
+  }
+  if (counters != nullptr) counters->elements += h.num_elements;
+  return out;
+}
+
+template ByteBuffer CompressCuda<float>(std::span<const float>, const Params&,
+                                        CompressionStats*, KernelCounters*);
+template ByteBuffer CompressCuda<double>(std::span<const double>,
+                                         const Params&, CompressionStats*,
+                                         KernelCounters*);
+template std::vector<float> DecompressCuda<float>(ByteSpan, KernelCounters*);
+template std::vector<double> DecompressCuda<double>(ByteSpan,
+                                                    KernelCounters*);
+
+}  // namespace szx::cusim

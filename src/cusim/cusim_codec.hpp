@@ -1,0 +1,43 @@
+// cuSZx on the CPU: a faithful port of the paper's GPU compression and
+// decompression kernels (Sec. 6.2).  Each data block is processed as a
+// "thread block" of lockstep lanes: parallel min/max reduction, per-lane
+// truncation and lead-code computation (dependency depth 1 on the original
+// input, Solution 2), an exclusive prefix scan for mid-byte scatter offsets
+// (Solution 1), and -- on decompression -- the index-propagation
+// dependence-chain resolver of Fig. 11.
+//
+// Streams are byte-identical to szx::Compress with CommitSolution::kC, and
+// reconstructions are bit-identical to szx::Decompress, which is the
+// correctness argument the tests enforce.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace szx::cusim {
+
+/// Per-run counters used by the device throughput model (Figs. 14-15).
+struct KernelCounters {
+  std::uint64_t elements = 0;
+  std::uint64_t reduction_rounds = 0;   ///< min/max tree rounds
+  std::uint64_t scan_rounds = 0;        ///< prefix-scan shuffle rounds
+  std::uint64_t propagate_rounds = 0;   ///< index-propagation rounds
+  std::uint64_t lane_ops = 0;           ///< per-lane arithmetic/bitwise ops
+  std::uint64_t bytes_moved = 0;        ///< global-memory traffic estimate
+};
+
+/// Compresses with the GPU kernel schedule (Solution C only).
+/// `params.solution` must be kC; anything else throws.
+template <SupportedFloat T>
+ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
+                        CompressionStats* stats = nullptr,
+                        KernelCounters* counters = nullptr);
+
+/// Decompresses any Solution-C SZx stream with the GPU kernel schedule.
+template <SupportedFloat T>
+std::vector<T> DecompressCuda(ByteSpan stream,
+                              KernelCounters* counters = nullptr);
+
+}  // namespace szx::cusim

@@ -1,0 +1,47 @@
+// Analytical GPU throughput model for the Fig. 14/15 reproduction.
+//
+// The machine in this reproduction has no GPU, so absolute GB/s cannot be
+// measured; instead each compressor is charged its real operation mix on a
+// roofline model of the paper's two devices (A100/V100), with a
+// serialization factor capturing how GPU-unfriendly its irregular stages
+// are (Huffman coding for cuSZ, bit-plane stream serialization for cuZFP --
+// the effects the paper names in Sec. 7.2).  Parameters are documented
+// here and in EXPERIMENTS.md; shapes, not absolute numbers, are the
+// reproduction target.
+#pragma once
+
+#include <string>
+
+#include "cusim/cusim_codec.hpp"
+
+namespace szx::cusim {
+
+struct GpuSpec {
+  std::string name;
+  double mem_bw_gbps;      ///< HBM bandwidth (GB/s)
+  double int_tops;         ///< integer/logic throughput (Tera-ops/s)
+  double kernel_overhead_us;
+};
+
+GpuSpec A100();  ///< ThetaGPU: 108 SMs, 1555 GB/s HBM2e
+GpuSpec V100();  ///< Summit:    80 SMs,  900 GB/s HBM2
+
+/// Per-element cost profile of one compressor stage.
+struct KernelProfile {
+  double ops_per_elem;       ///< lane arithmetic/bitwise ops
+  double bytes_per_elem;     ///< global memory traffic
+  double parallel_fraction;  ///< Amdahl fraction that parallelizes
+};
+
+/// Profiles for the three GPU compressors, derived from the measured
+/// kernel counters of this repo's implementations (see fig14 bench).
+KernelProfile CuszxCompressProfile(const KernelCounters& c);
+KernelProfile CuszxDecompressProfile(const KernelCounters& c);
+KernelProfile CuszProfile(bool decompress);   ///< dual-quant + Huffman
+KernelProfile CuzfpProfile(bool decompress);  ///< transform + bit planes
+
+/// Modeled end-to-end throughput in GB/s of input processed.
+double ModelThroughputGBps(const GpuSpec& gpu, const KernelProfile& profile,
+                           double input_gb);
+
+}  // namespace szx::cusim

@@ -1,0 +1,210 @@
+#include "cusim/kernel_harness.hpp"
+
+#include <ucontext.h>
+
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace szx::cusim {
+namespace {
+
+enum class FiberState : std::uint8_t {
+  kReady,
+  kAtBarrier,
+  kDone,
+};
+
+struct SharedAlloc {
+  std::size_t offset = 0;
+  std::size_t bytes = 0;
+  std::size_t align = 0;
+};
+
+struct Fiber {
+  ucontext_t ctx{};
+  std::vector<char> stack;
+  FiberState state = FiberState::kReady;
+  ThreadCtx thread_ctx;
+  std::size_t alloc_index = 0;  // position in the shared-alloc sequence
+};
+
+struct BlockRun {
+  ucontext_t scheduler{};
+  std::vector<Fiber> fibers;
+  std::vector<std::byte> shared;
+  std::size_t shared_used = 0;
+  std::vector<SharedAlloc> allocs;
+  const KernelFn* kernel = nullptr;
+  std::exception_ptr failure;
+  unsigned current = 0;
+};
+
+// ucontext trampolines cannot carry pointers portably through makecontext's
+// int varargs; the harness is single-threaded per block, so a thread_local
+// current-run pointer is sufficient (and keeps the harness reentrant
+// across host threads).
+thread_local BlockRun* t_run = nullptr;
+
+void FiberMain() {
+  BlockRun* run = t_run;
+  Fiber& fiber = run->fibers[run->current];
+  try {
+    (*run->kernel)(fiber.thread_ctx);
+  } catch (...) {
+    if (run->failure == nullptr) {
+      run->failure = std::current_exception();
+    }
+  }
+  fiber.state = FiberState::kDone;
+  swapcontext(&fiber.ctx, &run->scheduler);
+  // Unreachable: a done fiber is never resumed.
+}
+
+}  // namespace
+
+struct ThreadCtx::Impl {
+  BlockRun* run = nullptr;
+  unsigned fiber_index = 0;
+};
+
+void ThreadCtx::Sync() {
+  BlockRun* run = impl_->run;
+  Fiber& fiber = run->fibers[impl_->fiber_index];
+  fiber.state = FiberState::kAtBarrier;
+  swapcontext(&fiber.ctx, &run->scheduler);
+  // Resumed: the barrier released (scheduler set state back to kReady).
+}
+
+void* ThreadCtx::SharedRaw(std::size_t bytes, std::size_t align) {
+  BlockRun* run = impl_->run;
+  Fiber& fiber = run->fibers[impl_->fiber_index];
+  const std::size_t index = fiber.alloc_index++;
+  if (index < run->allocs.size()) {
+    // Another thread already performed this allocation; the sequences
+    // must match (CUDA static-shared-declaration discipline).
+    const SharedAlloc& a = run->allocs[index];
+    if (a.bytes != bytes || a.align != align) {
+      throw KernelError(
+          "cusim: divergent Shared() allocation sequences across threads");
+    }
+    return run->shared.data() + a.offset;
+  }
+  std::size_t offset = (run->shared_used + align - 1) / align * align;
+  if (offset + bytes > run->shared.size()) {
+    throw KernelError("cusim: shared memory arena exhausted (" +
+                      std::to_string(run->shared.size()) + " bytes)");
+  }
+  run->allocs.push_back({offset, bytes, align});
+  run->shared_used = offset + bytes;
+  return run->shared.data() + offset;
+}
+
+// swapcontext has setjmp-like semantics, so GCC conservatively warns that
+// locals "might be clobbered" across it.  The fiber-setup locals are dead
+// before the first swapcontext (scoped in a lambda) and the scheduler's
+// loop state is re-read each iteration; the behaviour is fully covered by
+// the kernel-harness test suite.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wclobbered"
+
+void LaunchKernel(const LaunchConfig& config, const KernelFn& kernel) {
+  const unsigned threads = config.block.Count();
+  if (threads == 0 || threads > kMaxBlockThreads) {
+    throw KernelError("cusim: block size must be in [1, " +
+                      std::to_string(kMaxBlockThreads) + "]");
+  }
+  if (config.grid.Count() == 0) {
+    throw KernelError("cusim: empty grid");
+  }
+
+  for (unsigned bz = 0; bz < config.grid.z; ++bz) {
+    for (unsigned by = 0; by < config.grid.y; ++by) {
+      for (unsigned bx = 0; bx < config.grid.x; ++bx) {
+        BlockRun run;
+        run.kernel = &kernel;
+        run.shared.assign(config.shared_bytes, std::byte{0});
+        run.fibers.resize(threads);
+        std::vector<ThreadCtx::Impl> impls(threads);
+
+        // Fiber setup lives in an immediately-invoked lambda so no local
+        // of this frame is live across the swapcontext calls below
+        // (swapcontext has setjmp-like clobbering semantics).
+        [&] {
+          unsigned lane = 0;
+          for (unsigned tz = 0; tz < config.block.z; ++tz) {
+            for (unsigned ty = 0; ty < config.block.y; ++ty) {
+              for (unsigned tx = 0; tx < config.block.x; ++tx, ++lane) {
+                Fiber& f = run.fibers[lane];
+                f.stack.resize(config.stack_bytes);
+                f.thread_ctx.thread_idx = {tx, ty, tz};
+                f.thread_ctx.block_idx = {bx, by, bz};
+                f.thread_ctx.block_dim = config.block;
+                f.thread_ctx.grid_dim = config.grid;
+                impls[lane].run = &run;
+                impls[lane].fiber_index = lane;
+                f.thread_ctx.impl_ = &impls[lane];
+                if (getcontext(&f.ctx) != 0) {
+                  throw KernelError("cusim: getcontext failed");
+                }
+                f.ctx.uc_stack.ss_sp = f.stack.data();
+                f.ctx.uc_stack.ss_size = f.stack.size();
+                f.ctx.uc_link = &run.scheduler;
+                makecontext(&f.ctx, FiberMain, 0);
+              }
+            }
+          }
+        }();
+
+        // Round-robin scheduler with barrier release.
+        BlockRun* const prev_run = t_run;
+        t_run = &run;
+        for (;;) {
+          bool any_ready = false;
+          bool all_done = true;
+          for (unsigned i = 0; i < threads; ++i) {
+            if (run.fibers[i].state == FiberState::kReady) {
+              any_ready = true;
+              all_done = false;
+              run.current = i;
+              swapcontext(&run.scheduler, &run.fibers[i].ctx);
+              if (run.failure != nullptr) break;
+            } else if (run.fibers[i].state != FiberState::kDone) {
+              all_done = false;
+            }
+          }
+          if (run.failure != nullptr) break;
+          if (all_done) break;
+          if (!any_ready) {
+            // Nobody ran this pass: everyone alive is at the barrier.
+            bool any_done = false;
+            for (unsigned i = 0; i < threads; ++i) {
+              any_done |= run.fibers[i].state == FiberState::kDone;
+            }
+            if (any_done) {
+              t_run = prev_run;
+              throw KernelError(
+                  "cusim: barrier divergence (some threads returned while "
+                  "others wait at Sync)");
+            }
+            for (unsigned i = 0; i < threads; ++i) {
+              run.fibers[i].state = FiberState::kReady;
+            }
+          }
+        }
+        t_run = prev_run;
+        if (run.failure != nullptr) {
+          // Fibers still parked at a barrier are abandoned without stack
+          // unwinding -- acceptable for a simulator, documented in the
+          // header.  Their stacks are freed with `run`.
+          std::rethrow_exception(run.failure);
+        }
+      }
+    }
+  }
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace szx::cusim

@@ -1,0 +1,95 @@
+// CUDA-like kernel execution harness on the CPU.
+//
+// The paper's Sec. 6.2 contribution is a *kernel design* -- thread blocks,
+// lockstep lanes, barrier-separated phases, warp collectives.  The
+// phase-structured loops in cusim_codec.cpp validate the data flow; this
+// harness goes further and provides real cooperative-thread semantics:
+// every logical thread is a fiber (ucontext), `Sync()` is a true barrier
+// (all fibers of a block must arrive before any proceeds), and shared
+// memory is an explicit per-block arena.  Kernels written against it read
+// like CUDA kernels, and the tests run the cuSZx encode phases as actual
+// cooperative kernels, cross-checked bit-for-bit against the serial codec.
+//
+// Deliberate scope: one block executes at a time (this machine has one
+// core); grids iterate blocks sequentially.  Determinism is total -- the
+// fiber scheduler is round-robin -- so kernel results are reproducible and
+// comparable across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <stdexcept>
+
+namespace szx::cusim {
+
+struct Dim3 {
+  unsigned x = 1, y = 1, z = 1;
+
+  unsigned Count() const { return x * y * z; }
+};
+
+/// Thrown when a kernel misuses the harness (barrier divergence, shared
+/// memory overflow, oversized blocks).
+class KernelError : public std::runtime_error {
+ public:
+  explicit KernelError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Per-thread execution context handed to the kernel body.
+class ThreadCtx {
+ public:
+  Dim3 thread_idx;
+  Dim3 block_idx;
+  Dim3 block_dim;
+  Dim3 grid_dim;
+
+  /// Linearized thread index within the block.
+  unsigned Lane() const {
+    return (thread_idx.z * block_dim.y + thread_idx.y) * block_dim.x +
+           thread_idx.x;
+  }
+
+  /// __syncthreads: blocks until every live thread of the block arrives.
+  /// Throws KernelError if some threads have already returned (barrier
+  /// divergence -- undefined behaviour on a real GPU, detected here).
+  void Sync();
+
+  /// Per-block shared memory arena, zero-initialized at block start.
+  template <typename T>
+  std::span<T> Shared(std::size_t count) {
+    return std::span<T>(static_cast<T*>(SharedRaw(count * sizeof(T),
+                                                  alignof(T))),
+                        count);
+  }
+
+ private:
+  friend void LaunchKernel(const struct LaunchConfig& config,
+                           const std::function<void(ThreadCtx&)>& kernel);
+  void* SharedRaw(std::size_t bytes, std::size_t align);
+  struct Impl;
+  Impl* impl_ = nullptr;
+};
+
+using KernelFn = std::function<void(ThreadCtx&)>;
+
+
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t shared_bytes = 48 * 1024;  ///< per-block arena (CUDA default)
+  std::size_t stack_bytes = 64 * 1024;   ///< per-fiber stack
+};
+
+/// Maximum threads per block (fiber stacks are allocated up front).
+inline constexpr unsigned kMaxBlockThreads = 1024;
+
+/// Executes the kernel over the whole grid.  Exceptions thrown by kernel
+/// bodies propagate to the caller (after the block's fibers are torn
+/// down).
+void LaunchKernel(const LaunchConfig& config, const KernelFn& kernel);
+
+}  // namespace szx::cusim

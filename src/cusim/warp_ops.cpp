@@ -1,0 +1,44 @@
+#include "cusim/warp_ops.hpp"
+
+#include <algorithm>
+
+namespace szx::cusim {
+
+void InclusiveScan(std::span<std::uint32_t> values) {
+  const std::size_t n = values.size();
+  std::vector<std::uint32_t> shifted(n);
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    // One lockstep round: every lane reads its neighbour `stride` away
+    // *before* any lane writes (the shuffle semantics).
+    std::copy(values.begin(), values.end(), shifted.begin());
+    for (std::size_t i = stride; i < n; ++i) {
+      values[i] = shifted[i] + shifted[i - stride];
+    }
+  }
+}
+
+std::uint32_t ExclusiveScan(std::span<std::uint32_t> values) {
+  const std::size_t n = values.size();
+  if (n == 0) return 0;
+  InclusiveScan(values);
+  const std::uint32_t total = values[n - 1];
+  // Shift right by one lane (again a lockstep read-then-write).
+  for (std::size_t i = n; i-- > 1;) {
+    values[i] = values[i - 1];
+  }
+  values[0] = 0;
+  return total;
+}
+
+void IndexPropagate(std::span<std::uint32_t> index) {
+  const std::size_t n = index.size();
+  std::vector<std::uint32_t> shifted(n);
+  for (std::size_t stride = 1; stride < n; stride <<= 1) {
+    std::copy(index.begin(), index.end(), shifted.begin());
+    for (std::size_t i = stride; i < n; ++i) {
+      index[i] = std::max(shifted[i], shifted[i - stride]);
+    }
+  }
+}
+
+}  // namespace szx::cusim

@@ -1,0 +1,28 @@
+// CPU executions of the warp-level collectives the cuSZx GPU kernels rely
+// on (paper Sec. 6.2): recursive-doubling inclusive/exclusive scans and the
+// index-propagation prefix-max of Fig. 11.  Each routine is written as the
+// lockstep sequence of strided rounds a warp would execute, so the tests
+// validate the *parallel algorithm*, not just an equivalent serial loop.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace szx::cusim {
+
+/// Recursive-doubling inclusive scan (sum), in place.  O(n log n) work like
+/// the shuffle-based GPU version.
+void InclusiveScan(std::span<std::uint32_t> values);
+
+/// Exclusive scan derived from InclusiveScan; returns the total.
+std::uint32_t ExclusiveScan(std::span<std::uint32_t> values);
+
+/// Index propagation (Fig. 11): `index[i]` is i+1 where lane i owns the
+/// value (a mid byte) and 0 where it must inherit (a leading byte).  After
+/// propagation, index[i] is the 1-based lane of the nearest preceding owner
+/// (0 = inherit from the virtual zero word).  Performed in log2(n) strided
+/// rounds of prefix-max.
+void IndexPropagate(std::span<std::uint32_t> index);
+
+}  // namespace szx::cusim

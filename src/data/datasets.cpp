@@ -1,0 +1,520 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "data/noise.hpp"
+
+namespace szx::data {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+// Laptop-scale baseline grids (paper-scale dims in datasets.hpp comments).
+std::vector<std::size_t> BaseDims(App app) {
+  switch (app) {
+    case App::kCesm: return {600, 1200};
+    case App::kHurricane: return {50, 250, 250};
+    case App::kMiranda: return {112, 224, 224};
+    case App::kNyx: return {128, 128, 128};
+    case App::kQmcpack: return {115, 69, 69};
+    case App::kScaleLetkf: return {49, 300, 300};
+  }
+  throw std::invalid_argument("data: unknown app");
+}
+
+struct Grid {
+  std::size_t nz = 1, ny = 1, nx = 1;
+
+  std::size_t size() const { return nz * ny * nx; }
+};
+
+Grid ToGrid(const std::vector<std::size_t>& dims) {
+  Grid g;
+  if (dims.size() == 2) {
+    g.ny = dims[0];
+    g.nx = dims[1];
+  } else if (dims.size() == 3) {
+    g.nz = dims[0];
+    g.ny = dims[1];
+    g.nx = dims[2];
+  } else {
+    throw std::invalid_argument("data: dims must be 2-D or 3-D");
+  }
+  return g;
+}
+
+/// Isotropic fBm sampled over the grid with `cycles` lattice cells across
+/// each axis.  Output in roughly [-1, 1].
+///
+/// Octaves are clamped so the finest one keeps >= 8 samples per lattice
+/// cell: the real datasets are band-limited at the grid scale (simulations
+/// resolve their gradients), and without the clamp a scaled-down grid
+/// turns the high octaves into per-sample noise, destroying the Fig. 2
+/// block-smoothness regime.
+std::vector<float> FbmGrid(const Grid& g, double cycles, int octaves,
+                           double gain, std::uint64_t seed) {
+  std::size_t min_axis = g.nx;
+  if (g.ny > 1) min_axis = std::min(min_axis, g.ny);
+  if (g.nz > 1) min_axis = std::min(min_axis, g.nz);
+  const double max_cells = static_cast<double>(min_axis) / 8.0;
+  int max_octaves = 1;
+  for (double c = cycles * 2.0; c <= max_cells; c *= 2.0) ++max_octaves;
+  octaves = std::clamp(octaves, 1, max_octaves);
+  std::vector<float> out(g.size());
+  const double dx = cycles / static_cast<double>(g.nx);
+  for (std::size_t z = 0; z < g.nz; ++z) {
+    const double zc =
+        cycles * static_cast<double>(z) / static_cast<double>(g.nz) + 0.173;
+    for (std::size_t y = 0; y < g.ny; ++y) {
+      const double yc =
+          cycles * static_cast<double>(y) / static_cast<double>(g.ny) + 0.457;
+      FbmRow(0.291, dx, g.nx, yc, zc, seed, octaves, gain,
+             out.data() + (z * g.ny + y) * g.nx);
+    }
+  }
+  return out;
+}
+
+/// Applies `fn(zn, yn, xn, i)` over the grid where *n are normalized [0,1)
+/// coordinates and i the linear index.
+template <typename Fn>
+std::vector<float> MapGrid(const Grid& g, Fn&& fn) {
+  std::vector<float> out(g.size());
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < g.nz; ++z) {
+    const double zn = static_cast<double>(z) / static_cast<double>(g.nz);
+    for (std::size_t y = 0; y < g.ny; ++y) {
+      const double yn = static_cast<double>(y) / static_cast<double>(g.ny);
+      for (std::size_t x = 0; x < g.nx; ++x, ++i) {
+        const double xn = static_cast<double>(x) / static_cast<double>(g.nx);
+        out[i] = static_cast<float>(fn(zn, yn, xn, i));
+      }
+    }
+  }
+  return out;
+}
+
+double Clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+/// Sparse non-negative hydrometeor-style field: zero plateaus with smooth
+/// plumes above a threshold (QSNOW/QRAIN/CLOUD-like).
+std::vector<float> SparseField(const Grid& g, std::uint64_t seed,
+                               double cycles, double threshold, double scale,
+                               double vertical_peak) {
+  const auto base = FbmGrid(g, cycles, 3, 0.45, seed);
+  return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+    const double v = static_cast<double>(base[i]) - threshold;
+    if (v <= 0.0) return 0.0;
+    // Vertical profile peaking at vertical_peak.
+    const double dz = (zn - vertical_peak) * 3.0;
+    return scale * v * v * std::exp(-dz * dz);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Per-application recipes.
+// ---------------------------------------------------------------------------
+
+std::vector<float> MirandaField(const Grid& g, const std::string& f,
+                                std::uint64_t seed) {
+  // Turbulent-mixing setup: two fluids meeting at a perturbed interface
+  // around z = 0.5; large plateaus away from it, detail localized on it.
+  const auto warp = FbmGrid(g, 1.2, 3, 0.35, seed ^ 0x11);
+  const auto detail = FbmGrid(g, 6.0, 3, 0.45, seed ^ 0x22);
+  auto interface_mix = [&](double zn, std::size_t i) {
+    const double s =
+        std::tanh(8.0 * (zn - 0.5 + 0.15 * static_cast<double>(warp[i])));
+    return s;
+  };
+  if (f == "density") {
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      const double s = interface_mix(zn, i);
+      return 1.55 + 0.45 * s +
+             0.025 * static_cast<double>(detail[i]) * (1.0 - s * s);
+    });
+  }
+  if (f == "pressure") {
+    // Hydrostatic-style vertical gradient dominates; horizontal
+    // perturbations are small -- the regime behind Fig. 2's high
+    // smoothness for Miranda.
+    const auto smooth = FbmGrid(g, 1.0, 2, 0.35, seed ^ 0x33);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 1.0e5 * (1.0 + 0.035 * static_cast<double>(smooth[i]) -
+                      0.35 * zn);
+    });
+  }
+  if (f == "diffusivity" || f == "viscocity") {
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      const double s = interface_mix(zn, i);
+      return 0.08 + 0.04 * (1.0 + s) +
+             0.004 * static_cast<double>(detail[i]) * (1.0 - s * s);
+    });
+  }
+  if (f == "velocity-x" || f == "velocity-y" || f == "velocity-z") {
+    // Large-eddy velocities: energy concentrated at the largest scales,
+    // fine turbulence confined to the mixing interface.
+    const auto smooth = FbmGrid(g, 0.8, 2, 0.3, seed ^ 0x44);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      const double s = interface_mix(zn, i);
+      return 30.0 * static_cast<double>(smooth[i]) +
+             3.5 * static_cast<double>(detail[i]) * (1.0 - s * s);
+    });
+  }
+  throw std::invalid_argument("data: unknown Miranda field " + f);
+}
+
+std::vector<float> NyxField(const Grid& g, const std::string& f,
+                            std::uint64_t seed) {
+  if (f == "baryon_density") {
+    // Cosmic-web structure: most of the volume sits in near-floor voids,
+    // with filaments/halos spanning several decades -- that is what gives
+    // the paper's huge per-field CRs (up to ~124) on this field.
+    const auto base = FbmGrid(g, 1.5, 4, 0.45, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      const double gg = static_cast<double>(base[i]);
+      return 7.7e7 * std::exp(8.0 * std::max(0.0, gg - 0.3)) *
+             (1.0 + 0.03 * gg);
+    });
+  }
+  if (f == "dark_matter_density") {
+    const auto base = FbmGrid(g, 1.8, 4, 0.5, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      const double gg = static_cast<double>(base[i]);
+      return 6.9e7 * std::exp(9.0 * std::max(0.0, gg - 0.35)) *
+             (1.0 + 0.04 * gg);
+    });
+  }
+  if (f == "temperature") {
+    const auto base = FbmGrid(g, 1.3, 3, 0.4, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 1.1e4 * std::exp(2.4 * static_cast<double>(base[i]));
+    });
+  }
+  if (f == "velocity_x" || f == "velocity_y" || f == "velocity_z") {
+    const auto base = FbmGrid(g, 1.0, 3, 0.4, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 8.5e6 * static_cast<double>(base[i]);
+    });
+  }
+  throw std::invalid_argument("data: unknown Nyx field " + f);
+}
+
+std::vector<float> HurricaneField(const Grid& g, const std::string& f,
+                                  std::uint64_t seed) {
+  // Rankine-style vortex drifting with altitude, plus synoptic background.
+  auto vortex = [&](double zn, double yn, double xn, double dir_y,
+                    double dir_x, const std::vector<float>& bg,
+                    std::size_t i) {
+    const double cx = 0.55 + 0.06 * zn;
+    const double cy = 0.48 - 0.04 * zn;
+    const double dx = xn - cx;
+    const double dy = yn - cy;
+    const double r = std::sqrt(dx * dx + dy * dy) + 1e-9;
+    const double rr = r / 0.12;
+    const double vt = 55.0 * rr * std::exp(1.0 - rr * rr) *
+                      std::exp(-1.5 * zn);
+    return vt * (dir_x * (-dy) + dir_y * dx) / r +
+           8.0 * static_cast<double>(bg[i]);
+  };
+  if (f == "U" || f == "V") {
+    const auto bg = FbmGrid(g, 2.5, 3, 0.45, seed);
+    const double dy = f == "V" ? 1.0 : 0.0;
+    const double dx = f == "U" ? 1.0 : 0.0;
+    return MapGrid(g, [&](double zn, double yn, double xn, std::size_t i) {
+      return vortex(zn, yn, xn, dy, dx, bg, i);
+    });
+  }
+  if (f == "W") {
+    const auto bg = FbmGrid(g, 6.0, 3, 0.5, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 1.8 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "TC") {
+    const auto bg = FbmGrid(g, 2.0, 3, 0.4, seed);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 28.0 - 75.0 * zn + 2.5 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "P") {
+    const auto bg = FbmGrid(g, 1.5, 2, 0.4, seed);
+    return MapGrid(g, [&](double zn, double yn, double xn, std::size_t i) {
+      const double dx = xn - 0.55;
+      const double dy = yn - 0.48;
+      const double low = -4500.0 * std::exp(-(dx * dx + dy * dy) / 0.01);
+      return 101325.0 * std::exp(-1.1 * zn) + low +
+             250.0 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "QVAPOR") {
+    const auto bg = FbmGrid(g, 3.0, 3, 0.45, seed);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 0.022 * std::exp(-4.0 * zn) *
+             (1.0 + 0.35 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "CLOUD") return SparseField(g, seed, 6.0, 0.35, 2e-3, 0.35);
+  if (f == "PRECIP") return SparseField(g, seed, 5.0, 0.42, 8e-3, 0.15);
+  if (f == "QCLOUD") return SparseField(g, seed, 6.5, 0.38, 1.5e-3, 0.3);
+  if (f == "QGRAUP") return SparseField(g, seed, 5.5, 0.52, 4e-3, 0.45);
+  if (f == "QICE") return SparseField(g, seed, 6.0, 0.45, 2.5e-3, 0.7);
+  if (f == "QRAIN") return SparseField(g, seed, 5.0, 0.44, 5e-3, 0.2);
+  if (f == "QSNOW") return SparseField(g, seed, 5.5, 0.48, 3e-3, 0.6);
+  throw std::invalid_argument("data: unknown Hurricane field " + f);
+}
+
+std::vector<float> CesmField(const Grid& g, const std::string& f,
+                             std::uint64_t seed) {
+  auto latitude = [&](double yn) { return (yn - 0.5) * kPi; };
+  if (f == "CLDHGH" || f == "CLDLOW" || f == "CLDMED") {
+    const auto bg = FbmGrid(g, 9.0, 4, 0.55, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return Clamp01(0.45 + 0.9 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "PHIS") {
+    // Topography: ocean plateau at 0, rough continents.
+    const auto cont = FbmGrid(g, 4.0, 3, 0.5, seed ^ 0x1);
+    const auto rough = FbmGrid(g, 20.0, 4, 0.55, seed ^ 0x2);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      const double c = static_cast<double>(cont[i]) - 0.12;
+      if (c <= 0.0) return 0.0;
+      return 30000.0 * c * (1.0 + 0.5 * static_cast<double>(rough[i]));
+    });
+  }
+  if (f == "TS" || f == "TREFHT") {
+    const auto bg = FbmGrid(g, 3.0, 3, 0.45, seed);
+    return MapGrid(g, [&](double, double yn, double, std::size_t i) {
+      return 255.0 + 45.0 * std::cos(latitude(yn)) +
+             4.0 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "PSL") {
+    const auto bg = FbmGrid(g, 2.5, 3, 0.4, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 101325.0 * (1.0 + 0.018 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "U10" || f == "V10") {
+    const auto bg = FbmGrid(g, 4.0, 3, 0.45, seed);
+    return MapGrid(g, [&](double, double yn, double, std::size_t i) {
+      return 9.0 * std::sin(3.0 * latitude(yn)) +
+             4.5 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "PRECT") return SparseField(g, seed, 8.0, 0.45, 1.2e-7, 0.0);
+  if (f == "QREFHT") {
+    const auto bg = FbmGrid(g, 3.5, 3, 0.45, seed);
+    return MapGrid(g, [&](double, double yn, double, std::size_t i) {
+      return 0.019 * std::exp(-2.2 * std::fabs(latitude(yn))) *
+             (1.0 + 0.25 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "ICEFRAC") {
+    const auto bg = FbmGrid(g, 6.0, 3, 0.5, seed);
+    return MapGrid(g, [&](double, double yn, double, std::size_t i) {
+      return Clamp01(6.0 * (std::fabs(latitude(yn)) - 1.15) +
+                     0.8 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "FLNS") {
+    const auto bg = FbmGrid(g, 5.0, 3, 0.5, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 95.0 + 38.0 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f.size() == 6 && f.compare(0, 3, "FLD") == 0) {
+    // Extended-roster variable: archetype and parameters derived from the
+    // name hash, covering the smooth / patchy / sparse families the named
+    // CESM fields exemplify.
+    const std::uint64_t h = SeedFromName("CESM-ATM-ext", f.c_str());
+    const int archetype = static_cast<int>(h % 3);
+    const double cycles = 2.0 + static_cast<double>((h >> 8) % 70) / 10.0;
+    const double amp = 0.5 + static_cast<double>((h >> 16) % 100) / 20.0;
+    const auto bg = FbmGrid(g, cycles, 3, 0.45 + 0.01 * (h % 10), seed);
+    switch (archetype) {
+      case 0:  // smooth diagnostic with latitudinal structure
+        return MapGrid(g, [&](double, double yn, double, std::size_t i) {
+          return 10.0 * amp * std::cos(latitude(yn)) +
+                 amp * static_cast<double>(bg[i]);
+        });
+      case 1:  // bounded patchy fraction
+        return MapGrid(g, [&](double, double, double, std::size_t i) {
+          return Clamp01(0.5 + amp * static_cast<double>(bg[i]));
+        });
+      default:  // sparse flux
+        return SparseField(g, seed, cycles, 0.4, 1e-3 * amp, 0.0);
+    }
+  }
+  throw std::invalid_argument("data: unknown CESM field " + f);
+}
+
+std::vector<float> QmcpackField(const Grid& g, const std::string& f,
+                                std::uint64_t seed) {
+  // Einspline coefficient array: the slowest dimension indexes orbitals
+  // (the real data is 288 orbitals x 115x69x69 coefficients).  Orbital
+  // amplitudes span orders of magnitude, so the *global* range is set
+  // across orbitals while each orbital's coefficient field is smooth --
+  // exactly the Fig. 2 regime (80+% of 8-sample blocks with tiny relative
+  // range).
+  const auto coeff = FbmGrid(g, 1.0, 2, 0.3, seed ^ 0x7);
+  const double shift = f == "einspline_imag" ? 0.7 : 0.0;
+  return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+    const double amp = 0.08 * std::exp(2.5 * std::sin(2.0 * kPi *
+                                                      (3.0 * zn + shift)));
+    return amp * (0.4 + 0.6 * static_cast<double>(coeff[i]));
+  });
+}
+
+std::vector<float> ScaleLetkfField(const Grid& g, const std::string& f,
+                                   std::uint64_t seed) {
+  if (f == "U" || f == "V") {
+    const auto bg = FbmGrid(g, 3.0, 3, 0.45, seed);
+    return MapGrid(g, [&](double zn, double yn, double, std::size_t i) {
+      return 14.0 * std::sin(2.5 * (yn - 0.5) * kPi) * (1.0 - 0.5 * zn) +
+             6.0 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "W") {
+    const auto bg = FbmGrid(g, 7.0, 3, 0.5, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 1.2 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "T") {
+    const auto bg = FbmGrid(g, 2.5, 3, 0.4, seed);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 300.0 - 70.0 * zn + 3.0 * static_cast<double>(bg[i]);
+    });
+  }
+  if (f == "P") {
+    const auto bg = FbmGrid(g, 1.5, 2, 0.4, seed);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 101325.0 * std::exp(-1.2 * zn) *
+             (1.0 + 0.004 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "QV") {
+    const auto bg = FbmGrid(g, 3.5, 3, 0.45, seed);
+    return MapGrid(g, [&](double zn, double, double, std::size_t i) {
+      return 0.018 * std::exp(-3.5 * zn) *
+             (1.0 + 0.3 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "RH") {
+    const auto bg = FbmGrid(g, 4.0, 3, 0.5, seed);
+    return MapGrid(g, [&](double, double, double, std::size_t i) {
+      return 100.0 * Clamp01(0.55 + 0.6 * static_cast<double>(bg[i]));
+    });
+  }
+  if (f == "QC") return SparseField(g, seed, 7.0, 0.4, 1.2e-3, 0.3);
+  if (f == "QR") return SparseField(g, seed, 5.5, 0.45, 4e-3, 0.15);
+  if (f == "QI") return SparseField(g, seed, 6.5, 0.48, 2e-3, 0.75);
+  if (f == "QS") return SparseField(g, seed, 6.0, 0.5, 2.5e-3, 0.65);
+  if (f == "QG") return SparseField(g, seed, 5.0, 0.55, 3e-3, 0.4);
+  throw std::invalid_argument("data: unknown Scale-LetKF field " + f);
+}
+
+}  // namespace
+
+const char* AppName(App app) {
+  switch (app) {
+    case App::kCesm: return "CESM-ATM";
+    case App::kHurricane: return "Hurricane";
+    case App::kMiranda: return "Miranda";
+    case App::kNyx: return "Nyx";
+    case App::kQmcpack: return "QMCPack";
+    case App::kScaleLetkf: return "Scale-LetKF";
+  }
+  return "unknown";
+}
+
+std::vector<App> AllApps() {
+  return {App::kCesm, App::kHurricane, App::kMiranda,
+          App::kNyx,  App::kQmcpack,   App::kScaleLetkf};
+}
+
+std::vector<std::string> FieldNames(App app) {
+  switch (app) {
+    case App::kCesm:
+      return {"CLDHGH", "CLDLOW", "CLDMED", "PHIS", "TS",      "TREFHT",
+              "PSL",    "U10",    "V10",    "PRECT", "QREFHT", "ICEFRAC"};
+    case App::kHurricane:
+      return {"CLOUD", "PRECIP", "QCLOUD", "QGRAUP", "QICE", "QRAIN",
+              "QSNOW", "QVAPOR", "TC",     "U",      "V",    "W", "P"};
+    case App::kMiranda:
+      return {"density",    "diffusivity", "pressure", "velocity-x",
+              "velocity-y", "velocity-z",  "viscocity"};
+    case App::kNyx:
+      return {"baryon_density", "dark_matter_density", "temperature",
+              "velocity_x",     "velocity_y",          "velocity_z"};
+    case App::kQmcpack:
+      return {"einspline_real", "einspline_imag"};
+    case App::kScaleLetkf:
+      return {"U", "V", "W", "T", "P", "QV", "QC", "QR", "QI", "QS", "QG",
+              "RH"};
+  }
+  throw std::invalid_argument("data: unknown app");
+}
+
+std::vector<std::string> ExtendedFieldNames(App app) {
+  std::vector<std::string> names = FieldNames(app);
+  if (app == App::kCesm) {
+    // Paper Table 2: CESM-ATM has 77 fields.
+    char buf[8];
+    for (int i = static_cast<int>(names.size()); i < 77; ++i) {
+      std::snprintf(buf, sizeof(buf), "FLD%03d", i);
+      names.emplace_back(buf);
+    }
+  }
+  return names;
+}
+
+std::vector<std::size_t> GridDims(App app, double scale) {
+  if (!(scale > 0.0) || scale > 8.0) {
+    throw std::invalid_argument("data: scale must be in (0, 8]");
+  }
+  std::vector<std::size_t> dims = BaseDims(app);
+  for (auto& d : dims) {
+    d = std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::lround(static_cast<double>(d) *
+                                                scale)));
+  }
+  return dims;
+}
+
+Field GenerateField(App app, const std::string& field, double scale) {
+  const auto dims = GridDims(app, scale);
+  const Grid g = ToGrid(dims);
+  const std::uint64_t seed = SeedFromName(AppName(app), field.c_str());
+  Field out;
+  out.name = field;
+  out.dims = dims;
+  switch (app) {
+    case App::kCesm: out.values = CesmField(g, field, seed); break;
+    case App::kHurricane: out.values = HurricaneField(g, field, seed); break;
+    case App::kMiranda: out.values = MirandaField(g, field, seed); break;
+    case App::kNyx: out.values = NyxField(g, field, seed); break;
+    case App::kQmcpack: out.values = QmcpackField(g, field, seed); break;
+    case App::kScaleLetkf:
+      out.values = ScaleLetkfField(g, field, seed);
+      break;
+  }
+  return out;
+}
+
+std::vector<Field> GenerateApp(App app, double scale,
+                               std::size_t max_fields) {
+  const auto names = FieldNames(app);
+  std::vector<Field> fields;
+  fields.reserve(std::min(max_fields, names.size()));
+  for (std::size_t i = 0; i < names.size() && i < max_fields; ++i) {
+    fields.push_back(GenerateField(app, names[i], scale));
+  }
+  return fields;
+}
+
+}  // namespace szx::data

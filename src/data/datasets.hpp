@@ -1,0 +1,55 @@
+// Synthetic generators for the six applications of the paper's Table 2.
+//
+// The real SDRBench datasets are not redistributable here, so each preset
+// synthesizes fields whose *block-level statistics* (smoothness spectrum,
+// plateaus, sparsity, dynamic range) land in the regimes the paper
+// characterizes in Figs. 1-2; see DESIGN.md for the substitution rationale.
+// Everything is deterministic: the same (app, field, scale) always yields
+// the same bytes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/field.hpp"
+
+namespace szx::data {
+
+enum class App {
+  kCesm = 0,       ///< CESM-ATM: 2-D atmosphere (1800x3600 in the paper)
+  kHurricane = 1,  ///< Hurricane ISABEL: 100x500x500
+  kMiranda = 2,    ///< Miranda large-eddy turbulence: 256x384x384
+  kNyx = 3,        ///< Nyx cosmology: 512^3
+  kQmcpack = 4,    ///< QMCPack orbitals: 288x115x69x69
+  kScaleLetkf = 5, ///< SCALE-LetKF weather: 98x1200x1200
+};
+
+const char* AppName(App app);
+std::vector<App> AllApps();
+
+/// Names of the synthesized fields for an application (a representative
+/// subset of the paper's field counts, same naming where the paper names
+/// them).
+std::vector<std::string> FieldNames(App app);
+
+/// Full Table 2 field rosters: identical to FieldNames except for
+/// CESM-ATM, where the paper's 77 fields are completed with
+/// archetype-parameterized variables (each hashed to its own smoothness /
+/// range / sparsity within the CESM archetypes).  Every returned name is
+/// accepted by GenerateField.
+std::vector<std::string> ExtendedFieldNames(App app);
+
+/// Grid dimensions for an application at a given linear scale factor
+/// (scale 1.0 = this repo's laptop-scale baseline, documented in DESIGN.md).
+std::vector<std::size_t> GridDims(App app, double scale);
+
+/// Generates one named field.  Throws std::invalid_argument for unknown
+/// field names.
+Field GenerateField(App app, const std::string& field, double scale = 1.0);
+
+/// Generates all fields (or the first `max_fields`) of an application.
+std::vector<Field> GenerateApp(App app, double scale = 1.0,
+                               std::size_t max_fields = SIZE_MAX);
+
+}  // namespace szx::data

@@ -1,0 +1,29 @@
+// A named multi-dimensional scalar field, the unit of data every experiment
+// operates on (one "field" of one "application" in the paper's Table 2).
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace szx::data {
+
+struct Field {
+  std::string name;
+  std::vector<std::size_t> dims;  ///< slowest-varying first (e.g. {z, y, x})
+  std::vector<float> values;      ///< row-major
+
+  std::size_t size() const { return values.size(); }
+  std::size_t size_bytes() const { return values.size() * sizeof(float); }
+  std::span<const float> span() const { return values; }
+
+  /// Product of dims (sanity: equals values.size()).
+  std::size_t DimProduct() const {
+    return std::accumulate(dims.begin(), dims.end(), std::size_t{1},
+                           std::multiplies<>());
+  }
+};
+
+}  // namespace szx::data

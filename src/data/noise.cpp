@@ -1,0 +1,146 @@
+#include "data/noise.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace szx::data {
+namespace {
+
+inline std::uint64_t Mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+inline double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double LatticeHash(std::int64_t x, std::int64_t y, std::int64_t z,
+                   std::uint64_t seed) {
+  std::uint64_t h = seed;
+  h ^= static_cast<std::uint64_t>(x) * 0x9e3779b97f4a7c15ull;
+  h ^= static_cast<std::uint64_t>(y) * 0xc2b2ae3d27d4eb4full;
+  h ^= static_cast<std::uint64_t>(z) * 0x165667b19e3779f9ull;
+  h = Mix(h);
+  // Top 53 bits -> [0, 1) -> [-1, 1].
+  return static_cast<double>(h >> 11) * 0x1.0p-52 - 1.0;
+}
+
+double ValueNoise3(double x, double y, double z, std::uint64_t seed) {
+  const double fx = std::floor(x);
+  const double fy = std::floor(y);
+  const double fz = std::floor(z);
+  const auto ix = static_cast<std::int64_t>(fx);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double tx = SmoothStep(x - fx);
+  const double ty = SmoothStep(y - fy);
+  const double tz = SmoothStep(z - fz);
+
+  double corner[2][2][2];
+  for (int dz = 0; dz < 2; ++dz) {
+    for (int dy = 0; dy < 2; ++dy) {
+      for (int dx = 0; dx < 2; ++dx) {
+        corner[dz][dy][dx] = LatticeHash(ix + dx, iy + dy, iz + dz, seed);
+      }
+    }
+  }
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+  const double x00 = lerp(corner[0][0][0], corner[0][0][1], tx);
+  const double x01 = lerp(corner[0][1][0], corner[0][1][1], tx);
+  const double x10 = lerp(corner[1][0][0], corner[1][0][1], tx);
+  const double x11 = lerp(corner[1][1][0], corner[1][1][1], tx);
+  const double y0 = lerp(x00, x01, ty);
+  const double y1 = lerp(x10, x11, ty);
+  return lerp(y0, y1, tz);
+}
+
+double Fbm3(double x, double y, double z, std::uint64_t seed, int octaves,
+            double gain) {
+  double sum = 0.0;
+  double amp = 1.0;
+  double norm = 0.0;
+  double fx = x, fy = y, fz = z;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * ValueNoise3(fx, fy, fz, seed + static_cast<std::uint64_t>(o));
+    norm += amp;
+    amp *= gain;
+    fx *= 2.0;
+    fy *= 2.0;
+    fz *= 2.0;
+  }
+  return norm > 0.0 ? sum / norm : 0.0;
+}
+
+namespace {
+
+// One octave of value noise along a row; adds amp * noise into out.
+void ValueNoiseRowAccum(double x0, double dx, std::size_t n, double y,
+                        double z, std::uint64_t seed, double amp,
+                        float* out) {
+  const double fy = std::floor(y);
+  const double fz = std::floor(z);
+  const auto iy = static_cast<std::int64_t>(fy);
+  const auto iz = static_cast<std::int64_t>(fz);
+  const double ty = SmoothStep(y - fy);
+  const double tz = SmoothStep(z - fz);
+  auto lerp = [](double a, double b, double t) { return a + (b - a) * t; };
+
+  // Bilinear (y, z) reduction of the four corners at lattice column ix.
+  auto column = [&](std::int64_t ix) {
+    const double c00 = LatticeHash(ix, iy, iz, seed);
+    const double c01 = LatticeHash(ix, iy + 1, iz, seed);
+    const double c10 = LatticeHash(ix, iy, iz + 1, seed);
+    const double c11 = LatticeHash(ix, iy + 1, iz + 1, seed);
+    return lerp(lerp(c00, c01, ty), lerp(c10, c11, ty), tz);
+  };
+
+  std::int64_t cur_ix = std::numeric_limits<std::int64_t>::min();
+  double a0 = 0.0, a1 = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = x0 + dx * static_cast<double>(i);
+    const double fx = std::floor(x);
+    const auto ix = static_cast<std::int64_t>(fx);
+    if (ix != cur_ix) {
+      a0 = ix == cur_ix + 1 ? a1 : column(ix);
+      a1 = column(ix + 1);
+      cur_ix = ix;
+    }
+    out[i] += static_cast<float>(amp * lerp(a0, a1, SmoothStep(x - fx)));
+  }
+}
+
+}  // namespace
+
+void FbmRow(double x0, double dx, std::size_t n, double y, double z,
+            std::uint64_t seed, int octaves, double gain, float* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = 0.0f;
+  double amp = 1.0;
+  double norm = 0.0;
+  for (int o = 0; o < octaves; ++o) norm += std::pow(gain, o);
+  double fx0 = x0, fdx = dx, fy = y, fz = z;
+  for (int o = 0; o < octaves; ++o) {
+    ValueNoiseRowAccum(fx0, fdx, n, fy, fz,
+                       seed + static_cast<std::uint64_t>(o), amp / norm, out);
+    amp *= gain;
+    fx0 *= 2.0;
+    fdx *= 2.0;
+    fy *= 2.0;
+    fz *= 2.0;
+  }
+}
+
+std::uint64_t SeedFromName(const char* app, const char* field) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char* p = app; *p != '\0'; ++p) {
+    h = (h ^ static_cast<std::uint8_t>(*p)) * 0x100000001b3ull;
+  }
+  h = (h ^ 0x2f) * 0x100000001b3ull;
+  for (const char* p = field; *p != '\0'; ++p) {
+    h = (h ^ static_cast<std::uint8_t>(*p)) * 0x100000001b3ull;
+  }
+  return Mix(h);
+}
+
+}  // namespace szx::data

@@ -1,0 +1,35 @@
+// Deterministic lattice value noise with fractional-Brownian-motion
+// stacking -- the primitive behind every synthetic scientific field.
+// Chosen over Perlin gradient noise for speed (one hash per lattice corner)
+// while still producing the band-limited smooth fields the paper's datasets
+// exhibit (Figs. 1-2).
+#pragma once
+
+#include <cstdint>
+
+namespace szx::data {
+
+/// Integer lattice hash -> [-1, 1], stable across platforms.
+double LatticeHash(std::int64_t x, std::int64_t y, std::int64_t z,
+                   std::uint64_t seed);
+
+/// Smooth 3-D value noise at (x, y, z); period-free, C1-continuous.
+/// 2-D / 1-D use are just fixed extra coordinates.
+double ValueNoise3(double x, double y, double z, std::uint64_t seed);
+
+/// Fractional Brownian motion: `octaves` layers of ValueNoise3 with
+/// lacunarity 2 and the given gain.  Output roughly in [-1, 1].
+double Fbm3(double x, double y, double z, std::uint64_t seed, int octaves,
+            double gain = 0.5);
+
+/// Deterministic string hash for deriving per-field seeds.
+std::uint64_t SeedFromName(const char* app, const char* field);
+
+/// Row-optimized fBm: fills out[0..n) with Fbm3(x0 + i*dx, y, z, ...).
+/// Lattice corner hashes are shared across samples inside a lattice cell,
+/// which makes low-frequency (smooth) fields dramatically cheaper than
+/// per-sample evaluation.  Agrees with per-sample Fbm3 up to FP rounding.
+void FbmRow(double x0, double dx, std::size_t n, double y, double z,
+            std::uint64_t seed, int octaves, double gain, float* out);
+
+}  // namespace szx::data

@@ -1,0 +1,88 @@
+#include "hybrid/hybrid.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "lzref/lzref.hpp"
+
+namespace szx::hybrid {
+namespace {
+
+constexpr std::array<char, 4> kHybridMagic = {'S', 'Z', 'X', 'H'};
+constexpr std::uint8_t kHybridVersion = 1;
+constexpr std::uint8_t kStageStored = 0;
+constexpr std::uint8_t kStageLz = 1;
+constexpr std::size_t kWrapperBytes = 8;
+
+ByteBuffer Wrap(std::uint8_t stage, const ByteBuffer& payload) {
+  ByteBuffer out;
+  out.reserve(kWrapperBytes + payload.size());
+  ByteWriter w(out);
+  w.WriteBytes(kHybridMagic.data(), 4);
+  w.Write(kHybridVersion);
+  w.Write(stage);
+  w.Write(std::uint16_t{0});
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+}  // namespace
+
+bool IsHybridStream(ByteSpan stream) {
+  return stream.size() >= 4 &&
+         std::memcmp(stream.data(), kHybridMagic.data(), 4) == 0;
+}
+
+template <SupportedFloat T>
+ByteBuffer Compress(std::span<const T> data, const Params& params,
+                    HybridStats* stats) {
+  CompressionStats inner_stats;
+  const ByteBuffer inner = szx::Compress<T>(data, params, &inner_stats);
+  const ByteBuffer packed = lzref::LzCompress(inner);
+
+  const bool use_lz = packed.size() < inner.size();
+  ByteBuffer out = Wrap(use_lz ? kStageLz : kStageStored,
+                        use_lz ? packed : inner);
+  if (stats != nullptr) {
+    stats->szx = inner_stats;
+    stats->szx_bytes = inner.size();
+    stats->final_bytes = out.size();
+    stats->lossless_stage_used = use_lz;
+  }
+  return out;
+}
+
+ByteBuffer Unwrap(ByteSpan stream) {
+  if (!IsHybridStream(stream) || stream.size() < kWrapperBytes) {
+    throw Error("hybrid: not a hybrid stream");
+  }
+  const auto version = std::to_integer<std::uint8_t>(stream[4]);
+  const auto stage = std::to_integer<std::uint8_t>(stream[5]);
+  if (version != kHybridVersion) {
+    throw Error("hybrid: unsupported version");
+  }
+  ByteSpan payload = stream.subspan(kWrapperBytes);
+  switch (stage) {
+    case kStageStored:
+      return ByteBuffer(payload.begin(), payload.end());
+    case kStageLz:
+      return lzref::LzDecompress(payload);
+    default:
+      throw Error("hybrid: unknown lossless stage");
+  }
+}
+
+template <SupportedFloat T>
+std::vector<T> Decompress(ByteSpan stream) {
+  const ByteBuffer inner = Unwrap(stream);
+  return szx::Decompress<T>(inner);
+}
+
+template ByteBuffer Compress<float>(std::span<const float>, const Params&,
+                                    HybridStats*);
+template ByteBuffer Compress<double>(std::span<const double>, const Params&,
+                                     HybridStats*);
+template std::vector<float> Decompress<float>(ByteSpan);
+template std::vector<double> Decompress<double>(ByteSpan);
+
+}  // namespace szx::hybrid

@@ -1,0 +1,49 @@
+// Hybrid mode: SZx followed by a fast lossless pass over the compressed
+// stream -- the direction the paper's Sec. 8 names for improving
+// compression ratios (and what the production SZx line later shipped as
+// SZx+Zstd).  The lossless stage exploits redundancy SZx leaves on the
+// table (repeated mu values, lead-code runs, structured mid bytes) at a
+// bounded throughput cost, quantified by bench/ablation_hybrid_tradeoff.
+//
+// Stream layout: "SZXH" | u8 version | u8 stage (0 = stored, 1 = LZ) |
+// u16 reserved | payload.  `stage` picks whichever of {raw SZx stream,
+// LZ-compressed SZx stream} is smaller, so hybrid never loses more than
+// the 8-byte wrapper.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/compressor.hpp"
+
+namespace szx::hybrid {
+
+struct HybridStats {
+  CompressionStats szx;            ///< inner SZx stage
+  std::uint64_t szx_bytes = 0;     ///< SZx stream size
+  std::uint64_t final_bytes = 0;   ///< wrapped output size
+  bool lossless_stage_used = false;
+
+  double LosslessGain() const {
+    return final_bytes == 0
+               ? 0.0
+               : static_cast<double>(szx_bytes) /
+                     static_cast<double>(final_bytes);
+  }
+};
+
+template <SupportedFloat T>
+ByteBuffer Compress(std::span<const T> data, const Params& params,
+                    HybridStats* stats = nullptr);
+
+template <SupportedFloat T>
+std::vector<T> Decompress(ByteSpan stream);
+
+/// True iff `stream` starts with the hybrid wrapper magic.
+bool IsHybridStream(ByteSpan stream);
+
+/// Unwraps a hybrid stream back to the inner SZx stream (useful for
+/// inspection via szx::PeekHeader).
+ByteBuffer Unwrap(ByteSpan stream);
+
+}  // namespace szx::hybrid

@@ -1,0 +1,124 @@
+#include "iosim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace szx::iosim {
+namespace {
+
+std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<WriteCompletion> SimulateFairShare(
+    const PfsSpec& pfs, std::span<const WriteRequest> requests) {
+  const std::size_t n = requests.size();
+  std::vector<WriteCompletion> out(n);
+  if (n == 0) return out;
+  for (const auto& r : requests) {
+    if (r.bytes < 0.0 || r.arrival_s < 0.0 || !std::isfinite(r.bytes)) {
+      throw std::invalid_argument("iosim: invalid write request");
+    }
+  }
+
+  std::vector<double> remaining(n);
+  std::vector<bool> active(n, false), done(n, false);
+  for (std::size_t i = 0; i < n; ++i) remaining[i] = requests[i].bytes;
+
+  const double per_rank = pfs.per_rank_bw_gbps * 1e9;
+  const double aggregate = pfs.aggregate_bw_gbps * 1e9;
+  double now = 0.0;
+  std::size_t finished = 0;
+  while (finished < n) {
+    // Activate arrivals; find the next arrival among inactive requests.
+    double next_arrival = std::numeric_limits<double>::infinity();
+    std::size_t active_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (!active[i]) {
+        if (requests[i].arrival_s <= now) {
+          active[i] = true;
+          out[i].start_s = std::max(now, requests[i].arrival_s);
+        } else {
+          next_arrival = std::min(next_arrival, requests[i].arrival_s);
+        }
+      }
+      if (active[i]) ++active_count;
+    }
+    if (active_count == 0) {
+      // Idle until the next arrival.
+      now = next_arrival;
+      continue;
+    }
+    const double share =
+        std::min(per_rank, aggregate / static_cast<double>(active_count));
+    // Time to the next event: either an active request drains or a new
+    // one arrives (changing the share).
+    double dt = next_arrival - now;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (active[i] && !done[i]) {
+        dt = std::min(dt, remaining[i] / share);
+      }
+    }
+    if (!(dt > 0.0)) dt = 0.0;
+    // Advance.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i] || done[i]) continue;
+      remaining[i] -= share * dt;
+      if (remaining[i] <= share * 1e-12 + 1e-9) {
+        remaining[i] = 0.0;
+        done[i] = true;
+        active[i] = false;
+        out[i].finish_s = now + dt + pfs.latency_s;
+        ++finished;
+      }
+    }
+    now += dt;
+  }
+  return out;
+}
+
+JitteredJobResult SimulateJitteredDump(const PfsSpec& pfs, int ranks,
+                                       const RankWorkload& w, double jitter,
+                                       std::uint64_t seed) {
+  if (ranks <= 0) throw std::invalid_argument("iosim: ranks must be > 0");
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument("iosim: jitter must be in [0, 1)");
+  }
+  const double compute_s =
+      static_cast<double>(w.bytes_per_rank) / (w.compress_gbps * 1e9);
+  const double write_bytes =
+      static_cast<double>(w.bytes_per_rank) / w.compression_ratio;
+
+  std::vector<WriteRequest> reqs(ranks);
+  for (int i = 0; i < ranks; ++i) {
+    const double u =
+        static_cast<double>(Mix64(seed + static_cast<std::uint64_t>(i)) >>
+                            11) *
+        0x1.0p-53;
+    reqs[i].arrival_s = compute_s * (1.0 + jitter * (2.0 * u - 1.0));
+    reqs[i].bytes = write_bytes;
+  }
+  const auto completions = SimulateFairShare(pfs, reqs);
+
+  JitteredJobResult r;
+  const double uncontended =
+      write_bytes / (pfs.per_rank_bw_gbps * 1e9) + pfs.latency_s;
+  double sum = 0.0;
+  for (int i = 0; i < ranks; ++i) {
+    r.makespan_s = std::max(r.makespan_s, completions[i].finish_s);
+    sum += completions[i].finish_s;
+    const double io_time = completions[i].finish_s - reqs[i].arrival_s;
+    r.max_io_wait_s = std::max(r.max_io_wait_s, io_time - uncontended);
+  }
+  r.mean_finish_s = sum / static_cast<double>(ranks);
+  return r;
+}
+
+}  // namespace szx::iosim

@@ -1,0 +1,65 @@
+#include "iosim/pfs_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace szx::iosim {
+namespace {
+
+void ValidateWorkload(const RankWorkload& w) {
+  if (w.compression_ratio < 1e-9 || w.compress_gbps <= 0.0 ||
+      w.decompress_gbps <= 0.0) {
+    throw std::invalid_argument("iosim: workload rates must be positive");
+  }
+}
+
+double IoTime(const PfsSpec& pfs, int ranks, double bytes_per_rank) {
+  return bytes_per_rank / (EffectiveRankBandwidthGBps(pfs, ranks) * 1e9) +
+         pfs.latency_s;
+}
+
+}  // namespace
+
+double EffectiveRankBandwidthGBps(const PfsSpec& pfs, int ranks) {
+  if (ranks <= 0) {
+    throw std::invalid_argument("iosim: ranks must be positive");
+  }
+  return std::min(pfs.per_rank_bw_gbps,
+                  pfs.aggregate_bw_gbps / static_cast<double>(ranks));
+}
+
+PhaseTime SimulateDump(const PfsSpec& pfs, int ranks,
+                       const RankWorkload& w) {
+  ValidateWorkload(w);
+  PhaseTime t;
+  t.compute_s =
+      static_cast<double>(w.bytes_per_rank) / (w.compress_gbps * 1e9);
+  t.io_s = IoTime(pfs, ranks,
+                  static_cast<double>(w.bytes_per_rank) / w.compression_ratio);
+  return t;
+}
+
+PhaseTime SimulateLoad(const PfsSpec& pfs, int ranks,
+                       const RankWorkload& w) {
+  ValidateWorkload(w);
+  PhaseTime t;
+  t.io_s = IoTime(pfs, ranks,
+                  static_cast<double>(w.bytes_per_rank) / w.compression_ratio);
+  t.compute_s =
+      static_cast<double>(w.bytes_per_rank) / (w.decompress_gbps * 1e9);
+  return t;
+}
+
+PhaseTime SimulateRawDump(const PfsSpec& pfs, int ranks,
+                          std::uint64_t bytes_per_rank) {
+  PhaseTime t;
+  t.io_s = IoTime(pfs, ranks, static_cast<double>(bytes_per_rank));
+  return t;
+}
+
+PhaseTime SimulateRawLoad(const PfsSpec& pfs, int ranks,
+                          std::uint64_t bytes_per_rank) {
+  return SimulateRawDump(pfs, ranks, bytes_per_rank);
+}
+
+}  // namespace szx::iosim

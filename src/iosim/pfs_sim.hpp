@@ -1,0 +1,56 @@
+// Parallel-file-system + MPI-rank model for the Fig. 16 data
+// dumping/loading experiment.
+//
+// The paper runs 64-1024 MPI ranks, each compressing the Nyx dataset and
+// writing the compressed bytes to a Lustre PFS.  Here ranks are simulated:
+// compression time comes from *measured* single-rank throughput of the
+// actual codecs in this repository, and write/read time from a shared-
+// bandwidth PFS model (per-rank stream cap + aggregate cap, plus a fixed
+// open/close latency).  The conclusion the paper draws -- with a fast PFS
+// the compressor becomes the bottleneck, so SZx's speed wins end to end --
+// is a ratio argument this model preserves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace szx::iosim {
+
+struct PfsSpec {
+  std::string name = "theta-lustre";
+  double aggregate_bw_gbps = 120.0;  ///< shared across all ranks
+  double per_rank_bw_gbps = 1.8;     ///< single-stream cap
+  double latency_s = 0.01;           ///< open/close + metadata
+};
+
+struct RankWorkload {
+  std::uint64_t bytes_per_rank = 0;   ///< raw (uncompressed) bytes
+  double compress_gbps = 0.0;         ///< measured codec throughput
+  double decompress_gbps = 0.0;
+  double compression_ratio = 1.0;
+};
+
+struct PhaseTime {
+  double compute_s = 0.0;  ///< compression or decompression
+  double io_s = 0.0;       ///< PFS write or read
+  double total() const { return compute_s + io_s; }
+};
+
+/// Effective per-rank PFS bandwidth at a given job size.
+double EffectiveRankBandwidthGBps(const PfsSpec& pfs, int ranks);
+
+/// Dump: compress then write compressed bytes.
+PhaseTime SimulateDump(const PfsSpec& pfs, int ranks,
+                       const RankWorkload& workload);
+
+/// Load: read compressed bytes then decompress.
+PhaseTime SimulateLoad(const PfsSpec& pfs, int ranks,
+                       const RankWorkload& workload);
+
+/// Baseline without compression (raw write/read), for reference rows.
+PhaseTime SimulateRawDump(const PfsSpec& pfs, int ranks,
+                          std::uint64_t bytes_per_rank);
+PhaseTime SimulateRawLoad(const PfsSpec& pfs, int ranks,
+                          std::uint64_t bytes_per_rank);
+
+}  // namespace szx::iosim

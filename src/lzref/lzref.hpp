@@ -1,0 +1,38 @@
+// Fast lossless LZ77 byte compressor (the paper's "Zstd" comparator role:
+// a high-speed general-purpose lossless codec to contrast with error-bounded
+// lossy compression on floating-point data, Table 3 bottom row).
+//
+// Design: LZ4-style greedy parse with a single-probe hash table over 4-byte
+// prefixes, 64 KiB offsets, byte-aligned token stream, FNV-1a content
+// checksum verified on decompression.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace szx::lzref {
+
+struct LzStats {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t compressed_bytes = 0;
+  std::uint64_t num_matches = 0;
+  std::uint64_t literal_bytes = 0;
+};
+
+/// Compresses arbitrary bytes; never fails (worst case ~0.4% expansion plus
+/// a fixed header).
+ByteBuffer LzCompress(ByteSpan input, LzStats* stats = nullptr);
+
+/// Decompresses and verifies the checksum; throws szx::Error on any
+/// corruption or truncation.
+ByteBuffer LzDecompress(ByteSpan stream);
+
+/// Convenience wrappers for float fields.
+ByteBuffer LzCompressFloats(std::span<const float> data,
+                            LzStats* stats = nullptr);
+std::vector<float> LzDecompressFloats(ByteSpan stream);
+
+}  // namespace szx::lzref

@@ -1,0 +1,162 @@
+#include "metrics/quality_report.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace szx::metrics {
+namespace {
+
+template <typename T>
+std::pair<double, double> ErrorMoments(std::span<const T> a,
+                                       std::span<const T> b) {
+  double mean = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double e = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    if (!std::isfinite(e)) continue;
+    mean += e;
+    ++n;
+  }
+  if (n == 0) return {0.0, 0.0};
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double e = static_cast<double>(b[i]) - static_cast<double>(a[i]);
+    if (!std::isfinite(e)) continue;
+    var += (e - mean) * (e - mean);
+  }
+  var /= static_cast<double>(n);
+  return {mean, std::sqrt(var)};
+}
+
+}  // namespace
+
+template <typename T>
+double ErrorAutocorrelation(std::span<const T> original,
+                            std::span<const T> reconstructed,
+                            std::size_t lag) {
+  if (original.size() != reconstructed.size()) {
+    throw std::invalid_argument("metrics: size mismatch");
+  }
+  if (original.size() <= lag + 1) return 0.0;
+  const auto [mean, std_dev] = ErrorMoments(original, reconstructed);
+  if (std_dev == 0.0) return 0.0;
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i + lag < original.size(); ++i) {
+    const double e0 = static_cast<double>(reconstructed[i]) -
+                      static_cast<double>(original[i]) - mean;
+    const double e1 = static_cast<double>(reconstructed[i + lag]) -
+                      static_cast<double>(original[i + lag]) - mean;
+    if (!std::isfinite(e0) || !std::isfinite(e1)) continue;
+    acc += e0 * e1;
+    ++n;
+  }
+  return n == 0 ? 0.0
+                : acc / (static_cast<double>(n) * std_dev * std_dev);
+}
+
+template <typename T>
+double PearsonCorrelation(std::span<const T> a, std::span<const T> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("metrics: size mismatch");
+  }
+  double ma = 0.0, mb = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    ma += x;
+    mb += y;
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0, va = 0.0, vb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = static_cast<double>(a[i]);
+    const double y = static_cast<double>(b[i]);
+    if (!std::isfinite(x) || !std::isfinite(y)) continue;
+    cov += (x - ma) * (y - mb);
+    va += (x - ma) * (x - ma);
+    vb += (y - mb) * (y - mb);
+  }
+  const double denom = std::sqrt(va) * std::sqrt(vb);
+  return denom == 0.0 ? (va == vb ? 1.0 : 0.0) : cov / denom;
+}
+
+template <typename T>
+QualityReport AssessQuality(std::span<const T> original,
+                            std::span<const T> reconstructed,
+                            std::span<const std::size_t> dims,
+                            std::size_t compressed_bytes) {
+  if (original.size() != reconstructed.size()) {
+    throw std::invalid_argument("metrics: size mismatch");
+  }
+  QualityReport r;
+  r.distortion = ComputeDistortion(original, reconstructed);
+  const auto [mean, std_dev] = ErrorMoments(original, reconstructed);
+  r.error_mean = mean;
+  r.error_std = std_dev;
+  r.error_autocorr_lag1 = ErrorAutocorrelation(original, reconstructed, 1);
+  r.pearson_correlation = PearsonCorrelation(original, reconstructed);
+  if (compressed_bytes > 0) {
+    r.compression_ratio = static_cast<double>(original.size_bytes()) /
+                          static_cast<double>(compressed_bytes);
+  }
+  // SSIM: 2-D directly; 3-D slice-averaged along the slowest dimension.
+  if (dims.size() == 2 && dims[0] * dims[1] == original.size()) {
+    r.ssim = ComputeSsim2D(original, reconstructed, dims[1], dims[0]);
+  } else if (dims.size() == 3 &&
+             dims[0] * dims[1] * dims[2] == original.size()) {
+    const std::size_t plane = dims[1] * dims[2];
+    double acc = 0.0;
+    for (std::size_t z = 0; z < dims[0]; ++z) {
+      acc += ComputeSsim2D(original.subspan(z * plane, plane),
+                           reconstructed.subspan(z * plane, plane), dims[2],
+                           dims[1]);
+    }
+    r.ssim = acc / static_cast<double>(dims[0]);
+  } else {
+    r.ssim = 1.0;  // 1-D: no windowed structural metric
+  }
+  return r;
+}
+
+void QualityReport::Print(std::FILE* out) const {
+  std::fprintf(out, "  max |error|      %.6g\n", distortion.max_abs_error);
+  std::fprintf(out, "  MSE              %.6g\n", distortion.mse);
+  std::fprintf(out, "  PSNR             %.2f dB\n", distortion.psnr_db);
+  std::fprintf(out, "  SSIM             %.5f\n", ssim);
+  std::fprintf(out, "  error mean/std   %.3g / %.3g\n", error_mean,
+               error_std);
+  std::fprintf(out, "  error autocorr   %.4f (lag 1)\n",
+               error_autocorr_lag1);
+  std::fprintf(out, "  pearson corr     %.6f\n", pearson_correlation);
+  if (compression_ratio > 0.0) {
+    std::fprintf(out, "  compression      %.3fx\n", compression_ratio);
+  }
+}
+
+template QualityReport AssessQuality<float>(std::span<const float>,
+                                            std::span<const float>,
+                                            std::span<const std::size_t>,
+                                            std::size_t);
+template QualityReport AssessQuality<double>(std::span<const double>,
+                                             std::span<const double>,
+                                             std::span<const std::size_t>,
+                                             std::size_t);
+template double ErrorAutocorrelation<float>(std::span<const float>,
+                                            std::span<const float>,
+                                            std::size_t);
+template double ErrorAutocorrelation<double>(std::span<const double>,
+                                             std::span<const double>,
+                                             std::size_t);
+template double PearsonCorrelation<float>(std::span<const float>,
+                                          std::span<const float>);
+template double PearsonCorrelation<double>(std::span<const double>,
+                                           std::span<const double>);
+
+}  // namespace szx::metrics

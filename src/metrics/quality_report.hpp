@@ -1,0 +1,49 @@
+// Z-checker-style quality assessment (Tao et al., IJHPCA'19 -- the paper's
+// reference [30] for distortion evaluation): one call produces the full
+// set of reconstruction-quality statistics the lossy-compression community
+// reports -- PSNR, SSIM, max error, error moments, error autocorrelation
+// (detects structured artifacts) and the Pearson correlation between
+// original and reconstructed data.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+
+namespace szx::metrics {
+
+struct QualityReport {
+  Distortion distortion;
+  double ssim = 0.0;                 ///< slice-averaged for 3-D fields
+  double error_mean = 0.0;           ///< signed bias of the compressor
+  double error_std = 0.0;
+  double error_autocorr_lag1 = 0.0;  ///< ~0 for white error, ~1 structured
+  double pearson_correlation = 0.0;  ///< original vs reconstructed
+  double compression_ratio = 0.0;    ///< 0 when compressed size unknown
+
+  /// Human-readable summary (one line per metric).
+  void Print(std::FILE* out) const;
+};
+
+/// Full assessment of a reconstruction.  `dims` (slowest-first, 1-3
+/// entries) drives the SSIM slicing; `compressed_bytes` of 0 skips the
+/// ratio.
+template <typename T>
+QualityReport AssessQuality(std::span<const T> original,
+                            std::span<const T> reconstructed,
+                            std::span<const std::size_t> dims,
+                            std::size_t compressed_bytes = 0);
+
+/// Lag-k autocorrelation of the signed error sequence.
+template <typename T>
+double ErrorAutocorrelation(std::span<const T> original,
+                            std::span<const T> reconstructed,
+                            std::size_t lag = 1);
+
+/// Pearson correlation coefficient between two sequences.
+template <typename T>
+double PearsonCorrelation(std::span<const T> a, std::span<const T> b);
+
+}  // namespace szx::metrics

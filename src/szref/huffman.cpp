@@ -1,0 +1,237 @@
+#include "szref/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace szx::szref {
+namespace {
+
+constexpr int kMaxCodeLength = 32;
+constexpr std::size_t kAlphabet = 1 << 16;
+
+struct Node {
+  std::uint64_t freq;
+  std::uint32_t order;  // deterministic tie break
+  std::int32_t left;    // -1 for leaf
+  std::int32_t right;
+  std::uint32_t symbol;
+};
+
+struct HeapEntry {
+  std::uint64_t freq;
+  std::uint32_t order;
+  std::int32_t index;
+  bool operator>(const HeapEntry& o) const {
+    return freq != o.freq ? freq > o.freq : order > o.order;
+  }
+};
+
+// Computes code lengths via an explicit Huffman tree.
+void TreeLengths(const std::vector<std::uint64_t>& freq,
+                 std::vector<std::uint8_t>& lengths) {
+  std::vector<Node> nodes;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      heap;
+  std::uint32_t order = 0;
+  for (std::size_t s = 0; s < freq.size(); ++s) {
+    if (freq[s] == 0) continue;
+    nodes.push_back({freq[s], order, -1, -1, static_cast<std::uint32_t>(s)});
+    heap.push({freq[s], order, static_cast<std::int32_t>(nodes.size() - 1)});
+    ++order;
+  }
+  if (nodes.empty()) return;
+  if (nodes.size() == 1) {
+    lengths[nodes[0].symbol] = 1;
+    return;
+  }
+  while (heap.size() > 1) {
+    const HeapEntry a = heap.top();
+    heap.pop();
+    const HeapEntry b = heap.top();
+    heap.pop();
+    nodes.push_back({a.freq + b.freq, order, a.index, b.index, 0});
+    heap.push(
+        {a.freq + b.freq, order, static_cast<std::int32_t>(nodes.size() - 1)});
+    ++order;
+  }
+  // Iterative depth assignment from the root.
+  std::vector<std::pair<std::int32_t, int>> stack;
+  stack.emplace_back(heap.top().index, 0);
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes[idx];
+    if (n.left < 0) {
+      lengths[n.symbol] = static_cast<std::uint8_t>(depth == 0 ? 1 : depth);
+    } else {
+      stack.emplace_back(n.left, depth + 1);
+      stack.emplace_back(n.right, depth + 1);
+    }
+  }
+}
+
+}  // namespace
+
+void HuffmanCodec::BuildFromSymbols(std::span<const std::uint16_t> symbols) {
+  if (symbols.empty()) {
+    throw Error("huffman: cannot build a table from zero symbols");
+  }
+  std::vector<std::uint64_t> freq(kAlphabet, 0);
+  for (const std::uint16_t s : symbols) ++freq[s];
+
+  lengths_.assign(kAlphabet, 0);
+  TreeLengths(freq, lengths_);
+  // Length-limit by frequency dampening in the rare pathological case.
+  int rounds = 0;
+  while (*std::max_element(lengths_.begin(), lengths_.end()) >
+         kMaxCodeLength) {
+    for (auto& f : freq) {
+      if (f > 0) f = 1 + (f >> 2);
+    }
+    lengths_.assign(kAlphabet, 0);
+    TreeLengths(freq, lengths_);
+    if (++rounds > 8) {
+      throw Error("huffman: failed to limit code lengths");
+    }
+  }
+  BuildCanonical();
+}
+
+void HuffmanCodec::BuildCanonical() {
+  max_len_ = 0;
+  for (const std::uint8_t l : lengths_) max_len_ = std::max(max_len_, int(l));
+  codes_.assign(kAlphabet, 0);
+  first_code_.assign(max_len_ + 2, 0);
+  first_index_.assign(max_len_ + 2, 0);
+  sorted_symbols_.clear();
+
+  std::vector<std::uint32_t> count(max_len_ + 2, 0);
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    if (lengths_[s] > 0) ++count[lengths_[s]];
+  }
+  // Canonical: codes of a given length are consecutive, ordered by symbol.
+  std::uint32_t code = 0;
+  std::uint32_t index = 0;
+  for (int len = 1; len <= max_len_; ++len) {
+    first_code_[len] = code;
+    first_index_[len] = index;
+    code += count[len];
+    index += count[len];
+    code <<= 1;
+  }
+  sorted_symbols_.resize(index);
+  fast_table_.assign(std::size_t{1} << kFastBits, 0);
+  std::vector<std::uint32_t> next(max_len_ + 2);
+  for (int len = 1; len <= max_len_; ++len) next[len] = first_index_[len];
+  std::vector<std::uint32_t> next_code(max_len_ + 2);
+  for (int len = 1; len <= max_len_; ++len) next_code[len] = first_code_[len];
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    const int len = lengths_[s];
+    if (len == 0) continue;
+    sorted_symbols_[next[len]++] = static_cast<std::uint16_t>(s);
+    const std::uint32_t cw = next_code[len]++;
+    codes_[s] = cw;
+    if (len <= kFastBits) {
+      // Every kFastBits-bit word starting with this code decodes to it.
+      const std::uint32_t base = cw << (kFastBits - len);
+      const std::uint32_t span = std::uint32_t{1} << (kFastBits - len);
+      const std::uint32_t entry =
+          (static_cast<std::uint32_t>(s) << 8) |
+          static_cast<std::uint32_t>(len);
+      for (std::uint32_t k = 0; k < span; ++k) {
+        fast_table_[base + k] = entry;
+      }
+    }
+  }
+}
+
+void HuffmanCodec::WriteTable(ByteBuffer& out) const {
+  ByteWriter w(out);
+  std::uint32_t present = 0;
+  for (const std::uint8_t l : lengths_) present += l > 0 ? 1 : 0;
+  w.Write(present);
+  for (std::size_t s = 0; s < kAlphabet; ++s) {
+    if (lengths_[s] > 0) {
+      w.Write(static_cast<std::uint16_t>(s));
+      w.Write(lengths_[s]);
+    }
+  }
+}
+
+void HuffmanCodec::ReadTable(ByteReader& in) {
+  const std::uint32_t present = in.Read<std::uint32_t>();
+  if (present == 0 || present > kAlphabet) {
+    throw Error("huffman: corrupt table");
+  }
+  lengths_.assign(kAlphabet, 0);
+  for (std::uint32_t i = 0; i < present; ++i) {
+    const std::uint16_t s = in.Read<std::uint16_t>();
+    const std::uint8_t l = in.Read<std::uint8_t>();
+    if (l == 0 || l > kMaxCodeLength) {
+      throw Error("huffman: corrupt code length");
+    }
+    lengths_[s] = l;
+  }
+  BuildCanonical();
+}
+
+void HuffmanCodec::Encode(std::span<const std::uint16_t> symbols,
+                          BitWriter& bw) const {
+  for (const std::uint16_t s : symbols) {
+    const int len = lengths_[s];
+    if (len == 0) {
+      throw Error("huffman: symbol absent from table");
+    }
+    bw.WriteBits(codes_[s], len);
+  }
+}
+
+void HuffmanCodec::Decode(BitReader& br, std::size_t count,
+                          std::vector<std::uint16_t>& out) const {
+  out.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Fast path: one table probe resolves codes up to kFastBits long.
+    const std::uint32_t probe =
+        static_cast<std::uint32_t>(br.PeekBits(kFastBits));
+    const std::uint32_t entry = fast_table_[probe];
+    if (entry != 0) {
+      const int len = static_cast<int>(entry & 0xff);
+      if (static_cast<std::uint64_t>(len) <= br.remaining_bits()) {
+        br.Skip(static_cast<std::uint64_t>(len));
+        out[i] = static_cast<std::uint16_t>(entry >> 8);
+        continue;
+      }
+      throw Error("huffman: truncated code stream");
+    }
+    std::uint32_t code = 0;
+    int len = 0;
+    for (;;) {
+      code = (code << 1) | br.ReadBit();
+      ++len;
+      if (len > max_len_) {
+        throw Error("huffman: invalid code in stream");
+      }
+      // Codes of length `len` span [first_code_[len], first_code_[len] +
+      // count[len]); count is recoverable from the next first_index_.
+      const std::uint32_t span_end =
+          len < max_len_
+              ? first_index_[len + 1] - first_index_[len]
+              : static_cast<std::uint32_t>(sorted_symbols_.size()) -
+                    first_index_[len];
+      if (code >= first_code_[len] && code < first_code_[len] + span_end) {
+        out[i] = sorted_symbols_[first_index_[len] + (code - first_code_[len])];
+        break;
+      }
+    }
+  }
+}
+
+std::uint64_t HuffmanCodec::EncodedBits(
+    std::span<const std::uint16_t> symbols) const {
+  std::uint64_t bits = 0;
+  for (const std::uint16_t s : symbols) bits += lengths_[s];
+  return bits;
+}
+
+}  // namespace szx::szref

@@ -1,0 +1,59 @@
+// Canonical Huffman coder over 16-bit symbols, built for the SZ-style
+// baseline's quantization codes.  Self-describing: the code-length table is
+// serialized with the stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/stream.hpp"
+
+namespace szx::szref {
+
+/// Builds canonical codes from symbol frequencies and encodes/decodes
+/// symbol sequences.  Not thread-safe; one instance per stream.
+class HuffmanCodec {
+ public:
+  /// Builds the code table from the symbols that will be encoded.
+  /// Throws szx::Error if `symbols` is empty.
+  void BuildFromSymbols(std::span<const std::uint16_t> symbols);
+
+  /// Serializes the code-length table (sparse: only present symbols).
+  void WriteTable(ByteBuffer& out) const;
+
+  /// Reads a table previously written by WriteTable.
+  void ReadTable(ByteReader& in);
+
+  /// Encodes symbols into the bit stream (table must be built/read).
+  void Encode(std::span<const std::uint16_t> symbols, BitWriter& bw) const;
+
+  /// Decodes exactly `count` symbols.
+  void Decode(BitReader& br, std::size_t count,
+              std::vector<std::uint16_t>& out) const;
+
+  /// Total encoded size in bits for the given symbols (for size estimates).
+  std::uint64_t EncodedBits(std::span<const std::uint16_t> symbols) const;
+
+  int max_code_length() const { return max_len_; }
+
+ private:
+  void BuildCanonical();
+
+  // symbol -> code length (0 = absent).
+  std::vector<std::uint8_t> lengths_;
+  // symbol -> canonical code (right-aligned).
+  std::vector<std::uint32_t> codes_;
+  // Canonical decode tables per length.
+  std::vector<std::uint32_t> first_code_;   // first code of each length
+  std::vector<std::uint32_t> first_index_;  // index into sorted_symbols_
+  std::vector<std::uint16_t> sorted_symbols_;
+  // Table-driven fast path: for every kFastBits-bit prefix, the decoded
+  // (symbol, length) when a complete code fits, else length 0 -> slow path.
+  static constexpr int kFastBits = 11;
+  std::vector<std::uint32_t> fast_table_;  // (symbol << 8) | length
+  int max_len_ = 0;
+};
+
+}  // namespace szx::szref

@@ -1,0 +1,424 @@
+#include "szref/sz2.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "szref/huffman.hpp"
+
+namespace szx::szref {
+namespace {
+
+constexpr std::array<char, 4> kSz2Magic = {'S', 'Z', 'R', '2'};
+
+#pragma pack(push, 1)
+struct Sz2Header {
+  std::array<char, 4> magic = kSz2Magic;
+  std::uint8_t version = 1;
+  std::uint8_t ndims = 1;
+  std::uint8_t quant_bits = 16;
+  std::uint8_t eb_mode = 0;
+  std::uint32_t block_side = 6;
+  std::uint32_t reserved = 0;
+  double eb_user = 0.0;
+  double eb_abs = 0.0;
+  std::uint64_t dims[3] = {0, 0, 0};
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_regression = 0;
+  std::uint64_t num_unpredictable = 0;
+  std::uint64_t code_stream_bytes = 0;
+};
+#pragma pack(pop)
+
+struct Geometry {
+  std::size_t n[3] = {1, 1, 1};   // z, y, x extents
+  std::size_t nb[3] = {1, 1, 1};  // block counts
+  int ndims = 1;
+  std::uint32_t side = 6;
+};
+
+Geometry MakeGeometry(std::span<const std::size_t> dims, std::size_t count,
+                      std::uint32_t side) {
+  if (dims.empty() || dims.size() > 3) {
+    throw Error("sz2: dims must have 1..3 entries");
+  }
+  Geometry g;
+  g.ndims = static_cast<int>(dims.size());
+  for (std::size_t k = 0; k < dims.size(); ++k) {
+    g.n[3 - dims.size() + k] = dims[k];
+  }
+  if (g.n[0] * g.n[1] * g.n[2] != count) {
+    throw Error("sz2: dims product does not match element count");
+  }
+  if (side == 0) {
+    side = g.ndims == 3 ? 6 : (g.ndims == 2 ? 12 : 128);
+  }
+  if (side < 2 || side > 256) {
+    throw Error("sz2: block side must be in [2, 256]");
+  }
+  g.side = side;
+  for (int k = 0; k < 3; ++k) {
+    g.nb[k] = g.n[k] == 1 ? 1 : (g.n[k] + side - 1) / side;
+  }
+  return g;
+}
+
+double ResolveBound(std::span<const float> data, const Sz2Params& p) {
+  if (!(p.error_bound > 0.0) || !std::isfinite(p.error_bound)) {
+    throw Error("sz2: error bound must be finite and > 0");
+  }
+  if (p.quant_bits < 4 || p.quant_bits > 16) {
+    throw Error("sz2: quant_bits must be in [4, 16]");
+  }
+  if (p.mode == ErrorBoundMode::kAbsolute) return p.error_bound;
+  float gmin = 0.0f, gmax = 0.0f;
+  bool any = false;
+  for (const float v : data) {
+    if (!std::isfinite(v)) continue;
+    if (!any) {
+      gmin = gmax = v;
+      any = true;
+    } else {
+      gmin = std::min(gmin, v);
+      gmax = std::max(gmax, v);
+    }
+  }
+  return any ? p.error_bound * (static_cast<double>(gmax) -
+                                static_cast<double>(gmin))
+             : p.error_bound;
+}
+
+struct Coeffs {
+  double b0 = 0.0, bx = 0.0, by = 0.0, bz = 0.0;
+};
+
+// Least-squares hyperplane over a rectangular sub-block.  On a full grid
+// the coordinates are mutually orthogonal after centering, so each slope
+// has the closed form sum(d * (c - mean_c)) / sum((c - mean_c)^2) -- this
+// is exactly the multiplication mass the paper attributes to SZ 2.1.
+template <typename At>
+Coeffs FitRegression(At&& at, std::size_t cz, std::size_t cy,
+                     std::size_t cx) {
+  Coeffs c;
+  const double n = static_cast<double>(cz * cy * cx);
+  double mean = 0.0;
+  for (std::size_t z = 0; z < cz; ++z) {
+    for (std::size_t y = 0; y < cy; ++y) {
+      for (std::size_t x = 0; x < cx; ++x) {
+        mean += at(z, y, x);
+      }
+    }
+  }
+  mean /= n;
+  const double mx = (static_cast<double>(cx) - 1) / 2.0;
+  const double my = (static_cast<double>(cy) - 1) / 2.0;
+  const double mz = (static_cast<double>(cz) - 1) / 2.0;
+  double sxx = 0.0, syy = 0.0, szz = 0.0;
+  double sdx = 0.0, sdy = 0.0, sdz = 0.0;
+  for (std::size_t z = 0; z < cz; ++z) {
+    for (std::size_t y = 0; y < cy; ++y) {
+      for (std::size_t x = 0; x < cx; ++x) {
+        const double d = at(z, y, x);
+        const double dx = static_cast<double>(x) - mx;
+        const double dy = static_cast<double>(y) - my;
+        const double dz = static_cast<double>(z) - mz;
+        sdx += d * dx;
+        sdy += d * dy;
+        sdz += d * dz;
+        sxx += dx * dx;
+        syy += dy * dy;
+        szz += dz * dz;
+      }
+    }
+  }
+  c.bx = sxx > 0.0 ? sdx / sxx : 0.0;
+  c.by = syy > 0.0 ? sdy / syy : 0.0;
+  c.bz = szz > 0.0 ? sdz / szz : 0.0;
+  c.b0 = mean - c.bx * mx - c.by * my - c.bz * mz;
+  return c;
+}
+
+inline double Predict3(const Coeffs& c, std::size_t z, std::size_t y,
+                       std::size_t x) {
+  return c.b0 + c.bx * static_cast<double>(x) +
+         c.by * static_cast<double>(y) + c.bz * static_cast<double>(z);
+}
+
+// Lorenzo predictor over a flat buffer (same as the classic pipeline, with
+// zero-padding beyond the domain).
+inline float Lorenzo(const float* buf, const Geometry& g, std::size_t gz,
+                     std::size_t gy, std::size_t gx) {
+  const std::size_t sy = g.n[2];
+  const std::size_t sz = g.n[1] * g.n[2];
+  const std::size_t i = (gz * g.n[1] + gy) * g.n[2] + gx;
+  auto v = [&](bool cond, std::size_t idx) {
+    return cond ? buf[idx] : 0.0f;
+  };
+  switch (g.ndims) {
+    case 1:
+      return v(gx > 0, i - 1);
+    case 2:
+      return v(gx > 0, i - 1) + v(gy > 0, i - sy) -
+             v(gx > 0 && gy > 0, i - 1 - sy);
+    default:
+      return v(gx > 0, i - 1) + v(gy > 0, i - sy) + v(gz > 0, i - sz) -
+             v(gx > 0 && gy > 0, i - 1 - sy) -
+             v(gx > 0 && gz > 0, i - 1 - sz) -
+             v(gy > 0 && gz > 0, i - sy - sz) +
+             v(gx > 0 && gy > 0 && gz > 0, i - 1 - sy - sz);
+  }
+}
+
+}  // namespace
+
+ByteBuffer Sz2Compress(std::span<const float> data,
+                       std::span<const std::size_t> dims,
+                       const Sz2Params& params, Sz2Stats* stats) {
+  const double eb = ResolveBound(data, params);
+  Geometry g = MakeGeometry(dims, data.size(), params.block_side);
+  const double half_inv = 1.0 / (2.0 * eb);
+  const std::int64_t intv_radius = std::int64_t{1}
+                                   << (params.quant_bits - 1);
+
+  const std::uint64_t num_blocks = g.nb[0] * g.nb[1] * g.nb[2];
+  ByteBuffer selector((num_blocks + 7) / 8, std::byte{0});
+  ByteBuffer coeff_section;
+  ByteWriter coeff_w(coeff_section);
+  std::vector<std::uint16_t> codes(data.size());
+  std::vector<float> unpred;
+  std::vector<float> recon(data.size());
+  std::uint64_t num_regression = 0;
+
+  std::uint64_t block_index = 0;
+  for (std::size_t bz = 0; bz < g.nb[0]; ++bz) {
+    for (std::size_t by = 0; by < g.nb[1]; ++by) {
+      for (std::size_t bx = 0; bx < g.nb[2]; ++bx, ++block_index) {
+        const std::size_t z0 = bz * g.side, y0 = by * g.side,
+                          x0 = bx * g.side;
+        const std::size_t cz = std::min<std::size_t>(g.side, g.n[0] - z0);
+        const std::size_t cy = std::min<std::size_t>(g.side, g.n[1] - y0);
+        const std::size_t cx = std::min<std::size_t>(g.side, g.n[2] - x0);
+        auto at = [&](std::size_t z, std::size_t y, std::size_t x) {
+          return static_cast<double>(
+              data[((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + (x0 + x)]);
+        };
+        // Fit and select (sampled absolute errors, original-data Lorenzo
+        // as the estimate -- the SZ 2.1 heuristic).
+        const Coeffs c = FitRegression(at, cz, cy, cx);
+        double err_reg = 0.0, err_lor = 0.0;
+        for (std::size_t z = 0; z < cz; z += 2) {
+          for (std::size_t y = 0; y < cy; y += 2) {
+            for (std::size_t x = 0; x < cx; x += 2) {
+              const double d = at(z, y, x);
+              err_reg += std::fabs(d - Predict3(c, z, y, x));
+              err_lor += std::fabs(
+                  d - static_cast<double>(Lorenzo(data.data(), g, z0 + z,
+                                                  y0 + y, x0 + x)));
+            }
+          }
+        }
+        const bool use_regression = err_reg < err_lor;
+        if (use_regression) {
+          selector[block_index >> 3] |= std::byte{
+              static_cast<std::uint8_t>(1u << (block_index & 7))};
+          ++num_regression;
+          coeff_w.Write(static_cast<float>(c.b0));
+          coeff_w.Write(static_cast<float>(c.bx));
+          coeff_w.Write(static_cast<float>(c.by));
+          coeff_w.Write(static_cast<float>(c.bz));
+        }
+        // Quantize block residuals (traversal order matches decompression).
+        const Coeffs cf{static_cast<float>(c.b0), static_cast<float>(c.bx),
+                        static_cast<float>(c.by), static_cast<float>(c.bz)};
+        for (std::size_t z = 0; z < cz; ++z) {
+          for (std::size_t y = 0; y < cy; ++y) {
+            for (std::size_t x = 0; x < cx; ++x) {
+              const std::size_t gi =
+                  ((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + (x0 + x);
+              const float d = data[gi];
+              const double pred =
+                  use_regression
+                      ? Predict3(cf, z, y, x)
+                      : static_cast<double>(
+                            Lorenzo(recon.data(), g, z0 + z, y0 + y,
+                                    x0 + x));
+              bool escaped = true;
+              if (std::isfinite(d) && std::isfinite(pred)) {
+                const double q = std::nearbyint(
+                    (static_cast<double>(d) - pred) * half_inv);
+                if (std::fabs(q) <
+                    static_cast<double>(intv_radius) - 1.0) {
+                  const auto qi = static_cast<std::int64_t>(q);
+                  const float r = static_cast<float>(
+                      pred + 2.0 * eb * static_cast<double>(qi));
+                  if (std::fabs(static_cast<double>(r) - d) <= eb &&
+                      std::isfinite(r)) {
+                    codes[gi] =
+                        static_cast<std::uint16_t>(qi + intv_radius);
+                    recon[gi] = r;
+                    escaped = false;
+                  }
+                }
+              }
+              if (escaped) {
+                codes[gi] = 0;
+                unpred.push_back(d);
+                recon[gi] = d;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  Sz2Header h;
+  h.ndims = static_cast<std::uint8_t>(g.ndims);
+  h.quant_bits = static_cast<std::uint8_t>(params.quant_bits);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.block_side = g.side;
+  h.eb_user = params.error_bound;
+  h.eb_abs = eb;
+  for (std::size_t k = 0; k < dims.size(); ++k) h.dims[k] = dims[k];
+  h.num_elements = data.size();
+  h.num_blocks = num_blocks;
+  h.num_regression = num_regression;
+  h.num_unpredictable = unpred.size();
+
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.Write(h);
+  if (!data.empty()) {
+    out.insert(out.end(), selector.begin(), selector.end());
+    out.insert(out.end(), coeff_section.begin(), coeff_section.end());
+    HuffmanCodec codec;
+    codec.BuildFromSymbols(codes);
+    codec.WriteTable(out);
+    ByteBuffer bits;
+    BitWriter bw(bits);
+    codec.Encode(codes, bw);
+    bw.Flush();
+    h.code_stream_bytes = bits.size();
+    std::memcpy(out.data(), &h, sizeof(h));
+    ByteWriter w2(out);
+    w2.Write(static_cast<std::uint64_t>(bits.size()));
+    out.insert(out.end(), bits.begin(), bits.end());
+    w2.WriteBytes(unpred.data(), unpred.size() * sizeof(float));
+  }
+
+  if (stats != nullptr) {
+    stats->num_elements = data.size();
+    stats->num_blocks = num_blocks;
+    stats->num_regression_blocks = num_regression;
+    stats->num_unpredictable = unpred.size();
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = eb;
+  }
+  return out;
+}
+
+std::vector<float> Sz2Decompress(ByteSpan stream) {
+  ByteReader r(stream);
+  const Sz2Header h = r.Read<Sz2Header>();
+  if (h.magic != kSz2Magic || h.version != 1) {
+    throw Error("sz2: bad magic/version");
+  }
+  if (h.ndims < 1 || h.ndims > 3 || h.quant_bits < 4 || h.quant_bits > 16) {
+    throw Error("sz2: corrupt header");
+  }
+  std::vector<std::size_t> dims;
+  for (int k = 0; k < h.ndims; ++k) {
+    dims.push_back(static_cast<std::size_t>(h.dims[k]));
+  }
+  Geometry g = MakeGeometry(dims, h.num_elements, h.block_side);
+  std::vector<float> out(h.num_elements);
+  if (h.num_elements == 0) return out;
+
+  const std::uint64_t num_blocks = g.nb[0] * g.nb[1] * g.nb[2];
+  if (num_blocks != h.num_blocks) {
+    throw Error("sz2: corrupt block count");
+  }
+  ByteSpan selector = r.Slice((num_blocks + 7) / 8);
+  ByteSpan coeffs = r.Slice(h.num_regression * 4 * sizeof(float));
+  HuffmanCodec codec;
+  codec.ReadTable(r);
+  const std::uint64_t bit_bytes = r.Read<std::uint64_t>();
+  if (bit_bytes != h.code_stream_bytes) {
+    throw Error("sz2: corrupt code stream size");
+  }
+  ByteSpan bits = r.Slice(bit_bytes);
+  if (r.remaining() < h.num_unpredictable * sizeof(float)) {
+    throw Error("sz2: truncated unpredictable section");
+  }
+  ByteSpan unpred = r.Slice(h.num_unpredictable * sizeof(float));
+
+  std::vector<std::uint16_t> codes;
+  BitReader br(bits);
+  codec.Decode(br, h.num_elements, codes);
+
+  const std::int64_t intv_radius = std::int64_t{1} << (h.quant_bits - 1);
+  const double eb = h.eb_abs;
+  std::size_t up = 0;
+  std::size_t reg_index = 0;
+  std::uint64_t block_index = 0;
+  for (std::size_t bz = 0; bz < g.nb[0]; ++bz) {
+    for (std::size_t by = 0; by < g.nb[1]; ++by) {
+      for (std::size_t bx = 0; bx < g.nb[2]; ++bx, ++block_index) {
+        const std::size_t z0 = bz * g.side, y0 = by * g.side,
+                          x0 = bx * g.side;
+        const std::size_t cz = std::min<std::size_t>(g.side, g.n[0] - z0);
+        const std::size_t cy = std::min<std::size_t>(g.side, g.n[1] - y0);
+        const std::size_t cx = std::min<std::size_t>(g.side, g.n[2] - x0);
+        const bool use_regression =
+            (std::to_integer<unsigned>(selector[block_index >> 3]) >>
+             (block_index & 7)) &
+            1u;
+        Coeffs c;
+        if (use_regression) {
+          if (reg_index >= h.num_regression) {
+            throw Error("sz2: regression block overflow");
+          }
+          float b[4];
+          std::memcpy(b, coeffs.data() + reg_index * 16, 16);
+          c = {b[0], b[1], b[2], b[3]};
+          ++reg_index;
+        }
+        for (std::size_t z = 0; z < cz; ++z) {
+          for (std::size_t y = 0; y < cy; ++y) {
+            for (std::size_t x = 0; x < cx; ++x) {
+              const std::size_t gi =
+                  ((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + (x0 + x);
+              if (codes[gi] == 0) {
+                if (up >= h.num_unpredictable) {
+                  throw Error("sz2: unpredictable overflow");
+                }
+                float v;
+                std::memcpy(&v, unpred.data() + up * sizeof(float), 4);
+                out[gi] = v;
+                ++up;
+                continue;
+              }
+              const double pred =
+                  use_regression
+                      ? Predict3(c, z, y, x)
+                      : static_cast<double>(Lorenzo(out.data(), g, z0 + z,
+                                                    y0 + y, x0 + x));
+              const std::int64_t q =
+                  static_cast<std::int64_t>(codes[gi]) - intv_radius;
+              out[gi] = static_cast<float>(
+                  pred + 2.0 * eb * static_cast<double>(q));
+            }
+          }
+        }
+      }
+    }
+  }
+  if (up != h.num_unpredictable || reg_index != h.num_regression) {
+    throw Error("sz2: section count mismatch");
+  }
+  return out;
+}
+
+}  // namespace szx::szref

@@ -1,0 +1,47 @@
+// SZ 2.1-style compressor (Liang et al., IEEE BigData'18): the upgraded
+// baseline the paper actually compares against.  On top of the classic
+// Lorenzo pipeline (szref.hpp) it adds the *linear regression predictor*
+// the paper singles out as SZ 2.1's multiplication-heavy core: data is
+// split into small multidimensional blocks, each block least-squares-fits
+// a hyperplane f(x,y,z) = b0 + b1 x + b2 y + b3 z, and a per-block
+// selector picks regression or Lorenzo by sampled prediction error.
+// Regression prediction is neighbour-free (coefficients only), which is
+// why SZ 2.1 compresses smooth data better -- at the cost of the
+// coefficient fitting multiplications SZx's design rules out.
+//
+// Float32 only, like the rest of the baselines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace szx::szref {
+
+struct Sz2Params {
+  ErrorBoundMode mode = ErrorBoundMode::kValueRangeRelative;
+  double error_bound = 1e-3;
+  int quant_bits = 16;
+  /// Regression block edge length (SZ 2.1 uses 6 for 3-D, 12 for 2-D,
+  /// 128 for 1-D; 0 = pick by dimensionality).
+  std::uint32_t block_side = 0;
+};
+
+struct Sz2Stats {
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_blocks = 0;
+  std::uint64_t num_regression_blocks = 0;
+  std::uint64_t num_unpredictable = 0;
+  std::uint64_t compressed_bytes = 0;
+  double absolute_bound = 0.0;
+};
+
+ByteBuffer Sz2Compress(std::span<const float> data,
+                       std::span<const std::size_t> dims,
+                       const Sz2Params& params, Sz2Stats* stats = nullptr);
+
+std::vector<float> Sz2Decompress(ByteSpan stream);
+
+}  // namespace szx::szref

@@ -1,0 +1,409 @@
+#include "szref/szref.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "szref/huffman.hpp"
+
+#if defined(SZX_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace szx::szref {
+namespace {
+
+constexpr std::array<char, 4> kSzMagic = {'S', 'Z', 'R', '1'};
+constexpr std::array<char, 4> kSzMultiMagic = {'S', 'Z', 'R', 'M'};
+
+#pragma pack(push, 1)
+struct SzHeader {
+  std::array<char, 4> magic = kSzMagic;
+  std::uint8_t version = 1;
+  std::uint8_t ndims = 1;
+  std::uint8_t quant_bits = 16;
+  std::uint8_t eb_mode = 0;
+  double eb_user = 0.0;
+  double eb_abs = 0.0;
+  std::uint64_t dims[3] = {0, 0, 0};
+  std::uint64_t num_elements = 0;
+  std::uint64_t num_unpredictable = 0;
+  std::uint64_t code_stream_bytes = 0;
+};
+#pragma pack(pop)
+
+double ResolveBound(std::span<const float> data, const SzParams& p) {
+  if (!(p.error_bound > 0.0) || !std::isfinite(p.error_bound)) {
+    throw Error("szref: error bound must be finite and > 0");
+  }
+  if (p.quant_bits < 4 || p.quant_bits > 16) {
+    throw Error("szref: quant_bits must be in [4, 16]");
+  }
+  if (p.mode == ErrorBoundMode::kAbsolute) return p.error_bound;
+  float gmin = 0.0f, gmax = 0.0f;
+  bool any = false;
+  for (const float v : data) {
+    if (!std::isfinite(v)) continue;
+    if (!any) {
+      gmin = gmax = v;
+      any = true;
+    } else {
+      gmin = std::min(gmin, v);
+      gmax = std::max(gmax, v);
+    }
+  }
+  return any ? p.error_bound * (static_cast<double>(gmax) -
+                                static_cast<double>(gmin))
+             : p.error_bound;
+}
+
+// Lorenzo predictor of order ndims on the reconstructed buffer.  Missing
+// neighbours (block borders) contribute zero, which degrades gracefully to
+// lower-order prediction -- the behaviour of classic SZ.
+struct Dims {
+  std::size_t nz = 1, ny = 1, nx = 1;
+  int ndims = 1;
+};
+
+inline float Predict(const float* recon, std::size_t z, std::size_t y,
+                     std::size_t x, std::size_t i, const Dims& d) {
+  const std::size_t sx = 1;
+  const std::size_t sy = d.nx;
+  const std::size_t sz = d.nx * d.ny;
+  switch (d.ndims) {
+    case 1:
+      return x > 0 ? recon[i - sx] : 0.0f;
+    case 2: {
+      const float a = x > 0 ? recon[i - sx] : 0.0f;
+      const float b = y > 0 ? recon[i - sy] : 0.0f;
+      const float ab = (x > 0 && y > 0) ? recon[i - sx - sy] : 0.0f;
+      return a + b - ab;
+    }
+    default: {
+      const float fx = x > 0 ? recon[i - sx] : 0.0f;
+      const float fy = y > 0 ? recon[i - sy] : 0.0f;
+      const float fz = z > 0 ? recon[i - sz] : 0.0f;
+      const float fxy = (x > 0 && y > 0) ? recon[i - sx - sy] : 0.0f;
+      const float fxz = (x > 0 && z > 0) ? recon[i - sx - sz] : 0.0f;
+      const float fyz = (y > 0 && z > 0) ? recon[i - sy - sz] : 0.0f;
+      const float fxyz =
+          (x > 0 && y > 0 && z > 0) ? recon[i - sx - sy - sz] : 0.0f;
+      return fx + fy + fz - fxy - fxz - fyz + fxyz;
+    }
+  }
+}
+
+Dims MakeDims(std::span<const std::size_t> dims, std::size_t n) {
+  if (dims.empty() || dims.size() > 3) {
+    throw Error("szref: dims must have 1..3 entries");
+  }
+  Dims d;
+  d.ndims = static_cast<int>(dims.size());
+  if (dims.size() == 1) {
+    d.nx = dims[0];
+  } else if (dims.size() == 2) {
+    d.ny = dims[0];
+    d.nx = dims[1];
+  } else {
+    d.nz = dims[0];
+    d.ny = dims[1];
+    d.nx = dims[2];
+  }
+  if (d.nz * d.ny * d.nx != n) {
+    throw Error("szref: dims product does not match element count");
+  }
+  return d;
+}
+
+}  // namespace
+
+ByteBuffer SzCompress(std::span<const float> data,
+                      std::span<const std::size_t> dims,
+                      const SzParams& params, SzStats* stats) {
+  const Dims d = MakeDims(dims, data.size());
+  const double eb = ResolveBound(data, params);
+  const double half_inv = eb > 0.0 ? 1.0 / (2.0 * eb) : 0.0;
+  const std::int64_t intv_radius = std::int64_t{1}
+                                   << (params.quant_bits - 1);
+
+  std::vector<std::uint16_t> codes(data.size());
+  std::vector<float> unpred;
+  std::vector<float> recon(data.size());
+
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < d.nz; ++z) {
+    for (std::size_t y = 0; y < d.ny; ++y) {
+      for (std::size_t x = 0; x < d.nx; ++x, ++i) {
+        const float v = data[i];
+        const float pred = Predict(recon.data(), z, y, x, i, d);
+        bool escaped = true;
+        if (std::isfinite(v) && std::isfinite(pred) && eb > 0.0) {
+          const double diff = static_cast<double>(v) - pred;
+          const double q = std::nearbyint(diff * half_inv);
+          if (std::fabs(q) < static_cast<double>(intv_radius) - 1.0) {
+            const auto qi = static_cast<std::int64_t>(q);
+            const float r =
+                static_cast<float>(pred + 2.0 * eb * static_cast<double>(qi));
+            if (std::fabs(static_cast<double>(r) - v) <= eb &&
+                std::isfinite(r)) {
+              codes[i] = static_cast<std::uint16_t>(qi + intv_radius);
+              recon[i] = r;
+              escaped = false;
+            }
+          }
+        }
+        if (escaped) {
+          codes[i] = 0;  // escape: exact value stored out of band
+          unpred.push_back(v);
+          recon[i] = v;
+        }
+      }
+    }
+  }
+
+  SzHeader h;
+  h.ndims = static_cast<std::uint8_t>(d.ndims);
+  h.quant_bits = static_cast<std::uint8_t>(params.quant_bits);
+  h.eb_mode = static_cast<std::uint8_t>(params.mode);
+  h.eb_user = params.error_bound;
+  h.eb_abs = eb;
+  for (std::size_t k = 0; k < dims.size(); ++k) h.dims[k] = dims[k];
+  h.num_elements = data.size();
+  h.num_unpredictable = unpred.size();
+
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.Write(h);
+  if (!data.empty()) {
+    HuffmanCodec codec;
+    codec.BuildFromSymbols(codes);
+    codec.WriteTable(out);
+    ByteBuffer bit_section;
+    BitWriter bw(bit_section);
+    codec.Encode(codes, bw);
+    bw.Flush();
+    // Patch the code stream size into the already-written header.
+    h.code_stream_bytes = bit_section.size();
+    std::memcpy(out.data(), &h, sizeof(h));
+    ByteWriter w2(out);
+    w2.Write(static_cast<std::uint64_t>(bit_section.size()));
+    out.insert(out.end(), bit_section.begin(), bit_section.end());
+    w2.WriteBytes(unpred.data(), unpred.size() * sizeof(float));
+  }
+
+  if (stats != nullptr) {
+    stats->num_elements = data.size();
+    stats->num_unpredictable = unpred.size();
+    stats->huffman_bytes = h.code_stream_bytes;
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = eb;
+  }
+  return out;
+}
+
+std::vector<float> SzDecompress(ByteSpan stream) {
+  ByteReader r(stream);
+  const SzHeader h = r.Read<SzHeader>();
+  if (h.magic != kSzMagic || h.version != 1) {
+    throw Error("szref: bad magic/version");
+  }
+  if (h.ndims < 1 || h.ndims > 3 || h.quant_bits < 4 || h.quant_bits > 16) {
+    throw Error("szref: corrupt header");
+  }
+  std::vector<std::size_t> dims;
+  for (int k = 0; k < h.ndims; ++k) {
+    dims.push_back(static_cast<std::size_t>(h.dims[k]));
+  }
+  const Dims d = MakeDims(dims, h.num_elements);
+  std::vector<float> out(h.num_elements);
+  if (h.num_elements == 0) return out;
+
+  HuffmanCodec codec;
+  codec.ReadTable(r);
+  const std::uint64_t bit_bytes = r.Read<std::uint64_t>();
+  if (bit_bytes != h.code_stream_bytes) {
+    throw Error("szref: corrupt code stream size");
+  }
+  ByteSpan bits = r.Slice(bit_bytes);
+  if (r.remaining() < h.num_unpredictable * sizeof(float)) {
+    throw Error("szref: truncated unpredictable section");
+  }
+  ByteSpan unpred = r.Slice(h.num_unpredictable * sizeof(float));
+
+  std::vector<std::uint16_t> codes;
+  BitReader br(bits);
+  codec.Decode(br, h.num_elements, codes);
+
+  const std::int64_t intv_radius = std::int64_t{1} << (h.quant_bits - 1);
+  const double eb = h.eb_abs;
+  std::size_t up = 0;
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < d.nz; ++z) {
+    for (std::size_t y = 0; y < d.ny; ++y) {
+      for (std::size_t x = 0; x < d.nx; ++x, ++i) {
+        if (codes[i] == 0) {
+          if (up >= h.num_unpredictable) {
+            throw Error("szref: unpredictable value overflow");
+          }
+          float v;
+          std::memcpy(&v, unpred.data() + up * sizeof(float), sizeof(float));
+          out[i] = v;
+          ++up;
+        } else {
+          const float pred = Predict(out.data(), z, y, x, i, d);
+          const std::int64_t q =
+              static_cast<std::int64_t>(codes[i]) - intv_radius;
+          out[i] = static_cast<float>(pred +
+                                      2.0 * eb * static_cast<double>(q));
+        }
+      }
+    }
+  }
+  if (up != h.num_unpredictable) {
+    throw Error("szref: unpredictable count mismatch");
+  }
+  return out;
+}
+
+std::uint64_t SzElementCount(ByteSpan stream) {
+  if (stream.size() >= sizeof(SzHeader)) {
+    SzHeader h;
+    std::memcpy(&h, stream.data(), sizeof(h));
+    if (h.magic == kSzMagic) return h.num_elements;
+  }
+  // Multi-chunk wrapper: sum of chunks.
+  ByteReader r(stream);
+  std::array<char, 4> magic{};
+  r.ReadBytes(magic.data(), 4);
+  if (magic != kSzMultiMagic) {
+    throw Error("szref: bad magic");
+  }
+  const std::uint32_t chunks = r.Read<std::uint32_t>();
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> sizes(chunks);
+  for (auto& s : sizes) s = r.Read<std::uint64_t>();
+  for (const std::uint64_t s : sizes) {
+    ByteSpan chunk = r.Slice(s);
+    total += SzElementCount(chunk);
+  }
+  return total;
+}
+
+ByteBuffer SzCompressOmp(std::span<const float> data,
+                         std::span<const std::size_t> dims,
+                         const SzParams& params, SzStats* stats,
+                         int num_threads) {
+#if !defined(SZX_HAVE_OPENMP)
+  (void)num_threads;
+  // Still emit the multi-chunk container for format parity.
+#endif
+  const Dims d = MakeDims(dims, data.size());
+  // Chunk along the slowest dimension; prediction does not cross chunks
+  // (mirrors omp-SZ, at a small compression-ratio cost).
+  const std::size_t slow = d.ndims == 3 ? d.nz : (d.ndims == 2 ? d.ny : d.nx);
+  const std::size_t plane = data.size() / std::max<std::size_t>(slow, 1);
+#if defined(SZX_HAVE_OPENMP)
+  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+#else
+  int threads = 1;
+#endif
+  threads = static_cast<int>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(slow, 1)));
+
+  // Resolve the bound once, globally, so chunks agree.
+  SzParams chunk_params = params;
+  chunk_params.mode = ErrorBoundMode::kAbsolute;
+  chunk_params.error_bound = ResolveBound(data, params);
+
+  std::vector<ByteBuffer> chunks(threads);
+  std::vector<SzStats> chunk_stats(threads);
+  std::vector<std::size_t> starts(threads + 1, slow);
+  for (int c = 0; c < threads; ++c) {
+    starts[c] = slow * static_cast<std::size_t>(c) /
+                static_cast<std::size_t>(threads);
+  }
+#if defined(SZX_HAVE_OPENMP)
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#endif
+  for (int c = 0; c < threads; ++c) {
+    const std::size_t lo = starts[c];
+    const std::size_t hi = starts[c + 1];
+    if (lo >= hi) continue;
+    std::vector<std::size_t> sub_dims(dims.begin(), dims.end());
+    sub_dims[0] = hi - lo;
+    chunks[c] = SzCompress(data.subspan(lo * plane, (hi - lo) * plane),
+                           sub_dims, chunk_params, &chunk_stats[c]);
+  }
+
+  ByteBuffer out;
+  ByteWriter w(out);
+  w.WriteBytes(kSzMultiMagic.data(), 4);
+  w.Write(static_cast<std::uint32_t>(threads));
+  for (const auto& c : chunks) {
+    w.Write(static_cast<std::uint64_t>(c.size()));
+  }
+  for (const auto& c : chunks) out.insert(out.end(), c.begin(), c.end());
+
+  if (stats != nullptr) {
+    *stats = SzStats{};
+    for (const auto& cs : chunk_stats) {
+      stats->num_elements += cs.num_elements;
+      stats->num_unpredictable += cs.num_unpredictable;
+      stats->huffman_bytes += cs.huffman_bytes;
+    }
+    stats->compressed_bytes = out.size();
+    stats->absolute_bound = chunk_params.error_bound;
+  }
+  return out;
+}
+
+std::vector<float> SzDecompressOmp(ByteSpan stream, int num_threads) {
+  ByteReader r(stream);
+  std::array<char, 4> magic{};
+  r.ReadBytes(magic.data(), 4);
+  if (magic == kSzMagic) {
+    return SzDecompress(stream);
+  }
+  if (magic != kSzMultiMagic) {
+    throw Error("szref: bad magic");
+  }
+  const std::uint32_t chunks = r.Read<std::uint32_t>();
+  if (chunks == 0 || chunks > 4096) {
+    throw Error("szref: corrupt chunk count");
+  }
+  std::vector<ByteSpan> spans(chunks);
+  std::vector<std::uint64_t> sizes(chunks);
+  for (auto& s : sizes) s = r.Read<std::uint64_t>();
+  for (std::uint32_t c = 0; c < chunks; ++c) spans[c] = r.Slice(sizes[c]);
+
+  std::vector<std::uint64_t> counts(chunks);
+  std::vector<std::uint64_t> offsets(chunks + 1, 0);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    counts[c] = SzElementCount(spans[c]);
+    offsets[c + 1] = offsets[c] + counts[c];
+  }
+  std::vector<float> out(offsets[chunks]);
+  std::exception_ptr failure = nullptr;
+#if defined(SZX_HAVE_OPENMP)
+  const int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+#else
+  (void)num_threads;
+#endif
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    try {
+      const std::vector<float> part = SzDecompress(spans[c]);
+      std::copy(part.begin(), part.end(), out.begin() + offsets[c]);
+    } catch (...) {
+#if defined(SZX_HAVE_OPENMP)
+#pragma omp critical
+#endif
+      if (failure == nullptr) failure = std::current_exception();
+    }
+  }
+  if (failure != nullptr) std::rethrow_exception(failure);
+  return out;
+}
+
+}  // namespace szx::szref

@@ -1,0 +1,275 @@
+#include "zfpref/zfp_block.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <vector>
+
+namespace szx::zfpref {
+
+void FwdLift(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  // Non-orthogonal transform with lifting steps chosen so the inverse is
+  // exact in integer arithmetic (Lindstrom 2014, Sec. 4).
+  x += w; x >>= 1; w -= x;
+  z += y; z >>= 1; y -= z;
+  x += z; x >>= 1; z -= x;
+  w += y; w >>= 1; y -= w;
+  w += y >> 1; y -= w >> 1;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+void InvLift(Int* p, std::size_t s) {
+  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
+  y += w >> 1; w -= y >> 1;
+  y += w; w <<= 1; w -= y;
+  z += x; x <<= 1; x -= z;
+  y += z; z <<= 1; z -= y;
+  w += x; x <<= 1; x -= w;
+  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
+}
+
+void FwdXform(Int* block, int dims) {
+  switch (dims) {
+    case 1:
+      FwdLift(block, 1);
+      break;
+    case 2:
+      for (std::size_t y = 0; y < 4; ++y) FwdLift(block + 4 * y, 1);
+      for (std::size_t x = 0; x < 4; ++x) FwdLift(block + x, 4);
+      break;
+    case 3:
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t y = 0; y < 4; ++y)
+          FwdLift(block + 16 * z + 4 * y, 1);
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t x = 0; x < 4; ++x) FwdLift(block + 16 * z + x, 4);
+      for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x) FwdLift(block + 4 * y + x, 16);
+      break;
+    default:
+      throw Error("zfpref: dims must be 1..3");
+  }
+}
+
+void InvXform(Int* block, int dims) {
+  switch (dims) {
+    case 1:
+      InvLift(block, 1);
+      break;
+    case 2:
+      for (std::size_t x = 0; x < 4; ++x) InvLift(block + x, 4);
+      for (std::size_t y = 0; y < 4; ++y) InvLift(block + 4 * y, 1);
+      break;
+    case 3:
+      for (std::size_t y = 0; y < 4; ++y)
+        for (std::size_t x = 0; x < 4; ++x) InvLift(block + 4 * y + x, 16);
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t x = 0; x < 4; ++x) InvLift(block + 16 * z + x, 4);
+      for (std::size_t z = 0; z < 4; ++z)
+        for (std::size_t y = 0; y < 4; ++y)
+          InvLift(block + 16 * z + 4 * y, 1);
+      break;
+    default:
+      throw Error("zfpref: dims must be 1..3");
+  }
+}
+
+namespace {
+
+// Deterministic sequency order: ascending total degree i+j+k, ties broken
+// by max coordinate then lexicographic (z, y, x).  Any fixed order works as
+// long as encoder and decoder agree; low-sequency-first maximizes the
+// benefit of the embedded coding.
+std::vector<std::uint16_t> BuildPerm(int dims) {
+  const std::size_t n = BlockSize(dims);
+  std::vector<std::uint16_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint16_t>(i);
+  auto coords = [dims](std::uint16_t idx) {
+    std::array<int, 3> c = {0, 0, 0};
+    c[0] = idx & 3;                        // x
+    if (dims > 1) c[1] = (idx >> 2) & 3;   // y
+    if (dims > 2) c[2] = (idx >> 4) & 3;   // z
+    return c;
+  };
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::uint16_t a, std::uint16_t b) {
+                     const auto ca = coords(a);
+                     const auto cb = coords(b);
+                     const int sa = ca[0] + ca[1] + ca[2];
+                     const int sb = cb[0] + cb[1] + cb[2];
+                     if (sa != sb) return sa < sb;
+                     const int ma = std::max({ca[0], ca[1], ca[2]});
+                     const int mb = std::max({cb[0], cb[1], cb[2]});
+                     if (ma != mb) return ma < mb;
+                     return a < b;
+                   });
+  return perm;
+}
+
+}  // namespace
+
+std::span<const std::uint16_t> SequencyPerm(int dims) {
+  static const std::vector<std::uint16_t> p1 = BuildPerm(1);
+  static const std::vector<std::uint16_t> p2 = BuildPerm(2);
+  static const std::vector<std::uint16_t> p3 = BuildPerm(3);
+  switch (dims) {
+    case 1: return p1;
+    case 2: return p2;
+    case 3: return p3;
+    default: throw Error("zfpref: dims must be 1..3");
+  }
+}
+
+void EncodePlanes(std::span<const UInt> coeffs, int kmin, BitWriter& bw) {
+  const std::size_t size = coeffs.size();
+  if (size > 64) throw Error("zfpref: block too large");
+  std::size_t n = 0;  // values known significant so far
+  for (int k = 32; k-- > kmin;) {
+    // Extract bit plane k.
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      x += static_cast<std::uint64_t>((coeffs[i] >> k) & 1u) << i;
+    }
+    // Verbatim bits for already-significant values.
+    bw.WriteBits(x & ((n < 64 ? (std::uint64_t{1} << n) : 0) - 1), int(n));
+    x >>= (n < 64 ? n : 63);
+    if (n == 64) x = 0;
+    // Group-testing run-length coding of the sparse remainder
+    // (transcribed from zfp's encode_ints).
+    for (; n < size; x >>= 1, ++n) {
+      bw.WriteBit(x != 0 ? 1u : 0u);
+      if (x == 0) break;
+      for (; n < size - 1; x >>= 1, ++n) {
+        bw.WriteBit(static_cast<unsigned>(x & 1u));
+        if (x & 1u) break;
+      }
+    }
+  }
+}
+
+void DecodePlanes(std::span<UInt> coeffs, int kmin, BitReader& br) {
+  const std::size_t size = coeffs.size();
+  if (size > 64) throw Error("zfpref: block too large");
+  std::fill(coeffs.begin(), coeffs.end(), 0u);
+  std::size_t n = 0;
+  for (int k = 32; k-- > kmin;) {
+    std::uint64_t x = br.ReadBits(int(n));
+    // Mirror of the encoder's run-length loop.
+    for (std::size_t m = n; m < size;) {
+      if (br.ReadBit() == 0) break;
+      for (;;) {
+        if (m == size - 1) {
+          x += std::uint64_t{1} << m;
+          ++m;
+          break;
+        }
+        if (br.ReadBit() != 0) {
+          x += std::uint64_t{1} << m;
+          ++m;
+          break;
+        }
+        ++m;
+      }
+      n = m;
+    }
+    if (n < size) {
+      // n can only grow; loop above updated it via m.
+    }
+    // Deposit plane k.
+    for (std::size_t i = 0; i < size; ++i) {
+      coeffs[i] |= static_cast<UInt>((x >> i) & 1u) << k;
+    }
+  }
+}
+
+void EncodePlanesBudget(std::span<const UInt> coeffs, int kmin,
+                        std::uint64_t max_bits, BitWriter& bw) {
+  const std::size_t size = coeffs.size();
+  if (size > 64) throw Error("zfpref: block too large");
+  std::uint64_t bits = max_bits;
+  auto put = [&](unsigned bit) -> bool {
+    if (bits == 0) return false;
+    bw.WriteBit(bit);
+    --bits;
+    return true;
+  };
+  std::size_t n = 0;
+  for (int k = 32; bits > 0 && k-- > kmin;) {
+    std::uint64_t x = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      x += static_cast<std::uint64_t>((coeffs[i] >> k) & 1u) << i;
+    }
+    // Verbatim bits, clipped to the budget.
+    const std::size_t m =
+        std::min<std::uint64_t>(n, bits);
+    bw.WriteBits(x & ((m < 64 ? (std::uint64_t{1} << m) : 0) - 1),
+                 static_cast<int>(m));
+    bits -= m;
+    x >>= (n < 64 ? n : 63);
+    if (n == 64) x = 0;
+    for (; n < size; x >>= 1, ++n) {
+      if (!put(x != 0 ? 1u : 0u)) break;
+      if (x == 0) break;
+      bool found = false;
+      for (; n < size - 1; x >>= 1, ++n) {
+        if (!put(static_cast<unsigned>(x & 1u))) { found = true; break; }
+        if (x & 1u) break;
+      }
+      if (found && bits == 0) break;
+    }
+  }
+  // Pad to the exact budget.
+  while (bits > 0) {
+    bw.WriteBit(0);
+    --bits;
+  }
+}
+
+void DecodePlanesBudget(std::span<UInt> coeffs, int kmin,
+                        std::uint64_t max_bits, BitReader& br) {
+  const std::size_t size = coeffs.size();
+  if (size > 64) throw Error("zfpref: block too large");
+  std::fill(coeffs.begin(), coeffs.end(), 0u);
+  std::uint64_t bits = max_bits;
+  auto get = [&](unsigned& bit) -> bool {
+    if (bits == 0) return false;
+    bit = br.ReadBit();
+    --bits;
+    return true;
+  };
+  std::size_t n = 0;
+  for (int k = 32; bits > 0 && k-- > kmin;) {
+    const std::size_t m = std::min<std::uint64_t>(n, bits);
+    std::uint64_t x = br.ReadBits(static_cast<int>(m));
+    bits -= m;
+    for (std::size_t mm = n; mm < size;) {
+      unsigned group = 0;
+      if (!get(group)) break;
+      if (group == 0) break;
+      for (;;) {
+        if (mm == size - 1) {
+          x += std::uint64_t{1} << mm;
+          ++mm;
+          break;
+        }
+        unsigned bit = 0;
+        if (!get(bit)) { mm = size; break; }
+        if (bit != 0) {
+          x += std::uint64_t{1} << mm;
+          ++mm;
+          break;
+        }
+        ++mm;
+      }
+      if (mm <= size) n = std::min(mm, size);
+      if (bits == 0) break;
+    }
+    for (std::size_t i = 0; i < size; ++i) {
+      coeffs[i] |= static_cast<UInt>((x >> i) & 1u) << k;
+    }
+  }
+  // Consume any padding so the caller's stream stays aligned.
+  br.Skip(bits);
+}
+
+}  // namespace szx::zfpref

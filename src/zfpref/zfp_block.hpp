@@ -1,0 +1,65 @@
+// ZFP-style block transform primitives (Lindstrom, TVCG 2014): reversible
+// integer lifting transform over 4-point vectors, sequency reordering,
+// negabinary mapping, and the embedded group-testing bit-plane codec.
+// These operate on 4 / 4x4 / 4x4x4 blocks of int32 coefficients.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "core/stream.hpp"
+
+namespace szx::zfpref {
+
+using Int = std::int32_t;
+using UInt = std::uint32_t;
+
+/// Number of values in a d-dimensional block (4^d).
+constexpr std::size_t BlockSize(int dims) {
+  return std::size_t{1} << (2 * dims);
+}
+
+/// Forward lifting transform of one 4-vector with stride s (in place).
+void FwdLift(Int* p, std::size_t s);
+
+/// Exact inverse of FwdLift.
+void InvLift(Int* p, std::size_t s);
+
+/// Full separable forward/inverse transform of a 4^d block (in place,
+/// block laid out row-major x fastest).
+void FwdXform(Int* block, int dims);
+void InvXform(Int* block, int dims);
+
+/// Sequency-order permutation for a d-dimensional block: perm[i] gives the
+/// block index of the i-th coefficient in increasing total sequency.
+std::span<const std::uint16_t> SequencyPerm(int dims);
+
+/// Two's complement <-> negabinary.
+inline UInt Int2Uint(Int x) {
+  constexpr UInt kMask = 0xaaaaaaaau;
+  return (static_cast<UInt>(x) + kMask) ^ kMask;
+}
+
+inline Int Uint2Int(UInt x) {
+  constexpr UInt kMask = 0xaaaaaaaau;
+  return static_cast<Int>((x ^ kMask) - kMask);
+}
+
+/// Embedded bit-plane encoder: encodes planes [kmin, 32) of `n` negabinary
+/// coefficients (n <= 64), most significant plane first, with ZFP's
+/// group-testing run-length scheme.
+void EncodePlanes(std::span<const UInt> coeffs, int kmin, BitWriter& bw);
+
+/// Decoder counterpart; fills `coeffs` (zero-initialized by the callee).
+void DecodePlanes(std::span<UInt> coeffs, int kmin, BitReader& br);
+
+/// Budgeted variants for the fixed-rate mode (cuZFP's only mode, per the
+/// paper's Sec. 2): encoding stops after exactly `max_bits`, padding with
+/// zeros if the planes end early; decoding consumes exactly `max_bits`.
+void EncodePlanesBudget(std::span<const UInt> coeffs, int kmin,
+                        std::uint64_t max_bits, BitWriter& bw);
+void DecodePlanesBudget(std::span<UInt> coeffs, int kmin,
+                        std::uint64_t max_bits, BitReader& br);
+
+}  // namespace szx::zfpref

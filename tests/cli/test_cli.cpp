@@ -1,0 +1,198 @@
+// End-to-end integration tests of the szx_cli binary (path injected by
+// CMake as SZX_CLI_PATH): compress / info / verify / decompress round
+// trips through real files, plus failure modes.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace {
+
+#ifndef SZX_CLI_PATH
+#error "SZX_CLI_PATH must be defined by the build"
+#endif
+
+std::string TempPath(const char* name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/szx_cli_test_" +
+         name;
+}
+
+int RunCli(const std::string& args) {
+  const std::string cmd =
+      std::string(SZX_CLI_PATH) + " " + args + " > /dev/null 2>&1";
+  return std::system(cmd.c_str());
+}
+
+void WriteFloats(const std::string& path, const std::vector<float>& v) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+std::vector<float> ReadFloats(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<float> v(size / sizeof(float));
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(size));
+  return v;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = szx::testing::MakePattern<float>(
+        szx::testing::Pattern::kNoisySine, 50000, 77);
+    raw_ = TempPath("in.f32");
+    compressed_ = TempPath("out.szx");
+    recon_ = TempPath("recon.f32");
+    WriteFloats(raw_, data_);
+  }
+
+  void TearDown() override {
+    std::remove(raw_.c_str());
+    std::remove(compressed_.c_str());
+    std::remove(recon_.c_str());
+  }
+
+  std::vector<float> data_;
+  std::string raw_, compressed_, recon_;
+};
+
+TEST_F(CliTest, CompressDecompressRoundTrip) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                " -m abs -e 1e-3"),
+            0);
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_), 0);
+  const auto recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_NEAR(recon[i], data_[i], 1e-3) << i;
+  }
+}
+
+TEST_F(CliTest, VerifyPassesOnValidStream) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ + " -e 1e-3"),
+            0);
+  EXPECT_EQ(RunCli("verify -i " + raw_ + " -z " + compressed_), 0);
+}
+
+TEST_F(CliTest, InfoSucceeds) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ + " -b 64"), 0);
+  EXPECT_EQ(RunCli("info -i " + compressed_), 0);
+}
+
+TEST_F(CliTest, OmpFlagRoundTrip) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                " -e 1e-4 --omp 4"),
+            0);
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_ +
+                " --omp 4"),
+            0);
+  const auto recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+}
+
+TEST_F(CliTest, RejectsMissingInput) {
+  EXPECT_NE(RunCli("compress -i /nonexistent.f32 -o " + compressed_), 0);
+  EXPECT_NE(RunCli("decompress -i /nonexistent.szx -o " + recon_), 0);
+}
+
+TEST_F(CliTest, RejectsBadFlags) {
+  EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ + " -t f16"),
+            0);
+  EXPECT_NE(RunCli("frobnicate -i " + raw_), 0);
+  EXPECT_NE(RunCli(""), 0);
+}
+
+TEST_F(CliTest, RejectsCorruptStream) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_), 0);
+  // Truncate the compressed file.
+  {
+    std::ifstream in(compressed_, std::ios::binary | std::ios::ate);
+    const auto size = static_cast<std::size_t>(in.tellg());
+    in.seekg(0);
+    std::vector<char> buf(size / 2);
+    in.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+    in.close();
+    std::ofstream out(compressed_, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_NE(RunCli("decompress -i " + compressed_ + " -o " + recon_), 0);
+}
+
+TEST_F(CliTest, HybridRoundTrip) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                   " -e 1e-3 --hybrid"),
+            0);
+  EXPECT_EQ(RunCli("info -i " + compressed_), 0);
+  EXPECT_EQ(RunCli("verify -i " + raw_ + " -z " + compressed_), 0);
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_), 0);
+  const auto recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+}
+
+TEST_F(CliTest, PointwiseRelativeMode) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                   " -m pwrel -e 1e-3"),
+            0);
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_), 0);
+  const auto recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_LE(std::fabs(recon[i] - data_[i]),
+              1e-3 * std::fabs(data_[i]) + 1e-12)
+        << i;
+  }
+}
+
+TEST_F(CliTest, TuneSuggestsBlockSize) {
+  EXPECT_EQ(RunCli("tune -i " + raw_ + " -e 1e-3"), 0);
+}
+
+TEST_F(CliTest, ValidateAcceptsGoodRejectsBad) {
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_), 0);
+  EXPECT_EQ(RunCli("validate -i " + compressed_ + " --deep"), 0);
+  // Corrupt a byte in the middle and expect rejection (shallow or deep).
+  {
+    std::fstream f(compressed_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(80);
+    const char junk = 0x5a;
+    f.write(&junk, 1);
+  }
+  const int shallow = RunCli("validate -i " + compressed_);
+  const int deep = RunCli("validate -i " + compressed_ + " --deep");
+  EXPECT_TRUE(shallow != 0 || deep != 0);
+}
+
+TEST_F(CliTest, Float64RoundTrip) {
+  const std::string raw64 = TempPath("in.f64");
+  std::vector<double> d64(10000);
+  for (std::size_t i = 0; i < d64.size(); ++i) {
+    d64[i] = std::sin(0.001 * static_cast<double>(i));
+  }
+  {
+    std::ofstream out(raw64, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(d64.data()),
+              static_cast<std::streamsize>(d64.size() * sizeof(double)));
+  }
+  ASSERT_EQ(RunCli("compress -i " + raw64 + " -o " + compressed_ +
+                " -t f64 -m abs -e 1e-6"),
+            0);
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_), 0);
+  std::ifstream in(recon_, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<std::size_t>(in.tellg()),
+            d64.size() * sizeof(double));
+  std::remove(raw64.c_str());
+}
+
+}  // namespace

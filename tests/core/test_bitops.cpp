@@ -1,0 +1,153 @@
+// Bit-level tests of the IEEE-754 analysis helpers (Formulae 4 and 5).
+#include "core/bitops.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+namespace szx {
+namespace {
+
+TEST(ExponentOf, PowersOfTwoFloat) {
+  EXPECT_EQ(ExponentOf(1.0f), 0);
+  EXPECT_EQ(ExponentOf(2.0f), 1);
+  EXPECT_EQ(ExponentOf(0.5f), -1);
+  EXPECT_EQ(ExponentOf(1024.0f), 10);
+  EXPECT_EQ(ExponentOf(0.75f), -1);   // 2^-1 <= 0.75 < 2^0
+  EXPECT_EQ(ExponentOf(1.5f), 0);
+}
+
+TEST(ExponentOf, PowersOfTwoDouble) {
+  EXPECT_EQ(ExponentOf(1.0), 0);
+  EXPECT_EQ(ExponentOf(1e-3), -10);   // 2^-10 = 9.77e-4 <= 1e-3
+  EXPECT_EQ(ExponentOf(1e-4), -14);   // 2^-14 = 6.10e-5 <= 1e-4 < 2^-13
+  EXPECT_EQ(ExponentOf(8.0), 3);
+}
+
+TEST(ExponentOf, SignIgnored) {
+  EXPECT_EQ(ExponentOf(-4.0f), ExponentOf(4.0f));
+  EXPECT_EQ(ExponentOf(-1e-5), ExponentOf(1e-5));
+}
+
+TEST(ExponentOf, SubnormalsMatchIlogb) {
+  const float sub = std::numeric_limits<float>::denorm_min() * 19;
+  EXPECT_EQ(ExponentOf(sub), std::ilogb(sub));
+  const double dsub = std::numeric_limits<double>::denorm_min() * 123456789.0;
+  EXPECT_EQ(ExponentOf(dsub), std::ilogb(dsub));
+}
+
+TEST(ExponentOf, ZeroIsBelowAllRepresentable) {
+  EXPECT_LT(ExponentOf(0.0f),
+            std::ilogb(std::numeric_limits<float>::denorm_min()));
+  EXPECT_LT(ExponentOf(0.0),
+            std::ilogb(std::numeric_limits<double>::denorm_min()));
+}
+
+TEST(ExponentOf, ConsistentWithDefinition) {
+  // 2^p <= |x| < 2^(p+1) for assorted finite values.
+  for (double x : {3.7, 0.001, 123456.0, 5e-20, 7e12, 0.9999}) {
+    const int p = ExponentOf(x);
+    EXPECT_LE(std::ldexp(1.0, p), x) << x;
+    EXPECT_LT(x, std::ldexp(1.0, p + 1)) << x;
+  }
+}
+
+TEST(ComputeReqPlan, ByteAlignmentInvariant) {
+  for (int rad = -140; rad <= 120; ++rad) {
+    for (int eb = -140; eb <= 120; ++eb) {
+      const ReqPlan p = ComputeReqPlan<float>(rad, eb);
+      EXPECT_EQ((p.req_length + p.shift) % 8, 0);
+      EXPECT_EQ(p.num_bytes, (p.req_length + p.shift) / 8);
+      EXPECT_GE(p.req_length, FloatTraits<float>::kMinReqLength);
+      EXPECT_LE(p.req_length, FloatTraits<float>::kTotalBits);
+      EXPECT_LT(p.shift, 8);
+    }
+  }
+}
+
+TEST(ComputeReqPlan, FloatBoundaries) {
+  // rad far below eb: sign + exponent only.
+  EXPECT_EQ(ComputeReqPlan<float>(-60, -10).req_length, 9);
+  // rad far above eb: full precision.
+  EXPECT_EQ(ComputeReqPlan<float>(30, -120).req_length, 32);
+  // One mantissa bit when exponents are equal.
+  EXPECT_EQ(ComputeReqPlan<float>(-10, -10).req_length, 10);
+}
+
+TEST(ComputeReqPlan, DoubleBoundaries) {
+  EXPECT_EQ(ComputeReqPlan<double>(-200, -10).req_length, 12);
+  EXPECT_EQ(ComputeReqPlan<double>(100, -1000).req_length, 64);
+  EXPECT_EQ(ComputeReqPlan<double>(-10, -10).req_length, 13);
+}
+
+TEST(ComputeReqPlan, ShiftFormula) {
+  // Formula 5: s = 0 when R % 8 == 0, else 8 - R % 8.
+  const ReqPlan p16 = ComputeReqPlan<float>(-4, -11);  // m = 8 -> R = 17
+  EXPECT_EQ(p16.req_length, 17);
+  EXPECT_EQ(p16.shift, 7);
+  EXPECT_EQ(p16.num_bytes, 3);
+  const ReqPlan p24 = ComputeReqPlan<float>(0, -14);  // m = 15 -> R = 24
+  EXPECT_EQ(p24.req_length, 24);
+  EXPECT_EQ(p24.shift, 0);
+  EXPECT_EQ(p24.num_bytes, 3);
+}
+
+TEST(PlanFromReqLength, RoundTripsComputeReqPlan) {
+  for (int rad = -60; rad <= 60; rad += 3) {
+    for (int eb = -40; eb <= 10; eb += 3) {
+      const ReqPlan a = ComputeReqPlan<double>(rad, eb);
+      const ReqPlan b = PlanFromReqLength<double>(a.req_length);
+      EXPECT_EQ(a.shift, b.shift);
+      EXPECT_EQ(a.num_bytes, b.num_bytes);
+    }
+  }
+}
+
+TEST(PlanFromReqLength, RejectsOutOfRange) {
+  EXPECT_THROW(PlanFromReqLength<float>(8), Error);
+  EXPECT_THROW(PlanFromReqLength<float>(33), Error);
+  EXPECT_THROW(PlanFromReqLength<double>(11), Error);
+  EXPECT_THROW(PlanFromReqLength<double>(65), Error);
+  EXPECT_NO_THROW(PlanFromReqLength<float>(9));
+  EXPECT_NO_THROW(PlanFromReqLength<float>(32));
+}
+
+TEST(KeepMask, CoversTopBytes) {
+  EXPECT_EQ(KeepMask<float>(0), 0u);
+  EXPECT_EQ(KeepMask<float>(1), 0xff000000u);
+  EXPECT_EQ(KeepMask<float>(2), 0xffff0000u);
+  EXPECT_EQ(KeepMask<float>(4), 0xffffffffu);
+  EXPECT_EQ(KeepMask<double>(3), 0xffffff0000000000ull);
+  EXPECT_EQ(KeepMask<double>(8), ~0ull);
+}
+
+TEST(LeadingIdenticalBytes, CountsAndCaps) {
+  EXPECT_EQ(LeadingIdenticalBytes<float>(0x12345678u, 0x12345678u), 3);
+  EXPECT_EQ(LeadingIdenticalBytes<float>(0x12345678u, 0x12345679u), 3);
+  EXPECT_EQ(LeadingIdenticalBytes<float>(0x12345678u, 0x12345778u), 2);
+  EXPECT_EQ(LeadingIdenticalBytes<float>(0x12345678u, 0x12335678u), 1);
+  EXPECT_EQ(LeadingIdenticalBytes<float>(0x12345678u, 0x92345678u), 0);
+  EXPECT_EQ(LeadingIdenticalBytes<double>(0x1122334455667788ull,
+                                          0x1122334455667789ull),
+            3);  // capped at 3 even with 7 identical bytes
+}
+
+TEST(TopByte, ExtractAndPlaceRoundTrip) {
+  const std::uint32_t w = 0xa1b2c3d4u;
+  EXPECT_EQ(TopByte<float>(w, 0), 0xa1);
+  EXPECT_EQ(TopByte<float>(w, 1), 0xb2);
+  EXPECT_EQ(TopByte<float>(w, 2), 0xc3);
+  EXPECT_EQ(TopByte<float>(w, 3), 0xd4);
+  std::uint32_t r = 0;
+  for (int j = 0; j < 4; ++j) r |= PlaceTopByte<float>(TopByte<float>(w, j), j);
+  EXPECT_EQ(r, w);
+
+  const std::uint64_t d = 0x0102030405060708ull;
+  std::uint64_t rd = 0;
+  for (int j = 0; j < 8; ++j) {
+    rd |= PlaceTopByte<double>(TopByte<double>(d, j), j);
+  }
+  EXPECT_EQ(rd, d);
+}
+
+}  // namespace
+}  // namespace szx

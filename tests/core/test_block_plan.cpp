@@ -1,0 +1,106 @@
+// Unit tests of the shared per-block classification (block_plan.hpp) --
+// the single decision point all three compressors route through.
+#include "core/block_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+
+template <typename T>
+BlockStats<T> StatsOf(std::span<const T> block) {
+  return ComputeBlockStatsScalar<T>(block);
+}
+
+TEST(BlockPlan, ConstantWhenRadiusWithinBound) {
+  const std::vector<float> block = {1.0f, 1.0005f, 0.9995f, 1.0f};
+  const auto st = StatsOf<float>(block);
+  const auto d = DecideBlock<float>(block, st, ErrorBoundMode::kAbsolute,
+                                    1e-3, 1e-3, BoundExponent(1e-3));
+  EXPECT_TRUE(d.is_constant);
+  EXPECT_FLOAT_EQ(d.mu, 1.0f);
+}
+
+TEST(BlockPlan, NonConstantWhenRadiusExceedsBound) {
+  const std::vector<float> block = {1.0f, 1.5f, 0.5f, 1.0f};
+  const auto st = StatsOf<float>(block);
+  const auto d = DecideBlock<float>(block, st, ErrorBoundMode::kAbsolute,
+                                    1e-3, 1e-3, BoundExponent(1e-3));
+  EXPECT_FALSE(d.is_constant);
+  EXPECT_FALSE(d.is_lossless);
+  EXPECT_GE(d.plan.req_length, FloatTraits<float>::kMinReqLength);
+}
+
+TEST(BlockPlan, LosslessOnNonFinite) {
+  std::vector<float> block = {1.0f, 2.0f, 3.0f, 4.0f};
+  block[2] = std::numeric_limits<float>::quiet_NaN();
+  const auto st = StatsOf<float>(block);
+  const auto d = DecideBlock<float>(block, st, ErrorBoundMode::kAbsolute,
+                                    1e-3, 1e-3, BoundExponent(1e-3));
+  EXPECT_FALSE(d.is_constant);
+  EXPECT_TRUE(d.is_lossless);
+  EXPECT_EQ(d.mu, 0.0f);
+  EXPECT_EQ(d.plan.req_length, FloatTraits<float>::kTotalBits);
+}
+
+TEST(BlockPlan, LosslessWhenBoundBelowUlp) {
+  // Bound far below one ULP of the values: truncation cannot deliver it.
+  const std::vector<float> block = {1e8f, 1.0000001e8f, 1.0000002e8f,
+                                    9.9999f * 1e7f};
+  const auto st = StatsOf<float>(block);
+  const auto d = DecideBlock<float>(block, st, ErrorBoundMode::kAbsolute,
+                                    1e-8, 1e-8, BoundExponent(1e-8));
+  EXPECT_FALSE(d.is_constant);
+  EXPECT_TRUE(d.is_lossless);
+}
+
+TEST(BlockPlan, PointwiseRelativeUsesBlockMinAbs) {
+  // A block far from zero gets a generous per-block bound; the same shape
+  // near zero gets a tight one.
+  const std::vector<float> far = {1000.0f, 1000.4f, 999.6f, 1000.0f};
+  const std::vector<float> near = {1.0f, 1.4f, 0.6f, 1.0f};
+  const auto d_far = DecideBlock<float>(far, StatsOf<float>(far),
+                                        ErrorBoundMode::kPointwiseRelative,
+                                        1e-3, 0.0, kLosslessEbExpo);
+  const auto d_near = DecideBlock<float>(near, StatsOf<float>(near),
+                                         ErrorBoundMode::kPointwiseRelative,
+                                         1e-3, 0.0, kLosslessEbExpo);
+  // far: bound ~ 1.0 > radius 0.4 -> constant.  near: bound ~ 6e-4 <<
+  // radius 0.4 -> truncated.
+  EXPECT_TRUE(d_far.is_constant);
+  EXPECT_FALSE(d_near.is_constant);
+}
+
+TEST(BlockPlan, PointwiseRelativeZeroInBlockForcesLossless) {
+  const std::vector<float> block = {0.0f, 1.0f, 2.0f, 3.0f};
+  const auto d = DecideBlock<float>(block, StatsOf<float>(block),
+                                    ErrorBoundMode::kPointwiseRelative,
+                                    1e-2, 0.0, kLosslessEbExpo);
+  EXPECT_FALSE(d.is_constant);
+  EXPECT_TRUE(d.is_lossless);
+}
+
+TEST(BlockPlan, BoundExponentSentinel) {
+  EXPECT_EQ(BoundExponent(0.0), kLosslessEbExpo);
+  EXPECT_EQ(BoundExponent(1.0), 0);
+  EXPECT_EQ(BoundExponent(0.75), -1);
+}
+
+TEST(BlockPlan, DoubleTypeDecisions) {
+  const auto data = MakePattern<double>(Pattern::kNoisySine, 128, 3);
+  const auto st = StatsOf<double>(data);
+  const auto d =
+      DecideBlock<double>(data, st, ErrorBoundMode::kAbsolute, 1e-6, 1e-6,
+                          BoundExponent(1e-6));
+  EXPECT_FALSE(d.is_constant);
+  EXPECT_FALSE(d.is_lossless);
+  EXPECT_LE(d.plan.req_length, FloatTraits<double>::kTotalBits);
+}
+
+}  // namespace
+}  // namespace szx

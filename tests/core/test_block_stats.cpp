@@ -1,0 +1,142 @@
+// Block statistics: scalar correctness and scalar/SIMD equivalence.
+#include "core/block_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+using testing::Rng;
+
+template <typename T>
+class BlockStatsTypedTest : public ::testing::Test {};
+using FloatTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(BlockStatsTypedTest, FloatTypes);
+
+TYPED_TEST(BlockStatsTypedTest, SimpleBlock) {
+  using T = TypeParam;
+  const std::vector<T> v = {T(1), T(5), T(3), T(2)};
+  const auto s = ComputeBlockStatsScalar<T>(v);
+  EXPECT_EQ(s.min, T(1));
+  EXPECT_EQ(s.max, T(5));
+  EXPECT_EQ(s.mu, T(3));
+  EXPECT_EQ(s.radius, T(2));
+  EXPECT_TRUE(s.all_finite);
+}
+
+TYPED_TEST(BlockStatsTypedTest, ConstantBlockHasZeroRadius) {
+  using T = TypeParam;
+  const std::vector<T> v(64, T(-7.5));
+  const auto s = ComputeBlockStatsScalar<T>(v);
+  EXPECT_EQ(s.radius, T(0));
+  EXPECT_EQ(s.mu, T(-7.5));
+}
+
+TYPED_TEST(BlockStatsTypedTest, RadiusBoundsNormalizedValues) {
+  using T = TypeParam;
+  // Property: for any finite block, |v - mu| <= radius for every v.
+  for (auto p : testing::AllPatterns()) {
+    const auto v = MakePattern<T>(p, 256, 13);
+    const auto s = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+    ASSERT_TRUE(s.all_finite) << testing::PatternName(p);
+    for (const T x : v) {
+      EXPECT_LE(std::abs(static_cast<double>(x) -
+                         static_cast<double>(s.mu)),
+                static_cast<double>(s.radius) * (1 + 1e-12))
+          << testing::PatternName(p);
+    }
+  }
+}
+
+TYPED_TEST(BlockStatsTypedTest, NonFiniteDetected) {
+  using T = TypeParam;
+  std::vector<T> v(32, T(1));
+  v[17] = std::numeric_limits<T>::quiet_NaN();
+  EXPECT_FALSE(ComputeBlockStatsScalar<T>(std::span<const T>(v)).all_finite);
+  v[17] = std::numeric_limits<T>::infinity();
+  EXPECT_FALSE(ComputeBlockStatsScalar<T>(std::span<const T>(v)).all_finite);
+  v[17] = -std::numeric_limits<T>::infinity();
+  EXPECT_FALSE(ComputeBlockStatsScalar<T>(std::span<const T>(v)).all_finite);
+  v[17] = T(2);
+  EXPECT_TRUE(ComputeBlockStatsScalar<T>(std::span<const T>(v)).all_finite);
+}
+
+TYPED_TEST(BlockStatsTypedTest, ExtremeRangeDoesNotOverflow) {
+  using T = TypeParam;
+  const std::vector<T> v = {std::numeric_limits<T>::lowest(),
+                            std::numeric_limits<T>::max(), T(0)};
+  const auto s = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+  EXPECT_TRUE(std::isfinite(s.mu));
+  EXPECT_TRUE(std::isfinite(s.radius));
+}
+
+TYPED_TEST(BlockStatsTypedTest, SimdMatchesScalarOnPatterns) {
+  using T = TypeParam;
+  for (auto p : testing::AllPatterns()) {
+    for (std::size_t n : {1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 64u, 127u,
+                          128u, 1000u}) {
+      const auto v = MakePattern<T>(p, n, 21);
+      const auto a = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+      const auto b = ComputeBlockStatsSimd<T>(std::span<const T>(v));
+      EXPECT_EQ(a.min, b.min) << testing::PatternName(p) << " n=" << n;
+      EXPECT_EQ(a.max, b.max) << testing::PatternName(p) << " n=" << n;
+      EXPECT_EQ(a.mu, b.mu) << testing::PatternName(p) << " n=" << n;
+      EXPECT_EQ(a.radius, b.radius) << testing::PatternName(p) << " n=" << n;
+      EXPECT_EQ(a.all_finite, b.all_finite);
+    }
+  }
+}
+
+TYPED_TEST(BlockStatsTypedTest, SimdMatchesScalarWithSpecials) {
+  using T = TypeParam;
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<T> v(64);
+    for (auto& x : v) x = static_cast<T>(rng.Uniform(-10, 10));
+    // Sprinkle specials at random positions.
+    const std::size_t pos = rng.Next() % v.size();
+    switch (trial % 4) {
+      case 0: v[pos] = std::numeric_limits<T>::quiet_NaN(); break;
+      case 1: v[pos] = std::numeric_limits<T>::infinity(); break;
+      case 2: v[pos] = -std::numeric_limits<T>::infinity(); break;
+      case 3: v[pos] = -T(0); break;
+    }
+    const auto a = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+    const auto b = ComputeBlockStatsSimd<T>(std::span<const T>(v));
+    EXPECT_EQ(a.all_finite, b.all_finite) << trial;
+    if (a.all_finite) {
+      EXPECT_EQ(a.mu, b.mu);
+      EXPECT_EQ(a.radius, b.radius);
+    }
+  }
+}
+
+TYPED_TEST(BlockStatsTypedTest, GlobalRangeSkipsNonFinite) {
+  using T = TypeParam;
+  std::vector<T> v = {T(3), std::numeric_limits<T>::infinity(), T(-2),
+                      std::numeric_limits<T>::quiet_NaN(), T(10)};
+  const auto r = ComputeGlobalRange<T>(std::span<const T>(v));
+  EXPECT_TRUE(r.any_finite);
+  EXPECT_EQ(r.min, T(-2));
+  EXPECT_EQ(r.max, T(10));
+}
+
+TYPED_TEST(BlockStatsTypedTest, GlobalRangeAllNonFinite) {
+  using T = TypeParam;
+  const std::vector<T> v(4, std::numeric_limits<T>::quiet_NaN());
+  EXPECT_FALSE(ComputeGlobalRange<T>(std::span<const T>(v)).any_finite);
+  EXPECT_FALSE(ComputeGlobalRange<T>(std::span<const T>()).any_finite);
+}
+
+TEST(BlockStats, EmptyBlock) {
+  const auto s = ComputeBlockStatsScalar<float>({});
+  EXPECT_EQ(s.radius, 0.0f);
+  EXPECT_TRUE(s.all_finite);
+}
+
+}  // namespace
+}  // namespace szx

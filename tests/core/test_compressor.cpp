@@ -1,0 +1,328 @@
+// End-to-end serial codec tests: the paper's central invariant is that every
+// reconstructed value is within the user-specified error bound (Formula 1).
+#include "core/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/block_stats.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+using testing::Rng;
+using testing::WithinBound;
+
+// ---------------------------------------------------------------------------
+// Parameterized absolute-bound sweep across types, patterns, block sizes,
+// bounds and solutions.
+// ---------------------------------------------------------------------------
+
+using Case = std::tuple<int /*pattern*/, int /*block*/, double /*eb*/,
+                        int /*solution*/>;
+
+template <SupportedFloat T>
+void CheckAbsoluteRoundTrip(Pattern pattern, std::uint32_t block, double eb,
+                            CommitSolution sol, std::size_t n = 10000) {
+  const auto data = MakePattern<T>(pattern, n, 42);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = eb;
+  p.block_size = block;
+  p.solution = sol;
+  CompressionStats stats;
+  const ByteBuffer stream = Compress<T>(data, p, &stats);
+  EXPECT_EQ(stats.num_elements, n);
+  EXPECT_EQ(stats.num_blocks, (n + block - 1) / block);
+  EXPECT_EQ(stats.compressed_bytes, stream.size());
+  const std::vector<T> out = Decompress<T>(stream);
+  EXPECT_TRUE(WithinBound<T>(data, out, eb));
+}
+
+class CompressSweepF32 : public ::testing::TestWithParam<Case> {};
+class CompressSweepF64 : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CompressSweepF32, AbsoluteBoundHolds) {
+  const auto [pat, block, eb, sol] = GetParam();
+  CheckAbsoluteRoundTrip<float>(static_cast<Pattern>(pat),
+                                static_cast<std::uint32_t>(block), eb,
+                                static_cast<CommitSolution>(sol));
+}
+
+TEST_P(CompressSweepF64, AbsoluteBoundHolds) {
+  const auto [pat, block, eb, sol] = GetParam();
+  CheckAbsoluteRoundTrip<double>(static_cast<Pattern>(pat),
+                                 static_cast<std::uint32_t>(block), eb,
+                                 static_cast<CommitSolution>(sol));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressSweepF32,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(8, 128, 224),
+                       ::testing::Values(1e-2, 1e-5),
+                       ::testing::Values(0, 1, 2)));
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressSweepF64,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(8, 128, 224),
+                       ::testing::Values(1e-2, 1e-8),
+                       ::testing::Values(0, 1, 2)));
+
+// ---------------------------------------------------------------------------
+// Value-range-relative mode.
+// ---------------------------------------------------------------------------
+
+TEST(CompressorRel, RelativeBoundScalesWithRange) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 50000, 1);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  CompressionStats stats;
+  const auto stream = Compress<float>(data, p, &stats);
+  const auto range = ComputeGlobalRange<float>(std::span<const float>(data));
+  const double abs =
+      1e-3 * (static_cast<double>(range.max) - static_cast<double>(range.min));
+  EXPECT_DOUBLE_EQ(stats.absolute_bound, abs);
+  const auto out = Decompress<float>(stream);
+  EXPECT_TRUE(WithinBound<float>(data, out, abs));
+}
+
+TEST(CompressorRel, TighterBoundNeverCompressesBetter) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 100000, 9);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  std::size_t prev = 0;
+  for (double eb : {1e-2, 1e-3, 1e-4, 1e-5}) {
+    p.error_bound = eb;
+    const auto stream = Compress<float>(data, p);
+    EXPECT_GE(stream.size(), prev) << eb;
+    prev = stream.size();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(CompressorEdge, EmptyInput) {
+  Params p;
+  const auto stream = Compress<float>(std::span<const float>(), p);
+  const auto out = Decompress<float>(stream);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(CompressorEdge, SingleElement) {
+  const std::vector<double> data = {3.14159};
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-6;
+  const auto out = Decompress<double>(Compress<double>(data, p));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_NEAR(out[0], 3.14159, 1e-6);
+}
+
+TEST(CompressorEdge, RaggedLastBlock) {
+  for (std::size_t n : {127u, 129u, 255u, 1000u, 1027u}) {
+    const auto data = MakePattern<float>(Pattern::kNoisySine, n, n);
+    Params p;
+    p.mode = ErrorBoundMode::kAbsolute;
+    p.error_bound = 1e-3;
+    const auto out = Decompress<float>(Compress<float>(data, p));
+    EXPECT_TRUE(WithinBound<float>(data, out, 1e-3)) << n;
+  }
+}
+
+TEST(CompressorEdge, AllConstantDataCompressesMassively) {
+  const std::vector<float> data(100000, 2.5f);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-5;
+  CompressionStats stats;
+  const auto stream = Compress<float>(data, p, &stats);
+  EXPECT_EQ(stats.num_constant_blocks, stats.num_blocks);
+  EXPECT_GT(stats.CompressionRatio(sizeof(float)), 50.0);
+  const auto out = Decompress<float>(stream);
+  for (float v : out) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(CompressorEdge, NonFiniteValuesRoundTripLosslessly) {
+  auto data = MakePattern<float>(Pattern::kSmoothSine, 4096, 2);
+  data[100] = std::numeric_limits<float>::quiet_NaN();
+  data[2000] = std::numeric_limits<float>::infinity();
+  data[3000] = -std::numeric_limits<float>::infinity();
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  CompressionStats stats;
+  const auto stream = Compress<float>(data, p, &stats);
+  EXPECT_GE(stats.num_lossless_blocks, 1u);
+  const auto out = Decompress<float>(stream);
+  EXPECT_TRUE(std::isnan(out[100]));
+  EXPECT_EQ(out[2000], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(out[3000], -std::numeric_limits<float>::infinity());
+  // Values in lossless blocks are exact.
+  EXPECT_EQ(out[101], data[101]);
+}
+
+TEST(CompressorEdge, IncompressibleDataFallsBackToRawPassthrough) {
+  // White noise at a tiny bound cannot compress; the raw frame caps the
+  // inflation at the header size.
+  Rng rng(17);
+  std::vector<float> data(5000);
+  for (auto& v : data) {
+    v = std::bit_cast<float>(
+        static_cast<std::uint32_t>(rng.Next() & 0x7f7fffffu));
+  }
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-30;
+  const auto stream = Compress<float>(data, p);
+  EXPECT_LE(stream.size(), sizeof(Header) + data.size() * sizeof(float));
+  const auto out = Decompress<float>(stream);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(data[i]),
+              std::bit_cast<std::uint32_t>(out[i]));
+  }
+}
+
+TEST(CompressorEdge, SubnormalBoundIsHonored) {
+  const auto data = MakePattern<double>(Pattern::kTinySubnormals, 2048, 5);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-320;  // subnormal bound
+  const auto out = Decompress<double>(Compress<double>(data, p));
+  EXPECT_TRUE(WithinBound<double>(data, out, 1e-320));
+}
+
+// ---------------------------------------------------------------------------
+// Parameter validation.
+// ---------------------------------------------------------------------------
+
+TEST(CompressorParams, RejectsBadBounds) {
+  const std::vector<float> data(16, 1.0f);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 0.0;
+  EXPECT_THROW(Compress<float>(data, p), Error);
+  p.error_bound = -1.0;
+  EXPECT_THROW(Compress<float>(data, p), Error);
+  p.error_bound = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(Compress<float>(data, p), Error);
+  p.error_bound = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(Compress<float>(data, p), Error);
+}
+
+TEST(CompressorParams, RejectsBadBlockSizes) {
+  const std::vector<float> data(16, 1.0f);
+  Params p;
+  p.block_size = 2;
+  EXPECT_THROW(Compress<float>(data, p), Error);
+  p.block_size = 100000;
+  EXPECT_THROW(Compress<float>(data, p), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Stream robustness.
+// ---------------------------------------------------------------------------
+
+TEST(CompressorStream, TypeMismatchRejected) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 1000, 1);
+  Params p;
+  const auto stream = Compress<float>(data, p);
+  EXPECT_THROW(Decompress<double>(stream), Error);
+}
+
+TEST(CompressorStream, TruncationRejected) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 10000, 1);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-4;
+  const auto stream = Compress<float>(data, p);
+  for (std::size_t keep :
+       {std::size_t{0}, std::size_t{10}, sizeof(Header), stream.size() / 2,
+        stream.size() - 1}) {
+    EXPECT_THROW(Decompress<float>(ByteSpan(stream.data(), keep)), Error)
+        << keep;
+  }
+}
+
+TEST(CompressorStream, CorruptMagicRejected) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 100, 1);
+  Params p;
+  auto stream = Compress<float>(data, p);
+  stream[0] = std::byte{'Q'};
+  EXPECT_THROW(Decompress<float>(stream), Error);
+}
+
+TEST(CompressorStream, WrongOutputSizeRejected) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 100, 1);
+  Params p;
+  const auto stream = Compress<float>(data, p);
+  std::vector<float> small(50);
+  EXPECT_THROW(DecompressInto<float>(stream, std::span<float>(small)), Error);
+}
+
+TEST(CompressorStream, PeekHeaderReportsMetadata) {
+  const auto data = MakePattern<double>(Pattern::kRamp, 12345, 1);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 5e-4;
+  p.block_size = 64;
+  const auto stream = Compress<double>(data, p);
+  const Header h = PeekHeader(stream);
+  EXPECT_EQ(h.num_elements, 12345u);
+  EXPECT_EQ(h.block_size, 64u);
+  EXPECT_EQ(h.dtype, static_cast<std::uint8_t>(DataType::kFloat64));
+  EXPECT_DOUBLE_EQ(h.error_bound_abs, 5e-4);
+}
+
+// ---------------------------------------------------------------------------
+// Solution equivalence: A, B and C must produce identical reconstructions
+// value-for-value (they store the same R-bit prefixes).
+// ---------------------------------------------------------------------------
+
+TEST(CompressorSolutions, IdenticalReconstructions) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 20000, 31);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-4;
+  p.solution = CommitSolution::kA;
+  const auto out_a = Decompress<float>(Compress<float>(data, p));
+  p.solution = CommitSolution::kB;
+  const auto out_b = Decompress<float>(Compress<float>(data, p));
+  p.solution = CommitSolution::kC;
+  const auto out_c = Decompress<float>(Compress<float>(data, p));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(out_a[i], out_c[i]) << i;
+    ASSERT_EQ(out_b[i], out_c[i]) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Paper Sec. 5.3: CR behaviour vs block size on smooth data.
+// ---------------------------------------------------------------------------
+
+TEST(CompressorQuality, SmoothDataGetsHighRatio) {
+  // A slowly varying field (many samples per oscillation relative to the
+  // block size) is the paper's target regime.
+  std::vector<float> data(1 << 20);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] =
+        static_cast<float>(100.0 * std::sin(2e-4 * static_cast<double>(i)));
+  }
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-2;
+  CompressionStats stats;
+  Compress<float>(data, p, &stats);
+  EXPECT_GT(stats.CompressionRatio(sizeof(float)), 4.0);
+}
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,127 @@
+// Stream format parsing and corruption rejection.
+#include "core/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+
+ByteBuffer SampleStream(std::size_t n = 5000) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, n, 8);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  return Compress<float>(data, p);
+}
+
+TEST(Format, HeaderSizeIsStable) {
+  // The on-disk header is part of the format contract.
+  EXPECT_EQ(sizeof(Header), 72u);
+}
+
+TEST(Format, ParseSectionsPartitionsWholeStream) {
+  const ByteBuffer stream = SampleStream();
+  const Sections<float> s = ParseSections<float>(stream);
+  const Header& h = s.header;
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+  const std::size_t expected = sizeof(Header) + (h.num_blocks + 7) / 8 +
+                               h.num_constant * sizeof(float) + nnc +
+                               nnc * sizeof(float) + nnc * 2 +
+                               h.payload_bytes;
+  EXPECT_EQ(expected, stream.size());
+  EXPECT_EQ(s.payload.size(), h.payload_bytes);
+}
+
+TEST(Format, TypeBitsMatchSectionCounts) {
+  const ByteBuffer stream = SampleStream();
+  const Sections<float> s = ParseSections<float>(stream);
+  std::uint64_t nc = 0;
+  for (std::uint64_t k = 0; k < s.header.num_blocks; ++k) {
+    nc += IsNonConstant(s.type_bits, k) ? 0 : 1;
+  }
+  EXPECT_EQ(nc, s.header.num_constant);
+}
+
+TEST(Format, SetAndTestNonConstantBits) {
+  ByteBuffer bits(4, std::byte{0});
+  SetNonConstant(bits.data(), 0);
+  SetNonConstant(bits.data(), 9);
+  SetNonConstant(bits.data(), 31);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(IsNonConstant(bits, k), k == 0 || k == 9 || k == 31) << k;
+  }
+}
+
+TEST(Format, RejectsVersionMismatch) {
+  ByteBuffer stream = SampleStream();
+  stream[4] = std::byte{99};  // version field
+  EXPECT_THROW(ParseHeader(stream), Error);
+}
+
+TEST(Format, RejectsCorruptEnums) {
+  {
+    ByteBuffer stream = SampleStream();
+    stream[5] = std::byte{7};  // dtype
+    EXPECT_THROW(ParseHeader(stream), Error);
+  }
+  {
+    ByteBuffer stream = SampleStream();
+    stream[6] = std::byte{9};  // eb_mode
+    EXPECT_THROW(ParseHeader(stream), Error);
+  }
+  {
+    ByteBuffer stream = SampleStream();
+    stream[7] = std::byte{5};  // solution
+    EXPECT_THROW(ParseHeader(stream), Error);
+  }
+}
+
+TEST(Format, RejectsInconsistentBlockCount) {
+  ByteBuffer stream = SampleStream();
+  Header h = ParseHeader(stream);
+  h.num_blocks += 1;
+  std::memcpy(stream.data(), &h, sizeof(Header));
+  EXPECT_THROW(ParseHeader(stream), Error);
+}
+
+TEST(Format, RejectsConstantCountOverflow) {
+  ByteBuffer stream = SampleStream();
+  Header h = ParseHeader(stream);
+  h.num_constant = h.num_blocks + 1;
+  std::memcpy(stream.data(), &h, sizeof(Header));
+  EXPECT_THROW(ParseHeader(stream), Error);
+}
+
+TEST(Format, CorruptZsizeCaughtOnDecode) {
+  // Inflating a zsize makes the payload walk overrun; must throw, not crash.
+  const auto data = MakePattern<float>(Pattern::kUniformNoise, 4096, 8);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = Compress<float>(data, p);
+  const Sections<float> s = ParseSections<float>(stream);
+  ASSERT_GT(s.header.num_blocks - s.header.num_constant, 0u);
+  // Locate the zsize section within the buffer and corrupt its first entry.
+  const std::size_t zsize_off =
+      static_cast<std::size_t>(s.ncb_zsize.data() - stream.data());
+  const std::uint16_t big = 0xffff;
+  std::memcpy(stream.data() + zsize_off, &big, 2);
+  EXPECT_THROW(Decompress<float>(stream), Error);
+}
+
+TEST(Format, LoadAtHandlesUnalignedOffsets) {
+  ByteBuffer raw(11);
+  const double v = 2.718281828;
+  std::memcpy(raw.data() + 3, &v, sizeof(double));
+  ByteSpan section(raw.data() + 3, 8);
+  EXPECT_EQ(LoadAt<double>(section, 0), v);
+}
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,128 @@
+// OpenMP codec: parallel streams must be byte-identical to serial ones and
+// decodable by either path (paper Sec. 6.1).
+#include "core/omp_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+using testing::WithinBound;
+
+class OmpThreadSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OmpThreadSweep, StreamBitIdenticalToSerial) {
+  const int threads = GetParam();
+  for (auto pat : {Pattern::kSmoothSine, Pattern::kNoisySine,
+                   Pattern::kSparseSpikes}) {
+    const auto data = MakePattern<float>(pat, 100000, 77);
+    Params p;
+    p.mode = ErrorBoundMode::kAbsolute;
+    p.error_bound = 1e-3;
+    CompressionStats serial_stats, omp_stats;
+    const auto serial = Compress<float>(data, p, &serial_stats);
+    const auto parallel = CompressOmp<float>(data, p, &omp_stats, threads);
+    ASSERT_EQ(serial.size(), parallel.size()) << testing::PatternName(pat);
+    EXPECT_TRUE(std::equal(serial.begin(), serial.end(), parallel.begin()))
+        << testing::PatternName(pat);
+    EXPECT_EQ(serial_stats.num_constant_blocks, omp_stats.num_constant_blocks);
+    EXPECT_EQ(serial_stats.payload_bytes, omp_stats.payload_bytes);
+  }
+}
+
+TEST_P(OmpThreadSweep, CrossDecoding) {
+  const int threads = GetParam();
+  const auto data = MakePattern<double>(Pattern::kNoisySine, 65537, 5);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-4;
+  const auto serial = Compress<double>(data, p);
+  const double abs = PeekHeader(serial).error_bound_abs;
+
+  // Serial stream, parallel decode.
+  const auto out1 = DecompressOmp<double>(serial, threads);
+  EXPECT_TRUE(WithinBound<double>(data, out1, abs));
+  // Parallel stream, serial decode.
+  const auto par = CompressOmp<double>(data, p, nullptr, threads);
+  const auto out2 = Decompress<double>(par);
+  EXPECT_TRUE(WithinBound<double>(data, out2, abs));
+  // Parallel/parallel must equal serial/serial exactly.
+  const auto out3 = Decompress<double>(serial);
+  const auto out4 = DecompressOmp<double>(par, threads);
+  EXPECT_EQ(out3, out4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, OmpThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(OmpCodec, SmallInputsAllThreadCounts) {
+  // Fewer blocks than threads must not break chunking.
+  for (std::size_t n : {1u, 7u, 128u, 129u, 1024u}) {
+    const auto data = MakePattern<float>(Pattern::kRamp, n, n);
+    Params p;
+    p.mode = ErrorBoundMode::kAbsolute;
+    p.error_bound = 1e-4;
+    const auto serial = Compress<float>(data, p);
+    const auto par = CompressOmp<float>(data, p, nullptr, 8);
+    EXPECT_EQ(serial, par) << n;
+  }
+}
+
+TEST(OmpCodec, EmptyInput) {
+  Params p;
+  const auto stream = CompressOmp<float>(std::span<const float>(), p, nullptr, 4);
+  EXPECT_TRUE(DecompressOmp<float>(stream, 4).empty());
+}
+
+TEST(OmpCodec, RawPassthroughAgreesWithSerial) {
+  testing::Rng rng(23);
+  std::vector<float> data(4096);
+  for (auto& v : data) {
+    v = std::bit_cast<float>(
+        static_cast<std::uint32_t>(rng.Next() & 0x7f7fffffu));
+  }
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-30;
+  const auto serial = Compress<float>(data, p);
+  const auto par = CompressOmp<float>(data, p, nullptr, 4);
+  EXPECT_EQ(serial, par);
+  const auto out = DecompressOmp<float>(par, 4);
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], out[i]);
+}
+
+TEST(OmpCodec, ParallelDecodeRejectsCorruptStream) {
+  const auto data = MakePattern<float>(Pattern::kUniformNoise, 50000, 3);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  auto stream = Compress<float>(data, p);
+  // Truncate the payload.
+  stream.resize(stream.size() - 100);
+  EXPECT_THROW(DecompressOmp<float>(stream, 4), Error);
+}
+
+TEST(PrefixSumZsizes, ComputesOffsets) {
+  ByteBuffer section;
+  ByteWriter w(section);
+  for (std::uint16_t z : {10, 0, 7, 300}) w.Write(z);
+  const auto offsets = PrefixSumZsizes(section, 4);
+  ASSERT_EQ(offsets.size(), 5u);
+  EXPECT_EQ(offsets[0], 0u);
+  EXPECT_EQ(offsets[1], 10u);
+  EXPECT_EQ(offsets[2], 10u);
+  EXPECT_EQ(offsets[3], 17u);
+  EXPECT_EQ(offsets[4], 317u);
+}
+
+TEST(PrefixSumZsizes, RejectsShortSection) {
+  ByteBuffer section(6);
+  EXPECT_THROW(PrefixSumZsizes(section, 4), Error);
+}
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,147 @@
+// Pointwise-relative error-bound mode (ErrorBoundMode::kPointwiseRelative):
+// |d - d'| <= eb * |d| must hold at every point, across compressors.
+#include <gtest/gtest.h>
+
+#include "core/block_plan.hpp"
+#include "core/compressor.hpp"
+#include "core/omp_codec.hpp"
+#include "cusim/cusim_codec.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+
+template <typename T>
+::testing::AssertionResult PointwiseWithin(std::span<const T> original,
+                                           std::span<const T> recon,
+                                           double rel) {
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double a = static_cast<double>(original[i]);
+    const double b = static_cast<double>(recon[i]);
+    if (std::isnan(a) && std::isnan(b)) continue;
+    if (!(std::fabs(a - b) <= rel * std::fabs(a))) {
+      return ::testing::AssertionFailure()
+             << "pointwise bound violated at " << i << ": |" << a << " - "
+             << b << "| > " << rel << " * |" << a << "|";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+class PwRelSweep
+    : public ::testing::TestWithParam<std::tuple<int, double, int>> {};
+
+TEST_P(PwRelSweep, BoundHoldsEverywhere) {
+  const auto [pat, eb, block] = GetParam();
+  const auto data = MakePattern<float>(static_cast<Pattern>(pat), 20000, 5);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = eb;
+  p.block_size = static_cast<std::uint32_t>(block);
+  const auto out = Decompress<float>(Compress<float>(data, p));
+  EXPECT_TRUE(PointwiseWithin<float>(data, out, eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PwRelSweep,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(1e-2, 1e-4),
+                       ::testing::Values(32, 128)));
+
+TEST(PwRel, DoublePrecision) {
+  const auto data = MakePattern<double>(Pattern::kNoisySine, 30000, 7);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-6;
+  const auto out = Decompress<double>(Compress<double>(data, p));
+  EXPECT_TRUE(PointwiseWithin<double>(data, out, 1e-6));
+}
+
+TEST(PwRel, ZerosAreExact) {
+  // Blocks containing zeros get a zero bound -> must round-trip exactly.
+  auto data = MakePattern<float>(Pattern::kSparseSpikes, 10000, 3);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-2;
+  const auto out = Decompress<float>(Compress<float>(data, p));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i] == 0.0f) {
+      ASSERT_EQ(out[i], 0.0f) << i;
+    }
+  }
+  EXPECT_TRUE(PointwiseWithin<float>(data, out, 1e-2));
+}
+
+TEST(PwRel, MixedMagnitudesBoundPerPoint) {
+  // The whole point of PW_REL: tiny values keep tiny absolute errors even
+  // next to huge ones.
+  const auto data = MakePattern<float>(Pattern::kMixedScales, 8000, 9);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-3;
+  const auto out = Decompress<float>(Compress<float>(data, p));
+  EXPECT_TRUE(PointwiseWithin<float>(data, out, 1e-3));
+}
+
+TEST(PwRel, AllCompressorsAgreeBitForBit) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 50000, 13);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-3;
+  const auto serial = Compress<float>(data, p);
+  const auto omp = CompressOmp<float>(data, p, nullptr, 4);
+  const auto cuda = cusim::CompressCuda<float>(data, p);
+  EXPECT_EQ(serial, omp);
+  EXPECT_EQ(serial, cuda);
+  const auto a = Decompress<float>(serial);
+  const auto b = DecompressOmp<float>(serial, 4);
+  const auto c = cusim::DecompressCuda<float>(serial);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(PwRel, HeaderRecordsMode) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 1000, 1);
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-3;
+  const Header h = PeekHeader(Compress<float>(data, p));
+  EXPECT_EQ(h.eb_mode,
+            static_cast<std::uint8_t>(ErrorBoundMode::kPointwiseRelative));
+  EXPECT_DOUBLE_EQ(h.error_bound_user, 1e-3);
+}
+
+TEST(PwRel, CompressesPositiveSmoothData) {
+  // On strictly positive smooth data PW_REL should still compress well.
+  std::vector<float> data(1 << 18);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(
+        100.0 + 50.0 * std::sin(3e-4 * static_cast<double>(i)));
+  }
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-2;
+  CompressionStats stats;
+  Compress<float>(data, p, &stats);
+  EXPECT_GT(stats.CompressionRatio(sizeof(float)), 3.0);
+}
+
+TEST(BlockMinAbs, DerivesFromExtremesOrScans) {
+  const std::vector<float> pos = {2.0f, 5.0f, 3.0f};
+  const std::vector<float> neg = {-2.0f, -5.0f, -3.0f};
+  const std::vector<float> straddle = {-4.0f, 0.5f, 3.0f};
+  const std::vector<float> with_zero = {-4.0f, 0.0f, 3.0f};
+  auto stats = [](std::span<const float> v) {
+    return ComputeBlockStatsScalar<float>(v);
+  };
+  EXPECT_DOUBLE_EQ(BlockMinAbs<float>(pos, stats(pos)), 2.0);
+  EXPECT_DOUBLE_EQ(BlockMinAbs<float>(neg, stats(neg)), 2.0);
+  EXPECT_DOUBLE_EQ(BlockMinAbs<float>(straddle, stats(straddle)), 0.5);
+  EXPECT_DOUBLE_EQ(BlockMinAbs<float>(with_zero, stats(with_zero)), 0.0);
+}
+
+}  // namespace
+}  // namespace szx

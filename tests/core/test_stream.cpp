@@ -1,0 +1,154 @@
+// Byte/bit stream primitive tests.
+#include "core/stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+TEST(ByteStream, WriteReadRoundTrip) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.Write<std::uint32_t>(0xdeadbeef);
+  w.Write<double>(3.5);
+  w.Write<std::uint8_t>(42);
+  const char raw[5] = {'h', 'e', 'l', 'l', 'o'};
+  w.WriteBytes(raw, 5);
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.Read<std::uint32_t>(), 0xdeadbeefu);
+  EXPECT_EQ(r.Read<double>(), 3.5);
+  EXPECT_EQ(r.Read<std::uint8_t>(), 42);
+  char back[5];
+  r.ReadBytes(back, 5);
+  EXPECT_EQ(std::string(back, 5), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteStream, TruncationThrows) {
+  ByteBuffer buf;
+  ByteWriter w(buf);
+  w.Write<std::uint16_t>(7);
+  ByteReader r(buf);
+  EXPECT_THROW(r.Read<std::uint32_t>(), Error);
+}
+
+TEST(ByteStream, SliceAdvances) {
+  ByteBuffer buf(10, std::byte{9});
+  ByteReader r(buf);
+  ByteSpan a = r.Slice(4);
+  EXPECT_EQ(a.size(), 4u);
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_EQ(r.remaining(), 6u);
+  EXPECT_THROW(r.Slice(7), Error);
+  EXPECT_NO_THROW(r.Slice(6));
+}
+
+TEST(BitStream, SingleBits) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  const unsigned pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (unsigned b : pattern) w.WriteBit(b);
+  w.Flush();
+  EXPECT_EQ(buf.size(), 2u);
+  BitReader r(buf);
+  for (unsigned b : pattern) EXPECT_EQ(r.ReadBit(), b);
+}
+
+TEST(BitStream, MultiBitValues) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.WriteBits(0x5, 3);
+  w.WriteBits(0x1ff, 9);
+  w.WriteBits(0x0, 4);
+  w.WriteBits(0xabcdef0123456789ull, 64);
+  w.Flush();
+  BitReader r(buf);
+  EXPECT_EQ(r.ReadBits(3), 0x5u);
+  EXPECT_EQ(r.ReadBits(9), 0x1ffu);
+  EXPECT_EQ(r.ReadBits(4), 0x0u);
+  EXPECT_EQ(r.ReadBits(64), 0xabcdef0123456789ull);
+}
+
+TEST(BitStream, RandomizedRoundTrip) {
+  testing::Rng rng(99);
+  std::vector<std::pair<std::uint64_t, int>> items;
+  ByteBuffer buf;
+  BitWriter w(buf);
+  for (int i = 0; i < 5000; ++i) {
+    const int nbits = 1 + static_cast<int>(rng.Next() % 64);
+    const std::uint64_t value =
+        nbits == 64 ? rng.Next() : (rng.Next() & ((1ull << nbits) - 1));
+    items.emplace_back(value, nbits);
+    w.WriteBits(value, nbits);
+  }
+  w.Flush();
+  BitReader r(buf);
+  for (const auto& [value, nbits] : items) {
+    EXPECT_EQ(r.ReadBits(nbits), value);
+  }
+}
+
+TEST(BitStream, ReadPastEndThrows) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.WriteBits(0x3, 2);
+  w.Flush();  // one byte: 2 data bits + 6 padding
+  BitReader r(buf);
+  r.ReadBits(8);
+  EXPECT_THROW(r.ReadBit(), Error);
+}
+
+TEST(BitStream, PeekBitsDoesNotConsume) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.WriteBits(0b1011001110001111, 16);
+  w.Flush();
+  BitReader r(buf);
+  EXPECT_EQ(r.PeekBits(6), 0b101100u);
+  EXPECT_EQ(r.PeekBits(6), 0b101100u);  // still not consumed
+  EXPECT_EQ(r.ReadBits(4), 0b1011u);
+  EXPECT_EQ(r.PeekBits(8), 0b00111000u);
+  EXPECT_EQ(r.position_bits(), 4u);
+}
+
+TEST(BitStream, PeekBitsZeroPadsPastEnd) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.WriteBits(0b101, 3);
+  w.Flush();  // one byte: 10100000
+  BitReader r(buf);
+  r.ReadBits(6);
+  // Only 2 real bits remain; the rest must read as zero.
+  EXPECT_EQ(r.PeekBits(10), 0u);
+  EXPECT_EQ(r.PeekBits(2), 0u);
+}
+
+TEST(BitStream, PeekMatchesReadAcrossByteBoundaries) {
+  testing::Rng rng(7);
+  ByteBuffer buf;
+  BitWriter w(buf);
+  for (int i = 0; i < 100; ++i) w.WriteBits(rng.Next(), 13);
+  w.Flush();
+  BitReader peeker(buf);
+  BitReader reader(buf);
+  for (int i = 0; i < 100; ++i) {
+    const auto peeked = peeker.PeekBits(13);
+    EXPECT_EQ(peeked, reader.ReadBits(13)) << i;
+    peeker.Skip(13);
+  }
+}
+
+TEST(BitStream, FlushPadsWithZeros) {
+  ByteBuffer buf;
+  BitWriter w(buf);
+  w.WriteBits(0x7, 3);  // 111 + 00000 padding
+  w.Flush();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(std::to_integer<int>(buf[0]), 0xe0);
+}
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,139 @@
+// Streaming frame container: multi-frame round trips, bounded memory
+// semantics, checksum verification, failure injection.
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+using testing::WithinBound;
+
+TEST(Streaming, MultiFrameRoundTrip) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  StreamWriter<float> writer(p);
+  std::vector<std::vector<float>> frames;
+  for (int f = 0; f < 10; ++f) {
+    frames.push_back(
+        MakePattern<float>(Pattern::kNoisySine, 5000 + 137 * f, f));
+    writer.Append(frames.back());
+  }
+  EXPECT_EQ(writer.frames(), 10u);
+  const ByteBuffer container = std::move(writer).Finish();
+
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  for (int f = 0; f < 10; ++f) {
+    ASSERT_TRUE(reader.Next(out)) << f;
+    EXPECT_EQ(out.size(), frames[f].size());
+    EXPECT_TRUE(WithinBound<float>(frames[f], out, 1e-3));
+  }
+  EXPECT_FALSE(reader.Next(out));
+  EXPECT_EQ(reader.frames_read(), 10u);
+}
+
+TEST(Streaming, EmptyContainer) {
+  Params p;
+  StreamWriter<float> writer(p);
+  const ByteBuffer container = std::move(writer).Finish();
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  EXPECT_FALSE(reader.Next(out));
+}
+
+TEST(Streaming, EmptyFrameAllowed) {
+  Params p;
+  StreamWriter<double> writer(p);
+  writer.Append(std::span<const double>());
+  writer.Append(MakePattern<double>(Pattern::kRamp, 100, 1));
+  const ByteBuffer container = std::move(writer).Finish();
+  StreamReader<double> reader(container);
+  std::vector<double> out;
+  ASSERT_TRUE(reader.Next(out));
+  EXPECT_TRUE(out.empty());
+  ASSERT_TRUE(reader.Next(out));
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(Streaming, TypeMismatchRejected) {
+  Params p;
+  StreamWriter<float> writer(p);
+  writer.Append(MakePattern<float>(Pattern::kRamp, 10, 1));
+  const ByteBuffer container = std::move(writer).Finish();
+  EXPECT_THROW(StreamReader<double>{container}, Error);
+}
+
+TEST(Streaming, ChecksumDetectsFrameCorruption) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  StreamWriter<float> writer(p);
+  writer.Append(MakePattern<float>(Pattern::kNoisySine, 5000, 1));
+  ByteBuffer container = std::move(writer).Finish();
+  // Flip a byte inside the frame payload (past container+frame headers).
+  container[container.size() - 10] ^= std::byte{0x20};
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  EXPECT_THROW(reader.Next(out), Error);
+}
+
+TEST(Streaming, TruncationRejected) {
+  Params p;
+  StreamWriter<float> writer(p);
+  writer.Append(MakePattern<float>(Pattern::kNoisySine, 5000, 1));
+  const ByteBuffer container = std::move(writer).Finish();
+  // Cut inside the frame header.
+  EXPECT_THROW(
+      {
+        StreamReader<float> r(ByteSpan(container.data(), 12));
+        std::vector<float> out;
+        r.Next(out);
+      },
+      Error);
+  // Cut inside the payload.
+  EXPECT_THROW(
+      {
+        StreamReader<float> r(ByteSpan(container.data(), 200));
+        std::vector<float> out;
+        r.Next(out);
+      },
+      Error);
+}
+
+TEST(Streaming, BadMagicRejected) {
+  ByteBuffer junk(64, std::byte{7});
+  EXPECT_THROW(StreamReader<float>{junk}, Error);
+}
+
+TEST(Streaming, CompressionAccumulates) {
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-2;
+  StreamWriter<float> writer(p);
+  for (int f = 0; f < 5; ++f) {
+    std::vector<float> frame(1 << 16);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+      frame[i] = static_cast<float>(
+          std::sin(1e-4 * static_cast<double>(i) + f));
+    }
+    writer.Append(frame);
+  }
+  EXPECT_LT(writer.compressed_bytes(), writer.raw_bytes() / 2);
+}
+
+TEST(Fnv1a64, KnownProperties) {
+  EXPECT_EQ(Fnv1a64({}), 0xcbf29ce484222325ull);
+  ByteBuffer a(4, std::byte{1});
+  ByteBuffer b(4, std::byte{2});
+  EXPECT_NE(Fnv1a64(a), Fnv1a64(b));
+  EXPECT_EQ(Fnv1a64(a), Fnv1a64(a));
+}
+
+}  // namespace
+}  // namespace szx

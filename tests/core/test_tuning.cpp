@@ -1,0 +1,98 @@
+// Block-size auto-tuning tests (Sec. 5.3 operationalized).
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+
+TEST(Tuning, SweepCoversAllCandidates) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 100000, 3);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  const auto sweep = SweepBlockSizes<float>(data, p);
+  ASSERT_EQ(sweep.size(), 6u);
+  EXPECT_EQ(sweep.front().block_size, 8u);
+  EXPECT_EQ(sweep.back().block_size, 256u);
+  for (const auto& c : sweep) EXPECT_GT(c.sampled_ratio, 0.0);
+}
+
+TEST(Tuning, ChoiceIsACandidate) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 100000, 5);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const std::uint32_t cands[] = {16, 64, 224};
+  const auto choice =
+      ChooseBlockSize<float>(data, p, std::span<const std::uint32_t>(cands));
+  EXPECT_TRUE(choice.block_size == 16 || choice.block_size == 64 ||
+              choice.block_size == 224);
+}
+
+TEST(Tuning, SmoothDataPrefersLargerBlocks) {
+  // The Fig. 8 result: on smooth Miranda-style data CR grows with block
+  // size, so the tuner must not pick the smallest candidate.
+  const data::Field f =
+      data::GenerateField(data::App::kMiranda, "density", 0.3);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const auto choice = ChooseBlockSize<float>(f.values, p);
+  EXPECT_GE(choice.block_size, 32u);
+}
+
+TEST(Tuning, SampledRatioTracksFullCompression) {
+  const data::Field f =
+      data::GenerateField(data::App::kMiranda, "pressure", 0.3);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-3;
+  const auto sweep = SweepBlockSizes<float>(f.values, p);
+  for (const auto& c : sweep) {
+    Params full = p;
+    full.block_size = c.block_size;
+    CompressionStats stats;
+    Compress<float>(f.values, full, &stats);
+    const double actual = stats.CompressionRatio(sizeof(float));
+    EXPECT_NEAR(c.sampled_ratio, actual, actual * 0.35)
+        << "block " << c.block_size;
+  }
+}
+
+TEST(Tuning, SmallInputsUseWholeData) {
+  const auto data = MakePattern<float>(Pattern::kRamp, 500, 1);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-2;
+  const auto choice = ChooseBlockSize<float>(data, p);
+  EXPECT_GT(choice.block_size, 0u);
+}
+
+TEST(Tuning, InvalidCandidateRejected) {
+  const auto data = MakePattern<float>(Pattern::kRamp, 1000, 1);
+  Params p;
+  const std::uint32_t bad[] = {2};
+  EXPECT_THROW(
+      ChooseBlockSize<float>(data, p, std::span<const std::uint32_t>(bad)),
+      Error);
+}
+
+TEST(Tuning, WorksForDouble) {
+  const auto data = MakePattern<double>(Pattern::kNoisySine, 50000, 7);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-5;
+  const auto choice = ChooseBlockSize<double>(data, p);
+  EXPECT_GE(choice.block_size, kMinBlockSize);
+  EXPECT_LE(choice.block_size, kMaxBlockSize);
+}
+
+}  // namespace
+}  // namespace szx

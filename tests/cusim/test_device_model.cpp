@@ -1,0 +1,70 @@
+// Device roofline model unit tests: monotonicity and regime behaviour.
+#include "cusim/device_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace szx::cusim {
+namespace {
+
+KernelProfile LightProfile() { return {10.0, 8.0, 0.99}; }
+
+TEST(DeviceModel, MoreBandwidthNeverSlower) {
+  GpuSpec a = A100();
+  GpuSpec b = a;
+  b.mem_bw_gbps *= 2.0;
+  EXPECT_GE(ModelThroughputGBps(b, LightProfile(), 1.0),
+            ModelThroughputGBps(a, LightProfile(), 1.0));
+}
+
+TEST(DeviceModel, MoreOpsNeverFaster) {
+  KernelProfile heavy = LightProfile();
+  heavy.ops_per_elem *= 100.0;
+  EXPECT_LE(ModelThroughputGBps(A100(), heavy, 1.0),
+            ModelThroughputGBps(A100(), LightProfile(), 1.0));
+}
+
+TEST(DeviceModel, MoreBytesNeverFaster) {
+  KernelProfile heavy = LightProfile();
+  heavy.bytes_per_elem *= 10.0;
+  EXPECT_LT(ModelThroughputGBps(A100(), heavy, 1.0),
+            ModelThroughputGBps(A100(), LightProfile(), 1.0));
+}
+
+TEST(DeviceModel, SerializationIsExpensive) {
+  KernelProfile serial = LightProfile();
+  serial.parallel_fraction = 0.8;  // 20% serial
+  EXPECT_LT(ModelThroughputGBps(A100(), serial, 1.0),
+            ModelThroughputGBps(A100(), LightProfile(), 1.0) / 2.0);
+}
+
+TEST(DeviceModel, LaunchOverheadDominatesTinyInputs) {
+  const double tiny = ModelThroughputGBps(A100(), LightProfile(), 1e-6);
+  const double big = ModelThroughputGBps(A100(), LightProfile(), 1.0);
+  EXPECT_LT(tiny, big / 10.0);
+}
+
+TEST(DeviceModel, A100BeatsV100OnMemoryBoundKernels) {
+  // Memory-bound profile: the 1555 vs 900 GB/s HBM gap should show.
+  KernelProfile mem = {2.0, 16.0, 0.999};
+  const double a = ModelThroughputGBps(A100(), mem, 1.0);
+  const double v = ModelThroughputGBps(V100(), mem, 1.0);
+  EXPECT_GT(a, v);
+  EXPECT_NEAR(a / v, 1555.0 / 900.0, 0.3);
+}
+
+TEST(DeviceModel, BaselineProfilesOrderAsInPaper) {
+  // cuSZx's executed profile is far lighter than the literature profiles
+  // for cuSZ and cuZFP at any input size.
+  KernelCounters c;
+  c.elements = 1 << 20;
+  c.lane_ops = 12ull << 20;
+  c.bytes_moved = 6ull << 20;
+  const double gb = 4.0 * static_cast<double>(c.elements) / 1e9;
+  const double szx =
+      ModelThroughputGBps(A100(), CuszxCompressProfile(c), gb);
+  EXPECT_GT(szx, ModelThroughputGBps(A100(), CuszProfile(false), gb));
+  EXPECT_GT(szx, ModelThroughputGBps(A100(), CuzfpProfile(false), gb));
+}
+
+}  // namespace
+}  // namespace szx::cusim

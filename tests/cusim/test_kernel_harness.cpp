@@ -1,0 +1,336 @@
+// Fiber-based kernel harness tests: true barrier semantics, shared memory,
+// divergence detection -- and the cuSZx block-encode phases expressed as a
+// real cooperative kernel, cross-checked against the serial encoder.
+#include "cusim/kernel_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/block_stats.hpp"
+#include "core/encode.hpp"
+#include "../test_util.hpp"
+
+namespace szx::cusim {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+
+TEST(KernelHarness, GridAndThreadIndexingCoverAllLanes) {
+  LaunchConfig cfg;
+  cfg.grid = {3, 2, 1};
+  cfg.block = {8, 4, 1};
+  std::vector<int> hits(3 * 2 * 8 * 4, 0);
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    const unsigned block = ctx.block_idx.y * ctx.grid_dim.x + ctx.block_idx.x;
+    const unsigned global = block * ctx.block_dim.Count() + ctx.Lane();
+    hits[global] += 1;
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(KernelHarness, BarrierSeparatesPhases) {
+  // Phase 1: every lane writes its id.  Phase 2 (after Sync): every lane
+  // verifies it can see *all* phase-1 writes -- impossible without a
+  // correct barrier under any schedule.
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {64, 1, 1};
+  std::vector<int> failures(64, 0);
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    auto stage = ctx.Shared<std::uint32_t>(64);
+    stage[ctx.Lane()] = ctx.Lane() + 1;
+    ctx.Sync();
+    for (unsigned i = 0; i < 64; ++i) {
+      if (stage[i] != i + 1) failures[ctx.Lane()] += 1;
+    }
+  });
+  for (const int f : failures) EXPECT_EQ(f, 0);
+}
+
+TEST(KernelHarness, TreeReductionMatchesSerialSum) {
+  const auto data = MakePattern<float>(Pattern::kUniformNoise, 256, 3);
+  double result = 0.0;
+  LaunchConfig cfg;
+  cfg.block = {256, 1, 1};
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    auto buf = ctx.Shared<double>(256);
+    buf[ctx.Lane()] = static_cast<double>(data[ctx.Lane()]);
+    ctx.Sync();
+    for (unsigned stride = 128; stride > 0; stride >>= 1) {
+      if (ctx.Lane() < stride) {
+        buf[ctx.Lane()] += buf[ctx.Lane() + stride];
+      }
+      ctx.Sync();
+    }
+    if (ctx.Lane() == 0) result = buf[0];
+  });
+  double expect = 0.0;
+  for (const float v : data) expect += static_cast<double>(v);
+  EXPECT_NEAR(result, expect, std::fabs(expect) * 1e-12 + 1e-9);
+}
+
+TEST(KernelHarness, RecursiveDoublingScanMatchesSerial) {
+  std::vector<std::uint32_t> input(128);
+  szx::testing::Rng rng(5);
+  for (auto& v : input) v = rng.Next() % 10;
+  std::vector<std::uint32_t> result(128);
+  LaunchConfig cfg;
+  cfg.block = {128, 1, 1};
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    auto buf = ctx.Shared<std::uint32_t>(128);
+    auto tmp = ctx.Shared<std::uint32_t>(128);
+    const unsigned i = ctx.Lane();
+    buf[i] = input[i];
+    ctx.Sync();
+    for (unsigned stride = 1; stride < 128; stride <<= 1) {
+      tmp[i] = buf[i];
+      ctx.Sync();
+      if (i >= stride) buf[i] = tmp[i] + tmp[i - stride];
+      ctx.Sync();
+    }
+    result[i] = buf[i];
+  });
+  std::vector<std::uint32_t> expect = input;
+  std::partial_sum(expect.begin(), expect.end(), expect.begin());
+  EXPECT_EQ(result, expect);
+}
+
+TEST(KernelHarness, BarrierDivergenceDetected) {
+  LaunchConfig cfg;
+  cfg.block = {8, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg,
+                            [&](ThreadCtx& ctx) {
+                              if (ctx.Lane() == 0) return;  // early exit
+                              ctx.Sync();
+                            }),
+               KernelError);
+}
+
+TEST(KernelHarness, SharedOverflowDetected) {
+  LaunchConfig cfg;
+  cfg.block = {4, 1, 1};
+  cfg.shared_bytes = 64;
+  EXPECT_THROW(LaunchKernel(cfg,
+                            [&](ThreadCtx& ctx) {
+                              auto big = ctx.Shared<double>(1024);
+                              big[0] = 1.0;
+                            }),
+               KernelError);
+}
+
+TEST(KernelHarness, DivergentAllocationSequencesDetected) {
+  LaunchConfig cfg;
+  cfg.block = {4, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg,
+                            [&](ThreadCtx& ctx) {
+                              if (ctx.Lane() == 0) {
+                                ctx.Shared<std::uint32_t>(8);
+                              } else {
+                                ctx.Shared<std::uint64_t>(8);
+                              }
+                              ctx.Sync();
+                            }),
+               KernelError);
+}
+
+TEST(KernelHarness, KernelExceptionsPropagate) {
+  LaunchConfig cfg;
+  cfg.block = {4, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg,
+                            [&](ThreadCtx& ctx) {
+                              if (ctx.Lane() == 2) {
+                                throw std::runtime_error("boom");
+                              }
+                            }),
+               std::runtime_error);
+}
+
+TEST(KernelHarness, BadConfigsRejected) {
+  LaunchConfig cfg;
+  cfg.block = {0, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg, [](ThreadCtx&) {}), KernelError);
+  cfg.block = {kMaxBlockThreads + 1, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg, [](ThreadCtx&) {}), KernelError);
+  cfg.block = {4, 1, 1};
+  cfg.grid = {0, 1, 1};
+  EXPECT_THROW(LaunchKernel(cfg, [](ThreadCtx&) {}), KernelError);
+}
+
+// ---------------------------------------------------------------------------
+// The cuSZx non-constant block encode (paper Fig. 9 steps 1-4 + Solution 1
+// prefix scan) as a genuine cooperative kernel, one lane per data point.
+// ---------------------------------------------------------------------------
+
+TEST(KernelHarness, CuszxBlockEncodeKernelMatchesSerialEncoder) {
+  constexpr unsigned kBlock = 128;
+  const auto data = MakePattern<float>(Pattern::kNoisySine, kBlock, 17);
+  const auto st = ComputeBlockStatsScalar<float>(std::span<const float>(data));
+  ASSERT_TRUE(st.all_finite);
+  const ReqPlan plan =
+      ComputeReqPlan<float>(ExponentOf(st.radius), ExponentOf(1e-4));
+  const float mu = st.mu;
+
+  // Serial reference.
+  ByteBuffer expected;
+  EncodeBlockC<float>(data, mu, plan, expected);
+
+  // Cooperative kernel.
+  const std::size_t lead_bytes = LeadArrayBytes(kBlock);
+  ByteBuffer payload(lead_bytes + kBlock * plan.num_bytes, std::byte{0});
+  std::uint32_t total_mid = 0;
+
+  LaunchConfig cfg;
+  cfg.block = {kBlock, 1, 1};
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    const unsigned i = ctx.Lane();
+    auto trunc = ctx.Shared<std::uint32_t>(kBlock);
+    auto counts = ctx.Shared<std::uint32_t>(kBlock);
+    auto tmp = ctx.Shared<std::uint32_t>(kBlock);
+
+    const int nb = plan.num_bytes;
+    const std::uint32_t keep = KeepMask<float>(nb);
+    // Step 1-2: truncate own and predecessor's value (depth-1 dependency).
+    auto trunc_of = [&](unsigned j) {
+      return static_cast<std::uint32_t>(
+          (std::bit_cast<std::uint32_t>(
+               static_cast<float>(data[j] - mu)) >>
+           plan.shift) &
+          keep);
+    };
+    const std::uint32_t t = trunc_of(i);
+    const std::uint32_t prev = i == 0 ? 0u : trunc_of(i - 1);
+    const int lead = LeadingIdenticalBytes<float>(t, prev);
+    const int copy = lead < nb ? lead : nb;
+    trunc[i] = t;
+    counts[i] = static_cast<std::uint32_t>(nb - copy);
+    // Lead code (2 bits per lane; byte-atomic writes via lane 0 of each
+    // 4-lane group to avoid racing within a byte).
+    ctx.Sync();
+    if (i % 4 == 0) {
+      std::uint8_t packed = 0;
+      for (unsigned j = i; j < std::min(i + 4, kBlock); ++j) {
+        const std::uint32_t x = trunc[j] ^ (j == 0 ? 0u : trunc[j - 1]);
+        int lj = x == 0 ? 3 : std::min(3, std::countl_zero(x) >> 3);
+        packed |= static_cast<std::uint8_t>(lj << (6 - 2 * (j - i)));
+      }
+      payload[i / 4] = std::byte{packed};
+    }
+    // Step 4 prep (Solution 1): exclusive prefix scan of mid counts.
+    ctx.Sync();
+    std::uint32_t own = counts[i];
+    for (unsigned stride = 1; stride < kBlock; stride <<= 1) {
+      tmp[i] = counts[i];
+      ctx.Sync();
+      if (i >= stride) counts[i] = tmp[i] + tmp[i - stride];
+      ctx.Sync();
+    }
+    const std::uint32_t offset = counts[i] - own;  // exclusive
+    if (i == kBlock - 1) total_mid = counts[i];
+    // Step 4: scatter mid bytes.
+    const int copy2 = nb - static_cast<int>(own);
+    for (int j = copy2; j < nb; ++j) {
+      payload[lead_bytes + offset + static_cast<std::uint32_t>(j - copy2)] =
+          std::byte{TopByte<float>(trunc[i], j)};
+    }
+  });
+
+  payload.resize(lead_bytes + total_mid);
+  ASSERT_EQ(payload.size(), expected.size());
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), expected.begin()));
+}
+
+// ---------------------------------------------------------------------------
+// The cuSZx decode's leading-byte retrieval (paper Fig. 11) as a cooperative
+// kernel: per byte position, index propagation by recursive doubling, then
+// hazard-free gather -- cross-checked against the serial block decoder.
+// ---------------------------------------------------------------------------
+
+TEST(KernelHarness, CuszxIndexPropagationDecodeKernelMatchesSerial) {
+  constexpr unsigned kBlock = 64;
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, kBlock, 23);
+  const auto st = ComputeBlockStatsScalar<float>(std::span<const float>(data));
+  const ReqPlan plan =
+      ComputeReqPlan<float>(ExponentOf(st.radius), ExponentOf(1e-3));
+  const float mu = st.mu;
+  ByteBuffer payload;
+  EncodeBlockC<float>(data, mu, plan, payload);
+
+  // Serial reference decode.
+  std::vector<float> expected(kBlock);
+  DecodeBlockC<float>(payload, mu, plan, expected);
+
+  // Cooperative decode kernel.
+  const std::size_t lead_bytes = LeadArrayBytes(kBlock);
+  std::vector<float> out(kBlock);
+  LaunchConfig cfg;
+  cfg.block = {kBlock, 1, 1};
+  LaunchKernel(cfg, [&](ThreadCtx& ctx) {
+    const unsigned i = ctx.Lane();
+    const int nb = plan.num_bytes;
+    auto copies = ctx.Shared<std::uint32_t>(kBlock);
+    auto offsets = ctx.Shared<std::uint32_t>(kBlock);
+    auto tmp = ctx.Shared<std::uint32_t>(kBlock);
+    auto chain = ctx.Shared<std::uint32_t>(kBlock);
+    auto words = ctx.Shared<std::uint32_t>(kBlock);
+
+    // Phase 1: lead codes -> per-lane mid counts.
+    const unsigned code =
+        (std::to_integer<unsigned>(payload[i >> 2]) >>
+         (6 - 2 * static_cast<int>(i & 3))) &
+        3u;
+    const int copy = static_cast<int>(code) < nb ? static_cast<int>(code)
+                                                 : nb;
+    copies[i] = static_cast<std::uint32_t>(copy);
+    offsets[i] = static_cast<std::uint32_t>(nb - copy);
+    words[i] = 0;
+    ctx.Sync();
+    // Phase 2: exclusive scan for payload offsets (Solution 1).
+    std::uint32_t own = offsets[i];
+    for (unsigned stride = 1; stride < kBlock; stride <<= 1) {
+      tmp[i] = offsets[i];
+      ctx.Sync();
+      if (i >= stride) offsets[i] = tmp[i] + tmp[i - stride];
+      ctx.Sync();
+    }
+    const std::uint32_t my_off = offsets[i] - own;
+    // Phase 3: per byte position, Fig. 11 index propagation + gather.
+    for (int j = 0; j < nb; ++j) {
+      chain[i] = j >= static_cast<int>(copies[i]) ? i + 1 : 0u;
+      ctx.Sync();
+      for (unsigned stride = 1; stride < kBlock; stride <<= 1) {
+        tmp[i] = chain[i];
+        ctx.Sync();
+        if (i >= stride) chain[i] = std::max(tmp[i], tmp[i - stride]);
+        ctx.Sync();
+      }
+      if (chain[i] != 0) {
+        const unsigned src = chain[i] - 1;
+        const std::uint32_t src_off = offsets[src] -
+                                      (static_cast<std::uint32_t>(nb) -
+                                       copies[src]);
+        const std::uint32_t pos =
+            src_off + (static_cast<std::uint32_t>(j) - copies[src]);
+        words[i] |= PlaceTopByte<float>(
+            std::to_integer<std::uint8_t>(payload[lead_bytes + pos]), j);
+      }
+      ctx.Sync();
+    }
+    // Phase 4: left shift + de-normalize.
+    const float v =
+        std::bit_cast<float>(static_cast<std::uint32_t>(words[i]
+                                                        << plan.shift));
+    out[i] = v + mu;
+    (void)my_off;
+  });
+
+  for (unsigned i = 0; i < kBlock; ++i) {
+    ASSERT_EQ(std::bit_cast<std::uint32_t>(out[i]),
+              std::bit_cast<std::uint32_t>(expected[i]))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace szx::cusim

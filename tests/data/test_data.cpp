@@ -1,0 +1,171 @@
+// Dataset generator tests: determinism, shape, and the block-smoothness
+// characteristics the paper's Figs. 1-2 rely on.
+#include "data/datasets.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/noise.hpp"
+#include "metrics/metrics.hpp"
+
+namespace szx::data {
+namespace {
+
+TEST(Noise, LatticeHashDeterministicAndBounded) {
+  for (std::int64_t x = -50; x < 50; x += 7) {
+    for (std::int64_t y = -50; y < 50; y += 11) {
+      const double v = LatticeHash(x, y, 3, 42);
+      EXPECT_GE(v, -1.0);
+      EXPECT_LE(v, 1.0);
+      EXPECT_EQ(v, LatticeHash(x, y, 3, 42));
+      EXPECT_NE(v, LatticeHash(x, y, 3, 43));
+    }
+  }
+}
+
+TEST(Noise, ValueNoiseInterpolatesLattice) {
+  // At integer coordinates the noise equals the lattice hash.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_NEAR(ValueNoise3(i, 2.0, 3.0, 9), LatticeHash(i, 2, 3, 9), 1e-12);
+  }
+}
+
+TEST(Noise, ValueNoiseIsContinuous) {
+  double prev = ValueNoise3(0.0, 0.5, 0.5, 1);
+  for (double x = 0.001; x < 3.0; x += 0.001) {
+    const double v = ValueNoise3(x, 0.5, 0.5, 1);
+    EXPECT_LT(std::fabs(v - prev), 0.02) << x;
+    prev = v;
+  }
+}
+
+TEST(Noise, FbmRowMatchesPointwiseFbm) {
+  const std::size_t n = 257;
+  std::vector<float> row(n);
+  FbmRow(0.3, 0.017, n, 1.7, 2.9, 77, 4, 0.5, row.data());
+  for (std::size_t i = 0; i < n; i += 13) {
+    const double expect = Fbm3(0.3 + 0.017 * static_cast<double>(i), 1.7,
+                               2.9, 77, 4, 0.5);
+    EXPECT_NEAR(row[i], expect, 1e-5) << i;
+  }
+}
+
+TEST(Datasets, AllFieldsGenerateWithCorrectShape) {
+  for (App app : AllApps()) {
+    const auto dims = GridDims(app, 0.25);
+    std::size_t expect = 1;
+    for (const std::size_t d : dims) expect *= d;
+    for (const auto& name : FieldNames(app)) {
+      const Field f = GenerateField(app, name, 0.25);
+      EXPECT_EQ(f.size(), expect) << AppName(app) << "/" << name;
+      EXPECT_EQ(f.DimProduct(), f.size());
+      for (const float v : f.values) {
+        ASSERT_TRUE(std::isfinite(v)) << AppName(app) << "/" << name;
+      }
+    }
+  }
+}
+
+TEST(Datasets, Deterministic) {
+  const Field a = GenerateField(App::kMiranda, "density", 0.2);
+  const Field b = GenerateField(App::kMiranda, "density", 0.2);
+  EXPECT_EQ(a.values, b.values);
+  const Field c = GenerateField(App::kMiranda, "pressure", 0.2);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(Datasets, FieldCountsMatchPresets) {
+  EXPECT_EQ(FieldNames(App::kMiranda).size(), 7u);   // paper: 7
+  EXPECT_EQ(FieldNames(App::kNyx).size(), 6u);       // paper: 6
+  EXPECT_EQ(FieldNames(App::kQmcpack).size(), 2u);   // paper: 2
+  EXPECT_EQ(FieldNames(App::kHurricane).size(), 13u); // paper: 13
+  EXPECT_EQ(FieldNames(App::kScaleLetkf).size(), 12u); // paper: 12
+  EXPECT_EQ(FieldNames(App::kCesm).size(), 12u);     // paper: 77, subset
+}
+
+TEST(Datasets, ExtendedRosterMatchesTable2Counts) {
+  // Paper Table 2: CESM-ATM has 77 fields; other apps' rosters are
+  // already complete.
+  EXPECT_EQ(ExtendedFieldNames(App::kCesm).size(), 77u);
+  EXPECT_EQ(ExtendedFieldNames(App::kMiranda), FieldNames(App::kMiranda));
+  EXPECT_EQ(ExtendedFieldNames(App::kNyx), FieldNames(App::kNyx));
+  // Every extended name generates a valid, finite field, and distinct
+  // names yield distinct data.
+  const Field a = GenerateField(App::kCesm, "FLD013", 0.15);
+  const Field b = GenerateField(App::kCesm, "FLD014", 0.15);
+  EXPECT_EQ(a.size(), a.DimProduct());
+  EXPECT_NE(a.values, b.values);
+  for (const float v : a.values) ASSERT_TRUE(std::isfinite(v));
+  // Spot-check a handful across the archetype space.
+  for (const char* name : {"FLD020", "FLD045", "FLD076"}) {
+    const Field f = GenerateField(App::kCesm, name, 0.1);
+    EXPECT_GT(f.size(), 0u) << name;
+  }
+}
+
+TEST(Datasets, DimensionalityMatchesTable2) {
+  EXPECT_EQ(GridDims(App::kCesm, 1.0).size(), 2u);
+  EXPECT_EQ(GridDims(App::kHurricane, 1.0).size(), 3u);
+  EXPECT_EQ(GridDims(App::kNyx, 1.0).size(), 3u);
+}
+
+TEST(Datasets, ScaleChangesGridSize) {
+  const auto small = GridDims(App::kNyx, 0.5);
+  const auto big = GridDims(App::kNyx, 1.0);
+  for (std::size_t k = 0; k < small.size(); ++k) {
+    EXPECT_LT(small[k], big[k]);
+  }
+  EXPECT_THROW(GridDims(App::kNyx, 0.0), std::invalid_argument);
+  EXPECT_THROW(GridDims(App::kNyx, 100.0), std::invalid_argument);
+}
+
+TEST(Datasets, UnknownFieldThrows) {
+  EXPECT_THROW(GenerateField(App::kNyx, "bogus", 0.25),
+               std::invalid_argument);
+}
+
+TEST(Datasets, SparseFieldsHaveZeroPlateaus) {
+  // Hydrometeor-style fields must be mostly exact zero (the property that
+  // gives the paper's huge CRs on QSNOW-like fields).
+  const Field f = GenerateField(App::kHurricane, "QSNOW", 0.4);
+  std::size_t zeros = 0;
+  for (const float v : f.values) {
+    EXPECT_GE(v, 0.0f);
+    zeros += v == 0.0f ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(zeros) / static_cast<double>(f.size()), 0.5);
+}
+
+TEST(Datasets, SmoothFieldsHaveSmallBlockRanges) {
+  // Fig. 2 regime check: for the smooth Miranda-style fields a large
+  // fraction of 8-sample blocks must have small relative value range.
+  const Field f = GenerateField(App::kMiranda, "pressure", 0.5);
+  const auto ranges = metrics::BlockRelativeRanges<float>(f.values, 8);
+  std::size_t small = 0;
+  for (const double r : ranges) small += r <= 0.02 ? 1 : 0;
+  EXPECT_GT(static_cast<double>(small) / static_cast<double>(ranges.size()),
+            0.6)
+      << "pressure field too rough for the paper's smoothness regime";
+}
+
+TEST(Datasets, CloudFractionFieldsAreBounded) {
+  const Field f = GenerateField(App::kCesm, "CLDHGH", 0.3);
+  for (const float v : f.values) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Datasets, NyxDensityHasLargeDynamicRange) {
+  const Field f = GenerateField(App::kNyx, "baryon_density", 0.4);
+  float vmin = f.values[0], vmax = f.values[0];
+  for (const float v : f.values) {
+    vmin = std::min(vmin, v);
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_GT(vmax / vmin, 20.0f);  // log-normal-like tail
+  EXPECT_GT(vmin, 0.0f);
+}
+
+}  // namespace
+}  // namespace szx::data

@@ -1,0 +1,136 @@
+// Hybrid (SZx + lossless post-pass) tests: round trips, the size-never-
+// worse-than-wrapper guarantee, and the ratio gain on structured data.
+#include "hybrid/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "../test_util.hpp"
+
+namespace szx::hybrid {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+using szx::testing::WithinBound;
+
+class HybridSweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(HybridSweep, RoundTripRespectsBound) {
+  const auto [pat, eb] = GetParam();
+  const auto data = MakePattern<float>(static_cast<Pattern>(pat), 20000, 3);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = eb;
+  HybridStats stats;
+  const auto stream = hybrid::Compress<float>(data, p, &stats);
+  EXPECT_TRUE(IsHybridStream(stream));
+  EXPECT_EQ(stats.final_bytes, stream.size());
+  const auto out = hybrid::Decompress<float>(stream);
+  EXPECT_TRUE(WithinBound<float>(data, out, eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HybridSweep,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(1e-2, 1e-5)));
+
+TEST(Hybrid, DoubleRoundTrip) {
+  const auto data = MakePattern<double>(Pattern::kNoisySine, 30000, 5);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-4;
+  const auto stream = hybrid::Compress<double>(data, p);
+  const auto inner = Unwrap(stream);
+  const double abs = PeekHeader(inner).error_bound_abs;
+  EXPECT_TRUE(WithinBound<double>(data, hybrid::Decompress<double>(stream), abs));
+}
+
+TEST(Hybrid, ReconstructionIdenticalToPlainSzx) {
+  // The lossless stage must be transparent: reconstructions match the
+  // plain SZx path bit for bit.
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 50000, 9);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  const auto plain = szx::Decompress<float>(szx::Compress<float>(data, p));
+  const auto via_hybrid =
+      hybrid::Decompress<float>(hybrid::Compress<float>(data, p));
+  EXPECT_EQ(plain, via_hybrid);
+}
+
+TEST(Hybrid, GainsOnStructuredData) {
+  // Constant-heavy fields leave redundancy (repeated mu values, lead runs)
+  // that the lossless stage recovers.
+  const data::Field f =
+      data::GenerateField(data::App::kHurricane, "QSNOW", 0.3);
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-2;
+  HybridStats stats;
+  hybrid::Compress<float>(f.values, p, &stats);
+  EXPECT_TRUE(stats.lossless_stage_used);
+  EXPECT_GT(stats.LosslessGain(), 1.1);
+}
+
+TEST(Hybrid, NeverWorseThanWrapperOverhead) {
+  // Incompressible SZx output: the stored stage caps the cost at 8 bytes.
+  szx::testing::Rng rng(3);
+  std::vector<float> data(20000);
+  for (auto& v : data) {
+    v = std::bit_cast<float>(
+        static_cast<std::uint32_t>(rng.Next() & 0x7f7fffffu));
+  }
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-30;
+  HybridStats stats;
+  const auto stream = hybrid::Compress<float>(data, p, &stats);
+  EXPECT_LE(stream.size(), stats.szx_bytes + 8);
+  const auto out = hybrid::Decompress<float>(stream);
+  for (std::size_t i = 0; i < data.size(); ++i) ASSERT_EQ(data[i], out[i]);
+}
+
+TEST(Hybrid, UnwrapExposesInnerHeader) {
+  const auto data = MakePattern<float>(Pattern::kRamp, 5000, 1);
+  Params p;
+  p.block_size = 64;
+  const auto stream = hybrid::Compress<float>(data, p);
+  const Header h = PeekHeader(Unwrap(stream));
+  EXPECT_EQ(h.num_elements, 5000u);
+  EXPECT_EQ(h.block_size, 64u);
+}
+
+TEST(Hybrid, RejectsCorruptWrapper) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 1000, 1);
+  Params p;
+  auto stream = hybrid::Compress<float>(data, p);
+  {
+    auto bad = stream;
+    bad[0] = std::byte{'Q'};
+    EXPECT_THROW(hybrid::Decompress<float>(bad), Error);
+  }
+  {
+    auto bad = stream;
+    bad[4] = std::byte{9};  // version
+    EXPECT_THROW(hybrid::Decompress<float>(bad), Error);
+  }
+  {
+    auto bad = stream;
+    bad[5] = std::byte{7};  // stage
+    EXPECT_THROW(hybrid::Decompress<float>(bad), Error);
+  }
+  EXPECT_THROW(hybrid::Decompress<float>(ByteSpan(stream.data(), 6)),
+               Error);
+}
+
+TEST(Hybrid, IsHybridStreamDiscriminates) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 1000, 1);
+  Params p;
+  EXPECT_TRUE(IsHybridStream(hybrid::Compress<float>(data, p)));
+  EXPECT_FALSE(IsHybridStream(szx::Compress<float>(data, p)));
+  EXPECT_FALSE(IsHybridStream({}));
+}
+
+}  // namespace
+}  // namespace szx::hybrid

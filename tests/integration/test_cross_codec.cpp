@@ -1,0 +1,144 @@
+// Cross-codec integration: every compressor in the repository on every
+// application preset, checking the bound, the quality metrics, and the
+// paper's headline orderings (Table 3 CR ordering, SZx speed lead).
+#include <cctype>
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "data/datasets.hpp"
+#include "hybrid/hybrid.hpp"
+#include "lzref/lzref.hpp"
+#include "metrics/quality_report.hpp"
+#include "szref/szref.hpp"
+#include "zfpref/zfpref.hpp"
+
+namespace szx {
+namespace {
+
+constexpr double kScale = 0.2;  // small grids: integration, not benchmark
+constexpr double kRelEb = 1e-3;
+
+class CrossCodec : public ::testing::TestWithParam<int> {
+ protected:
+  data::App app() const { return static_cast<data::App>(GetParam()); }
+};
+
+TEST_P(CrossCodec, SzxBoundAndQualityOnAllFields) {
+  for (const auto& f : data::GenerateApp(app(), kScale)) {
+    Params p;
+    p.mode = ErrorBoundMode::kValueRangeRelative;
+    p.error_bound = kRelEb;
+    CompressionStats stats;
+    const auto stream = Compress<float>(f.values, p, &stats);
+    const auto recon = Decompress<float>(stream);
+    const auto r = metrics::AssessQuality<float>(f.values, recon, f.dims,
+                                                 stream.size());
+    EXPECT_LE(r.distortion.max_abs_error, stats.absolute_bound)
+        << data::AppName(app()) << "/" << f.name;
+    EXPECT_GT(r.pearson_correlation, 0.999)
+        << data::AppName(app()) << "/" << f.name;
+    EXPECT_GT(r.compression_ratio, 1.0)
+        << data::AppName(app()) << "/" << f.name;
+  }
+}
+
+TEST_P(CrossCodec, BaselinesRespectBoundOnAllFields) {
+  for (const auto& f : data::GenerateApp(app(), kScale)) {
+    {
+      szref::SzParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = kRelEb;
+      szref::SzStats stats;
+      const auto stream = szref::SzCompress(f.values, f.dims, p, &stats);
+      const auto recon = szref::SzDecompress(stream);
+      const auto d = metrics::ComputeDistortion<float>(f.values, recon);
+      EXPECT_LE(d.max_abs_error, stats.absolute_bound)
+          << "SZ " << data::AppName(app()) << "/" << f.name;
+    }
+    {
+      zfpref::ZfpParams p;
+      p.mode = ErrorBoundMode::kValueRangeRelative;
+      p.error_bound = kRelEb;
+      zfpref::ZfpStats stats;
+      const auto stream = zfpref::ZfpCompress(f.values, f.dims, p, &stats);
+      const auto recon = zfpref::ZfpDecompress(stream);
+      const auto d = metrics::ComputeDistortion<float>(f.values, recon);
+      EXPECT_LE(d.max_abs_error, stats.absolute_bound)
+          << "ZFP " << data::AppName(app()) << "/" << f.name;
+    }
+    {
+      const auto stream = lzref::LzCompressFloats(f.values);
+      const auto recon = lzref::LzDecompressFloats(stream);
+      ASSERT_EQ(recon.size(), f.size());
+      for (std::size_t i = 0; i < f.size(); ++i) {
+        ASSERT_EQ(std::bit_cast<std::uint32_t>(recon[i]),
+                  std::bit_cast<std::uint32_t>(f.values[i]))
+            << "lossless " << f.name;
+      }
+    }
+  }
+}
+
+TEST_P(CrossCodec, Table3OrderingHolds) {
+  // Harmonic-mean CR over the app's fields: SZ >= ZFP >= SZx >= ~lossless.
+  std::vector<double> szx_r, zfp_r, sz_r, lz_r;
+  for (const auto& f : data::GenerateApp(app(), kScale)) {
+    Params ps;
+    ps.mode = ErrorBoundMode::kValueRangeRelative;
+    ps.error_bound = kRelEb;
+    szx_r.push_back(static_cast<double>(f.size_bytes()) /
+                    static_cast<double>(Compress<float>(f.values, ps).size()));
+    zfpref::ZfpParams pz;
+    pz.mode = ErrorBoundMode::kValueRangeRelative;
+    pz.error_bound = kRelEb;
+    zfp_r.push_back(
+        static_cast<double>(f.size_bytes()) /
+        static_cast<double>(zfpref::ZfpCompress(f.values, f.dims, pz).size()));
+    szref::SzParams pq;
+    pq.mode = ErrorBoundMode::kValueRangeRelative;
+    pq.error_bound = kRelEb;
+    sz_r.push_back(
+        static_cast<double>(f.size_bytes()) /
+        static_cast<double>(szref::SzCompress(f.values, f.dims, pq).size()));
+    lz_r.push_back(
+        static_cast<double>(f.size_bytes()) /
+        static_cast<double>(lzref::LzCompressFloats(f.values).size()));
+  }
+  const double szx = metrics::HarmonicMean(szx_r);
+  const double zfp = metrics::HarmonicMean(zfp_r);
+  const double sz = metrics::HarmonicMean(sz_r);
+  const double lz = metrics::HarmonicMean(lz_r);
+  EXPECT_GT(sz, zfp) << data::AppName(app());
+  EXPECT_GT(zfp, szx * 0.95) << data::AppName(app());
+  EXPECT_GT(szx, lz) << data::AppName(app());
+}
+
+TEST_P(CrossCodec, HybridNeverLosesToPlainSzxByMuchAndOftenWins) {
+  double plain_total = 0.0, hybrid_total = 0.0;
+  for (const auto& f : data::GenerateApp(app(), kScale)) {
+    Params p;
+    p.mode = ErrorBoundMode::kValueRangeRelative;
+    p.error_bound = kRelEb;
+    plain_total += static_cast<double>(Compress<float>(f.values, p).size());
+    hybrid_total +=
+        static_cast<double>(hybrid::Compress<float>(f.values, p).size());
+  }
+  // Per-stream the wrapper costs 8 bytes; over an app hybrid must not be
+  // more than marginally larger and typically is smaller.
+  EXPECT_LT(hybrid_total, plain_total * 1.01) << data::AppName(app());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, CrossCodec, ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           std::string name(data::AppName(
+                               static_cast<data::App>(param_info.param)));
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(
+                                 static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,149 @@
+// Discrete-event fair-share PFS simulator tests, including the collapse to
+// the analytic model under zero jitter.
+#include "iosim/event_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace szx::iosim {
+namespace {
+
+PfsSpec TestPfs() {
+  PfsSpec pfs;
+  pfs.aggregate_bw_gbps = 100.0;
+  pfs.per_rank_bw_gbps = 2.0;
+  pfs.latency_s = 0.0;  // isolate the bandwidth dynamics
+  return pfs;
+}
+
+TEST(FairShare, SingleWriterGetsStreamCap) {
+  const PfsSpec pfs = TestPfs();
+  const WriteRequest reqs[] = {{0.0, 2e9}};  // 2 GB at 2 GB/s
+  const auto done = SimulateFairShare(pfs, reqs);
+  EXPECT_NEAR(done[0].finish_s, 1.0, 1e-9);
+  EXPECT_NEAR(done[0].start_s, 0.0, 1e-12);
+}
+
+TEST(FairShare, ManyWritersShareAggregate) {
+  const PfsSpec pfs = TestPfs();
+  // 100 simultaneous writers of 1 GB each: share = min(2, 100/100) = 1 GB/s.
+  std::vector<WriteRequest> reqs(100, {0.0, 1e9});
+  const auto done = SimulateFairShare(pfs, reqs);
+  for (const auto& c : done) {
+    EXPECT_NEAR(c.finish_s, 1.0, 1e-6);
+  }
+}
+
+TEST(FairShare, LateArrivalSpeedsUpAfterOthersDrain) {
+  PfsSpec pfs = TestPfs();
+  pfs.aggregate_bw_gbps = 2.0;  // two writers split 2 GB/s
+  // Writer 0: 2 GB at t=0.  Writer 1: 1 GB at t=0.
+  const WriteRequest reqs[] = {{0.0, 2e9}, {0.0, 1e9}};
+  const auto done = SimulateFairShare(pfs, reqs);
+  // Both get 1 GB/s until writer 1 finishes at t=1 (1 GB done);
+  // writer 0 then has 1 GB left at 2 GB/s -> finishes at 1.5.
+  EXPECT_NEAR(done[1].finish_s, 1.0, 1e-6);
+  EXPECT_NEAR(done[0].finish_s, 1.5, 1e-6);
+}
+
+TEST(FairShare, StaggeredArrivals) {
+  PfsSpec pfs = TestPfs();
+  pfs.aggregate_bw_gbps = 2.0;
+  // Writer 0 alone for 1 s (writes 2 GB of 3 GB), then shares.
+  const WriteRequest reqs[] = {{0.0, 3e9}, {1.0, 1e9}};
+  const auto done = SimulateFairShare(pfs, reqs);
+  // After t=1: both at 1 GB/s. Writer 0 has 1 GB left -> t=2; writer 1
+  // 1 GB -> t=2.
+  EXPECT_NEAR(done[0].finish_s, 2.0, 1e-6);
+  EXPECT_NEAR(done[1].finish_s, 2.0, 1e-6);
+  EXPECT_NEAR(done[1].start_s, 1.0, 1e-9);
+}
+
+TEST(FairShare, IdleGapsAreSkipped) {
+  const PfsSpec pfs = TestPfs();
+  const WriteRequest reqs[] = {{5.0, 2e9}};
+  const auto done = SimulateFairShare(pfs, reqs);
+  EXPECT_NEAR(done[0].finish_s, 6.0, 1e-6);
+}
+
+TEST(FairShare, EmptyAndZeroByteRequests) {
+  const PfsSpec pfs = TestPfs();
+  EXPECT_TRUE(SimulateFairShare(pfs, {}).empty());
+  const WriteRequest reqs[] = {{1.0, 0.0}};
+  const auto done = SimulateFairShare(pfs, reqs);
+  EXPECT_NEAR(done[0].finish_s, 1.0, 1e-6);
+}
+
+TEST(FairShare, InvalidRequestRejected) {
+  const PfsSpec pfs = TestPfs();
+  const WriteRequest reqs[] = {{-1.0, 100.0}};
+  EXPECT_THROW(SimulateFairShare(pfs, reqs), std::invalid_argument);
+}
+
+TEST(JitteredDump, ZeroJitterMatchesAnalyticModel) {
+  const PfsSpec pfs = TestPfs();
+  RankWorkload w;
+  w.bytes_per_rank = 1'000'000'000;
+  w.compress_gbps = 1.0;
+  w.decompress_gbps = 1.0;
+  w.compression_ratio = 10.0;
+  for (const int ranks : {10, 100, 1000}) {
+    const auto sim = SimulateJitteredDump(pfs, ranks, w, 0.0);
+    const auto analytic = SimulateDump(pfs, ranks, w);
+    EXPECT_NEAR(sim.makespan_s, analytic.total(), analytic.total() * 1e-6)
+        << ranks;
+    // Contention stretch vs. an uncontended stream: zero while the
+    // per-rank cap binds (ranks <= aggregate/per_rank), then exactly the
+    // fair-share slowdown.
+    const double bytes =
+        static_cast<double>(w.bytes_per_rank) / w.compression_ratio;
+    const double share = EffectiveRankBandwidthGBps(pfs, ranks) * 1e9;
+    const double expected_wait =
+        bytes / share - bytes / (pfs.per_rank_bw_gbps * 1e9);
+    EXPECT_NEAR(sim.max_io_wait_s, expected_wait, 1e-6) << ranks;
+  }
+}
+
+TEST(JitteredDump, JitterStretchesMakespanModestly) {
+  const PfsSpec pfs = TestPfs();
+  RankWorkload w;
+  w.bytes_per_rank = 1'000'000'000;
+  w.compress_gbps = 1.0;
+  w.decompress_gbps = 1.0;
+  w.compression_ratio = 10.0;
+  const auto tight = SimulateJitteredDump(pfs, 256, w, 0.0);
+  const auto loose = SimulateJitteredDump(pfs, 256, w, 0.3);
+  EXPECT_GT(loose.makespan_s, tight.makespan_s);
+  // Staggered arrivals can only help the I/O stage (less contention), so
+  // the stretch is bounded by the compute jitter itself.
+  EXPECT_LT(loose.makespan_s, tight.makespan_s * 1.5);
+}
+
+TEST(JitteredDump, JitterReducesPeakContention) {
+  // With everyone arriving together the PFS is saturated; staggering
+  // arrivals lowers the worst per-rank I/O wait.
+  PfsSpec pfs = TestPfs();
+  pfs.aggregate_bw_gbps = 10.0;  // scarce
+  RankWorkload w;
+  w.bytes_per_rank = 1'000'000'000;
+  w.compress_gbps = 2.0;
+  w.decompress_gbps = 2.0;
+  w.compression_ratio = 2.0;
+  const auto tight = SimulateJitteredDump(pfs, 512, w, 0.0);
+  const auto loose = SimulateJitteredDump(pfs, 512, w, 0.5);
+  EXPECT_LT(loose.max_io_wait_s, tight.max_io_wait_s);
+}
+
+TEST(JitteredDump, InvalidArgsRejected) {
+  RankWorkload w;
+  w.bytes_per_rank = 100;
+  w.compress_gbps = 1.0;
+  w.decompress_gbps = 1.0;
+  w.compression_ratio = 2.0;
+  EXPECT_THROW(SimulateJitteredDump(TestPfs(), 0, w, 0.1),
+               std::invalid_argument);
+  EXPECT_THROW(SimulateJitteredDump(TestPfs(), 4, w, 1.5),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace szx::iosim

@@ -1,0 +1,129 @@
+// PFS model tests: bandwidth sharing, phase accounting, and the Fig. 16
+// qualitative property (faster compressor wins end-to-end when the PFS is
+// fast).
+#include "iosim/pfs_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace szx::iosim {
+namespace {
+
+PfsSpec TestPfs() {
+  PfsSpec pfs;
+  pfs.aggregate_bw_gbps = 100.0;
+  pfs.per_rank_bw_gbps = 2.0;
+  pfs.latency_s = 0.01;
+  return pfs;
+}
+
+TEST(Pfs, PerRankCapDominatesAtSmallScale) {
+  const PfsSpec pfs = TestPfs();
+  EXPECT_DOUBLE_EQ(EffectiveRankBandwidthGBps(pfs, 10), 2.0);
+}
+
+TEST(Pfs, AggregateCapDominatesAtLargeScale) {
+  const PfsSpec pfs = TestPfs();
+  EXPECT_DOUBLE_EQ(EffectiveRankBandwidthGBps(pfs, 1000), 0.1);
+}
+
+TEST(Pfs, InvalidRanksThrow) {
+  EXPECT_THROW(EffectiveRankBandwidthGBps(TestPfs(), 0),
+               std::invalid_argument);
+  EXPECT_THROW(EffectiveRankBandwidthGBps(TestPfs(), -4),
+               std::invalid_argument);
+}
+
+TEST(Dump, PhaseAccounting) {
+  const PfsSpec pfs = TestPfs();
+  RankWorkload w;
+  w.bytes_per_rank = 1'000'000'000;  // 1 GB
+  w.compress_gbps = 1.0;
+  w.decompress_gbps = 2.0;
+  w.compression_ratio = 10.0;
+  const PhaseTime t = SimulateDump(pfs, 10, w);
+  EXPECT_NEAR(t.compute_s, 1.0, 1e-9);             // 1 GB at 1 GB/s
+  EXPECT_NEAR(t.io_s, 0.1 / 2.0 + 0.01, 1e-9);     // 0.1 GB at 2 GB/s
+  const PhaseTime l = SimulateLoad(pfs, 10, w);
+  EXPECT_NEAR(l.compute_s, 0.5, 1e-9);
+  EXPECT_NEAR(l.io_s, t.io_s, 1e-12);
+}
+
+TEST(Dump, MoreRanksNeverFaster) {
+  const PfsSpec pfs = TestPfs();
+  RankWorkload w;
+  w.bytes_per_rank = 500'000'000;
+  w.compress_gbps = 3.0;
+  w.decompress_gbps = 4.0;
+  w.compression_ratio = 5.0;
+  double prev = 0.0;
+  for (int ranks : {64, 128, 256, 512, 1024}) {
+    const double total = SimulateDump(pfs, ranks, w).total();
+    EXPECT_GE(total, prev) << ranks;
+    prev = total;
+  }
+}
+
+TEST(Dump, CompressionBeatsRawOnSlowPfs) {
+  // The whole point of compressed I/O: when the PFS share per rank is thin,
+  // even a slow compressor wins against writing raw.
+  const PfsSpec pfs = TestPfs();
+  RankWorkload w;
+  w.bytes_per_rank = 1'000'000'000;
+  w.compress_gbps = 0.25;  // slow compressor
+  w.decompress_gbps = 0.5;
+  w.compression_ratio = 20.0;
+  const double with = SimulateDump(pfs, 1024, w).total();
+  const double raw = SimulateRawDump(pfs, 1024, w.bytes_per_rank).total();
+  EXPECT_LT(with, raw);
+}
+
+TEST(Dump, FasterCompressorWinsWhenIoIsCheap) {
+  // Fig. 16's key conclusion: at high PFS bandwidth the compression stage
+  // dominates, so the 5x-faster compressor (SZx-like) wins end to end even
+  // with a lower compression ratio.
+  PfsSpec fast = TestPfs();
+  fast.aggregate_bw_gbps = 10000.0;
+  RankWorkload szx_like;
+  szx_like.bytes_per_rank = 1'000'000'000;
+  szx_like.compress_gbps = 1.0;
+  szx_like.decompress_gbps = 1.4;
+  szx_like.compression_ratio = 6.0;
+  RankWorkload sz_like = szx_like;
+  sz_like.compress_gbps = 0.2;
+  sz_like.decompress_gbps = 0.4;
+  sz_like.compression_ratio = 60.0;
+  EXPECT_LT(SimulateDump(fast, 256, szx_like).total(),
+            SimulateDump(fast, 256, sz_like).total());
+  EXPECT_LT(SimulateLoad(fast, 256, szx_like).total(),
+            SimulateLoad(fast, 256, sz_like).total());
+}
+
+TEST(Dump, RatioWinsWhenIoIsScarce) {
+  // Conversely the crossover: starve the PFS and the high-ratio compressor
+  // wins despite its speed.
+  PfsSpec slow = TestPfs();
+  slow.aggregate_bw_gbps = 5.0;
+  RankWorkload szx_like;
+  szx_like.bytes_per_rank = 1'000'000'000;
+  szx_like.compress_gbps = 1.0;
+  szx_like.decompress_gbps = 1.4;
+  szx_like.compression_ratio = 6.0;
+  RankWorkload sz_like = szx_like;
+  sz_like.compress_gbps = 0.2;
+  sz_like.decompress_gbps = 0.4;
+  sz_like.compression_ratio = 60.0;
+  EXPECT_GT(SimulateDump(slow, 1024, szx_like).total(),
+            SimulateDump(slow, 1024, sz_like).total());
+}
+
+TEST(Workload, InvalidRatesRejected) {
+  RankWorkload w;
+  w.bytes_per_rank = 100;
+  w.compress_gbps = 0.0;
+  w.decompress_gbps = 1.0;
+  w.compression_ratio = 2.0;
+  EXPECT_THROW(SimulateDump(TestPfs(), 4, w), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace szx::iosim

@@ -1,0 +1,161 @@
+// Quality-metric tests: PSNR/SSIM/error histograms/CDF/harmonic mean.
+#include "metrics/metrics.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx::metrics {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+
+TEST(Distortion, PerfectReconstruction) {
+  const auto a = MakePattern<float>(Pattern::kNoisySine, 1000, 1);
+  const auto d = ComputeDistortion<float>(a, a);
+  EXPECT_EQ(d.max_abs_error, 0.0);
+  EXPECT_EQ(d.mse, 0.0);
+  EXPECT_TRUE(std::isinf(d.psnr_db));
+}
+
+TEST(Distortion, KnownError) {
+  const std::vector<float> a = {0.0f, 1.0f, 2.0f, 3.0f};
+  const std::vector<float> b = {0.1f, 1.0f, 2.0f, 2.8f};
+  const auto d = ComputeDistortion<float>(a, b);
+  EXPECT_NEAR(d.max_abs_error, 0.2, 1e-6);
+  EXPECT_NEAR(d.mse, (0.01 + 0.04) / 4.0, 1e-6);
+  EXPECT_NEAR(d.value_range, 3.0, 1e-6);
+  // Formula 7: 20 log10(range / sqrt(mse)).
+  EXPECT_NEAR(d.psnr_db, 20.0 * std::log10(3.0 / std::sqrt(d.mse)), 1e-9);
+}
+
+TEST(Distortion, PsnrMatchesManualOnRandomData) {
+  const auto a = MakePattern<double>(Pattern::kUniformNoise, 5000, 3);
+  std::vector<double> b = a;
+  szx::testing::Rng rng(4);
+  for (auto& v : b) v += rng.Uniform(-0.5, 0.5);
+  const auto d = ComputeDistortion<double>(a, b);
+  double sse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sse += (b[i] - a[i]) * (b[i] - a[i]);
+  }
+  EXPECT_NEAR(d.mse, sse / a.size(), 1e-9);
+}
+
+TEST(Distortion, SizeMismatchThrows) {
+  const std::vector<float> a(4), b(5);
+  EXPECT_THROW(ComputeDistortion<float>(a, b), std::invalid_argument);
+}
+
+TEST(Ssim, IdenticalFieldsScoreOne) {
+  const auto a = MakePattern<float>(Pattern::kNoisySine, 64 * 64, 7);
+  EXPECT_NEAR(ComputeSsim2D<float>(a, a, 64, 64), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoise) {
+  // A genuinely 2-D smooth field: low variance inside each 8x8 window, so
+  // window-scale noise must drive SSIM down.
+  std::vector<float> a(64 * 64);
+  for (std::size_t y = 0; y < 64; ++y) {
+    for (std::size_t x = 0; x < 64; ++x) {
+      a[y * 64 + x] = static_cast<float>(
+          100.0 * std::sin(0.05 * static_cast<double>(x)) *
+          std::cos(0.05 * static_cast<double>(y)));
+    }
+  }
+  szx::testing::Rng rng(9);
+  std::vector<float> mild = a, heavy = a;
+  for (auto& v : mild) v += static_cast<float>(rng.Uniform(-0.5, 0.5));
+  for (auto& v : heavy) v += static_cast<float>(rng.Uniform(-40.0, 40.0));
+  const double s_mild = ComputeSsim2D<float>(a, mild, 64, 64);
+  const double s_heavy = ComputeSsim2D<float>(a, heavy, 64, 64);
+  EXPECT_GT(s_mild, s_heavy);
+  EXPECT_GT(s_mild, 0.9);
+  EXPECT_LT(s_heavy, 0.8);
+}
+
+TEST(Ssim, DimensionMismatchThrows) {
+  const std::vector<float> a(100), b(100);
+  EXPECT_THROW(ComputeSsim2D<float>(a, b, 11, 10), std::invalid_argument);
+}
+
+TEST(ErrorHistogram, CountsAndDensity) {
+  const std::vector<float> orig = {0, 0, 0, 0};
+  const std::vector<float> recon = {-0.5f, -0.1f, 0.1f, 0.5f};
+  const auto h = ComputeErrorHistogram<float>(orig, recon, -1.0, 1.0, 4);
+  // Bins: [-1,-0.5) [-0.5,0) [0,0.5) [0.5,1)
+  EXPECT_EQ(h.counts[0], 0u);
+  EXPECT_EQ(h.counts[1], 2u);  // -0.5 and -0.1
+  EXPECT_EQ(h.counts[2], 1u);  // 0.1
+  EXPECT_EQ(h.counts[3], 1u);  // 0.5 lands in [0.5, 1)
+  EXPECT_EQ(h.out_of_range, 0u);
+  // Densities integrate to ~1.
+  double integral = 0.0;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    integral += h.Density(i) * 0.5;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(ErrorHistogram, OutOfRangeCounted) {
+  const std::vector<float> orig = {0, 0};
+  const std::vector<float> recon = {5.0f, -5.0f};
+  const auto h = ComputeErrorHistogram<float>(orig, recon, -1.0, 1.0, 10);
+  EXPECT_EQ(h.out_of_range, 2u);
+}
+
+TEST(BlockRelativeRanges, ConstantDataIsZero) {
+  const std::vector<float> v(100, 3.0f);
+  for (const double r : BlockRelativeRanges<float>(v, 8)) {
+    EXPECT_EQ(r, 0.0);
+  }
+}
+
+TEST(BlockRelativeRanges, RampHasUniformRanges) {
+  std::vector<float> v(256);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+  const auto r = BlockRelativeRanges<float>(v, 16);
+  ASSERT_EQ(r.size(), 16u);
+  for (const double x : r) {
+    EXPECT_NEAR(x, 15.0 / 255.0, 1e-9);
+  }
+}
+
+TEST(BlockRelativeRanges, SmallerBlocksHaveSmallerRanges) {
+  const auto v = MakePattern<float>(Pattern::kNoisySine, 4096, 3);
+  const auto r8 = BlockRelativeRanges<float>(v, 8);
+  const auto r64 = BlockRelativeRanges<float>(v, 64);
+  double m8 = 0.0, m64 = 0.0;
+  for (double x : r8) m8 += x;
+  for (double x : r64) m64 += x;
+  m8 /= static_cast<double>(r8.size());
+  m64 /= static_cast<double>(r64.size());
+  EXPECT_LT(m8, m64);
+}
+
+TEST(EmpiricalCdf, MonotoneAndBounded) {
+  const std::vector<double> samples = {0.1, 0.2, 0.2, 0.5, 0.9};
+  const std::vector<double> thresholds = {0.0, 0.15, 0.2, 0.5, 1.0};
+  const auto cdf = EmpiricalCdf(samples, thresholds);
+  EXPECT_EQ(cdf[0], 0.0);
+  EXPECT_NEAR(cdf[1], 1.0 / 5, 1e-12);
+  EXPECT_NEAR(cdf[2], 3.0 / 5, 1e-12);
+  EXPECT_NEAR(cdf[3], 4.0 / 5, 1e-12);
+  EXPECT_EQ(cdf[4], 1.0);
+}
+
+TEST(HarmonicMean, MatchesDefinition) {
+  const std::vector<double> v = {2.0, 4.0, 8.0};
+  EXPECT_NEAR(HarmonicMean(v), 3.0 / (0.5 + 0.25 + 0.125), 1e-12);
+}
+
+TEST(HarmonicMean, IgnoresNonPositive) {
+  const std::vector<double> v = {2.0, 0.0, -3.0, 2.0};
+  EXPECT_NEAR(HarmonicMean(v), 2.0, 1e-12);
+  EXPECT_EQ(HarmonicMean(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace szx::metrics

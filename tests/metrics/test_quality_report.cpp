@@ -1,0 +1,97 @@
+// Z-checker-style quality report tests.
+#include "metrics/quality_report.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "../test_util.hpp"
+
+namespace szx::metrics {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+using szx::testing::Rng;
+
+TEST(Pearson, PerfectAndAnticorrelation) {
+  std::vector<float> a = {1, 2, 3, 4, 5};
+  std::vector<float> b = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation<float>(a, b), 1.0, 1e-12);
+  std::vector<float> c = {5, 4, 3, 2, 1};
+  EXPECT_NEAR(PearsonCorrelation<float>(a, c), -1.0, 1e-12);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  Rng rng(1);
+  std::vector<float> a(20000), b(20000);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<float>(rng.Uniform(-1, 1));
+    b[i] = static_cast<float>(rng.Uniform(-1, 1));
+  }
+  EXPECT_LT(std::fabs(PearsonCorrelation<float>(a, b)), 0.05);
+}
+
+TEST(ErrorAutocorr, WhiteErrorNearZero) {
+  Rng rng(2);
+  const auto a = MakePattern<float>(Pattern::kSmoothSine, 20000, 3);
+  std::vector<float> b = a;
+  for (auto& v : b) v += static_cast<float>(rng.Uniform(-0.01, 0.01));
+  EXPECT_LT(std::fabs(ErrorAutocorrelation<float>(a, b, 1)), 0.05);
+}
+
+TEST(ErrorAutocorr, StructuredErrorNearOne) {
+  const auto a = MakePattern<float>(Pattern::kSmoothSine, 20000, 3);
+  std::vector<float> b = a;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    // Slowly varying (structured) error.
+    b[i] += 0.01f * static_cast<float>(
+                        std::sin(0.001 * static_cast<double>(i)));
+  }
+  EXPECT_GT(ErrorAutocorrelation<float>(a, b, 1), 0.9);
+}
+
+TEST(ErrorAutocorr, ZeroErrorIsZero) {
+  const auto a = MakePattern<float>(Pattern::kNoisySine, 1000, 1);
+  EXPECT_EQ(ErrorAutocorrelation<float>(a, a, 1), 0.0);
+}
+
+TEST(QualityReport, EndToEndOnSzxOutput) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 100 * 200, 9);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  const auto stream = Compress<float>(data, p);
+  const auto recon = Decompress<float>(stream);
+  const std::size_t dims[] = {100, 200};
+  const auto r = AssessQuality<float>(data, recon, dims, stream.size());
+  EXPECT_LE(r.distortion.max_abs_error, 1e-3);
+  EXPECT_GT(r.ssim, 0.99);
+  EXPECT_GT(r.pearson_correlation, 0.9999);
+  EXPECT_GT(r.compression_ratio, 1.0);
+  EXPECT_LT(std::fabs(r.error_mean), 1e-3);
+  // SZx truncates toward zero on the normalized values -- the report must
+  // still show near-unbiased errors overall (mu-centering symmetrizes).
+  EXPECT_LT(std::fabs(r.error_mean), 3.0 * r.error_std + 1e-12);
+}
+
+TEST(QualityReport, ThreeDSliceAveragedSsim) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 8 * 40 * 50, 5);
+  std::vector<float> recon = data;
+  Rng rng(4);
+  for (auto& v : recon) v += static_cast<float>(rng.Uniform(-0.1, 0.1));
+  const std::size_t dims[] = {8, 40, 50};
+  const auto r = AssessQuality<float>(data, recon, dims);
+  EXPECT_GT(r.ssim, 0.0);
+  EXPECT_LT(r.ssim, 1.0);
+  EXPECT_EQ(r.compression_ratio, 0.0);  // unknown compressed size
+}
+
+TEST(QualityReport, MismatchedSizesThrow) {
+  std::vector<float> a(10), b(11);
+  const std::size_t dims[] = {10};
+  EXPECT_THROW(AssessQuality<float>(a, b, dims), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace szx::metrics

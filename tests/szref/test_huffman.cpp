@@ -1,0 +1,116 @@
+// Canonical Huffman coder tests.
+#include "szref/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx::szref {
+namespace {
+
+using szx::testing::Rng;
+
+std::vector<std::uint16_t> RoundTrip(const std::vector<std::uint16_t>& syms) {
+  HuffmanCodec enc;
+  enc.BuildFromSymbols(syms);
+  ByteBuffer table;
+  enc.WriteTable(table);
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  enc.Encode(syms, bw);
+  bw.Flush();
+
+  HuffmanCodec dec;
+  ByteReader tr(table);
+  dec.ReadTable(tr);
+  BitReader br(bits);
+  std::vector<std::uint16_t> out;
+  dec.Decode(br, syms.size(), out);
+  return out;
+}
+
+TEST(Huffman, SingleSymbol) {
+  const std::vector<std::uint16_t> syms(100, 7);
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(Huffman, TwoSymbols) {
+  std::vector<std::uint16_t> syms;
+  for (int i = 0; i < 50; ++i) {
+    syms.push_back(i % 3 == 0 ? 1000 : 2000);
+  }
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(Huffman, SkewedDistributionRoundTrip) {
+  Rng rng(1);
+  std::vector<std::uint16_t> syms;
+  for (int i = 0; i < 20000; ++i) {
+    // Geometric-ish skew around 32768 like SZ quantization codes.
+    const int offset = static_cast<int>(rng.Gaussian() * 6.0);
+    syms.push_back(static_cast<std::uint16_t>(32768 + offset));
+  }
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(Huffman, UniformWideAlphabetRoundTrip) {
+  Rng rng(2);
+  std::vector<std::uint16_t> syms;
+  for (int i = 0; i < 30000; ++i) {
+    syms.push_back(static_cast<std::uint16_t>(rng.Next() & 0xffff));
+  }
+  EXPECT_EQ(RoundTrip(syms), syms);
+}
+
+TEST(Huffman, SkewedDataCompresses) {
+  Rng rng(3);
+  std::vector<std::uint16_t> syms;
+  for (int i = 0; i < 50000; ++i) {
+    syms.push_back(rng.Next() % 100 < 90 ? 5 : static_cast<std::uint16_t>(
+                                                   rng.Next() % 64));
+  }
+  HuffmanCodec enc;
+  enc.BuildFromSymbols(syms);
+  // 90% of symbols are one value: far fewer than 16 bits per symbol.
+  EXPECT_LT(enc.EncodedBits(syms), syms.size() * 3);
+}
+
+TEST(Huffman, EmptyBuildThrows) {
+  HuffmanCodec enc;
+  EXPECT_THROW(enc.BuildFromSymbols({}), Error);
+}
+
+TEST(Huffman, EncodeUnknownSymbolThrows) {
+  const std::vector<std::uint16_t> syms(10, 4);
+  HuffmanCodec enc;
+  enc.BuildFromSymbols(syms);
+  ByteBuffer bits;
+  BitWriter bw(bits);
+  const std::vector<std::uint16_t> other(1, 5);
+  EXPECT_THROW(enc.Encode(other, bw), Error);
+}
+
+TEST(Huffman, CorruptTableRejected) {
+  ByteBuffer table;
+  ByteWriter w(table);
+  w.Write<std::uint32_t>(1);
+  w.Write<std::uint16_t>(3);
+  w.Write<std::uint8_t>(60);  // invalid code length
+  HuffmanCodec dec;
+  ByteReader r(table);
+  EXPECT_THROW(dec.ReadTable(r), Error);
+}
+
+TEST(Huffman, CodeLengthsSatisfyKraft) {
+  Rng rng(5);
+  std::vector<std::uint16_t> syms;
+  for (int i = 0; i < 5000; ++i) {
+    syms.push_back(static_cast<std::uint16_t>(rng.Next() % 500));
+  }
+  HuffmanCodec enc;
+  enc.BuildFromSymbols(syms);
+  EXPECT_LE(enc.max_code_length(), 32);
+}
+
+}  // namespace
+}  // namespace szx::szref

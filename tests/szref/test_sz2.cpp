@@ -1,0 +1,167 @@
+// SZ 2.1-style regression+Lorenzo baseline tests.
+#include "szref/sz2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "szref/szref.hpp"
+#include "../test_util.hpp"
+
+namespace szx::szref {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+using szx::testing::WithinBound;
+
+class Sz2Sweep : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Sz2Sweep, AbsoluteBoundHolds1D) {
+  const auto [pat, eb] = GetParam();
+  const auto data = MakePattern<float>(static_cast<Pattern>(pat), 20000, 7);
+  Sz2Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = eb;
+  const std::size_t dims[] = {data.size()};
+  Sz2Stats stats;
+  const auto stream = Sz2Compress(data, dims, p, &stats);
+  const auto out = Sz2Decompress(stream);
+  EXPECT_TRUE(WithinBound<float>(data, out, eb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Sz2Sweep,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Values(1e-1, 1e-4)));
+
+TEST(Sz2, ThreeDimensionalBoundOnRealFields) {
+  for (const char* field : {"density", "pressure", "velocity-x"}) {
+    const data::Field f =
+        data::GenerateField(data::App::kMiranda, field, 0.25);
+    Sz2Params p;
+    p.mode = ErrorBoundMode::kValueRangeRelative;
+    p.error_bound = 1e-3;
+    Sz2Stats stats;
+    const auto stream = Sz2Compress(f.values, f.dims, p, &stats);
+    const auto out = Sz2Decompress(stream);
+    EXPECT_TRUE(WithinBound<float>(f.span(), out, stats.absolute_bound))
+        << field;
+  }
+}
+
+TEST(Sz2, RegressionBlocksAreSelectedOnNoisyLinearData) {
+  // Lorenzo reproduces hyperplanes exactly (order-1 polynomial
+  // reproduction), so regression's winning regime is *noisy* linear data:
+  // the 7-neighbour Lorenzo stencil amplifies white noise ~8x in variance
+  // while the fitted hyperplane averages it away.
+  const std::size_t dims[] = {24, 24, 24};
+  std::vector<float> data(24 * 24 * 24);
+  szx::testing::Rng rng(11);
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < 24; ++z) {
+    for (std::size_t y = 0; y < 24; ++y) {
+      for (std::size_t x = 0; x < 24; ++x, ++i) {
+        data[i] = static_cast<float>(3.0 * x + 2.0 * y - z + 100.0 +
+                                     rng.Uniform(-0.5, 0.5));
+      }
+    }
+  }
+  Sz2Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 0.05;
+  Sz2Stats stats;
+  const auto stream = Sz2Compress(data, dims, p, &stats);
+  EXPECT_GT(stats.num_regression_blocks, stats.num_blocks / 2);
+  const auto out = Sz2Decompress(stream);
+  EXPECT_TRUE(WithinBound<float>(data, out, 0.05));
+}
+
+TEST(Sz2, BeatsClassicSzOnSmoothFields) {
+  // The point of the regression upgrade (and of the paper calling SZ 2.1
+  // the CR leader): better ratios on smooth multidimensional data.
+  const data::Field f =
+      data::GenerateField(data::App::kMiranda, "pressure", 0.25);
+  Sz2Params p2;
+  p2.mode = ErrorBoundMode::kValueRangeRelative;
+  p2.error_bound = 1e-3;
+  const auto s2 = Sz2Compress(f.values, f.dims, p2);
+  SzParams p1;
+  p1.mode = ErrorBoundMode::kValueRangeRelative;
+  p1.error_bound = 1e-3;
+  const auto s1 = SzCompress(f.values, f.dims, p1);
+  EXPECT_LT(s2.size(), static_cast<std::size_t>(
+                           static_cast<double>(s1.size()) * 1.05));
+}
+
+TEST(Sz2, MixedSelectorsOnHeterogeneousData) {
+  // Smooth half + noisy half: both predictor kinds should be used.
+  const std::size_t dims[] = {12, 48, 48};
+  std::vector<float> data(12 * 48 * 48);
+  szx::testing::Rng rng(3);
+  std::size_t i = 0;
+  for (std::size_t z = 0; z < 12; ++z) {
+    for (std::size_t y = 0; y < 48; ++y) {
+      for (std::size_t x = 0; x < 48; ++x, ++i) {
+        data[i] = z < 6 ? static_cast<float>(0.5 * x + 0.2 * y)
+                        : static_cast<float>(rng.Uniform(-10, 10));
+      }
+    }
+  }
+  Sz2Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-2;
+  Sz2Stats stats;
+  const auto stream = Sz2Compress(data, dims, p, &stats);
+  EXPECT_GT(stats.num_regression_blocks, 0u);
+  EXPECT_LT(stats.num_regression_blocks, stats.num_blocks);
+  const auto out = Sz2Decompress(stream);
+  EXPECT_TRUE(WithinBound<float>(data, out, 1e-2));
+}
+
+TEST(Sz2, NonFiniteValuesEscape) {
+  auto data = MakePattern<float>(Pattern::kSmoothSine, 4000, 5);
+  data[123] = std::numeric_limits<float>::quiet_NaN();
+  data[3000] = std::numeric_limits<float>::infinity();
+  Sz2Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-2;
+  const std::size_t dims[] = {data.size()};
+  const auto out = Sz2Decompress(Sz2Compress(data, dims, p));
+  EXPECT_TRUE(std::isnan(out[123]));
+  EXPECT_EQ(out[3000], std::numeric_limits<float>::infinity());
+}
+
+TEST(Sz2, EdgeBlocksAndRaggedDims) {
+  const std::size_t dims[] = {7, 13, 19};  // nothing divides the side
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 7 * 13 * 19, 9);
+  Sz2Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  const auto out = Sz2Decompress(Sz2Compress(data, dims, p));
+  EXPECT_TRUE(WithinBound<float>(data, out, 1e-3));
+}
+
+TEST(Sz2, BadParamsAndStreamsRejected) {
+  const std::vector<float> data(100, 1.0f);
+  const std::size_t dims[] = {100};
+  Sz2Params p;
+  p.error_bound = 0.0;
+  EXPECT_THROW(Sz2Compress(data, dims, p), Error);
+  p.error_bound = 1e-3;
+  p.block_side = 1;
+  EXPECT_THROW(Sz2Compress(data, dims, p), Error);
+  p.block_side = 0;
+  const auto stream = Sz2Compress(data, dims, p);
+  EXPECT_THROW(Sz2Decompress(ByteSpan(stream.data(), stream.size() / 2)),
+               Error);
+  EXPECT_THROW(Sz2Decompress(ByteSpan(stream.data(), 3)), Error);
+}
+
+TEST(Sz2, EmptyInput) {
+  Sz2Params p;
+  const std::size_t dims[] = {0};
+  EXPECT_TRUE(
+      Sz2Decompress(Sz2Compress(std::span<const float>(), dims, p)).empty());
+}
+
+}  // namespace
+}  // namespace szx::szref

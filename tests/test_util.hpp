@@ -1,0 +1,155 @@
+// Shared helpers for the test suites: deterministic data patterns and
+// error-bound verification.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace szx::testing {
+
+/// SplitMix64: tiny deterministic PRNG, no libstdc++ distribution
+/// dependence, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Approximately standard normal (sum of uniforms).
+  double Gaussian() {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += Uniform();
+    return s - 6.0;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+enum class Pattern {
+  kConstant,
+  kRamp,
+  kSmoothSine,
+  kNoisySine,
+  kUniformNoise,
+  kMixedScales,     // alternating huge / tiny magnitudes
+  kTinySubnormals,  // values near the subnormal range
+  kSparseSpikes,    // mostly zero with occasional spikes
+};
+
+inline const char* PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::kConstant: return "constant";
+    case Pattern::kRamp: return "ramp";
+    case Pattern::kSmoothSine: return "smooth_sine";
+    case Pattern::kNoisySine: return "noisy_sine";
+    case Pattern::kUniformNoise: return "uniform_noise";
+    case Pattern::kMixedScales: return "mixed_scales";
+    case Pattern::kTinySubnormals: return "tiny_subnormals";
+    case Pattern::kSparseSpikes: return "sparse_spikes";
+  }
+  return "unknown";
+}
+
+template <typename T>
+std::vector<T> MakePattern(Pattern p, std::size_t n, std::uint64_t seed = 7) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  switch (p) {
+    case Pattern::kConstant:
+      for (auto& x : v) x = T(3.25);
+      break;
+    case Pattern::kRamp:
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<T>(0.001 * static_cast<double>(i) - 17.0);
+      }
+      break;
+    case Pattern::kSmoothSine:
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<T>(
+            100.0 * std::sin(0.01 * static_cast<double>(i)));
+      }
+      break;
+    case Pattern::kNoisySine:
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<T>(
+            10.0 * std::sin(0.05 * static_cast<double>(i)) +
+            0.3 * rng.Gaussian());
+      }
+      break;
+    case Pattern::kUniformNoise:
+      for (auto& x : v) x = static_cast<T>(rng.Uniform(-1000.0, 1000.0));
+      break;
+    case Pattern::kMixedScales:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double mag = (i % 7 == 0) ? 1e30 : ((i % 3 == 0) ? 1e-30 : 1.0);
+        v[i] = static_cast<T>(mag * rng.Uniform(-1.0, 1.0));
+      }
+      break;
+    case Pattern::kTinySubnormals:
+      for (auto& x : v) {
+        x = static_cast<T>(static_cast<double>(
+                               std::numeric_limits<T>::denorm_min()) *
+                           static_cast<double>(1 + (rng.Next() % 1000)));
+      }
+      break;
+    case Pattern::kSparseSpikes:
+      for (auto& x : v) {
+        x = (rng.Next() % 50 == 0) ? static_cast<T>(rng.Uniform(-500.0, 500.0))
+                                   : T(0);
+      }
+      break;
+  }
+  return v;
+}
+
+inline std::vector<Pattern> AllPatterns() {
+  return {Pattern::kConstant,     Pattern::kRamp,
+          Pattern::kSmoothSine,   Pattern::kNoisySine,
+          Pattern::kUniformNoise, Pattern::kMixedScales,
+          Pattern::kTinySubnormals, Pattern::kSparseSpikes};
+}
+
+/// Asserts |a[i] - b[i]| <= bound for all i (NaN positions must match NaN).
+template <typename T>
+::testing::AssertionResult WithinBound(std::span<const T> original,
+                                       std::span<const T> recon,
+                                       double bound) {
+  if (original.size() != recon.size()) {
+    return ::testing::AssertionFailure()
+           << "size mismatch: " << original.size() << " vs " << recon.size();
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const double a = static_cast<double>(original[i]);
+    const double b = static_cast<double>(recon[i]);
+    if (std::isnan(a) && std::isnan(b)) continue;
+    const double err = std::fabs(a - b);
+    if (!(err <= bound)) {
+      return ::testing::AssertionFailure()
+             << "error bound violated at " << i << ": |" << a << " - " << b
+             << "| = " << err << " > " << bound;
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+}  // namespace szx::testing

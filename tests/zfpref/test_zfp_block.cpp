@@ -1,0 +1,188 @@
+// ZFP block primitive tests: exact lifting inverse, permutation validity,
+// negabinary, and bit-plane codec round trips.
+#include "zfpref/zfp_block.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace szx::zfpref {
+namespace {
+
+using szx::testing::Rng;
+
+TEST(Lift, InverseIsNearExact) {
+  // ZFP's lossy-mode lifting is deliberately *not* bit-exact: each ">>= 1"
+  // discards one bit, so a round trip may be off by a few integer units.
+  // (zfp's reversible mode uses a different transform.)  The bound here is
+  // part of the error budget the guard bits in CutoffPlane cover.
+  Rng rng(1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    Int v[4];
+    for (Int& x : v) {
+      x = static_cast<Int>(rng.Next() % (1u << 30)) - (1 << 29);
+    }
+    Int w[4] = {v[0], v[1], v[2], v[3]};
+    FwdLift(w, 1);
+    InvLift(w, 1);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_LE(std::abs(static_cast<std::int64_t>(w[i]) - v[i]), 2)
+          << trial;
+    }
+  }
+}
+
+TEST(Lift, StridedAccess) {
+  Int block[16];
+  Rng rng(2);
+  for (Int& x : block) {
+    x = static_cast<Int>(rng.Next() % (1u << 28)) - (1 << 27);
+  }
+  Int copy[16];
+  std::copy(block, block + 16, copy);
+  FwdLift(block, 4);  // column 0 of a 4x4 block
+  InvLift(block, 4);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_LE(std::abs(static_cast<std::int64_t>(block[i]) - copy[i]), 2)
+        << i;
+  }
+}
+
+class XformDims : public ::testing::TestWithParam<int> {};
+
+TEST_P(XformDims, InverseIsNearExact) {
+  // Round-trip error grows with dimensionality (one lost bit per lifting
+  // pass, compounded across dimensions) but stays bounded by a couple of
+  // dozen integer units -- the guard bits in the accuracy mode absorb it.
+  const int dims = GetParam();
+  const std::size_t n = BlockSize(dims);
+  Rng rng(3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<Int> v(n);
+    for (Int& x : v) {
+      x = static_cast<Int>(rng.Next() % (1u << 29)) - (1 << 28);
+    }
+    std::vector<Int> w = v;
+    FwdXform(w.data(), dims);
+    InvXform(w.data(), dims);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_LE(std::abs(static_cast<std::int64_t>(w[i]) - v[i]), 24)
+          << "dims=" << dims << " i=" << i;
+    }
+  }
+}
+
+TEST_P(XformDims, DecorrelatesSmoothData) {
+  // On a linear ramp the transform must concentrate energy in the first
+  // (lowest-sequency) coefficients.
+  const int dims = GetParam();
+  const std::size_t n = BlockSize(dims);
+  std::vector<Int> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Int>(1000 * (i & 3) + 100 * ((i >> 2) & 3) +
+                            10 * ((i >> 4) & 3) + 100000);
+  }
+  FwdXform(v.data(), dims);
+  const auto perm = SequencyPerm(dims);
+  // DC coefficient dominates.
+  std::int64_t dc = std::abs(static_cast<std::int64_t>(v[perm[0]]));
+  std::int64_t rest = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    rest = std::max<std::int64_t>(
+        rest, std::abs(static_cast<std::int64_t>(v[perm[i]])));
+  }
+  EXPECT_GT(dc, rest);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, XformDims, ::testing::Values(1, 2, 3));
+
+TEST(SequencyPerm, IsAPermutation) {
+  for (int dims : {1, 2, 3}) {
+    const auto perm = SequencyPerm(dims);
+    std::vector<bool> seen(BlockSize(dims), false);
+    for (const std::uint16_t p : perm) {
+      ASSERT_LT(p, seen.size());
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+    EXPECT_EQ(perm.size(), BlockSize(dims));
+    EXPECT_EQ(perm[0], 0);  // DC first
+  }
+}
+
+TEST(Negabinary, RoundTripsAllMagnitudes) {
+  Rng rng(4);
+  EXPECT_EQ(Uint2Int(Int2Uint(0)), 0);
+  EXPECT_EQ(Uint2Int(Int2Uint(-1)), -1);
+  EXPECT_EQ(Uint2Int(Int2Uint(1)), 1);
+  for (int trial = 0; trial < 10000; ++trial) {
+    const Int v = static_cast<Int>(rng.Next());
+    EXPECT_EQ(Uint2Int(Int2Uint(v)), v);
+  }
+}
+
+TEST(Negabinary, SmallMagnitudesHaveSmallCodes) {
+  // The point of negabinary: values near zero use only low-order bits.
+  for (Int v = -100; v <= 100; ++v) {
+    EXPECT_LT(Int2Uint(v), 1u << 9) << v;
+  }
+}
+
+class PlaneCodec : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PlaneCodec, RoundTripsExactlyAboveCutoff) {
+  const auto [size, kmin] = GetParam();
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<UInt> coeffs(size);
+    for (auto& c : coeffs) {
+      // Mix sparse and dense planes like real transform output.
+      c = static_cast<UInt>(rng.Next()) &
+          static_cast<UInt>(rng.Next()) & 0x7fffffffu;
+    }
+    ByteBuffer buf;
+    BitWriter bw(buf);
+    EncodePlanes(coeffs, kmin, bw);
+    bw.Flush();
+    std::vector<UInt> out(size);
+    BitReader br(buf);
+    DecodePlanes(std::span<UInt>(out), kmin, br);
+    for (int i = 0; i < size; ++i) {
+      const UInt mask = kmin >= 32 ? 0u : ~((UInt{1} << kmin) - 1);
+      EXPECT_EQ(out[i], coeffs[i] & mask) << "i=" << i << " kmin=" << kmin;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlaneCodec,
+    ::testing::Combine(::testing::Values(4, 16, 64),
+                       ::testing::Values(0, 7, 20, 31)));
+
+TEST(PlaneCodec, SparseDataCodesCompactly) {
+  // One significant coefficient out of 64: the group testing must spend
+  // far fewer bits than 64 x 32 verbatim.
+  std::vector<UInt> coeffs(64, 0);
+  coeffs[40] = 1u << 28;
+  ByteBuffer buf;
+  BitWriter bw(buf);
+  EncodePlanes(coeffs, 0, bw);
+  bw.Flush();
+  // After the value becomes significant its bit is sent verbatim on every
+  // lower plane, so the cost is ~n_planes * 42 bits -- still far below the
+  // 2048-bit verbatim encoding of the block.
+  EXPECT_LT(buf.size() * 8, 1400u);
+}
+
+TEST(PlaneCodec, AllZeroIsTiny) {
+  std::vector<UInt> coeffs(64, 0);
+  ByteBuffer buf;
+  BitWriter bw(buf);
+  EncodePlanes(coeffs, 0, bw);
+  bw.Flush();
+  EXPECT_LE(buf.size(), 4u + 1u);  // one group bit per plane
+}
+
+}  // namespace
+}  // namespace szx::zfpref

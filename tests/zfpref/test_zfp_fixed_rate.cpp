@@ -1,0 +1,167 @@
+// Fixed-rate mode tests (cuZFP's only mode per the paper): exact stream
+// sizes, monotone quality in the rate, and budgeted plane-codec symmetry.
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hpp"
+#include "zfpref/zfp_block.hpp"
+#include "zfpref/zfpref.hpp"
+#include "../test_util.hpp"
+
+namespace szx::zfpref {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+using szx::testing::Rng;
+
+TEST(PlaneCodecBudget, FullBudgetMatchesUnbudgeted) {
+  Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<UInt> coeffs(16);
+    for (auto& c : coeffs) {
+      c = static_cast<UInt>(rng.Next()) & static_cast<UInt>(rng.Next()) &
+          0x7fffffffu;
+    }
+    // Unbudgeted reference.
+    ByteBuffer ref;
+    BitWriter bw_ref(ref);
+    EncodePlanes(coeffs, 0, bw_ref);
+    const std::uint64_t ref_bits = bw_ref.bits_written();
+    bw_ref.Flush();
+    // Budget comfortably above the reference size -> identical decode.
+    ByteBuffer buf;
+    BitWriter bw(buf);
+    EncodePlanesBudget(coeffs, 0, ref_bits + 64, bw);
+    bw.Flush();
+    std::vector<UInt> out(16);
+    BitReader br(buf);
+    DecodePlanesBudget(std::span<UInt>(out), 0, ref_bits + 64, br);
+    EXPECT_EQ(out, coeffs) << trial;
+  }
+}
+
+TEST(PlaneCodecBudget, ConsumesExactBudget) {
+  Rng rng(2);
+  for (const std::uint64_t budget : {5u, 64u, 200u, 777u}) {
+    std::vector<UInt> coeffs(64);
+    for (auto& c : coeffs) c = static_cast<UInt>(rng.Next()) & 0x7fffffffu;
+    ByteBuffer buf;
+    BitWriter bw(buf);
+    EncodePlanesBudget(coeffs, 0, budget, bw);
+    EXPECT_EQ(bw.bits_written(), budget);
+    bw.Flush();
+    std::vector<UInt> out(64);
+    BitReader br(buf);
+    DecodePlanesBudget(std::span<UInt>(out), 0, budget, br);
+    EXPECT_EQ(br.position_bits(), budget);
+  }
+}
+
+TEST(PlaneCodecBudget, TruncationIsAProjection) {
+  // Encoding an already-truncated reconstruction under the same budget
+  // must reproduce it exactly: budget truncation is idempotent.
+  Rng rng(3);
+  for (const std::uint64_t budget : {50u, 150u, 400u}) {
+    std::vector<UInt> coeffs(16);
+    for (auto& c : coeffs) c = static_cast<UInt>(rng.Next()) & 0x7fffffffu;
+    ByteBuffer buf;
+    BitWriter bw(buf);
+    EncodePlanesBudget(coeffs, 0, budget, bw);
+    bw.Flush();
+    std::vector<UInt> once(16);
+    BitReader br(buf);
+    DecodePlanesBudget(std::span<UInt>(once), 0, budget, br);
+
+    ByteBuffer buf2;
+    BitWriter bw2(buf2);
+    EncodePlanesBudget(once, 0, budget, bw2);
+    bw2.Flush();
+    std::vector<UInt> twice(16);
+    BitReader br2(buf2);
+    DecodePlanesBudget(std::span<UInt>(twice), 0, budget, br2);
+    EXPECT_EQ(once, twice) << "budget=" << budget;
+  }
+}
+
+TEST(ZfpFixedRate, StreamSizeIsExact) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 10000, 3);
+  const std::size_t dims[] = {data.size()};
+  for (const double rate : {4.0, 8.0, 16.0}) {
+    ZfpStats stats;
+    const auto stream = ZfpCompressFixedRate(data, dims, rate, &stats);
+    const std::uint64_t nblocks = (data.size() + 3) / 4;
+    const auto block_bits = static_cast<std::uint64_t>(rate * 4);
+    const std::size_t expected =
+        48 /*header*/ + (nblocks * block_bits + 7) / 8;
+    EXPECT_EQ(stream.size(), expected) << rate;
+    EXPECT_EQ(stats.num_blocks, nblocks);
+  }
+}
+
+TEST(ZfpFixedRate, QualityImprovesWithRate) {
+  const auto f = MakePattern<float>(Pattern::kSmoothSine, 65536, 7);
+  const std::size_t dims[] = {256, 256};
+  double prev_psnr = 0.0;
+  for (const double rate : {2.0, 4.0, 8.0, 16.0}) {
+    const auto stream = ZfpCompressFixedRate(f, dims, rate);
+    const auto out = ZfpDecompressFixedRate(stream);
+    const auto d = metrics::ComputeDistortion<float>(f, out);
+    EXPECT_GT(d.psnr_db, prev_psnr) << rate;
+    prev_psnr = d.psnr_db;
+  }
+  EXPECT_GT(prev_psnr, 60.0);  // 16 bits/value is high quality
+}
+
+TEST(ZfpFixedRate, ThreeDimensionalRoundTrip) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 17 * 23 * 29, 5);
+  const std::size_t dims[] = {17, 23, 29};
+  const auto stream = ZfpCompressFixedRate(data, dims, 12.0);
+  const auto out = ZfpDecompressFixedRate(stream);
+  ASSERT_EQ(out.size(), data.size());
+  const auto d = metrics::ComputeDistortion<float>(data, out);
+  EXPECT_GT(d.psnr_db, 40.0);
+}
+
+TEST(ZfpFixedRate, ZeroBlocksAreCheapAndExact) {
+  std::vector<float> data(4096, 0.0f);
+  data[2000] = 5.0f;
+  const std::size_t dims[] = {data.size()};
+  ZfpStats stats;
+  const auto stream = ZfpCompressFixedRate(data, dims, 8.0, &stats);
+  EXPECT_GT(stats.num_empty_blocks, 1000u);
+  const auto out = ZfpDecompressFixedRate(stream);
+  EXPECT_EQ(out[0], 0.0f);
+  EXPECT_NEAR(out[2000], 5.0f, 0.5f);  // 8 bits/value on a 4-wide block
+}
+
+TEST(ZfpFixedRate, InvalidRatesRejected) {
+  const std::vector<float> data(64, 1.0f);
+  const std::size_t dims[] = {64};
+  EXPECT_THROW(ZfpCompressFixedRate(data, dims, 0.5), Error);
+  EXPECT_THROW(ZfpCompressFixedRate(data, dims, 100.0), Error);
+  EXPECT_THROW(ZfpCompressFixedRate(data, dims, 2.0), Error);  // < header
+}
+
+TEST(ZfpFixedRate, TruncatedStreamRejected) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 5000, 1);
+  const std::size_t dims[] = {data.size()};
+  const auto stream = ZfpCompressFixedRate(data, dims, 8.0);
+  EXPECT_THROW(
+      ZfpDecompressFixedRate(ByteSpan(stream.data(), stream.size() / 2)),
+      Error);
+}
+
+TEST(ZfpFixedRate, LowRateLowQuality) {
+  // The paper's Sec. 2 point: to be safe, fixed rate must be provisioned
+  // high, which caps the compression ratio.  At a low rate the error is
+  // visibly large.
+  const auto data = MakePattern<float>(Pattern::kUniformNoise, 65536, 9);
+  const std::size_t dims[] = {256, 256};
+  const auto out =
+      ZfpDecompressFixedRate(ZfpCompressFixedRate(data, dims, 2.0));
+  const auto d = metrics::ComputeDistortion<float>(data, out);
+  EXPECT_GT(d.max_abs_error, 1.0);  // no error bound at low rates
+}
+
+}  // namespace
+}  // namespace szx::zfpref

@@ -1,0 +1,300 @@
+// szx_cli -- command-line front end for the SZx codec.
+//
+//   szx_cli compress   -i data.f32 -o data.szx [-t f32|f64]
+//                      [-m rel|abs|pwrel] [-e 1e-3] [-b 128] [--omp [N]]
+//                      [--hybrid]
+//   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]]
+//   szx_cli info       -i data.szx
+//   szx_cli verify     -i data.f32 -z data.szx          (prints metrics)
+//   szx_cli tune       -i data.f32 [-t f32|f64] [-m ...] [-e ...]
+//                      (suggests a block size per Sec. 5.3)
+//
+// Raw files are flat little-endian float32/float64 arrays (the SDRBench
+// convention).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "core/omp_codec.hpp"
+#include "core/tuning.hpp"
+#include "core/validate.hpp"
+#include "hybrid/hybrid.hpp"
+#include "metrics/metrics.hpp"
+
+namespace {
+
+using namespace szx;
+
+[[noreturn]] void Usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage:\n"
+               "  szx_cli compress   -i IN -o OUT [-t f32|f64]"
+               " [-m rel|abs|pwrel] [-e BOUND] [-b BLOCK] [--omp [N]]"
+               " [--hybrid]\n"
+               "  szx_cli decompress -i IN -o OUT [--omp [N]]\n"
+               "  szx_cli info       -i IN\n"
+               "  szx_cli verify     -i RAW -z COMPRESSED\n"
+               "  szx_cli tune       -i IN [-t f32|f64] [-m MODE] [-e BOUND]\n"
+               "  szx_cli validate   -i IN [-t f32|f64] [--deep]\n");
+  std::exit(2);
+}
+
+ByteBuffer ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) Usage(("cannot open " + path).c_str());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  ByteBuffer buf(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(buf.data()), size);
+  if (!in) Usage(("cannot read " + path).c_str());
+  return buf;
+}
+
+void WriteFile(const std::string& path, const void* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Usage(("cannot open " + path + " for writing").c_str());
+  out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
+  if (!out) Usage(("cannot write " + path).c_str());
+}
+
+struct Args {
+  std::string input, output, compressed;
+  std::string dtype = "f32";
+  std::string mode = "rel";
+  double error_bound = 1e-3;
+  std::uint32_t block_size = 128;
+  bool omp = false;
+  bool hybrid = false;
+  bool deep = false;
+  int threads = 0;
+
+  ErrorBoundMode Mode() const {
+    if (mode == "abs") return ErrorBoundMode::kAbsolute;
+    if (mode == "pwrel") return ErrorBoundMode::kPointwiseRelative;
+    return ErrorBoundMode::kValueRangeRelative;
+  }
+};
+
+Args Parse(int argc, char** argv) {
+  Args a;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "-i") a.input = next();
+    else if (arg == "-o") a.output = next();
+    else if (arg == "-z") a.compressed = next();
+    else if (arg == "-t") a.dtype = next();
+    else if (arg == "-m") a.mode = next();
+    else if (arg == "-e") a.error_bound = std::atof(next().c_str());
+    else if (arg == "-b") a.block_size = static_cast<std::uint32_t>(
+                              std::atoi(next().c_str()));
+    else if (arg == "--omp") {
+      a.omp = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        a.threads = std::atoi(argv[++i]);
+      }
+    } else if (arg == "--hybrid") {
+      a.hybrid = true;
+    } else if (arg == "--deep") {
+      a.deep = true;
+    } else {
+      Usage(("unknown flag " + arg).c_str());
+    }
+  }
+  if (a.dtype != "f32" && a.dtype != "f64") Usage("-t must be f32 or f64");
+  if (a.mode != "rel" && a.mode != "abs" && a.mode != "pwrel") {
+    Usage("-m must be rel, abs or pwrel");
+  }
+  return a;
+}
+
+template <typename T>
+int DoCompress(const Args& a) {
+  const ByteBuffer raw = ReadFile(a.input);
+  if (raw.size() % sizeof(T) != 0) {
+    Usage("input size is not a multiple of the element size");
+  }
+  std::vector<T> data(raw.size() / sizeof(T));
+  std::memcpy(data.data(), raw.data(), raw.size());
+  Params p;
+  p.mode = a.Mode();
+  p.error_bound = a.error_bound;
+  p.block_size = a.block_size;
+  CompressionStats stats;
+  ByteBuffer stream;
+  if (a.hybrid) {
+    hybrid::HybridStats hstats;
+    stream = hybrid::Compress<T>(data, p, &hstats);
+    stats = hstats.szx;
+    stats.compressed_bytes = stream.size();
+  } else {
+    stream = a.omp ? CompressOmp<T>(data, p, &stats, a.threads)
+                   : Compress<T>(data, p, &stats);
+  }
+  WriteFile(a.output, stream.data(), stream.size());
+  std::printf("%zu -> %zu bytes (ratio %.3f), %llu/%llu constant blocks\n",
+              raw.size(), stream.size(), stats.CompressionRatio(sizeof(T)),
+              static_cast<unsigned long long>(stats.num_constant_blocks),
+              static_cast<unsigned long long>(stats.num_blocks));
+  return 0;
+}
+
+int DoDecompress(const Args& a) {
+  ByteBuffer stream = ReadFile(a.input);
+  if (hybrid::IsHybridStream(stream)) {
+    stream = hybrid::Unwrap(stream);
+  }
+  const Header h = PeekHeader(stream);
+  if (h.dtype == static_cast<std::uint8_t>(DataType::kFloat32)) {
+    const auto out = a.omp ? DecompressOmp<float>(stream, a.threads)
+                           : Decompress<float>(stream);
+    WriteFile(a.output, out.data(), out.size() * sizeof(float));
+    std::printf("wrote %zu float32 values\n", out.size());
+  } else {
+    const auto out = a.omp ? DecompressOmp<double>(stream, a.threads)
+                           : Decompress<double>(stream);
+    WriteFile(a.output, out.data(), out.size() * sizeof(double));
+    std::printf("wrote %zu float64 values\n", out.size());
+  }
+  return 0;
+}
+
+int DoInfo(const Args& a) {
+  ByteBuffer stream = ReadFile(a.input);
+  if (hybrid::IsHybridStream(stream)) {
+    std::printf("hybrid wrapper (SZx + lossless stage)\n");
+    stream = hybrid::Unwrap(stream);
+  }
+  const Header h = PeekHeader(stream);
+  std::printf("szx stream v%d\n", h.version);
+  std::printf("  dtype          %s\n", h.dtype == 0 ? "float32" : "float64");
+  std::printf("  elements       %llu\n",
+              static_cast<unsigned long long>(h.num_elements));
+  std::printf("  block size     %u\n", h.block_size);
+  std::printf("  blocks         %llu (%llu constant)\n",
+              static_cast<unsigned long long>(h.num_blocks),
+              static_cast<unsigned long long>(h.num_constant));
+  const char* mode_name =
+      h.eb_mode == 0 ? "abs" : (h.eb_mode == 1 ? "rel" : "pwrel");
+  std::printf("  bound          %s %.6g (abs %.6g)\n", mode_name,
+              h.error_bound_user, h.error_bound_abs);
+  std::printf("  solution       %c\n", "ABC"[h.solution]);
+  std::printf("  payload        %llu bytes%s\n",
+              static_cast<unsigned long long>(h.payload_bytes),
+              (h.flags & kFlagRawPassthrough) ? " (raw passthrough)" : "");
+  return 0;
+}
+
+template <typename T>
+int DoTune(const Args& a) {
+  const ByteBuffer raw = ReadFile(a.input);
+  if (raw.size() % sizeof(T) != 0) {
+    Usage("input size is not a multiple of the element size");
+  }
+  std::vector<T> data(raw.size() / sizeof(T));
+  std::memcpy(data.data(), raw.data(), raw.size());
+  Params p;
+  p.mode = a.Mode();
+  p.error_bound = a.error_bound;
+  const auto sweep = SweepBlockSizes<T>(data, p);
+  std::printf("%-10s %10s\n", "blocksize", "sampled CR");
+  for (const auto& c : sweep) {
+    std::printf("%-10u %10.3f\n", c.block_size, c.sampled_ratio);
+  }
+  const auto choice = ChooseBlockSize<T>(data, p);
+  std::printf("suggested block size: %u (CR %.3f)\n", choice.block_size,
+              choice.sampled_ratio);
+  return 0;
+}
+
+template <typename T>
+int DoValidate(const Args& a) {
+  ByteBuffer stream = ReadFile(a.input);
+  if (hybrid::IsHybridStream(stream)) {
+    stream = hybrid::Unwrap(stream);
+  }
+  const ValidationReport r = ValidateStream<T>(stream, a.deep);
+  if (r.ok) {
+    std::printf("stream OK (%llu elements, %llu payload bytes%s)\n",
+                static_cast<unsigned long long>(r.header.num_elements),
+                static_cast<unsigned long long>(r.payload_bytes_walked),
+                a.deep ? ", deep-checked" : "");
+    return 0;
+  }
+  std::printf("stream INVALID: %s\n", r.error.c_str());
+  return 1;
+}
+
+int DoVerify(const Args& a) {
+  const ByteBuffer raw = ReadFile(a.input);
+  ByteBuffer stream = ReadFile(a.compressed);
+  const std::size_t stored_bytes = stream.size();
+  if (hybrid::IsHybridStream(stream)) {
+    stream = hybrid::Unwrap(stream);
+  }
+  const Header h = PeekHeader(stream);
+  if (h.dtype != static_cast<std::uint8_t>(DataType::kFloat32)) {
+    Usage("verify currently expects float32 data");
+  }
+  std::vector<float> data(raw.size() / sizeof(float));
+  std::memcpy(data.data(), raw.data(), data.size() * sizeof(float));
+  const auto recon = Decompress<float>(stream);
+  if (recon.size() != data.size()) Usage("element count mismatch");
+  const auto d = metrics::ComputeDistortion<float>(data, recon);
+  std::printf("max err  %.6g (bound %.6g)  %s\n", d.max_abs_error,
+              h.error_bound_abs,
+              d.max_abs_error <= h.error_bound_abs ? "OK" : "VIOLATED");
+  std::printf("PSNR     %.2f dB\n", d.psnr_db);
+  std::printf("ratio    %.3f\n",
+              static_cast<double>(raw.size()) /
+                  static_cast<double>(stored_bytes));
+  return d.max_abs_error <= h.error_bound_abs ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+  try {
+    const Args a = Parse(argc, argv);
+    if (cmd == "compress") {
+      if (a.input.empty() || a.output.empty()) Usage("-i and -o required");
+      return a.dtype == "f32" ? DoCompress<float>(a) : DoCompress<double>(a);
+    }
+    if (cmd == "decompress") {
+      if (a.input.empty() || a.output.empty()) Usage("-i and -o required");
+      return DoDecompress(a);
+    }
+    if (cmd == "info") {
+      if (a.input.empty()) Usage("-i required");
+      return DoInfo(a);
+    }
+    if (cmd == "verify") {
+      if (a.input.empty() || a.compressed.empty()) {
+        Usage("-i and -z required");
+      }
+      return DoVerify(a);
+    }
+    if (cmd == "tune") {
+      if (a.input.empty()) Usage("-i required");
+      return a.dtype == "f32" ? DoTune<float>(a) : DoTune<double>(a);
+    }
+    if (cmd == "validate") {
+      if (a.input.empty()) Usage("-i required");
+      return a.dtype == "f32" ? DoValidate<float>(a)
+                              : DoValidate<double>(a);
+    }
+    Usage(("unknown command " + cmd).c_str());
+  } catch (const Error& e) {
+    std::fprintf(stderr, "szx error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,114 @@
+// szx_datagen -- writes the synthetic scientific datasets to disk as flat
+// little-endian float32 arrays (the SDRBench convention), so the CLI and
+// external tools can be exercised on realistic files.
+//
+//   szx_datagen list
+//   szx_datagen generate -a miranda -f density [-s 1.0] -o density.f32
+//   szx_datagen generate -a nyx --all [-s 0.5] -o-dir ./nyx/
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "data/datasets.hpp"
+
+namespace {
+
+using namespace szx;
+
+[[noreturn]] void Usage(const char* msg = nullptr) {
+  if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  szx_datagen list\n"
+      "  szx_datagen generate -a APP -f FIELD [-s SCALE] -o OUT.f32\n"
+      "  szx_datagen generate -a APP --all [-s SCALE] -o-dir DIR\n"
+      "apps: cesm hurricane miranda nyx qmcpack scale-letkf\n");
+  std::exit(2);
+}
+
+data::App ParseApp(const std::string& name) {
+  if (name == "cesm") return data::App::kCesm;
+  if (name == "hurricane") return data::App::kHurricane;
+  if (name == "miranda") return data::App::kMiranda;
+  if (name == "nyx") return data::App::kNyx;
+  if (name == "qmcpack") return data::App::kQmcpack;
+  if (name == "scale-letkf") return data::App::kScaleLetkf;
+  Usage(("unknown app " + name).c_str());
+}
+
+void WriteField(const data::Field& f, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) Usage(("cannot open " + path + " for writing").c_str());
+  out.write(reinterpret_cast<const char*>(f.values.data()),
+            static_cast<std::streamsize>(f.size_bytes()));
+  if (!out) Usage(("cannot write " + path).c_str());
+  std::string dims;
+  for (const auto d : f.dims) {
+    dims += (dims.empty() ? "" : "x") + std::to_string(d);
+  }
+  std::printf("%s: %s (%s, %.1f MB)\n", path.c_str(), f.name.c_str(),
+              dims.c_str(), static_cast<double>(f.size_bytes()) / 1e6);
+}
+
+int DoList() {
+  for (const data::App app : data::AllApps()) {
+    const auto dims = data::GridDims(app, 1.0);
+    std::string dim_str;
+    for (const auto d : dims) {
+      dim_str += (dim_str.empty() ? "" : "x") + std::to_string(d);
+    }
+    std::printf("%-12s %-14s fields:", data::AppName(app), dim_str.c_str());
+    for (const auto& f : data::FieldNames(app)) {
+      std::printf(" %s", f.c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) Usage();
+  const std::string cmd = argv[1];
+  if (cmd == "list") return DoList();
+  if (cmd != "generate") Usage(("unknown command " + cmd).c_str());
+
+  std::string app_name, field, out, out_dir;
+  double scale = 1.0;
+  bool all = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) Usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "-a") app_name = next();
+    else if (arg == "-f") field = next();
+    else if (arg == "-s") scale = std::atof(next().c_str());
+    else if (arg == "-o") out = next();
+    else if (arg == "-o-dir") out_dir = next();
+    else if (arg == "--all") all = true;
+    else Usage(("unknown flag " + arg).c_str());
+  }
+  if (app_name.empty()) Usage("-a required");
+  const data::App app = ParseApp(app_name);
+  try {
+    if (all) {
+      if (out_dir.empty()) Usage("-o-dir required with --all");
+      for (const auto& name : data::FieldNames(app)) {
+        const data::Field f = data::GenerateField(app, name, scale);
+        WriteField(f, out_dir + "/" + name + ".f32");
+      }
+      return 0;
+    }
+    if (field.empty() || out.empty()) Usage("-f and -o required");
+    WriteField(data::GenerateField(app, field, scale), out);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
