@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_commit_solutions.dir/ablation_commit_solutions.cpp.o"
+  "CMakeFiles/ablation_commit_solutions.dir/ablation_commit_solutions.cpp.o.d"
+  "ablation_commit_solutions"
+  "ablation_commit_solutions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_commit_solutions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_tradeoff.dir/ablation_hybrid_tradeoff.cpp.o"
+  "CMakeFiles/ablation_hybrid_tradeoff.dir/ablation_hybrid_tradeoff.cpp.o.d"
+  "ablation_hybrid_tradeoff"
+  "ablation_hybrid_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

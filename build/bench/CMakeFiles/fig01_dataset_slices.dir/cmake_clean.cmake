@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_dataset_slices.dir/fig01_dataset_slices.cpp.o"
+  "CMakeFiles/fig01_dataset_slices.dir/fig01_dataset_slices.cpp.o.d"
+  "fig01_dataset_slices"
+  "fig01_dataset_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_dataset_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_block_range_cdf.dir/fig02_block_range_cdf.cpp.o"
+  "CMakeFiles/fig02_block_range_cdf.dir/fig02_block_range_cdf.cpp.o.d"
+  "fig02_block_range_cdf"
+  "fig02_block_range_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_block_range_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_shift_overhead.dir/fig06_shift_overhead.cpp.o"
+  "CMakeFiles/fig06_shift_overhead.dir/fig06_shift_overhead.cpp.o.d"
+  "fig06_shift_overhead"
+  "fig06_shift_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_shift_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

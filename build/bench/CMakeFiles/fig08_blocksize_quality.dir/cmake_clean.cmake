@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_blocksize_quality.dir/fig08_blocksize_quality.cpp.o"
+  "CMakeFiles/fig08_blocksize_quality.dir/fig08_blocksize_quality.cpp.o.d"
+  "fig08_blocksize_quality"
+  "fig08_blocksize_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_blocksize_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_visual_quality.dir/fig12_visual_quality.cpp.o"
+  "CMakeFiles/fig12_visual_quality.dir/fig12_visual_quality.cpp.o.d"
+  "fig12_visual_quality"
+  "fig12_visual_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_visual_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

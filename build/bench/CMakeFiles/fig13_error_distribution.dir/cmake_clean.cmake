@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_error_distribution.dir/fig13_error_distribution.cpp.o"
+  "CMakeFiles/fig13_error_distribution.dir/fig13_error_distribution.cpp.o.d"
+  "fig13_error_distribution"
+  "fig13_error_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_error_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

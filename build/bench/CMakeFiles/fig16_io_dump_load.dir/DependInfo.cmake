@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig16_io_dump_load.cpp" "bench/CMakeFiles/fig16_io_dump_load.dir/fig16_io_dump_load.cpp.o" "gcc" "bench/CMakeFiles/fig16_io_dump_load.dir/fig16_io_dump_load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/szx_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/szx_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/szx_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/szref/CMakeFiles/szx_szref.dir/DependInfo.cmake"
+  "/root/repo/build/src/zfpref/CMakeFiles/szx_zfpref.dir/DependInfo.cmake"
+  "/root/repo/build/src/lzref/CMakeFiles/szx_lzref.dir/DependInfo.cmake"
+  "/root/repo/build/src/cusim/CMakeFiles/szx_cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/iosim/CMakeFiles/szx_iosim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

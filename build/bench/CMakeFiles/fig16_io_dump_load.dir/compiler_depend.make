@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig16_io_dump_load.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_compression_ratios.dir/table03_compression_ratios.cpp.o"
+  "CMakeFiles/table03_compression_ratios.dir/table03_compression_ratios.cpp.o.d"
+  "table03_compression_ratios"
+  "table03_compression_ratios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_compression_ratios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

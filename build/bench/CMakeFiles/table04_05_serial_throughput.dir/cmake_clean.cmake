@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_05_serial_throughput.dir/table04_05_serial_throughput.cpp.o"
+  "CMakeFiles/table04_05_serial_throughput.dir/table04_05_serial_throughput.cpp.o.d"
+  "table04_05_serial_throughput"
+  "table04_05_serial_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_05_serial_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

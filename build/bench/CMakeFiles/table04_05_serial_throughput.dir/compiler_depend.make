@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table04_05_serial_throughput.
+# This may be replaced when dependencies are built.

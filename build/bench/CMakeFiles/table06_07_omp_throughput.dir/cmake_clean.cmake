@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table06_07_omp_throughput.dir/table06_07_omp_throughput.cpp.o"
+  "CMakeFiles/table06_07_omp_throughput.dir/table06_07_omp_throughput.cpp.o.d"
+  "table06_07_omp_throughput"
+  "table06_07_omp_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table06_07_omp_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table06_07_omp_throughput.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/climate_ensemble.dir/climate_ensemble.cpp.o"
+  "CMakeFiles/climate_ensemble.dir/climate_ensemble.cpp.o.d"
+  "climate_ensemble"
+  "climate_ensemble.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/climate_ensemble.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

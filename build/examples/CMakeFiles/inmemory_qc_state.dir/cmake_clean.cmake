@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inmemory_qc_state.dir/inmemory_qc_state.cpp.o"
+  "CMakeFiles/inmemory_qc_state.dir/inmemory_qc_state.cpp.o.d"
+  "inmemory_qc_state"
+  "inmemory_qc_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inmemory_qc_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

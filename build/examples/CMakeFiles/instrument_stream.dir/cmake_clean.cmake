@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrument_stream.dir/instrument_stream.cpp.o"
+  "CMakeFiles/instrument_stream.dir/instrument_stream.cpp.o.d"
+  "instrument_stream"
+  "instrument_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrument_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roi_query.dir/roi_query.cpp.o"
+  "CMakeFiles/roi_query.dir/roi_query.cpp.o.d"
+  "roi_query"
+  "roi_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roi_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/block_stats.cpp" "src/core/CMakeFiles/szx_core.dir/block_stats.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/block_stats.cpp.o.d"
+  "/root/repo/src/core/compressor.cpp" "src/core/CMakeFiles/szx_core.dir/compressor.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/compressor.cpp.o.d"
+  "/root/repo/src/core/encode.cpp" "src/core/CMakeFiles/szx_core.dir/encode.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/encode.cpp.o.d"
+  "/root/repo/src/core/omp_codec.cpp" "src/core/CMakeFiles/szx_core.dir/omp_codec.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/omp_codec.cpp.o.d"
+  "/root/repo/src/core/random_access.cpp" "src/core/CMakeFiles/szx_core.dir/random_access.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/random_access.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/szx_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/tuning.cpp" "src/core/CMakeFiles/szx_core.dir/tuning.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/tuning.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/szx_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/szx_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_core.dir/block_stats.cpp.o"
+  "CMakeFiles/szx_core.dir/block_stats.cpp.o.d"
+  "CMakeFiles/szx_core.dir/compressor.cpp.o"
+  "CMakeFiles/szx_core.dir/compressor.cpp.o.d"
+  "CMakeFiles/szx_core.dir/encode.cpp.o"
+  "CMakeFiles/szx_core.dir/encode.cpp.o.d"
+  "CMakeFiles/szx_core.dir/omp_codec.cpp.o"
+  "CMakeFiles/szx_core.dir/omp_codec.cpp.o.d"
+  "CMakeFiles/szx_core.dir/random_access.cpp.o"
+  "CMakeFiles/szx_core.dir/random_access.cpp.o.d"
+  "CMakeFiles/szx_core.dir/streaming.cpp.o"
+  "CMakeFiles/szx_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/szx_core.dir/tuning.cpp.o"
+  "CMakeFiles/szx_core.dir/tuning.cpp.o.d"
+  "CMakeFiles/szx_core.dir/validate.cpp.o"
+  "CMakeFiles/szx_core.dir/validate.cpp.o.d"
+  "libszx_core.a"
+  "libszx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

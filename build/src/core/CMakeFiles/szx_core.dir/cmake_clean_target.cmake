@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libszx_core.a"
+)

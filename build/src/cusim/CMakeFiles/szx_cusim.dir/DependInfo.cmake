@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cusim/cusim_codec.cpp" "src/cusim/CMakeFiles/szx_cusim.dir/cusim_codec.cpp.o" "gcc" "src/cusim/CMakeFiles/szx_cusim.dir/cusim_codec.cpp.o.d"
+  "/root/repo/src/cusim/device_model.cpp" "src/cusim/CMakeFiles/szx_cusim.dir/device_model.cpp.o" "gcc" "src/cusim/CMakeFiles/szx_cusim.dir/device_model.cpp.o.d"
+  "/root/repo/src/cusim/kernel_harness.cpp" "src/cusim/CMakeFiles/szx_cusim.dir/kernel_harness.cpp.o" "gcc" "src/cusim/CMakeFiles/szx_cusim.dir/kernel_harness.cpp.o.d"
+  "/root/repo/src/cusim/warp_ops.cpp" "src/cusim/CMakeFiles/szx_cusim.dir/warp_ops.cpp.o" "gcc" "src/cusim/CMakeFiles/szx_cusim.dir/warp_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_cusim.dir/cusim_codec.cpp.o"
+  "CMakeFiles/szx_cusim.dir/cusim_codec.cpp.o.d"
+  "CMakeFiles/szx_cusim.dir/device_model.cpp.o"
+  "CMakeFiles/szx_cusim.dir/device_model.cpp.o.d"
+  "CMakeFiles/szx_cusim.dir/kernel_harness.cpp.o"
+  "CMakeFiles/szx_cusim.dir/kernel_harness.cpp.o.d"
+  "CMakeFiles/szx_cusim.dir/warp_ops.cpp.o"
+  "CMakeFiles/szx_cusim.dir/warp_ops.cpp.o.d"
+  "libszx_cusim.a"
+  "libszx_cusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

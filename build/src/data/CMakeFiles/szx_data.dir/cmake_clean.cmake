@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_data.dir/datasets.cpp.o"
+  "CMakeFiles/szx_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/szx_data.dir/noise.cpp.o"
+  "CMakeFiles/szx_data.dir/noise.cpp.o.d"
+  "libszx_data.a"
+  "libszx_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_hybrid.dir/hybrid.cpp.o"
+  "CMakeFiles/szx_hybrid.dir/hybrid.cpp.o.d"
+  "libszx_hybrid.a"
+  "libszx_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

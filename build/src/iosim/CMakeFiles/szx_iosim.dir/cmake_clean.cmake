@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_iosim.dir/event_sim.cpp.o"
+  "CMakeFiles/szx_iosim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/szx_iosim.dir/pfs_sim.cpp.o"
+  "CMakeFiles/szx_iosim.dir/pfs_sim.cpp.o.d"
+  "libszx_iosim.a"
+  "libszx_iosim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_iosim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_lzref.dir/lzref.cpp.o"
+  "CMakeFiles/szx_lzref.dir/lzref.cpp.o.d"
+  "libszx_lzref.a"
+  "libszx_lzref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_lzref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/szx_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/szx_metrics.dir/quality_report.cpp.o"
+  "CMakeFiles/szx_metrics.dir/quality_report.cpp.o.d"
+  "libszx_metrics.a"
+  "libszx_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/szref/huffman.cpp" "src/szref/CMakeFiles/szx_szref.dir/huffman.cpp.o" "gcc" "src/szref/CMakeFiles/szx_szref.dir/huffman.cpp.o.d"
+  "/root/repo/src/szref/sz2.cpp" "src/szref/CMakeFiles/szx_szref.dir/sz2.cpp.o" "gcc" "src/szref/CMakeFiles/szx_szref.dir/sz2.cpp.o.d"
+  "/root/repo/src/szref/szref.cpp" "src/szref/CMakeFiles/szx_szref.dir/szref.cpp.o" "gcc" "src/szref/CMakeFiles/szx_szref.dir/szref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/szx_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_szref.dir/huffman.cpp.o"
+  "CMakeFiles/szx_szref.dir/huffman.cpp.o.d"
+  "CMakeFiles/szx_szref.dir/sz2.cpp.o"
+  "CMakeFiles/szx_szref.dir/sz2.cpp.o.d"
+  "CMakeFiles/szx_szref.dir/szref.cpp.o"
+  "CMakeFiles/szx_szref.dir/szref.cpp.o.d"
+  "libszx_szref.a"
+  "libszx_szref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_szref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_zfpref.dir/zfp_block.cpp.o"
+  "CMakeFiles/szx_zfpref.dir/zfp_block.cpp.o.d"
+  "CMakeFiles/szx_zfpref.dir/zfpref.cpp.o"
+  "CMakeFiles/szx_zfpref.dir/zfpref.cpp.o.d"
+  "libszx_zfpref.a"
+  "libszx_zfpref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_zfpref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

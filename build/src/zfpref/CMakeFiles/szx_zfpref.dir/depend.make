@@ -1,0 +1,2 @@
+# Empty dependencies file for szx_zfpref.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_plan.dir/core/test_block_plan.cpp.o"
+  "CMakeFiles/test_block_plan.dir/core/test_block_plan.cpp.o.d"
+  "test_block_plan"
+  "test_block_plan.pdb"
+  "test_block_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_codec.dir/integration/test_cross_codec.cpp.o"
+  "CMakeFiles/test_cross_codec.dir/integration/test_cross_codec.cpp.o.d"
+  "test_cross_codec"
+  "test_cross_codec.pdb"
+  "test_cross_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cusim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_harness.dir/cusim/test_kernel_harness.cpp.o"
+  "CMakeFiles/test_kernel_harness.dir/cusim/test_kernel_harness.cpp.o.d"
+  "test_kernel_harness"
+  "test_kernel_harness.pdb"
+  "test_kernel_harness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lzref.dir/lzref/test_lzref.cpp.o"
+  "CMakeFiles/test_lzref.dir/lzref/test_lzref.cpp.o.d"
+  "test_lzref"
+  "test_lzref.pdb"
+  "test_lzref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lzref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

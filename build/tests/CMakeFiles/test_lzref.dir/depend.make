@@ -1,0 +1,2 @@
+# Empty dependencies file for test_lzref.
+# This may be replaced when dependencies are built.

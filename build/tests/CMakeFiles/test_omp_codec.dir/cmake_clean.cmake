@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp_codec.dir/core/test_omp_codec.cpp.o"
+  "CMakeFiles/test_omp_codec.dir/core/test_omp_codec.cpp.o.d"
+  "test_omp_codec"
+  "test_omp_codec.pdb"
+  "test_omp_codec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

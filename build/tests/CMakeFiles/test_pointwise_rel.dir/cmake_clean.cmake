@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pointwise_rel.dir/core/test_pointwise_rel.cpp.o"
+  "CMakeFiles/test_pointwise_rel.dir/core/test_pointwise_rel.cpp.o.d"
+  "test_pointwise_rel"
+  "test_pointwise_rel.pdb"
+  "test_pointwise_rel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pointwise_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

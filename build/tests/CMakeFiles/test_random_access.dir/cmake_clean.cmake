@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_access.dir/core/test_random_access.cpp.o"
+  "CMakeFiles/test_random_access.dir/core/test_random_access.cpp.o.d"
+  "test_random_access"
+  "test_random_access.pdb"
+  "test_random_access[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

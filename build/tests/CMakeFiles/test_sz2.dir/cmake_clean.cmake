@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sz2.dir/szref/test_sz2.cpp.o"
+  "CMakeFiles/test_sz2.dir/szref/test_sz2.cpp.o.d"
+  "test_sz2"
+  "test_sz2.pdb"
+  "test_sz2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sz2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_szref.dir/szref/test_szref.cpp.o"
+  "CMakeFiles/test_szref.dir/szref/test_szref.cpp.o.d"
+  "test_szref"
+  "test_szref.pdb"
+  "test_szref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_szref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

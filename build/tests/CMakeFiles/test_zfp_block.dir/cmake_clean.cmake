@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfp_block.dir/zfpref/test_zfp_block.cpp.o"
+  "CMakeFiles/test_zfp_block.dir/zfpref/test_zfp_block.cpp.o.d"
+  "test_zfp_block"
+  "test_zfp_block.pdb"
+  "test_zfp_block[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfp_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

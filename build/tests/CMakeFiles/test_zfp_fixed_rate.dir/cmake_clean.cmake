@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfp_fixed_rate.dir/zfpref/test_zfp_fixed_rate.cpp.o"
+  "CMakeFiles/test_zfp_fixed_rate.dir/zfpref/test_zfp_fixed_rate.cpp.o.d"
+  "test_zfp_fixed_rate"
+  "test_zfp_fixed_rate.pdb"
+  "test_zfp_fixed_rate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfp_fixed_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zfpref.dir/zfpref/test_zfpref.cpp.o"
+  "CMakeFiles/test_zfpref.dir/zfpref/test_zfpref.cpp.o.d"
+  "test_zfpref"
+  "test_zfpref.pdb"
+  "test_zfpref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zfpref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_cli.dir/szx_cli.cpp.o"
+  "CMakeFiles/szx_cli.dir/szx_cli.cpp.o.d"
+  "szx_cli"
+  "szx_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/szx_datagen.dir/szx_datagen.cpp.o"
+  "CMakeFiles/szx_datagen.dir/szx_datagen.cpp.o.d"
+  "szx_datagen"
+  "szx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/szx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
