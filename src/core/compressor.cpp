@@ -196,7 +196,9 @@ void DecompressInto(ByteSpan stream, std::span<T> out) {
     throw Error("szx: output buffer size mismatch");
   }
   if (h.flags & kFlagRawPassthrough) {
-    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
+      std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    }
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);
@@ -239,8 +241,13 @@ void DecompressInto(ByteSpan stream, std::span<T> out) {
 
 template <SupportedFloat T>
 std::vector<T> Decompress(ByteSpan stream) {
-  const Header h = ParseHeader(stream);
-  std::vector<T> out(h.num_elements);
+  // Parse the full section extents before sizing the output: a corrupt
+  // header whose num_elements/num_blocks are inflated in concert passes
+  // ParseHeader alone and would demand an arbitrarily large allocation.
+  // Section slicing bounds num_blocks (hence num_elements) by the actual
+  // stream size, so the failure is a clean szx::Error instead of bad_alloc.
+  const Sections<T> s = ParseSections<T>(stream);
+  std::vector<T> out(s.header.num_elements);
   DecompressInto<T>(stream, std::span<T>(out));
   return out;
 }

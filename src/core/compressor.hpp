@@ -37,8 +37,19 @@ void DecompressInto(ByteSpan stream, std::span<T> out);
 /// Reads the header without touching the body.
 Header PeekHeader(ByteSpan stream);
 
-/// Resolves the absolute error bound a Params would enforce on `data`
-/// (identity for kAbsolute; scales by global value range for kRel).
+/// Resolves the absolute error bound a Params would enforce on `data`.
+///
+/// - kAbsolute: returns params.error_bound unchanged; `data` is never
+///   inspected, so NaN/Inf values or an empty span do not affect it.
+/// - kValueRangeRelative: returns error_bound * (max - min) over the finite
+///   values only.  Returns 0.0 when no finite value exists (empty span or
+///   all NaN/Inf) and when the finite values are all equal (zero range);
+///   both degenerate streams still round-trip, via lossless/constant blocks.
+/// - kPointwiseRelative: returns 0.0 -- no single absolute bound exists;
+///   the enforced bound is error_bound * |d| per point.
+///
+/// Always throws szx::Error for invalid Params (non-finite or non-positive
+/// error_bound, block size out of range), matching Compress.
 template <SupportedFloat T>
 double ResolveAbsoluteBound(std::span<const T> data, const Params& params);
 

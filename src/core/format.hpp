@@ -68,8 +68,13 @@ inline Header ParseHeader(ByteSpan stream) {
   if (h.block_size < kMinBlockSize || h.block_size > kMaxBlockSize) {
     throw Error("szx: corrupt header block size");
   }
-  if (h.num_elements > 0 &&
-      h.num_blocks != (h.num_elements + h.block_size - 1) / h.block_size) {
+  // Unconditional and overflow-proof: the div/mod form cannot wrap, and
+  // num_elements == 0 must imply num_blocks == 0 (an inflated block count
+  // over an empty output would otherwise drive decoders past the buffer).
+  const std::uint64_t expected_blocks =
+      h.num_elements / h.block_size +
+      (h.num_elements % h.block_size != 0 ? 1 : 0);
+  if (h.num_blocks != expected_blocks) {
     throw Error("szx: header block count mismatch");
   }
   if (h.num_constant > h.num_blocks) {
@@ -115,6 +120,11 @@ inline Sections<T> ParseSections(ByteSpan stream) {
   ByteReader r(stream);
   r.Slice(sizeof(Header));
   if (h.flags & kFlagRawPassthrough) {
+    // Divide instead of multiplying so a huge num_elements cannot wrap the
+    // byte count and sneak past the bounds check below.
+    if (h.num_elements > (stream.size() - sizeof(Header)) / sizeof(T)) {
+      throw Error("szx: truncated raw passthrough payload");
+    }
     s.payload = r.Slice(h.num_elements * sizeof(T));
     return s;
   }

@@ -232,7 +232,9 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
     throw Error("szx: output buffer size mismatch");
   }
   if (h.flags & kFlagRawPassthrough) {
-    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
+      std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    }
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);
@@ -287,8 +289,10 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
 
 template <SupportedFloat T>
 std::vector<T> DecompressOmp(ByteSpan stream, int num_threads) {
-  const Header h = ParseHeader(stream);
-  std::vector<T> out(h.num_elements);
+  // Same allocation guard as serial Decompress: validate section extents
+  // (which bound num_elements by the stream size) before sizing the output.
+  const Sections<T> s = ParseSections<T>(stream);
+  std::vector<T> out(s.header.num_elements);
   DecompressOmpInto<T>(stream, std::span<T>(out), num_threads);
   return out;
 }

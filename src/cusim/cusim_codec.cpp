@@ -208,7 +208,9 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
   }
   std::vector<T> out(h.num_elements);
   if (h.flags & kFlagRawPassthrough) {
-    std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
+      std::memcpy(out.data(), s.payload.data(), s.payload.size());
+    }
     return out;
   }
   if (static_cast<CommitSolution>(h.solution) != CommitSolution::kC) {

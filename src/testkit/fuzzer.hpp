@@ -1,0 +1,73 @@
+// Deterministic corruption fuzzer for SZx streams.
+//
+// Replaces ad-hoc byte-flip sweeps with a seeded, replayable harness: every
+// iteration derives an independent RNG stream from (seed, iteration), picks
+// a base stream, applies 1..max_mutations byte-level corruptions (flips,
+// truncations, erasures, splices), and probes every decode surface.  The
+// probed invariants are strictness-ordered:
+//
+//   ValidateStream(deep).ok  =>  DecompressOmp accepts
+//   DecompressOmp accepts    =>  Decompress accepts
+//   DecompressCuda accepts   =>  Decompress accepts        (Solution C)
+//   every accepting decoder reconstructs bit-identical values, and a
+//   successful decode returns exactly header.num_elements values
+//
+// and no decode surface may raise anything but szx::Error.  On failure the
+// offending stream is ddmin-minimized and the (seed, iteration) pair printed
+// so the case replays exactly (see docs/testing.md).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/bitops.hpp"
+#include "core/common.hpp"
+
+namespace szx::testkit {
+
+struct FuzzConfig {
+  std::uint64_t seed = 0x5eedf00dull;
+  std::uint64_t iterations = 50000;
+  std::size_t max_mutations = 3;      ///< corruptions per iteration, >= 1
+  std::size_t minimize_budget = 4096; ///< max probe calls during ddmin
+};
+
+struct FuzzFailure {
+  std::uint64_t iteration = 0;
+  std::size_t base_index = 0;
+  std::string what;           ///< violated invariant
+  ByteBuffer stream;          ///< mutated stream as probed
+  ByteBuffer minimized;       ///< ddmin-reduced stream, still failing
+  /// One-line reproduction recipe (seed, iteration, base) for bug reports.
+  std::string Repro(const FuzzConfig& config) const;
+};
+
+struct FuzzReport {
+  std::uint64_t iterations_run = 0;
+  std::uint64_t mutations_applied = 0;
+  std::uint64_t accepted = 0;  ///< mutated streams every decoder accepted
+  std::uint64_t rejected = 0;  ///< mutated streams cleanly rejected
+  std::optional<FuzzFailure> failure;  ///< first invariant violation
+};
+
+/// Probes one stream against all cross-decoder invariants above.  Returns
+/// std::nullopt when they hold (accept or clean reject), else a description.
+/// `accepted` (optional) reports whether the serial decoder accepted.
+template <SupportedFloat T>
+std::optional<std::string> ProbeStream(ByteSpan stream,
+                                       bool* accepted = nullptr);
+
+/// Rebuilds the mutated stream of one iteration (exact replay).
+ByteBuffer MutatedStream(std::span<const ByteBuffer> bases,
+                         const FuzzConfig& config, std::uint64_t iteration,
+                         std::size_t* base_index = nullptr,
+                         std::uint64_t* mutations = nullptr);
+
+/// Runs the full campaign over `bases`; stops at the first failure (after
+/// minimizing it).  Deterministic: same bases + config => same report.
+template <SupportedFloat T>
+FuzzReport RunCorruptionFuzzer(std::span<const ByteBuffer> bases,
+                               const FuzzConfig& config);
+
+}  // namespace szx::testkit

@@ -1,0 +1,171 @@
+#include "testkit/generators.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "testkit/rng.hpp"
+
+namespace szx::testkit {
+
+const char* GenName(Gen g) {
+  switch (g) {
+    case Gen::kConstant: return "constant";
+    case Gen::kRamp: return "ramp";
+    case Gen::kWave: return "wave";
+    case Gen::kNoise: return "noise";
+    case Gen::kDenormals: return "denormals";
+    case Gen::kNonFinite: return "non_finite";
+    case Gen::kConstantBlocks: return "constant_blocks";
+    case Gen::kRangeCollapse: return "range_collapse";
+    case Gen::kMixedScales: return "mixed_scales";
+    case Gen::kZeroHeavy: return "zero_heavy";
+    case Gen::kNegatives: return "negatives";
+    case Gen::kUlpSteps: return "ulp_steps";
+  }
+  return "unknown";
+}
+
+std::vector<Gen> AllGens() {
+  return {Gen::kConstant,       Gen::kRamp,          Gen::kWave,
+          Gen::kNoise,          Gen::kDenormals,     Gen::kNonFinite,
+          Gen::kConstantBlocks, Gen::kRangeCollapse, Gen::kMixedScales,
+          Gen::kZeroHeavy,      Gen::kNegatives,     Gen::kUlpSteps};
+}
+
+namespace {
+
+// Piecewise-parabolic pseudo-sine on pure arithmetic (period 1, range
+// roughly [-1, 1]); bit-reproducible unlike std::sin.
+double Wave(double t) {
+  t -= std::floor(t);
+  const double u = t < 0.5 ? t : t - 0.5;
+  const double arch = 16.0 * u * (0.5 - u);  // parabola through 0 at 0, 0.5
+  return t < 0.5 ? arch : -arch;
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+std::vector<T> Generate(Gen g, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<T> v(n);
+  constexpr T kNaN = std::numeric_limits<T>::quiet_NaN();
+  constexpr T kInf = std::numeric_limits<T>::infinity();
+  switch (g) {
+    case Gen::kConstant:
+      for (auto& x : v) x = T(-7.125);
+      break;
+    case Gen::kRamp:
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<T>(0.001 * static_cast<double>(i) - 40.0);
+      }
+      break;
+    case Gen::kWave:
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = static_cast<T>(
+            100.0 * Wave(static_cast<double>(i) * (1.0 / 190.0)) +
+            10.0 * Wave(static_cast<double>(i) * (1.0 / 17.0)));
+      }
+      break;
+    case Gen::kNoise:
+      for (auto& x : v) x = static_cast<T>(rng.Uniform(-1000.0, 1000.0));
+      break;
+    case Gen::kDenormals: {
+      const T dmin = std::numeric_limits<T>::denorm_min();
+      for (std::size_t i = 0; i < n; ++i) {
+        // Mix subnormals, the smallest normals, and exact zeros.
+        switch (rng.Below(4)) {
+          case 0: v[i] = T(0); break;
+          case 1: v[i] = static_cast<T>(dmin * static_cast<T>(
+                             1 + static_cast<int>(rng.Below(999)))); break;
+          case 2: v[i] = std::numeric_limits<T>::min() *
+                         static_cast<T>(1 + static_cast<int>(rng.Below(7)));
+                  break;
+          default: v[i] = -static_cast<T>(dmin * static_cast<T>(
+                              1 + static_cast<int>(rng.Below(999))));
+        }
+      }
+      break;
+    }
+    case Gen::kNonFinite:
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t r = rng.Below(12);
+        if (r == 0) v[i] = kNaN;
+        else if (r == 1) v[i] = kInf;
+        else if (r == 2) v[i] = -kInf;
+        else v[i] = static_cast<T>(rng.Uniform(-5.0, 5.0));
+      }
+      break;
+    case Gen::kConstantBlocks:
+      for (std::size_t i = 0; i < n; ++i) {
+        // 64-element stretches alternate exactly-constant and noisy.
+        v[i] = ((i / 64) % 2 == 0)
+                   ? T(42.5)
+                   : static_cast<T>(rng.Uniform(-100.0, 100.0));
+      }
+      break;
+    case Gen::kRangeCollapse:
+      for (auto& x : v) {
+        x = static_cast<T>(1.0e7 + rng.Uniform(0.0, 1.0e-3));
+      }
+      break;
+    case Gen::kMixedScales:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double mag =
+            (i % 7 == 0) ? 1e30 : ((i % 3 == 0) ? 1e-30 : 1.0);
+        v[i] = static_cast<T>(mag * rng.Uniform(-1.0, 1.0));
+      }
+      break;
+    case Gen::kZeroHeavy:
+      for (auto& x : v) {
+        x = (rng.Below(40) == 0)
+                ? static_cast<T>(rng.Uniform(-500.0, 500.0))
+                : T(0);
+      }
+      break;
+    case Gen::kNegatives:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double m = rng.Uniform(0.5, 2.0);
+        v[i] = static_cast<T>((i % 2 == 0) ? m : -m);
+      }
+      break;
+    case Gen::kUlpSteps: {
+      T x = T(1.5);
+      for (std::size_t i = 0; i < n; ++i) {
+        v[i] = x;
+        x = std::nextafter(x, rng.Below(2) == 0
+                                  ? std::numeric_limits<T>::max()
+                                  : std::numeric_limits<T>::lowest());
+      }
+      break;
+    }
+  }
+  return v;
+}
+
+template std::vector<float> Generate<float>(Gen, std::size_t, std::uint64_t);
+template std::vector<double> Generate<double>(Gen, std::size_t, std::uint64_t);
+
+std::vector<InputCase> StandardCases(std::uint32_t block_size) {
+  const std::size_t bs = block_size;
+  const std::size_t sizes[] = {1,          bs - 1,     bs,
+                               bs + 1,     4 * bs,     7 * bs + 3,
+                               16 * bs - 1};
+  std::vector<InputCase> cases;
+  std::uint64_t seed = 0x5a7d00c0ffee0000ull;
+  for (const Gen g : AllGens()) {
+    for (const std::size_t n : sizes) {
+      if (n == 0) continue;  // block_size 1 is not admitted anyway
+      InputCase c;
+      c.gen = g;
+      c.n = n;
+      c.seed = ++seed;
+      c.name = std::string(GenName(g)) + "/n=" + std::to_string(n) +
+               "/seed=" + std::to_string(c.seed);
+      cases.push_back(std::move(c));
+    }
+  }
+  return cases;
+}
+
+}  // namespace szx::testkit

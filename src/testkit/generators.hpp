@@ -1,0 +1,59 @@
+// Adversarial input generators for the conformance tier.
+//
+// Every generator is pure integer/float arithmetic on SplitMix64 output --
+// no libm transcendentals -- so the same (pattern, size, seed) triple
+// produces bit-identical data on every platform and toolchain.  That makes
+// the generated fields usable both for property tests and as the canonical
+// inputs behind the checked-in golden corpus.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/bitops.hpp"
+#include "core/common.hpp"
+
+namespace szx::testkit {
+
+/// Input families chosen to stress the codec's decision points: the
+/// constant-block test, the lossless (non-finite / exceeds-precision)
+/// fallback, the subnormal guard, range collapse in the rel mode, and
+/// tail-block handling.
+enum class Gen : std::uint8_t {
+  kConstant,        ///< one value everywhere (all-constant blocks)
+  kRamp,            ///< slow linear ramp (mix of constant and tiny-range)
+  kWave,            ///< smooth arithmetic wave (typical scientific field)
+  kNoise,           ///< uniform noise, moderate range
+  kDenormals,       ///< values in and around the subnormal range
+  kNonFinite,       ///< finite background with interleaved NaN/±Inf
+  kConstantBlocks,  ///< alternating exactly-constant and noisy stretches
+  kRangeCollapse,   ///< huge offset, microscopic spread (rel-mode stress)
+  kMixedScales,     ///< magnitudes spanning ~1e-30 .. 1e+30
+  kZeroHeavy,       ///< mostly exact zeros with sparse spikes (pwrel stress)
+  kNegatives,       ///< sign-alternating values straddling zero
+  kUlpSteps,        ///< neighbouring representable values (1-ulp deltas)
+};
+
+const char* GenName(Gen g);
+std::vector<Gen> AllGens();
+
+template <SupportedFloat T>
+std::vector<T> Generate(Gen g, std::size_t n, std::uint64_t seed);
+
+/// One property-test input: a generator plus a size chosen to sit on or
+/// around block boundaries.
+struct InputCase {
+  Gen gen;
+  std::size_t n;
+  std::uint64_t seed;
+  std::string name;  ///< "<gen>/n=<n>/seed=<seed>"
+};
+
+/// The standard case matrix: every generator crossed with sizes around the
+/// block-size boundaries of `block_size` (1, bs-1, bs, bs+1, a few blocks,
+/// and a non-multiple tail), deterministically seeded.
+std::vector<InputCase> StandardCases(std::uint32_t block_size);
+
+}  // namespace szx::testkit

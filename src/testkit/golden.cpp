@@ -1,0 +1,196 @@
+#include "testkit/golden.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/compressor.hpp"
+#include "testkit/oracle.hpp"
+
+namespace szx::testkit {
+
+namespace {
+
+Params MakeParams(ErrorBoundMode mode, double eb, std::uint32_t bs,
+                  CommitSolution sol) {
+  Params p;
+  p.mode = mode;
+  p.error_bound = eb;
+  p.block_size = bs;
+  p.solution = sol;
+  return p;
+}
+
+const char* ModeName(ErrorBoundMode m) {
+  switch (m) {
+    case ErrorBoundMode::kAbsolute: return "abs";
+    case ErrorBoundMode::kValueRangeRelative: return "rel";
+    case ErrorBoundMode::kPointwiseRelative: return "pwrel";
+  }
+  return "?";
+}
+
+}  // namespace
+
+const std::vector<GoldenCase>& GoldenCases() {
+  using enum ErrorBoundMode;
+  using enum CommitSolution;
+  static const std::vector<GoldenCase> kCases = {
+      // Solution matrix on a typical smooth field (float).
+      {"f32_abs_c_wave.szx", DataType::kFloat32, Gen::kWave, 1000, 101,
+       MakeParams(kAbsolute, 1e-3, 128, kC)},
+      {"f32_abs_a_wave.szx", DataType::kFloat32, Gen::kWave, 777, 102,
+       MakeParams(kAbsolute, 1e-3, 128, kA)},
+      {"f32_abs_b_wave.szx", DataType::kFloat32, Gen::kWave, 777, 103,
+       MakeParams(kAbsolute, 1e-3, 128, kB)},
+      // Error-bound modes (float).
+      {"f32_rel_c_noise.szx", DataType::kFloat32, Gen::kNoise, 1000, 104,
+       MakeParams(kValueRangeRelative, 1e-3, 128, kC)},
+      {"f32_rel_c_nonfinite.szx", DataType::kFloat32, Gen::kNonFinite, 1000,
+       105, MakeParams(kValueRangeRelative, 1e-3, 128, kC)},
+      {"f32_pwrel_c_zeroheavy.szx", DataType::kFloat32, Gen::kZeroHeavy, 960,
+       106, MakeParams(kPointwiseRelative, 1e-2, 128, kC)},
+      // Special format paths (float).
+      {"f32_abs_c_denormals.szx", DataType::kFloat32, Gen::kDenormals, 512,
+       107, MakeParams(kAbsolute, 1e-44, 64, kC)},
+      {"f32_abs_c_rangecollapse.szx", DataType::kFloat32, Gen::kRangeCollapse,
+       513, 108, MakeParams(kAbsolute, 1e-5, 64, kC)},
+      {"f32_rel_c_constant.szx", DataType::kFloat32, Gen::kConstant, 300, 109,
+       MakeParams(kValueRangeRelative, 1e-3, 128, kC)},
+      {"f32_abs_c_ulpsteps.szx", DataType::kFloat32, Gen::kUlpSteps, 256, 110,
+       MakeParams(kAbsolute, 1e-9, 32, kC)},
+      // Tight bound on noise makes every block lossless and trips the raw
+      // passthrough frame.
+      {"f32_abs_c_rawpassthrough.szx", DataType::kFloat32, Gen::kNoise, 400,
+       111, MakeParams(kAbsolute, 1e-12, 128, kC)},
+      // Double-precision coverage.
+      {"f64_abs_c_wave.szx", DataType::kFloat64, Gen::kWave, 800, 112,
+       MakeParams(kAbsolute, 1e-6, 128, kC)},
+      {"f64_rel_a_noise.szx", DataType::kFloat64, Gen::kNoise, 555, 113,
+       MakeParams(kValueRangeRelative, 1e-4, 128, kA)},
+      {"f64_pwrel_b_mixedscales.szx", DataType::kFloat64, Gen::kMixedScales,
+       640, 114, MakeParams(kPointwiseRelative, 1e-3, 128, kB)},
+      {"f64_abs_c_negatives.szx", DataType::kFloat64, Gen::kNegatives, 1029,
+       115, MakeParams(kAbsolute, 1e-2, 256, kC)},
+  };
+  return kCases;
+}
+
+ByteBuffer EncodeGoldenCase(const GoldenCase& c) {
+  if (c.dtype == DataType::kFloat32) {
+    const std::vector<float> data = Generate<float>(c.gen, c.n, c.seed);
+    return Compress<float>(data, c.params);
+  }
+  const std::vector<double> data = Generate<double>(c.gen, c.n, c.seed);
+  return Compress<double>(data, c.params);
+}
+
+std::uint64_t Fnv1a64(ByteSpan bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : bytes) {
+    h ^= std::to_integer<std::uint64_t>(b);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+namespace {
+
+std::string ManifestLine(const GoldenCase& c, ByteSpan stream) {
+  std::ostringstream os;
+  os << c.file << "  bytes=" << stream.size() << "  fnv1a64=" << std::hex
+     << Fnv1a64(stream) << std::dec << "  "
+     << (c.dtype == DataType::kFloat32 ? "f32" : "f64") << " "
+     << GenName(c.gen) << " n=" << c.n << " seed=" << c.seed
+     << " mode=" << ModeName(c.params.mode) << " eb=" << c.params.error_bound
+     << " bs=" << c.params.block_size << " sol="
+     << static_cast<char>('A' + static_cast<int>(c.params.solution));
+  return os.str();
+}
+
+}  // namespace
+
+std::string ManifestText() {
+  std::ostringstream os;
+  os << "# Golden-stream corpus manifest -- regenerate with szx_goldengen.\n"
+     << "# Any diff here is a stream-format change and must be reviewed.\n";
+  for (const GoldenCase& c : GoldenCases()) {
+    os << ManifestLine(c, EncodeGoldenCase(c)) << "\n";
+  }
+  return os.str();
+}
+
+ByteBuffer ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("testkit: cannot open " + path);
+  ByteBuffer bytes;
+  char chunk[4096];
+  while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    const auto* p = reinterpret_cast<const std::byte*>(chunk);
+    bytes.insert(bytes.end(), p, p + in.gcount());
+  }
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, ByteSpan bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("testkit: cannot create " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) throw Error("testkit: short write to " + path);
+}
+
+void WriteGoldenCorpus(const std::string& dir) {
+  for (const GoldenCase& c : GoldenCases()) {
+    WriteFileBytes(dir + "/" + c.file, EncodeGoldenCase(c));
+  }
+  const std::string manifest = ManifestText();
+  WriteFileBytes(dir + "/" + kManifestFile,
+                 ByteSpan(reinterpret_cast<const std::byte*>(manifest.data()),
+                          manifest.size()));
+}
+
+namespace {
+
+template <SupportedFloat T>
+std::optional<std::string> VerifyDecode(const GoldenCase& c,
+                                        const ByteBuffer& golden) {
+  const std::vector<T> data = Generate<T>(c.gen, c.n, c.seed);
+  std::vector<T> recon;
+  try {
+    recon = Decompress<T>(golden);
+  } catch (const Error& e) {
+    return "decoder rejects the golden stream: " + std::string(e.what());
+  }
+  const double abs_bound =
+      ResolveAbsoluteBound<T>(std::span<const T>(data), c.params);
+  return CheckErrorBound<T>(data, recon, c.params, abs_bound);
+}
+
+}  // namespace
+
+std::optional<std::string> VerifyGoldenCase(const GoldenCase& c,
+                                            const std::string& dir) {
+  ByteBuffer golden;
+  try {
+    golden = ReadFileBytes(dir + "/" + c.file);
+  } catch (const Error& e) {
+    return std::string(e.what()) + " (regenerate with szx_goldengen)";
+  }
+  const ByteBuffer fresh = EncodeGoldenCase(c);
+  if (fresh.size() != golden.size()) {
+    return c.file + ": encoder output is " + std::to_string(fresh.size()) +
+           " bytes but the golden stream is " + std::to_string(golden.size()) +
+           " -- the stream format drifted";
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (fresh[i] != golden[i]) {
+      return c.file + ": encoder output diverges from the golden stream at " +
+             "byte " + std::to_string(i) + " of " +
+             std::to_string(fresh.size()) + " -- the stream format drifted";
+    }
+  }
+  return c.dtype == DataType::kFloat32 ? VerifyDecode<float>(c, golden)
+                                       : VerifyDecode<double>(c, golden);
+}
+
+}  // namespace szx::testkit

@@ -1,0 +1,61 @@
+// Golden-stream corpus: a checked-in set of compressed streams pinning the
+// on-disk format.
+//
+// Each case names a canonical input (generator, size, seed -- all
+// bit-reproducible) and the Params used to compress it.  The corpus test
+// re-compresses the canonical input and requires byte equality with the
+// checked-in file, and decodes the checked-in file and requires the
+// error-bound oracle to hold -- so ANY change to the stream format, encoder
+// decisions, or decoder semantics surfaces as an explicit diff of
+// tests/golden/ that has to be reviewed and regenerated on purpose
+// (tools/szx_goldengen).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/common.hpp"
+#include "testkit/generators.hpp"
+
+namespace szx::testkit {
+
+struct GoldenCase {
+  std::string file;  ///< file name inside the corpus directory
+  DataType dtype;
+  Gen gen;
+  std::size_t n;
+  std::uint64_t seed;
+  Params params;
+};
+
+/// The corpus definition: float/double crossed with every error-bound mode
+/// and commit solution, plus the format's special paths (raw passthrough,
+/// lossless blocks, constant streams, subnormals).
+const std::vector<GoldenCase>& GoldenCases();
+
+/// Compresses the case's canonical input (what goldengen writes to disk).
+ByteBuffer EncodeGoldenCase(const GoldenCase& c);
+
+/// FNV-1a 64-bit hash, used in the manifest so corpus drift is readable in
+/// review even for binary files.
+std::uint64_t Fnv1a64(ByteSpan bytes);
+
+/// The full manifest text (one line per case: file, size, hash, params).
+std::string ManifestText();
+inline constexpr const char* kManifestFile = "MANIFEST.txt";
+
+/// Writes every golden stream plus the manifest into `dir`.
+void WriteGoldenCorpus(const std::string& dir);
+
+/// Checks one case against the corpus in `dir`: byte equality of the
+/// re-encoded stream and error-bound conformance of the decoded one.
+/// Returns std::nullopt on success.
+std::optional<std::string> VerifyGoldenCase(const GoldenCase& c,
+                                            const std::string& dir);
+
+/// File helpers (throw szx::Error on I/O failure).
+ByteBuffer ReadFileBytes(const std::string& path);
+void WriteFileBytes(const std::string& path, ByteSpan bytes);
+
+}  // namespace szx::testkit

@@ -1,0 +1,42 @@
+// Deterministic PRNG for the conformance kit.  SplitMix64 is used instead
+// of <random> engines/distributions so that every generated input, mutation
+// schedule, and golden stream is bit-reproducible across platforms and
+// standard-library versions -- a hard requirement for the golden corpus and
+// for replaying fuzz failures from a printed seed.
+#pragma once
+
+#include <cstdint>
+
+namespace szx::testkit {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n).  n must be > 0.
+  std::uint64_t Below(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform in [0, 1).  Exactly 53 bits, platform-independent.
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Derives an independent stream for sub-tasks (e.g. per fuzz iteration)
+  /// so replaying iteration i never depends on iterations 0..i-1.
+  Rng Fork(std::uint64_t salt) const {
+    return Rng(state_ ^ (0x5851f42d4c957f2dull * (salt + 1)));
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace szx::testkit

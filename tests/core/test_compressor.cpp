@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <tuple>
 
 #include "core/block_stats.hpp"
@@ -302,6 +303,69 @@ TEST(CompressorSolutions, IdenticalReconstructions) {
     ASSERT_EQ(out_a[i], out_c[i]) << i;
     ASSERT_EQ(out_b[i], out_c[i]) << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// ResolveAbsoluteBound edge cases (see the contract in compressor.hpp).
+// ---------------------------------------------------------------------------
+
+TEST(ResolveAbsoluteBound, AbsoluteModeIgnoresData) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 2.5e-3;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> poisoned = {nan, inf, -inf, 1.0f};
+  EXPECT_EQ(ResolveAbsoluteBound<float>(poisoned, p), 2.5e-3);
+  EXPECT_EQ(ResolveAbsoluteBound<float>({}, p), 2.5e-3);
+}
+
+TEST(ResolveAbsoluteBound, RelativeModeScalesByFiniteRange) {
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-2;
+  const float inf = std::numeric_limits<float>::infinity();
+  // Non-finite values must not poison the range: finite span is [−2, 6].
+  const std::vector<float> data = {inf, -2.0f, 6.0f,
+                                   std::numeric_limits<float>::quiet_NaN()};
+  EXPECT_DOUBLE_EQ(ResolveAbsoluteBound<float>(data, p), 1e-2 * 8.0);
+}
+
+TEST(ResolveAbsoluteBound, RelativeModeDegeneratesToZero) {
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = 1e-2;
+  // Empty span, all-non-finite span, and zero value range all resolve to a
+  // 0.0 bound (effectively lossless) rather than NaN or a throw.
+  EXPECT_EQ(ResolveAbsoluteBound<double>({}, p), 0.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> no_finite = {nan, nan};
+  EXPECT_EQ(ResolveAbsoluteBound<double>(no_finite, p), 0.0);
+  const std::vector<double> constant(64, 3.25);
+  EXPECT_EQ(ResolveAbsoluteBound<double>(constant, p), 0.0);
+  // The degenerate streams still round-trip exactly.
+  const ByteBuffer stream = Compress<double>(constant, p);
+  EXPECT_EQ(Decompress<double>(stream), constant);
+}
+
+TEST(ResolveAbsoluteBound, PointwiseRelativeHasNoSingleBound) {
+  Params p;
+  p.mode = ErrorBoundMode::kPointwiseRelative;
+  p.error_bound = 1e-2;
+  const std::vector<float> data = {1.0f, 100.0f, -5.0f};
+  EXPECT_EQ(ResolveAbsoluteBound<float>(data, p), 0.0);
+}
+
+TEST(ResolveAbsoluteBound, RejectsInvalidParamsLikeCompress) {
+  const std::vector<float> data = {1.0f, 2.0f};
+  Params p;
+  p.error_bound = 0.0;
+  EXPECT_THROW(ResolveAbsoluteBound<float>(data, p), Error);
+  p.error_bound = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(ResolveAbsoluteBound<float>(data, p), Error);
+  p.error_bound = 1e-3;
+  p.block_size = kMinBlockSize - 1;
+  EXPECT_THROW(ResolveAbsoluteBound<float>(data, p), Error);
 }
 
 // ---------------------------------------------------------------------------

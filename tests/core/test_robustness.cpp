@@ -26,14 +26,18 @@ ByteBuffer SampleStream(CommitSolution sol = CommitSolution::kC) {
   return Compress<float>(data, p);
 }
 
-// Every decode either throws szx::Error or returns; nothing else.
+// Every decode either throws szx::Error or succeeds; nothing else.  And a
+// decode that succeeds must hand back exactly the element count the header
+// declares -- a mismatch means the decoder dropped or invented elements.
 template <typename Decode>
 void MustNotCrash(ByteSpan stream, Decode&& decode) {
+  std::size_t decoded = 0;
   try {
-    decode(stream);
+    decoded = decode(stream);
   } catch (const Error&) {
-    // Expected for detectable corruption.
+    return;  // Expected for detectable corruption.
   }
+  ASSERT_EQ(decoded, PeekHeader(stream).num_elements);
 }
 
 TEST(Robustness, TruncationSweepSerial) {
@@ -47,7 +51,7 @@ TEST(Robustness, TruncationSweepSerial) {
   }
   for (const std::size_t n : lengths) {
     MustNotCrash(ByteSpan(stream.data(), n),
-                 [](ByteSpan s) { Decompress<float>(s); });
+                 [](ByteSpan s) { return Decompress<float>(s).size(); });
   }
 }
 
@@ -65,9 +69,9 @@ TEST(Robustness, SingleByteFlipSweep) {
     for (const std::uint8_t flip : {0x01, 0x80, 0xff}) {
       ByteBuffer bad = original;
       bad[pos] ^= std::byte{flip};
-      MustNotCrash(bad, [](ByteSpan s) { Decompress<float>(s); });
-      MustNotCrash(bad, [](ByteSpan s) { DecompressOmp<float>(s, 2); });
-      MustNotCrash(bad, [](ByteSpan s) { cusim::DecompressCuda<float>(s); });
+      MustNotCrash(bad, [](ByteSpan s) { return Decompress<float>(s).size(); });
+      MustNotCrash(bad, [](ByteSpan s) { return DecompressOmp<float>(s, 2).size(); });
+      MustNotCrash(bad, [](ByteSpan s) { return cusim::DecompressCuda<float>(s).size(); });
     }
   }
 }
@@ -79,7 +83,7 @@ TEST(Robustness, FlipSweepSolutionsAB) {
     for (int k = 0; k < 200; ++k) {
       ByteBuffer bad = original;
       bad[rng.Next() % bad.size()] ^= std::byte{0x42};
-      MustNotCrash(bad, [](ByteSpan s) { Decompress<float>(s); });
+      MustNotCrash(bad, [](ByteSpan s) { return Decompress<float>(s).size(); });
     }
   }
 }
@@ -91,8 +95,8 @@ TEST(Robustness, RandomGarbageInputs) {
     for (auto& b : junk) {
       b = std::byte{static_cast<std::uint8_t>(rng.Next() & 0xff)};
     }
-    MustNotCrash(junk, [](ByteSpan s) { Decompress<float>(s); });
-    MustNotCrash(junk, [](ByteSpan s) { Decompress<double>(s); });
+    MustNotCrash(junk, [](ByteSpan s) { return Decompress<float>(s).size(); });
+    MustNotCrash(junk, [](ByteSpan s) { return Decompress<double>(s).size(); });
   }
 }
 
@@ -109,8 +113,8 @@ TEST(Robustness, GarbageWithValidMagic) {
     junk[2] = std::byte{'X'};
     junk[3] = std::byte{'1'};
     junk[4] = std::byte{1};  // version
-    MustNotCrash(junk, [](ByteSpan s) { Decompress<float>(s); });
-    MustNotCrash(junk, [](ByteSpan s) { DecompressOmp<float>(s, 2); });
+    MustNotCrash(junk, [](ByteSpan s) { return Decompress<float>(s).size(); });
+    MustNotCrash(junk, [](ByteSpan s) { return DecompressOmp<float>(s, 2).size(); });
   }
 }
 
@@ -124,7 +128,7 @@ TEST(Robustness, SwappedSections) {
   const auto b = Compress<float>(data2, p);
   ByteBuffer spliced(a.begin(), a.begin() + a.size() / 2);
   spliced.insert(spliced.end(), b.begin() + b.size() / 2, b.end());
-  MustNotCrash(spliced, [](ByteSpan s) { Decompress<float>(s); });
+  MustNotCrash(spliced, [](ByteSpan s) { return Decompress<float>(s).size(); });
 }
 
 }  // namespace

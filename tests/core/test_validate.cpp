@@ -71,6 +71,26 @@ TEST(Validate, RejectsTruncation) {
   }
 }
 
+// ValidateStream(deep) advertises itself as a throw-free preflight for
+// Decompress, so it must flag every prefix length the decoder throws on --
+// not just the coarse sample above.  Checked at every truncation point.
+TEST(Validate, DeepRejectsEveryTruncationDecompressThrowsOn) {
+  const auto stream = GoodStream();
+  for (std::size_t keep = 0; keep < stream.size(); ++keep) {
+    const ByteSpan prefix(stream.data(), keep);
+    bool decompress_throws = false;
+    try {
+      Decompress<float>(prefix);
+    } catch (const Error&) {
+      decompress_throws = true;
+    }
+    ASSERT_TRUE(decompress_throws) << "prefix of " << keep << " bytes";
+    ASSERT_FALSE(ValidateStream<float>(prefix, true).ok)
+        << "deep validation accepted a " << keep
+        << "-byte prefix Decompress throws on";
+  }
+}
+
 TEST(Validate, ShallowCatchesStructuralCorruption) {
   auto stream = GoodStream();
   // Flip a type bit: constant/non-constant censuses diverge.

@@ -1,0 +1,26 @@
+// Regenerates the golden-stream corpus (tests/golden/*.szx + MANIFEST.txt).
+//
+// Run this ONLY after an intentional stream-format change, then review the
+// resulting git diff of tests/golden/ -- byte changes there are exactly the
+// format drift the conformance tier exists to catch.
+//
+// Usage: szx_goldengen [output-dir]     (default: the source tests/golden)
+#include <cstdio>
+
+#include "testkit/golden.hpp"
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : SZX_GOLDEN_SOURCE_DIR;
+  try {
+    szx::testkit::WriteGoldenCorpus(dir);
+  } catch (const szx::Error& e) {
+    std::fprintf(stderr, "szx_goldengen: %s\n", e.what());
+    return 1;
+  }
+  const auto& cases = szx::testkit::GoldenCases();
+  std::printf("wrote %zu golden streams + %s to %s\n", cases.size(),
+              szx::testkit::kManifestFile, dir.c_str());
+  std::printf("review the git diff before committing: any byte change is a "
+              "stream-format change.\n");
+  return 0;
+}
