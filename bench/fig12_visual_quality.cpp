@@ -42,8 +42,8 @@ int main() {
                           szx::bench::BenchScale());
   const std::size_t nz = f.dims[0], ny = f.dims[1], nx = f.dims[2];
   const std::size_t slice_z = nz / 3;  // a cloudy altitude
-  const std::span<const float> slice(f.values.data() + slice_z * ny * nx,
-                                     ny * nx);
+  const std::span<const float> slice =
+      std::span<const float>(f.values).subspan(slice_z * ny * nx, ny * nx);
   WritePgm("fig12_original.pgm", slice, nx, ny);
 
   std::printf("\n%-10s %10s %10s %10s %12s\n", "REL e", "CR", "PSNR(dB)",
@@ -56,8 +56,8 @@ int main() {
     const auto stream = Compress<float>(f.values, p, &stats);
     const auto recon = Decompress<float>(stream);
     const auto d = metrics::ComputeDistortion<float>(f.values, recon);
-    const std::span<const float> rslice(recon.data() + slice_z * ny * nx,
-                                        ny * nx);
+    const std::span<const float> rslice =
+        std::span<const float>(recon).subspan(slice_z * ny * nx, ny * nx);
     const double ssim =
         metrics::ComputeSsim2D<float>(slice, rslice, nx, ny);
     std::printf("%-10.0e %10.2f %10.2f %10.4f %12.3e\n", eb,

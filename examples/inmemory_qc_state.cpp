@@ -75,6 +75,7 @@ int main(int argc, char** argv) {
 
   // --- compressed-in-memory run -------------------------------------------
   const std::size_t num_blocks = n / block_elems;
+  // szx-lint: allow(unchecked-alloc) -- block count computed from the local array size, not parsed from a stream
   std::vector<ByteBuffer> compressed(num_blocks);
   std::size_t resident = 0;
   for (std::size_t b = 0; b < num_blocks; ++b) {

@@ -38,7 +38,7 @@ std::vector<float> MakeFrame(std::size_t ny, std::size_t nx, int frame) {
     data::FbmRow(0.3 + 0.01 * frame, 2.0 / static_cast<double>(nx), nx,
                  2.0 * static_cast<double>(y) / static_cast<double>(ny),
                  0.37 + 0.05 * frame, 1234, 3, 0.5,
-                 img.data() + y * nx);
+                 &img[y * nx]);
   }
   for (auto& v : img) v = 40.0f + 25.0f * v;  // background level
   // Bragg peaks on a rotating lattice.

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Full local verification battery (docs/static-analysis.md):
+#   1. release build with warnings-as-errors, then tier1 + conformance +
+#      fuzz-smoke + lint
+#   2. asan-ubsan build, then every tier under ASan/UBSan
+#   3. tsan build, then the OMP/cusim suites under ThreadSanitizer
+# Each stage stops the script on failure.  Expect the sanitizer stages to
+# dominate the runtime; pass --fast to run only stage 1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/lint ==="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+ctest --preset tier1
+ctest --preset conformance
+ctest --preset fuzz-smoke
+ctest --preset lint
+
+if [[ "$fast" == "1" ]]; then
+  echo "check.sh: --fast requested, skipping sanitizer tiers"
+  exit 0
+fi
+
+echo "=== asan-ubsan build + all tiers under ASan/UBSan ==="
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+ctest --preset asan-all
+
+echo "=== tsan build + OMP/cusim suites under ThreadSanitizer ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" \
+  --target test_omp_codec test_cusim test_kernel_harness
+ctest --preset tsan-omp
+
+echo "check.sh: all stages passed"

@@ -1,7 +1,6 @@
 #include "core/compressor.hpp"
 
 #include <cmath>
-#include <cstring>
 
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
@@ -108,6 +107,7 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
   ByteBuffer ncb_mu;
   ByteBuffer ncb_zsize;
   ByteBuffer payload;
+  // szx-lint: allow(unchecked-alloc) -- encoder side: num_blocks derives from the caller's in-memory data size, not a parsed stream
   const_mu.reserve(num_blocks * sizeof(T) / 2);
   payload.reserve(data.size_bytes() / 4);
 
@@ -137,7 +137,7 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
     ncb_mu_w.Write(d.mu);
     const std::size_t zsize =
         EncodeBlockDispatch(params.solution, block, d.mu, d.plan, payload);
-    zsize_w.Write(static_cast<std::uint16_t>(zsize));
+    zsize_w.Write(CheckedNarrow<std::uint16_t>(zsize));
   }
 
   Header h;
@@ -196,9 +196,7 @@ void DecompressInto(ByteSpan stream, std::span<T> out) {
     throw Error("szx: output buffer size mismatch");
   }
   if (h.flags & kFlagRawPassthrough) {
-    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
-      std::memcpy(out.data(), s.payload.data(), s.payload.size());
-    }
+    ByteCursor(s.payload).ReadSpan(out);
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);
@@ -247,7 +245,9 @@ std::vector<T> Decompress(ByteSpan stream) {
   // Section slicing bounds num_blocks (hence num_elements) by the actual
   // stream size, so the failure is a clean szx::Error instead of bad_alloc.
   const Sections<T> s = ParseSections<T>(stream);
-  std::vector<T> out(s.header.num_elements);
+  std::vector<T> out(ByteCursor(stream).CheckedAlloc(s.header.num_elements,
+                                                     sizeof(T),
+                                                     kMaxBlockSize));
   DecompressInto<T>(stream, std::span<T>(out));
   return out;
 }

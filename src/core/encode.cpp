@@ -54,6 +54,7 @@ std::size_t EncodeBlockC(std::span<const T> block, T mu, const ReqPlan& plan,
   // Reserve the worst case once so the hot loop writes through raw
   // pointers (no per-byte growth checks), then trim to the actual size.
   out.resize(start + lead_bytes + n * nb, std::byte{0});
+  // szx-lint: allow(ptr-arith) -- encoder-owned output buffer sized above; the hot commit loop writes through raw pointers by design
   std::byte* lead_dst = out.data() + start;
   std::byte* mid = lead_dst + lead_bytes;
 
@@ -92,20 +93,19 @@ void DecodeBlockC(ByteSpan payload, T mu, const ReqPlan& plan,
     throw Error("szx: truncated block payload (lead array)");
   }
   const std::byte* lead = payload.data();
-  const std::byte* mid = payload.data() + lead_bytes;
-  const std::byte* mid_end = payload.data() + payload.size();
+  ByteCursor mid(payload.subspan(lead_bytes));
 
   Bits prev = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const unsigned code = GetLeadCode(lead, i);
     const int copy = static_cast<int>(code) < nb ? static_cast<int>(code) : nb;
     Bits t = static_cast<Bits>(prev & KeepMask<T>(copy));
-    const int need = nb - copy;
-    if (mid + need > mid_end) {
-      throw Error("szx: truncated block payload (mid bytes)");
-    }
+    const ByteSpan mid_bytes = mid.Slice(static_cast<std::size_t>(nb - copy));
     for (int j = copy; j < nb; ++j) {
-      t |= PlaceTopByte<T>(std::to_integer<std::uint8_t>(*mid++), j);
+      t |= PlaceTopByte<T>(
+          std::to_integer<std::uint8_t>(mid_bytes[static_cast<std::size_t>(
+              j - copy)]),
+          j);
     }
     out[i] = Denormalized<T>(static_cast<Bits>(t << s), mu);
     prev = t;
@@ -128,6 +128,8 @@ std::size_t EncodeBlockA(std::span<const T> block, T mu, const ReqPlan& plan,
   const std::size_t start = out.size();
   const std::size_t lead_bytes = LeadArrayBytes(n);
   out.resize(start + lead_bytes, std::byte{0});
+  // szx-lint: allow(ptr-arith) -- encoder-owned output buffer sized above; the hot commit loop writes through raw pointers by design
+  std::byte* lead_dst = out.data() + start;
 
   ByteBuffer bits_buf;
   BitWriter bw(bits_buf);
@@ -140,7 +142,7 @@ std::size_t EncodeBlockA(std::span<const T> block, T mu, const ReqPlan& plan,
         static_cast<Bits>(NormalizedBits(block[i], mu) & prefix_mask);
     const int lead = LeadingIdenticalBytes<T>(t, prev);
     const int copy = lead < whole_bytes ? lead : whole_bytes;
-    PutLeadCode(out.data() + start, i, static_cast<unsigned>(lead));
+    PutLeadCode(lead_dst, i, static_cast<unsigned>(lead));
     const int remaining = req - 8 * copy;
     if (remaining > 0) {
       const std::uint64_t ti = static_cast<std::uint64_t>(t >> (kTotal - req));
@@ -210,6 +212,8 @@ std::size_t EncodeBlockB(std::span<const T> block, T mu, const ReqPlan& plan,
   const std::size_t start = out.size();
   const std::size_t lead_bytes = LeadArrayBytes(n);
   out.resize(start + lead_bytes, std::byte{0});
+  // szx-lint: allow(ptr-arith) -- encoder-owned output buffer sized above; the hot commit loop writes through raw pointers by design
+  std::byte* lead_dst = out.data() + start;
 
   ByteBuffer byte_section;
   ByteBuffer bit_section;
@@ -223,7 +227,7 @@ std::size_t EncodeBlockB(std::span<const T> block, T mu, const ReqPlan& plan,
         static_cast<Bits>(NormalizedBits(block[i], mu) & prefix_mask);
     const int lead = LeadingIdenticalBytes<T>(t, prev);
     const int copy = lead < alpha ? lead : alpha;
-    PutLeadCode(out.data() + start, i, static_cast<unsigned>(lead));
+    PutLeadCode(lead_dst, i, static_cast<unsigned>(lead));
     for (int j = copy; j < alpha; ++j) {
       byte_section.push_back(std::byte{TopByte<T>(t, j)});
     }
@@ -235,7 +239,7 @@ std::size_t EncodeBlockB(std::span<const T> block, T mu, const ReqPlan& plan,
   }
   bw.Flush();
   const std::uint32_t byte_count =
-      static_cast<std::uint32_t>(byte_section.size());
+      CheckedNarrow<std::uint32_t>(byte_section.size());
   ByteWriter w(out);
   w.Write(byte_count);
   out.insert(out.end(), byte_section.begin(), byte_section.end());
@@ -254,11 +258,11 @@ void DecodeBlockB(ByteSpan payload, T mu, const ReqPlan& plan,
   const int beta = req % 8;
   const std::size_t lead_bytes = LeadArrayBytes(n);
 
-  ByteReader r(payload);
-  ByteSpan lead = r.Slice(lead_bytes);
-  const std::uint32_t byte_count = r.Read<std::uint32_t>();
-  ByteSpan bytes = r.Slice(byte_count);
-  BitReader br(payload.subspan(r.position()));
+  ByteCursor cur(payload);
+  ByteSpan lead = cur.Slice(lead_bytes);
+  const std::uint32_t byte_count = cur.Read<std::uint32_t>();
+  ByteSpan bytes = cur.Slice(byte_count);
+  BitReader br(cur.Rest());
 
   std::size_t byte_pos = 0;
   Bits prev = 0;

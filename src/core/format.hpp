@@ -11,12 +11,13 @@
 //
 // Self-contained payloads plus the zsize prefix sum are what make fully
 // parallel decompression possible (paper Sec. 6.1).  Sections are unaligned
-// byte views; element accessors use memcpy (no unaligned-pointer UB).
+// byte views; element accessors go through ByteCursor (bounds-checked,
+// no unaligned-pointer UB).
 #pragma once
 
 #include <array>
-#include <cstring>
 
+#include "core/byte_cursor.hpp"
 #include "core/common.hpp"
 #include "core/stream.hpp"
 
@@ -54,8 +55,8 @@ inline Header ParseHeader(ByteSpan stream) {
   if (stream.size() < sizeof(Header)) {
     throw Error("szx: stream shorter than header");
   }
-  Header h;
-  std::memcpy(&h, stream.data(), sizeof(Header));
+  ByteCursor cur(stream);
+  const Header h = cur.Read<Header>();
   if (h.magic != kMagic) {
     throw Error("szx: bad magic");
   }
@@ -83,12 +84,13 @@ inline Header ParseHeader(ByteSpan stream) {
   return h;
 }
 
-/// Unaligned little-endian load of a trivially copyable value.
+/// Unaligned little-endian load of a trivially copyable value; the index is
+/// bounds-checked against the section extent.
 template <typename V>
 inline V LoadAt(ByteSpan section, std::uint64_t index) {
-  V v;
-  std::memcpy(&v, section.data() + index * sizeof(V), sizeof(V));
-  return v;
+  ByteCursor cur(section);
+  cur.SkipArray(index, sizeof(V));
+  return cur.Read<V>();
 }
 
 /// Section views over a parsed stream (zero-copy byte spans).
@@ -117,24 +119,21 @@ inline Sections<T> ParseSections(ByteSpan stream) {
   Sections<T> s;
   s.header = ParseHeader(stream);
   const Header& h = s.header;
-  ByteReader r(stream);
-  r.Slice(sizeof(Header));
+  ByteCursor cur(stream);
+  cur.Skip(sizeof(Header));
   if (h.flags & kFlagRawPassthrough) {
-    // Divide instead of multiplying so a huge num_elements cannot wrap the
-    // byte count and sneak past the bounds check below.
-    if (h.num_elements > (stream.size() - sizeof(Header)) / sizeof(T)) {
-      throw Error("szx: truncated raw passthrough payload");
-    }
-    s.payload = r.Slice(h.num_elements * sizeof(T));
+    // SliceArray compares by division, so a huge num_elements cannot wrap
+    // the byte count and sneak past the bounds check.
+    s.payload = cur.SliceArray(h.num_elements, sizeof(T));
     return s;
   }
   const std::uint64_t nnc = h.num_blocks - h.num_constant;
-  s.type_bits = r.Slice((h.num_blocks + 7) / 8);
-  s.const_mu = r.Slice(h.num_constant * sizeof(T));
-  s.ncb_req = r.Slice(nnc);
-  s.ncb_mu = r.Slice(nnc * sizeof(T));
-  s.ncb_zsize = r.Slice(nnc * 2);
-  s.payload = r.Slice(h.payload_bytes);
+  s.type_bits = cur.Slice((h.num_blocks + 7) / 8);
+  s.const_mu = cur.SliceArray(h.num_constant, sizeof(T));
+  s.ncb_req = cur.SliceArray(nnc, 1);
+  s.ncb_mu = cur.SliceArray(nnc, sizeof(T));
+  s.ncb_zsize = cur.SliceArray(nnc, 2);
+  s.payload = cur.Slice(h.payload_bytes);
   return s;
 }
 

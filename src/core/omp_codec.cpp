@@ -1,7 +1,5 @@
 #include "core/omp_codec.hpp"
 
-#include <cstring>
-
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
@@ -14,7 +12,7 @@ namespace szx {
 
 std::vector<std::uint64_t> PrefixSumZsizes(ByteSpan zsize_section,
                                            std::uint64_t count) {
-  if (zsize_section.size() < count * 2) {
+  if (zsize_section.size() / 2 < count) {
     throw Error("szx: zsize section shorter than block count");
   }
   std::vector<std::uint64_t> offsets(count + 1);
@@ -102,7 +100,7 @@ void CompressBlockRange(std::span<const T> data, const Params& params,
     ncb_mu_w.Write(d.mu);
     const std::size_t zsize =
         EncodeDispatch(params.solution, block, d.mu, d.plan, frag.payload);
-    zsize_w.Write(static_cast<std::uint16_t>(zsize));
+    zsize_w.Write(CheckedNarrow<std::uint16_t>(zsize));
   }
 }
 
@@ -133,6 +131,7 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   }
   const std::uint64_t chunks = static_cast<std::uint64_t>(threads);
   // Chunk boundaries in blocks, rounded to multiples of 8.
+  // szx-lint: allow(unchecked-alloc) -- num_blocks is the fill value, not the size; the vector holds one bound per encoder chunk
   std::vector<std::uint64_t> bounds(chunks + 1, num_blocks);
   bounds[0] = 0;
   for (std::uint64_t c = 1; c < chunks; ++c) {
@@ -232,9 +231,7 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
     throw Error("szx: output buffer size mismatch");
   }
   if (h.flags & kFlagRawPassthrough) {
-    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
-      std::memcpy(out.data(), s.payload.data(), s.payload.size());
-    }
+    ByteCursor(s.payload).ReadSpan(out);
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);
@@ -247,7 +244,10 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
   if (offsets[nnc] != h.payload_bytes) {
     throw Error("szx: corrupt stream (payload size mismatch)");
   }
-  std::vector<std::uint64_t> meta_index(h.num_blocks);
+  // num_blocks was bounded by the type-bits section slice (1 bit per
+  // block), so this allocation is at most 64x the stream size.
+  std::vector<std::uint64_t> meta_index(
+      ByteCursor(stream).CheckedAlloc(h.num_blocks, sizeof(std::uint64_t), 8));
   std::uint64_t ci = 0, nci = 0;
   for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
     meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
@@ -292,7 +292,9 @@ std::vector<T> DecompressOmp(ByteSpan stream, int num_threads) {
   // Same allocation guard as serial Decompress: validate section extents
   // (which bound num_elements by the stream size) before sizing the output.
   const Sections<T> s = ParseSections<T>(stream);
-  std::vector<T> out(s.header.num_elements);
+  std::vector<T> out(ByteCursor(stream).CheckedAlloc(s.header.num_elements,
+                                                     sizeof(T),
+                                                     kMaxBlockSize));
   DecompressOmpInto<T>(stream, std::span<T>(out), num_threads);
   return out;
 }

@@ -1,7 +1,5 @@
 #include "core/random_access.hpp"
 
-#include <cstring>
-
 #include "core/encode.hpp"
 
 namespace szx {
@@ -45,8 +43,9 @@ void DecompressRangeInto(ByteSpan stream, std::uint64_t first,
   }
   if (count == 0) return;
   if (h.flags & kFlagRawPassthrough) {
-    std::memcpy(out.data(), s.payload.data() + first * sizeof(T),
-                count * sizeof(T));
+    ByteCursor cur(s.payload);
+    cur.SkipArray(first, sizeof(T));
+    cur.ReadSpan(out);
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);

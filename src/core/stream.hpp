@@ -2,9 +2,7 @@
 // codecs in this repository.
 #pragma once
 
-#include <cstring>
-#include <string>
-
+#include "core/byte_cursor.hpp"
 #include "core/common.hpp"
 
 namespace szx {
@@ -29,49 +27,6 @@ class ByteWriter {
 
  private:
   ByteBuffer& out_;
-};
-
-/// Reads plain-old-data values from a byte span; every access is bounds
-/// checked and failures throw szx::Error (truncated stream).
-class ByteReader {
- public:
-  explicit ByteReader(ByteSpan data) : data_(data) {}
-
-  void ReadBytes(void* dst, std::size_t n) {
-    Require(n);
-    std::memcpy(dst, data_.data() + pos_, n);
-    pos_ += n;
-  }
-
-  template <typename T>
-  T Read() {
-    static_assert(std::is_trivially_copyable_v<T>);
-    T value;
-    ReadBytes(&value, sizeof(T));
-    return value;
-  }
-
-  /// Returns a view of the next n bytes and advances.
-  ByteSpan Slice(std::size_t n) {
-    Require(n);
-    ByteSpan s = data_.subspan(pos_, n);
-    pos_ += n;
-    return s;
-  }
-
-  std::size_t remaining() const { return data_.size() - pos_; }
-  std::size_t position() const { return pos_; }
-
- private:
-  void Require(std::size_t n) const {
-    if (n > data_.size() - pos_) {
-      throw Error("szx: truncated stream (need " + std::to_string(n) +
-                  " bytes, have " + std::to_string(data_.size() - pos_) + ")");
-    }
-  }
-
-  ByteSpan data_;
-  std::size_t pos_ = 0;
 };
 
 /// MSB-first bit writer used by the Solution A/B encoders and the baseline

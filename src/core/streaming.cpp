@@ -1,7 +1,6 @@
 #include "core/streaming.hpp"
 
 #include <array>
-#include <cstring>
 
 namespace szx {
 namespace {
@@ -49,14 +48,19 @@ ByteBuffer StreamWriter<T>::Finish() && {
 
 template <SupportedFloat T>
 StreamReader<T>::StreamReader(ByteSpan container) : container_(container) {
-  if (container.size() < kContainerHeader ||
-      std::memcmp(container.data(), kStreamMagic.data(), 4) != 0) {
+  ByteCursor cur(container);
+  if (cur.remaining() < kContainerHeader) {
     throw Error("szx stream: bad container magic");
   }
-  if (std::to_integer<std::uint8_t>(container[4]) != kStreamVersion) {
+  std::array<char, 4> magic;
+  cur.ReadBytes(magic.data(), magic.size());
+  if (magic != kStreamMagic) {
+    throw Error("szx stream: bad container magic");
+  }
+  if (cur.Read<std::uint8_t>() != kStreamVersion) {
     throw Error("szx stream: unsupported container version");
   }
-  if (std::to_integer<std::uint8_t>(container[5]) !=
+  if (cur.Read<std::uint8_t>() !=
       static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
     throw Error("szx stream: element type mismatch");
   }
@@ -71,21 +75,22 @@ bool StreamReader<T>::Next(std::vector<T>& out) {
   if (container_.size() - pos_ < kFrameHeader) {
     throw Error("szx stream: truncated frame header");
   }
-  std::uint64_t frame_bytes = 0;
-  std::uint64_t checksum = 0;
-  std::memcpy(&frame_bytes, container_.data() + pos_, 8);
-  std::memcpy(&checksum, container_.data() + pos_ + 8, 8);
-  pos_ += kFrameHeader;
-  if (container_.size() - pos_ < frame_bytes) {
+  ByteCursor cur(container_.subspan(pos_));
+  const auto frame_bytes = cur.Read<std::uint64_t>();
+  const auto checksum = cur.Read<std::uint64_t>();
+  if (cur.remaining() < frame_bytes) {
     throw Error("szx stream: truncated frame payload");
   }
-  ByteSpan frame = container_.subspan(pos_, frame_bytes);
-  pos_ += frame_bytes;
+  ByteSpan frame = cur.Slice(frame_bytes);
+  pos_ += kFrameHeader + frame_bytes;
   if (Fnv1a64(frame) != checksum) {
     throw Error("szx stream: frame checksum mismatch");
   }
-  const Header h = PeekHeader(frame);
-  out.resize(h.num_elements);
+  // Parse the frame's full section extents (which bound num_elements by the
+  // frame size) before sizing the output — never trust the header alone.
+  const Sections<T> s = ParseSections<T>(frame);
+  out.resize(ByteCursor(frame).CheckedAlloc(s.header.num_elements, sizeof(T),
+                                            kMaxBlockSize));
   DecompressInto<T>(frame, out);
   ++frames_read_;
   return true;

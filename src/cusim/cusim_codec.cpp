@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
@@ -138,6 +137,7 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
     const std::size_t block_payload = lead_bytes + total_mid;
     const std::size_t base_off = payload.size();
     payload.resize(base_off + block_payload, std::byte{0});
+    // szx-lint: allow(ptr-arith) -- encoder commit phase writing into a buffer resized to the exact worst case two lines above
     std::byte* lead_dst = payload.data() + base_off;
     std::byte* mid_dst = lead_dst + lead_bytes;
     for (std::uint64_t i = 0; i < count; ++i) {
@@ -152,7 +152,7 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
       }
     }
     if (counters != nullptr) counters->bytes_moved += block_payload;
-    zsize_w.Write(static_cast<std::uint16_t>(block_payload));
+    zsize_w.Write(CheckedNarrow<std::uint16_t>(block_payload));
   }
 
   Header h;
@@ -206,11 +206,11 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
   if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
     throw Error("cusim: stream element type mismatch");
   }
-  std::vector<T> out(h.num_elements);
+  std::vector<T> out(ByteCursor(stream).CheckedAlloc(h.num_elements,
+                                                      sizeof(T),
+                                                      kMaxBlockSize));
   if (h.flags & kFlagRawPassthrough) {
-    if (!s.payload.empty()) {  // memcpy(null, null, 0) is still UB
-      std::memcpy(out.data(), s.payload.data(), s.payload.size());
-    }
+    ByteCursor(s.payload).ReadSpan(std::span<T>(out));
     return out;
   }
   if (static_cast<CommitSolution>(h.solution) != CommitSolution::kC) {
@@ -235,7 +235,8 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
     throw Error("cusim: corrupt stream (payload size mismatch)");
   }
 
-  std::vector<std::uint64_t> meta_index(h.num_blocks);
+  std::vector<std::uint64_t> meta_index(
+      ByteCursor(stream).CheckedAlloc(h.num_blocks, sizeof(std::uint64_t), 8));
   std::uint64_t ci = 0, nci = 0;
   for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
     meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
@@ -249,7 +250,7 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
     const std::uint64_t begin = k * bs;
     const std::uint64_t count =
         std::min<std::uint64_t>(bs, h.num_elements - begin);
-    std::span<T> block(out.data() + begin, count);
+    std::span<T> block = std::span<T>(out).subspan(begin, count);
     const std::uint64_t idx = meta_index[k];
     if (!IsNonConstant(s.type_bits, k)) {
       const T mu = s.ConstMu(idx);

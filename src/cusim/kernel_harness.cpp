@@ -89,6 +89,7 @@ void* ThreadCtx::SharedRaw(std::size_t bytes, std::size_t align) {
       throw KernelError(
           "cusim: divergent Shared() allocation sequences across threads");
     }
+    // szx-lint: allow(ptr-arith) -- simulated device shared memory hands out raw pointers like CUDA __shared__; offsets were bounds-checked at allocation
     return run->shared.data() + a.offset;
   }
   std::size_t offset = (run->shared_used + align - 1) / align * align;
@@ -98,6 +99,7 @@ void* ThreadCtx::SharedRaw(std::size_t bytes, std::size_t align) {
   }
   run->allocs.push_back({offset, bytes, align});
   run->shared_used = offset + bytes;
+  // szx-lint: allow(ptr-arith) -- simulated device shared memory hands out raw pointers like CUDA __shared__; the arena check is directly above
   return run->shared.data() + offset;
 }
 

@@ -72,7 +72,7 @@ std::vector<float> FbmGrid(const Grid& g, double cycles, int octaves,
       const double yc =
           cycles * static_cast<double>(y) / static_cast<double>(g.ny) + 0.457;
       FbmRow(0.291, dx, g.nx, yc, zc, seed, octaves, gain,
-             out.data() + (z * g.ny + y) * g.nx);
+             &out[(z * g.ny + y) * g.nx]);
     }
   }
   return out;
@@ -464,7 +464,7 @@ std::vector<std::string> ExtendedFieldNames(App app) {
   std::vector<std::string> names = FieldNames(app);
   if (app == App::kCesm) {
     // Paper Table 2: CESM-ATM has 77 fields.
-    char buf[8];
+    char buf[16];
     for (int i = static_cast<int>(names.size()); i < 77; ++i) {
       std::snprintf(buf, sizeof(buf), "FLD%03d", i);
       names.emplace_back(buf);

@@ -1,7 +1,6 @@
 #include "hybrid/hybrid.hpp"
 
 #include <array>
-#include <cstring>
 
 #include "lzref/lzref.hpp"
 
@@ -29,8 +28,10 @@ ByteBuffer Wrap(std::uint8_t stage, const ByteBuffer& payload) {
 }  // namespace
 
 bool IsHybridStream(ByteSpan stream) {
-  return stream.size() >= 4 &&
-         std::memcmp(stream.data(), kHybridMagic.data(), 4) == 0;
+  if (stream.size() < 4) return false;
+  std::array<char, 4> magic;
+  ByteCursor(stream).ReadBytes(magic.data(), magic.size());
+  return magic == kHybridMagic;
 }
 
 template <SupportedFloat T>
@@ -56,12 +57,15 @@ ByteBuffer Unwrap(ByteSpan stream) {
   if (!IsHybridStream(stream) || stream.size() < kWrapperBytes) {
     throw Error("hybrid: not a hybrid stream");
   }
-  const auto version = std::to_integer<std::uint8_t>(stream[4]);
-  const auto stage = std::to_integer<std::uint8_t>(stream[5]);
+  ByteCursor cur(stream);
+  cur.Skip(4);  // magic, checked by IsHybridStream
+  const auto version = cur.Read<std::uint8_t>();
+  const auto stage = cur.Read<std::uint8_t>();
+  cur.Skip(2);  // reserved
   if (version != kHybridVersion) {
     throw Error("hybrid: unsupported version");
   }
-  ByteSpan payload = stream.subspan(kWrapperBytes);
+  ByteSpan payload = cur.Rest();
   switch (stage) {
     case kStageStored:
       return ByteBuffer(payload.begin(), payload.end());

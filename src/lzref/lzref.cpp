@@ -1,7 +1,6 @@
 #include "lzref/lzref.hpp"
 
 #include <array>
-#include <cstring>
 
 #include "core/stream.hpp"
 
@@ -25,9 +24,10 @@ struct LzHeader {
 #pragma pack(pop)
 
 inline std::uint32_t Read32(const std::byte* p) {
-  std::uint32_t v;
-  std::memcpy(&v, p, 4);
-  return v;
+  return std::to_integer<std::uint32_t>(p[0]) |
+         (std::to_integer<std::uint32_t>(p[1]) << 8) |
+         (std::to_integer<std::uint32_t>(p[2]) << 16) |
+         (std::to_integer<std::uint32_t>(p[3]) << 24);
 }
 
 inline std::uint32_t Hash32(std::uint32_t v) {
@@ -52,7 +52,7 @@ void WriteExtLength(ByteBuffer& out, std::size_t len) {
   out.push_back(std::byte{static_cast<std::uint8_t>(len)});
 }
 
-std::size_t ReadExtLength(ByteReader& r) {
+std::size_t ReadExtLength(ByteCursor& r) {
   std::size_t len = 0;
   for (;;) {
     const auto b = r.Read<std::uint8_t>();
@@ -96,7 +96,7 @@ ByteBuffer LzCompress(ByteSpan input, LzStats* stats) {
     out.insert(out.end(), base + anchor, base + anchor + lit_len);
     literal_bytes += lit_len;
     if (match_len > 0) {
-      const auto off16 = static_cast<std::uint16_t>(offset);
+      const auto off16 = CheckedNarrow<std::uint16_t>(offset);
       out.push_back(std::byte{static_cast<std::uint8_t>(off16 & 0xff)});
       out.push_back(std::byte{static_cast<std::uint8_t>(off16 >> 8)});
       if (match_len - kMinMatch >= 14) {
@@ -138,13 +138,16 @@ ByteBuffer LzCompress(ByteSpan input, LzStats* stats) {
 }
 
 ByteBuffer LzDecompress(ByteSpan stream) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   const LzHeader h = r.Read<LzHeader>();
   if (h.magic != kLzMagic || h.version != 1) {
     throw Error("lzref: bad magic/version");
   }
   ByteBuffer out;
-  out.reserve(h.original_bytes);
+  // A compressed byte expands to at most 255 output bytes (one maxed-out
+  // extended-length byte), so any larger original_bytes claim is corrupt;
+  // rejecting it here keeps a 20-byte stream from demanding a 1 TB buffer.
+  out.reserve(r.CheckedAlloc(h.original_bytes, 1, 255));
   while (out.size() < h.original_bytes) {
     const auto token = r.Read<std::uint8_t>();
     std::size_t lit_len = token >> 4;
@@ -183,10 +186,7 @@ ByteBuffer LzDecompress(ByteSpan stream) {
 }
 
 ByteBuffer LzCompressFloats(std::span<const float> data, LzStats* stats) {
-  return LzCompress(
-      ByteSpan(reinterpret_cast<const std::byte*>(data.data()),
-               data.size_bytes()),
-      stats);
+  return LzCompress(std::as_bytes(data), stats);
 }
 
 std::vector<float> LzDecompressFloats(ByteSpan stream) {
@@ -195,7 +195,7 @@ std::vector<float> LzDecompressFloats(ByteSpan stream) {
     throw Error("lzref: stream is not a float array");
   }
   std::vector<float> out(bytes.size() / sizeof(float));
-  std::memcpy(out.data(), bytes.data(), bytes.size());
+  ByteCursor(bytes).ReadSpan(std::span<float>(out));
   return out;
 }
 

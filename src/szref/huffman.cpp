@@ -159,7 +159,7 @@ void HuffmanCodec::WriteTable(ByteBuffer& out) const {
   }
 }
 
-void HuffmanCodec::ReadTable(ByteReader& in) {
+void HuffmanCodec::ReadTable(ByteCursor& in) {
   const std::uint32_t present = in.Read<std::uint32_t>();
   if (present == 0 || present > kAlphabet) {
     throw Error("huffman: corrupt table");
@@ -217,7 +217,7 @@ void HuffmanCodec::Decode(BitReader& br, std::size_t count,
       const std::uint32_t span_end =
           len < max_len_
               ? first_index_[len + 1] - first_index_[len]
-              : static_cast<std::uint32_t>(sorted_symbols_.size()) -
+              : CheckedNarrow<std::uint32_t>(sorted_symbols_.size()) -
                     first_index_[len];
       if (code >= first_code_[len] && code < first_code_[len] + span_end) {
         out[i] = sorted_symbols_[first_index_[len] + (code - first_code_[len])];

@@ -24,7 +24,7 @@ class HuffmanCodec {
   void WriteTable(ByteBuffer& out) const;
 
   /// Reads a table previously written by WriteTable.
-  void ReadTable(ByteReader& in);
+  void ReadTable(ByteCursor& in);
 
   /// Encodes symbols into the bit stream (table must be built/read).
   void Encode(std::span<const std::uint16_t> symbols, BitWriter& bw) const;

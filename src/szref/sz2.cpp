@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstring>
 
 #include "szref/huffman.hpp"
 
@@ -49,7 +48,9 @@ Geometry MakeGeometry(std::span<const std::size_t> dims, std::size_t count,
   for (std::size_t k = 0; k < dims.size(); ++k) {
     g.n[3 - dims.size() + k] = dims[k];
   }
-  if (g.n[0] * g.n[1] * g.n[2] != count) {
+  // Overflow-checked: a wrapped dims product matching num_elements would
+  // drive the block loops past the allocated output.
+  if (CheckedMul(CheckedMul(g.n[0], g.n[1]), g.n[2]) != count) {
     throw Error("sz2: dims product does not match element count");
   }
   if (side == 0) {
@@ -289,19 +290,22 @@ ByteBuffer Sz2Compress(std::span<const float> data,
 
   ByteBuffer out;
   ByteWriter w(out);
-  w.Write(h);
-  if (!data.empty()) {
-    out.insert(out.end(), selector.begin(), selector.end());
-    out.insert(out.end(), coeff_section.begin(), coeff_section.end());
+  if (data.empty()) {
+    w.Write(h);
+  } else {
     HuffmanCodec codec;
     codec.BuildFromSymbols(codes);
-    codec.WriteTable(out);
     ByteBuffer bits;
     BitWriter bw(bits);
     codec.Encode(codes, bw);
     bw.Flush();
+    // Code stream size is known before the header goes out, so no header
+    // back-patching is needed (identical byte layout).
     h.code_stream_bytes = bits.size();
-    std::memcpy(out.data(), &h, sizeof(h));
+    w.Write(h);
+    out.insert(out.end(), selector.begin(), selector.end());
+    out.insert(out.end(), coeff_section.begin(), coeff_section.end());
+    codec.WriteTable(out);
     ByteWriter w2(out);
     w2.Write(static_cast<std::uint64_t>(bits.size()));
     out.insert(out.end(), bits.begin(), bits.end());
@@ -320,7 +324,7 @@ ByteBuffer Sz2Compress(std::span<const float> data,
 }
 
 std::vector<float> Sz2Decompress(ByteSpan stream) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   const Sz2Header h = r.Read<Sz2Header>();
   if (h.magic != kSz2Magic || h.version != 1) {
     throw Error("sz2: bad magic/version");
@@ -333,15 +337,18 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
     dims.push_back(static_cast<std::size_t>(h.dims[k]));
   }
   Geometry g = MakeGeometry(dims, h.num_elements, h.block_side);
-  std::vector<float> out(h.num_elements);
-  if (h.num_elements == 0) return out;
+  if (h.num_elements == 0) return {};
+  // Every Huffman symbol costs at least one bit; reject element counts the
+  // remaining stream could not possibly encode before allocating.
+  std::vector<float> out(r.CheckedAlloc(h.num_elements, sizeof(float), 8));
 
-  const std::uint64_t num_blocks = g.nb[0] * g.nb[1] * g.nb[2];
+  const std::uint64_t num_blocks =
+      CheckedMul(CheckedMul(g.nb[0], g.nb[1]), g.nb[2]);
   if (num_blocks != h.num_blocks) {
     throw Error("sz2: corrupt block count");
   }
   ByteSpan selector = r.Slice((num_blocks + 7) / 8);
-  ByteSpan coeffs = r.Slice(h.num_regression * 4 * sizeof(float));
+  ByteCursor coeff_cur(r.SliceArray(h.num_regression, 4 * sizeof(float)));
   HuffmanCodec codec;
   codec.ReadTable(r);
   const std::uint64_t bit_bytes = r.Read<std::uint64_t>();
@@ -349,10 +356,7 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
     throw Error("sz2: corrupt code stream size");
   }
   ByteSpan bits = r.Slice(bit_bytes);
-  if (r.remaining() < h.num_unpredictable * sizeof(float)) {
-    throw Error("sz2: truncated unpredictable section");
-  }
-  ByteSpan unpred = r.Slice(h.num_unpredictable * sizeof(float));
+  ByteCursor unpred(r.SliceArray(h.num_unpredictable, sizeof(float)));
 
   std::vector<std::uint16_t> codes;
   BitReader br(bits);
@@ -381,7 +385,7 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
             throw Error("sz2: regression block overflow");
           }
           float b[4];
-          std::memcpy(b, coeffs.data() + reg_index * 16, 16);
+          coeff_cur.ReadSpan(std::span<float>(b));
           c = {b[0], b[1], b[2], b[3]};
           ++reg_index;
         }
@@ -394,9 +398,7 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
                 if (up >= h.num_unpredictable) {
                   throw Error("sz2: unpredictable overflow");
                 }
-                float v;
-                std::memcpy(&v, unpred.data() + up * sizeof(float), 4);
-                out[gi] = v;
+                out[gi] = unpred.Read<float>();
                 ++up;
                 continue;
               }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstring>
 
 #include "szref/huffman.hpp"
 
@@ -110,7 +109,10 @@ Dims MakeDims(std::span<const std::size_t> dims, std::size_t n) {
     d.ny = dims[1];
     d.nx = dims[2];
   }
-  if (d.nz * d.ny * d.nx != n) {
+  // Multiply with overflow checks: a crafted header whose dims product
+  // wraps to num_elements would otherwise drive the z/y/x loops far past
+  // the allocated output (OOB write).
+  if (CheckedMul(CheckedMul(d.nz, d.ny), d.nx) != n) {
     throw Error("szref: dims product does not match element count");
   }
   return d;
@@ -174,18 +176,20 @@ ByteBuffer SzCompress(std::span<const float> data,
 
   ByteBuffer out;
   ByteWriter w(out);
-  w.Write(h);
-  if (!data.empty()) {
+  if (data.empty()) {
+    w.Write(h);
+  } else {
     HuffmanCodec codec;
     codec.BuildFromSymbols(codes);
-    codec.WriteTable(out);
     ByteBuffer bit_section;
     BitWriter bw(bit_section);
     codec.Encode(codes, bw);
     bw.Flush();
-    // Patch the code stream size into the already-written header.
+    // The code stream size is known before the header is serialized, so no
+    // header back-patching is needed (same byte layout as before).
     h.code_stream_bytes = bit_section.size();
-    std::memcpy(out.data(), &h, sizeof(h));
+    w.Write(h);
+    codec.WriteTable(out);
     ByteWriter w2(out);
     w2.Write(static_cast<std::uint64_t>(bit_section.size()));
     out.insert(out.end(), bit_section.begin(), bit_section.end());
@@ -203,7 +207,7 @@ ByteBuffer SzCompress(std::span<const float> data,
 }
 
 std::vector<float> SzDecompress(ByteSpan stream) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   const SzHeader h = r.Read<SzHeader>();
   if (h.magic != kSzMagic || h.version != 1) {
     throw Error("szref: bad magic/version");
@@ -216,8 +220,11 @@ std::vector<float> SzDecompress(ByteSpan stream) {
     dims.push_back(static_cast<std::size_t>(h.dims[k]));
   }
   const Dims d = MakeDims(dims, h.num_elements);
-  std::vector<float> out(h.num_elements);
-  if (h.num_elements == 0) return out;
+  if (h.num_elements == 0) return {};
+  // Every Huffman symbol costs at least one bit, so a stream describing
+  // num_elements values must carry at least num_elements / 8 more bytes;
+  // anything larger is corrupt and must not reach the allocator.
+  std::vector<float> out(r.CheckedAlloc(h.num_elements, sizeof(float), 8));
 
   HuffmanCodec codec;
   codec.ReadTable(r);
@@ -226,10 +233,7 @@ std::vector<float> SzDecompress(ByteSpan stream) {
     throw Error("szref: corrupt code stream size");
   }
   ByteSpan bits = r.Slice(bit_bytes);
-  if (r.remaining() < h.num_unpredictable * sizeof(float)) {
-    throw Error("szref: truncated unpredictable section");
-  }
-  ByteSpan unpred = r.Slice(h.num_unpredictable * sizeof(float));
+  ByteCursor unpred(r.SliceArray(h.num_unpredictable, sizeof(float)));
 
   std::vector<std::uint16_t> codes;
   BitReader br(bits);
@@ -246,9 +250,7 @@ std::vector<float> SzDecompress(ByteSpan stream) {
           if (up >= h.num_unpredictable) {
             throw Error("szref: unpredictable value overflow");
           }
-          float v;
-          std::memcpy(&v, unpred.data() + up * sizeof(float), sizeof(float));
-          out[i] = v;
+          out[i] = unpred.Read<float>();
           ++up;
         } else {
           const float pred = Predict(out.data(), z, y, x, i, d);
@@ -268,12 +270,11 @@ std::vector<float> SzDecompress(ByteSpan stream) {
 
 std::uint64_t SzElementCount(ByteSpan stream) {
   if (stream.size() >= sizeof(SzHeader)) {
-    SzHeader h;
-    std::memcpy(&h, stream.data(), sizeof(h));
+    const SzHeader h = ByteCursor(stream).Read<SzHeader>();
     if (h.magic == kSzMagic) return h.num_elements;
   }
   // Multi-chunk wrapper: sum of chunks.
-  ByteReader r(stream);
+  ByteCursor r(stream);
   std::array<char, 4> magic{};
   r.ReadBytes(magic.data(), 4);
   if (magic != kSzMultiMagic) {
@@ -359,7 +360,7 @@ ByteBuffer SzCompressOmp(std::span<const float> data,
 }
 
 std::vector<float> SzDecompressOmp(ByteSpan stream, int num_threads) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   std::array<char, 4> magic{};
   r.ReadBytes(magic.data(), 4);
   if (magic == kSzMagic) {
@@ -381,9 +382,13 @@ std::vector<float> SzDecompressOmp(ByteSpan stream, int num_threads) {
   std::vector<std::uint64_t> offsets(chunks + 1, 0);
   for (std::uint32_t c = 0; c < chunks; ++c) {
     counts[c] = SzElementCount(spans[c]);
+    // Per-chunk plausibility (>= 1 Huffman bit per element) keeps the sum
+    // below 8 * stream bytes, so the offset accumulation cannot wrap.
+    (void)ByteCursor(spans[c]).CheckedAlloc(counts[c], sizeof(float), 8);
     offsets[c + 1] = offsets[c] + counts[c];
   }
-  std::vector<float> out(offsets[chunks]);
+  std::vector<float> out(
+      ByteCursor(stream).CheckedAlloc(offsets[chunks], sizeof(float), 8));
   std::exception_ptr failure = nullptr;
 #if defined(SZX_HAVE_OPENMP)
   const int threads = num_threads > 0 ? num_threads : omp_get_max_threads();

@@ -114,7 +114,7 @@ DifferentialReport RunDifferential(std::span<const T> data,
     }
   }
   {
-    std::vector<T> into(h.num_elements);
+    std::vector<T> into(recon.size());
     DecompressInto<T>(stream, into);
     if (auto why = CheckBitIdentical<T>(recon, into,
                                         "DecompressInto vs Decompress")) {

@@ -125,6 +125,7 @@ ByteBuffer ReadFileBytes(const std::string& path) {
   ByteBuffer bytes;
   char chunk[4096];
   while (in.read(chunk, sizeof(chunk)) || in.gcount() > 0) {
+    // szx-lint: allow(reinterpret-cast) -- ifstream reads into char buffers; this is the file-I/O boundary, nothing is parsed here
     const auto* p = reinterpret_cast<const std::byte*>(chunk);
     bytes.insert(bytes.end(), p, p + in.gcount());
   }
@@ -134,6 +135,7 @@ ByteBuffer ReadFileBytes(const std::string& path) {
 void WriteFileBytes(const std::string& path, ByteSpan bytes) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("testkit: cannot create " + path);
+  // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; bytes are only written, never interpreted
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   if (!out) throw Error("testkit: short write to " + path);
@@ -145,6 +147,7 @@ void WriteGoldenCorpus(const std::string& dir) {
   }
   const std::string manifest = ManifestText();
   WriteFileBytes(dir + "/" + kManifestFile,
+                 // szx-lint: allow(reinterpret-cast) -- views locally built manifest text as bytes for writing
                  ByteSpan(reinterpret_cast<const std::byte*>(manifest.data()),
                           manifest.size()));
 }

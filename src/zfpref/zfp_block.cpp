@@ -5,26 +5,41 @@
 #include <vector>
 
 namespace szx::zfpref {
+namespace {
+
+// Lifting arithmetic on two's-complement wrap-around semantics.  Coefficients
+// decoded from hostile streams can sit near the Int extremes, where plain
+// signed +/-/<< would be undefined; routing through UInt keeps the bit
+// patterns identical while staying defined for every input.
+inline Int WrapAdd(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) + static_cast<UInt>(b));
+}
+inline Int WrapSub(Int a, Int b) {
+  return static_cast<Int>(static_cast<UInt>(a) - static_cast<UInt>(b));
+}
+inline Int WrapShl1(Int a) { return static_cast<Int>(static_cast<UInt>(a) << 1); }
+
+}  // namespace
 
 void FwdLift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
   // Non-orthogonal transform with lifting steps chosen so the inverse is
   // exact in integer arithmetic (Lindstrom 2014, Sec. 4).
-  x += w; x >>= 1; w -= x;
-  z += y; z >>= 1; y -= z;
-  x += z; x >>= 1; z -= x;
-  w += y; w >>= 1; y -= w;
-  w += y >> 1; y -= w >> 1;
+  x = WrapAdd(x, w); x >>= 1; w = WrapSub(w, x);
+  z = WrapAdd(z, y); z >>= 1; y = WrapSub(y, z);
+  x = WrapAdd(x, z); x >>= 1; z = WrapSub(z, x);
+  w = WrapAdd(w, y); w >>= 1; y = WrapSub(y, w);
+  w = WrapAdd(w, y >> 1); y = WrapSub(y, w >> 1);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 
 void InvLift(Int* p, std::size_t s) {
   Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y += w >> 1; w -= y >> 1;
-  y += w; w <<= 1; w -= y;
-  z += x; x <<= 1; x -= z;
-  y += z; z <<= 1; z -= y;
-  w += x; x <<= 1; x -= w;
+  y = WrapAdd(y, w >> 1); w = WrapSub(w, y >> 1);
+  y = WrapAdd(y, w); w = WrapShl1(w); w = WrapSub(w, y);
+  z = WrapAdd(z, x); x = WrapShl1(x); x = WrapSub(x, z);
+  y = WrapAdd(y, z); z = WrapShl1(z); z = WrapSub(z, y);
+  w = WrapAdd(w, x); x = WrapShl1(x); x = WrapSub(x, w);
   p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
 }
 

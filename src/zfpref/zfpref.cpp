@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <cstring>
 
 #include "core/bitops.hpp"
 #include "zfpref/zfp_block.hpp"
@@ -48,8 +47,9 @@ Dims MakeDims(std::span<const std::size_t> dims, std::size_t count) {
   for (std::size_t k = 0; k < dims.size(); ++k) {
     d.n[3 - dims.size() + k] = dims[k];
   }
-  std::size_t product = d.n[0] * d.n[1] * d.n[2];
-  if (product != count) {
+  // Overflow-checked: a wrapped dims product matching num_elements would
+  // drive the block loops past the allocated output.
+  if (CheckedMul(CheckedMul(d.n[0], d.n[1]), d.n[2]) != count) {
     throw Error("zfpref: dims product does not match element count");
   }
   for (int k = 0; k < 3; ++k) d.nb[k] = (d.n[k] + 3) / 4;
@@ -246,7 +246,7 @@ ByteBuffer ZfpCompress(std::span<const float> data,
 }
 
 std::vector<float> ZfpDecompress(ByteSpan stream) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   std::array<char, 4> magic{};
   r.ReadBytes(magic.data(), 4);
   if (magic == kZfpMultiMagic) {
@@ -264,7 +264,7 @@ std::vector<float> ZfpDecompress(ByteSpan stream) {
     }
     return out;
   }
-  ByteReader r2(stream);
+  ByteCursor r2(stream);
   const ZfpHeader h = r2.Read<ZfpHeader>();
   if (h.magic != kZfpMagic || h.version != 1) {
     throw Error("zfpref: bad magic/version");
@@ -277,8 +277,11 @@ std::vector<float> ZfpDecompress(ByteSpan stream) {
     dims.push_back(static_cast<std::size_t>(h.dims[k]));
   }
   const Dims d = MakeDims(dims, h.num_elements);
-  std::vector<float> out(h.num_elements);
-  if (h.num_elements == 0) return out;
+  if (h.num_elements == 0) return {};
+  // Each 4^d block covers at most 64 elements and costs at least one
+  // payload bit, so num_elements beyond 512x the remaining bytes cannot
+  // be genuine; refuse before allocating.
+  std::vector<float> out(r2.CheckedAlloc(h.num_elements, sizeof(float), 512));
   ByteSpan payload = r2.Slice(h.payload_bytes);
   BitReader br(payload);
   const std::size_t bsize = BlockSize(d.ndims);
@@ -323,6 +326,7 @@ ByteBuffer ZfpCompressFixedRate(std::span<const float> data,
   if (!(bits_per_value >= 1.0) || bits_per_value > 34.0) {
     throw Error("zfpref: rate must be in [1, 34] bits per value");
   }
+  // szx-lint: allow(unchecked-narrow) -- rate is validated to [1, 34] and bsize is at most 64, so the product fits in 12 bits
   const auto block_bits = static_cast<std::uint32_t>(
       bits_per_value * static_cast<double>(bsize));
   if (block_bits <= kFixedBlockHeaderBits) {
@@ -394,7 +398,7 @@ ByteBuffer ZfpCompressFixedRate(std::span<const float> data,
 }
 
 std::vector<float> ZfpDecompressFixedRate(ByteSpan stream) {
-  ByteReader r(stream);
+  ByteCursor r(stream);
   const ZfpFixedHeader h = r.Read<ZfpFixedHeader>();
   if (h.magic != kZfpFixedMagic || h.version != 1) {
     throw Error("zfpref: bad fixed-rate magic/version");
@@ -408,10 +412,18 @@ std::vector<float> ZfpDecompressFixedRate(ByteSpan stream) {
     dims.push_back(static_cast<std::size_t>(h.dims[k]));
   }
   const Dims d = MakeDims(dims, h.num_elements);
-  std::vector<float> out(h.num_elements);
-  if (h.num_elements == 0) return out;
+  if (h.num_elements == 0) return {};
   const std::size_t bsize = BlockSize(d.ndims);
-  ByteSpan payload = r.Slice(r.remaining());
+  // Fixed rate means the payload size is exactly determined by the block
+  // count; verify it before allocating the output.
+  const std::uint64_t total_blocks =
+      CheckedMul(CheckedMul(d.nb[0], d.nb[1]), d.nb[2]);
+  const std::uint64_t need_bits = CheckedMul(total_blocks, h.block_bits);
+  if (need_bits > CheckedMul(r.remaining(), 8)) {
+    throw Error("zfpref: truncated fixed-rate payload");
+  }
+  std::vector<float> out(r.CheckedAlloc(h.num_elements, sizeof(float), 512));
+  ByteSpan payload = r.Rest();
   BitReader br(payload);
   std::array<float, 64> block{};
   for (std::size_t bz = 0; bz < d.nb[0]; ++bz) {

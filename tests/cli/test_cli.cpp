@@ -32,6 +32,7 @@ int RunCli(const std::string& args) {
 
 void WriteFloats(const std::string& path, const std::vector<float>& v) {
   std::ofstream out(path, std::ios::binary);
+  // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; file-I/O boundary
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(float)));
 }
@@ -41,6 +42,7 @@ std::vector<float> ReadFloats(const std::string& path) {
   const auto size = static_cast<std::size_t>(in.tellg());
   in.seekg(0);
   std::vector<float> v(size / sizeof(float));
+  // szx-lint: allow(reinterpret-cast) -- ifstream::read requires char*; file-I/O boundary
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(size));
   return v;
@@ -182,6 +184,7 @@ TEST_F(CliTest, Float64RoundTrip) {
   }
   {
     std::ofstream out(raw64, std::ios::binary);
+    // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; file-I/O boundary
     out.write(reinterpret_cast<const char*>(d64.data()),
               static_cast<std::streamsize>(d64.size() * sizeof(double)));
   }

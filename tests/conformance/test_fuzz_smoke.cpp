@@ -148,6 +148,7 @@ TEST(FuzzRegression, HeaderInflationRejectedCleanly) {
   Header h = PeekHeader(bad);
   h.num_elements = std::uint64_t{1} << 61;       // ~9 exabytes of floats
   h.num_blocks = (h.num_elements + h.block_size - 1) / h.block_size;
+  // szx-lint: allow(raw-memcpy) -- test forges a hostile header in place
   std::memcpy(bad.data(), &h, sizeof(Header));
   const auto why = ProbeStream<float>(bad);
   ASSERT_FALSE(why.has_value()) << *why;
@@ -164,6 +165,7 @@ TEST(FuzzRegression, ZeroElementsNonzeroBlocksRejected) {
   ByteBuffer bad = base;
   Header h = PeekHeader(bad);
   h.num_elements = 0;  // num_blocks stays at its original nonzero value
+  // szx-lint: allow(raw-memcpy) -- test forges a hostile header in place
   std::memcpy(bad.data(), &h, sizeof(Header));
   const auto why = ProbeStream<float>(bad);
   ASSERT_FALSE(why.has_value()) << *why;

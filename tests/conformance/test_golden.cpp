@@ -57,6 +57,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenManifest, MatchesCheckedInManifest) {
   const ByteBuffer raw =
       ReadFileBytes(std::string(SZX_GOLDEN_DIR) + "/" + kManifestFile);
+  // szx-lint: allow(reinterpret-cast) -- views manifest file bytes as text for comparison
   const std::string on_disk(reinterpret_cast<const char*>(raw.data()),
                             raw.size());
   EXPECT_EQ(on_disk, ManifestText())

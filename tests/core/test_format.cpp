@@ -86,6 +86,7 @@ TEST(Format, RejectsInconsistentBlockCount) {
   ByteBuffer stream = SampleStream();
   Header h = ParseHeader(stream);
   h.num_blocks += 1;
+  // szx-lint: allow(raw-memcpy) -- test forges a corrupt header in place
   std::memcpy(stream.data(), &h, sizeof(Header));
   EXPECT_THROW(ParseHeader(stream), Error);
 }
@@ -94,6 +95,7 @@ TEST(Format, RejectsConstantCountOverflow) {
   ByteBuffer stream = SampleStream();
   Header h = ParseHeader(stream);
   h.num_constant = h.num_blocks + 1;
+  // szx-lint: allow(raw-memcpy) -- test forges a corrupt header in place
   std::memcpy(stream.data(), &h, sizeof(Header));
   EXPECT_THROW(ParseHeader(stream), Error);
 }
@@ -111,6 +113,8 @@ TEST(Format, CorruptZsizeCaughtOnDecode) {
   const std::size_t zsize_off =
       static_cast<std::size_t>(s.ncb_zsize.data() - stream.data());
   const std::uint16_t big = 0xffff;
+  // szx-lint: allow(raw-memcpy) -- test corrupts a zsize entry in place
+  // szx-lint: allow(ptr-arith) -- same: deliberate in-place stream corruption
   std::memcpy(stream.data() + zsize_off, &big, 2);
   EXPECT_THROW(Decompress<float>(stream), Error);
 }
@@ -118,7 +122,10 @@ TEST(Format, CorruptZsizeCaughtOnDecode) {
 TEST(Format, LoadAtHandlesUnalignedOffsets) {
   ByteBuffer raw(11);
   const double v = 2.718281828;
+  // szx-lint: allow(raw-memcpy) -- test plants an unaligned value to probe LoadAt
+  // szx-lint: allow(ptr-arith) -- same: building the unaligned fixture
   std::memcpy(raw.data() + 3, &v, sizeof(double));
+  // szx-lint: allow(ptr-arith) -- same: building the unaligned fixture
   ByteSpan section(raw.data() + 3, 8);
   EXPECT_EQ(LoadAt<double>(section, 0), v);
 }

@@ -17,7 +17,7 @@ TEST(ByteStream, WriteReadRoundTrip) {
   const char raw[5] = {'h', 'e', 'l', 'l', 'o'};
   w.WriteBytes(raw, 5);
 
-  ByteReader r(buf);
+  ByteCursor r(buf);
   EXPECT_EQ(r.Read<std::uint32_t>(), 0xdeadbeefu);
   EXPECT_EQ(r.Read<double>(), 3.5);
   EXPECT_EQ(r.Read<std::uint8_t>(), 42);
@@ -31,13 +31,13 @@ TEST(ByteStream, TruncationThrows) {
   ByteBuffer buf;
   ByteWriter w(buf);
   w.Write<std::uint16_t>(7);
-  ByteReader r(buf);
+  ByteCursor r(buf);
   EXPECT_THROW(r.Read<std::uint32_t>(), Error);
 }
 
 TEST(ByteStream, SliceAdvances) {
   ByteBuffer buf(10, std::byte{9});
-  ByteReader r(buf);
+  ByteCursor r(buf);
   ByteSpan a = r.Slice(4);
   EXPECT_EQ(a.size(), 4u);
   EXPECT_EQ(r.position(), 4u);

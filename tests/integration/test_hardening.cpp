@@ -1,0 +1,146 @@
+// Regression tests for the decode-path hardening pass (docs/static-analysis.md):
+// each test forges the specific corrupt stream that used to reach an unchecked
+// allocation or a wrapped size computation, and pins down that the decoder now
+// rejects it with szx::Error instead of over-allocating or scanning out of
+// bounds.  Header field offsets below mirror the packed structs in the codec
+// sources; the static_asserts on compressed sizes keep them honest.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/common.hpp"
+#include "core/streaming.hpp"
+#include "lzref/lzref.hpp"
+#include "szref/sz2.hpp"
+#include "szref/szref.hpp"
+#include "zfpref/zfpref.hpp"
+
+namespace szx {
+namespace {
+
+// Little-endian field patcher; keeps the test lint-clean (no raw memcpy).
+void PokeU64(ByteBuffer& buf, std::size_t off, std::uint64_t v) {
+  ASSERT_LE(off + 8, buf.size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    buf[off + i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::vector<float> Ramp(std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<float>(i) * 0.25f;
+  }
+  return v;
+}
+
+// A crafted original_bytes far beyond what the token stream could expand to
+// (cap: 255 output bytes per stream byte) used to drive a multi-gigabyte
+// reserve() before any token was validated.
+TEST(Hardening, LzrefHugeOriginalBytesClaimRejected) {
+  constexpr std::string_view kText = "hello hello hello hello";
+  ByteBuffer stream =
+      lzref::LzCompress(std::as_bytes(std::span<const char>(kText)));
+  // LzHeader: magic[4] version reserved[3] | original_bytes @ 8.
+  PokeU64(stream, 8, std::uint64_t{1} << 62);
+  EXPECT_THROW(lzref::LzDecompress(stream), Error);
+  PokeU64(stream, 8, ~std::uint64_t{0});
+  EXPECT_THROW(lzref::LzDecompress(stream), Error);
+}
+
+// dims {2^63+1, 2, 1} multiply out to 2 mod 2^64, so the pre-fix equality
+// check against num_elements == 2 passed and the Lorenzo loops ran with
+// nz = 2^63+1.  The dims product is now overflow-checked.
+TEST(Hardening, SzrefWrappedDimsProductRejected) {
+  const std::vector<float> data = Ramp(2);
+  const std::vector<std::size_t> dims{2};
+  szref::SzParams p;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = szref::SzCompress(data, dims, p);
+  // SzHeader: magic[4] version ndims quant_bits eb_mode | eb_user @ 8,
+  // eb_abs @ 16, dims[3] @ 24, num_elements @ 48.
+  stream[5] = std::byte{3};  // ndims
+  PokeU64(stream, 24, (std::uint64_t{1} << 63) + 1);
+  PokeU64(stream, 32, 2);
+  PokeU64(stream, 40, 1);
+  EXPECT_THROW(szref::SzDecompress(stream), Error);
+}
+
+TEST(Hardening, Sz2WrappedDimsProductRejected) {
+  const std::vector<float> data = Ramp(2);
+  const std::vector<std::size_t> dims{2};
+  szref::Sz2Params p;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = szref::Sz2Compress(data, dims, p);
+  // Sz2Header: magic[4] version ndims quant_bits eb_mode block_side @ 8,
+  // reserved @ 12, eb_user @ 16, eb_abs @ 24, dims[3] @ 32.
+  stream[5] = std::byte{3};  // ndims
+  PokeU64(stream, 32, (std::uint64_t{1} << 63) + 1);
+  PokeU64(stream, 40, 2);
+  PokeU64(stream, 48, 1);
+  EXPECT_THROW(szref::Sz2Decompress(stream), Error);
+}
+
+// num_elements claims 2^61 floats out of a few payload bytes; the pre-fix
+// code allocated the output vector before looking at payload_bytes at all.
+// CheckedAlloc now bounds the count by remaining * 512 (>= 1 bit per
+// up-to-64-element block) and rejects.
+TEST(Hardening, ZfprefImplausibleElementCountRejected) {
+  const std::vector<float> data = Ramp(32);
+  const std::vector<std::size_t> dims{32};
+  zfpref::ZfpParams p;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = zfpref::ZfpCompress(data, dims, p);
+  // ZfpHeader: magic[4] version ndims reserved[2] | eb_user @ 8,
+  // eb_abs @ 16, dims[3] @ 24, num_elements @ 48, payload_bytes @ 56.
+  PokeU64(stream, 24, std::uint64_t{1} << 61);  // dims[0]
+  PokeU64(stream, 48, std::uint64_t{1} << 61);  // num_elements (product OK)
+  EXPECT_THROW(zfpref::ZfpDecompress(stream), Error);
+}
+
+TEST(Hardening, ZfpFixedRateTruncatedAndOversizedRejected) {
+  const std::vector<float> data = Ramp(64);
+  const std::vector<std::size_t> dims{64};
+  ByteBuffer stream = zfpref::ZfpCompressFixedRate(data, dims, 8.0);
+  // ZfpFixedHeader is 48 bytes; cutting just past it leaves fewer payload
+  // bits than num_blocks * block_bits requires.
+  EXPECT_THROW(
+      zfpref::ZfpDecompressFixedRate(ByteSpan(stream.data(), 49)), Error);
+  // A huge element count must be rejected by the exact bit-budget check,
+  // not by attempting the allocation.
+  ByteBuffer forged = stream;
+  // ZfpFixedHeader: magic[4] version ndims reserved[2] | block_bits @ 8,
+  // reserved2 @ 12, dims[3] @ 16, num_elements @ 40.
+  PokeU64(forged, 16, std::uint64_t{1} << 61);  // dims[0]
+  PokeU64(forged, 40, std::uint64_t{1} << 61);  // num_elements
+  EXPECT_THROW(zfpref::ZfpDecompressFixedRate(forged), Error);
+}
+
+// The frame checksum only proves the frame arrived intact, not that its
+// header tells the truth.  A frame whose num_elements field is inflated
+// (with the checksum recomputed to match) used to resize the output vector
+// before the section extents were validated against the frame size.
+TEST(Hardening, StreamingLyingFrameElementCountRejected) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  StreamWriter<float> writer(p);
+  const std::vector<float> chunk = Ramp(500);
+  writer.Append(chunk);
+  ByteBuffer container = std::move(writer).Finish();
+  // Layout: container header (8) | frame_bytes u64 | checksum u64 | frame.
+  // Inside the frame the SZx Header puts num_elements at offset 40.
+  constexpr std::size_t kFrameOff = 8 + 16;
+  PokeU64(container, kFrameOff + 40, std::uint64_t{1} << 61);
+  PokeU64(container, 16, Fnv1a64(ByteSpan(container).subspan(kFrameOff)));
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  EXPECT_THROW(reader.Next(out), Error);
+}
+
+}  // namespace
+}  // namespace szx

@@ -1,0 +1,228 @@
+// Self-tests for szx-lint (tools/lint).  Each rule gets a deliberately
+// seeded violation that must be caught, a clean counterpart that must not
+// be flagged, and the allow-directive machinery is exercised end to end.
+#include "linter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace szx::lint {
+namespace {
+
+int Count(const std::vector<Finding>& fs, std::string_view rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+TEST(SzxLint, CatchesSeededMemcpy) {
+  const auto fs = LintText("decode.cpp",
+                           "void f(void* d, const void* s, size_t n) {\n"
+                           "  std::memcpy(d, s, n);\n"
+                           "}\n");
+  ASSERT_EQ(Count(fs, "raw-memcpy"), 1);
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(SzxLint, CatchesMemmoveToo) {
+  const auto fs = LintText("x.cpp", "void f() { memmove(a, b, n); }\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 1);
+}
+
+TEST(SzxLint, IgnoresMemcpyInCommentsAndStrings) {
+  const auto fs = LintText("x.cpp",
+                           "// memcpy(a, b, n) in a comment\n"
+                           "const char* s = \"memcpy(a, b, n)\";\n"
+                           "/* memmove(a, b, n) */\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 0);
+}
+
+TEST(SzxLint, IgnoresIdentifiersContainingMemcpy) {
+  const auto fs = LintText("x.cpp", "void my_memcpy_stats(int n);\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 0);
+}
+
+TEST(SzxLint, CatchesReinterpretCast) {
+  const auto fs = LintText(
+      "x.cpp", "auto* p = reinterpret_cast<const float*>(bytes.data());\n");
+  EXPECT_EQ(Count(fs, "reinterpret-cast"), 1);
+}
+
+TEST(SzxLint, CatchesPtrArith) {
+  const auto fs =
+      LintText("x.cpp", "const std::byte* p = buf.data() + offset;\n");
+  EXPECT_EQ(Count(fs, "ptr-arith"), 1);
+}
+
+TEST(SzxLint, SubspanIsClean) {
+  const auto fs = LintText("x.cpp", "auto s = buf.subspan(offset, n);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(SzxLint, CatchesResizeFromHeaderField) {
+  const auto fs = LintText("x.cpp", "out.resize(h.num_elements);\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 1);
+}
+
+TEST(SzxLint, CatchesVectorCtorFromHeaderField) {
+  const auto fs =
+      LintText("x.cpp", "std::vector<float> out(h.num_elements);\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 1);
+}
+
+TEST(SzxLint, CatchesNewArrayFromHeaderField) {
+  const auto fs =
+      LintText("x.cpp", "auto* p = new float[h.payload_bytes];\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 1);
+}
+
+TEST(SzxLint, CheckedAllocSilencesAllocRule) {
+  const auto fs = LintText(
+      "x.cpp",
+      "out.resize(cur.CheckedAlloc(h.num_elements, sizeof(float)));\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 0);
+}
+
+TEST(SzxLint, AllocFromLocalCountIsClean) {
+  const auto fs = LintText("x.cpp", "out.resize(data.size());\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 0);
+}
+
+TEST(SzxLint, CatchesNarrowingCastOfSize) {
+  const auto fs = LintText(
+      "x.cpp",
+      "auto z = static_cast<std::uint16_t>(section.size());\n");
+  EXPECT_EQ(Count(fs, "unchecked-narrow"), 1);
+}
+
+TEST(SzxLint, CheckedNarrowIsClean) {
+  const auto fs = LintText(
+      "x.cpp", "auto z = CheckedNarrow<std::uint16_t>(section.size());\n");
+  EXPECT_EQ(Count(fs, "unchecked-narrow"), 0);
+}
+
+TEST(SzxLint, WideningCastIsClean) {
+  const auto fs = LintText(
+      "x.cpp", "auto z = static_cast<std::uint64_t>(section.size());\n");
+  EXPECT_EQ(Count(fs, "unchecked-narrow"), 0);
+}
+
+TEST(SzxLint, NarrowingCastOfLoopIndexIsClean) {
+  const auto fs = LintText("x.cpp", "auto z = static_cast<std::uint16_t>(i);\n");
+  EXPECT_EQ(Count(fs, "unchecked-narrow"), 0);
+}
+
+// --- allow directives ----------------------------------------------------
+
+TEST(SzxLint, TrailingAllowSuppresses) {
+  const auto fs = LintText(
+      "x.cpp",
+      "std::memcpy(d, s, n);  // szx-lint: allow(raw-memcpy) -- trusted\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(SzxLint, StandaloneAllowSuppressesNextCodeLine) {
+  const auto fs = LintText("x.cpp",
+                           "// szx-lint: allow(raw-memcpy) -- trusted\n"
+                           "std::memcpy(d, s, n);\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(SzxLint, StackedAllowsSuppressOneStatement) {
+  const auto fs = LintText(
+      "x.cpp",
+      "// szx-lint: allow(raw-memcpy) -- trusted fixture\n"
+      "// szx-lint: allow(ptr-arith) -- trusted fixture\n"
+      "std::memcpy(buf.data() + off, s, n);\n");
+  EXPECT_TRUE(fs.empty()) << FormatFinding(fs.empty() ? Finding{} : fs[0]);
+}
+
+TEST(SzxLint, AllowWithoutReasonIsViolation) {
+  const auto fs = LintText(
+      "x.cpp", "std::memcpy(d, s, n);  // szx-lint: allow(raw-memcpy)\n");
+  EXPECT_EQ(Count(fs, "unexplained-allow"), 1);
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 0);  // still suppressed, but reported
+}
+
+TEST(SzxLint, UnusedAllowIsViolation) {
+  const auto fs = LintText(
+      "x.cpp", "int x = 0;  // szx-lint: allow(raw-memcpy) -- stale\n");
+  EXPECT_EQ(Count(fs, "unused-allow"), 1);
+}
+
+TEST(SzxLint, AllowForWrongRuleDoesNotSuppress) {
+  const auto fs = LintText(
+      "x.cpp",
+      "std::memcpy(d, s, n);  // szx-lint: allow(ptr-arith) -- wrong\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 1);
+  EXPECT_EQ(Count(fs, "unused-allow"), 1);
+}
+
+TEST(SzxLint, UnknownRuleNameIsViolation) {
+  const auto fs = LintText(
+      "x.cpp", "int x;  // szx-lint: allow(no-such-rule) -- whatever\n");
+  EXPECT_EQ(Count(fs, "unknown-rule"), 1);
+}
+
+TEST(SzxLint, ProseMentionOfDirectiveSyntaxIsIgnored)  {
+  const auto fs = LintText(
+      "x.cpp",
+      "// Suppress with a trailing comment of the form\n"
+      "//   // szx-lint: allow(some-rule) -- reason\n"
+      "int x = 0;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+// --- allowlist -----------------------------------------------------------
+
+TEST(SzxLint, AllowlistedFilesAreSkipped) {
+  const std::string code = "std::memcpy(d, s, n);\n";
+  EXPECT_TRUE(LintText("src/core/byte_cursor.hpp", code).empty());
+  EXPECT_TRUE(LintText("src/core/stream.hpp", code).empty());
+  EXPECT_TRUE(LintText("src/core/bitops.hpp", code).empty());
+  EXPECT_FALSE(LintText("src/core/upstream.hpp", code).empty());
+  EXPECT_FALSE(LintText("src/core/format.hpp", code).empty());
+}
+
+TEST(SzxLint, RuleListIsStable) {
+  const auto& rules = Rules();
+  EXPECT_GE(rules.size(), 5u);
+  for (const auto& r : rules) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(SzxLint, FindingsAreSortedByLine) {
+  const auto fs = LintText("x.cpp",
+                           "auto* p = reinterpret_cast<float*>(q);\n"
+                           "std::memcpy(d, s, n);\n"
+                           "out.resize(h.num_elements);\n");
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[2].line, 3);
+}
+
+TEST(SzxLint, FormatFindingIsClickable) {
+  Finding f{"src/a.cpp", 12, "raw-memcpy", "bad"};
+  EXPECT_EQ(FormatFinding(f), "src/a.cpp:12: [raw-memcpy] bad");
+}
+
+TEST(SzxLint, RawStringContentIsIgnored) {
+  const auto fs = LintText(
+      "x.cpp", "const char* s = R\"(std::memcpy(d, s, n))\";\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(SzxLint, MultiLineAllocArgumentsAreSeen) {
+  const auto fs = LintText("x.cpp",
+                           "std::vector<float> out(\n"
+                           "    h.num_elements);\n");
+  EXPECT_EQ(Count(fs, "unchecked-alloc"), 1);
+}
+
+}  // namespace
+}  // namespace szx::lint

@@ -2,8 +2,9 @@
 // corruption rejection.
 #include "lzref/lzref.hpp"
 
-#include <cstring>
 #include <gtest/gtest.h>
+
+#include <span>
 
 #include "data/datasets.hpp"
 #include "../test_util.hpp"
@@ -16,9 +17,8 @@ using szx::testing::Pattern;
 using szx::testing::Rng;
 
 ByteBuffer ToBytes(const std::string& s) {
-  ByteBuffer b(s.size());
-  std::memcpy(b.data(), s.data(), s.size());
-  return b;
+  const auto bytes = std::as_bytes(std::span<const char>(s));
+  return ByteBuffer(bytes.begin(), bytes.end());
 }
 
 TEST(Lzref, EmptyInput) {

@@ -21,7 +21,7 @@ std::vector<std::uint16_t> RoundTrip(const std::vector<std::uint16_t>& syms) {
   bw.Flush();
 
   HuffmanCodec dec;
-  ByteReader tr(table);
+  ByteCursor tr(table);
   dec.ReadTable(tr);
   BitReader br(bits);
   std::vector<std::uint16_t> out;
@@ -47,8 +47,8 @@ TEST(Huffman, SkewedDistributionRoundTrip) {
   std::vector<std::uint16_t> syms;
   for (int i = 0; i < 20000; ++i) {
     // Geometric-ish skew around 32768 like SZ quantization codes.
-    const int offset = static_cast<int>(rng.Gaussian() * 6.0);
-    syms.push_back(static_cast<std::uint16_t>(32768 + offset));
+    const int delta = static_cast<int>(rng.Gaussian() * 6.0);
+    syms.push_back(static_cast<std::uint16_t>(32768 + delta));
   }
   EXPECT_EQ(RoundTrip(syms), syms);
 }
@@ -97,7 +97,7 @@ TEST(Huffman, CorruptTableRejected) {
   w.Write<std::uint16_t>(3);
   w.Write<std::uint8_t>(60);  // invalid code length
   HuffmanCodec dec;
-  ByteReader r(table);
+  ByteCursor r(table);
   EXPECT_THROW(dec.ReadTable(r), Error);
 }
 

@@ -1,0 +1,551 @@
+#include "linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace szx::lint {
+namespace {
+
+constexpr std::array<std::string_view, 3> kAllowlist = {
+    "byte_cursor.hpp", "stream.hpp", "bitops.hpp"};
+
+// Header fields that arrive from an untrusted stream.  An allocation sized
+// by one of these without CheckedAlloc is the bug class this repo has been
+// bitten by (resize-before-validation).
+constexpr std::array<std::string_view, 11> kHeaderFields = {
+    "num_elements",  "num_blocks",   "num_constant",     "payload_bytes",
+    "original_bytes", "num_unpredictable", "num_regression", "frame_bytes",
+    "block_bits",    "zsize",        "original_size"};
+
+// Substrings that mark a cast argument as size-like for unchecked-narrow.
+constexpr std::array<std::string_view, 5> kSizeHints = {
+    "size", "bytes", "count", "offset", "length"};
+
+constexpr std::array<std::string_view, 8> kNarrowTypes = {
+    "std::uint8_t",  "std::uint16_t", "std::uint32_t", "uint8_t",
+    "uint16_t",      "uint32_t",      "unsigned char", "unsigned short"};
+
+const std::vector<RuleInfo> kRules = {
+    {"raw-memcpy",
+     "memcpy/memmove on stream bytes; use ByteCursor or ByteWriter"},
+    {"reinterpret-cast",
+     "reinterpret_cast outside the audited byte primitives"},
+    {"ptr-arith",
+     ".data() + offset pointer arithmetic; use span subspan or ByteCursor"},
+    {"unchecked-alloc",
+     "allocation sized by an unvalidated stream header field without "
+     "CheckedAlloc"},
+    {"unchecked-narrow",
+     "narrowing static_cast of a size-like value without CheckedNarrow"},
+    {"unexplained-allow", "allow directive without a `-- reason`"},
+    {"unused-allow", "allow directive that suppresses nothing"},
+    {"unknown-rule", "allow directive naming a rule that does not exist"},
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsLintableRule(std::string_view name) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.name == name; });
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: strip comments and string/char literals so the rule scan only sees
+// code, while collecting comment text for directive parsing.
+
+struct Comment {
+  int line = 0;           // line the comment starts on
+  bool code_before = false;  // non-whitespace code earlier on that line
+  std::string text;
+};
+
+struct Stripped {
+  std::string code;  // input with comments/literal contents blanked
+  std::vector<Comment> comments;
+};
+
+Stripped Strip(std::string_view in) {
+  Stripped out;
+  out.code.assign(in.size(), ' ');
+  int line = 1;
+  bool code_on_line = false;
+  std::size_t i = 0;
+  const std::size_t n = in.size();
+  auto put = [&](std::size_t at, char c) { out.code[at] = c; };
+
+  while (i < n) {
+    const char c = in[i];
+    if (c == '\n') {
+      put(i, '\n');
+      ++line;
+      code_on_line = false;
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      cm.code_before = code_on_line;
+      std::size_t j = i + 2;
+      while (j < n && in[j] != '\n') ++j;
+      cm.text.assign(in.substr(i + 2, j - i - 2));
+      out.comments.push_back(std::move(cm));
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      cm.code_before = code_on_line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(in[j] == '*' && in[j + 1] == '/')) {
+        if (in[j] == '\n') {
+          put(j, '\n');
+          ++line;
+        }
+        ++j;
+      }
+      cm.text.assign(in.substr(i + 2, j - (i + 2)));
+      out.comments.push_back(std::move(cm));
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(in[i - 1]))) {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && in[j] != '(') delim.push_back(in[j++]);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = in.find(close, j);
+      const std::size_t stop = end == std::string_view::npos
+                                   ? n
+                                   : end + close.size();
+      for (std::size_t k = i; k < stop; ++k) {
+        if (in[k] == '\n') {
+          put(k, '\n');
+          ++line;
+        }
+      }
+      code_on_line = true;
+      i = stop;
+      continue;
+    }
+    // Ordinary string literal.
+    if (c == '"') {
+      put(i, '"');
+      std::size_t j = i + 1;
+      while (j < n && in[j] != '"') {
+        if (in[j] == '\\' && j + 1 < n) ++j;
+        if (in[j] == '\n') {
+          put(j, '\n');
+          ++line;
+        }
+        ++j;
+      }
+      if (j < n) put(j, '"');
+      code_on_line = true;
+      i = j + 1;
+      continue;
+    }
+    // Char literal (but not a digit separator like 1'000'000).
+    if (c == '\'' && (i == 0 || !IsIdentChar(in[i - 1]))) {
+      put(i, '\'');
+      std::size_t j = i + 1;
+      while (j < n && in[j] != '\'') {
+        if (in[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (j < n) put(j, '\'');
+      code_on_line = true;
+      i = j + 1;
+      continue;
+    }
+    put(i, c);
+    if (!std::isspace(static_cast<unsigned char>(c))) code_on_line = true;
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Allow directives.
+
+struct Directive {
+  int comment_line = 0;
+  int target_line = 0;
+  std::string rule;
+  bool has_reason = false;
+  bool used = false;
+  bool parse_error = false;
+};
+
+std::vector<Directive> ParseDirectives(const std::vector<Comment>& comments) {
+  std::vector<Directive> out;
+  for (const Comment& cm : comments) {
+    // A directive must be the entire comment: `// szx-lint: allow(...) --
+    // reason`.  Prose that merely mentions the syntax (docs, this file) is
+    // ignored because the trimmed text does not start with the marker or
+    // lacks an allow clause.
+    std::string_view t(cm.text);
+    const std::size_t first = t.find_first_not_of(" \t");
+    if (first == std::string_view::npos) continue;
+    t.remove_prefix(first);
+    constexpr std::string_view kMarker = "szx-lint:";
+    if (t.substr(0, kMarker.size()) != kMarker) continue;
+    const std::string_view rest = t.substr(kMarker.size());
+    if (rest.find("allow") == std::string_view::npos) continue;
+    Directive d;
+    d.comment_line = cm.line;
+    d.target_line = cm.code_before ? cm.line : cm.line + 1;
+    const std::size_t open = rest.find("allow(");
+    const std::size_t close = rest.find(')');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close <= open + 6) {
+      d.parse_error = true;
+      out.push_back(std::move(d));
+      continue;
+    }
+    std::string rule(rest.substr(open + 6, close - (open + 6)));
+    // Trim whitespace around the rule name.
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.front())))
+      rule.erase(rule.begin());
+    while (!rule.empty() && std::isspace(static_cast<unsigned char>(rule.back())))
+      rule.pop_back();
+    d.rule = std::move(rule);
+    const std::size_t dash = rest.find("--", close);
+    if (dash != std::string_view::npos) {
+      const std::string_view reason = rest.substr(dash + 2);
+      d.has_reason = reason.find_first_not_of(" \t") != std::string_view::npos;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scanning helpers over the stripped code.
+
+std::vector<std::size_t> LineStarts(std::string_view code) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int LineOf(std::size_t pos, const std::vector<std::size_t>& starts) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+  return static_cast<int>(it - starts.begin());
+}
+
+// Next occurrence of `needle` as a whole identifier, starting at `from`.
+std::size_t FindToken(std::string_view code, std::string_view needle,
+                      std::size_t from) {
+  while (true) {
+    const std::size_t at = code.find(needle, from);
+    if (at == std::string_view::npos) return at;
+    const bool left_ok = at == 0 || !IsIdentChar(code[at - 1]);
+    const std::size_t end = at + needle.size();
+    const bool right_ok = end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) return at;
+    from = at + 1;
+  }
+}
+
+std::size_t SkipSpace(std::string_view code, std::size_t i) {
+  while (i < code.size() &&
+         std::isspace(static_cast<unsigned char>(code[i])))
+    ++i;
+  return i;
+}
+
+// Extracts the balanced-delimiter region starting at the opener at `open`
+// (which must be '(', '[', '{', or '<').  Returns the contents, without the
+// delimiters; empty optional-ish (npos semantics) on imbalance.
+std::string_view Balanced(std::string_view code, std::size_t open,
+                          std::size_t* end_out) {
+  const char opener = code[open];
+  const char closer = opener == '(' ? ')'
+                      : opener == '[' ? ']'
+                      : opener == '{' ? '}'
+                                      : '>';
+  int depth = 0;
+  for (std::size_t i = open; i < code.size(); ++i) {
+    if (code[i] == opener) ++depth;
+    else if (code[i] == closer) {
+      --depth;
+      if (depth == 0) {
+        if (end_out != nullptr) *end_out = i;
+        return code.substr(open + 1, i - open - 1);
+      }
+    }
+  }
+  if (end_out != nullptr) *end_out = std::string_view::npos;
+  return {};
+}
+
+bool ContainsHeaderField(std::string_view text) {
+  return std::any_of(kHeaderFields.begin(), kHeaderFields.end(),
+                     [&](std::string_view f) {
+                       return FindToken(text, f, 0) != std::string_view::npos;
+                     });
+}
+
+bool ContainsSizeHint(std::string_view text) {
+  return std::any_of(kSizeHints.begin(), kSizeHints.end(),
+                     [&](std::string_view h) {
+                       return text.find(h) != std::string_view::npos;
+                     });
+}
+
+struct Scan {
+  std::string_view code;
+  const std::vector<std::size_t>& lines;
+  std::vector<Finding>& out;
+  std::string_view path;
+
+  void Add(std::size_t pos, std::string_view rule, std::string msg) {
+    out.push_back(
+        {std::string(path), LineOf(pos, lines), std::string(rule), std::move(msg)});
+  }
+};
+
+void ScanMemcpy(Scan& s) {
+  for (std::string_view fn : {"memcpy", "memmove"}) {
+    for (std::size_t at = FindToken(s.code, fn, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, fn, at + 1)) {
+      const std::size_t after = SkipSpace(s.code, at + fn.size());
+      if (after < s.code.size() && s.code[after] == '(') {
+        s.Add(at, "raw-memcpy",
+              std::string(fn) + " call; route stream bytes through "
+                                "ByteCursor/ByteWriter instead");
+      }
+    }
+  }
+}
+
+void ScanReinterpretCast(Scan& s) {
+  for (std::size_t at = FindToken(s.code, "reinterpret_cast", 0);
+       at != std::string_view::npos;
+       at = FindToken(s.code, "reinterpret_cast", at + 1)) {
+    s.Add(at, "reinterpret-cast",
+          "reinterpret_cast; only the audited byte primitives may repun "
+          "memory");
+  }
+}
+
+void ScanPtrArith(Scan& s) {
+  for (std::size_t at = s.code.find(".data()", 0);
+       at != std::string_view::npos; at = s.code.find(".data()", at + 1)) {
+    const std::size_t after = SkipSpace(s.code, at + 7);
+    if (after < s.code.size() && s.code[after] == '+' &&
+        !(after + 1 < s.code.size() && s.code[after + 1] == '+')) {
+      s.Add(at, "ptr-arith",
+            ".data() + offset arithmetic; use subspan or ByteCursor so the "
+            "bound travels with the pointer");
+    }
+  }
+}
+
+void ScanUncheckedAlloc(Scan& s) {
+  auto check_args = [&](std::size_t at, std::string_view args) {
+    if (ContainsHeaderField(args) &&
+        args.find("CheckedAlloc") == std::string_view::npos) {
+      s.Add(at, "unchecked-alloc",
+            "allocation sized by a stream header field; validate with "
+            "ByteCursor::CheckedAlloc first");
+    }
+  };
+  for (std::string_view call : {".resize", ".reserve"}) {
+    for (std::size_t at = s.code.find(call, 0);
+         at != std::string_view::npos; at = s.code.find(call, at + 1)) {
+      const std::size_t open = SkipSpace(s.code, at + call.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      check_args(at, Balanced(s.code, open, nullptr));
+    }
+  }
+  // new T[expr]
+  for (std::size_t at = FindToken(s.code, "new", 0);
+       at != std::string_view::npos;
+       at = FindToken(s.code, "new", at + 1)) {
+    const std::size_t stop = s.code.find_first_of(";[", at);
+    if (stop == std::string_view::npos || s.code[stop] != '[') continue;
+    check_args(at, Balanced(s.code, stop, nullptr));
+  }
+  // std::vector<T> name(expr) / name{expr}
+  for (std::size_t at = FindToken(s.code, "vector", 0);
+       at != std::string_view::npos;
+       at = FindToken(s.code, "vector", at + 1)) {
+    std::size_t i = SkipSpace(s.code, at + 6);
+    if (i >= s.code.size() || s.code[i] != '<') continue;
+    std::size_t close_angle = std::string_view::npos;
+    Balanced(s.code, i, &close_angle);
+    if (close_angle == std::string_view::npos) continue;
+    i = SkipSpace(s.code, close_angle + 1);
+    const std::size_t ident_begin = i;
+    while (i < s.code.size() && IsIdentChar(s.code[i])) ++i;
+    if (i == ident_begin) continue;  // not a declaration
+    i = SkipSpace(s.code, i);
+    if (i >= s.code.size() || (s.code[i] != '(' && s.code[i] != '{')) continue;
+    check_args(at, Balanced(s.code, i, nullptr));
+  }
+}
+
+void ScanUncheckedNarrow(Scan& s) {
+  for (std::size_t at = s.code.find("static_cast", 0);
+       at != std::string_view::npos;
+       at = s.code.find("static_cast", at + 1)) {
+    std::size_t i = SkipSpace(s.code, at + 11);
+    if (i >= s.code.size() || s.code[i] != '<') continue;
+    std::size_t close_angle = std::string_view::npos;
+    std::string type(Balanced(s.code, i, &close_angle));
+    if (close_angle == std::string_view::npos) continue;
+    // Normalize internal whitespace runs to single spaces.
+    std::string norm;
+    for (char c : type) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!norm.empty() && norm.back() != ' ') norm.push_back(' ');
+      } else {
+        norm.push_back(c);
+      }
+    }
+    while (!norm.empty() && norm.back() == ' ') norm.pop_back();
+    if (std::find(kNarrowTypes.begin(), kNarrowTypes.end(), norm) ==
+        kNarrowTypes.end())
+      continue;
+    i = SkipSpace(s.code, close_angle + 1);
+    if (i >= s.code.size() || s.code[i] != '(') continue;
+    const std::string_view args = Balanced(s.code, i, nullptr);
+    if (ContainsSizeHint(args) &&
+        args.find("CheckedNarrow") == std::string_view::npos) {
+      s.Add(at, "unchecked-narrow",
+            "narrowing cast of a size-like value; use CheckedNarrow<" + norm +
+                "> so truncation throws instead of wrapping");
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& Rules() { return kRules; }
+
+bool IsAllowlisted(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  for (const std::string_view base : kAllowlist) {
+    if (p == base) return true;
+    if (p.size() > base.size() &&
+        p.compare(p.size() - base.size(), base.size(), base) == 0 &&
+        p[p.size() - base.size() - 1] == '/')
+      return true;
+  }
+  return false;
+}
+
+std::vector<Finding> LintText(std::string_view path, std::string_view text) {
+  std::vector<Finding> findings;
+  if (IsAllowlisted(path)) return findings;
+
+  const Stripped st = Strip(text);
+  const std::vector<std::size_t> lines = LineStarts(st.code);
+  std::vector<Directive> directives = ParseDirectives(st.comments);
+
+  // A standalone directive targets the next line that has code, so several
+  // directives may stack above one statement.
+  auto line_has_code = [&](int line) {
+    if (line < 1 || line > static_cast<int>(lines.size())) return false;
+    const std::size_t begin = lines[line - 1];
+    const std::size_t end = line < static_cast<int>(lines.size())
+                                ? lines[line]
+                                : st.code.size();
+    return st.code.find_first_not_of(" \t\r\n", begin) < end;
+  };
+  const int last_line = static_cast<int>(lines.size());
+  for (Directive& d : directives) {
+    if (d.target_line == d.comment_line) continue;  // trailing directive
+    int t = d.comment_line + 1;
+    while (t <= last_line && !line_has_code(t)) ++t;
+    d.target_line = t;
+  }
+
+  std::vector<Finding> raw;
+  Scan scan{st.code, lines, raw, path};
+  ScanMemcpy(scan);
+  ScanReinterpretCast(scan);
+  ScanPtrArith(scan);
+  ScanUncheckedAlloc(scan);
+  ScanUncheckedNarrow(scan);
+
+  // Apply directives: a finding is suppressed by a matching allow on its
+  // line (or on the directly preceding comment-only line).
+  for (Finding& f : raw) {
+    bool suppressed = false;
+    for (Directive& d : directives) {
+      if (!d.parse_error && d.rule == f.rule && d.target_line == f.line) {
+        d.used = true;
+        suppressed = true;
+      }
+    }
+    if (!suppressed) findings.push_back(std::move(f));
+  }
+
+  // Directive hygiene.
+  for (const Directive& d : directives) {
+    if (d.parse_error) {
+      findings.push_back({std::string(path), d.comment_line, "unknown-rule",
+                          "malformed szx-lint directive; expected "
+                          "`szx-lint: allow(<rule>) -- <reason>`"});
+      continue;
+    }
+    if (!IsLintableRule(d.rule)) {
+      findings.push_back({std::string(path), d.comment_line, "unknown-rule",
+                          "allow names unknown rule '" + d.rule + "'"});
+      continue;
+    }
+    if (!d.has_reason) {
+      findings.push_back({std::string(path), d.comment_line,
+                          "unexplained-allow",
+                          "allow(" + d.rule +
+                              ") has no `-- reason`; every suppression "
+                              "must say why it is safe"});
+    }
+    if (!d.used) {
+      findings.push_back({std::string(path), d.comment_line, "unused-allow",
+                          "allow(" + d.rule +
+                              ") suppresses nothing; delete the stale "
+                              "directive"});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> LintFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("szx-lint: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return LintText(path, ss.str());
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream ss;
+  ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return ss.str();
+}
+
+}  // namespace szx::lint

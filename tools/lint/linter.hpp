@@ -1,0 +1,55 @@
+// szx-lint: a token-level invariant checker for this repository.
+//
+// The rules encode the project's stream-safety discipline: every byte that
+// comes from a compressed stream must flow through szx::core::ByteCursor
+// (or the audited primitives in stream.hpp / bitops.hpp), and no allocation
+// may be sized directly from an unvalidated header field.  The checker is
+// deliberately lexical -- no libclang -- so it runs in milliseconds as a
+// ctest and never needs a compiler toolchain beyond the one building the
+// repo.  Precision comes from the narrow code idiom the rules target plus
+// an explicit, audited escape hatch:
+//
+//   // szx-lint: allow(<rule>) -- <reason>
+//
+// A directive with no `-- reason` text is itself a violation, and so is a
+// directive that suppresses nothing (so stale allows rot loudly).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace szx::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// Stable list of every rule the checker knows (including the directive
+/// hygiene pseudo-rules), for --list-rules and the docs.
+const std::vector<RuleInfo>& Rules();
+
+/// True for files whose whole purpose is raw byte manipulation; all rules
+/// are skipped there (byte_cursor.hpp, stream.hpp, bitops.hpp).
+bool IsAllowlisted(std::string_view path);
+
+/// Lints one translation unit given as text.  `path` is used for
+/// diagnostics and the allowlist check.
+std::vector<Finding> LintText(std::string_view path, std::string_view text);
+
+/// Reads and lints a file on disk.  Throws std::runtime_error if the file
+/// cannot be read.
+std::vector<Finding> LintFile(const std::string& path);
+
+/// Formats a finding as "path:line: [rule] message".
+std::string FormatFinding(const Finding& f);
+
+}  // namespace szx::lint

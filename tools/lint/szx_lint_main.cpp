@@ -1,0 +1,87 @@
+// Command-line driver for szx-lint.  Usage:
+//
+//   szx_lint [--list-rules] <file-or-dir>...
+//
+// Directories are walked recursively for C++ sources; findings print as
+// `path:line: [rule] message` and the exit status is the number of findings
+// clamped to 1, so ctest can gate on it.
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "linter.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsCppSource(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx" || ext == ".hxx";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const auto& r : szx::lint::Rules()) {
+        std::cout << r.name << ": " << r.summary << "\n";
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: szx_lint [--list-rules] <file-or-dir>...\n";
+      return 0;
+    }
+    roots.push_back(arg);
+  }
+  if (roots.empty()) {
+    std::cerr << "szx_lint: no inputs (see --help)\n";
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path p(root);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && IsCppSource(entry.path())) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.string());
+    } else {
+      std::cerr << "szx_lint: no such file or directory: " << root << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t total = 0;
+  for (const std::string& f : files) {
+    try {
+      for (const auto& finding : szx::lint::LintFile(f)) {
+        std::cout << szx::lint::FormatFinding(finding) << "\n";
+        ++total;
+      }
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (total != 0) {
+    std::cerr << "szx_lint: " << total << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  std::cout << "szx_lint: clean (" << files.size() << " files)\n";
+  return 0;
+}

@@ -41,6 +41,7 @@ data::App ParseApp(const std::string& name) {
 void WriteField(const data::Field& f, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) Usage(("cannot open " + path + " for writing").c_str());
+  // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; raw dataset bytes are only written
   out.write(reinterpret_cast<const char*>(f.values.data()),
             static_cast<std::streamsize>(f.size_bytes()));
   if (!out) Usage(("cannot write " + path).c_str());
