@@ -12,12 +12,15 @@
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/compressor.hpp"
@@ -218,6 +221,214 @@ inline CodecResult MeasureCodec(Codec codec, const data::Field& f,
   r.max_err = dist.max_abs_error;
   r.psnr_db = dist.psnr_db;
   return r;
+}
+
+// --- JSON perf-regression harness ----------------------------------------
+//
+// scripts/bench.sh runs `micro_codec --bench_json=BENCH_codec.json`, which
+// uses the pieces below: a trimmed-timing discipline (stabler than best-of
+// for regression tracking), a dependency-free JSON builder, and a minimal
+// validator that gates the file before it is written (the bench-smoke ctest
+// tier relies on the binary failing loudly on malformed output).
+
+/// One timing measurement under the trimmed discipline: a warm-up run, then
+/// `reps` timed runs; the fastest and slowest quintile are dropped and the
+/// rest averaged.  min/max are of the surviving (trimmed) runs.
+struct TrimmedTiming {
+  double mean_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  int reps = 0;
+};
+
+template <typename Fn>
+TrimmedTiming TimeTrimmed(int reps, Fn&& fn) {
+  fn();  // warm-up (first-touch, arena growth, branch training)
+  std::vector<double> t(static_cast<std::size_t>(reps));
+  for (auto& ti : t) {
+    const double t0 = NowSeconds();
+    fn();
+    ti = NowSeconds() - t0;
+  }
+  std::sort(t.begin(), t.end());
+  const std::size_t trim = t.size() >= 5 ? t.size() / 5 : (t.size() >= 3 ? 1 : 0);
+  const std::size_t lo = trim;
+  const std::size_t hi = t.size() - trim;
+  TrimmedTiming r;
+  r.reps = reps;
+  r.min_s = t[lo];
+  r.max_s = t[hi - 1];
+  for (std::size_t i = lo; i < hi; ++i) r.mean_s += t[i];
+  r.mean_s /= static_cast<double>(hi - lo);
+  return r;
+}
+
+/// Tiny append-only JSON document builder.  Scope balance is the caller's
+/// job (ValidateJson is the backstop); commas and key quoting are handled
+/// here.  Non-finite doubles are emitted as null, which keeps the document
+/// parseable by strict readers.
+class JsonWriter {
+ public:
+  void BeginObject() { Prefix(); out_ += '{'; fresh_.push_back(true); }
+  void BeginObject(const char* key) { KeyPrefix(key); out_ += '{'; fresh_.push_back(true); }
+  void EndObject() { out_ += '}'; fresh_.pop_back(); }
+  void BeginArray(const char* key) { KeyPrefix(key); out_ += '['; fresh_.push_back(true); }
+  void EndArray() { out_ += ']'; fresh_.pop_back(); }
+
+  void Field(const char* key, const char* value) {
+    KeyPrefix(key);
+    AppendString(value);
+  }
+  void Field(const char* key, const std::string& value) { Field(key, value.c_str()); }
+  void Field(const char* key, double value) {
+    KeyPrefix(key);
+    AppendNumber(value);
+  }
+  void Field(const char* key, std::size_t value) {
+    KeyPrefix(key);
+    out_ += std::to_string(value);
+  }
+  void Field(const char* key, int value) {
+    KeyPrefix(key);
+    out_ += std::to_string(value);
+  }
+  void Field(const char* key, bool value) {
+    KeyPrefix(key);
+    out_ += value ? "true" : "false";
+  }
+
+  const std::string& Str() const { return out_; }
+
+ private:
+  void Prefix() {
+    if (!fresh_.empty()) {
+      if (!fresh_.back()) out_ += ',';
+      fresh_.back() = false;
+    }
+  }
+  void KeyPrefix(const char* key) {
+    Prefix();
+    AppendString(key);
+    out_ += ':';
+  }
+  void AppendString(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+  void AppendNumber(double v) {
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out_ += buf;
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;
+};
+
+/// Minimal recursive-descent JSON syntax check (structure only, no schema).
+/// Returns true iff `text` is exactly one valid JSON value.
+bool ValidateJson(std::string_view text);
+
+namespace detail {
+
+inline void JsonSkipWs(std::string_view t, std::size_t& i) {
+  while (i < t.size() &&
+         (t[i] == ' ' || t[i] == '\t' || t[i] == '\n' || t[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool JsonValue(std::string_view t, std::size_t& i, int depth);
+
+inline bool JsonString(std::string_view t, std::size_t& i) {
+  if (i >= t.size() || t[i] != '"') return false;
+  for (++i; i < t.size(); ++i) {
+    if (t[i] == '\\') {
+      ++i;  // skip the escaped character (\\uXXXX hex digits pass as-is)
+    } else if (t[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+inline bool JsonNumber(std::string_view t, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < t.size() && t[i] == '-') ++i;
+  while (i < t.size() && (std::isdigit(static_cast<unsigned char>(t[i])) ||
+                          t[i] == '.' || t[i] == 'e' || t[i] == 'E' ||
+                          t[i] == '+' || t[i] == '-')) {
+    ++i;
+  }
+  return i > start;
+}
+
+inline bool JsonValue(std::string_view t, std::size_t& i, int depth) {
+  if (depth > 64) return false;
+  JsonSkipWs(t, i);
+  if (i >= t.size()) return false;
+  const char c = t[i];
+  if (c == '{') {
+    ++i;
+    JsonSkipWs(t, i);
+    if (i < t.size() && t[i] == '}') { ++i; return true; }
+    while (true) {
+      JsonSkipWs(t, i);
+      if (!JsonString(t, i)) return false;
+      JsonSkipWs(t, i);
+      if (i >= t.size() || t[i] != ':') return false;
+      ++i;
+      if (!JsonValue(t, i, depth + 1)) return false;
+      JsonSkipWs(t, i);
+      if (i < t.size() && t[i] == ',') { ++i; continue; }
+      if (i < t.size() && t[i] == '}') { ++i; return true; }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    JsonSkipWs(t, i);
+    if (i < t.size() && t[i] == ']') { ++i; return true; }
+    while (true) {
+      if (!JsonValue(t, i, depth + 1)) return false;
+      JsonSkipWs(t, i);
+      if (i < t.size() && t[i] == ',') { ++i; continue; }
+      if (i < t.size() && t[i] == ']') { ++i; return true; }
+      return false;
+    }
+  }
+  if (c == '"') return JsonString(t, i);
+  if (t.substr(i, 4) == "true") { i += 4; return true; }
+  if (t.substr(i, 5) == "false") { i += 5; return true; }
+  if (t.substr(i, 4) == "null") { i += 4; return true; }
+  return JsonNumber(t, i);
+}
+
+}  // namespace detail
+
+inline bool ValidateJson(std::string_view text) {
+  std::size_t i = 0;
+  if (!detail::JsonValue(text, i, 0)) return false;
+  detail::JsonSkipWs(text, i);
+  return i == text.size();
 }
 
 /// Prints a header line naming the paper artifact being reproduced.

@@ -2,10 +2,27 @@
 // block statistics, SZx block encode/decode, full-stream (de)compression,
 // the SZ baseline's Huffman stages, the ZFP baseline's transform, and the
 // LZ matcher.  Complements the table benches with per-kernel numbers.
+//
+// Two entry modes (scripts/bench.sh, docs/performance.md):
+//   micro_codec [gbench flags]            google-benchmark suite (default)
+//   micro_codec --bench_json=PATH [--smoke]
+//       machine-readable perf-regression grid: GB/s for each kernel
+//       implementation x dtype x error bound on a CESM-like field, plus a
+//       re-implementation of the pre-vectorization byte-wise encode loop as
+//       the fixed reference the speedup figures are measured against.
+//       --smoke shrinks the field and rep count so CI can assert the JSON
+//       contract in milliseconds (no timing thresholds).
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "core/arena.hpp"
+#include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/compressor.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/random_access.hpp"
 #include "core/streaming.hpp"
 #include "hybrid/hybrid.hpp"
@@ -260,6 +277,320 @@ void BM_ZfpFixedRateCompress(benchmark::State& state) {
 }
 BENCHMARK(BM_ZfpFixedRateCompress);
 
+// ---------------------------------------------------------------------------
+// --bench_json mode: the perf-regression grid.
+// ---------------------------------------------------------------------------
+
+// Re-implementation of the pre-vectorization Solution-C encode loop (byte-at-
+// a-time commits through an incrementing pointer).  This is the fixed
+// reference the regression JSON reports speedups against; it must NOT be
+// "improved", only kept faithful to the old EncodeBlockC inner loop.
+template <typename T>
+std::size_t BytewiseEncodeReference(std::span<const T> block, T mu,
+                                    const ReqPlan& plan, std::byte* dst) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::size_t n = block.size();
+  const int nb = plan.num_bytes;
+  const int s = plan.shift;
+  const Bits keep = KeepMask<T>(nb);
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  std::fill_n(dst, lead_bytes, std::byte{0});
+  std::byte* mid = dst + lead_bytes;
+  Bits prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const T delta = mu == T(0) ? block[i] : static_cast<T>(block[i] - mu);
+    const Bits t = static_cast<Bits>((std::bit_cast<Bits>(delta) >> s) & keep);
+    const Bits x = t ^ prev;
+    int lead;
+    if (x == 0) {
+      lead = 3;
+    } else {
+      lead = std::countl_zero(x) >> 3;
+      if (lead > 3) lead = 3;
+    }
+    const int copy = lead < nb ? lead : nb;
+    const int shift2 = 6 - 2 * static_cast<int>(i & 3);
+    dst[i >> 2] |= std::byte{static_cast<std::uint8_t>(lead << shift2)};
+    for (int j = copy; j < nb; ++j) {
+      *mid++ = std::byte{TopByte<T>(t, j)};
+    }
+    prev = t;
+  }
+  return static_cast<std::size_t>(mid - dst);
+}
+
+// One non-constant block's precomputed inputs (stats/planning happen outside
+// the timed region so the grid isolates kernel throughput).
+template <typename T>
+struct BlockWork {
+  std::span<const T> values;
+  T mu;
+  ReqPlan plan;
+  std::size_t payload_offset = 0;  // into the shared encoded buffer
+  std::size_t payload_size = 0;
+};
+
+template <typename T>
+std::vector<BlockWork<T>> PlanBlocks(const std::vector<T>& v, double rel_eb,
+                                     std::uint32_t bs) {
+  const auto range = ComputeGlobalRange<T>(v);
+  const double bound =
+      range.any_finite
+          ? rel_eb * (static_cast<double>(range.max) -
+                      static_cast<double>(range.min))
+          : 0.0;
+  const int eb_expo = BoundExponent(bound);
+  std::vector<BlockWork<T>> work;
+  for (std::size_t i = 0; i < v.size(); i += bs) {
+    const auto block =
+        std::span<const T>(v).subspan(i, std::min<std::size_t>(bs, v.size() - i));
+    const auto st = ComputeBlockStatsSimd<T>(block);
+    const auto d = DecideBlock<T>(block, st, ErrorBoundMode::kValueRangeRelative,
+                                  rel_eb, bound, eb_expo);
+    if (d.is_constant) continue;
+    work.push_back({block, d.mu, d.plan, 0, 0});
+  }
+  return work;
+}
+
+struct GridRow {
+  std::string bench;
+  std::string kernel;
+  std::string dtype;
+  double rel_eb;
+  std::size_t bytes;
+  szx::bench::TrimmedTiming timing;
+
+  double Gbps() const {
+    return static_cast<double>(bytes) / 1e9 / timing.mean_s;
+  }
+};
+
+template <typename T>
+const char* DtypeName() {
+  return sizeof(T) == 4 ? "float32" : "float64";
+}
+
+// Measures block-level encode throughput of one kernel table over the
+// precomputed work list.  Returns input bytes processed per run.
+template <typename T>
+GridRow MeasureBlockEncode(const char* kernel_name,
+                           const kernels::BlockOps<T>& ops,
+                           const std::vector<BlockWork<T>>& work,
+                           std::uint32_t bs, int reps, double rel_eb) {
+  std::vector<std::byte> dst(kernels::EncodeCapacity<T>(bs));
+  std::size_t bytes = 0;
+  for (const auto& w : work) bytes += w.values.size() * sizeof(T);
+  const auto timing = szx::bench::TimeTrimmed(reps, [&] {
+    std::size_t acc = 0;
+    for (const auto& w : work) {
+      acc += ops.encode_c(w.values.data(), w.values.size(), w.mu, w.plan,
+                          dst.data());
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  return {"block_encode", kernel_name, DtypeName<T>(), rel_eb, bytes, timing};
+}
+
+template <typename T>
+GridRow MeasureBlockDecode(const char* kernel_name,
+                           const kernels::BlockOps<T>& ops,
+                           std::vector<BlockWork<T>>& work,
+                           const std::vector<std::byte>& payloads,
+                           std::uint32_t bs, int reps, double rel_eb) {
+  std::vector<T> out(bs);
+  std::size_t bytes = 0;
+  for (const auto& w : work) bytes += w.values.size() * sizeof(T);
+  const auto timing = szx::bench::TimeTrimmed(reps, [&] {
+    for (const auto& w : work) {
+      // szx-lint: allow(ptr-arith) -- payload_offset/payload_size were recorded while filling `payloads` above; decode_c bounds-checks against payload_size
+      ops.decode_c(payloads.data() + w.payload_offset, w.payload_size, w.mu,
+                   w.plan, out.data(), w.values.size());
+    }
+    benchmark::DoNotOptimize(out.data());
+  });
+  return {"block_decode", kernel_name, DtypeName<T>(), rel_eb, bytes, timing};
+}
+
+template <typename T>
+GridRow MeasureBaseline(const std::vector<BlockWork<T>>& work,
+                        std::uint32_t bs, int reps, double rel_eb) {
+  std::vector<std::byte> dst(kernels::EncodeCapacity<T>(bs));
+  std::size_t bytes = 0;
+  for (const auto& w : work) bytes += w.values.size() * sizeof(T);
+  const auto timing = szx::bench::TimeTrimmed(reps, [&] {
+    std::size_t acc = 0;
+    for (const auto& w : work) {
+      acc += BytewiseEncodeReference<T>(w.values, w.mu, w.plan, dst.data());
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  return {"baseline_bytewise_encode", "pre-vectorization", DtypeName<T>(),
+          rel_eb, bytes, timing};
+}
+
+template <typename T>
+void MeasureFullPath(std::vector<GridRow>& rows, const std::vector<T>& v,
+                     double rel_eb, int reps) {
+  const char* active = kernels::KindName(kernels::ActiveKind());
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = rel_eb;
+  ScratchArena arena;
+  const std::size_t bytes = v.size() * sizeof(T);
+  ByteSpan frame;
+  const auto ct = szx::bench::TimeTrimmed(reps, [&] {
+    frame = CompressInto<T>(v, p, arena);
+    benchmark::DoNotOptimize(frame.data());
+  });
+  rows.push_back({"full_compress", active, DtypeName<T>(), rel_eb, bytes, ct});
+  const ByteBuffer stream(frame.begin(), frame.end());
+  const auto dt = szx::bench::TimeTrimmed(reps, [&] {
+    auto recon = Decompress<T>(stream);
+    benchmark::DoNotOptimize(recon.data());
+  });
+  rows.push_back({"full_decompress", active, DtypeName<T>(), rel_eb, bytes, dt});
+}
+
+template <typename T>
+void RunGridForType(std::vector<GridRow>& rows, const std::vector<T>& v,
+                    int reps) {
+  constexpr std::uint32_t kBs = 128;
+  for (const double rel_eb : {1e-2, 1e-3, 1e-4}) {
+    auto work = PlanBlocks<T>(v, rel_eb, kBs);
+    if (work.empty()) continue;
+    rows.push_back(MeasureBlockEncode<T>("scalar", kernels::ScalarOps<T>(),
+                                         work, kBs, reps, rel_eb));
+    if (kernels::Avx2Supported()) {
+      rows.push_back(MeasureBlockEncode<T>("avx2", kernels::Avx2Ops<T>(), work,
+                                           kBs, reps, rel_eb));
+    }
+    rows.push_back(MeasureBaseline<T>(work, kBs, reps, rel_eb));
+
+    // Encode once (scalar; both kernels are byte-identical) to set up the
+    // decode measurements.
+    std::vector<std::byte> payloads;
+    std::vector<std::byte> dst(kernels::EncodeCapacity<T>(kBs));
+    for (auto& w : work) {
+      const std::size_t sz = kernels::ScalarOps<T>().encode_c(
+          w.values.data(), w.values.size(), w.mu, w.plan, dst.data());
+      w.payload_offset = payloads.size();
+      w.payload_size = sz;
+      payloads.insert(payloads.end(), dst.begin(),
+                      dst.begin() + static_cast<std::ptrdiff_t>(sz));
+    }
+    rows.push_back(MeasureBlockDecode<T>("scalar", kernels::ScalarOps<T>(),
+                                         work, payloads, kBs, reps, rel_eb));
+    if (kernels::Avx2Supported()) {
+      rows.push_back(MeasureBlockDecode<T>("avx2", kernels::Avx2Ops<T>(), work,
+                                           payloads, kBs, reps, rel_eb));
+    }
+    MeasureFullPath<T>(rows, v, rel_eb, reps);
+  }
+}
+
+int RunBenchJson(const std::string& path, bool smoke) {
+  using szx::bench::JsonWriter;
+  const double scale = smoke ? 0.02 : szx::bench::BenchScale();
+  const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 7);
+  const data::Field field = data::GenerateField(data::App::kCesm, "CLDHGH",
+                                                scale);
+  const std::vector<float>& vf = field.values;
+  std::vector<double> vd(vf.begin(), vf.end());
+
+  std::vector<GridRow> rows;
+  RunGridForType<float>(rows, vf, reps);
+  RunGridForType<double>(rows, vd, reps);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "szx-bench-codec-v1");
+  w.Field("smoke", smoke);
+  w.Field("active_kernel", kernels::KindName(kernels::ActiveKind()));
+  w.Field("avx2_supported", kernels::Avx2Supported());
+  w.Field("reps", reps);
+  w.BeginObject("field");
+  w.Field("app", "CESM-ATM");
+  w.Field("name", field.name);
+  w.Field("elements", vf.size());
+  w.Field("scale", scale);
+  w.EndObject();
+  w.BeginArray("results");
+  for (const auto& r : rows) {
+    w.BeginObject();
+    w.Field("bench", r.bench);
+    w.Field("kernel", r.kernel);
+    w.Field("dtype", r.dtype);
+    w.Field("rel_eb", r.rel_eb);
+    w.Field("bytes", r.bytes);
+    w.Field("mean_s", r.timing.mean_s);
+    w.Field("min_s", r.timing.min_s);
+    w.Field("max_s", r.timing.max_s);
+    w.Field("gbps", r.Gbps());
+    w.EndObject();
+  }
+  w.EndArray();
+  // Speedup of each vectorized block encode over the byte-wise reference at
+  // the same dtype/bound -- the number the 1.5x acceptance bar reads.
+  w.BeginArray("encode_speedup_vs_bytewise");
+  for (const auto& r : rows) {
+    if (r.bench != "block_encode") continue;
+    for (const auto& b : rows) {
+      if (b.bench == "baseline_bytewise_encode" && b.dtype == r.dtype &&
+          b.rel_eb == r.rel_eb) {
+        w.BeginObject();
+        w.Field("kernel", r.kernel);
+        w.Field("dtype", r.dtype);
+        w.Field("rel_eb", r.rel_eb);
+        w.Field("speedup", r.Gbps() / b.Gbps());
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (!szx::bench::ValidateJson(w.Str())) {
+    std::fprintf(stderr, "micro_codec: generated JSON failed validation\n");
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "micro_codec: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << w.Str() << '\n';
+  out.close();
+  std::printf("wrote %s (%zu results, reps=%d, %zu elements)\n", path.c_str(),
+              rows.size(), reps, vf.size());
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
+      json_path = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    return RunBenchJson(json_path, smoke);
+  }
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_codec.json, the machine-readable perf-regression record
+# (docs/performance.md): GB/s for each kernel implementation x dtype x error
+# bound on a CESM-like field, plus the byte-wise pre-vectorization encode
+# loop as the fixed reference the speedup figures compare against.
+#
+# Usage:
+#   scripts/bench.sh            full grid -> BENCH_codec.json at the repo root
+#   scripts/bench.sh --smoke    tiny field, JSON contract only (what CI runs)
+#
+# Knobs: SZX_BENCH_SCALE (field size), SZX_BENCH_REPS (timed repetitions;
+# the harness floors this at 7 and trims the fastest/slowest quintile), and
+# SZX_KERNEL=scalar|avx2 to force the full-path rows onto one implementation.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="BENCH_codec.json"
+[[ "${1:-}" == "--smoke" ]] && out="BENCH_codec_smoke.json"
+
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target micro_codec
+./build/bench/micro_codec --bench_json="${out}" "$@"
+echo "bench.sh: wrote ${out}"

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full local verification battery (docs/static-analysis.md):
 #   1. release build with warnings-as-errors, then tier1 + conformance +
-#      fuzz-smoke + lint
+#      fuzz-smoke + bench-smoke + lint
 #   2. asan-ubsan build, then every tier under ASan/UBSan
 #   3. tsan build, then the OMP/cusim suites under ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
@@ -12,12 +12,13 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/lint ==="
+echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/bench-smoke/lint ==="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --preset tier1
 ctest --preset conformance
 ctest --preset fuzz-smoke
+ctest --preset bench-smoke
 ctest --preset lint
 
 if [[ "$fast" == "1" ]]; then
@@ -33,7 +34,7 @@ ctest --preset asan-all
 echo "=== tsan build + OMP/cusim suites under ThreadSanitizer ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-  --target test_omp_codec test_cusim test_kernel_harness
+  --target test_omp_codec test_cusim test_kernel_harness test_kernels
 ctest --preset tsan-omp
 
 echo "check.sh: all stages passed"

@@ -167,4 +167,42 @@ inline typename FloatTraits<T>::Bits PlaceTopByte(std::uint8_t byte, int idx) {
   return static_cast<Bits>(Bits{byte} << (kTotal - 8 * (idx + 1)));
 }
 
+// ---------------------------------------------------------------------------
+// Word-wide memory primitives for the kernel layer (src/core/kernels/).
+//
+// The Solution-C commit writes/reads the top `nb - copy` bytes of a word in
+// MSB-first stream order.  On a little-endian target, storing
+// `ByteSwapBits(t) >> (8 * copy)` with one unaligned word store emits exactly
+// those bytes at the cursor -- the overshoot (the word's remaining low bytes)
+// is overwritten by the next element's store, so buffers only need
+// `sizeof(Bits)` slack past the live payload.  These helpers are the audited
+// repunning point; everything above them works in value space.
+
+/// Unaligned load of a trivially copyable value (alias-safe via memcpy;
+/// compiles to one mov for word-sized types).
+template <typename Bits>
+inline Bits LoadWord(const std::byte* p) {
+  static_assert(std::is_trivially_copyable_v<Bits>);
+  Bits w;
+  __builtin_memcpy(&w, p, sizeof(Bits));
+  return w;
+}
+
+/// Unaligned store of a trivially copyable value (alias-safe via memcpy;
+/// compiles to one mov for word-sized types).
+template <typename Bits>
+inline void StoreWord(std::byte* p, Bits w) {
+  static_assert(std::is_trivially_copyable_v<Bits>);
+  __builtin_memcpy(p, &w, sizeof(Bits));
+}
+
+/// Reverses the byte order of a word, mapping MSB-first stream order to the
+/// little-endian memory order used by LoadWord/StoreWord.
+inline std::uint32_t ByteSwapBits(std::uint32_t w) {
+  return __builtin_bswap32(w);
+}
+inline std::uint64_t ByteSwapBits(std::uint64_t w) {
+  return __builtin_bswap64(w);
+}
+
 }  // namespace szx

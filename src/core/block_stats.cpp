@@ -48,6 +48,38 @@ BlockStats<T> Finalize(T vmin, T vmax, bool all_finite) {
   return s;
 }
 
+// Non-finite fallback for the SIMD paths: min/max are recomputed with plain
+// comparisons (the vector min/max lanes are unreliable once a NaN passed
+// through), but finiteness is already known to be false, so the per-element
+// isfinite of the full scalar pass is skipped.
+template <SupportedFloat T>
+BlockStats<T> RescanMinMaxNonFinite(std::span<const T> block) {
+  T vmin = block[0];
+  T vmax = block[0];
+  for (std::size_t i = 1; i < block.size(); ++i) {
+    const T v = block[i];
+    if (v < vmin) vmin = v;
+    if (v > vmax) vmax = v;
+  }
+  return Finalize(vmin, vmax, false);
+}
+
+template <SupportedFloat T>
+GlobalRange<T> ComputeGlobalRangeScalar(std::span<const T> data) {
+  GlobalRange<T> r;
+  for (const T v : data) {
+    if (!std::isfinite(v)) continue;
+    if (!r.any_finite) {
+      r.min = r.max = v;
+      r.any_finite = true;
+    } else {
+      if (v < r.min) r.min = v;
+      if (v > r.max) r.max = v;
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
 template <SupportedFloat T>
@@ -73,6 +105,7 @@ BlockStats<float> ComputeBlockStatsSimd<float>(std::span<const float> block) {
   const std::size_t n = block.size();
   if (n < 16) return ComputeBlockStatsScalar(block);
   const float* p = block.data();
+  // szx-lint: allow(simd-mem) -- unaligned read of lanes 0..7; guarded by the n >= 16 early-out above
   __m256 vmin = _mm256_loadu_ps(p);
   __m256 vmax = vmin;
   // abs(v) < inf  <=>  finite (NaN compares false); accumulate with AND.
@@ -81,6 +114,7 @@ BlockStats<float> ComputeBlockStatsSimd<float>(std::span<const float> block) {
   __m256 finite = _mm256_cmp_ps(_mm256_and_ps(vmin, kAbsMask), kInf, _CMP_LT_OQ);
   std::size_t i = 8;
   for (; i + 8 <= n; i += 8) {
+    // szx-lint: allow(simd-mem) -- unaligned read inside the block span; the loop bound keeps i+8 <= n
     const __m256 v = _mm256_loadu_ps(p + i);
     vmin = _mm256_min_ps(vmin, v);
     vmax = _mm256_max_ps(vmax, v);
@@ -88,7 +122,9 @@ BlockStats<float> ComputeBlockStatsSimd<float>(std::span<const float> block) {
         finite, _mm256_cmp_ps(_mm256_and_ps(v, kAbsMask), kInf, _CMP_LT_OQ));
   }
   alignas(32) float mins[8], maxs[8];
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
   _mm256_store_ps(mins, vmin);
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
   _mm256_store_ps(maxs, vmax);
   bool all_finite = _mm256_movemask_ps(finite) == 0xff;
   float smin = mins[0], smax = maxs[0];
@@ -105,8 +141,8 @@ BlockStats<float> ComputeBlockStatsSimd<float>(std::span<const float> block) {
     all_finite &= std::isfinite(v) != 0;
   }
   if (!all_finite) {
-    // Slow path: recompute min/max ignoring comparison quirks.
-    return ComputeBlockStatsScalar(block);
+    // Slow path: min/max-only rescan; finiteness is already decided.
+    return RescanMinMaxNonFinite(block);
   }
   return Finalize(smin, smax, true);
 }
@@ -117,6 +153,7 @@ BlockStats<double> ComputeBlockStatsSimd<double>(
   const std::size_t n = block.size();
   if (n < 8) return ComputeBlockStatsScalar(block);
   const double* p = block.data();
+  // szx-lint: allow(simd-mem) -- unaligned read of lanes 0..3; guarded by the n >= 8 early-out above
   __m256d vmin = _mm256_loadu_pd(p);
   __m256d vmax = vmin;
   const __m256d kAbsMask =
@@ -126,6 +163,7 @@ BlockStats<double> ComputeBlockStatsSimd<double>(
       _mm256_cmp_pd(_mm256_and_pd(vmin, kAbsMask), kInf, _CMP_LT_OQ);
   std::size_t i = 4;
   for (; i + 4 <= n; i += 4) {
+    // szx-lint: allow(simd-mem) -- unaligned read inside the block span; the loop bound keeps i+4 <= n
     const __m256d v = _mm256_loadu_pd(p + i);
     vmin = _mm256_min_pd(vmin, v);
     vmax = _mm256_max_pd(vmax, v);
@@ -133,7 +171,9 @@ BlockStats<double> ComputeBlockStatsSimd<double>(
         finite, _mm256_cmp_pd(_mm256_and_pd(v, kAbsMask), kInf, _CMP_LT_OQ));
   }
   alignas(32) double mins[4], maxs[4];
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
   _mm256_store_pd(mins, vmin);
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
   _mm256_store_pd(maxs, vmax);
   bool all_finite = _mm256_movemask_pd(finite) == 0xf;
   double smin = mins[0], smax = maxs[0];
@@ -148,7 +188,7 @@ BlockStats<double> ComputeBlockStatsSimd<double>(
     all_finite &= std::isfinite(v) != 0;
   }
   if (!all_finite) {
-    return ComputeBlockStatsScalar(block);
+    return RescanMinMaxNonFinite(block);
   }
   return Finalize(smin, smax, true);
 }
@@ -167,28 +207,128 @@ template BlockStats<double> ComputeBlockStatsSimd<double>(
 
 #endif  // SZX_HAVE_AVX2
 
-template <SupportedFloat T>
-GlobalRange<T> ComputeGlobalRange(std::span<const T> data) {
-  GlobalRange<T> r;
-  for (const T v : data) {
+#if defined(SZX_HAVE_AVX2)
+
+// Vectorized whole-dataset range with the same NaN/Inf-skipping semantics as
+// the scalar loop: non-finite lanes are blended to the accumulators'
+// identities (+inf for min, -inf for max) so they never influence the
+// result, and any_finite is the OR of the per-lane finite masks.
+template <>
+GlobalRange<float> ComputeGlobalRange<float>(std::span<const float> data) {
+  const std::size_t n = data.size();
+  const float* p = data.data();
+  const __m256 kAbsMask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fffffff));
+  const __m256 kInf = _mm256_set1_ps(std::numeric_limits<float>::infinity());
+  const __m256 kNegInf =
+      _mm256_set1_ps(-std::numeric_limits<float>::infinity());
+  __m256 vmin = kInf;
+  __m256 vmax = kNegInf;
+  __m256 any = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // szx-lint: allow(simd-mem) -- unaligned read inside the caller's span; the loop bound keeps i+8 <= n
+    const __m256 v = _mm256_loadu_ps(p + i);
+    const __m256 fin =
+        _mm256_cmp_ps(_mm256_and_ps(v, kAbsMask), kInf, _CMP_LT_OQ);
+    any = _mm256_or_ps(any, fin);
+    vmin = _mm256_min_ps(vmin, _mm256_blendv_ps(kInf, v, fin));
+    vmax = _mm256_max_ps(vmax, _mm256_blendv_ps(kNegInf, v, fin));
+  }
+  alignas(32) float mins[8], maxs[8];
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
+  _mm256_store_ps(mins, vmin);
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
+  _mm256_store_ps(maxs, vmax);
+  bool any_finite = _mm256_movemask_ps(any) != 0;
+  float smin = std::numeric_limits<float>::infinity();
+  float smax = -std::numeric_limits<float>::infinity();
+  for (int k = 0; k < 8; ++k) {
+    if (mins[k] < smin) smin = mins[k];
+    if (maxs[k] > smax) smax = maxs[k];
+  }
+  for (; i < n; ++i) {
+    const float v = p[i];
     if (!std::isfinite(v)) continue;
-    if (!r.any_finite) {
-      r.min = r.max = v;
-      r.any_finite = true;
-    } else {
-      if (v < r.min) r.min = v;
-      if (v > r.max) r.max = v;
-    }
+    any_finite = true;
+    if (v < smin) smin = v;
+    if (v > smax) smax = v;
+  }
+  GlobalRange<float> r;
+  if (any_finite) {
+    r.any_finite = true;
+    r.min = smin;
+    r.max = smax;
   }
   return r;
 }
 
+template <>
+GlobalRange<double> ComputeGlobalRange<double>(std::span<const double> data) {
+  const std::size_t n = data.size();
+  const double* p = data.data();
+  const __m256d kAbsMask =
+      _mm256_castsi256_pd(_mm256_set1_epi64x(0x7fffffffffffffffLL));
+  const __m256d kInf =
+      _mm256_set1_pd(std::numeric_limits<double>::infinity());
+  const __m256d kNegInf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  __m256d vmin = kInf;
+  __m256d vmax = kNegInf;
+  __m256d any = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // szx-lint: allow(simd-mem) -- unaligned read inside the caller's span; the loop bound keeps i+4 <= n
+    const __m256d v = _mm256_loadu_pd(p + i);
+    const __m256d fin =
+        _mm256_cmp_pd(_mm256_and_pd(v, kAbsMask), kInf, _CMP_LT_OQ);
+    any = _mm256_or_pd(any, fin);
+    vmin = _mm256_min_pd(vmin, _mm256_blendv_pd(kInf, v, fin));
+    vmax = _mm256_max_pd(vmax, _mm256_blendv_pd(kNegInf, v, fin));
+  }
+  alignas(32) double mins[4], maxs[4];
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
+  _mm256_store_pd(mins, vmin);
+  // szx-lint: allow(simd-mem) -- lane spill to the aligned stack arrays declared above
+  _mm256_store_pd(maxs, vmax);
+  bool any_finite = _mm256_movemask_pd(any) != 0;
+  double smin = std::numeric_limits<double>::infinity();
+  double smax = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k < 4; ++k) {
+    if (mins[k] < smin) smin = mins[k];
+    if (maxs[k] > smax) smax = maxs[k];
+  }
+  for (; i < n; ++i) {
+    const double v = p[i];
+    if (!std::isfinite(v)) continue;
+    any_finite = true;
+    if (v < smin) smin = v;
+    if (v > smax) smax = v;
+  }
+  GlobalRange<double> r;
+  if (any_finite) {
+    r.any_finite = true;
+    r.min = smin;
+    r.max = smax;
+  }
+  return r;
+}
+
+#else  // !SZX_HAVE_AVX2
+
+template <SupportedFloat T>
+GlobalRange<T> ComputeGlobalRange(std::span<const T> data) {
+  return ComputeGlobalRangeScalar(data);
+}
+
+template GlobalRange<float> ComputeGlobalRange<float>(std::span<const float>);
+template GlobalRange<double> ComputeGlobalRange<double>(
+    std::span<const double>);
+
+#endif  // SZX_HAVE_AVX2
+
 template BlockStats<float> ComputeBlockStatsScalar<float>(
     std::span<const float>);
 template BlockStats<double> ComputeBlockStatsScalar<double>(
-    std::span<const double>);
-template GlobalRange<float> ComputeGlobalRange<float>(std::span<const float>);
-template GlobalRange<double> ComputeGlobalRange<double>(
     std::span<const double>);
 
 }  // namespace szx

@@ -1,10 +1,12 @@
 #include "core/compressor.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/kernels/kernels.hpp"
 
 namespace szx {
 
@@ -38,20 +40,6 @@ double ResolveAbsoluteBound(std::span<const T> data, const Params& params) {
 namespace {
 
 template <SupportedFloat T>
-std::size_t EncodeBlockDispatch(CommitSolution sol, std::span<const T> block,
-                                T mu, const ReqPlan& plan, ByteBuffer& out) {
-  switch (sol) {
-    case CommitSolution::kA:
-      return EncodeBlockA(block, mu, plan, out);
-    case CommitSolution::kB:
-      return EncodeBlockB(block, mu, plan, out);
-    case CommitSolution::kC:
-      return EncodeBlockC(block, mu, plan, out);
-  }
-  throw Error("szx: unknown commit solution");
-}
-
-template <SupportedFloat T>
 void DecodeBlockDispatch(CommitSolution sol, ByteSpan payload, T mu,
                          const ReqPlan& plan, std::span<T> out) {
   switch (sol) {
@@ -65,33 +53,13 @@ void DecodeBlockDispatch(CommitSolution sol, ByteSpan payload, T mu,
   throw Error("szx: unknown commit solution");
 }
 
-template <SupportedFloat T>
-ByteBuffer RawPassthrough(std::span<const T> data, const Params& params,
-                          double abs_bound) {
-  Header h;
-  h.dtype = static_cast<std::uint8_t>(FloatTraits<T>::kTag);
-  h.eb_mode = static_cast<std::uint8_t>(params.mode);
-  h.solution = static_cast<std::uint8_t>(params.solution);
-  h.flags = kFlagRawPassthrough;
-  h.block_size = params.block_size;
-  h.error_bound_user = params.error_bound;
-  h.error_bound_abs = abs_bound;
-  h.num_elements = data.size();
-  h.num_blocks = (data.size() + params.block_size - 1) / params.block_size;
-  ByteBuffer out;
-  out.reserve(sizeof(Header) + data.size_bytes());
-  ByteWriter w(out);
-  w.Write(h);
-  w.WriteBytes(data.data(), data.size_bytes());
-  return out;
-}
-
 }  // namespace
 
 template <SupportedFloat T>
-ByteBuffer Compress(std::span<const T> data, const Params& params,
-                    CompressionStats* stats) {
+ByteSpan CompressInto(std::span<const T> data, const Params& params,
+                      ScratchArena& arena, CompressionStats* stats) {
   params.Validate();
+  arena.Reset();  // invalidates anything the caller kept from the last call
   const double abs_bound = ResolveAbsoluteBound(data, params);
   const std::uint64_t n = data.size();
   const std::uint32_t bs = params.block_size;
@@ -100,22 +68,28 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
                           ? kLosslessEbExpo
                           : BoundExponent(abs_bound);
 
-  // Section accumulators.
-  ByteBuffer type_bits((num_blocks + 7) / 8, std::byte{0});
-  ByteBuffer const_mu;
-  ByteBuffer ncb_req;
-  ByteBuffer ncb_mu;
-  ByteBuffer ncb_zsize;
-  ByteBuffer payload;
-  // szx-lint: allow(unchecked-alloc) -- encoder side: num_blocks derives from the caller's in-memory data size, not a parsed stream
-  const_mu.reserve(num_blocks * sizeof(T) / 2);
-  payload.reserve(data.size_bytes() / 4);
+  // Section scratch, sized to the block plan's exact worst case (every
+  // block non-constant, every payload at its cap) instead of the old
+  // guess-heuristics, so no section ever reallocates mid-compression.
+  const std::size_t nb = static_cast<std::size_t>(num_blocks);
+  const std::span<std::byte> type_bits =
+      arena.AllocateSpan<std::byte>((nb + 7) / 8);
+  std::fill(type_bits.begin(), type_bits.end(), std::byte{0});
+  const std::span<std::byte> const_mu =
+      arena.AllocateSpan<std::byte>(nb * sizeof(T));
+  const std::span<std::byte> ncb_req = arena.AllocateSpan<std::byte>(nb);
+  const std::span<std::byte> ncb_mu =
+      arena.AllocateSpan<std::byte>(nb * sizeof(T));
+  const std::span<std::byte> ncb_zsize = arena.AllocateSpan<std::byte>(nb * 2);
+  const std::span<std::byte> payload = arena.AllocateSpan<std::byte>(
+      kernels::FramePayloadCapacity(num_blocks, bs, data.size_bytes()));
 
+  using Bits = typename FloatTraits<T>::Bits;
   std::uint64_t num_constant = 0;
   std::uint64_t num_lossless = 0;
-  ByteWriter const_mu_w(const_mu);
-  ByteWriter ncb_mu_w(ncb_mu);
-  ByteWriter zsize_w(ncb_zsize);
+  std::size_t const_mu_n = 0;  // live bytes in const_mu
+  std::size_t ncb_n = 0;       // non-constant blocks emitted
+  std::size_t payload_n = 0;   // live bytes in payload
 
   for (std::uint64_t k = 0; k < num_blocks; ++k) {
     const std::uint64_t begin = k * bs;
@@ -128,16 +102,26 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
     if (d.is_constant) {
       // Constant block: mu represents every value within the bound.
       ++num_constant;
-      const_mu_w.Write(d.mu);
+      // szx-lint: allow(ptr-arith) -- cursor into the const_mu span allocated at num_blocks*sizeof(T) above; advances sizeof(T) per constant block
+      StoreWord<Bits>(const_mu.data() + const_mu_n, std::bit_cast<Bits>(d.mu));
+      const_mu_n += sizeof(T);
       continue;
     }
     SetNonConstant(type_bits.data(), k);
     if (d.is_lossless) ++num_lossless;
-    ncb_req.push_back(std::byte{d.plan.req_length});
-    ncb_mu_w.Write(d.mu);
+    ncb_req[ncb_n] = std::byte{d.plan.req_length};
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_mu span allocated at num_blocks*sizeof(T) above; ncb_n < num_blocks
+    StoreWord<Bits>(ncb_mu.data() + ncb_n * sizeof(T),
+                    std::bit_cast<Bits>(d.mu));
+    // szx-lint: allow(ptr-arith) -- cursor into the payload span allocated at FramePayloadCapacity above; zsize stays within each block's share
+    std::byte* const block_dst = payload.data() + payload_n;
     const std::size_t zsize =
-        EncodeBlockDispatch(params.solution, block, d.mu, d.plan, payload);
-    zsize_w.Write(CheckedNarrow<std::uint16_t>(zsize));
+        EncodeBlockInto(params.solution, block, d.mu, d.plan, block_dst);
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_zsize span allocated at num_blocks*2 above; ncb_n < num_blocks
+    StoreWord<std::uint16_t>(ncb_zsize.data() + ncb_n * 2,
+                             CheckedNarrow<std::uint16_t>(zsize));
+    payload_n += zsize;
+    ++ncb_n;
   }
 
   Header h;
@@ -150,25 +134,35 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
   h.num_elements = n;
   h.num_blocks = num_blocks;
   h.num_constant = num_constant;
-  h.payload_bytes = payload.size();
+  h.payload_bytes = payload_n;
 
-  const std::size_t total = sizeof(Header) + type_bits.size() +
-                            const_mu.size() + ncb_req.size() + ncb_mu.size() +
-                            ncb_zsize.size() + payload.size();
+  const std::size_t total = sizeof(Header) + type_bits.size() + const_mu_n +
+                            ncb_n + ncb_n * sizeof(T) + ncb_n * 2 + payload_n;
 
-  ByteBuffer out;
+  std::span<std::byte> out;
   if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
-    out = RawPassthrough(data, params, abs_bound);
+    // Raw passthrough: the encoded frame would not beat the input.
+    Header raw = h;
+    raw.flags = kFlagRawPassthrough;
+    raw.num_constant = 0;
+    raw.payload_bytes = 0;
+    out = arena.AllocateSpan<std::byte>(sizeof(Header) + data.size_bytes());
+    StoreWord<Header>(out.data(), raw);
+    // szx-lint: allow(reinterpret-cast) -- viewing the caller's float array as bytes for the passthrough copy, the inverse of ByteCursor::ReadSpan
+    const std::byte* src = reinterpret_cast<const std::byte*>(data.data());
+    // szx-lint: allow(ptr-arith) -- body cursor of the passthrough frame allocated at sizeof(Header)+data bytes two lines up
+    std::copy_n(src, data.size_bytes(), out.data() + sizeof(Header));
   } else {
-    out.reserve(total);
-    ByteWriter w(out);
-    w.Write(h);
-    out.insert(out.end(), type_bits.begin(), type_bits.end());
-    out.insert(out.end(), const_mu.begin(), const_mu.end());
-    out.insert(out.end(), ncb_req.begin(), ncb_req.end());
-    out.insert(out.end(), ncb_mu.begin(), ncb_mu.end());
-    out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.end());
-    out.insert(out.end(), payload.begin(), payload.end());
+    out = arena.AllocateSpan<std::byte>(total);
+    std::byte* at = out.data();
+    StoreWord<Header>(at, h);
+    at += sizeof(Header);
+    at = std::copy_n(type_bits.data(), type_bits.size(), at);
+    at = std::copy_n(const_mu.data(), const_mu_n, at);
+    at = std::copy_n(ncb_req.data(), ncb_n, at);
+    at = std::copy_n(ncb_mu.data(), ncb_n * sizeof(T), at);
+    at = std::copy_n(ncb_zsize.data(), ncb_n * 2, at);
+    std::copy_n(payload.data(), payload_n, at);
   }
 
   if (stats != nullptr) {
@@ -176,11 +170,21 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
     stats->num_blocks = num_blocks;
     stats->num_constant_blocks = num_constant;
     stats->num_lossless_blocks = num_lossless;
-    stats->payload_bytes = payload.size();
+    stats->payload_bytes = payload_n;
     stats->compressed_bytes = out.size();
     stats->absolute_bound = abs_bound;
   }
   return out;
+}
+
+template <SupportedFloat T>
+ByteBuffer Compress(std::span<const T> data, const Params& params,
+                    CompressionStats* stats) {
+  // Per-thread scratch private to this entry point, so callers that manage
+  // their own arenas can never be invalidated by a convenience-API call.
+  thread_local ScratchArena arena;
+  const ByteSpan frame = CompressInto(data, params, arena, stats);
+  return ByteBuffer(frame.begin(), frame.end());
 }
 
 Header PeekHeader(ByteSpan stream) { return ParseHeader(stream); }
@@ -256,6 +260,10 @@ template ByteBuffer Compress<float>(std::span<const float>, const Params&,
                                     CompressionStats*);
 template ByteBuffer Compress<double>(std::span<const double>, const Params&,
                                      CompressionStats*);
+template ByteSpan CompressInto<float>(std::span<const float>, const Params&,
+                                      ScratchArena&, CompressionStats*);
+template ByteSpan CompressInto<double>(std::span<const double>, const Params&,
+                                       ScratchArena&, CompressionStats*);
 template std::vector<float> Decompress<float>(ByteSpan);
 template std::vector<double> Decompress<double>(ByteSpan);
 template void DecompressInto<float>(ByteSpan, std::span<float>);

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "core/arena.hpp"
 #include "core/bitops.hpp"
 #include "core/common.hpp"
 #include "core/format.hpp"
@@ -23,6 +24,19 @@ namespace szx {
 template <SupportedFloat T>
 ByteBuffer Compress(std::span<const T> data, const Params& params,
                     CompressionStats* stats = nullptr);
+
+/// Re-entrant variant: compresses into scratch owned by the caller and
+/// returns a view of the finished stream.
+///
+/// The arena is reset at entry, so the returned span (and anything else
+/// allocated from `arena`) is valid only until the next CompressInto call
+/// (or Reset) on the same arena -- copy it out if it must outlive that.
+/// After a warm-up call or two the arena reaches its high-water size and
+/// steady-state calls perform zero heap allocations (docs/performance.md).
+/// One arena must not be shared between threads.
+template <SupportedFloat T>
+ByteSpan CompressInto(std::span<const T> data, const Params& params,
+                      ScratchArena& arena, CompressionStats* stats = nullptr);
 
 /// Decompresses a stream produced by Compress<T>.  Throws szx::Error if the
 /// stream is truncated, corrupt, or of a different element type.

@@ -1,7 +1,9 @@
 #include "core/encode.hpp"
 
+#include <algorithm>
 #include <bit>
 
+#include "core/kernels/kernels.hpp"
 #include "core/stream.hpp"
 
 namespace szx {
@@ -37,46 +39,23 @@ inline T Denormalized(typename FloatTraits<T>::Bits bits, T mu) {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Solution C: right shift to byte alignment, memcpy-style byte commits.
+// Solution C: right shift to byte alignment, word-wide byte commits.  These
+// wrappers keep the historical append-to-ByteBuffer signature; the hot loops
+// now live in src/core/kernels/ (runtime-dispatched scalar/AVX2).
 // ---------------------------------------------------------------------------
 
 template <SupportedFloat T>
 std::size_t EncodeBlockC(std::span<const T> block, T mu, const ReqPlan& plan,
                          ByteBuffer& out) {
-  using Bits = typename FloatTraits<T>::Bits;
   const std::size_t n = block.size();
-  const int nb = plan.num_bytes;
-  const int s = plan.shift;
-  const Bits keep = KeepMask<T>(nb);
-
   const std::size_t start = out.size();
-  const std::size_t lead_bytes = LeadArrayBytes(n);
-  // Reserve the worst case once so the hot loop writes through raw
-  // pointers (no per-byte growth checks), then trim to the actual size.
-  out.resize(start + lead_bytes + n * nb, std::byte{0});
-  // szx-lint: allow(ptr-arith) -- encoder-owned output buffer sized above; the hot commit loop writes through raw pointers by design
-  std::byte* lead_dst = out.data() + start;
-  std::byte* mid = lead_dst + lead_bytes;
-
-  Bits prev = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const Bits t = static_cast<Bits>((NormalizedBits(block[i], mu) >> s) & keep);
-    const Bits x = t ^ prev;
-    int lead;
-    if (x == 0) {
-      lead = 3;
-    } else {
-      lead = std::countl_zero(x) >> 3;
-      if (lead > 3) lead = 3;
-    }
-    const int copy = lead < nb ? lead : nb;
-    PutLeadCode(lead_dst, i, static_cast<unsigned>(lead));
-    for (int j = copy; j < nb; ++j) {
-      *mid++ = std::byte{TopByte<T>(t, j)};
-    }
-    prev = t;
-  }
-  const std::size_t total = static_cast<std::size_t>(mid - lead_dst);
+  // Size to the kernel's capacity contract (worst case + word-store slack)
+  // once, then trim to the live payload.
+  out.resize(start + kernels::EncodeCapacity<T>(n), std::byte{0});
+  // szx-lint: allow(ptr-arith) -- encoder-owned output buffer sized to EncodeCapacity above; the kernel writes through raw pointers by design
+  std::byte* const dst = out.data() + start;
+  const std::size_t total =
+      kernels::ActiveOps<T>().encode_c(block.data(), n, mu, plan, dst);
   out.resize(start + total);
   return total;
 }
@@ -84,32 +63,35 @@ std::size_t EncodeBlockC(std::span<const T> block, T mu, const ReqPlan& plan,
 template <SupportedFloat T>
 void DecodeBlockC(ByteSpan payload, T mu, const ReqPlan& plan,
                   std::span<T> out) {
-  using Bits = typename FloatTraits<T>::Bits;
-  const std::size_t n = out.size();
-  const int nb = plan.num_bytes;
-  const int s = plan.shift;
-  const std::size_t lead_bytes = LeadArrayBytes(n);
-  if (payload.size() < lead_bytes) {
-    throw Error("szx: truncated block payload (lead array)");
-  }
-  const std::byte* lead = payload.data();
-  ByteCursor mid(payload.subspan(lead_bytes));
+  kernels::ActiveOps<T>().decode_c(payload.data(), payload.size(), mu, plan,
+                                   out.data(), out.size());
+}
 
-  Bits prev = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    const unsigned code = GetLeadCode(lead, i);
-    const int copy = static_cast<int>(code) < nb ? static_cast<int>(code) : nb;
-    Bits t = static_cast<Bits>(prev & KeepMask<T>(copy));
-    const ByteSpan mid_bytes = mid.Slice(static_cast<std::size_t>(nb - copy));
-    for (int j = copy; j < nb; ++j) {
-      t |= PlaceTopByte<T>(
-          std::to_integer<std::uint8_t>(mid_bytes[static_cast<std::size_t>(
-              j - copy)]),
-          j);
-    }
-    out[i] = Denormalized<T>(static_cast<Bits>(t << s), mu);
-    prev = t;
+template <SupportedFloat T>
+std::size_t EncodeBlockInto(CommitSolution sol, std::span<const T> block,
+                            T mu, const ReqPlan& plan, std::byte* dst) {
+  if (sol == CommitSolution::kC) {
+    return kernels::ActiveOps<T>().encode_c(block.data(), block.size(), mu,
+                                            plan, dst);
   }
+  // Solutions A/B keep their ByteBuffer encoders and copy out of a reused
+  // per-thread scratch, so the frame encoders above them stay allocation-free
+  // on the default (Solution C) path.
+  thread_local ByteBuffer scratch;
+  scratch.clear();
+  std::size_t zsize;
+  switch (sol) {
+    case CommitSolution::kA:
+      zsize = EncodeBlockA(block, mu, plan, scratch);
+      break;
+    case CommitSolution::kB:
+      zsize = EncodeBlockB(block, mu, plan, scratch);
+      break;
+    default:
+      throw Error("szx: unknown commit solution");
+  }
+  std::copy(scratch.begin(), scratch.end(), dst);
+  return zsize;
 }
 
 // ---------------------------------------------------------------------------
@@ -329,6 +311,9 @@ ShiftOverheadBits CharacterizeShiftOverhead(std::span<const T> block, T mu,
                                        const ReqPlan&, ByteBuffer&);      \
   template void DecodeBlockC<T>(ByteSpan, T, const ReqPlan&,              \
                                 std::span<T>);                            \
+  template std::size_t EncodeBlockInto<T>(CommitSolution,                 \
+                                          std::span<const T>, T,          \
+                                          const ReqPlan&, std::byte*);    \
   template std::size_t EncodeBlockA<T>(std::span<const T>, T,             \
                                        const ReqPlan&, ByteBuffer&);      \
   template void DecodeBlockA<T>(ByteSpan, T, const ReqPlan&,              \

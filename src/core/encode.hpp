@@ -38,6 +38,15 @@ template <SupportedFloat T>
 void DecodeBlockC(ByteSpan payload, T mu, const ReqPlan& plan,
                   std::span<T> out);
 
+/// Encodes one non-constant block with the given commit solution directly
+/// into `dst`, which must hold kernels::EncodeCapacity<T>(block.size())
+/// bytes.  Solution C runs the active fused kernel with no intermediate
+/// buffer; Solutions A and B stage through per-thread scratch.  Returns the
+/// live payload size; bytes past it may be scribbled by word-wide commits.
+template <SupportedFloat T>
+std::size_t EncodeBlockInto(CommitSolution sol, std::span<const T> block,
+                            T mu, const ReqPlan& plan, std::byte* dst);
+
 /// Solution A: packs exactly (R - 8 * lead) bits per value into a bit stream
 /// via shift/or operations on an accumulator (the Pastri-style strategy).
 template <SupportedFloat T>

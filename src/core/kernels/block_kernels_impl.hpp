@@ -1,0 +1,161 @@
+// Shared scalar building blocks for the Solution-C block kernels.
+//
+// Internal to src/core/kernels/: the scalar table uses these loops whole,
+// and the AVX2 kernels reuse them for tail elements so both implementations
+// share one definition of the per-element arithmetic (a precondition for the
+// byte-identical-streams guarantee).
+//
+// Unlike the historical encode.cpp loops, commits are word-wide: one
+// unaligned store/load of ByteSwapBits(t) per element instead of a byte
+// loop (see bitops.hpp).  Lead codes cap `copy` at 3, so the `8 * copy`
+// shifts stay well below the word width for float and double alike.
+#pragma once
+
+#include <bit>
+
+#include "core/kernels/kernels.hpp"
+
+namespace szx::kernels::detail {
+
+// Packs a 2-bit lead code into a lead array (4 codes per byte, MSB first).
+inline void PutLead(std::byte* lead, std::size_t i, unsigned code) {
+  const int shift = 6 - 2 * static_cast<int>(i & 3);
+  lead[i >> 2] |= std::byte{static_cast<std::uint8_t>(code << shift)};
+}
+
+inline unsigned GetLead(const std::byte* lead, std::size_t i) {
+  const int shift = 6 - 2 * static_cast<int>(i & 3);
+  return (std::to_integer<unsigned>(lead[i >> 2]) >> shift) & 3u;
+}
+
+// Encodes elements [begin, end), continuing from a running previous word and
+// mid cursor.  kNormalize selects the mu != 0 path at compile time; mu == 0
+// must stay a bit-exact identity so lossless blocks (NaN/Inf) round-trip.
+template <SupportedFloat T, bool kNormalize>
+inline void EncodeCRange(const T* block, std::size_t begin, std::size_t end,
+                         T mu, int nb, int s, std::byte* lead,
+                         typename FloatTraits<T>::Bits& prev,
+                         std::byte*& mid) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const Bits keep = KeepMask<T>(nb);
+  Bits p = prev;
+  std::byte* m = mid;
+  for (std::size_t i = begin; i < end; ++i) {
+    Bits raw;
+    if constexpr (kNormalize) {
+      raw = std::bit_cast<Bits>(static_cast<T>(block[i] - mu));
+    } else {
+      raw = std::bit_cast<Bits>(block[i]);
+    }
+    const Bits t = static_cast<Bits>((raw >> s) & keep);
+    const Bits x = t ^ p;
+    int lead_cnt;
+    if (x == 0) {
+      lead_cnt = 3;
+    } else {
+      lead_cnt = std::countl_zero(x) >> 3;
+      if (lead_cnt > 3) lead_cnt = 3;
+    }
+    PutLead(lead, i, static_cast<unsigned>(lead_cnt));
+    const int copy = lead_cnt < nb ? lead_cnt : nb;
+    StoreWord<Bits>(m, static_cast<Bits>(ByteSwapBits(t) >> (8 * copy)));
+    m += nb - copy;  // szx-lint note: raw cursor, bounded by EncodeCapacity
+    p = t;
+  }
+  prev = p;
+  mid = m;
+}
+
+// Full scalar encode of one block.  Zeroes the lead array first: PutLead
+// accumulates with |=, and callers may hand the kernel recycled arena
+// memory, so a clean slate is required.
+template <SupportedFloat T>
+inline std::size_t EncodeCScalar(const T* block, std::size_t n, T mu,
+                                 const ReqPlan& plan, std::byte* dst) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  for (std::size_t i = 0; i < lead_bytes; ++i) dst[i] = std::byte{0};
+  std::byte* mid = dst + lead_bytes;
+  Bits prev = 0;
+  if (mu == T(0)) {
+    EncodeCRange<T, false>(block, 0, n, mu, plan.num_bytes, plan.shift, dst,
+                           prev, mid);
+  } else {
+    EncodeCRange<T, true>(block, 0, n, mu, plan.num_bytes, plan.shift, dst,
+                          prev, mid);
+  }
+  return static_cast<std::size_t>(mid - dst);
+}
+
+// Decodes elements [0, n).  kRawBits stores the shifted word bits without
+// de-normalizing (the AVX2 decode adds mu in a separate vector pass);
+// kNormalize is ignored when kRawBits is set.
+//
+// The fast path reads one unaligned word per element; it is taken only when
+// a whole word fits before the payload end, so it can never read past the
+// buffer, and `take <= nb <= sizeof(Bits)` means the cursor advance is in
+// bounds too.  The byte-loop fallback covers the last few elements and
+// throws on truncation exactly like the historical DecodeBlockC.
+template <SupportedFloat T, bool kNormalize, bool kRawBits>
+inline void DecodeCScalar(const std::byte* payload, std::size_t payload_size,
+                          T mu, int nb, int s, T* out, std::size_t n) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  if (payload_size < lead_bytes) {
+    throw Error("szx: truncated block payload (lead array)");
+  }
+  const std::byte* lead = payload;
+  const std::byte* mid = payload + lead_bytes;
+  const std::size_t mid_size = payload_size - lead_bytes;
+  const Bits nb_mask = KeepMask<T>(nb);
+
+  Bits prev = 0;
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned code = GetLead(lead, i);
+    const int copy = static_cast<int>(code) < nb ? static_cast<int>(code) : nb;
+    const std::size_t take = static_cast<std::size_t>(nb - copy);
+    Bits t;
+    if (pos + sizeof(Bits) <= mid_size) {
+      const Bits w = ByteSwapBits(LoadWord<Bits>(mid + pos));
+      t = static_cast<Bits>((prev & KeepMask<T>(copy)) |
+                            ((w >> (8 * copy)) & nb_mask));
+    } else {
+      if (take > mid_size - pos) {
+        throw Error("szx: truncated block payload (mid bytes)");
+      }
+      t = static_cast<Bits>(prev & KeepMask<T>(copy));
+      for (int j = copy; j < nb; ++j) {
+        t |= PlaceTopByte<T>(
+            std::to_integer<std::uint8_t>(
+                mid[pos + static_cast<std::size_t>(j - copy)]),
+            j);
+      }
+    }
+    pos += take;
+    const Bits shifted = static_cast<Bits>(t << s);
+    if constexpr (kRawBits) {
+      out[i] = std::bit_cast<T>(shifted);
+    } else if constexpr (kNormalize) {
+      out[i] = static_cast<T>(std::bit_cast<T>(shifted) + mu);
+    } else {
+      out[i] = std::bit_cast<T>(shifted);
+    }
+    prev = t;
+  }
+}
+
+template <SupportedFloat T>
+inline void DecodeCScalarDispatch(const std::byte* payload,
+                                  std::size_t payload_size, T mu,
+                                  const ReqPlan& plan, T* out, std::size_t n) {
+  if (mu == T(0)) {
+    DecodeCScalar<T, false, false>(payload, payload_size, mu, plan.num_bytes,
+                                   plan.shift, out, n);
+  } else {
+    DecodeCScalar<T, true, false>(payload, payload_size, mu, plan.num_bytes,
+                                  plan.shift, out, n);
+  }
+}
+
+}  // namespace szx::kernels::detail

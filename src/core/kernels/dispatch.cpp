@@ -1,0 +1,61 @@
+// Runtime kernel selection: cpuid-style detection once per process, with an
+// SZX_KERNEL=scalar|avx2 environment override for differential testing.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/kernels/kernels.hpp"
+
+namespace szx::kernels {
+
+const char* KindName(Kind kind) {
+  return kind == Kind::kAvx2 ? "avx2" : "scalar";
+}
+
+bool Avx2Supported() {
+#if defined(SZX_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+Kind SelectKind() {
+  const char* env = std::getenv("SZX_KERNEL");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "scalar") == 0) return Kind::kScalar;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (Avx2Supported()) return Kind::kAvx2;
+      // Fall back rather than fail so forced-kernel test invocations stay
+      // portable to machines without AVX2.
+      std::fprintf(stderr,
+                   "szx: SZX_KERNEL=avx2 requested but AVX2 is unavailable; "
+                   "using scalar kernels\n");
+      return Kind::kScalar;
+    }
+    std::fprintf(stderr,
+                 "szx: ignoring unknown SZX_KERNEL value '%s' "
+                 "(expected scalar|avx2)\n",
+                 env);
+  }
+  return Avx2Supported() ? Kind::kAvx2 : Kind::kScalar;
+}
+
+}  // namespace
+
+Kind ActiveKind() {
+  static const Kind kKind = SelectKind();
+  return kKind;
+}
+
+template <SupportedFloat T>
+const BlockOps<T>& ActiveOps() {
+  return ActiveKind() == Kind::kAvx2 ? Avx2Ops<T>() : ScalarOps<T>();
+}
+
+template const BlockOps<float>& ActiveOps<float>();
+template const BlockOps<double>& ActiveOps<double>();
+
+}  // namespace szx::kernels

@@ -1,0 +1,90 @@
+// Vectorized Solution-C block kernels with runtime CPU dispatch.
+//
+// The fused per-block hot path -- normalize (v - mu), right-shift, mask,
+// XOR-with-previous, 2-bit lead codes, and word-wide mid-byte commits -- is
+// implemented twice: a portable scalar version and an AVX2 version.  Both
+// produce byte-identical streams (tests/core/test_kernels.cpp enforces it;
+// the golden corpus is the format oracle).
+//
+// Dispatch model (docs/performance.md):
+//   - The implementation is chosen once per process, cpuid-style: AVX2 when
+//     the build enabled it (SZX_HAVE_AVX2) and the CPU reports support.
+//   - `SZX_KERNEL=scalar|avx2` overrides the choice for differential testing.
+//     Requesting avx2 on hardware without it falls back to scalar with a
+//     one-time warning, so forced-kernel test runs stay portable.
+//   - ScalarOps/Avx2Ops expose both tables directly for tests and benches
+//     that must compare implementations inside one process.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+
+#include "core/encode.hpp"
+
+namespace szx::kernels {
+
+static_assert(std::endian::native == std::endian::little,
+              "the word-wide commit kernels assume a little-endian target");
+
+/// Which implementation a BlockOps table belongs to.
+enum class Kind { kScalar = 0, kAvx2 = 1 };
+
+const char* KindName(Kind kind);
+
+/// True when the AVX2 kernels were compiled in and the CPU supports them.
+bool Avx2Supported();
+
+/// The process-wide selection (env override applied), chosen on first use.
+Kind ActiveKind();
+
+/// Word-wide commits may store up to sizeof(Bits)-1 bytes past the live
+/// payload (always overwritten by the next store or ignored at the end);
+/// encode destination buffers must include this slack.
+inline constexpr std::size_t kCommitSlack = 8;
+
+/// Required destination capacity for EncodeC on an n-element block.
+template <SupportedFloat T>
+inline constexpr std::size_t EncodeCapacity(std::size_t n) {
+  return MaxBlockPayload<T>(n) + kCommitSlack;
+}
+
+/// Worst-case payload-section capacity for a frame of `num_blocks` blocks of
+/// size `bs` covering `data_bytes` of input: every block non-constant, each
+/// contributing its lead array plus all mid bytes (bounded jointly by the
+/// input size), plus 8 bytes per block for Solution B's bit-count word, plus
+/// the word-wide commit slack.  Sized from the block plan so frame encoders
+/// never reallocate mid-compression.
+inline constexpr std::size_t FramePayloadCapacity(std::uint64_t num_blocks,
+                                                  std::uint32_t bs,
+                                                  std::size_t data_bytes) {
+  return static_cast<std::size_t>(num_blocks) * (LeadArrayBytes(bs) + 8) +
+         data_bytes + kCommitSlack;
+}
+
+/// Function table for one element type.  Pointers are never null.
+template <SupportedFloat T>
+struct BlockOps {
+  /// Fused Solution-C encode of one block into `dst` (lead array followed by
+  /// mid bytes).  `dst` must hold EncodeCapacity<T>(n) bytes; the return
+  /// value is the live payload size (<= MaxBlockPayload<T>(n)).  Bytes past
+  /// the returned size may be scribbled by the word-wide commits.
+  std::size_t (*encode_c)(const T* block, std::size_t n, T mu,
+                          const ReqPlan& plan, std::byte* dst);
+  /// Bounds-checked Solution-C decode of `payload` (lead array + mid bytes)
+  /// into `out`.  Throws szx::Error on truncation, like DecodeBlockC.
+  void (*decode_c)(const std::byte* payload, std::size_t payload_size,
+                   T mu, const ReqPlan& plan, T* out, std::size_t n);
+};
+
+template <SupportedFloat T>
+const BlockOps<T>& ScalarOps();
+
+/// The AVX2 table, or the scalar table when AVX2 is unavailable.
+template <SupportedFloat T>
+const BlockOps<T>& Avx2Ops();
+
+/// The table matching ActiveKind().
+template <SupportedFloat T>
+const BlockOps<T>& ActiveOps();
+
+}  // namespace szx::kernels

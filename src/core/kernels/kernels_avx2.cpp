@@ -1,0 +1,229 @@
+// AVX2 BlockOps tables: 8 (float) / 4 (double) lanes per iteration through
+// the fused normalize -> shift/mask -> XOR-with-previous -> lead-code
+// pipeline, then word-wide commits of the surviving mid bytes.
+//
+// The previous-element vector comes from a one-lane rotation of the current
+// truncated words (the serial dependency only enters through the final lane
+// carried across iterations), so lead codes for all lanes are computed
+// branch-free: lead = popcount-by-compare of the zero-prefix masks, which
+// reproduces `countl_zero(x) >> 3` capped at 3 exactly.
+//
+// When this translation unit is built without SZX_HAVE_AVX2, Avx2Ops simply
+// aliases ScalarOps so callers never see a null table.
+#include "core/kernels/block_kernels_impl.hpp"
+#include "core/kernels/kernels.hpp"
+
+#if defined(SZX_HAVE_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace szx::kernels {
+
+#if defined(SZX_HAVE_AVX2)
+
+namespace {
+
+template <bool kNormalize>
+std::size_t EncodeCAvx2F32(const float* block, std::size_t n, float mu,
+                           const ReqPlan& plan, std::byte* dst) {
+  using Bits = std::uint32_t;
+  const int nb = plan.num_bytes;
+  const int s = plan.shift;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  for (std::size_t k = 0; k < lead_bytes; ++k) dst[k] = std::byte{0};
+  std::byte* mid = dst + lead_bytes;
+  Bits prev = 0;
+
+  [[maybe_unused]] const __m256 mu8 = _mm256_set1_ps(mu);
+  const __m256i keep8 =
+      _mm256_set1_epi32(static_cast<int>(KeepMask<float>(nb)));
+  const __m128i scount = _mm_cvtsi32_si128(s);
+  const __m256i rot = _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i top1 = _mm256_set1_epi32(static_cast<int>(0xFF000000u));
+  const __m256i top2 = _mm256_set1_epi32(static_cast<int>(0xFFFF0000u));
+  const __m256i top3 = _mm256_set1_epi32(static_cast<int>(0xFFFFFF00u));
+  const __m256i zero = _mm256_setzero_si256();
+  alignas(32) Bits tbuf[8];
+  alignas(32) std::uint32_t lbuf[8];
+
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // szx-lint: allow(simd-mem) -- reads 8 floats at block+i; the loop bound i+8 <= n keeps the load in the caller's block
+    __m256 v = _mm256_loadu_ps(block + i);
+    if constexpr (kNormalize) v = _mm256_sub_ps(v, mu8);
+    const __m256i t = _mm256_and_si256(
+        _mm256_srl_epi32(_mm256_castps_si256(v), scount), keep8);
+    __m256i pv = _mm256_permutevar8x32_epi32(t, rot);
+    pv = _mm256_blend_epi32(
+        pv,
+        _mm256_castsi128_si256(_mm_cvtsi32_si128(static_cast<int>(prev))), 1);
+    const __m256i x = _mm256_xor_si256(t, pv);
+    const __m256i sum = _mm256_add_epi32(
+        _mm256_add_epi32(_mm256_cmpeq_epi32(_mm256_and_si256(x, top1), zero),
+                         _mm256_cmpeq_epi32(_mm256_and_si256(x, top2), zero)),
+        _mm256_cmpeq_epi32(_mm256_and_si256(x, top3), zero));
+    const __m256i lead = _mm256_sub_epi32(zero, sum);
+    // szx-lint: allow(reinterpret-cast) -- spilling vector lanes to the alignas(32) local arrays declared above
+    // szx-lint: allow(simd-mem) -- aligned stores into 8-lane local spill buffers of exactly one vector each
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tbuf), t);
+    // szx-lint: allow(reinterpret-cast) -- spilling vector lanes to the alignas(32) local arrays declared above
+    // szx-lint: allow(simd-mem) -- aligned stores into 8-lane local spill buffers of exactly one vector each
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lbuf), lead);
+    // i is a multiple of 8, so this group owns two whole lead-array bytes.
+    dst[i >> 2] = std::byte{static_cast<std::uint8_t>(
+        (lbuf[0] << 6) | (lbuf[1] << 4) | (lbuf[2] << 2) | lbuf[3])};
+    dst[(i >> 2) + 1] = std::byte{static_cast<std::uint8_t>(
+        (lbuf[4] << 6) | (lbuf[5] << 4) | (lbuf[6] << 2) | lbuf[7])};
+    for (int j = 0; j < 8; ++j) {
+      const int copy =
+          static_cast<int>(lbuf[j]) < nb ? static_cast<int>(lbuf[j]) : nb;
+      StoreWord<Bits>(mid,
+                      static_cast<Bits>(ByteSwapBits(tbuf[j]) >> (8 * copy)));
+      mid += nb - copy;
+    }
+    prev = tbuf[7];
+  }
+  detail::EncodeCRange<float, kNormalize>(block, i, n, mu, nb, s, dst, prev,
+                                          mid);
+  return static_cast<std::size_t>(mid - dst);
+}
+
+template <bool kNormalize>
+std::size_t EncodeCAvx2F64(const double* block, std::size_t n, double mu,
+                           const ReqPlan& plan, std::byte* dst) {
+  using Bits = std::uint64_t;
+  const int nb = plan.num_bytes;
+  const int s = plan.shift;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  for (std::size_t k = 0; k < lead_bytes; ++k) dst[k] = std::byte{0};
+  std::byte* mid = dst + lead_bytes;
+  Bits prev = 0;
+
+  [[maybe_unused]] const __m256d mu4 = _mm256_set1_pd(mu);
+  const __m256i keep4 =
+      _mm256_set1_epi64x(static_cast<long long>(KeepMask<double>(nb)));
+  const __m128i scount = _mm_cvtsi32_si128(s);
+  const __m256i top1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xFF00000000000000ull));
+  const __m256i top2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xFFFF000000000000ull));
+  const __m256i top3 =
+      _mm256_set1_epi64x(static_cast<long long>(0xFFFFFF0000000000ull));
+  const __m256i zero = _mm256_setzero_si256();
+  alignas(32) Bits tbuf[4];
+  alignas(32) Bits lbuf[4];
+
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // szx-lint: allow(simd-mem) -- reads 4 doubles at block+i; the loop bound i+4 <= n keeps the load in the caller's block
+    __m256d v = _mm256_loadu_pd(block + i);
+    if constexpr (kNormalize) v = _mm256_sub_pd(v, mu4);
+    const __m256i t = _mm256_and_si256(
+        _mm256_srl_epi64(_mm256_castpd_si256(v), scount), keep4);
+    __m256i pv = _mm256_permute4x64_epi64(t, _MM_SHUFFLE(2, 1, 0, 3));
+    pv = _mm256_blend_epi32(
+        pv,
+        _mm256_castsi128_si256(
+            _mm_cvtsi64_si128(static_cast<long long>(prev))),
+        0x3);
+    const __m256i x = _mm256_xor_si256(t, pv);
+    const __m256i sum = _mm256_add_epi64(
+        _mm256_add_epi64(_mm256_cmpeq_epi64(_mm256_and_si256(x, top1), zero),
+                         _mm256_cmpeq_epi64(_mm256_and_si256(x, top2), zero)),
+        _mm256_cmpeq_epi64(_mm256_and_si256(x, top3), zero));
+    const __m256i lead = _mm256_sub_epi64(zero, sum);
+    // szx-lint: allow(reinterpret-cast) -- spilling vector lanes to the alignas(32) local arrays declared above
+    // szx-lint: allow(simd-mem) -- aligned stores into 4-lane local spill buffers of exactly one vector each
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tbuf), t);
+    // szx-lint: allow(reinterpret-cast) -- spilling vector lanes to the alignas(32) local arrays declared above
+    // szx-lint: allow(simd-mem) -- aligned stores into 4-lane local spill buffers of exactly one vector each
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lbuf), lead);
+    // i is a multiple of 4, so this group owns one whole lead-array byte.
+    dst[i >> 2] = std::byte{static_cast<std::uint8_t>(
+        (lbuf[0] << 6) | (lbuf[1] << 4) | (lbuf[2] << 2) | lbuf[3])};
+    for (int j = 0; j < 4; ++j) {
+      const int copy =
+          static_cast<int>(lbuf[j]) < nb ? static_cast<int>(lbuf[j]) : nb;
+      StoreWord<Bits>(mid,
+                      static_cast<Bits>(ByteSwapBits(tbuf[j]) >> (8 * copy)));
+      mid += nb - copy;
+    }
+    prev = tbuf[3];
+  }
+  detail::EncodeCRange<double, kNormalize>(block, i, n, mu, nb, s, dst, prev,
+                                           mid);
+  return static_cast<std::size_t>(mid - dst);
+}
+
+// De-normalization pass of the AVX2 decode.  One fp add per element, the
+// same single IEEE rounding the scalar decoder applies, so results match
+// bit for bit.
+inline void AddMu(float* out, std::size_t n, float mu) {
+  const __m256 mu8 = _mm256_set1_ps(mu);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // szx-lint: allow(simd-mem) -- in-place update of out[i..i+8) under the loop bound i+8 <= n
+    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), mu8));
+  }
+  for (; i < n; ++i) out[i] = static_cast<float>(out[i] + mu);
+}
+
+inline void AddMu(double* out, std::size_t n, double mu) {
+  const __m256d mu4 = _mm256_set1_pd(mu);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // szx-lint: allow(simd-mem) -- in-place update of out[i..i+4) under the loop bound i+4 <= n
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), mu4));
+  }
+  for (; i < n; ++i) out[i] = static_cast<double>(out[i] + mu);
+}
+
+template <SupportedFloat T>
+std::size_t EncodeCAvx2(const T* block, std::size_t n, T mu,
+                        const ReqPlan& plan, std::byte* dst) {
+  if constexpr (std::is_same_v<T, float>) {
+    return mu == 0.0f ? EncodeCAvx2F32<false>(block, n, mu, plan, dst)
+                      : EncodeCAvx2F32<true>(block, n, mu, plan, dst);
+  } else {
+    return mu == 0.0 ? EncodeCAvx2F64<false>(block, n, mu, plan, dst)
+                     : EncodeCAvx2F64<true>(block, n, mu, plan, dst);
+  }
+}
+
+// The t-word chain is serial (each element's reconstruction needs the
+// previous word), so decode extracts raw shifted bits with the word-wide
+// scalar loop and vectorizes only the independent de-normalization pass.
+template <SupportedFloat T>
+void DecodeCAvx2(const std::byte* payload, std::size_t payload_size, T mu,
+                 const ReqPlan& plan, T* out, std::size_t n) {
+  if (mu == T(0)) {
+    detail::DecodeCScalar<T, false, false>(payload, payload_size, mu,
+                                           plan.num_bytes, plan.shift, out, n);
+    return;
+  }
+  detail::DecodeCScalar<T, false, true>(payload, payload_size, mu,
+                                        plan.num_bytes, plan.shift, out, n);
+  AddMu(out, n, mu);
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+const BlockOps<T>& Avx2Ops() {
+  static const BlockOps<T> kOps = {&EncodeCAvx2<T>, &DecodeCAvx2<T>};
+  return kOps;
+}
+
+#else  // !SZX_HAVE_AVX2
+
+template <SupportedFloat T>
+const BlockOps<T>& Avx2Ops() {
+  return ScalarOps<T>();
+}
+
+#endif  // SZX_HAVE_AVX2
+
+template const BlockOps<float>& Avx2Ops<float>();
+template const BlockOps<double>& Avx2Ops<double>();
+
+}  // namespace szx::kernels

@@ -1,0 +1,31 @@
+// Portable scalar BlockOps tables (word-wide commits, no intrinsics).
+#include "core/kernels/block_kernels_impl.hpp"
+#include "core/kernels/kernels.hpp"
+
+namespace szx::kernels {
+namespace {
+
+template <SupportedFloat T>
+std::size_t EncodeCEntry(const T* block, std::size_t n, T mu,
+                         const ReqPlan& plan, std::byte* dst) {
+  return detail::EncodeCScalar<T>(block, n, mu, plan, dst);
+}
+
+template <SupportedFloat T>
+void DecodeCEntry(const std::byte* payload, std::size_t payload_size, T mu,
+                  const ReqPlan& plan, T* out, std::size_t n) {
+  detail::DecodeCScalarDispatch<T>(payload, payload_size, mu, plan, out, n);
+}
+
+}  // namespace
+
+template <SupportedFloat T>
+const BlockOps<T>& ScalarOps() {
+  static const BlockOps<T> kOps = {&EncodeCEntry<T>, &DecodeCEntry<T>};
+  return kOps;
+}
+
+template const BlockOps<float>& ScalarOps<float>();
+template const BlockOps<double>& ScalarOps<double>();
+
+}  // namespace szx::kernels

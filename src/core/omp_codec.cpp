@@ -1,8 +1,12 @@
 #include "core/omp_codec.hpp"
 
+#include <algorithm>
+
+#include "core/arena.hpp"
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/kernels/kernels.hpp"
 
 #if defined(SZX_HAVE_OPENMP)
 #include <omp.h>
@@ -27,32 +31,22 @@ std::vector<std::uint64_t> PrefixSumZsizes(ByteSpan zsize_section,
 
 namespace {
 
-// Private per-thread section fragments.
+// Private per-chunk section fragments, viewing per-chunk arena memory.
+// Sections are capacity spans; the *_n cursors track the live prefixes.
 template <SupportedFloat T>
 struct SectionFragment {
-  ByteBuffer type_bits;
-  ByteBuffer const_mu;
-  ByteBuffer ncb_req;
-  ByteBuffer ncb_mu;
-  ByteBuffer ncb_zsize;
-  ByteBuffer payload;
+  std::span<std::byte> type_bits;
+  std::span<std::byte> const_mu;
+  std::span<std::byte> ncb_req;
+  std::span<std::byte> ncb_mu;
+  std::span<std::byte> ncb_zsize;
+  std::span<std::byte> payload;
+  std::size_t const_mu_n = 0;
+  std::size_t ncb_n = 0;
+  std::size_t payload_n = 0;
   std::uint64_t num_constant = 0;
   std::uint64_t num_lossless = 0;
 };
-
-template <SupportedFloat T>
-std::size_t EncodeDispatch(CommitSolution sol, std::span<const T> block, T mu,
-                           const ReqPlan& plan, ByteBuffer& out) {
-  switch (sol) {
-    case CommitSolution::kA:
-      return EncodeBlockA(block, mu, plan, out);
-    case CommitSolution::kB:
-      return EncodeBlockB(block, mu, plan, out);
-    case CommitSolution::kC:
-      return EncodeBlockC(block, mu, plan, out);
-  }
-  throw Error("szx: unknown commit solution");
-}
 
 template <SupportedFloat T>
 void DecodeDispatch(CommitSolution sol, ByteSpan payload, T mu,
@@ -68,18 +62,33 @@ void DecodeDispatch(CommitSolution sol, ByteSpan payload, T mu,
   throw Error("szx: unknown commit solution");
 }
 
-// Compresses blocks [first, last) into a fragment.  `first` must be a
-// multiple of 8 so the fragment's type bits start on a byte boundary.
+// Compresses blocks [first, last) into a fragment carved from `arena`.
+// `first` must be a multiple of 8 so the fragment's type bits start on a
+// byte boundary.  The arena is reset at entry and sized to the chunk's
+// worst case up front, so steady-state calls never touch the heap; each
+// chunk's arena is used by exactly one thread per parallel region.
 template <SupportedFloat T>
 void CompressBlockRange(std::span<const T> data, const Params& params,
                         double abs_bound, int eb_expo, std::uint64_t first,
-                        std::uint64_t last, SectionFragment<T>& frag) {
+                        std::uint64_t last, ScratchArena& arena,
+                        SectionFragment<T>& frag) {
+  using Bits = typename FloatTraits<T>::Bits;
+  arena.Reset();
   const std::uint32_t bs = params.block_size;
   const std::uint64_t n = data.size();
-  frag.type_bits.assign((last - first + 7) / 8, std::byte{0});
-  ByteWriter const_mu_w(frag.const_mu);
-  ByteWriter ncb_mu_w(frag.ncb_mu);
-  ByteWriter zsize_w(frag.ncb_zsize);
+  const std::size_t nb = static_cast<std::size_t>(last - first);
+  const std::uint64_t elem_end = std::min<std::uint64_t>(n, last * bs);
+  const std::size_t chunk_bytes =
+      static_cast<std::size_t>(elem_end - first * bs) * sizeof(T);
+  frag = SectionFragment<T>{};
+  frag.type_bits = arena.AllocateSpan<std::byte>((nb + 7) / 8);
+  std::fill(frag.type_bits.begin(), frag.type_bits.end(), std::byte{0});
+  frag.const_mu = arena.AllocateSpan<std::byte>(nb * sizeof(T));
+  frag.ncb_req = arena.AllocateSpan<std::byte>(nb);
+  frag.ncb_mu = arena.AllocateSpan<std::byte>(nb * sizeof(T));
+  frag.ncb_zsize = arena.AllocateSpan<std::byte>(nb * 2);
+  frag.payload = arena.AllocateSpan<std::byte>(
+      kernels::FramePayloadCapacity(nb, bs, chunk_bytes));
 
   for (std::uint64_t k = first; k < last; ++k) {
     const std::uint64_t begin = k * bs;
@@ -91,16 +100,27 @@ void CompressBlockRange(std::span<const T> data, const Params& params,
                                            eb_expo);
     if (d.is_constant) {
       ++frag.num_constant;
-      const_mu_w.Write(d.mu);
+      // szx-lint: allow(ptr-arith) -- cursor into the const_mu span allocated at nb*sizeof(T) above; advances sizeof(T) per constant block
+      StoreWord<Bits>(frag.const_mu.data() + frag.const_mu_n,
+                      std::bit_cast<Bits>(d.mu));
+      frag.const_mu_n += sizeof(T);
       continue;
     }
     SetNonConstant(frag.type_bits.data(), k - first);
     if (d.is_lossless) ++frag.num_lossless;
-    frag.ncb_req.push_back(std::byte{d.plan.req_length});
-    ncb_mu_w.Write(d.mu);
+    frag.ncb_req[frag.ncb_n] = std::byte{d.plan.req_length};
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_mu span allocated at nb*sizeof(T) above; ncb_n < nb
+    StoreWord<Bits>(frag.ncb_mu.data() + frag.ncb_n * sizeof(T),
+                    std::bit_cast<Bits>(d.mu));
+    // szx-lint: allow(ptr-arith) -- cursor into the payload span allocated at FramePayloadCapacity above; zsize stays within each block's share
+    std::byte* const block_dst = frag.payload.data() + frag.payload_n;
     const std::size_t zsize =
-        EncodeDispatch(params.solution, block, d.mu, d.plan, frag.payload);
-    zsize_w.Write(CheckedNarrow<std::uint16_t>(zsize));
+        EncodeBlockInto(params.solution, block, d.mu, d.plan, block_dst);
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_zsize span allocated at nb*2 above; ncb_n < nb
+    StoreWord<std::uint16_t>(frag.ncb_zsize.data() + frag.ncb_n * 2,
+                             CheckedNarrow<std::uint16_t>(zsize));
+    frag.payload_n += zsize;
+    ++frag.ncb_n;
   }
 }
 
@@ -140,12 +160,23 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
     bounds[c] = std::min(b, num_blocks);
   }
 
+  // One arena per chunk, owned (thread-locally) by the calling thread so the
+  // fragment memory outlives the parallel region regardless of what OpenMP
+  // does with its worker pool.  schedule(static, 1) gives each chunk to
+  // exactly one worker, so no arena is ever shared within a region, and the
+  // vector's high-water capacity is reused across calls.
+  thread_local std::vector<ScratchArena> arenas_tls;
+  if (arenas_tls.size() < chunks) arenas_tls.resize(chunks);
+  // Grab the caller's arenas by pointer before the parallel region: a
+  // thread_local name evaluated inside it would resolve to each worker's own
+  // (empty) instance instead.
+  ScratchArena* const arenas = arenas_tls.data();
   std::vector<SectionFragment<T>> frags(chunks);
 #pragma omp parallel for num_threads(threads) schedule(static, 1)
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
     if (bounds[c] < bounds[c + 1]) {
       CompressBlockRange(data, params, abs_bound, eb_expo, bounds[c],
-                         bounds[c + 1], frags[c]);
+                         bounds[c + 1], arenas[c], frags[c]);
     }
   }
 
@@ -158,11 +189,11 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   for (const auto& f : frags) {
     num_constant += f.num_constant;
     num_lossless += f.num_lossless;
-    payload_bytes += f.payload.size();
-    const_mu_bytes += f.const_mu.size();
-    req_bytes += f.ncb_req.size();
-    ncb_mu_bytes += f.ncb_mu.size();
-    zsize_bytes += f.ncb_zsize.size();
+    payload_bytes += f.payload_n;
+    const_mu_bytes += f.const_mu_n;
+    req_bytes += f.ncb_n;
+    ncb_mu_bytes += f.ncb_n * sizeof(T);
+    zsize_bytes += f.ncb_n * 2;
   }
 
   Header h;
@@ -190,18 +221,27 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   out.reserve(total);
   ByteWriter w(out);
   w.Write(h);
-  auto append_all = [&out, &frags](ByteBuffer SectionFragment<T>::*member) {
+  // Append each section's live prefix from every fragment in chunk order.
+  auto append_all = [&out, &frags](auto section) {
     for (const auto& f : frags) {
-      const ByteBuffer& b = f.*member;
-      out.insert(out.end(), b.begin(), b.end());
+      const std::span<const std::byte> live = section(f);
+      out.insert(out.end(), live.begin(), live.end());
     }
   };
-  append_all(&SectionFragment<T>::type_bits);
-  append_all(&SectionFragment<T>::const_mu);
-  append_all(&SectionFragment<T>::ncb_req);
-  append_all(&SectionFragment<T>::ncb_mu);
-  append_all(&SectionFragment<T>::ncb_zsize);
-  append_all(&SectionFragment<T>::payload);
+  append_all([](const SectionFragment<T>& f) { return f.type_bits; });
+  append_all([](const SectionFragment<T>& f) {
+    return f.const_mu.first(f.const_mu_n);
+  });
+  append_all(
+      [](const SectionFragment<T>& f) { return f.ncb_req.first(f.ncb_n); });
+  append_all([](const SectionFragment<T>& f) {
+    return f.ncb_mu.first(f.ncb_n * sizeof(T));
+  });
+  append_all([](const SectionFragment<T>& f) {
+    return f.ncb_zsize.first(f.ncb_n * 2);
+  });
+  append_all(
+      [](const SectionFragment<T>& f) { return f.payload.first(f.payload_n); });
 
   if (stats != nullptr) {
     stats->num_elements = n;

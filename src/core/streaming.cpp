@@ -32,7 +32,7 @@ StreamWriter<T>::StreamWriter(const Params& params) : params_(params) {
 
 template <SupportedFloat T>
 void StreamWriter<T>::Append(std::span<const T> chunk) {
-  const ByteBuffer frame = Compress<T>(chunk, params_);
+  const ByteSpan frame = CompressInto<T>(chunk, params_, arena_);
   ByteWriter w(buffer_);
   w.Write(static_cast<std::uint64_t>(frame.size()));
   w.Write(Fnv1a64(frame));

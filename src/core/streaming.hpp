@@ -40,6 +40,10 @@ class StreamWriter {
  private:
   Params params_;
   ByteBuffer buffer_;
+  // Owned compression scratch: frames are encoded via CompressInto, so
+  // appending same-shaped chunks stops allocating once the arena and the
+  // container buffer reach their high-water sizes.
+  ScratchArena arena_;
   std::uint64_t frames_ = 0;
   std::uint64_t raw_bytes_ = 0;
 };

@@ -3,23 +3,39 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/arena.hpp"
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/kernels/kernels.hpp"
 #include "cusim/warp_ops.hpp"
 
 namespace szx::cusim {
 namespace {
 
+// Per-thread compression/decompression scratch private to this TU, so cusim
+// calls can never invalidate arena memory held by the core codecs (and vice
+// versa).  After a warm-up call the arena sits at its high-water size and
+// steady-state block loops stop touching the heap.
+ScratchArena& LocalArena() {
+  thread_local ScratchArena arena;
+  return arena;
+}
+
 // Lockstep parallel min/max/finiteness reduction over lane values, the
-// warp-collective the compression kernel opens with.
+// warp-collective the compression kernel opens with.  The *_buf spans are
+// caller-provided lane scratch of at least block.size() entries.
 template <SupportedFloat T>
 BlockStats<T> ParallelBlockStats(std::span<const T> block,
+                                 std::span<T> mins_buf, std::span<T> maxs_buf,
+                                 std::span<std::uint8_t> fin_buf,
                                  KernelCounters* counters) {
   const std::size_t n = block.size();
-  std::vector<T> mins(block.begin(), block.end());
-  std::vector<T> maxs(block.begin(), block.end());
-  std::vector<std::uint8_t> fin(n);
+  std::span<T> mins = mins_buf.first(n);
+  std::span<T> maxs = maxs_buf.first(n);
+  std::span<std::uint8_t> fin = fin_buf.first(n);
+  std::copy(block.begin(), block.end(), mins.begin());
+  std::copy(block.begin(), block.end(), maxs.begin());
   for (std::size_t i = 0; i < n; ++i) {
     fin[i] = std::isfinite(block[i]) ? 1 : 0;
   }
@@ -64,44 +80,66 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
                           : BoundExponent(abs_bound);
 
   using Bits = typename FloatTraits<T>::Bits;
-  ByteBuffer type_bits((num_blocks + 7) / 8, std::byte{0});
-  ByteBuffer const_mu, ncb_req, ncb_mu, ncb_zsize, payload;
-  ByteWriter const_mu_w(const_mu);
-  ByteWriter ncb_mu_w(ncb_mu);
-  ByteWriter zsize_w(ncb_zsize);
+  ScratchArena& arena = LocalArena();
+  arena.Reset();
+  const std::size_t nblk = static_cast<std::size_t>(num_blocks);
+  const std::span<std::byte> type_bits =
+      arena.AllocateSpan<std::byte>((nblk + 7) / 8);
+  std::fill(type_bits.begin(), type_bits.end(), std::byte{0});
+  const std::span<std::byte> const_mu =
+      arena.AllocateSpan<std::byte>(nblk * sizeof(T));
+  const std::span<std::byte> ncb_req = arena.AllocateSpan<std::byte>(nblk);
+  const std::span<std::byte> ncb_mu =
+      arena.AllocateSpan<std::byte>(nblk * sizeof(T));
+  const std::span<std::byte> ncb_zsize = arena.AllocateSpan<std::byte>(nblk * 2);
+  const std::span<std::byte> payload = arena.AllocateSpan<std::byte>(
+      kernels::FramePayloadCapacity(num_blocks, bs, data.size_bytes()));
   std::uint64_t num_constant = 0;
   std::uint64_t num_lossless = 0;
+  std::size_t const_mu_n = 0;
+  std::size_t ncb_n = 0;
+  std::size_t payload_n = 0;
 
-  std::vector<std::uint32_t> midcount;
-  std::vector<Bits> trunc;
-  std::vector<std::uint8_t> leads;
+  // Per-lane scratch at full block capacity, reused across blocks.
+  const std::span<std::uint32_t> midcount =
+      arena.AllocateSpan<std::uint32_t>(bs);
+  const std::span<Bits> trunc = arena.AllocateSpan<Bits>(bs);
+  const std::span<std::uint8_t> leads = arena.AllocateSpan<std::uint8_t>(bs);
+  const std::span<T> mins_buf = arena.AllocateSpan<T>(bs);
+  const std::span<T> maxs_buf = arena.AllocateSpan<T>(bs);
+  const std::span<std::uint8_t> fin_buf = arena.AllocateSpan<std::uint8_t>(bs);
 
   for (std::uint64_t k = 0; k < num_blocks; ++k) {
     const std::uint64_t begin = k * bs;
     const std::uint64_t count = std::min<std::uint64_t>(bs, n - begin);
     const std::span<const T> block = data.subspan(begin, count);
-    const BlockStats<T> st = ParallelBlockStats(block, counters);
+    const BlockStats<T> st =
+        ParallelBlockStats(block, mins_buf, maxs_buf, fin_buf, counters);
     const BlockDecision<T> dec = DecideBlock(block, st, params.mode,
                                              params.error_bound, abs_bound,
                                              eb_expo);
     if (dec.is_constant) {
       ++num_constant;
-      const_mu_w.Write(dec.mu);
+      // szx-lint: allow(ptr-arith) -- cursor into the const_mu span allocated at nblk*sizeof(T) above; advances sizeof(T) per constant block
+      StoreWord<Bits>(const_mu.data() + const_mu_n,
+                      std::bit_cast<Bits>(dec.mu));
+      const_mu_n += sizeof(T);
       continue;
     }
     SetNonConstant(type_bits.data(), k);
     if (dec.is_lossless) ++num_lossless;
     const ReqPlan plan = dec.plan;
     const T mu = dec.mu;
-    ncb_req.push_back(std::byte{plan.req_length});
-    ncb_mu_w.Write(mu);
+    ncb_req[ncb_n] = std::byte{plan.req_length};
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_mu span allocated at nblk*sizeof(T) above; ncb_n < nblk
+    StoreWord<Bits>(ncb_mu.data() + ncb_n * sizeof(T), std::bit_cast<Bits>(mu));
 
     const int nb = plan.num_bytes;
     const int s = plan.shift;
     const Bits keep = KeepMask<T>(nb);
-    trunc.assign(count, Bits{0});
-    leads.assign(count, 0);
-    midcount.assign(count, 0);
+    std::fill_n(trunc.begin(), count, Bits{0});
+    std::fill_n(leads.begin(), count, std::uint8_t{0});
+    std::fill_n(midcount.begin(), count, std::uint32_t{0});
     // Lane phase: every lane reads its own and its predecessor's *input*
     // value (dependency depth 1 -> no serialization, paper Solution 2).
     auto trunc_of = [&](std::uint64_t i) -> Bits {
@@ -126,7 +164,7 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
       counters->bytes_moved += count * sizeof(T);
     }
     // Scan phase (Solution 1): scatter offsets for the mid bytes.
-    const std::uint32_t total_mid = ExclusiveScan(std::span(midcount));
+    const std::uint32_t total_mid = ExclusiveScan(midcount.first(count));
     if (counters != nullptr && count > 1) {
       counters->scan_rounds +=
           static_cast<std::uint64_t>(std::bit_width(count - 1));
@@ -135,11 +173,10 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
     // Commit phase: lead codes and scattered mid bytes.
     const std::size_t lead_bytes = LeadArrayBytes(count);
     const std::size_t block_payload = lead_bytes + total_mid;
-    const std::size_t base_off = payload.size();
-    payload.resize(base_off + block_payload, std::byte{0});
-    // szx-lint: allow(ptr-arith) -- encoder commit phase writing into a buffer resized to the exact worst case two lines above
-    std::byte* lead_dst = payload.data() + base_off;
+    // szx-lint: allow(ptr-arith) -- encoder commit phase writing into the payload span sized to FramePayloadCapacity up front
+    std::byte* lead_dst = payload.data() + payload_n;
     std::byte* mid_dst = lead_dst + lead_bytes;
+    std::fill_n(lead_dst, lead_bytes, std::byte{0});
     for (std::uint64_t i = 0; i < count; ++i) {
       const int shift2 = 6 - 2 * static_cast<int>(i & 3);
       lead_dst[i >> 2] |= std::byte{
@@ -152,7 +189,11 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
       }
     }
     if (counters != nullptr) counters->bytes_moved += block_payload;
-    zsize_w.Write(CheckedNarrow<std::uint16_t>(block_payload));
+    // szx-lint: allow(ptr-arith) -- cursor into the ncb_zsize span allocated at nblk*2 above; ncb_n < nblk
+    StoreWord<std::uint16_t>(ncb_zsize.data() + ncb_n * 2,
+                             CheckedNarrow<std::uint16_t>(block_payload));
+    payload_n += block_payload;
+    ++ncb_n;
   }
 
   Header h;
@@ -165,32 +206,32 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
   h.num_elements = n;
   h.num_blocks = num_blocks;
   h.num_constant = num_constant;
-  h.payload_bytes = payload.size();
+  h.payload_bytes = payload_n;
 
-  const std::size_t total = sizeof(Header) + type_bits.size() +
-                            const_mu.size() + ncb_req.size() + ncb_mu.size() +
-                            ncb_zsize.size() + payload.size();
+  const std::size_t total = sizeof(Header) + type_bits.size() + const_mu_n +
+                            ncb_n + ncb_n * sizeof(T) + ncb_n * 2 + payload_n;
   ByteBuffer out;
   if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
-    // Raw passthrough identical to the serial compressor's.
+    // Raw passthrough identical to the serial compressor's.  Compress uses
+    // its own arena, so this call cannot invalidate our (now dead) spans.
     return Compress(data, params, stats);
   }
   out.reserve(total);
   ByteWriter w(out);
   w.Write(h);
   out.insert(out.end(), type_bits.begin(), type_bits.end());
-  out.insert(out.end(), const_mu.begin(), const_mu.end());
-  out.insert(out.end(), ncb_req.begin(), ncb_req.end());
-  out.insert(out.end(), ncb_mu.begin(), ncb_mu.end());
-  out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.end());
-  out.insert(out.end(), payload.begin(), payload.end());
+  out.insert(out.end(), const_mu.begin(), const_mu.begin() + const_mu_n);
+  out.insert(out.end(), ncb_req.begin(), ncb_req.begin() + ncb_n);
+  out.insert(out.end(), ncb_mu.begin(), ncb_mu.begin() + ncb_n * sizeof(T));
+  out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.begin() + ncb_n * 2);
+  out.insert(out.end(), payload.begin(), payload.begin() + payload_n);
 
   if (stats != nullptr) {
     stats->num_elements = n;
     stats->num_blocks = num_blocks;
     stats->num_constant_blocks = num_constant;
     stats->num_lossless_blocks = num_lossless;
-    stats->payload_bytes = payload.size();
+    stats->payload_bytes = payload_n;
     stats->compressed_bytes = out.size();
     stats->absolute_bound = abs_bound;
   }
@@ -245,7 +286,15 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
     throw Error("cusim: corrupt stream (type bit counts mismatch)");
   }
 
-  std::vector<std::uint32_t> copies, midcount, chain;
+  // Per-lane decode scratch at full block capacity (bs was range-checked by
+  // ParseSections), reused across blocks without heap traffic.
+  ScratchArena& arena = LocalArena();
+  arena.Reset();
+  const std::span<std::uint32_t> copies = arena.AllocateSpan<std::uint32_t>(bs);
+  const std::span<std::uint32_t> midcount =
+      arena.AllocateSpan<std::uint32_t>(bs);
+  const std::span<std::uint32_t> chain = arena.AllocateSpan<std::uint32_t>(bs);
+  const std::span<Bits> words = arena.AllocateSpan<Bits>(bs);
   for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
     const std::uint64_t begin = k * bs;
     const std::uint64_t count =
@@ -271,8 +320,8 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
     const int nb = plan.num_bytes;
 
     // Lane phase 1: lead codes -> per-lane mid counts.
-    copies.assign(count, 0);
-    midcount.assign(count, 0);
+    std::fill_n(copies.begin(), count, std::uint32_t{0});
+    std::fill_n(midcount.begin(), count, std::uint32_t{0});
     for (std::uint64_t i = 0; i < count; ++i) {
       const int shift2 = 6 - 2 * static_cast<int>(i & 3);
       const unsigned code =
@@ -283,7 +332,7 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
       midcount[i] = static_cast<std::uint32_t>(nb - copy);
     }
     // Lane phase 2: scatter offsets (Solution 1).
-    const std::uint32_t total_mid = ExclusiveScan(std::span(midcount));
+    const std::uint32_t total_mid = ExclusiveScan(midcount.first(count));
     if (total_mid != mid.size()) {
       throw Error("cusim: corrupt block payload size");
     }
@@ -294,8 +343,7 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
 
     // Lane phase 3: per byte position, resolve dependence chains with the
     // index propagation of Fig. 11, then read every byte hazard-free.
-    std::vector<Bits> words(count, Bits{0});
-    chain.resize(count);
+    std::fill_n(words.begin(), count, Bits{0});
     for (int j = 0; j < nb; ++j) {
       for (std::uint64_t i = 0; i < count; ++i) {
         chain[i] = j >= static_cast<int>(copies[i])

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
@@ -19,9 +21,12 @@ namespace {
 #endif
 
 std::string TempPath(const char* name) {
+  // Unique per test case and per process: ctest runs these in parallel, and
+  // a shared fixed path would let one test's TearDown delete another's files.
   const char* dir = std::getenv("TMPDIR");
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
   return std::string(dir != nullptr ? dir : "/tmp") + "/szx_cli_test_" +
-         name;
+         info->name() + "_" + std::to_string(::getpid()) + "_" + name;
 }
 
 int RunCli(const std::string& args) {

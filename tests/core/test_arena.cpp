@@ -1,0 +1,180 @@
+// ScratchArena unit tests plus the PR's acceptance property: after a warm-up
+// call or two, CompressInto performs zero heap allocations.  The property is
+// asserted with a counting global operator new/delete, so this test must stay
+// in its own binary (other suites' fixtures would inflate the counters).
+#include "core/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/compressor.hpp"
+#include "../test_util.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting replacements for the global allocator.  Only the allocation count
+// matters; the forms all funnel through malloc/free.
+void* operator new(std::size_t size) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
+                                   (size + static_cast<std::size_t>(align) - 1) /
+                                       static_cast<std::size_t>(align) *
+                                       static_cast<std::size_t>(align))) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace szx {
+namespace {
+
+TEST(ScratchArena, AllocateRespectsAlignment) {
+  ScratchArena arena;
+  for (std::size_t align : {1u, 2u, 8u, 32u, 64u}) {
+    std::byte* p = arena.Allocate(13, align);
+    // szx-lint: allow(reinterpret-cast) -- address-to-integer only, to assert the alignment contract
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u) << align;
+  }
+  EXPECT_THROW(arena.Allocate(8, 3), Error);
+  EXPECT_THROW(arena.Allocate(8, 0), Error);
+}
+
+TEST(ScratchArena, PointersStayValidUntilReset) {
+  // Force several chunk spills; earlier pointers must remain dereferenceable.
+  ScratchArena arena(64);
+  std::vector<std::byte*> ptrs;
+  for (int i = 0; i < 20; ++i) {
+    std::byte* p = arena.Allocate(100);
+    p[0] = std::byte{static_cast<unsigned char>(i)};
+    p[99] = std::byte{static_cast<unsigned char>(i + 1)};
+    ptrs.push_back(p);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(ptrs[i][0], std::byte{static_cast<unsigned char>(i)});
+    EXPECT_EQ(ptrs[i][99], std::byte{static_cast<unsigned char>(i + 1)});
+  }
+}
+
+TEST(ScratchArena, AllocateSpanTypes) {
+  ScratchArena arena;
+  auto u16 = arena.AllocateSpan<std::uint16_t>(33);
+  auto f64 = arena.AllocateSpan<double>(7);
+  EXPECT_EQ(u16.size(), 33u);
+  EXPECT_EQ(f64.size(), 7u);
+  // szx-lint: allow(reinterpret-cast) -- address-to-integer only, to assert the alignment contract
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(f64.data()) % alignof(double), 0u);
+  EXPECT_TRUE(arena.AllocateSpan<float>(0).empty());
+  EXPECT_THROW(arena.AllocateSpan<double>(SIZE_MAX / 2), Error);
+}
+
+TEST(ScratchArena, ResetCoalescesToSteadyState) {
+  ScratchArena arena;
+  auto churn = [&arena] {
+    arena.Reset();
+    for (int i = 0; i < 8; ++i) arena.Allocate(3000);
+  };
+  churn();  // cold: several chunk spills
+  churn();  // warm-up: coalesced chunk may still be one spill short
+  const std::size_t warm = arena.HeapAllocations();
+  for (int round = 0; round < 5; ++round) churn();
+  EXPECT_EQ(arena.HeapAllocations(), warm)
+      << "steady-state churn must not allocate";
+  EXPECT_GE(arena.Capacity(), 8u * 3000u);
+}
+
+TEST(ScratchArena, UsedTracksBumpAndWaste) {
+  ScratchArena arena;
+  EXPECT_EQ(arena.Used(), 0u);
+  arena.Allocate(100, 1);
+  EXPECT_GE(arena.Used(), 100u);
+  arena.Reset();
+  EXPECT_EQ(arena.Used(), 0u);
+}
+
+TEST(ScratchArena, MoveTransfersOwnership) {
+  ScratchArena a(256);
+  std::byte* p = a.Allocate(16);
+  p[0] = std::byte{42};
+  ScratchArena b = std::move(a);
+  EXPECT_EQ(p[0], std::byte{42});
+  EXPECT_GE(b.Capacity(), 256u);
+}
+
+TEST(ScratchArena, CompressIntoIsAllocationFreeWhenWarm) {
+  const auto data =
+      testing::MakePattern<float>(testing::Pattern::kNoisySine, 40000, 3);
+  Params params;  // REL 1e-3, block 128, Solution C
+  ScratchArena arena;
+  CompressionStats stats;
+
+  // Warm-up: two calls let the arena coalesce to its high-water chunk and
+  // any thread_local scratch inside the codec reach steady size.
+  const ByteSpan first = CompressInto<float>(data, params, arena, &stats);
+  const ByteBuffer expect(first.begin(), first.end());
+  CompressInto<float>(data, params, arena, &stats);
+
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  const ByteSpan frame = CompressInto<float>(data, params, arena, &stats);
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "steady-state CompressInto must not touch the heap";
+
+  // The zero-allocation path must still produce the exact same stream.
+  ASSERT_EQ(frame.size(), expect.size());
+  EXPECT_TRUE(std::equal(frame.begin(), frame.end(), expect.begin()));
+  const auto recon = Decompress<float>(frame);
+  EXPECT_EQ(recon.size(), data.size());
+}
+
+TEST(ScratchArena, CompressIntoStaysWarmAcrossBounds) {
+  // Changing the error bound changes section sizes but not the worst case;
+  // a warmed arena must absorb all of them without allocating.
+  const auto data =
+      testing::MakePattern<float>(testing::Pattern::kMixedScales, 20000, 9);
+  ScratchArena arena;
+  Params params;
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    params.error_bound = eb;
+    CompressInto<float>(data, params, arena);
+    CompressInto<float>(data, params, arena);
+  }
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  for (double eb : {1e-2, 1e-3, 1e-4}) {
+    params.error_bound = eb;
+    CompressInto<float>(data, params, arena);
+  }
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed) - before, 0u);
+}
+
+}  // namespace
+}  // namespace szx

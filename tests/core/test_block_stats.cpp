@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
 #include "../test_util.hpp"
 
 namespace szx {
@@ -112,6 +116,56 @@ TYPED_TEST(BlockStatsTypedTest, SimdMatchesScalarWithSpecials) {
       EXPECT_EQ(a.mu, b.mu);
       EXPECT_EQ(a.radius, b.radius);
     }
+  }
+}
+
+// Regression: the SIMD path's non-finite fallback must still report the same
+// min/max as the scalar path (it rescans min/max only, skipping the mu/radius
+// math that NaN would poison).
+TYPED_TEST(BlockStatsTypedTest, SimdNonFiniteFallbackKeepsMinMax) {
+  using T = TypeParam;
+  Rng rng(11);
+  for (std::size_t n : {5u, 8u, 9u, 17u, 64u, 111u, 128u}) {
+    std::vector<T> v(n);
+    for (auto& x : v) x = static_cast<T>(rng.Uniform(-100, 100));
+    v[rng.Next() % n] = std::numeric_limits<T>::quiet_NaN();
+    if (n > 8) v[rng.Next() % n] = std::numeric_limits<T>::infinity();
+    const auto a = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+    const auto b = ComputeBlockStatsSimd<T>(std::span<const T>(v));
+    ASSERT_FALSE(a.all_finite);
+    EXPECT_FALSE(b.all_finite) << "n=" << n;
+    // Bitwise compare: a NaN at position 0 propagates into min/max in both
+    // paths, and NaN != NaN would make a value compare vacuously fail.
+    using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t, std::uint64_t>;
+    EXPECT_EQ(std::bit_cast<Bits>(a.min), std::bit_cast<Bits>(b.min)) << "n=" << n;
+    EXPECT_EQ(std::bit_cast<Bits>(a.max), std::bit_cast<Bits>(b.max)) << "n=" << n;
+  }
+}
+
+// The vectorized global-range path must match a plain reference loop for
+// every tail length and with non-finite lanes mixed in.
+TYPED_TEST(BlockStatsTypedTest, GlobalRangeMatchesReferenceAcrossSizes) {
+  using T = TypeParam;
+  Rng rng(23);
+  for (std::size_t n = 1; n < 70; ++n) {
+    std::vector<T> v(n);
+    for (auto& x : v) x = static_cast<T>(rng.Uniform(-1000, 1000));
+    if (n % 3 == 0) v[rng.Next() % n] = std::numeric_limits<T>::quiet_NaN();
+    if (n % 5 == 0) v[rng.Next() % n] = -std::numeric_limits<T>::infinity();
+    T ref_min = std::numeric_limits<T>::infinity();
+    T ref_max = -std::numeric_limits<T>::infinity();
+    bool ref_any = false;
+    for (const T x : v) {
+      if (!std::isfinite(x)) continue;
+      ref_any = true;
+      ref_min = std::min(ref_min, x);
+      ref_max = std::max(ref_max, x);
+    }
+    const auto r = ComputeGlobalRange<T>(std::span<const T>(v));
+    ASSERT_EQ(r.any_finite, ref_any) << "n=" << n;
+    if (!ref_any) continue;
+    EXPECT_EQ(r.min, ref_min) << "n=" << n;
+    EXPECT_EQ(r.max, ref_max) << "n=" << n;
   }
 }
 

@@ -1,0 +1,148 @@
+// Differential property tests for the vectorized Solution-C block kernels:
+// the scalar and AVX2 implementations must produce byte-identical encoded
+// payloads and bit-identical decodes for every block size (including every
+// tail length mod the vector width), every valid required length, and inputs
+// containing NaN / Inf / subnormals.  On hardware without AVX2 the Avx2Ops
+// table aliases the scalar one and these tests pass trivially.
+#include "core/kernels/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bitops.hpp"
+#include "core/block_stats.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using kernels::Avx2Ops;
+using kernels::EncodeCapacity;
+using kernels::ScalarOps;
+using testing::MakePattern;
+using testing::Pattern;
+using testing::Rng;
+
+template <typename T>
+class KernelTypedTest : public ::testing::Test {};
+using FloatTypes = ::testing::Types<float, double>;
+TYPED_TEST_SUITE(KernelTypedTest, FloatTypes);
+
+// Encodes `block` with both tables and checks the live payloads are
+// byte-identical, then decodes each payload with both tables and checks the
+// reconstructions are bit-identical.  Returns the live payload size.
+template <typename T>
+std::size_t CheckBlock(std::span<const T> block, T mu, const ReqPlan& plan,
+                       const std::string& what) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::size_t n = block.size();
+  std::vector<std::byte> a(EncodeCapacity<T>(n));
+  std::vector<std::byte> b(EncodeCapacity<T>(n));
+  const std::size_t na =
+      ScalarOps<T>().encode_c(block.data(), n, mu, plan, a.data());
+  const std::size_t nb =
+      Avx2Ops<T>().encode_c(block.data(), n, mu, plan, b.data());
+  EXPECT_EQ(na, nb) << what;
+  EXPECT_EQ(std::memcmp(a.data(), b.data(), na), 0) << what;
+
+  std::vector<T> da(n), db(n);
+  ScalarOps<T>().decode_c(a.data(), na, mu, plan, da.data(), n);
+  Avx2Ops<T>().decode_c(a.data(), na, mu, plan, db.data(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(std::bit_cast<Bits>(da[i]), std::bit_cast<Bits>(db[i]))
+        << what << " i=" << i;
+  }
+  return na;
+}
+
+TYPED_TEST(KernelTypedTest, ScalarAndAvx2AgreeAcrossPatternsAndSizes) {
+  using T = TypeParam;
+  for (auto p : testing::AllPatterns()) {
+    for (std::size_t n : {1u, 2u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 63u,
+                          64u, 65u, 100u, 128u}) {
+      const auto v = MakePattern<T>(p, n, 41);
+      const auto st = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+      if (!st.all_finite) continue;
+      const auto plan =
+          ComputeReqPlan<T>(ExponentOf(static_cast<T>(st.radius)), -20);
+      CheckBlock<T>(v, st.mu, plan,
+                    std::string(testing::PatternName(p)) + " n=" +
+                        std::to_string(n));
+    }
+  }
+}
+
+TYPED_TEST(KernelTypedTest, AgreeForEveryValidReqLength) {
+  using T = TypeParam;
+  using Traits = FloatTraits<T>;
+  const auto v = MakePattern<T>(Pattern::kNoisySine, 96, 17);
+  const auto st = ComputeBlockStatsScalar<T>(std::span<const T>(v));
+  for (int req = Traits::kMinReqLength; req <= Traits::kTotalBits; ++req) {
+    const auto plan = PlanFromReqLength<T>(static_cast<std::uint8_t>(req));
+    CheckBlock<T>(v, st.mu, plan, "req=" + std::to_string(req));
+  }
+}
+
+TYPED_TEST(KernelTypedTest, AgreeOnSpecialValues) {
+  using T = TypeParam;
+  Rng rng(59);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = 8 + rng.Next() % 64;
+    std::vector<T> v(n);
+    for (auto& x : v) x = static_cast<T>(rng.Uniform(-5, 5));
+    switch (trial % 5) {
+      case 0: v[rng.Next() % n] = std::numeric_limits<T>::quiet_NaN(); break;
+      case 1: v[rng.Next() % n] = std::numeric_limits<T>::infinity(); break;
+      case 2: v[rng.Next() % n] = -std::numeric_limits<T>::infinity(); break;
+      case 3: v[rng.Next() % n] = std::numeric_limits<T>::denorm_min(); break;
+      case 4: v[rng.Next() % n] = -T(0); break;
+    }
+    // The codec routes non-finite blocks through the lossless plan; the
+    // kernels must agree on that path too (mu = 0, full-width bytes).
+    const auto plan = LosslessPlan<T>();
+    CheckBlock<T>(v, T(0), plan, "special trial=" + std::to_string(trial));
+  }
+}
+
+TYPED_TEST(KernelTypedTest, AgreeOnAllZeroAndAllSameBlocks) {
+  using T = TypeParam;
+  for (std::size_t n : {3u, 8u, 64u}) {
+    const std::vector<T> zeros(n, T(0));
+    const std::vector<T> same(n, T(4.25));
+    const auto plan = PlanFromReqLength<T>(
+        static_cast<std::uint8_t>(FloatTraits<T>::kMinReqLength + 7));
+    CheckBlock<T>(std::span<const T>(zeros), T(0), plan, "zeros");
+    CheckBlock<T>(std::span<const T>(same), T(4.25), plan, "same");
+  }
+}
+
+TEST(KernelDispatch, TablesAndKindAreCoherent) {
+  // ActiveOps must alias one of the two public tables, and KindName must
+  // round-trip the enum.
+  EXPECT_STREQ(kernels::KindName(kernels::Kind::kScalar), "scalar");
+  EXPECT_STREQ(kernels::KindName(kernels::Kind::kAvx2), "avx2");
+  const auto kind = kernels::ActiveKind();
+  if (kind == kernels::Kind::kAvx2) {
+    EXPECT_TRUE(kernels::Avx2Supported());
+    EXPECT_EQ(&kernels::ActiveOps<float>(), &kernels::Avx2Ops<float>());
+  } else {
+    EXPECT_EQ(&kernels::ActiveOps<float>(), &kernels::ScalarOps<float>());
+  }
+}
+
+TEST(KernelDispatch, CapacityIsMonotonicAndCoversPayload) {
+  // FramePayloadCapacity must dominate the sum of worst-case block payloads.
+  for (std::uint32_t bs : {64u, 128u, 256u}) {
+    const std::uint64_t nb = 10;
+    const std::size_t data_bytes = std::size_t{nb} * bs * sizeof(float);
+    const std::size_t cap = kernels::FramePayloadCapacity(nb, bs, data_bytes);
+    EXPECT_GE(cap, nb * MaxBlockPayload<float>(bs) + kernels::kCommitSlack);
+  }
+}
+
+}  // namespace
+}  // namespace szx

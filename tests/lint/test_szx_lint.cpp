@@ -114,6 +114,35 @@ TEST(SzxLint, NarrowingCastOfLoopIndexIsClean) {
   EXPECT_EQ(Count(fs, "unchecked-narrow"), 0);
 }
 
+TEST(SzxLint, CatchesSimdLoadStoreIntrinsics) {
+  const auto fs = LintText("x.cpp",
+                           "__m256 v = _mm256_loadu_ps(p + i);\n"
+                           "_mm256_store_si256(reinterpret_cast<__m256i*>(q), t);\n"
+                           "_mm_stream_si128(dst, w);\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 3);
+}
+
+TEST(SzxLint, NonMemorySimdIntrinsicsAreClean) {
+  const auto fs = LintText("x.cpp",
+                           "__m256 m = _mm256_set1_ps(1.0f);\n"
+                           "__m256 s = _mm256_min_ps(a, b);\n"
+                           "int k = _mm256_movemask_ps(c);\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 0);
+}
+
+TEST(SzxLint, SimdMemAllowWithReasonSuppresses) {
+  const auto fs = LintText(
+      "x.cpp",
+      "// szx-lint: allow(simd-mem) -- loop bound keeps i+8 <= n\n"
+      "__m256 v = _mm256_loadu_ps(p + i);\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 0);
+}
+
+TEST(SzxLint, SimdMemInCommentIsIgnored) {
+  const auto fs = LintText("x.cpp", "// _mm256_loadu_ps in prose\nint x;\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 0);
+}
+
 // --- allow directives ----------------------------------------------------
 
 TEST(SzxLint, TrailingAllowSuppresses) {
@@ -182,6 +211,7 @@ TEST(SzxLint, AllowlistedFilesAreSkipped) {
   EXPECT_TRUE(LintText("src/core/byte_cursor.hpp", code).empty());
   EXPECT_TRUE(LintText("src/core/stream.hpp", code).empty());
   EXPECT_TRUE(LintText("src/core/bitops.hpp", code).empty());
+  EXPECT_TRUE(LintText("src/core/arena.hpp", code).empty());
   EXPECT_FALSE(LintText("src/core/upstream.hpp", code).empty());
   EXPECT_FALSE(LintText("src/core/format.hpp", code).empty());
 }

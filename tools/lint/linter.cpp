@@ -10,8 +10,8 @@
 namespace szx::lint {
 namespace {
 
-constexpr std::array<std::string_view, 3> kAllowlist = {
-    "byte_cursor.hpp", "stream.hpp", "bitops.hpp"};
+constexpr std::array<std::string_view, 4> kAllowlist = {
+    "byte_cursor.hpp", "stream.hpp", "bitops.hpp", "arena.hpp"};
 
 // Header fields that arrive from an untrusted stream.  An allocation sized
 // by one of these without CheckedAlloc is the bug class this repo has been
@@ -41,6 +41,9 @@ const std::vector<RuleInfo> kRules = {
      "CheckedAlloc"},
     {"unchecked-narrow",
      "narrowing static_cast of a size-like value without CheckedNarrow"},
+    {"simd-mem",
+     "raw SIMD load/store intrinsic; each one must explain its bounds "
+     "guarantee"},
     {"unexplained-allow", "allow directive without a `-- reason`"},
     {"unused-allow", "allow directive that suppresses nothing"},
     {"unknown-rule", "allow directive naming a rule that does not exist"},
@@ -435,6 +438,29 @@ void ScanUncheckedNarrow(Scan& s) {
   }
 }
 
+// Flags every _mm* intrinsic whose name contains load/store/stream: these
+// move bytes through raw pointers with no bound attached, so each use must
+// carry an explained allow stating why the access stays in bounds
+// (src/core/block_stats.cpp and src/core/kernels/kernels_avx2.cpp are the
+// exemplars).
+void ScanSimdMem(Scan& s) {
+  for (std::size_t at = s.code.find("_mm", 0); at != std::string_view::npos;
+       at = s.code.find("_mm", at + 1)) {
+    if (at > 0 && IsIdentChar(s.code[at - 1])) continue;  // mid-identifier
+    std::size_t end = at;
+    while (end < s.code.size() && IsIdentChar(s.code[end])) ++end;
+    const std::string_view name = s.code.substr(at, end - at);
+    if (name.find("load") == std::string_view::npos &&
+        name.find("store") == std::string_view::npos &&
+        name.find("stream") == std::string_view::npos)
+      continue;
+    s.Add(at, "simd-mem",
+          std::string(name) +
+              "; raw SIMD memory access needs an allow explaining its "
+              "bounds guarantee");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() { return kRules; }
@@ -485,6 +511,7 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
   ScanPtrArith(scan);
   ScanUncheckedAlloc(scan);
   ScanUncheckedNarrow(scan);
+  ScanSimdMem(scan);
 
   // Apply directives: a finding is suppressed by a matching allow on its
   // line (or on the directly preceding comment-only line).
