@@ -12,7 +12,16 @@
 //       the fixed reference the speedup figures are measured against.
 //       --smoke shrinks the field and rep count so CI can assert the JSON
 //       contract in milliseconds (no timing thresholds).
+//   micro_codec --bench_omp_json=PATH [--smoke]
+//       thread-scaling grid (the paper's Fig. 13 axes): OMP compress and
+//       decompress at 1/2/4/8 threads x kernel x dtype, plus the serial
+//       decoder as reference, with speedup-vs-1-thread series and the
+//       detected hardware thread count recorded alongside the numbers.
 #include <benchmark/benchmark.h>
+
+#if defined(SZX_HAVE_OPENMP)
+#include <omp.h>
+#endif
 
 #include <cstring>
 #include <fstream>
@@ -566,21 +575,199 @@ int RunBenchJson(const std::string& path, bool smoke) {
   return out.good() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --bench_omp_json mode: the thread-scaling grid (paper Fig. 13 axes).
+// ---------------------------------------------------------------------------
+
+struct OmpRow {
+  std::string bench;
+  std::string kernel;
+  std::string dtype;
+  int threads;
+  double rel_eb;
+  std::size_t bytes;
+  szx::bench::TrimmedTiming timing;
+
+  double Gbps() const {
+    return static_cast<double>(bytes) / 1e9 / timing.mean_s;
+  }
+};
+
+int HardwareThreads() {
+#if defined(SZX_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+// Thread-scaling measurements for one dtype under one kernel implementation
+// (the caller installs the kernel via SetActiveKind so the whole process --
+// serial reference included -- runs the implementation named in the rows).
+template <typename T>
+void RunOmpGridForType(std::vector<OmpRow>& rows, const char* kernel_name,
+                       const std::vector<T>& v, int reps, double rel_eb) {
+  Params p;
+  p.mode = ErrorBoundMode::kValueRangeRelative;
+  p.error_bound = rel_eb;
+  const std::size_t bytes = v.size() * sizeof(T);
+  const ByteBuffer stream = Compress<T>(v, p);
+
+  // Serial decoder reference for the parallel-decode speedup figures.
+  std::vector<T> out(v.size());
+  const auto st = szx::bench::TimeTrimmed(reps, [&] {
+    DecompressInto<T>(stream, std::span<T>(out));
+    benchmark::DoNotOptimize(out.data());
+  });
+  rows.push_back(
+      {"serial_decompress", kernel_name, DtypeName<T>(), 1, rel_eb, bytes, st});
+
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto ct = szx::bench::TimeTrimmed(reps, [&] {
+      auto s = CompressOmp<T>(v, p, nullptr, threads);
+      benchmark::DoNotOptimize(s.data());
+    });
+    rows.push_back({"omp_compress", kernel_name, DtypeName<T>(), threads,
+                    rel_eb, bytes, ct});
+    const auto dt = szx::bench::TimeTrimmed(reps, [&] {
+      DecompressOmpInto<T>(stream, std::span<T>(out), threads);
+      benchmark::DoNotOptimize(out.data());
+    });
+    rows.push_back({"omp_decompress", kernel_name, DtypeName<T>(), threads,
+                    rel_eb, bytes, dt});
+  }
+}
+
+int RunBenchOmpJson(const std::string& path, bool smoke) {
+  using szx::bench::JsonWriter;
+  const double scale = smoke ? 0.02 : szx::bench::BenchScale();
+  const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 5);
+  constexpr double kRelEb = 1e-2;
+  const data::Field field = data::GenerateField(data::App::kCesm, "CLDHGH",
+                                                scale);
+  const std::vector<float>& vf = field.values;
+  std::vector<double> vd(vf.begin(), vf.end());
+
+  const kernels::Kind prior = kernels::ActiveKind();
+  std::vector<kernels::Kind> kinds = {kernels::Kind::kScalar};
+  if (kernels::Avx2Supported()) kinds.push_back(kernels::Kind::kAvx2);
+  std::vector<OmpRow> rows;
+  for (const kernels::Kind kind : kinds) {
+    kernels::SetActiveKind(kind);
+    const char* kname = kernels::KindName(kind);
+    RunOmpGridForType<float>(rows, kname, vf, reps, kRelEb);
+    RunOmpGridForType<double>(rows, kname, vd, reps, kRelEb);
+  }
+  kernels::SetActiveKind(prior);
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "szx-bench-omp-v1");
+  w.Field("smoke", smoke);
+  w.Field("avx2_supported", kernels::Avx2Supported());
+  // Scaling beyond this count measures oversubscription, not parallelism;
+  // readers of the grid must interpret the thread axis against it.
+  w.Field("hardware_threads", HardwareThreads());
+  w.Field("reps", reps);
+  w.Field("rel_eb", kRelEb);
+  w.BeginObject("field");
+  w.Field("app", "CESM-ATM");
+  w.Field("name", field.name);
+  w.Field("elements", vf.size());
+  w.Field("scale", scale);
+  w.EndObject();
+  w.BeginArray("results");
+  for (const auto& r : rows) {
+    w.BeginObject();
+    w.Field("bench", r.bench);
+    w.Field("kernel", r.kernel);
+    w.Field("dtype", r.dtype);
+    w.Field("threads", r.threads);
+    w.Field("rel_eb", r.rel_eb);
+    w.Field("bytes", r.bytes);
+    w.Field("mean_s", r.timing.mean_s);
+    w.Field("min_s", r.timing.min_s);
+    w.Field("max_s", r.timing.max_s);
+    w.Field("gbps", r.Gbps());
+    w.EndObject();
+  }
+  w.EndArray();
+  // Thread-scaling series (the paper's Fig. 13 y-axis): each OMP row over
+  // the same bench/kernel/dtype at 1 thread.
+  w.BeginArray("speedup_vs_1thread");
+  for (const auto& r : rows) {
+    if (r.threads == 1 || r.bench == "serial_decompress") continue;
+    for (const auto& base : rows) {
+      if (base.bench == r.bench && base.kernel == r.kernel &&
+          base.dtype == r.dtype && base.threads == 1) {
+        w.BeginObject();
+        w.Field("bench", r.bench);
+        w.Field("kernel", r.kernel);
+        w.Field("dtype", r.dtype);
+        w.Field("threads", r.threads);
+        w.Field("speedup", r.Gbps() / base.Gbps());
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  // Parallel decode at each thread count over the serial decoder -- the
+  // end-to-end figure the DecompressOmp acceptance bar reads.
+  w.BeginArray("decode_speedup_vs_serial");
+  for (const auto& r : rows) {
+    if (r.bench != "omp_decompress") continue;
+    for (const auto& base : rows) {
+      if (base.bench == "serial_decompress" && base.kernel == r.kernel &&
+          base.dtype == r.dtype) {
+        w.BeginObject();
+        w.Field("kernel", r.kernel);
+        w.Field("dtype", r.dtype);
+        w.Field("threads", r.threads);
+        w.Field("speedup", r.Gbps() / base.Gbps());
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (!szx::bench::ValidateJson(w.Str())) {
+    std::fprintf(stderr, "micro_codec: generated JSON failed validation\n");
+    return 1;
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "micro_codec: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << w.Str() << '\n';
+  out.close();
+  std::printf("wrote %s (%zu results, reps=%d, %zu elements, %d hw threads)\n",
+              path.c_str(), rows.size(), reps, vf.size(), HardwareThreads());
+  return out.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::string omp_json_path;
   bool smoke = false;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--bench_json=", 13) == 0) {
       json_path = argv[i] + 13;
+    } else if (std::strncmp(argv[i], "--bench_omp_json=", 17) == 0) {
+      omp_json_path = argv[i] + 17;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  if (!omp_json_path.empty()) {
+    return RunBenchOmpJson(omp_json_path, smoke);
   }
   if (!json_path.empty()) {
     return RunBenchJson(json_path, smoke);

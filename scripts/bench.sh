@@ -1,23 +1,35 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_codec.json, the machine-readable perf-regression record
-# (docs/performance.md): GB/s for each kernel implementation x dtype x error
-# bound on a CESM-like field, plus the byte-wise pre-vectorization encode
-# loop as the fixed reference the speedup figures compare against.
+# Regenerates the machine-readable perf-regression records
+# (docs/performance.md):
+#   BENCH_codec.json  GB/s for each kernel implementation x dtype x error
+#                     bound on a CESM-like field, plus the byte-wise
+#                     pre-vectorization encode loop as the fixed reference
+#                     the speedup figures compare against.
+#   BENCH_omp.json    thread-scaling grid (paper Fig. 13 axes): OMP compress
+#                     and decompress at 1/2/4/8 threads x kernel x dtype,
+#                     with the serial decoder as reference and the detected
+#                     hardware thread count recorded alongside the numbers.
 #
 # Usage:
-#   scripts/bench.sh            full grid -> BENCH_codec.json at the repo root
+#   scripts/bench.sh            full grids -> BENCH_*.json at the repo root
 #   scripts/bench.sh --smoke    tiny field, JSON contract only (what CI runs)
 #
 # Knobs: SZX_BENCH_SCALE (field size), SZX_BENCH_REPS (timed repetitions;
 # the harness floors this at 7 and trims the fastest/slowest quintile), and
-# SZX_KERNEL=scalar|avx2 to force the full-path rows onto one implementation.
+# SZX_KERNEL=scalar|avx2 to force the full-path rows onto one implementation
+# (the omp grid switches kernels itself and ignores the override).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="BENCH_codec.json"
-[[ "${1:-}" == "--smoke" ]] && out="BENCH_codec_smoke.json"
+omp_out="BENCH_omp.json"
+if [[ "${1:-}" == "--smoke" ]]; then
+  out="BENCH_codec_smoke.json"
+  omp_out="BENCH_omp_smoke.json"
+fi
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" --target micro_codec
 ./build/bench/micro_codec --bench_json="${out}" "$@"
-echo "bench.sh: wrote ${out}"
+./build/bench/micro_codec --bench_omp_json="${omp_out}" "$@"
+echo "bench.sh: wrote ${out} and ${omp_out}"

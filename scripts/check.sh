@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full local verification battery (docs/static-analysis.md):
 #   1. release build with warnings-as-errors, then tier1 + conformance +
-#      fuzz-smoke + bench-smoke + lint
+#      fuzz-smoke + bench-smoke (codec grid and omp thread-scaling grid
+#      JSON contracts) + lint
 #   2. asan-ubsan build, then every tier under ASan/UBSan
 #   3. tsan build, then the OMP/cusim suites under ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to

@@ -6,6 +6,7 @@
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/frame_index.hpp"
 #include "core/kernels/kernels.hpp"
 
 namespace szx {
@@ -36,24 +37,6 @@ double ResolveAbsoluteBound(std::span<const T> data, const Params& params) {
   return params.error_bound *
          (static_cast<double>(r.max) - static_cast<double>(r.min));
 }
-
-namespace {
-
-template <SupportedFloat T>
-void DecodeBlockDispatch(CommitSolution sol, ByteSpan payload, T mu,
-                         const ReqPlan& plan, std::span<T> out) {
-  switch (sol) {
-    case CommitSolution::kA:
-      return DecodeBlockA(payload, mu, plan, out);
-    case CommitSolution::kB:
-      return DecodeBlockB(payload, mu, plan, out);
-    case CommitSolution::kC:
-      return DecodeBlockC(payload, mu, plan, out);
-  }
-  throw Error("szx: unknown commit solution");
-}
-
-}  // namespace
 
 template <SupportedFloat T>
 ByteSpan CompressInto(std::span<const T> data, const Params& params,
@@ -203,42 +186,12 @@ void DecompressInto(ByteSpan stream, std::span<T> out) {
     ByteCursor(s.payload).ReadSpan(out);
     return;
   }
-  const auto solution = static_cast<CommitSolution>(h.solution);
-  const std::uint32_t bs = h.block_size;
-
-  std::uint64_t const_idx = 0;
-  std::uint64_t ncb_idx = 0;
-  std::uint64_t offset = 0;  // payload offset
-  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
-    const std::uint64_t begin = k * bs;
-    const std::uint64_t count =
-        std::min<std::uint64_t>(bs, h.num_elements - begin);
-    std::span<T> block = out.subspan(begin, count);
-    if (!IsNonConstant(s.type_bits, k)) {
-      if (const_idx >= h.num_constant) {
-        throw Error("szx: corrupt stream (constant block overflow)");
-      }
-      const T mu = s.ConstMu(const_idx++);
-      for (T& v : block) v = mu;
-      continue;
-    }
-    if (ncb_idx >= h.num_blocks - h.num_constant) {
-      throw Error("szx: corrupt stream (non-constant block overflow)");
-    }
-    const ReqPlan plan = PlanFromReqLength<T>(s.Req(ncb_idx));
-    const T mu = s.NcbMu(ncb_idx);
-    const std::uint16_t zsize = s.Zsize(ncb_idx);
-    ++ncb_idx;
-    if (offset + zsize > s.payload.size()) {
-      throw Error("szx: corrupt stream (payload overrun)");
-    }
-    DecodeBlockDispatch(solution, s.payload.subspan(offset, zsize), mu, plan,
-                        block);
-    offset += zsize;
-  }
-  if (const_idx != h.num_constant) {
-    throw Error("szx: corrupt stream (constant count mismatch)");
-  }
+  // One bounds-checked directory pass (shared with the parallel decoder)
+  // validates the type-bit and zsize sections against the header before any
+  // block is decoded, then the chunk decode core walks the whole frame.
+  ChunkRef whole;
+  BuildChunkRefs(s, std::span<ChunkRef>(&whole, 1));
+  DecodeChunkInto(s, static_cast<CommitSolution>(h.solution), whole, out);
 }
 
 template <SupportedFloat T>

@@ -1,0 +1,219 @@
+// Shared chunk directory for frame decoding (the decode mirror of the OMP
+// encoder's block chunking).
+//
+// A compressed frame stores per-block metadata as flat sections plus a
+// per-block payload-size array (format.hpp); decoding block k needs three
+// running counters — how many constant blocks, non-constant blocks, and
+// payload bytes precede it.  Serial decoders derive them by walking every
+// block; parallel decoders need them at arbitrary chunk boundaries.
+//
+// This header hoists that derivation into one place: a ChunkRef records a
+// block range plus its three section bases, and the builder computes them
+// with a two-pass tally (type-bit popcounts, then zsize sums over each
+// chunk's non-constant index range) followed by exclusive prefix sums and
+// global validation against the header.  Every byte examined goes through
+// the bounds-checked Sections accessors / ByteCursor, and a directory whose
+// totals disagree with the header (forged type bits, lying zsize table) is
+// rejected before any block is decoded.
+//
+// The phases are exposed individually so omp_codec.cpp can run the two
+// tally passes in parallel (each chunk's tally touches disjoint section
+// ranges); BuildChunkRefs composes them serially for the serial decoder,
+// the streaming reader, and the cusim grid stage.  DecodeChunkInto is the
+// per-chunk decode loop all CPU paths share.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <span>
+
+#include "core/encode.hpp"
+#include "core/format.hpp"
+
+namespace szx {
+
+/// One contiguous run of blocks [first_block, last_block) with the running
+/// section counters at its start.
+struct ChunkRef {
+  std::uint64_t first_block = 0;
+  std::uint64_t last_block = 0;     ///< exclusive
+  std::uint64_t const_base = 0;     ///< constant blocks before first_block
+  std::uint64_t ncb_base = 0;       ///< non-constant blocks before first_block
+  std::uint64_t payload_base = 0;   ///< payload bytes before first_block
+};
+
+/// Largest useful chunk count for a frame: boundaries must sit on type-bit
+/// byte boundaries, so each chunk needs at least 8 blocks.
+inline std::uint64_t MaxUsefulChunks(std::uint64_t num_blocks) {
+  return num_blocks == 0 ? 1 : (num_blocks + 7) / 8;
+}
+
+/// Fills in [first_block, last_block) for every chunk: near-equal shares
+/// rounded up to multiples of 8 blocks (overflow-safe split; the last chunk
+/// absorbs the remainder).
+inline void SetChunkBounds(std::uint64_t num_blocks,
+                           std::span<ChunkRef> chunks) {
+  const std::uint64_t n = static_cast<std::uint64_t>(chunks.size());
+  std::uint64_t prev = 0;
+  for (std::uint64_t c = 0; c < n; ++c) {
+    std::uint64_t b = num_blocks;
+    if (c + 1 < n) {
+      b = num_blocks / n * (c + 1) + num_blocks % n * (c + 1) / n;
+      b = (b + 7) / 8 * 8;
+      b = std::min(b, num_blocks);
+    }
+    chunks[c].first_block = prev;
+    chunks[c].last_block = b;
+    prev = b;
+  }
+}
+
+/// Tally pass 1 (per chunk, parallel-safe): non-constant blocks in
+/// [first, last).  `first` is a multiple of 8, so whole type bytes can be
+/// popcounted; the ragged tail falls back to bit tests.
+inline std::uint64_t CountNonConstant(ByteSpan type_bits, std::uint64_t first,
+                                      std::uint64_t last) {
+  std::uint64_t cnt = 0;
+  std::uint64_t k = first;
+  for (; k + 8 <= last; k += 8) {
+    cnt += static_cast<std::uint64_t>(
+        std::popcount(std::to_integer<unsigned>(type_bits[k >> 3])));
+  }
+  for (; k < last; ++k) {
+    cnt += IsNonConstant(type_bits, k) ? 1 : 0;
+  }
+  return cnt;
+}
+
+/// Serial finalize after pass 1: converts the per-chunk non-constant counts
+/// (stashed in ncb_base by the caller) into exclusive prefix bases, derives
+/// const_base, and validates both totals against the header.  Throws on a
+/// forged type-bit section.
+inline void FinalizeTypeTallies(const Header& h, std::span<ChunkRef> chunks) {
+  std::uint64_t ncb_acc = 0;
+  for (ChunkRef& c : chunks) {
+    const std::uint64_t count = c.ncb_base;
+    c.ncb_base = ncb_acc;
+    c.const_base = c.first_block - ncb_acc;
+    ncb_acc += count;
+  }
+  const ChunkRef& tail = chunks.back();
+  const std::uint64_t total_const = h.num_blocks - ncb_acc;
+  if (ncb_acc != h.num_blocks - h.num_constant ||
+      total_const != h.num_constant || tail.last_block != h.num_blocks) {
+    throw Error("szx: corrupt stream (type bit counts mismatch)");
+  }
+}
+
+/// Tally pass 2 (per chunk, parallel-safe): total payload bytes of
+/// non-constant blocks [ncb_first, ncb_first + ncb_count), bounds-checked
+/// against the zsize section.
+inline std::uint64_t SumZsizes(ByteSpan zsize_section, std::uint64_t ncb_first,
+                               std::uint64_t ncb_count) {
+  ByteCursor cur(zsize_section);
+  cur.SkipArray(ncb_first, 2);
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < ncb_count; ++i) {
+    sum += cur.Read<std::uint16_t>();
+  }
+  return sum;
+}
+
+/// Serial finalize after pass 2: converts per-chunk payload byte counts
+/// (stashed in payload_base by the caller) into exclusive prefix bases and
+/// validates the total against the header.  Throws on a lying zsize table.
+inline void FinalizePayloadTallies(const Header& h,
+                                   std::span<ChunkRef> chunks) {
+  std::uint64_t acc = 0;
+  for (ChunkRef& c : chunks) {
+    const std::uint64_t bytes = c.payload_base;
+    c.payload_base = acc;
+    acc += bytes;
+  }
+  if (acc != h.payload_bytes) {
+    throw Error("szx: corrupt stream (payload size mismatch)");
+  }
+}
+
+/// Serial directory build: bounds, both tally passes, prefix sums, and
+/// validation.  `chunks` must be non-empty; pass a single ChunkRef to
+/// validate a whole frame in one pass (serial decode, cusim, streaming).
+template <SupportedFloat T>
+inline void BuildChunkRefs(const Sections<T>& s, std::span<ChunkRef> chunks) {
+  SetChunkBounds(s.header.num_blocks, chunks);
+  for (ChunkRef& c : chunks) {
+    c.ncb_base = CountNonConstant(s.type_bits, c.first_block, c.last_block);
+  }
+  FinalizeTypeTallies(s.header, chunks);
+  const std::uint64_t nnc = s.header.num_blocks - s.header.num_constant;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    const std::uint64_t next =
+        i + 1 < chunks.size() ? chunks[i + 1].ncb_base : nnc;
+    chunks[i].payload_base =
+        SumZsizes(s.ncb_zsize, chunks[i].ncb_base, next - chunks[i].ncb_base);
+  }
+  FinalizePayloadTallies(s.header, chunks);
+}
+
+namespace detail {
+
+template <SupportedFloat T>
+inline void DecodeBlockBySolution(CommitSolution sol, ByteSpan payload, T mu,
+                                  const ReqPlan& plan, std::span<T> out) {
+  switch (sol) {
+    case CommitSolution::kA:
+      return DecodeBlockA(payload, mu, plan, out);
+    case CommitSolution::kB:
+      return DecodeBlockB(payload, mu, plan, out);
+    case CommitSolution::kC:
+      return DecodeBlockC(payload, mu, plan, out);
+  }
+  throw Error("szx: unknown commit solution");
+}
+
+}  // namespace detail
+
+/// Decodes every block of one chunk into its slice of `out` — the decode
+/// core shared by the serial and OpenMP paths (and, via them, the streaming
+/// reader).  The per-block overflow checks stay even though the builder
+/// validated the global totals: a directory can be internally consistent
+/// and still disagree with the type bits block by block.
+template <SupportedFloat T>
+inline void DecodeChunkInto(const Sections<T>& s, CommitSolution solution,
+                            const ChunkRef& c, std::span<T> out) {
+  const Header& h = s.header;
+  const std::uint32_t bs = h.block_size;
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+  std::uint64_t ci = c.const_base;
+  std::uint64_t nci = c.ncb_base;
+  std::uint64_t offset = c.payload_base;
+  for (std::uint64_t k = c.first_block; k < c.last_block; ++k) {
+    const std::uint64_t begin = k * bs;
+    const std::uint64_t count =
+        std::min<std::uint64_t>(bs, h.num_elements - begin);
+    std::span<T> block = out.subspan(begin, count);
+    if (!IsNonConstant(s.type_bits, k)) {
+      if (ci >= h.num_constant) {
+        throw Error("szx: corrupt stream (constant block overflow)");
+      }
+      const T mu = s.ConstMu(ci++);
+      for (T& v : block) v = mu;
+      continue;
+    }
+    if (nci >= nnc) {
+      throw Error("szx: corrupt stream (non-constant block overflow)");
+    }
+    const ReqPlan plan = PlanFromReqLength<T>(s.Req(nci));
+    const T mu = s.NcbMu(nci);
+    const std::uint16_t zsize = s.Zsize(nci);
+    ++nci;
+    if (offset + zsize > s.payload.size()) {
+      throw Error("szx: corrupt stream (payload overrun)");
+    }
+    detail::DecodeBlockBySolution(solution, s.payload.subspan(offset, zsize),
+                                  mu, plan, block);
+    offset += zsize;
+  }
+}
+
+}  // namespace szx

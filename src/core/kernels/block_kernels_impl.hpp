@@ -87,8 +87,14 @@ inline std::size_t EncodeCScalar(const T* block, std::size_t n, T mu,
   return static_cast<std::size_t>(mid - dst);
 }
 
-// Decodes elements [0, n).  kRawBits stores the shifted word bits without
-// de-normalizing (the AVX2 decode adds mu in a separate vector pass);
+// Decodes elements [begin, end) of one block, continuing from a running
+// previous word and mid-byte cursor (the decode mirror of EncodeCRange).
+// The AVX2 kernel resumes through here for group tails and for payloads too
+// short for its vector bounds guard, so both implementations share one
+// definition of the per-element reconstruction and, crucially, one
+// truncation-throw behaviour.
+//
+// kRawBits stores the shifted word bits without de-normalizing;
 // kNormalize is ignored when kRawBits is set.
 //
 // The fast path reads one unaligned word per element; it is taken only when
@@ -97,21 +103,16 @@ inline std::size_t EncodeCScalar(const T* block, std::size_t n, T mu,
 // bounds too.  The byte-loop fallback covers the last few elements and
 // throws on truncation exactly like the historical DecodeBlockC.
 template <SupportedFloat T, bool kNormalize, bool kRawBits>
-inline void DecodeCScalar(const std::byte* payload, std::size_t payload_size,
-                          T mu, int nb, int s, T* out, std::size_t n) {
+inline void DecodeCRange(const std::byte* lead, const std::byte* mid,
+                         std::size_t mid_size, T mu, int nb, int s, T* out,
+                         std::size_t begin, std::size_t end,
+                         typename FloatTraits<T>::Bits& prev_io,
+                         std::size_t& pos_io) {
   using Bits = typename FloatTraits<T>::Bits;
-  const std::size_t lead_bytes = LeadArrayBytes(n);
-  if (payload_size < lead_bytes) {
-    throw Error("szx: truncated block payload (lead array)");
-  }
-  const std::byte* lead = payload;
-  const std::byte* mid = payload + lead_bytes;
-  const std::size_t mid_size = payload_size - lead_bytes;
   const Bits nb_mask = KeepMask<T>(nb);
-
-  Bits prev = 0;
-  std::size_t pos = 0;
-  for (std::size_t i = 0; i < n; ++i) {
+  Bits prev = prev_io;
+  std::size_t pos = pos_io;
+  for (std::size_t i = begin; i < end; ++i) {
     const unsigned code = GetLead(lead, i);
     const int copy = static_cast<int>(code) < nb ? static_cast<int>(code) : nb;
     const std::size_t take = static_cast<std::size_t>(nb - copy);
@@ -143,6 +144,24 @@ inline void DecodeCScalar(const std::byte* payload, std::size_t payload_size,
     }
     prev = t;
   }
+  prev_io = prev;
+  pos_io = pos;
+}
+
+// Decodes a whole block payload [lead array | mid bytes] into out[0, n).
+template <SupportedFloat T, bool kNormalize, bool kRawBits>
+inline void DecodeCScalar(const std::byte* payload, std::size_t payload_size,
+                          T mu, int nb, int s, T* out, std::size_t n) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  if (payload_size < lead_bytes) {
+    throw Error("szx: truncated block payload (lead array)");
+  }
+  Bits prev = 0;
+  std::size_t pos = 0;
+  DecodeCRange<T, kNormalize, kRawBits>(payload, payload + lead_bytes,
+                                        payload_size - lead_bytes, mu, nb, s,
+                                        out, 0, n, prev, pos);
 }
 
 template <SupportedFloat T>

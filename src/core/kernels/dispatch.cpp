@@ -1,5 +1,6 @@
 // Runtime kernel selection: cpuid-style detection once per process, with an
 // SZX_KERNEL=scalar|avx2 environment override for differential testing.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,11 +44,26 @@ Kind SelectKind() {
   return Avx2Supported() ? Kind::kAvx2 : Kind::kScalar;
 }
 
+// -1 = not yet selected; otherwise a Kind value.  Lazy selection may race on
+// first use, but every racer computes the same SelectKind() result, so the
+// benign double-store is TSan-clean through the atomic.
+std::atomic<int> g_kind{-1};
+
 }  // namespace
 
 Kind ActiveKind() {
-  static const Kind kKind = SelectKind();
-  return kKind;
+  int k = g_kind.load(std::memory_order_relaxed);
+  if (k < 0) {
+    k = static_cast<int>(SelectKind());
+    g_kind.store(k, std::memory_order_relaxed);
+  }
+  return static_cast<Kind>(k);
+}
+
+Kind SetActiveKind(Kind kind) {
+  if (kind == Kind::kAvx2 && !Avx2Supported()) kind = Kind::kScalar;
+  g_kind.store(static_cast<int>(kind), std::memory_order_relaxed);
+  return kind;
 }
 
 template <SupportedFloat T>

@@ -37,6 +37,12 @@ bool Avx2Supported();
 /// The process-wide selection (env override applied), chosen on first use.
 Kind ActiveKind();
 
+/// Replaces the process-wide selection (used by the CLI's --kernel flag and
+/// the bench grid to switch implementations without a subprocess).  Requesting
+/// avx2 on hardware without it falls back to scalar, mirroring the env
+/// override.  Returns the kind actually installed.
+Kind SetActiveKind(Kind kind);
+
 /// Word-wide commits may store up to sizeof(Bits)-1 bytes past the live
 /// payload (always overwritten by the next store or ignored at the end);
 /// encode destination buffers must include this slack.

@@ -155,29 +155,6 @@ std::size_t EncodeCAvx2F64(const double* block, std::size_t n, double mu,
   return static_cast<std::size_t>(mid - dst);
 }
 
-// De-normalization pass of the AVX2 decode.  One fp add per element, the
-// same single IEEE rounding the scalar decoder applies, so results match
-// bit for bit.
-inline void AddMu(float* out, std::size_t n, float mu) {
-  const __m256 mu8 = _mm256_set1_ps(mu);
-  std::size_t i = 0;
-  for (; i + 8 <= n; i += 8) {
-    // szx-lint: allow(simd-mem) -- in-place update of out[i..i+8) under the loop bound i+8 <= n
-    _mm256_storeu_ps(out + i, _mm256_add_ps(_mm256_loadu_ps(out + i), mu8));
-  }
-  for (; i < n; ++i) out[i] = static_cast<float>(out[i] + mu);
-}
-
-inline void AddMu(double* out, std::size_t n, double mu) {
-  const __m256d mu4 = _mm256_set1_pd(mu);
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    // szx-lint: allow(simd-mem) -- in-place update of out[i..i+4) under the loop bound i+4 <= n
-    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), mu4));
-  }
-  for (; i < n; ++i) out[i] = static_cast<double>(out[i] + mu);
-}
-
 template <SupportedFloat T>
 std::size_t EncodeCAvx2(const T* block, std::size_t n, T mu,
                         const ReqPlan& plan, std::byte* dst) {
@@ -190,20 +167,252 @@ std::size_t EncodeCAvx2(const T* block, std::size_t n, T mu,
   }
 }
 
-// The t-word chain is serial (each element's reconstruction needs the
-// previous word), so decode extracts raw shifted bits with the word-wide
-// scalar loop and vectorizes only the independent de-normalization pass.
+// Gather-based AVX2 decode.
+//
+// The reconstruction recurrence t_i = (t_{i-1} & M_i) | m_i (M_i the
+// keep-mask of the inherited leading bytes, m_i the masked shifted gathered
+// mid word) looks serial, but the per-element operations compose
+// associatively:
+//
+//   (M_a, m_a) then (M_b, m_b)  ==  (M_a & M_b, (m_a & M_b) | m_b)
+//
+// so a Hillis-Steele AND/OR scan resolves all lanes of one vector group in
+// log2(lanes) rounds, with a single scalar carry word crossing groups.  Per
+// group: expand the 2-bit lead codes, take an in-register exclusive prefix
+// sum of the per-lane mid-byte counts, gather each lane's word from the mid
+// stream at its computed offset, byte-swap, shift by the inherited-byte
+// count, scan, apply the carry, then left-shift and de-normalize in the same
+// registers before one wide store — mu fusion replaces the separate AddMu
+// pass the old kernel needed.
+//
+// The vector loop runs only while a conservative bounds guard holds (every
+// lane could take nb bytes and the gather reads a whole word); the scalar
+// DecodeCRange resumes from the carried (prev, pos) state for group tails,
+// short payloads, and the truncation-throw path, so both kernels share one
+// error behaviour.
+template <bool kNormalize>
+void DecodeCAvx2F32(const std::byte* payload, std::size_t payload_size,
+                    float mu, int nb, int s, float* out, std::size_t n) {
+  using Bits = std::uint32_t;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  if (payload_size < lead_bytes) {
+    throw Error("szx: truncated block payload (lead array)");
+  }
+  const std::byte* lead = payload;
+  const std::byte* mid = payload + lead_bytes;
+  const std::size_t mid_size = payload_size - lead_bytes;
+
+  const __m256i nb8 = _mm256_set1_epi32(nb);
+  const __m256i nbmask8 =
+      _mm256_set1_epi32(static_cast<int>(KeepMask<float>(nb)));
+  const __m256i ones = _mm256_set1_epi32(-1);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i three = _mm256_set1_epi32(3);
+  const __m256i w32 = _mm256_set1_epi32(32);
+  const __m128i scount = _mm_cvtsi32_si128(s);
+  // Lane j's lead code sits at bits (14 - 2j) of the two lead bytes.
+  const __m256i code_shift = _mm256_setr_epi32(14, 12, 10, 8, 6, 4, 2, 0);
+  const __m256i bswap32 = _mm256_setr_epi8(
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12,  //
+      3, 2, 1, 0, 7, 6, 5, 4, 11, 10, 9, 8, 15, 14, 13, 12);
+  const __m256i rot1 = _mm256_setr_epi32(0, 0, 1, 2, 3, 4, 5, 6);
+  const __m256i rot2 = _mm256_setr_epi32(0, 0, 0, 1, 2, 3, 4, 5);
+  const __m256i rot4 = _mm256_setr_epi32(0, 0, 0, 0, 0, 1, 2, 3);
+  [[maybe_unused]] const __m256 mu8 = _mm256_set1_ps(mu);
+
+  Bits prev = 0;
+  std::size_t pos = 0;
+  std::size_t i = 0;
+  // Guard: 8 lanes of at most nb mid bytes each, plus one whole gathered
+  // word past the last lane's offset.
+  const std::size_t guard = 8 * static_cast<std::size_t>(nb) + sizeof(Bits);
+  for (; i + 8 <= n && pos + guard <= mid_size; i += 8) {
+    // i is a multiple of 8, so this group owns two whole lead bytes.
+    const unsigned lw = (std::to_integer<unsigned>(lead[i >> 2]) << 8) |
+                        std::to_integer<unsigned>(lead[(i >> 2) + 1]);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi32(_mm256_set1_epi32(static_cast<int>(lw)), code_shift),
+        three);
+    const __m256i copy = _mm256_min_epi32(codes, nb8);
+    const __m256i take = _mm256_sub_epi32(nb8, copy);
+    // In-register inclusive prefix sum of the per-lane mid-byte counts.
+    __m256i ps = _mm256_add_epi32(take, _mm256_bslli_epi128(take, 4));
+    ps = _mm256_add_epi32(ps, _mm256_bslli_epi128(ps, 8));
+    const __m256i low_top =
+        _mm256_permutevar8x32_epi32(ps, _mm256_set1_epi32(3));
+    ps = _mm256_add_epi32(ps, _mm256_blend_epi32(zero, low_top, 0xF0));
+    const __m256i excl = _mm256_sub_epi32(ps, take);
+    const auto total =
+        static_cast<std::uint32_t>(_mm256_extract_epi32(ps, 7));
+    const __m256i posv =
+        _mm256_add_epi32(_mm256_set1_epi32(static_cast<int>(pos)), excl);
+    // szx-lint: allow(reinterpret-cast) -- gather base pointer over the mid byte array; the gather below indexes it at scale 1
+    const int* const mid_base = reinterpret_cast<const int*>(mid);
+    // szx-lint: allow(simd-mem) -- gathers one word per lane at mid+pos+excl[j]; the loop guard pos + 8*nb + 4 <= mid_size caps every lane's read
+    const __m256i g = _mm256_i32gather_epi32(mid_base, posv, 1);
+    const __m256i w = _mm256_shuffle_epi8(g, bswap32);
+    const __m256i copy8 = _mm256_slli_epi32(copy, 3);
+    const __m256i m = _mm256_and_si256(_mm256_srlv_epi32(w, copy8), nbmask8);
+    // KeepMask(copy): shift counts >= 32 yield 0, covering copy == 0.
+    const __m256i M = _mm256_sllv_epi32(ones, _mm256_sub_epi32(w32, copy8));
+    // AND/OR scan: after round d, lane i has ops (i-2d, i] composed.
+    __m256i Ms = M, ms = m;
+    {
+      __m256i Mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(Ms, rot1),
+                                      ones, 0x01);
+      __m256i mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(ms, rot1),
+                                      zero, 0x01);
+      ms = _mm256_or_si256(_mm256_and_si256(mp, Ms), ms);
+      Ms = _mm256_and_si256(Mp, Ms);
+    }
+    {
+      __m256i Mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(Ms, rot2),
+                                      ones, 0x03);
+      __m256i mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(ms, rot2),
+                                      zero, 0x03);
+      ms = _mm256_or_si256(_mm256_and_si256(mp, Ms), ms);
+      Ms = _mm256_and_si256(Mp, Ms);
+    }
+    {
+      __m256i Mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(Ms, rot4),
+                                      ones, 0x0F);
+      __m256i mp = _mm256_blend_epi32(_mm256_permutevar8x32_epi32(ms, rot4),
+                                      zero, 0x0F);
+      ms = _mm256_or_si256(_mm256_and_si256(mp, Ms), ms);
+      Ms = _mm256_and_si256(Mp, Ms);
+    }
+    const __m256i t = _mm256_or_si256(
+        _mm256_and_si256(_mm256_set1_epi32(static_cast<int>(prev)), Ms), ms);
+    const __m256i shifted = _mm256_sll_epi32(t, scount);
+    if constexpr (kNormalize) {
+      // szx-lint: allow(simd-mem) -- stores 8 floats at out+i; the loop bound i+8 <= n keeps the store in the caller's block
+      _mm256_storeu_ps(out + i,
+                       _mm256_add_ps(_mm256_castsi256_ps(shifted), mu8));
+    } else {
+      // szx-lint: allow(simd-mem) -- stores 8 floats at out+i; the loop bound i+8 <= n keeps the store in the caller's block
+      _mm256_storeu_ps(out + i, _mm256_castsi256_ps(shifted));
+    }
+    prev = static_cast<Bits>(_mm256_extract_epi32(t, 7));
+    pos += total;
+  }
+  detail::DecodeCRange<float, kNormalize, false>(lead, mid, mid_size, mu, nb,
+                                                 s, out, i, n, prev, pos);
+}
+
+template <bool kNormalize>
+void DecodeCAvx2F64(const std::byte* payload, std::size_t payload_size,
+                    double mu, int nb, int s, double* out, std::size_t n) {
+  using Bits = std::uint64_t;
+  const std::size_t lead_bytes = LeadArrayBytes(n);
+  if (payload_size < lead_bytes) {
+    throw Error("szx: truncated block payload (lead array)");
+  }
+  const std::byte* lead = payload;
+  const std::byte* mid = payload + lead_bytes;
+  const std::size_t mid_size = payload_size - lead_bytes;
+
+  const __m256i nb4 = _mm256_set1_epi64x(nb);
+  const __m256i nbmask4 =
+      _mm256_set1_epi64x(static_cast<long long>(KeepMask<double>(nb)));
+  const __m256i ones = _mm256_set1_epi64x(-1);
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i three = _mm256_set1_epi64x(3);
+  const __m256i w64 = _mm256_set1_epi64x(64);
+  const __m128i scount = _mm_cvtsi32_si128(s);
+  // Lane j's lead code sits at bits (6 - 2j) of the group's lead byte.
+  const __m256i code_shift = _mm256_setr_epi64x(6, 4, 2, 0);
+  const __m256i bswap64 = _mm256_setr_epi8(
+      7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,  //
+      7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8);
+  [[maybe_unused]] const __m256d mu4 = _mm256_set1_pd(mu);
+
+  Bits prev = 0;
+  std::size_t pos = 0;
+  std::size_t i = 0;
+  const std::size_t guard = 4 * static_cast<std::size_t>(nb) + sizeof(Bits);
+  for (; i + 4 <= n && pos + guard <= mid_size; i += 4) {
+    // i is a multiple of 4, so this group owns one whole lead byte.
+    const unsigned lw = std::to_integer<unsigned>(lead[i >> 2]);
+    const __m256i codes = _mm256_and_si256(
+        _mm256_srlv_epi64(_mm256_set1_epi64x(static_cast<long long>(lw)),
+                          code_shift),
+        three);
+    // min(codes, nb) without _mm256_min_epi64 (AVX-512 only): both operands
+    // are small non-negative, so a 64-bit signed compare selects correctly.
+    const __m256i copy =
+        _mm256_blendv_epi8(codes, nb4, _mm256_cmpgt_epi64(codes, nb4));
+    const __m256i take = _mm256_sub_epi64(nb4, copy);
+    __m256i ps = _mm256_add_epi64(take, _mm256_bslli_epi128(take, 8));
+    const __m256i low_top = _mm256_permute4x64_epi64(ps, _MM_SHUFFLE(1, 1, 1, 1));
+    ps = _mm256_add_epi64(ps, _mm256_blend_epi32(zero, low_top, 0xF0));
+    const __m256i excl = _mm256_sub_epi64(ps, take);
+    const auto total = static_cast<std::uint64_t>(_mm256_extract_epi64(ps, 3));
+    const __m256i posv = _mm256_add_epi64(
+        _mm256_set1_epi64x(static_cast<long long>(pos)), excl);
+    // szx-lint: allow(reinterpret-cast) -- gather base pointer over the mid byte array; the gather below indexes it at scale 1
+    const long long* const mid_base = reinterpret_cast<const long long*>(mid);
+    // szx-lint: allow(simd-mem) -- gathers one word per lane at mid+pos+excl[j]; the loop guard pos + 4*nb + 8 <= mid_size caps every lane's read
+    const __m256i g = _mm256_i64gather_epi64(mid_base, posv, 1);
+    const __m256i w = _mm256_shuffle_epi8(g, bswap64);
+    const __m256i copy8 = _mm256_slli_epi64(copy, 3);
+    const __m256i m = _mm256_and_si256(_mm256_srlv_epi64(w, copy8), nbmask4);
+    const __m256i M = _mm256_sllv_epi64(ones, _mm256_sub_epi64(w64, copy8));
+    __m256i Ms = M, ms = m;
+    {
+      __m256i Mp = _mm256_blend_epi32(
+          _mm256_permute4x64_epi64(Ms, _MM_SHUFFLE(2, 1, 0, 0)), ones, 0x03);
+      __m256i mp = _mm256_blend_epi32(
+          _mm256_permute4x64_epi64(ms, _MM_SHUFFLE(2, 1, 0, 0)), zero, 0x03);
+      ms = _mm256_or_si256(_mm256_and_si256(mp, Ms), ms);
+      Ms = _mm256_and_si256(Mp, Ms);
+    }
+    {
+      __m256i Mp = _mm256_blend_epi32(
+          _mm256_permute4x64_epi64(Ms, _MM_SHUFFLE(1, 0, 0, 0)), ones, 0x0F);
+      __m256i mp = _mm256_blend_epi32(
+          _mm256_permute4x64_epi64(ms, _MM_SHUFFLE(1, 0, 0, 0)), zero, 0x0F);
+      ms = _mm256_or_si256(_mm256_and_si256(mp, Ms), ms);
+      Ms = _mm256_and_si256(Mp, Ms);
+    }
+    const __m256i t = _mm256_or_si256(
+        _mm256_and_si256(_mm256_set1_epi64x(static_cast<long long>(prev)), Ms),
+        ms);
+    const __m256i shifted = _mm256_sll_epi64(t, scount);
+    if constexpr (kNormalize) {
+      // szx-lint: allow(simd-mem) -- stores 4 doubles at out+i; the loop bound i+4 <= n keeps the store in the caller's block
+      _mm256_storeu_pd(out + i,
+                       _mm256_add_pd(_mm256_castsi256_pd(shifted), mu4));
+    } else {
+      // szx-lint: allow(simd-mem) -- stores 4 doubles at out+i; the loop bound i+4 <= n keeps the store in the caller's block
+      _mm256_storeu_pd(out + i, _mm256_castsi256_pd(shifted));
+    }
+    prev = static_cast<Bits>(_mm256_extract_epi64(t, 3));
+    pos += total;
+  }
+  detail::DecodeCRange<double, kNormalize, false>(lead, mid, mid_size, mu, nb,
+                                                  s, out, i, n, prev, pos);
+}
+
 template <SupportedFloat T>
 void DecodeCAvx2(const std::byte* payload, std::size_t payload_size, T mu,
                  const ReqPlan& plan, T* out, std::size_t n) {
-  if (mu == T(0)) {
-    detail::DecodeCScalar<T, false, false>(payload, payload_size, mu,
-                                           plan.num_bytes, plan.shift, out, n);
-    return;
+  if constexpr (std::is_same_v<T, float>) {
+    if (mu == 0.0f) {
+      DecodeCAvx2F32<false>(payload, payload_size, mu, plan.num_bytes,
+                            plan.shift, out, n);
+    } else {
+      DecodeCAvx2F32<true>(payload, payload_size, mu, plan.num_bytes,
+                           plan.shift, out, n);
+    }
+  } else {
+    if (mu == 0.0) {
+      DecodeCAvx2F64<false>(payload, payload_size, mu, plan.num_bytes,
+                            plan.shift, out, n);
+    } else {
+      DecodeCAvx2F64<true>(payload, payload_size, mu, plan.num_bytes,
+                           plan.shift, out, n);
+    }
   }
-  detail::DecodeCScalar<T, false, true>(payload, payload_size, mu,
-                                        plan.num_bytes, plan.shift, out, n);
-  AddMu(out, n, mu);
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
 #include "core/omp_codec.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/arena.hpp"
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/frame_index.hpp"
 #include "core/kernels/kernels.hpp"
 
 #if defined(SZX_HAVE_OPENMP)
@@ -47,20 +49,6 @@ struct SectionFragment {
   std::uint64_t num_constant = 0;
   std::uint64_t num_lossless = 0;
 };
-
-template <SupportedFloat T>
-void DecodeDispatch(CommitSolution sol, ByteSpan payload, T mu,
-                    const ReqPlan& plan, std::span<T> out) {
-  switch (sol) {
-    case CommitSolution::kA:
-      return DecodeBlockA(payload, mu, plan, out);
-    case CommitSolution::kB:
-      return DecodeBlockB(payload, mu, plan, out);
-    case CommitSolution::kC:
-      return DecodeBlockC(payload, mu, plan, out);
-  }
-  throw Error("szx: unknown commit solution");
-}
 
 // Compresses blocks [first, last) into a fragment carved from `arena`.
 // `first` must be a multiple of 8 so the fragment's type bits start on a
@@ -124,6 +112,22 @@ void CompressBlockRange(std::span<const T> data, const Params& params,
   }
 }
 
+// libgomp's region-end barrier is futex-based and invisible to TSan, so the
+// happens-before edge from each worker's writes (arena fragments, the chunk
+// directory, the output buffer) to the calling thread's later reads — and to
+// the exit-time TLS destructors that free the arenas — must be restated with
+// atomics the tool can see.  Every chunk iteration ends with a release RMW
+// on the region's counter and the calling thread acquires the final value
+// after the region; one RMW per chunk is noise next to the chunk work.
+class RegionPublish {
+ public:
+  void Publish() { sync_.fetch_add(1, std::memory_order_release); }
+  void AcquireAll() { (void)sync_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<unsigned> sync_{0};
+};
+
 }  // namespace
 
 template <SupportedFloat T>
@@ -172,28 +176,49 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   // (empty) instance instead.
   ScratchArena* const arenas = arenas_tls.data();
   std::vector<SectionFragment<T>> frags(chunks);
+  RegionPublish sync;
 #pragma omp parallel for num_threads(threads) schedule(static, 1)
   for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
     if (bounds[c] < bounds[c + 1]) {
       CompressBlockRange(data, params, abs_bound, eb_expo, bounds[c],
                          bounds[c + 1], arenas[c], frags[c]);
     }
+    sync.Publish();
   }
+  sync.AcquireAll();
 
-  // Serial concatenation of fragments.
+  // Exclusive prefix sums over the fragment sizes: every chunk's landing
+  // offset in each of the six sections is known before a byte moves, so the
+  // stitch below is a fully parallel scatter with zero serialization.
+  struct StitchOffsets {
+    std::size_t type_bits = 0, const_mu = 0, req = 0, mu = 0, zsize = 0,
+                payload = 0;
+  };
+  std::vector<StitchOffsets> at(chunks);
   std::uint64_t num_constant = 0;
   std::uint64_t num_lossless = 0;
   std::uint64_t payload_bytes = 0;
   std::size_t const_mu_bytes = 0, req_bytes = 0, ncb_mu_bytes = 0,
               zsize_bytes = 0;
-  for (const auto& f : frags) {
-    num_constant += f.num_constant;
-    num_lossless += f.num_lossless;
-    payload_bytes += f.payload_n;
-    const_mu_bytes += f.const_mu_n;
-    req_bytes += f.ncb_n;
-    ncb_mu_bytes += f.ncb_n * sizeof(T);
-    zsize_bytes += f.ncb_n * 2;
+  {
+    StitchOffsets acc;
+    for (std::uint64_t c = 0; c < chunks; ++c) {
+      const SectionFragment<T>& f = frags[c];
+      at[c] = acc;
+      acc.type_bits += f.type_bits.size();
+      acc.const_mu += f.const_mu_n;
+      acc.req += f.ncb_n;
+      acc.mu += f.ncb_n * sizeof(T);
+      acc.zsize += f.ncb_n * 2;
+      acc.payload += f.payload_n;
+      num_constant += f.num_constant;
+      num_lossless += f.num_lossless;
+    }
+    payload_bytes = acc.payload;
+    const_mu_bytes = acc.const_mu;
+    req_bytes = acc.req;
+    ncb_mu_bytes = acc.mu;
+    zsize_bytes = acc.zsize;
   }
 
   Header h;
@@ -218,30 +243,36 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
     // Raw passthrough must match the serial compressor byte for byte.
     return Compress(data, params, stats);
   }
-  out.reserve(total);
-  ByteWriter w(out);
-  w.Write(h);
-  // Append each section's live prefix from every fragment in chunk order.
-  auto append_all = [&out, &frags](auto section) {
-    for (const auto& f : frags) {
-      const std::span<const std::byte> live = section(f);
-      out.insert(out.end(), live.begin(), live.end());
-    }
-  };
-  append_all([](const SectionFragment<T>& f) { return f.type_bits; });
-  append_all([](const SectionFragment<T>& f) {
-    return f.const_mu.first(f.const_mu_n);
-  });
-  append_all(
-      [](const SectionFragment<T>& f) { return f.ncb_req.first(f.ncb_n); });
-  append_all([](const SectionFragment<T>& f) {
-    return f.ncb_mu.first(f.ncb_n * sizeof(T));
-  });
-  append_all([](const SectionFragment<T>& f) {
-    return f.ncb_zsize.first(f.ncb_n * 2);
-  });
-  append_all(
-      [](const SectionFragment<T>& f) { return f.payload.first(f.payload_n); });
+  out.resize(total);
+  StoreWord<Header>(out.data(), h);
+  // Section start offsets within the stitched stream.
+  const std::size_t type_base = sizeof(Header);
+  const std::size_t const_base = type_base + type_bytes;
+  const std::size_t req_base = const_base + const_mu_bytes;
+  const std::size_t mu_base = req_base + req_bytes;
+  const std::size_t zsize_base = mu_base + ncb_mu_bytes;
+  const std::size_t payload_base = zsize_base + zsize_bytes;
+  // Parallel stitch: chunk c copies each section's live prefix to its
+  // precomputed offset.  Destination ranges are disjoint by construction
+  // (exclusive prefix sums above), so no synchronization is needed.
+  std::byte* const dst = out.data();
+  const SectionFragment<T>* const fr = frags.data();
+  const StitchOffsets* const ofs = at.data();
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    const SectionFragment<T>& f = fr[c];
+    const StitchOffsets& o = ofs[c];
+    std::copy_n(f.type_bits.data(), f.type_bits.size(),
+                dst + type_base + o.type_bits);
+    std::copy_n(f.const_mu.data(), f.const_mu_n,
+                dst + const_base + o.const_mu);
+    std::copy_n(f.ncb_req.data(), f.ncb_n, dst + req_base + o.req);
+    std::copy_n(f.ncb_mu.data(), f.ncb_n * sizeof(T), dst + mu_base + o.mu);
+    std::copy_n(f.ncb_zsize.data(), f.ncb_n * 2, dst + zsize_base + o.zsize);
+    std::copy_n(f.payload.data(), f.payload_n, dst + payload_base + o.payload);
+    sync.Publish();
+  }
+  sync.AcquireAll();
 
   if (stats != nullptr) {
     stats->num_elements = n;
@@ -275,54 +306,75 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
     return;
   }
   const auto solution = static_cast<CommitSolution>(h.solution);
-  const std::uint32_t bs = h.block_size;
   const std::uint64_t nnc = h.num_blocks - h.num_constant;
 
-  // Per-block metadata indices (the serial scan the paper replaces with a
-  // parallel prefix sum; O(num_blocks) and trivially cheap next to decode).
-  const std::vector<std::uint64_t> offsets = PrefixSumZsizes(s.ncb_zsize, nnc);
-  if (offsets[nnc] != h.payload_bytes) {
-    throw Error("szx: corrupt stream (payload size mismatch)");
+  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  const std::uint64_t max_useful = MaxUsefulChunks(h.num_blocks);
+  if (static_cast<std::uint64_t>(threads) > max_useful) {
+    threads = static_cast<int>(max_useful);
   }
-  // num_blocks was bounded by the type-bits section slice (1 bit per
-  // block), so this allocation is at most 64x the stream size.
-  std::vector<std::uint64_t> meta_index(
-      ByteCursor(stream).CheckedAlloc(h.num_blocks, sizeof(std::uint64_t), 8));
-  std::uint64_t ci = 0, nci = 0;
-  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
-    meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
-  }
-  if (ci != h.num_constant || nci != nnc) {
-    throw Error("szx: corrupt stream (type bit counts mismatch)");
-  }
+  const std::uint64_t chunks = static_cast<std::uint64_t>(threads);
 
-  const int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
-  // Exceptions must not escape an OpenMP region; latch the first failure.
+  // Chunk directory, O(threads) instead of the old O(num_blocks)
+  // meta-index; the thread_local vector keeps steady-state decode calls off
+  // the heap (same discipline as the encoder's arena vector).  Captured by
+  // pointer before the parallel regions — inside one the name would resolve
+  // to each worker's own empty instance.
+  thread_local std::vector<ChunkRef> chunks_tls;
+  if (chunks_tls.size() < chunks) chunks_tls.resize(chunks);
+  const std::span<ChunkRef> dir(chunks_tls.data(),
+                                static_cast<std::size_t>(chunks));
+  ChunkRef* const cd = dir.data();
+  SetChunkBounds(h.num_blocks, dir);
+
+  // Directory pass 1: per-chunk type-bit popcounts (disjoint byte ranges),
+  // then a serial O(chunks) exclusive prefix sum + total validation.
+  RegionPublish sync;
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    cd[c].ncb_base =
+        CountNonConstant(s.type_bits, cd[c].first_block, cd[c].last_block);
+    sync.Publish();
+  }
+  sync.AcquireAll();
+  FinalizeTypeTallies(h, dir);
+
+  // Directory pass 2: per-chunk zsize sums over disjoint non-constant index
+  // ranges, then the payload prefix sum + total validation.  Exceptions
+  // must not escape an OpenMP region; latch the first failure.
   std::exception_ptr failure = nullptr;
-#pragma omp parallel for num_threads(threads) schedule(static)
-  for (std::int64_t k = 0; k < static_cast<std::int64_t>(h.num_blocks); ++k) {
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
     try {
-      const std::uint64_t begin = static_cast<std::uint64_t>(k) * bs;
-      const std::uint64_t count =
-          std::min<std::uint64_t>(bs, h.num_elements - begin);
-      std::span<T> block = out.subspan(begin, count);
-      const std::uint64_t idx = meta_index[k];
-      if (!IsNonConstant(s.type_bits, static_cast<std::uint64_t>(k))) {
-        const T mu = s.ConstMu(idx);
-        for (T& v : block) v = mu;
-      } else {
-        const ReqPlan plan = PlanFromReqLength<T>(s.Req(idx));
-        const T mu = s.NcbMu(idx);
-        DecodeDispatch(
-            solution,
-            s.payload.subspan(offsets[idx], offsets[idx + 1] - offsets[idx]),
-            mu, plan, block);
-      }
+      const std::uint64_t next =
+          static_cast<std::uint64_t>(c) + 1 < chunks ? cd[c + 1].ncb_base
+                                                     : nnc;
+      cd[c].payload_base =
+          SumZsizes(s.ncb_zsize, cd[c].ncb_base, next - cd[c].ncb_base);
     } catch (...) {
 #pragma omp critical
       if (failure == nullptr) failure = std::current_exception();
     }
+    sync.Publish();
   }
+  sync.AcquireAll();
+  if (failure != nullptr) std::rethrow_exception(failure);
+  FinalizePayloadTallies(h, dir);
+
+  // Decode chunks concurrently: every thread writes its blocks into `out`
+  // at offsets precomputed by the directory — zero serialization and zero
+  // shared mutable state outside the failure latch.
+#pragma omp parallel for num_threads(threads) schedule(static, 1)
+  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+    try {
+      DecodeChunkInto(s, solution, cd[c], out);
+    } catch (...) {
+#pragma omp critical
+      if (failure == nullptr) failure = std::current_exception();
+    }
+    sync.Publish();
+  }
+  sync.AcquireAll();
   if (failure != nullptr) std::rethrow_exception(failure);
 #endif
 }

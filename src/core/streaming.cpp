@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "core/omp_codec.hpp"
+
 namespace szx {
 namespace {
 
@@ -91,7 +93,11 @@ bool StreamReader<T>::Next(std::vector<T>& out) {
   const Sections<T> s = ParseSections<T>(frame);
   out.resize(ByteCursor(frame).CheckedAlloc(s.header.num_elements, sizeof(T),
                                             kMaxBlockSize));
-  DecompressInto<T>(frame, out);
+  if (num_threads_ == 1) {
+    DecompressInto<T>(frame, out);
+  } else {
+    DecompressOmpInto<T>(frame, out, num_threads_);
+  }
   ++frames_read_;
   return true;
 }

@@ -58,11 +58,19 @@ class StreamReader {
   /// end of container; throws on truncation or checksum mismatch.
   bool Next(std::vector<T>& out);
 
+  /// Decode threads for subsequent Next calls: 1 (default) decodes frames
+  /// serially; 0 uses the OpenMP default; N > 1 decodes each frame through
+  /// the parallel chunk-directory decoder.  Without OpenMP in the build all
+  /// values fall back to the serial path.
+  void set_num_threads(int num_threads) { num_threads_ = num_threads; }
+  int num_threads() const { return num_threads_; }
+
   std::uint64_t frames_read() const { return frames_read_; }
 
  private:
   ByteSpan container_;
   std::size_t pos_ = 0;
+  int num_threads_ = 1;
   std::uint64_t frames_read_ = 0;
 };
 

@@ -7,6 +7,7 @@
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/frame_index.hpp"
 #include "core/kernels/kernels.hpp"
 #include "cusim/warp_ops.hpp"
 
@@ -259,31 +260,16 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
   }
   const std::uint32_t bs = h.block_size;
   const std::uint64_t nnc = h.num_blocks - h.num_constant;
-  std::vector<std::uint64_t> offsets(nnc + 1, 0);
-  {
-    // Grid-level zsize prefix sum.
-    std::vector<std::uint32_t> z(nnc);
-    for (std::uint64_t i = 0; i < nnc; ++i) z[i] = s.Zsize(i);
-    const std::uint32_t total = ExclusiveScan(std::span(z));
-    for (std::uint64_t i = 0; i < nnc; ++i) offsets[i] = z[i];
-    offsets[nnc] = total;
-    if (counters != nullptr && nnc > 1) {
-      counters->scan_rounds +=
-          static_cast<std::uint64_t>(std::bit_width(nnc - 1));
-    }
-  }
-  if (offsets[nnc] != h.payload_bytes) {
-    throw Error("cusim: corrupt stream (payload size mismatch)");
-  }
-
-  std::vector<std::uint64_t> meta_index(
-      ByteCursor(stream).CheckedAlloc(h.num_blocks, sizeof(std::uint64_t), 8));
-  std::uint64_t ci = 0, nci = 0;
-  for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
-    meta_index[k] = IsNonConstant(s.type_bits, k) ? nci++ : ci++;
-  }
-  if (ci != h.num_constant || nci != nnc) {
-    throw Error("cusim: corrupt stream (type bit counts mismatch)");
+  // Grid stage: the chunk-directory pass shared with the CPU decoders
+  // validates the type-bit and zsize sections against the header (rejecting
+  // forged directories before any block is decoded).  On a real GPU this is
+  // a grid-level exclusive scan over the zsize array; account its log2
+  // rounds like the historical explicit scan did.
+  ChunkRef whole;
+  BuildChunkRefs(s, std::span<ChunkRef>(&whole, 1));
+  if (counters != nullptr && nnc > 1) {
+    counters->scan_rounds +=
+        static_cast<std::uint64_t>(std::bit_width(nnc - 1));
   }
 
   // Per-lane decode scratch at full block capacity (bs was range-checked by
@@ -295,22 +281,25 @@ std::vector<T> DecompressCuda(ByteSpan stream, KernelCounters* counters) {
       arena.AllocateSpan<std::uint32_t>(bs);
   const std::span<std::uint32_t> chain = arena.AllocateSpan<std::uint32_t>(bs);
   const std::span<Bits> words = arena.AllocateSpan<Bits>(bs);
+  std::uint64_t ci = whole.const_base;
+  std::uint64_t nci = whole.ncb_base;
+  std::uint64_t off = whole.payload_base;
   for (std::uint64_t k = 0; k < h.num_blocks; ++k) {
     const std::uint64_t begin = k * bs;
     const std::uint64_t count =
         std::min<std::uint64_t>(bs, h.num_elements - begin);
     std::span<T> block = std::span<T>(out).subspan(begin, count);
-    const std::uint64_t idx = meta_index[k];
     if (!IsNonConstant(s.type_bits, k)) {
-      const T mu = s.ConstMu(idx);
+      const T mu = s.ConstMu(ci++);
       for (T& v : block) v = mu;
       continue;
     }
-    const ReqPlan plan = PlanFromReqLength<T>(s.Req(idx));
-    const T mu = s.NcbMu(idx);
-    const std::uint64_t off = offsets[idx];
-    const std::uint64_t zsize = offsets[idx + 1] - off;
+    const ReqPlan plan = PlanFromReqLength<T>(s.Req(nci));
+    const T mu = s.NcbMu(nci);
+    const std::uint64_t zsize = s.Zsize(nci);
+    ++nci;
     ByteSpan pay = s.payload.subspan(off, zsize);
+    off += zsize;
     const std::size_t lead_bytes = LeadArrayBytes(count);
     if (pay.size() < lead_bytes) {
       throw Error("cusim: truncated block payload");

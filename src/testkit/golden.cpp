@@ -1,9 +1,11 @@
 #include "testkit/golden.hpp"
 
+#include <bit>
 #include <fstream>
 #include <sstream>
 
 #include "core/compressor.hpp"
+#include "core/omp_codec.hpp"
 #include "testkit/oracle.hpp"
 
 namespace szx::testkit {
@@ -163,6 +165,29 @@ std::optional<std::string> VerifyDecode(const GoldenCase& c,
     recon = Decompress<T>(golden);
   } catch (const Error& e) {
     return "decoder rejects the golden stream: " + std::string(e.what());
+  }
+  // The parallel decoder must reconstruct bit-for-bit what the serial one
+  // does (it shares the chunk decode core; this pins the contract).  The
+  // OMP_NUM_THREADS reruns registered in tests/CMakeLists.txt exercise this
+  // comparison at every thread count.
+  std::vector<T> omp_recon;
+  try {
+    omp_recon = DecompressOmp<T>(golden, 0);
+  } catch (const Error& e) {
+    return "parallel decoder rejects the golden stream: " +
+           std::string(e.what());
+  }
+  if (omp_recon.size() != recon.size()) {
+    return c.file + ": parallel decoder returned " +
+           std::to_string(omp_recon.size()) + " elements, serial returned " +
+           std::to_string(recon.size());
+  }
+  for (std::size_t i = 0; i < recon.size(); ++i) {
+    if (std::bit_cast<typename FloatTraits<T>::Bits>(omp_recon[i]) !=
+        std::bit_cast<typename FloatTraits<T>::Bits>(recon[i])) {
+      return c.file + ": parallel decoder diverges from serial at element " +
+             std::to_string(i);
+    }
   }
   const double abs_bound =
       ResolveAbsoluteBound<T>(std::span<const T>(data), c.params);

@@ -2,9 +2,12 @@
 // decodable by either path (paper Sec. 6.1).
 #include "core/omp_codec.hpp"
 
+#include <bit>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
+#include "core/streaming.hpp"
 
 namespace szx {
 namespace {
@@ -56,8 +59,71 @@ TEST_P(OmpThreadSweep, CrossDecoding) {
   EXPECT_EQ(out3, out4);
 }
 
+TEST_P(OmpThreadSweep, ParallelDecodeBitIdenticalToSerial) {
+  const int threads = GetParam();
+  for (auto pat : {Pattern::kSmoothSine, Pattern::kNoisySine,
+                   Pattern::kSparseSpikes, Pattern::kRamp}) {
+    const auto data = MakePattern<float>(pat, 100001, 11);
+    Params p;
+    p.mode = ErrorBoundMode::kValueRangeRelative;
+    p.error_bound = 1e-3;
+    const auto stream = Compress<float>(data, p);
+    const auto serial = Decompress<float>(stream);
+    const auto par = DecompressOmp<float>(stream, threads);
+    ASSERT_EQ(serial.size(), par.size()) << testing::PatternName(pat);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(serial[i]),
+                std::bit_cast<std::uint32_t>(par[i]))
+          << testing::PatternName(pat) << " element " << i;
+    }
+    // The error-bound property must hold through the parallel decoder too.
+    const double abs = PeekHeader(stream).error_bound_abs;
+    EXPECT_TRUE(WithinBound<float>(data, par, abs)) << testing::PatternName(pat);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Threads, OmpThreadSweep,
                          ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(OmpCodec, ParallelDecodeRejectsForgedTypeBits) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 50000, 9);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  auto stream = Compress<float>(data, p);
+  ASSERT_EQ(PeekHeader(stream).flags & kFlagRawPassthrough, 0u);
+  stream[sizeof(Header)] ^= std::byte{1};
+  EXPECT_THROW(DecompressOmp<float>(stream, 4), Error);
+}
+
+TEST(OmpCodec, StreamReaderDecodesWithThreads) {
+  const auto data = MakePattern<float>(Pattern::kSmoothSine, 70000, 21);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  StreamWriter<float> writer(p);
+  const std::size_t chunk = 20000;
+  for (std::size_t off = 0; off < data.size(); off += chunk) {
+    writer.Append(std::span<const float>(data).subspan(
+        off, std::min(chunk, data.size() - off)));
+  }
+  const ByteBuffer container = std::move(writer).Finish();
+
+  StreamReader<float> serial_reader(container);
+  StreamReader<float> omp_reader(container);
+  omp_reader.set_num_threads(4);
+  std::vector<float> a, b;
+  while (serial_reader.Next(a)) {
+    ASSERT_TRUE(omp_reader.Next(b));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(std::bit_cast<std::uint32_t>(a[i]),
+                std::bit_cast<std::uint32_t>(b[i]))
+          << i;
+    }
+  }
+  EXPECT_FALSE(omp_reader.Next(b));
+}
 
 TEST(OmpCodec, SmallInputsAllThreadCounts) {
   // Fewer blocks than threads must not break chunking.

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/omp_codec.hpp"
 #include "core/streaming.hpp"
 #include "lzref/lzref.hpp"
 #include "szref/sz2.hpp"
@@ -140,6 +141,51 @@ TEST(Hardening, StreamingLyingFrameElementCountRejected) {
   StreamReader<float> reader(container);
   std::vector<float> out;
   EXPECT_THROW(reader.Next(out), Error);
+}
+
+// The chunk directory (frame_index.hpp) is derived from the type-bit and
+// zsize sections and validated against the header totals before any block
+// decodes.  A forged type-bit section -- internally parseable but lying
+// about how many blocks are constant -- must be rejected by both the serial
+// and the parallel decoder, not silently walked with skewed counters.
+TEST(Hardening, SzxForgedTypeBitsRejectedByBothDecoders) {
+  const std::vector<float> data = Ramp(4096);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = Compress<float>(data, p);
+  const Header h = PeekHeader(stream);
+  ASSERT_EQ(h.flags & kFlagRawPassthrough, 0u);
+  ASSERT_GT(h.num_blocks, 0u);
+  // Flip block 0's type bit: the per-chunk popcount tallies no longer agree
+  // with header.num_constant.
+  stream[sizeof(Header)] ^= std::byte{1};
+  EXPECT_THROW(Decompress<float>(stream), Error);
+  EXPECT_THROW(DecompressOmp<float>(stream, 4), Error);
+}
+
+// A zsize table whose entries are individually plausible but whose sum no
+// longer matches header.payload_bytes (the "lying directory") must fail the
+// payload prefix-sum validation in both decoders.
+TEST(Hardening, SzxLyingZsizeTableRejectedByBothDecoders) {
+  const std::vector<float> data = Ramp(8192);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  ByteBuffer stream = Compress<float>(data, p);
+  const Header h = PeekHeader(stream);
+  ASSERT_EQ(h.flags & kFlagRawPassthrough, 0u);
+  const std::uint64_t nnc = h.num_blocks - h.num_constant;
+  ASSERT_GT(nnc, 0u);
+  // Section layout: header | type_bits | const_mu | ncb_req | ncb_mu |
+  // ncb_zsize | payload (format.hpp).
+  const std::size_t zsize_off = sizeof(Header) + (h.num_blocks + 7) / 8 +
+                                h.num_constant * sizeof(float) + nnc +
+                                nnc * sizeof(float);
+  ASSERT_LT(zsize_off + 2, stream.size());
+  stream[zsize_off] ^= std::byte{1};  // first entry off by one byte
+  EXPECT_THROW(Decompress<float>(stream), Error);
+  EXPECT_THROW(DecompressOmp<float>(stream, 4), Error);
 }
 
 }  // namespace

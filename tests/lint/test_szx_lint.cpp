@@ -130,6 +130,23 @@ TEST(SzxLint, NonMemorySimdIntrinsicsAreClean) {
   EXPECT_EQ(Count(fs, "simd-mem"), 0);
 }
 
+TEST(SzxLint, CatchesSimdGatherIntrinsics) {
+  const auto fs = LintText(
+      "x.cpp",
+      "__m256i w = _mm256_i32gather_epi32(base, idx, 1);\n"
+      "__m256i v = _mm256_i64gather_epi64(base64, idx64, 1);\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 2);
+}
+
+TEST(SzxLint, SimdGatherAllowWithReasonSuppresses) {
+  const auto fs = LintText(
+      "x.cpp",
+      "// szx-lint: allow(simd-mem) -- loop guard keeps every lane index "
+      "within mid_size\n"
+      "__m256i w = _mm256_i32gather_epi32(base, idx, 1);\n");
+  EXPECT_EQ(Count(fs, "simd-mem"), 0);
+}
+
 TEST(SzxLint, SimdMemAllowWithReasonSuppresses) {
   const auto fs = LintText(
       "x.cpp",

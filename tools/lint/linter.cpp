@@ -42,8 +42,8 @@ const std::vector<RuleInfo> kRules = {
     {"unchecked-narrow",
      "narrowing static_cast of a size-like value without CheckedNarrow"},
     {"simd-mem",
-     "raw SIMD load/store intrinsic; each one must explain its bounds "
-     "guarantee"},
+     "raw SIMD load/store/gather intrinsic; each one must explain its "
+     "bounds guarantee"},
     {"unexplained-allow", "allow directive without a `-- reason`"},
     {"unused-allow", "allow directive that suppresses nothing"},
     {"unknown-rule", "allow directive naming a rule that does not exist"},
@@ -438,9 +438,10 @@ void ScanUncheckedNarrow(Scan& s) {
   }
 }
 
-// Flags every _mm* intrinsic whose name contains load/store/stream: these
-// move bytes through raw pointers with no bound attached, so each use must
-// carry an explained allow stating why the access stays in bounds
+// Flags every _mm* intrinsic whose name contains load/store/stream/gather:
+// these move bytes through raw pointers with no bound attached (gathers
+// through per-lane indices off a base pointer), so each use must carry an
+// explained allow stating why the access stays in bounds
 // (src/core/block_stats.cpp and src/core/kernels/kernels_avx2.cpp are the
 // exemplars).
 void ScanSimdMem(Scan& s) {
@@ -452,7 +453,8 @@ void ScanSimdMem(Scan& s) {
     const std::string_view name = s.code.substr(at, end - at);
     if (name.find("load") == std::string_view::npos &&
         name.find("store") == std::string_view::npos &&
-        name.find("stream") == std::string_view::npos)
+        name.find("stream") == std::string_view::npos &&
+        name.find("gather") == std::string_view::npos)
       continue;
     s.Add(at, "simd-mem",
           std::string(name) +

@@ -2,8 +2,9 @@
 //
 //   szx_cli compress   -i data.f32 -o data.szx [-t f32|f64]
 //                      [-m rel|abs|pwrel] [-e 1e-3] [-b 128] [--omp [N]]
-//                      [--hybrid]
-//   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]]
+//                      [--threads N] [--kernel scalar|avx2] [--hybrid]
+//   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]] [--threads N]
+//                      [--kernel scalar|avx2]
 //   szx_cli info       -i data.szx
 //   szx_cli verify     -i data.f32 -z data.szx          (prints metrics)
 //   szx_cli tune       -i data.f32 [-t f32|f64] [-m ...] [-e ...]
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "core/compressor.hpp"
+#include "core/kernels/kernels.hpp"
 #include "core/omp_codec.hpp"
 #include "core/tuning.hpp"
 #include "core/validate.hpp"
@@ -33,8 +35,9 @@ using namespace szx;
                "usage:\n"
                "  szx_cli compress   -i IN -o OUT [-t f32|f64]"
                " [-m rel|abs|pwrel] [-e BOUND] [-b BLOCK] [--omp [N]]"
-               " [--hybrid]\n"
-               "  szx_cli decompress -i IN -o OUT [--omp [N]]\n"
+               " [--threads N] [--kernel scalar|avx2] [--hybrid]\n"
+               "  szx_cli decompress -i IN -o OUT [--omp [N]] [--threads N]"
+               " [--kernel scalar|avx2]\n"
                "  szx_cli info       -i IN\n"
                "  szx_cli verify     -i RAW -z COMPRESSED\n"
                "  szx_cli tune       -i IN [-t f32|f64] [-m MODE] [-e BOUND]\n"
@@ -67,6 +70,7 @@ struct Args {
   std::string mode = "rel";
   double error_bound = 1e-3;
   std::uint32_t block_size = 128;
+  std::string kernel;  // empty = dispatcher's own choice
   bool omp = false;
   bool hybrid = false;
   bool deep = false;
@@ -100,6 +104,13 @@ Args Parse(int argc, char** argv) {
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         a.threads = std::atoi(argv[++i]);
       }
+    } else if (arg == "--threads") {
+      // Explicit thread count: implies the OMP codec paths.
+      a.omp = true;
+      a.threads = std::atoi(next().c_str());
+      if (a.threads < 1) Usage("--threads must be >= 1");
+    } else if (arg == "--kernel") {
+      a.kernel = next();
     } else if (arg == "--hybrid") {
       a.hybrid = true;
     } else if (arg == "--deep") {
@@ -112,7 +123,22 @@ Args Parse(int argc, char** argv) {
   if (a.mode != "rel" && a.mode != "abs" && a.mode != "pwrel") {
     Usage("-m must be rel, abs or pwrel");
   }
+  if (!a.kernel.empty() && a.kernel != "scalar" && a.kernel != "avx2") {
+    Usage("--kernel must be scalar or avx2");
+  }
   return a;
+}
+
+// Installs the requested block-kernel implementation for the whole run.
+void ApplyKernelChoice(const Args& a) {
+  if (a.kernel.empty()) return;
+  const kernels::Kind want =
+      a.kernel == "avx2" ? kernels::Kind::kAvx2 : kernels::Kind::kScalar;
+  if (kernels::SetActiveKind(want) != want) {
+    std::fprintf(stderr,
+                 "szx: --kernel avx2 requested but AVX2 is unavailable; "
+                 "using scalar kernels\n");
+  }
 }
 
 template <typename T>
@@ -265,6 +291,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     const Args a = Parse(argc, argv);
+    ApplyKernelChoice(a);
     if (cmd == "compress") {
       if (a.input.empty() || a.output.empty()) Usage("-i and -o required");
       return a.dtype == "f32" ? DoCompress<float>(a) : DoCompress<double>(a);
