@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Full local verification battery (docs/static-analysis.md):
 #   1. release build with warnings-as-errors, then tier1 + conformance +
-#      fuzz-smoke + bench-smoke (codec grid and omp thread-scaling grid
-#      JSON contracts) + lint
+#      fuzz-smoke (stream corruption campaign + salvage-fuzz stacked-fault
+#      smoke, docs/resilience.md) + bench-smoke (codec grid and omp
+#      thread-scaling grid JSON contracts) + lint
 #   2. asan-ubsan build, then every tier under ASan/UBSan
 #   3. tsan build, then the OMP/cusim suites under ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
@@ -35,7 +36,8 @@ ctest --preset asan-all
 echo "=== tsan build + OMP/cusim suites under ThreadSanitizer ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
-  --target test_omp_codec test_cusim test_kernel_harness test_kernels
+  --target test_omp_codec test_cusim test_kernel_harness test_kernels \
+           test_salvage test_salvage_property
 ctest --preset tsan-omp
 
 echo "check.sh: all stages passed"

@@ -52,6 +52,11 @@ struct Params {
   double error_bound = 1e-3;
   std::uint32_t block_size = 128;
   CommitSolution solution = CommitSolution::kC;
+  /// Opt-in format v2: append an integrity footer of FNV-1a section and
+  /// payload-chunk checksums (core/integrity.hpp) so damaged streams can be
+  /// verified and partially salvaged (src/resilience/).  Off by default --
+  /// v1 streams stay byte-identical.
+  bool integrity = false;
 
   /// Throws szx::Error if the parameter combination is unusable.
   void Validate() const;
@@ -82,5 +87,15 @@ struct CompressionStats {
 
 using ByteSpan = std::span<const std::byte>;
 using ByteBuffer = std::vector<std::byte>;
+
+/// Half-open byte range [begin, end) within some stream or file -- shared
+/// vocabulary between the fault injector (testkit) and the damage reports
+/// (resilience).
+struct ByteRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  friend bool operator==(const ByteRange&, const ByteRange&) = default;
+};
 
 }  // namespace szx

@@ -7,6 +7,7 @@
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
 #include "core/frame_index.hpp"
+#include "core/integrity.hpp"
 #include "core/kernels/kernels.hpp"
 
 namespace szx {
@@ -122,22 +123,38 @@ ByteSpan CompressInto(std::span<const T> data, const Params& params,
   const std::size_t total = sizeof(Header) + type_bits.size() + const_mu_n +
                             ncb_n + ncb_n * sizeof(T) + ncb_n * 2 + payload_n;
 
-  std::span<std::byte> out;
-  if (total >= sizeof(Header) + data.size_bytes() && n > 0) {
+  // The raw-passthrough decision compares the v1 body sizes only, so an
+  // integrity-enabled stream is always its v1 twin plus two patched header
+  // bytes and the appended footer -- never a different encoding.
+  const bool raw_passthrough =
+      total >= sizeof(Header) + data.size_bytes() && n > 0;
+  std::uint32_t footer_chunks = 0;
+  std::size_t footer_bytes = 0;
+  if (params.integrity) {
+    Header probe = h;
+    if (raw_passthrough) probe.flags = kFlagRawPassthrough;
+    footer_chunks = IntegrityChunkCount(probe);
+    footer_bytes = IntegrityFooterBytes(footer_chunks);
+  }
+  const std::size_t body_bytes =
+      raw_passthrough ? sizeof(Header) + data.size_bytes() : total;
+
+  const std::span<std::byte> out =
+      arena.AllocateSpan<std::byte>(body_bytes + footer_bytes);
+  const std::span<std::byte> body = out.first(body_bytes);
+  if (raw_passthrough) {
     // Raw passthrough: the encoded frame would not beat the input.
     Header raw = h;
     raw.flags = kFlagRawPassthrough;
     raw.num_constant = 0;
     raw.payload_bytes = 0;
-    out = arena.AllocateSpan<std::byte>(sizeof(Header) + data.size_bytes());
-    StoreWord<Header>(out.data(), raw);
+    StoreWord<Header>(body.data(), raw);
     // szx-lint: allow(reinterpret-cast) -- viewing the caller's float array as bytes for the passthrough copy, the inverse of ByteCursor::ReadSpan
     const std::byte* src = reinterpret_cast<const std::byte*>(data.data());
-    // szx-lint: allow(ptr-arith) -- body cursor of the passthrough frame allocated at sizeof(Header)+data bytes two lines up
-    std::copy_n(src, data.size_bytes(), out.data() + sizeof(Header));
+    // szx-lint: allow(ptr-arith) -- body cursor of the passthrough frame allocated at sizeof(Header)+data bytes above
+    std::copy_n(src, data.size_bytes(), body.data() + sizeof(Header));
   } else {
-    out = arena.AllocateSpan<std::byte>(total);
-    std::byte* at = out.data();
+    std::byte* at = body.data();
     StoreWord<Header>(at, h);
     at += sizeof(Header);
     at = std::copy_n(type_bits.data(), type_bits.size(), at);
@@ -146,6 +163,15 @@ ByteSpan CompressInto(std::span<const T> data, const Params& params,
     at = std::copy_n(ncb_mu.data(), ncb_n * sizeof(T), at);
     at = std::copy_n(ncb_zsize.data(), ncb_n * 2, at);
     std::copy_n(payload.data(), payload_n, at);
+  }
+  if (params.integrity) {
+    // Upgrade the body to v2 in place, then checksum it into the footer.
+    body[4] = std::byte{kFormatVersionIntegrity};
+    body[8] |= std::byte{kFlagIntegrity};
+    const std::span<ChunkRef> chunk_scratch =
+        arena.AllocateSpan<ChunkRef>(footer_chunks);
+    WriteIntegrityFooter<T>(ByteSpan(body), chunk_scratch,
+                            out.subspan(body_bytes));
   }
 
   if (stats != nullptr) {

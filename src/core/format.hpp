@@ -25,9 +25,19 @@ namespace szx {
 
 inline constexpr std::array<char, 4> kMagic = {'S', 'Z', 'X', '1'};
 inline constexpr std::uint8_t kFormatVersion = 1;
+/// Version 2 = version 1 + integrity footer appended after the payload
+/// (docs/FORMAT.md "Format v2").  The sections and their bytes are
+/// unchanged; a v2 stream differs from its v1 twin only in the version
+/// byte, the kFlagIntegrity bit, and the trailing footer.
+inline constexpr std::uint8_t kFormatVersionIntegrity = 2;
 
 /// Header flags.
 inline constexpr std::uint8_t kFlagRawPassthrough = 0x01;
+/// Set iff version == 2: an integrity footer of FNV-1a section and
+/// payload-chunk checksums trails the stream (core/integrity.hpp).
+inline constexpr std::uint8_t kFlagIntegrity = 0x02;
+inline constexpr std::uint8_t kKnownFlags =
+    kFlagRawPassthrough | kFlagIntegrity;
 
 #pragma pack(push, 1)
 struct Header {
@@ -60,8 +70,26 @@ inline Header ParseHeader(ByteSpan stream) {
   if (h.magic != kMagic) {
     throw Error("szx: bad magic");
   }
-  if (h.version != kFormatVersion) {
+  if (h.version != kFormatVersion && h.version != kFormatVersionIntegrity) {
     throw Error("szx: unsupported format version");
+  }
+  if (h.flags & ~kKnownFlags) {
+    throw Error("szx: unknown header flag bits");
+  }
+  // The integrity flag and the version byte are redundant on purpose; a
+  // stream where they disagree was forged or damaged.
+  if (((h.flags & kFlagIntegrity) != 0) !=
+      (h.version == kFormatVersionIntegrity)) {
+    throw Error("szx: integrity flag inconsistent with format version");
+  }
+  // Forward-compat guard: v1/v2 writers always zero the reserved bytes, so
+  // a nonzero value means a future format (or corruption) this reader would
+  // silently misinterpret.  Reject instead of guessing.
+  for (const std::uint8_t b : h.reserved) {
+    if (b != 0) throw Error("szx: nonzero reserved header bytes");
+  }
+  if (h.reserved2 != 0) {
+    throw Error("szx: nonzero reserved header bytes");
   }
   if (h.dtype > 1 || h.eb_mode > 2 || h.solution > 2) {
     throw Error("szx: corrupt header enums");

@@ -1,0 +1,234 @@
+// Format v2 integrity footer (opt-in, Params::integrity).
+//
+// A v2 stream is its v1 twin with the version byte bumped to 2, the
+// kFlagIntegrity bit set, and this footer appended after the payload:
+//
+//   u32  footer_version (= 1)
+//   u32  chunk_count
+//   u64  header_fnv      FNV-1a of the 72 header bytes as written (v2)
+//   u64  type_bits_fnv   per-section FNV-1a checksums (empty section ->
+//   u64  const_mu_fnv    hash of zero bytes, the FNV offset basis)
+//   u64  ncb_req_fnv
+//   u64  ncb_mu_fnv
+//   u64  ncb_zsize_fnv
+//   u64  chunk_fnv[chunk_count]   payload split per the frame_index chunk
+//                                 directory (raw passthrough: one chunk
+//                                 covering the raw body)
+//   u64  footer_fnv      FNV-1a of the footer bytes before this field
+//   u32  footer_bytes    total footer size (= 72 + 8 * chunk_count)
+//   char magic[4]        "SZXF"
+//
+// The 16-byte tail (footer_fnv | footer_bytes | magic) sits at the very end
+// of the stream so a salvage decoder can locate and self-verify the footer
+// from the stream tail even when the header bytes are damaged.  Decoders on
+// the hot path never read the footer (ParseSections tolerates trailing
+// bytes); verification is the opt-in job of src/resilience/.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/frame_index.hpp"
+
+namespace szx {
+
+/// FNV-1a content hash shared by the streaming frame checksums and the
+/// integrity footer.
+inline std::uint64_t Fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::byte b : data) {
+    h = (h ^ std::to_integer<std::uint8_t>(b)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline constexpr std::array<char, 4> kFooterMagic = {'S', 'Z', 'X', 'F'};
+inline constexpr std::uint32_t kIntegrityFooterVersion = 1;
+/// Fixed footer bytes: everything except the chunk checksum array.
+inline constexpr std::size_t kFooterFixedBytes = 72;
+inline constexpr std::size_t kFooterTailBytes = 16;
+/// Target blocks per checksummed payload chunk: coarse enough that footer
+/// overhead stays negligible (8 bytes per 64 blocks), fine enough that one
+/// flipped bit quarantines a small slice of the frame.
+inline constexpr std::uint64_t kIntegrityBlocksPerChunk = 64;
+
+inline std::uint64_t IntegrityFooterBytes(std::uint64_t chunk_count) {
+  return kFooterFixedBytes + 8 * chunk_count;
+}
+
+/// Deterministic chunk plan for a frame's payload checksums.  Raw
+/// passthrough bodies and empty frames get a single chunk; otherwise one
+/// chunk per kIntegrityBlocksPerChunk blocks, clamped to the directory's
+/// useful maximum (chunk bounds must sit on type-bit byte boundaries).
+inline std::uint32_t IntegrityChunkCount(const Header& h) {
+  if ((h.flags & kFlagRawPassthrough) != 0 || h.num_blocks == 0) return 1;
+  const std::uint64_t want = h.num_blocks / kIntegrityBlocksPerChunk;
+  const std::uint64_t capped =
+      std::min(std::max<std::uint64_t>(want, 1), MaxUsefulChunks(h.num_blocks));
+  return static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(capped, 0xffffffffull));
+}
+
+namespace detail {
+
+/// Bounds-checked forward writer over a preallocated span (the footer's
+/// write-side mirror of ByteCursor).
+class FooterSink {
+ public:
+  explicit FooterSink(std::span<std::byte> dst) : rest_(dst) {}
+
+  template <typename V>
+  void Put(V value) {
+    static_assert(std::is_trivially_copyable_v<V>);
+    if (rest_.size() < sizeof(V)) {
+      throw Error("szx: integrity footer sink overflow");
+    }
+    StoreWord<V>(rest_.data(), value);
+    rest_ = rest_.subspan(sizeof(V));
+  }
+
+  std::size_t remaining() const { return rest_.size(); }
+
+ private:
+  std::span<std::byte> rest_;
+};
+
+}  // namespace detail
+
+/// Writes the integrity footer for `prefix` (a complete stream whose header
+/// already carries version 2 + kFlagIntegrity) into `dst`.  `chunk_scratch`
+/// must hold IntegrityChunkCount entries; it receives the chunk directory
+/// as a side effect.  Throws szx::Error if the prefix is malformed or the
+/// destination size disagrees with the chunk plan.
+template <SupportedFloat T>
+inline void WriteIntegrityFooter(ByteSpan prefix,
+                                 std::span<ChunkRef> chunk_scratch,
+                                 std::span<std::byte> dst) {
+  const Sections<T> s = ParseSections<T>(prefix);
+  const Header& h = s.header;
+  const std::uint32_t chunk_count = IntegrityChunkCount(h);
+  if (chunk_scratch.size() != chunk_count ||
+      dst.size() != IntegrityFooterBytes(chunk_count)) {
+    throw Error("szx: integrity footer size mismatch");
+  }
+  detail::FooterSink sink(dst);
+  sink.Put(kIntegrityFooterVersion);
+  sink.Put(chunk_count);
+  sink.Put(Fnv1a64(prefix.first(sizeof(Header))));
+  sink.Put(Fnv1a64(s.type_bits));
+  sink.Put(Fnv1a64(s.const_mu));
+  sink.Put(Fnv1a64(s.ncb_req));
+  sink.Put(Fnv1a64(s.ncb_mu));
+  sink.Put(Fnv1a64(s.ncb_zsize));
+  if ((h.flags & kFlagRawPassthrough) != 0) {
+    sink.Put(Fnv1a64(s.payload));
+  } else {
+    BuildChunkRefs(s, chunk_scratch);
+    for (std::uint32_t c = 0; c < chunk_count; ++c) {
+      const std::uint64_t begin = chunk_scratch[c].payload_base;
+      const std::uint64_t end = c + 1 < chunk_count
+                                    ? chunk_scratch[c + 1].payload_base
+                                    : h.payload_bytes;
+      sink.Put(Fnv1a64(s.payload.subspan(begin, end - begin)));
+    }
+  }
+  // Tail: hash of everything written so far, then the locator fields.
+  sink.Put(Fnv1a64(dst.first(dst.size() - kFooterTailBytes)));
+  sink.Put(CheckedNarrow<std::uint32_t>(dst.size()));
+  for (const char c : kFooterMagic) {
+    sink.Put(static_cast<std::uint8_t>(c));
+  }
+  if (sink.remaining() != 0) {
+    throw Error("szx: integrity footer sink underflow");
+  }
+}
+
+/// Upgrades a freshly encoded v1 frame in place: patches the version byte
+/// and integrity flag, then appends the footer.  Used by the buffer-building
+/// encoders (OMP stitcher, cusim); the serial CompressInto writes the footer
+/// directly into its arena allocation.
+inline void AppendIntegrityFooter(ByteBuffer& frame) {
+  const Header h = ParseHeader(frame);
+  if (h.version != kFormatVersion) {
+    throw Error("szx: integrity footer already present");
+  }
+  const std::uint32_t chunk_count = IntegrityChunkCount(h);
+  const std::size_t body_bytes = frame.size();
+  frame.resize(body_bytes + IntegrityFooterBytes(chunk_count));
+  // Header byte offsets: magic[0..4), version at 4, flags at 8 (format.hpp).
+  frame[4] = std::byte{kFormatVersionIntegrity};
+  frame[8] |= std::byte{kFlagIntegrity};
+  std::vector<ChunkRef> scratch(chunk_count);
+  const ByteSpan prefix = ByteSpan(frame).first(body_bytes);
+  const std::span<std::byte> dst = std::span(frame).subspan(body_bytes);
+  if (h.dtype == static_cast<std::uint8_t>(DataType::kFloat32)) {
+    WriteIntegrityFooter<float>(prefix, scratch, dst);
+  } else {
+    WriteIntegrityFooter<double>(prefix, scratch, dst);
+  }
+}
+
+/// Parsed locator for a stream's integrity footer.
+struct IntegrityFooterView {
+  std::uint32_t chunk_count = 0;
+  std::uint64_t header_fnv = 0;
+  std::uint64_t type_bits_fnv = 0;
+  std::uint64_t const_mu_fnv = 0;
+  std::uint64_t ncb_req_fnv = 0;
+  std::uint64_t ncb_mu_fnv = 0;
+  std::uint64_t ncb_zsize_fnv = 0;
+  /// Stream byte offset where the footer begins == size of the protected
+  /// prefix (header + sections + payload).
+  std::uint64_t footer_offset = 0;
+  ByteSpan chunk_fnvs;  ///< chunk_count * 8 raw bytes
+
+  std::uint64_t ChunkFnv(std::uint64_t i) const {
+    return LoadAt<std::uint64_t>(chunk_fnvs, i);
+  }
+};
+
+/// Locates and self-verifies the footer from the stream tail.  Returns
+/// nullopt when there is no footer or the footer itself fails its checksum;
+/// never throws.  Deliberately independent of the header: a stream whose
+/// first 72 bytes are destroyed still yields its footer.
+inline std::optional<IntegrityFooterView> FindIntegrityFooter(
+    ByteSpan stream) {
+  const std::uint64_t min_footer = IntegrityFooterBytes(1);
+  if (stream.size() < min_footer) return std::nullopt;
+  ByteCursor tail(stream.subspan(stream.size() - kFooterTailBytes));
+  const auto footer_fnv = tail.Read<std::uint64_t>();
+  const auto footer_bytes = tail.Read<std::uint32_t>();
+  std::array<char, 4> magic;
+  tail.ReadBytes(magic.data(), magic.size());
+  if (magic != kFooterMagic) return std::nullopt;
+  if (footer_bytes < min_footer || footer_bytes > stream.size()) {
+    return std::nullopt;
+  }
+  const ByteSpan footer =
+      stream.subspan(stream.size() - footer_bytes, footer_bytes);
+  if (Fnv1a64(footer.first(footer_bytes - kFooterTailBytes)) != footer_fnv) {
+    return std::nullopt;
+  }
+  ByteCursor cur(footer);
+  if (cur.Read<std::uint32_t>() != kIntegrityFooterVersion) {
+    return std::nullopt;
+  }
+  IntegrityFooterView v;
+  v.chunk_count = cur.Read<std::uint32_t>();
+  if (v.chunk_count == 0 ||
+      footer_bytes != IntegrityFooterBytes(v.chunk_count)) {
+    return std::nullopt;
+  }
+  v.header_fnv = cur.Read<std::uint64_t>();
+  v.type_bits_fnv = cur.Read<std::uint64_t>();
+  v.const_mu_fnv = cur.Read<std::uint64_t>();
+  v.ncb_req_fnv = cur.Read<std::uint64_t>();
+  v.ncb_mu_fnv = cur.Read<std::uint64_t>();
+  v.ncb_zsize_fnv = cur.Read<std::uint64_t>();
+  v.chunk_fnvs = cur.SliceArray(v.chunk_count, 8);
+  v.footer_offset = stream.size() - footer_bytes;
+  return v;
+}
+
+}  // namespace szx

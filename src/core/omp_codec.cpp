@@ -8,6 +8,7 @@
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
 #include "core/frame_index.hpp"
+#include "core/integrity.hpp"
 #include "core/kernels/kernels.hpp"
 
 #if defined(SZX_HAVE_OPENMP)
@@ -273,6 +274,11 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
     sync.Publish();
   }
   sync.AcquireAll();
+
+  // Footer append happens after the parallel stitch so the checksums cover
+  // the final bytes; byte identity with the serial encoder is preserved
+  // because the v1 body above is already identical.
+  if (params.integrity) AppendIntegrityFooter(out);
 
   if (stats != nullptr) {
     stats->num_elements = n;

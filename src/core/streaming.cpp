@@ -9,33 +9,51 @@ namespace {
 
 constexpr std::array<char, 4> kStreamMagic = {'S', 'Z', 'X', 'S'};
 constexpr std::uint8_t kStreamVersion = 1;
+constexpr std::uint8_t kStreamVersionResync = 2;
 constexpr std::size_t kContainerHeader = 8;
 constexpr std::size_t kFrameHeader = 16;
+// Per-frame self-synchronization marker (v2 containers).  Collisions with
+// payload bytes are harmless: NextOrSkip validates every candidate by
+// decoding and keeps scanning on failure.
+constexpr std::array<char, 8> kFrameMarker = {'S', 'Z', 'X', 'F',
+                                              'R', 'A', 'M', 'E'};
+
+bool MarkerAt(ByteSpan container, std::size_t pos) {
+  if (container.size() - pos < kFrameMarker.size()) return false;
+  for (std::size_t i = 0; i < kFrameMarker.size(); ++i) {
+    if (container[pos + i] !=
+        static_cast<std::byte>(kFrameMarker[i])) {
+      return false;
+    }
+  }
+  return true;
+}
 
 }  // namespace
 
-std::uint64_t Fnv1a64(ByteSpan data) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const std::byte b : data) {
-    h = (h ^ std::to_integer<std::uint8_t>(b)) * 0x100000001b3ull;
-  }
-  return h;
-}
-
 template <SupportedFloat T>
-StreamWriter<T>::StreamWriter(const Params& params) : params_(params) {
+StreamWriter<T>::StreamWriter(const Params& params,
+                              const StreamWriterOptions& options)
+    : params_(params), options_(options) {
   params_.Validate();
   ByteWriter w(buffer_);
   w.WriteBytes(kStreamMagic.data(), 4);
-  w.Write(kStreamVersion);
+  w.Write(options_.resync_markers ? kStreamVersionResync : kStreamVersion);
   w.Write(static_cast<std::uint8_t>(FloatTraits<T>::kTag));
   w.Write(std::uint16_t{0});
 }
 
 template <SupportedFloat T>
 void StreamWriter<T>::Append(std::span<const T> chunk) {
+  if (finished_) {
+    throw Error("szx stream: Append on a finished writer (Finish moved the "
+                "container out; create a new StreamWriter)");
+  }
   const ByteSpan frame = CompressInto<T>(chunk, params_, arena_);
   ByteWriter w(buffer_);
+  if (options_.resync_markers) {
+    w.WriteBytes(kFrameMarker.data(), kFrameMarker.size());
+  }
   w.Write(static_cast<std::uint64_t>(frame.size()));
   w.Write(Fnv1a64(frame));
   buffer_.insert(buffer_.end(), frame.begin(), frame.end());
@@ -45,7 +63,15 @@ void StreamWriter<T>::Append(std::span<const T> chunk) {
 
 template <SupportedFloat T>
 ByteBuffer StreamWriter<T>::Finish() && {
-  return std::move(buffer_);
+  if (finished_) {
+    throw Error("szx stream: Finish on a finished writer");
+  }
+  finished_ = true;
+  ByteBuffer out = std::move(buffer_);
+  // Leave the moved-from buffer in a known-empty state so accessors stay
+  // well defined and any further Append is caught by the flag above.
+  buffer_.clear();
+  return out;
 }
 
 template <SupportedFloat T>
@@ -59,7 +85,8 @@ StreamReader<T>::StreamReader(ByteSpan container) : container_(container) {
   if (magic != kStreamMagic) {
     throw Error("szx stream: bad container magic");
   }
-  if (cur.Read<std::uint8_t>() != kStreamVersion) {
+  version_ = cur.Read<std::uint8_t>();
+  if (version_ != kStreamVersion && version_ != kStreamVersionResync) {
     throw Error("szx stream: unsupported container version");
   }
   if (cur.Read<std::uint8_t>() !=
@@ -70,21 +97,37 @@ StreamReader<T>::StreamReader(ByteSpan container) : container_(container) {
 }
 
 template <SupportedFloat T>
-bool StreamReader<T>::Next(std::vector<T>& out) {
-  if (pos_ == container_.size()) {
-    return false;
-  }
-  if (container_.size() - pos_ < kFrameHeader) {
+std::size_t StreamReader<T>::FrameHeaderBytes() const {
+  return version_ == kStreamVersionResync
+             ? kFrameHeader + kFrameMarker.size()
+             : kFrameHeader;
+}
+
+template <SupportedFloat T>
+std::size_t StreamReader<T>::DecodeFrameAt(std::size_t pos,
+                                           std::vector<T>& out,
+                                           bool* bounds_known,
+                                           std::size_t* frame_end) {
+  if (bounds_known != nullptr) *bounds_known = false;
+  if (container_.size() - pos < FrameHeaderBytes()) {
     throw Error("szx stream: truncated frame header");
   }
-  ByteCursor cur(container_.subspan(pos_));
+  ByteCursor cur(container_.subspan(pos));
+  if (version_ == kStreamVersionResync) {
+    if (!MarkerAt(container_, pos)) {
+      throw Error("szx stream: frame marker mismatch");
+    }
+    cur.Skip(kFrameMarker.size());
+  }
   const auto frame_bytes = cur.Read<std::uint64_t>();
   const auto checksum = cur.Read<std::uint64_t>();
   if (cur.remaining() < frame_bytes) {
     throw Error("szx stream: truncated frame payload");
   }
-  ByteSpan frame = cur.Slice(frame_bytes);
-  pos_ += kFrameHeader + frame_bytes;
+  const ByteSpan frame = cur.Slice(frame_bytes);
+  const std::size_t end = pos + FrameHeaderBytes() + frame_bytes;
+  if (bounds_known != nullptr) *bounds_known = true;
+  if (frame_end != nullptr) *frame_end = end;
   if (Fnv1a64(frame) != checksum) {
     throw Error("szx stream: frame checksum mismatch");
   }
@@ -98,8 +141,68 @@ bool StreamReader<T>::Next(std::vector<T>& out) {
   } else {
     DecompressOmpInto<T>(frame, out, num_threads_);
   }
-  ++frames_read_;
-  return true;
+  return end;
+}
+
+template <SupportedFloat T>
+bool StreamReader<T>::Next(std::vector<T>& out) {
+  if (pos_ == container_.size()) {
+    return false;
+  }
+  std::size_t frame_end = 0;
+  bool bounds_known = false;
+  try {
+    const std::size_t end = DecodeFrameAt(pos_, out, &bounds_known,
+                                          &frame_end);
+    pos_ = end;
+    ++frames_read_;
+    return true;
+  } catch (const Error&) {
+    // Preserve the historical contract: after a checksum mismatch the
+    // reader is positioned at the next frame, so callers that catch the
+    // throw can keep reading.
+    if (bounds_known) pos_ = frame_end;
+    throw;
+  }
+}
+
+template <SupportedFloat T>
+bool StreamReader<T>::NextOrSkip(std::vector<T>& out, SkipInfo* info) {
+  while (pos_ < container_.size()) {
+    const std::size_t start = pos_;
+    std::size_t frame_end = 0;
+    bool bounds_known = false;
+    try {
+      const std::size_t end = DecodeFrameAt(pos_, out, &bounds_known,
+                                            &frame_end);
+      pos_ = end;
+      ++frames_read_;
+      return true;
+    } catch (const Error& e) {
+      if (info != nullptr) info->last_error = e.what();
+      std::size_t resync = container_.size();
+      if (version_ == kStreamVersionResync) {
+        // Scan for the next plausible marker; the retry loop validates it.
+        std::size_t at = start + 1;
+        while (at + kFrameMarker.size() <= container_.size() &&
+               !MarkerAt(container_, at)) {
+          ++at;
+        }
+        if (at + kFrameMarker.size() <= container_.size()) resync = at;
+      } else if (bounds_known) {
+        // v1: the frame bounds were readable (checksum or decode damage);
+        // step over the frame.  A corrupt length field leaves no way to
+        // find the next frame, so the tail is abandoned.
+        resync = frame_end;
+      }
+      if (info != nullptr) {
+        info->frames_skipped += 1;
+        info->bytes_skipped += resync - start;
+      }
+      pos_ = resync;
+    }
+  }
+  return false;
 }
 
 template class StreamWriter<float>;

@@ -4,33 +4,56 @@
 //
 // Container layout:
 //   "SZXS" | u8 version | u8 dtype | u16 reserved
-//   per frame: u64 frame_bytes | u64 fnv1a(frame) | SZx stream
+//   v1 frame: u64 frame_bytes | u64 fnv1a(frame) | SZx stream
+//   v2 frame: "SZXFRAME" | u64 frame_bytes | u64 fnv1a(frame) | SZx stream
 //
 // Each frame is an independent SZx stream, so a corrupted frame is
 // detected (checksum) and later frames remain decodable after a reader
-// resynchronizes on the recorded sizes.
+// resynchronizes on the recorded sizes.  Version 2 (opt-in via
+// StreamWriterOptions::resync_markers) prefixes every frame with a
+// self-synchronization marker so NextOrSkip can scan past a frame whose
+// length field itself is corrupt; in v1 a corrupt length makes the rest of
+// the container unrecoverable.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/compressor.hpp"
+#include "core/integrity.hpp"
 
 namespace szx {
 
-/// FNV-1a content hash used by the frame checksums.
-std::uint64_t Fnv1a64(ByteSpan data);
+/// Streaming container options (the Params analog for the container layer).
+struct StreamWriterOptions {
+  /// Write container version 2 with a per-frame resync marker.  Costs 8
+  /// bytes per frame; enables NextOrSkip recovery past corrupt length
+  /// fields.  Off by default: v1 containers stay byte-identical.
+  bool resync_markers = false;
+};
+
+/// Outcome bookkeeping for StreamReader::NextOrSkip.
+struct SkipInfo {
+  std::uint64_t frames_skipped = 0;  ///< damaged regions abandoned
+  std::uint64_t bytes_skipped = 0;   ///< container bytes stepped over
+  std::string last_error;            ///< most recent failure description
+};
 
 template <SupportedFloat T>
 class StreamWriter {
  public:
-  explicit StreamWriter(const Params& params);
+  explicit StreamWriter(const Params& params)
+      : StreamWriter(params, StreamWriterOptions{}) {}
+  StreamWriter(const Params& params, const StreamWriterOptions& options);
 
-  /// Compresses one chunk and appends it as a frame.
+  /// Compresses one chunk and appends it as a frame.  Throws szx::Error if
+  /// the writer was already finished.
   void Append(std::span<const T> chunk);
 
-  /// Returns the finished container (writer stays reusable afterwards
-  /// only via a new instance).
+  /// Returns the finished container and poisons the writer: any further
+  /// Append or Finish throws szx::Error (the move-out left nothing valid
+  /// to reuse; create a new writer instead).
   ByteBuffer Finish() &&;
 
   std::uint64_t frames() const { return frames_; }
@@ -39,6 +62,7 @@ class StreamWriter {
 
  private:
   Params params_;
+  StreamWriterOptions options_;
   ByteBuffer buffer_;
   // Owned compression scratch: frames are encoded via CompressInto, so
   // appending same-shaped chunks stops allocating once the arena and the
@@ -46,17 +70,30 @@ class StreamWriter {
   ScratchArena arena_;
   std::uint64_t frames_ = 0;
   std::uint64_t raw_bytes_ = 0;
+  bool finished_ = false;
 };
 
 template <SupportedFloat T>
 class StreamReader {
  public:
   /// Validates the container header; throws szx::Error on mismatch.
+  /// Accepts container versions 1 and 2.
   explicit StreamReader(ByteSpan container);
 
   /// Decompresses the next frame into `out`.  Returns false cleanly at
   /// end of container; throws on truncation or checksum mismatch.
   bool Next(std::vector<T>& out);
+
+  /// Recovery variant of Next: on a damaged frame, skips forward instead of
+  /// throwing.  In a v2 container the reader scans for the next frame
+  /// marker and validates candidates by decoding, so even a corrupt length
+  /// field loses only the damaged frame; in v1, a frame whose bounds are
+  /// readable (checksum or decode failure) is stepped over, while a corrupt
+  /// length field abandons the remaining tail.  Returns true with a decoded
+  /// frame in `out`, false when the container is exhausted.  Never throws
+  /// for data-dependent damage; `info` (optional) accumulates what was
+  /// skipped.
+  bool NextOrSkip(std::vector<T>& out, SkipInfo* info = nullptr);
 
   /// Decode threads for subsequent Next calls: 1 (default) decodes frames
   /// serially; 0 uses the OpenMP default; N > 1 decodes each frame through
@@ -68,9 +105,17 @@ class StreamReader {
   std::uint64_t frames_read() const { return frames_read_; }
 
  private:
+  /// Parses and decodes the frame at `pos`; returns the end offset of the
+  /// frame on success.  Throws szx::Error on any damage.
+  std::size_t DecodeFrameAt(std::size_t pos, std::vector<T>& out,
+                            bool* bounds_known, std::size_t* frame_end);
+
+  std::size_t FrameHeaderBytes() const;
+
   ByteSpan container_;
   std::size_t pos_ = 0;
   int num_threads_ = 1;
+  std::uint8_t version_ = 1;
   std::uint64_t frames_read_ = 0;
 };
 

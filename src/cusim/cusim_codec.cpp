@@ -8,6 +8,7 @@
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
 #include "core/frame_index.hpp"
+#include "core/integrity.hpp"
 #include "core/kernels/kernels.hpp"
 #include "cusim/warp_ops.hpp"
 
@@ -226,6 +227,10 @@ ByteBuffer CompressCuda(std::span<const T> data, const Params& params,
   out.insert(out.end(), ncb_mu.begin(), ncb_mu.begin() + ncb_n * sizeof(T));
   out.insert(out.end(), ncb_zsize.begin(), ncb_zsize.begin() + ncb_n * 2);
   out.insert(out.end(), payload.begin(), payload.begin() + payload_n);
+
+  // Same opt-in footer as the serial/OMP encoders; the v1 body above is
+  // byte-identical, so the v2 stream is too.
+  if (params.integrity) AppendIntegrityFooter(out);
 
   if (stats != nullptr) {
     stats->num_elements = n;

@@ -8,34 +8,34 @@
 namespace szx::iosim {
 namespace {
 
-std::uint64_t Mix64(std::uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
+void ValidateRequest(const WriteRequest& r) {
+  if (r.bytes < 0.0 || r.arrival_s < 0.0 || !std::isfinite(r.bytes)) {
+    throw std::invalid_argument("iosim: invalid write request");
+  }
 }
 
 }  // namespace
 
-std::vector<WriteCompletion> SimulateFairShare(
-    const PfsSpec& pfs, std::span<const WriteRequest> requests) {
-  const std::size_t n = requests.size();
-  std::vector<WriteCompletion> out(n);
-  if (n == 0) return out;
-  for (const auto& r : requests) {
-    if (r.bytes < 0.0 || r.arrival_s < 0.0 || !std::isfinite(r.bytes)) {
-      throw std::invalid_argument("iosim: invalid write request");
-    }
-  }
+std::vector<WriteCompletion> SimulateFairShareDynamic(
+    const PfsSpec& pfs, std::vector<WriteRequest>& requests,
+    const std::function<void(std::size_t, double)>& on_finish) {
+  std::vector<WriteCompletion> out(requests.size());
+  if (requests.empty()) return out;
+  for (const auto& r : requests) ValidateRequest(r);
 
-  std::vector<double> remaining(n);
-  std::vector<bool> active(n, false), done(n, false);
-  for (std::size_t i = 0; i < n; ++i) remaining[i] = requests[i].bytes;
+  std::vector<double> remaining(requests.size());
+  std::vector<bool> active(requests.size(), false);
+  std::vector<bool> done(requests.size(), false);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    remaining[i] = requests[i].bytes;
+  }
 
   const double per_rank = pfs.per_rank_bw_gbps * 1e9;
   const double aggregate = pfs.aggregate_bw_gbps * 1e9;
   double now = 0.0;
   std::size_t finished = 0;
-  while (finished < n) {
+  while (finished < requests.size()) {
+    const std::size_t n = requests.size();
     // Activate arrivals; find the next arrival among inactive requests.
     double next_arrival = std::numeric_limits<double>::infinity();
     std::size_t active_count = 0;
@@ -67,7 +67,8 @@ std::vector<WriteCompletion> SimulateFairShare(
       }
     }
     if (!(dt > 0.0)) dt = 0.0;
-    // Advance.
+    // Advance.  on_finish may append retry requests; they are folded into
+    // the tracking state below, after this pass over the current set.
     for (std::size_t i = 0; i < n; ++i) {
       if (!active[i] || done[i]) continue;
       remaining[i] -= share * dt;
@@ -77,11 +78,25 @@ std::vector<WriteCompletion> SimulateFairShare(
         active[i] = false;
         out[i].finish_s = now + dt + pfs.latency_s;
         ++finished;
+        if (on_finish) on_finish(i, out[i].finish_s);
       }
     }
     now += dt;
+    for (std::size_t i = n; i < requests.size(); ++i) {
+      ValidateRequest(requests[i]);
+      out.push_back(WriteCompletion{});
+      remaining.push_back(requests[i].bytes);
+      active.push_back(false);
+      done.push_back(false);
+    }
   }
   return out;
+}
+
+std::vector<WriteCompletion> SimulateFairShare(
+    const PfsSpec& pfs, std::span<const WriteRequest> requests) {
+  std::vector<WriteRequest> reqs(requests.begin(), requests.end());
+  return SimulateFairShareDynamic(pfs, reqs, nullptr);
 }
 
 JitteredJobResult SimulateJitteredDump(const PfsSpec& pfs, int ranks,
@@ -98,11 +113,7 @@ JitteredJobResult SimulateJitteredDump(const PfsSpec& pfs, int ranks,
 
   std::vector<WriteRequest> reqs(ranks);
   for (int i = 0; i < ranks; ++i) {
-    const double u =
-        static_cast<double>(Mix64(seed + static_cast<std::uint64_t>(i)) >>
-                            11) *
-        0x1.0p-53;
-    reqs[i].arrival_s = compute_s * (1.0 + jitter * (2.0 * u - 1.0));
+    reqs[i].arrival_s = detail::JitteredArrival(compute_s, jitter, seed, i);
     reqs[i].bytes = write_bytes;
   }
   const auto completions = SimulateFairShare(pfs, reqs);

@@ -7,10 +7,15 @@
 // completion times; the job makespan follows.
 //
 // With zero jitter the result provably collapses to the analytic model
-// (all ranks identical), which the tests assert.
+// (all ranks identical), which the tests assert.  The core loop is exposed
+// as SimulateFairShareDynamic so the retry simulator (retry_sim.hpp) can
+// append retry requests as failures occur: with a zero fault rate no
+// request is ever appended and the retry path performs bit-identical
+// arithmetic to SimulateFairShare.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -28,6 +33,31 @@ struct WriteCompletion {
   double finish_s = 0.0;
 };
 
+namespace detail {
+
+/// SplitMix64 finalizer shared by the jitter and fault models.
+inline std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+/// Canonical 53-bit uniform in [0, 1) from a mixed word.
+inline double UnitUniform(std::uint64_t mixed) {
+  return static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic per-rank compress-finish time: compute_s stretched by a
+/// uniform jitter in [-jitter, +jitter].
+inline double JitteredArrival(double compute_s, double jitter,
+                              std::uint64_t seed, int rank) {
+  const double u =
+      UnitUniform(Mix64(seed + static_cast<std::uint64_t>(rank)));
+  return compute_s * (1.0 + jitter * (2.0 * u - 1.0));
+}
+
+}  // namespace detail
+
 /// Simulates all requests to completion under progressive max-min fair
 /// sharing: at any instant, each of the k active streams receives
 /// min(per_rank_bw, aggregate_bw / k).  Returns one completion per
@@ -35,6 +65,16 @@ struct WriteCompletion {
 /// fine for the <= 4096-rank jobs the experiment uses.
 std::vector<WriteCompletion> SimulateFairShare(
     const PfsSpec& pfs, std::span<const WriteRequest> requests);
+
+/// Core loop behind SimulateFairShare, generalized for retries: as each
+/// request drains, `on_finish(index, finish_s)` runs and may append
+/// follow-up requests to `requests` (they join the contention from their
+/// arrival time onward).  Completions are returned for every request,
+/// initial and appended alike, in index order.  An empty callback makes
+/// this function bit-identical to SimulateFairShare.
+std::vector<WriteCompletion> SimulateFairShareDynamic(
+    const PfsSpec& pfs, std::vector<WriteRequest>& requests,
+    const std::function<void(std::size_t, double)>& on_finish);
 
 /// Job-level result for a jittered dump: every rank compresses for
 /// compute_s * (1 + jitter_i) with deterministic per-rank jitter in

@@ -1,0 +1,96 @@
+#include "iosim/retry_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace szx::iosim {
+namespace {
+
+/// Independent uniform draw for (seed, rank, attempt, salt).
+double FaultUniform(std::uint64_t seed, int rank, int attempt,
+                    std::uint64_t salt) {
+  std::uint64_t z = detail::Mix64(seed + salt);
+  z = detail::Mix64(z + static_cast<std::uint64_t>(rank));
+  z = detail::Mix64(z + static_cast<std::uint64_t>(attempt));
+  return detail::UnitUniform(z);
+}
+
+void ValidatePolicy(const RetryPolicy& p) {
+  if (p.max_attempts < 1 || p.base_backoff_s < 0.0 || p.multiplier < 1.0 ||
+      p.max_backoff_s < p.base_backoff_s || p.jitter < 0.0 ||
+      p.jitter >= 1.0) {
+    throw std::invalid_argument("iosim: invalid retry policy");
+  }
+}
+
+}  // namespace
+
+FaultyDumpResult SimulateFaultyDump(const PfsSpec& pfs, int ranks,
+                                    const RankWorkload& w, double jitter,
+                                    const WriteFaultModel& fault,
+                                    const RetryPolicy& policy,
+                                    std::uint64_t seed) {
+  if (ranks <= 0) throw std::invalid_argument("iosim: ranks must be > 0");
+  if (jitter < 0.0 || jitter >= 1.0) {
+    throw std::invalid_argument("iosim: jitter must be in [0, 1)");
+  }
+  if (fault.transient_failure_prob < 0.0 ||
+      fault.transient_failure_prob >= 1.0) {
+    throw std::invalid_argument("iosim: failure prob must be in [0, 1)");
+  }
+  ValidatePolicy(policy);
+
+  const double compute_s =
+      static_cast<double>(w.bytes_per_rank) / (w.compress_gbps * 1e9);
+  const double write_bytes =
+      static_cast<double>(w.bytes_per_rank) / w.compression_ratio;
+
+  std::vector<WriteRequest> reqs(ranks);
+  std::vector<std::pair<int, int>> meta(ranks);  // (rank, attempt)
+  for (int i = 0; i < ranks; ++i) {
+    reqs[i].arrival_s = detail::JitteredArrival(compute_s, jitter, seed, i);
+    reqs[i].bytes = write_bytes;
+    meta[i] = {i, 0};
+  }
+
+  FaultyDumpResult res;
+  std::vector<double> final_finish(ranks, 0.0);
+  const auto on_finish = [&](std::size_t idx, double finish_s) {
+    const auto [rank, attempt] = meta[idx];
+    ++res.attempts;
+    const double u = FaultUniform(fault.seed, rank, attempt, 0x51ed);
+    if (u >= fault.transient_failure_prob) {
+      final_finish[rank] = finish_s;  // success
+      return;
+    }
+    if (attempt + 1 >= policy.max_attempts) {
+      // The rank's data is lost; its failed attempt still took PFS time.
+      ++res.gave_up_ranks;
+      final_finish[rank] = finish_s;
+      return;
+    }
+    double backoff =
+        std::min(policy.max_backoff_s,
+                 policy.base_backoff_s *
+                     std::pow(policy.multiplier, static_cast<double>(attempt)));
+    const double u2 = FaultUniform(fault.seed, rank, attempt, 0xb0ff);
+    backoff *= 1.0 + policy.jitter * (2.0 * u2 - 1.0);
+    res.max_backoff_s = std::max(res.max_backoff_s, backoff);
+    ++res.retries;
+    reqs.push_back({finish_s + backoff, write_bytes});
+    meta.emplace_back(rank, attempt + 1);
+  };
+  (void)SimulateFairShareDynamic(pfs, reqs, on_finish);
+
+  double sum = 0.0;
+  for (int i = 0; i < ranks; ++i) {
+    res.makespan_s = std::max(res.makespan_s, final_finish[i]);
+    sum += final_finish[i];
+  }
+  res.mean_finish_s = sum / static_cast<double>(ranks);
+  return res;
+}
+
+}  // namespace szx::iosim

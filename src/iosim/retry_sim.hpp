@@ -1,0 +1,59 @@
+// Fault-injected dump simulation: the Fig. 16 write phase under transient
+// per-rank I/O failures with a bounded-exponential-backoff retry policy.
+//
+// Checkpoint dumps on production parallel file systems see transient write
+// failures (OST evictions, MDS timeouts); applications respond by retrying
+// with backoff.  This layer models that: each write attempt fails
+// independently with a configurable probability (deterministic in the
+// seed), a failed attempt re-enters the fair-share contention after a
+// backoff delay, and the makespan reflects both the wasted transfer time
+// and the backoff waits.
+//
+// With transient_failure_prob == 0 no retry is ever scheduled and
+// SimulateFaultyDump performs bit-identical arithmetic to
+// SimulateJitteredDump (asserted by tests/iosim/test_retry_sim.cpp).
+#pragma once
+
+#include <cstdint>
+
+#include "iosim/event_sim.hpp"
+
+namespace szx::iosim {
+
+/// Bounded exponential backoff with multiplicative jitter.  Failure k
+/// (0-based) waits min(max_backoff_s, base_backoff_s * multiplier^k)
+/// stretched by a uniform factor in [1 - jitter, 1 + jitter].
+struct RetryPolicy {
+  int max_attempts = 5;         ///< total attempts per rank, >= 1
+  double base_backoff_s = 0.05;
+  double multiplier = 2.0;
+  double max_backoff_s = 2.0;
+  double jitter = 0.25;         ///< in [0, 1)
+};
+
+struct WriteFaultModel {
+  double transient_failure_prob = 0.0;  ///< per write attempt, in [0, 1)
+  std::uint64_t seed = 7;
+};
+
+struct FaultyDumpResult {
+  double makespan_s = 0.0;          ///< last rank's final attempt finishes
+  double mean_finish_s = 0.0;       ///< mean of per-rank final finishes
+  std::uint64_t attempts = 0;       ///< total write attempts issued
+  std::uint64_t retries = 0;        ///< attempts beyond each rank's first
+  std::uint64_t gave_up_ranks = 0;  ///< ranks that exhausted max_attempts
+  double max_backoff_s = 0.0;       ///< longest single backoff wait
+};
+
+/// Jittered dump (as SimulateJitteredDump) where every write attempt can
+/// fail transiently and failed ranks retry under `policy`.  A rank whose
+/// final allowed attempt fails is counted in gave_up_ranks; its last
+/// attempt still occupies bandwidth and bounds the makespan.
+FaultyDumpResult SimulateFaultyDump(const PfsSpec& pfs, int ranks,
+                                    const RankWorkload& workload,
+                                    double jitter,
+                                    const WriteFaultModel& fault,
+                                    const RetryPolicy& policy,
+                                    std::uint64_t seed = 42);
+
+}  // namespace szx::iosim

@@ -1,0 +1,54 @@
+// Deterministic storage-fault injector for resilience testing.
+//
+// Models the damage classes a compressed stream meets in practice between
+// encode and decode: radiation/medium bit flips, truncated writes (node
+// death mid-dump), torn writes (tail zeroed past the last completed I/O
+// transfer), zero-filled pages (sparse-file holes after metadata-only
+// recovery), and duplicated regions (retried appends).  Every mutation is a
+// pure function of (stream, fault class, seed), so any property-test
+// failure replays from its printed seed.
+//
+// The injector reports exactly which byte ranges it touched (FaultRecord),
+// giving salvage tests a ground-truth damage map to compare DamageReport
+// against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/common.hpp"
+
+namespace szx::testkit {
+
+enum class FaultClass : std::uint8_t {
+  kBitFlip = 0,    ///< 1..8 single-bit flips at random offsets
+  kTruncate = 1,   ///< drop a random-length tail
+  kTornWrite = 2,  ///< zero everything from a random offset to the end
+  kZeroFill = 3,   ///< zero one random interior region (page loss)
+  kDuplicate = 4,  ///< replace a region with a copy of an earlier region
+};
+
+inline constexpr FaultClass kAllFaultClasses[] = {
+    FaultClass::kBitFlip, FaultClass::kTruncate, FaultClass::kTornWrite,
+    FaultClass::kZeroFill, FaultClass::kDuplicate,
+};
+
+const char* FaultClassName(FaultClass c);
+
+/// Ground truth for one injection: which bytes changed (half-open ranges in
+/// the ORIGINAL stream's coordinates) and the stream's new size.
+struct FaultRecord {
+  FaultClass cls = FaultClass::kBitFlip;
+  std::uint64_t seed = 0;
+  std::vector<ByteRange> ranges;  ///< bytes the fault touched
+  std::uint64_t new_size = 0;     ///< == old size except for kTruncate
+};
+
+/// Applies one seeded fault to `stream` in place (kTruncate shrinks it).
+/// Streams smaller than two bytes are left untouched (record.ranges empty).
+/// Deterministic: identical (stream, cls, seed) always produces the
+/// identical mutation.
+FaultRecord InjectFault(ByteBuffer& stream, FaultClass cls,
+                        std::uint64_t seed);
+
+}  // namespace szx::testkit

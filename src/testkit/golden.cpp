@@ -6,6 +6,7 @@
 
 #include "core/compressor.hpp"
 #include "core/omp_codec.hpp"
+#include "resilience/salvage.hpp"
 #include "testkit/oracle.hpp"
 
 namespace szx::testkit {
@@ -219,6 +220,132 @@ std::optional<std::string> VerifyGoldenCase(const GoldenCase& c,
   }
   return c.dtype == DataType::kFloat32 ? VerifyDecode<float>(c, golden)
                                        : VerifyDecode<double>(c, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Damaged-stream corpus.
+
+namespace {
+
+GoldenCase IntegrityCase(const char* file, DataType dtype, Gen gen,
+                         std::size_t n, std::uint64_t seed,
+                         ErrorBoundMode mode, double eb, std::uint32_t bs) {
+  Params p = MakeParams(mode, eb, bs, CommitSolution::kC);
+  p.integrity = true;
+  return {file, dtype, gen, n, seed, p};
+}
+
+}  // namespace
+
+const std::vector<DamagedGoldenCase>& DamagedGoldenCases() {
+  using enum ErrorBoundMode;
+  // One case per fault class on the same float32 wave (so diffs isolate the
+  // fault model, not the input), plus a float64 bit flip for dtype coverage.
+  static const std::vector<DamagedGoldenCase> kCases = {
+      {"damaged_f32_bitflip.szx",
+       IntegrityCase("", DataType::kFloat32, Gen::kWave, 20000, 201,
+                     kAbsolute, 1e-3, 64),
+       FaultClass::kBitFlip, 11},
+      {"damaged_f32_truncate.szx",
+       IntegrityCase("", DataType::kFloat32, Gen::kWave, 20000, 201,
+                     kAbsolute, 1e-3, 64),
+       FaultClass::kTruncate, 12},
+      {"damaged_f32_tornwrite.szx",
+       IntegrityCase("", DataType::kFloat32, Gen::kWave, 20000, 201,
+                     kAbsolute, 1e-3, 64),
+       FaultClass::kTornWrite, 13},
+      {"damaged_f32_zerofill.szx",
+       IntegrityCase("", DataType::kFloat32, Gen::kWave, 20000, 201,
+                     kAbsolute, 1e-3, 64),
+       FaultClass::kZeroFill, 14},
+      {"damaged_f32_duplicate.szx",
+       IntegrityCase("", DataType::kFloat32, Gen::kWave, 20000, 201,
+                     kAbsolute, 1e-3, 64),
+       FaultClass::kDuplicate, 15},
+      {"damaged_f64_bitflip.szx",
+       IntegrityCase("", DataType::kFloat64, Gen::kNoise, 9000, 202,
+                     kValueRangeRelative, 1e-4, 128),
+       FaultClass::kBitFlip, 16},
+  };
+  return kCases;
+}
+
+ByteBuffer EncodeDamagedGoldenCase(const DamagedGoldenCase& c) {
+  ByteBuffer stream = EncodeGoldenCase(c.clean);
+  InjectFault(stream, c.cls, c.fault_seed);
+  return stream;
+}
+
+std::string SalvageReportJson(const DamagedGoldenCase& c, ByteSpan stream) {
+  if (c.clean.dtype == DataType::kFloat32) {
+    return resilience::SalvageDecode<float>(stream).report.ToJson();
+  }
+  return resilience::SalvageDecode<double>(stream).report.ToJson();
+}
+
+std::string DamagedReportFile(const DamagedGoldenCase& c) {
+  const std::string stem = c.file.substr(0, c.file.rfind(".szx"));
+  return stem + ".report.json";
+}
+
+std::string DamagedManifestText() {
+  std::ostringstream os;
+  os << "# Damaged golden corpus -- regenerate with szx_goldengen.\n"
+     << "# Each stream is a pinned fault injection on an integrity (v2)\n"
+     << "# encode; the .report.json next to it is the expected salvage\n"
+     << "# DamageReport.  A diff here is a salvage-semantics change.\n";
+  for (const DamagedGoldenCase& c : DamagedGoldenCases()) {
+    const ByteBuffer stream = EncodeDamagedGoldenCase(c);
+    os << c.file << "  bytes=" << stream.size() << "  fnv1a64=" << std::hex
+       << Fnv1a64(stream) << std::dec
+       << "  fault=" << FaultClassName(c.cls) << " seed=" << c.fault_seed
+       << "  base=" << GenName(c.clean.gen) << " n=" << c.clean.n << "\n";
+  }
+  return os.str();
+}
+
+void WriteDamagedGoldenCorpus(const std::string& dir) {
+  for (const DamagedGoldenCase& c : DamagedGoldenCases()) {
+    const ByteBuffer stream = EncodeDamagedGoldenCase(c);
+    WriteFileBytes(dir + "/" + c.file, stream);
+    const std::string json = SalvageReportJson(c, stream);
+    // szx-lint: allow(reinterpret-cast) -- views locally built JSON text as bytes for writing
+    const auto* json_bytes = reinterpret_cast<const std::byte*>(json.data());
+    WriteFileBytes(dir + "/" + DamagedReportFile(c),
+                   ByteSpan(json_bytes, json.size()));
+  }
+  const std::string manifest = DamagedManifestText();
+  WriteFileBytes(dir + "/" + kDamagedManifestFile,
+                 // szx-lint: allow(reinterpret-cast) -- views locally built manifest text as bytes for writing
+                 ByteSpan(reinterpret_cast<const std::byte*>(manifest.data()),
+                          manifest.size()));
+}
+
+std::optional<std::string> VerifyDamagedGoldenCase(const DamagedGoldenCase& c,
+                                                   const std::string& dir) {
+  ByteBuffer pinned;
+  ByteBuffer pinned_report;
+  try {
+    pinned = ReadFileBytes(dir + "/" + c.file);
+    pinned_report = ReadFileBytes(dir + "/" + DamagedReportFile(c));
+  } catch (const Error& e) {
+    return std::string(e.what()) + " (regenerate with szx_goldengen)";
+  }
+  const ByteBuffer fresh = EncodeDamagedGoldenCase(c);
+  if (fresh != pinned) {
+    return c.file + ": re-injected stream diverges from the pinned bytes -- "
+                    "the encoder or fault injector drifted";
+  }
+  const std::string report = SalvageReportJson(c, pinned);
+  const std::string expected(
+      // szx-lint: allow(reinterpret-cast) -- checked-in JSON bytes back to text for comparison
+      reinterpret_cast<const char*>(pinned_report.data()),
+      pinned_report.size());
+  if (report != expected) {
+    return c.file + ": salvage DamageReport diverges from " +
+           DamagedReportFile(c) + " -- salvage semantics drifted";
+  }
+  return std::nullopt;
 }
 
 }  // namespace szx::testkit

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "testkit/fault_injector.hpp"
 #include "testkit/generators.hpp"
 
 namespace szx::testkit {
@@ -57,5 +58,43 @@ std::optional<std::string> VerifyGoldenCase(const GoldenCase& c,
 /// File helpers (throw szx::Error on I/O failure).
 ByteBuffer ReadFileBytes(const std::string& path);
 void WriteFileBytes(const std::string& path, ByteSpan bytes);
+
+// ---------------------------------------------------------------------------
+// Damaged-stream corpus: pinned fault-injected streams plus their expected
+// DamageReport JSON, so salvage semantics are part of the golden contract
+// (a behavior change in the salvage pipeline shows up as a reviewable diff
+// of tests/golden/damaged_*.report.json).
+
+struct DamagedGoldenCase {
+  std::string file;   ///< damaged stream file (tests/golden/damaged_*.szx)
+  GoldenCase clean;   ///< recipe for the pristine integrity (v2) stream
+  FaultClass cls;     ///< injected fault class
+  std::uint64_t fault_seed;
+};
+
+/// Every fault class on a float32 integrity wave, plus a float64 bit flip.
+const std::vector<DamagedGoldenCase>& DamagedGoldenCases();
+
+/// Rebuilds the damaged stream from its recipe (clean encode + injection).
+ByteBuffer EncodeDamagedGoldenCase(const DamagedGoldenCase& c);
+
+/// Salvages `stream` with default options and returns the report JSON.
+std::string SalvageReportJson(const DamagedGoldenCase& c, ByteSpan stream);
+
+/// `file` with its .szx suffix replaced by .report.json.
+std::string DamagedReportFile(const DamagedGoldenCase& c);
+
+/// Manifest for the damaged corpus (one line per case).
+std::string DamagedManifestText();
+inline constexpr const char* kDamagedManifestFile = "DAMAGED_MANIFEST.txt";
+
+/// Writes damaged_*.szx + damaged_*.report.json + the manifest into `dir`.
+void WriteDamagedGoldenCorpus(const std::string& dir);
+
+/// Checks one damaged case: the re-injected stream must be byte-identical
+/// to the checked-in file, and salvaging the checked-in file must produce
+/// exactly the checked-in report JSON.  Returns std::nullopt on success.
+std::optional<std::string> VerifyDamagedGoldenCase(const DamagedGoldenCase& c,
+                                                   const std::string& dir);
 
 }  // namespace szx::testkit

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -33,6 +35,13 @@ int RunCli(const std::string& args) {
   const std::string cmd =
       std::string(SZX_CLI_PATH) + " " + args + " > /dev/null 2>&1";
   return std::system(cmd.c_str());
+}
+
+// Actual process exit code, for the documented contract:
+// 0 success, 2 usage, 3 corruption/verification failure, 4 I/O error.
+int CliExitCode(const std::string& args) {
+  const int status = RunCli(args);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
 }
 
 void WriteFloats(const std::string& path, const std::vector<float>& v) {
@@ -233,6 +242,73 @@ TEST_F(CliTest, ValidateAcceptsGoodRejectsBad) {
   const int shallow = RunCli("validate -i " + compressed_);
   const int deep = RunCli("validate -i " + compressed_ + " --deep");
   EXPECT_TRUE(shallow != 0 || deep != 0);
+}
+
+TEST_F(CliTest, ExitCodeContract) {
+  // 2: usage errors (bad flag, bad command, missing required argument).
+  EXPECT_EQ(CliExitCode("frobnicate"), 2);
+  EXPECT_EQ(CliExitCode("compress -i " + raw_ + " -o " + compressed_ +
+                        " -t f16"),
+            2);
+  EXPECT_EQ(CliExitCode("verify"), 2);
+  // 4: file-system failures.
+  EXPECT_EQ(CliExitCode("compress -i /nonexistent.f32 -o " + compressed_), 4);
+  EXPECT_EQ(CliExitCode("decompress -i /nonexistent.szx -o " + recon_), 4);
+  // 3: stream corruption.
+  ASSERT_EQ(CliExitCode("compress -i " + raw_ + " -o " + compressed_), 0);
+  {
+    std::fstream f(compressed_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(2);
+    const char junk = 0x77;
+    f.write(&junk, 1);  // break the magic
+  }
+  EXPECT_EQ(CliExitCode("decompress -i " + compressed_ + " -o " + recon_), 3);
+}
+
+TEST_F(CliTest, IntegrityVerifyAndSalvage) {
+  const std::string report = TempPath("report.json");
+  ASSERT_EQ(CliExitCode("compress -i " + raw_ + " -o " + compressed_ +
+                        " -m abs -e 1e-3 --integrity"),
+            0);
+  // Clean stream: checksum verification passes and decode round-trips.
+  EXPECT_EQ(CliExitCode("verify -z " + compressed_), 0);
+  ASSERT_EQ(CliExitCode("decompress -i " + compressed_ + " -o " + recon_), 0);
+  ASSERT_EQ(ReadFloats(recon_).size(), data_.size());
+  // Clean salvage: exit 0 and identical output to the normal decoder.
+  const std::string salvaged = TempPath("salvaged.f32");
+  EXPECT_EQ(CliExitCode("salvage -i " + compressed_ + " -o " + salvaged), 0);
+  EXPECT_EQ(ReadFloats(salvaged), ReadFloats(recon_));
+
+  // Damage a payload byte: verify fails with 3; salvage still produces
+  // output plus a machine-readable report, also signalling 3.
+  {
+    std::fstream f(compressed_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-3000, std::ios::end);
+    const char junk = 0x5a;
+    f.write(&junk, 1);
+  }
+  EXPECT_EQ(CliExitCode("verify -z " + compressed_), 3);
+  EXPECT_EQ(CliExitCode("salvage -i " + compressed_ + " -o " + salvaged +
+                        " --report " + report),
+            3);
+  const auto out = ReadFloats(salvaged);
+  EXPECT_EQ(out.size(), data_.size());
+  std::ifstream rep(report);
+  std::string json((std::istreambuf_iterator<char>(rep)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"usable\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+  std::remove(salvaged.c_str());
+  std::remove(report.c_str());
+}
+
+TEST_F(CliTest, VerifyWithoutIntegrityFooterDeepWalks) {
+  // v1 streams have no checksums; verify -z falls back to the structural
+  // validator and still reports a clean stream as 0.
+  ASSERT_EQ(CliExitCode("compress -i " + raw_ + " -o " + compressed_), 0);
+  EXPECT_EQ(CliExitCode("verify -z " + compressed_), 0);
 }
 
 TEST_F(CliTest, Float64RoundTrip) {

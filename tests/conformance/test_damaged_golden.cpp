@@ -1,0 +1,61 @@
+// Damaged golden corpus (conformance tier): every pinned fault-injected
+// stream must be byte-reproducible from its recipe, and salvaging it must
+// produce exactly the checked-in DamageReport JSON.  This freezes salvage
+// semantics the same way MANIFEST.txt freezes the encoder.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testkit/golden.hpp"
+
+namespace szx::testkit {
+namespace {
+
+#ifndef SZX_GOLDEN_DIR
+#error "SZX_GOLDEN_DIR must be defined by the build"
+#endif
+
+TEST(DamagedGolden, CorpusCoversEveryFaultClass) {
+  const auto& cases = DamagedGoldenCases();
+  ASSERT_GE(cases.size(), 6u);
+  for (const FaultClass cls : kAllFaultClasses) {
+    const bool covered = std::any_of(
+        cases.begin(), cases.end(),
+        [&](const DamagedGoldenCase& c) { return c.cls == cls; });
+    EXPECT_TRUE(covered) << "no pinned case for " << FaultClassName(cls);
+  }
+}
+
+TEST(DamagedGolden, EveryCaseVerifies) {
+  for (const DamagedGoldenCase& c : DamagedGoldenCases()) {
+    const auto err = VerifyDamagedGoldenCase(c, SZX_GOLDEN_DIR);
+    EXPECT_FALSE(err.has_value()) << *err;
+  }
+}
+
+TEST(DamagedGolden, ManifestMatchesDisk) {
+  const ByteBuffer pinned =
+      ReadFileBytes(std::string(SZX_GOLDEN_DIR) + "/" + kDamagedManifestFile);
+  const std::string fresh = DamagedManifestText();
+  const std::string on_disk(
+      // szx-lint: allow(reinterpret-cast) -- checked-in manifest bytes back to text for comparison
+      reinterpret_cast<const char*>(pinned.data()), pinned.size());
+  EXPECT_EQ(fresh, on_disk)
+      << "DAMAGED_MANIFEST.txt is stale; regenerate with szx_goldengen";
+}
+
+TEST(DamagedGolden, ReportsAreNeverCleanAndAlwaysParseable) {
+  for (const DamagedGoldenCase& c : DamagedGoldenCases()) {
+    const ByteBuffer pinned =
+        ReadFileBytes(std::string(SZX_GOLDEN_DIR) + "/" + c.file);
+    const std::string json = SalvageReportJson(c, pinned);
+    EXPECT_EQ(json.front(), '{') << c.file;
+    EXPECT_EQ(json.back(), '}') << c.file;
+    EXPECT_EQ(json.find("\"clean\":true"), std::string::npos)
+        << c.file << " pins a clean report; the injection did nothing";
+  }
+}
+
+}  // namespace
+}  // namespace szx::testkit

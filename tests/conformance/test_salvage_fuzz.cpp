@@ -1,0 +1,86 @@
+// Salvage fuzz smoke (fuzz-smoke tier, also wired into scripts/check.sh):
+// a seeded corruption campaign over every fault class, replayable from any
+// failing seed printed by SCOPED_TRACE.  Deeper per-class properties live
+// in tests/resilience/test_salvage_property.cpp; this tier exists so the
+// fuzz entry point keeps exercising salvage on every check.sh run, with
+// stacked double faults the property harness does not cover.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "resilience/salvage.hpp"
+#include "../test_util.hpp"
+#include "testkit/fault_injector.hpp"
+
+namespace szx::resilience {
+namespace {
+
+using szx::testing::MakePattern;
+using szx::testing::Pattern;
+using szx::testkit::FaultClass;
+using szx::testkit::FaultClassName;
+using szx::testkit::InjectFault;
+using szx::testkit::kAllFaultClasses;
+
+constexpr int kSeeds = 40;
+
+ByteBuffer MakeStream(bool integrity) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  p.block_size = 64;
+  p.integrity = integrity;
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 20000);
+  return Compress<float>(data, p);
+}
+
+void SmokeOne(const ByteBuffer& clean, FaultClass a, FaultClass b,
+              std::uint64_t seed) {
+  ByteBuffer stream = clean;
+  InjectFault(stream, a, seed);
+  InjectFault(stream, b, seed + 1);  // stacked double fault
+  SCOPED_TRACE(std::string(FaultClassName(a)) + "+" + FaultClassName(b) +
+               " seed=" + std::to_string(seed));
+  const auto res = SalvageDecode<float>(stream);
+  if (res.report.usable) {
+    EXPECT_EQ(res.data.size(), 20000u);
+    EXPECT_EQ(res.report.blocks_recovered + res.report.blocks_mu_filled +
+                  res.report.blocks_lost,
+              res.report.num_blocks);
+  } else {
+    EXPECT_FALSE(res.report.error.empty());
+    EXPECT_TRUE(res.data.empty());
+  }
+  // The report must serialize regardless of how mangled the stream is.
+  const std::string json = res.report.ToJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(SalvageFuzz, StackedFaultsOnIntegrityStream) {
+  const ByteBuffer clean = MakeStream(/*integrity=*/true);
+  for (const FaultClass a : kAllFaultClasses) {
+    for (const FaultClass b : kAllFaultClasses) {
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        SmokeOne(clean, a, b, static_cast<std::uint64_t>(seed));
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+TEST(SalvageFuzz, StackedFaultsOnV1Stream) {
+  const ByteBuffer clean = MakeStream(/*integrity=*/false);
+  for (const FaultClass a : kAllFaultClasses) {
+    for (const FaultClass b : kAllFaultClasses) {
+      for (int seed = 0; seed < kSeeds; ++seed) {
+        SmokeOne(clean, a, b, static_cast<std::uint64_t>(seed) + 7777);
+        if (::testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace szx::resilience

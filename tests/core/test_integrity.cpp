@@ -1,0 +1,165 @@
+// Format v2 integrity footer: v1/v2 twin relation, footer discovery, and
+// encoder byte-identity (serial / OMP / cusim all append the same footer).
+#include "core/integrity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "core/omp_codec.hpp"
+#include "cusim/cusim_codec.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+
+template <typename T>
+Params BaseParams() {
+  Params p;
+  p.error_bound = 1e-3;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.block_size = 64;
+  return p;
+}
+
+TEST(Integrity, V2IsV1PlusPatchedBytesAndFooter) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 5000);
+  Params p = BaseParams<float>();
+  const ByteBuffer v1 = Compress<float>(data, p);
+  p.integrity = true;
+  const ByteBuffer v2 = Compress<float>(data, p);
+
+  const Header h1 = ParseHeader(v1);
+  const std::uint32_t chunks = IntegrityChunkCount(h1);
+  ASSERT_EQ(v2.size(), v1.size() + IntegrityFooterBytes(chunks));
+  for (std::size_t i = 0; i < v1.size(); ++i) {
+    if (i == 4 || i == 8) continue;  // version byte, flags byte
+    ASSERT_EQ(v1[i], v2[i]) << "body byte " << i << " differs";
+  }
+  EXPECT_EQ(std::to_integer<int>(v2[4]), kFormatVersionIntegrity);
+  EXPECT_EQ(std::to_integer<int>(v2[8]) & kFlagIntegrity, kFlagIntegrity);
+
+  const Header h2 = ParseHeader(v2);
+  EXPECT_EQ(h2.version, kFormatVersionIntegrity);
+  EXPECT_EQ(h2.flags & kFlagIntegrity, kFlagIntegrity);
+}
+
+TEST(Integrity, FindFooterOnV2AndNotOnV1) {
+  const auto data = MakePattern<double>(Pattern::kSmoothSine, 3000);
+  Params p = BaseParams<double>();
+  const ByteBuffer v1 = Compress<double>(data, p);
+  p.integrity = true;
+  const ByteBuffer v2 = Compress<double>(data, p);
+
+  EXPECT_FALSE(FindIntegrityFooter(v1).has_value());
+  const auto fv = FindIntegrityFooter(v2);
+  ASSERT_TRUE(fv.has_value());
+  EXPECT_EQ(fv->chunk_count, IntegrityChunkCount(ParseHeader(v2)));
+  EXPECT_EQ(fv->footer_offset, v1.size());
+  EXPECT_EQ(fv->header_fnv,
+            Fnv1a64(ByteSpan(v2).first(sizeof(Header))));
+
+  // Any truncation of the tail makes the footer undiscoverable (it is
+  // located from the end), and a flipped tail byte fails its checksum.
+  ByteBuffer cut(v2.begin(), v2.end() - 1);
+  EXPECT_FALSE(FindIntegrityFooter(cut).has_value());
+  ByteBuffer flipped = v2;
+  flipped[flipped.size() - 20] ^= std::byte{0x40};
+  EXPECT_FALSE(FindIntegrityFooter(flipped).has_value());
+}
+
+TEST(Integrity, V2RoundTripsThroughAllDecoders) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 4096);
+  Params p = BaseParams<float>();
+  const ByteBuffer v1 = Compress<float>(data, p);
+  p.integrity = true;
+  const ByteBuffer v2 = Compress<float>(data, p);
+
+  const auto serial = Decompress<float>(v2);
+  const auto ref = Decompress<float>(v1);
+  ASSERT_EQ(serial, ref);
+  EXPECT_EQ(DecompressOmp<float>(v2, 4), ref);
+  EXPECT_EQ(cusim::DecompressCuda<float>(v2), ref);
+}
+
+TEST(Integrity, EncodersProduceIdenticalV2Streams) {
+  const auto data = MakePattern<float>(Pattern::kNoisySine, 10000);
+  Params p = BaseParams<float>();
+  p.integrity = true;
+  const ByteBuffer serial = Compress<float>(data, p);
+  const ByteBuffer omp = CompressOmp<float>(data, p, nullptr, 4);
+  const ByteBuffer cu = cusim::CompressCuda<float>(data, p);
+  EXPECT_EQ(serial, omp);
+  EXPECT_EQ(serial, cu);
+}
+
+TEST(Integrity, RawPassthroughGetsSingleChunkFooter) {
+  // Incompressible noise under a tiny bound forces raw passthrough.
+  const auto data = MakePattern<float>(Pattern::kUniformNoise, 2000);
+  Params p = BaseParams<float>();
+  p.error_bound = 1e-12;
+  p.integrity = true;
+  const ByteBuffer v2 = Compress<float>(data, p);
+  const Header h = ParseHeader(v2);
+  ASSERT_NE(h.flags & kFlagRawPassthrough, 0);
+  const auto fv = FindIntegrityFooter(v2);
+  ASSERT_TRUE(fv.has_value());
+  EXPECT_EQ(fv->chunk_count, 1u);
+  EXPECT_EQ(Decompress<float>(v2), data);
+}
+
+TEST(Integrity, EmptyInputV2RoundTrips) {
+  Params p = BaseParams<double>();
+  p.integrity = true;
+  const ByteBuffer v2 = Compress<double>(std::span<const double>{}, p);
+  ASSERT_TRUE(FindIntegrityFooter(v2).has_value());
+  EXPECT_TRUE(Decompress<double>(v2).empty());
+}
+
+TEST(Integrity, AppendFooterTwiceThrows) {
+  const auto data = MakePattern<float>(Pattern::kRamp, 1000);
+  Params p = BaseParams<float>();
+  p.integrity = true;
+  ByteBuffer v2 = Compress<float>(data, p);
+  EXPECT_THROW(AppendIntegrityFooter(v2), Error);
+}
+
+TEST(Integrity, ParseHeaderRejectsInconsistentVersionFlag) {
+  const auto data = MakePattern<float>(Pattern::kRamp, 1000);
+  Params p = BaseParams<float>();
+  const ByteBuffer v1 = Compress<float>(data, p);
+
+  // v2 version byte without the integrity flag.
+  ByteBuffer forged = v1;
+  forged[4] = std::byte{kFormatVersionIntegrity};
+  EXPECT_THROW(ParseHeader(forged), Error);
+
+  // v1 version byte with the integrity flag set.
+  forged = v1;
+  forged[8] |= std::byte{kFlagIntegrity};
+  EXPECT_THROW(ParseHeader(forged), Error);
+
+  // Unknown flag bits are rejected outright.
+  forged = v1;
+  forged[8] |= std::byte{0x80};
+  EXPECT_THROW(ParseHeader(forged), Error);
+}
+
+TEST(Integrity, ChunkCountScalesAndIsBounded) {
+  Header h{};
+  h.block_size = 64;
+  h.num_elements = 0;
+  h.num_blocks = 0;
+  EXPECT_EQ(IntegrityChunkCount(h), 1u);
+  h.num_elements = 64 * 640;
+  h.num_blocks = 640;
+  EXPECT_EQ(IntegrityChunkCount(h), 10u);
+  h.num_elements = 64 * 100;
+  h.num_blocks = 100;
+  EXPECT_EQ(IntegrityChunkCount(h), 1u);
+}
+
+}  // namespace
+}  // namespace szx

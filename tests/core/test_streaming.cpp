@@ -127,6 +127,134 @@ TEST(Streaming, CompressionAccumulates) {
   EXPECT_LT(writer.compressed_bytes(), writer.raw_bytes() / 2);
 }
 
+// --------------------------------------------------------------------------
+// Writer lifecycle: Finish() && moves the container out; the writer must be
+// poisoned afterwards instead of silently appending to an empty buffer.
+
+TEST(Streaming, FinishPoisonsWriter) {
+  Params p;
+  StreamWriter<float> writer(p);
+  writer.Append(MakePattern<float>(Pattern::kRamp, 256, 3));
+  const ByteBuffer container = std::move(writer).Finish();
+  EXPECT_GT(container.size(), 8u);
+  EXPECT_THROW(writer.Append(MakePattern<float>(Pattern::kRamp, 16, 4)),
+               Error);
+  EXPECT_THROW((void)std::move(writer).Finish(), Error);
+}
+
+// --------------------------------------------------------------------------
+// NextOrSkip: fault-tolerant reading with and without v2 resync markers.
+
+ByteBuffer BuildContainer(bool markers,
+                          std::vector<std::vector<float>>* frames) {
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  StreamWriterOptions opt;
+  opt.resync_markers = markers;
+  StreamWriter<float> writer(p, opt);
+  for (int f = 0; f < 3; ++f) {
+    frames->push_back(
+        MakePattern<float>(Pattern::kNoisySine, 3000 + 100 * f, f));
+    writer.Append(frames->back());
+  }
+  return std::move(writer).Finish();
+}
+
+/// Byte offset of frame `idx` (its marker, in marker containers).
+std::size_t FrameStart(ByteSpan container, std::size_t idx, bool markers) {
+  std::size_t pos = 8;
+  for (std::size_t i = 0; i < idx; ++i) {
+    ByteCursor cur(container.subspan(pos));
+    if (markers) cur.Skip(8);
+    const auto len = cur.Read<std::uint64_t>();
+    cur.Skip(8);  // checksum
+    pos += (markers ? 8 : 0) + 16 + len;
+  }
+  return pos;
+}
+
+TEST(Streaming, NextOrSkipCleanStreamSkipsNothing) {
+  std::vector<std::vector<float>> frames;
+  const ByteBuffer container = BuildContainer(false, &frames);
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  SkipInfo info;
+  int got = 0;
+  while (reader.NextOrSkip(out, &info)) ++got;
+  EXPECT_EQ(got, 3);
+  EXPECT_EQ(info.frames_skipped, 0u);
+  EXPECT_EQ(info.bytes_skipped, 0u);
+}
+
+TEST(Streaming, NextOrSkipStepsOverCorruptFrameV1) {
+  std::vector<std::vector<float>> frames;
+  ByteBuffer container = BuildContainer(false, &frames);
+  // Flip a payload byte inside frame 1 (past its 16-byte frame header).
+  const std::size_t f1 = FrameStart(container, 1, false);
+  container[f1 + 16 + 40] ^= std::byte{0x10};
+
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  SkipInfo info;
+  ASSERT_TRUE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(out.size(), frames[0].size());
+  ASSERT_TRUE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(out.size(), frames[2].size());
+  EXPECT_FALSE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(info.frames_skipped, 1u);
+  EXPECT_GT(info.bytes_skipped, 0u);
+  EXPECT_FALSE(info.last_error.empty());
+}
+
+TEST(Streaming, NextOrSkipAbandonsTailOnCorruptLengthV1) {
+  std::vector<std::vector<float>> frames;
+  ByteBuffer container = BuildContainer(false, &frames);
+  // Blow up frame 1's length field: without markers there is no way to
+  // find frame 2, so the remainder of the container is abandoned.
+  const std::size_t f1 = FrameStart(container, 1, false);
+  container[f1 + 6] = std::byte{0xff};
+
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  SkipInfo info;
+  ASSERT_TRUE(reader.NextOrSkip(out, &info));
+  EXPECT_FALSE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(info.frames_skipped, 1u);
+  EXPECT_EQ(info.bytes_skipped, container.size() - f1);
+}
+
+TEST(Streaming, ResyncMarkersRecoverPastCorruptLength) {
+  std::vector<std::vector<float>> frames;
+  ByteBuffer container = BuildContainer(true, &frames);
+  const std::size_t f1 = FrameStart(container, 1, true);
+  container[f1 + 8 + 6] = std::byte{0xff};  // length field after the marker
+
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  SkipInfo info;
+  ASSERT_TRUE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(out.size(), frames[0].size());
+  // The corrupt length would have pointed past the container; the marker
+  // scan resynchronizes on frame 2.
+  ASSERT_TRUE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(out.size(), frames[2].size());
+  EXPECT_FALSE(reader.NextOrSkip(out, &info));
+  EXPECT_EQ(info.frames_skipped, 1u);
+}
+
+TEST(Streaming, ResyncContainerRoundTripsWithNext) {
+  std::vector<std::vector<float>> frames;
+  const ByteBuffer container = BuildContainer(true, &frames);
+  StreamReader<float> reader(container);
+  std::vector<float> out;
+  for (int f = 0; f < 3; ++f) {
+    ASSERT_TRUE(reader.Next(out)) << f;
+    EXPECT_TRUE(WithinBound<float>(frames[f], out, 1e-3));
+  }
+  EXPECT_FALSE(reader.Next(out));
+}
+
 TEST(Fnv1a64, KnownProperties) {
   EXPECT_EQ(Fnv1a64({}), 0xcbf29ce484222325ull);
   ByteBuffer a(4, std::byte{1});

@@ -188,5 +188,24 @@ TEST(Hardening, SzxLyingZsizeTableRejectedByBothDecoders) {
   EXPECT_THROW(DecompressOmp<float>(stream, 4), Error);
 }
 
+// The header's reserved bytes (offsets 9..15 and 20..23) must be zero on
+// the wire: a forged stream with any of them set is rejected, which keeps
+// them available for future format versions instead of silently carrying
+// attacker-controlled garbage through every decoder.
+TEST(Hardening, SzxNonzeroReservedBytesRejected) {
+  const std::vector<float> data = Ramp(2048);
+  Params p;
+  p.mode = ErrorBoundMode::kAbsolute;
+  p.error_bound = 1e-3;
+  const ByteBuffer clean = Compress<float>(data, p);
+  ASSERT_NO_THROW(ParseHeader(clean));
+  for (const std::size_t off : {9u, 12u, 15u, 20u, 23u}) {
+    ByteBuffer forged = clean;
+    forged[off] = std::byte{0x01};
+    EXPECT_THROW(ParseHeader(forged), Error) << "reserved byte " << off;
+    EXPECT_THROW(Decompress<float>(forged), Error) << "reserved byte " << off;
+  }
+}
+
 }  // namespace
 }  // namespace szx

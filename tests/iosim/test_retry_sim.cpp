@@ -1,0 +1,152 @@
+// Fault-injected dump simulation: exact collapse to the fault-free
+// fair-share result at zero fault rate, retry accounting, and policy
+// validation.
+#include "iosim/retry_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace szx::iosim {
+namespace {
+
+RankWorkload NyxLikeWorkload() {
+  RankWorkload w;
+  w.bytes_per_rank = 512ull << 20;
+  w.compress_gbps = 30.0;
+  w.decompress_gbps = 60.0;
+  w.compression_ratio = 8.0;
+  return w;
+}
+
+TEST(RetrySim, ZeroFaultRateCollapsesExactlyToFairShare) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  const WriteFaultModel no_faults{};  // prob = 0
+  const RetryPolicy policy;
+  for (const int ranks : {1, 16, 128}) {
+    for (const double jitter : {0.0, 0.15}) {
+      const JitteredJobResult ref =
+          SimulateJitteredDump(pfs, ranks, w, jitter);
+      const FaultyDumpResult res =
+          SimulateFaultyDump(pfs, ranks, w, jitter, no_faults, policy);
+      // Bit-exact: the retry path must perform the identical arithmetic.
+      EXPECT_EQ(res.makespan_s, ref.makespan_s)
+          << "ranks=" << ranks << " jitter=" << jitter;
+      EXPECT_EQ(res.mean_finish_s, ref.mean_finish_s);
+      EXPECT_EQ(res.attempts, static_cast<std::uint64_t>(ranks));
+      EXPECT_EQ(res.retries, 0u);
+      EXPECT_EQ(res.gave_up_ranks, 0u);
+      EXPECT_EQ(res.max_backoff_s, 0.0);
+    }
+  }
+}
+
+TEST(RetrySim, DynamicCoreMatchesSpanEntryPoint) {
+  const PfsSpec pfs;
+  std::vector<WriteRequest> reqs;
+  for (int i = 0; i < 32; ++i) {
+    reqs.push_back({0.01 * i, 1e9 + 1e7 * i});
+  }
+  const auto a = SimulateFairShare(pfs, reqs);
+  std::vector<WriteRequest> copy = reqs;
+  const auto b = SimulateFairShareDynamic(pfs, copy, nullptr);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start_s, b[i].start_s);
+    EXPECT_EQ(a[i].finish_s, b[i].finish_s);
+  }
+}
+
+TEST(RetrySim, FaultsCostTimeAndAreRetried) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  const RetryPolicy policy;
+  const int ranks = 64;
+
+  WriteFaultModel faults;
+  faults.transient_failure_prob = 0.2;
+  const FaultyDumpResult faulty =
+      SimulateFaultyDump(pfs, ranks, w, 0.1, faults, policy);
+  const FaultyDumpResult clean =
+      SimulateFaultyDump(pfs, ranks, w, 0.1, WriteFaultModel{}, policy);
+
+  EXPECT_GT(faulty.retries, 0u);
+  EXPECT_GT(faulty.attempts, static_cast<std::uint64_t>(ranks));
+  EXPECT_EQ(faulty.attempts,
+            static_cast<std::uint64_t>(ranks) + faulty.retries);
+  EXPECT_GT(faulty.makespan_s, clean.makespan_s);
+  // Backoff waits are bounded by the policy cap plus its jitter stretch.
+  EXPECT_LE(faulty.max_backoff_s,
+            policy.max_backoff_s * (1.0 + policy.jitter));
+}
+
+TEST(RetrySim, AttemptsGrowWithFaultRate) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  const RetryPolicy policy;
+  std::uint64_t prev = 0;
+  for (const double p : {0.0, 0.05, 0.2, 0.5}) {
+    WriteFaultModel faults;
+    faults.transient_failure_prob = p;
+    const FaultyDumpResult res =
+        SimulateFaultyDump(pfs, 64, w, 0.1, faults, policy);
+    // The same per-attempt uniforms are compared against a growing
+    // threshold, so the failure set (and attempt count) is monotone.
+    EXPECT_GE(res.attempts, prev);
+    prev = res.attempts;
+  }
+  EXPECT_GT(prev, 64u);
+}
+
+TEST(RetrySim, SingleAttemptPolicyGivesUpInsteadOfRetrying) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  WriteFaultModel faults;
+  faults.transient_failure_prob = 0.5;
+  const FaultyDumpResult res =
+      SimulateFaultyDump(pfs, 64, w, 0.1, faults, policy);
+  EXPECT_EQ(res.retries, 0u);
+  EXPECT_EQ(res.attempts, 64u);
+  EXPECT_GT(res.gave_up_ranks, 0u);
+  EXPECT_LT(res.gave_up_ranks, 64u);
+}
+
+TEST(RetrySim, DeterministicForFixedSeeds) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  WriteFaultModel faults;
+  faults.transient_failure_prob = 0.3;
+  const RetryPolicy policy;
+  const auto a = SimulateFaultyDump(pfs, 32, w, 0.1, faults, policy);
+  const auto b = SimulateFaultyDump(pfs, 32, w, 0.1, faults, policy);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.retries, b.retries);
+}
+
+TEST(RetrySim, RejectsInvalidInputs) {
+  const PfsSpec pfs;
+  const RankWorkload w = NyxLikeWorkload();
+  const RetryPolicy ok;
+  EXPECT_THROW(
+      SimulateFaultyDump(pfs, 0, w, 0.0, WriteFaultModel{}, ok),
+      std::invalid_argument);
+  WriteFaultModel bad;
+  bad.transient_failure_prob = 1.0;
+  EXPECT_THROW(SimulateFaultyDump(pfs, 4, w, 0.0, bad, ok),
+               std::invalid_argument);
+  RetryPolicy zero_attempts;
+  zero_attempts.max_attempts = 0;
+  EXPECT_THROW(
+      SimulateFaultyDump(pfs, 4, w, 0.0, WriteFaultModel{}, zero_attempts),
+      std::invalid_argument);
+  RetryPolicy shrinking;
+  shrinking.multiplier = 0.5;
+  EXPECT_THROW(
+      SimulateFaultyDump(pfs, 4, w, 0.0, WriteFaultModel{}, shrinking),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace szx::iosim

@@ -233,6 +233,44 @@ TEST(SzxLint, AllowlistedFilesAreSkipped) {
   EXPECT_FALSE(LintText("src/core/format.hpp", code).empty());
 }
 
+TEST(SzxLint, StrictZonePathsAreRecognized) {
+  EXPECT_TRUE(IsStrictZone("src/resilience/salvage.cpp"));
+  EXPECT_TRUE(IsStrictZone("/root/repo/src/resilience/salvage.hpp"));
+  EXPECT_TRUE(IsStrictZone("resilience/salvage.cpp"));
+  EXPECT_FALSE(IsStrictZone("src/core/format.hpp"));
+  EXPECT_FALSE(IsStrictZone("src/iosim/retry_sim.cpp"));
+}
+
+TEST(SzxLint, StrictZoneRefusesAllowDirectives) {
+  // In src/resilience/ a directive neither suppresses the finding nor
+  // passes hygiene: both the underlying violation and a strict-zone
+  // finding surface.
+  const auto fs = LintText(
+      "src/resilience/salvage.cpp",
+      "// szx-lint: allow(raw-memcpy) -- totally safe, promise\n"
+      "std::memcpy(d, s, n);\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 1);
+  EXPECT_EQ(Count(fs, "strict-zone"), 1);
+}
+
+TEST(SzxLint, StrictZoneIgnoresAllowlistBasenames) {
+  // Even a file named like an audited primitive is linted inside the zone.
+  const auto fs = LintText("src/resilience/stream.hpp",
+                           "auto* p = reinterpret_cast<float*>(q);\n");
+  EXPECT_EQ(Count(fs, "reinterpret-cast"), 1);
+  EXPECT_TRUE(IsAllowlisted("src/core/stream.hpp"));
+  EXPECT_TRUE(LintText("src/core/stream.hpp",
+                       "auto* p = reinterpret_cast<float*>(q);\n")
+                  .empty());
+}
+
+TEST(SzxLint, StrictZoneCleanCodeStaysClean) {
+  const auto fs = LintText("src/resilience/salvage.cpp",
+                           "out.resize(cur.CheckedAlloc(h.num_elements, 4, "
+                           "1));\n");
+  EXPECT_TRUE(fs.empty());
+}
+
 TEST(SzxLint, RuleListIsStable) {
   const auto& rules = Rules();
   EXPECT_GE(rules.size(), 5u);

@@ -44,6 +44,9 @@ const std::vector<RuleInfo> kRules = {
     {"simd-mem",
      "raw SIMD load/store/gather intrinsic; each one must explain its "
      "bounds guarantee"},
+    {"strict-zone",
+     "allow directive inside src/resilience/, where suppressions are "
+     "refused outright"},
     {"unexplained-allow", "allow directive without a `-- reason`"},
     {"unused-allow", "allow directive that suppresses nothing"},
     {"unknown-rule", "allow directive naming a rule that does not exist"},
@@ -480,9 +483,21 @@ bool IsAllowlisted(std::string_view path) {
   return false;
 }
 
+bool IsStrictZone(std::string_view path) {
+  std::string p(path);
+  std::replace(p.begin(), p.end(), '\\', '/');
+  constexpr std::string_view kZone = "src/resilience/";
+  return p.find(kZone) != std::string::npos ||
+         p.compare(0, std::string_view("resilience/").size(),
+                   "resilience/") == 0;
+}
+
 std::vector<Finding> LintText(std::string_view path, std::string_view text) {
   std::vector<Finding> findings;
-  if (IsAllowlisted(path)) return findings;
+  // The strict zone parses adversarially damaged bytes; no file there may
+  // ride the audited-primitives allowlist, even if named like one.
+  const bool strict = IsStrictZone(path);
+  if (!strict && IsAllowlisted(path)) return findings;
 
   const Stripped st = Strip(text);
   const std::vector<std::size_t> lines = LineStarts(st.code);
@@ -520,7 +535,8 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
   for (Finding& f : raw) {
     bool suppressed = false;
     for (Directive& d : directives) {
-      if (!d.parse_error && d.rule == f.rule && d.target_line == f.line) {
+      if (!strict && !d.parse_error && d.rule == f.rule &&
+          d.target_line == f.line) {
         d.used = true;
         suppressed = true;
       }
@@ -530,6 +546,14 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
 
   // Directive hygiene.
   for (const Directive& d : directives) {
+    if (strict) {
+      // Directives are refused wholesale here, so the underlying finding
+      // also surfaces (it was never marked used above).
+      findings.push_back({std::string(path), d.comment_line, "strict-zone",
+                          "allow directives are refused in src/resilience/; "
+                          "fix the code instead of suppressing the rule"});
+      continue;
+    }
     if (d.parse_error) {
       findings.push_back({std::string(path), d.comment_line, "unknown-rule",
                           "malformed szx-lint directive; expected "

@@ -41,6 +41,11 @@ const std::vector<RuleInfo>& Rules();
 /// are skipped there (byte_cursor.hpp, stream.hpp, bitops.hpp).
 bool IsAllowlisted(std::string_view path);
 
+/// True for paths under the salvage decoder (src/resilience/), which parses
+/// adversarially damaged bytes: the allowlist bypass does not apply there
+/// and allow() directives are refused rather than honored.
+bool IsStrictZone(std::string_view path);
+
 /// Lints one translation unit given as text.  `path` is used for
 /// diagnostics and the allowlist check.
 std::vector<Finding> LintText(std::string_view path, std::string_view text);

@@ -3,17 +3,30 @@
 //   szx_cli compress   -i data.f32 -o data.szx [-t f32|f64]
 //                      [-m rel|abs|pwrel] [-e 1e-3] [-b 128] [--omp [N]]
 //                      [--threads N] [--kernel scalar|avx2] [--hybrid]
+//                      [--integrity]
 //   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]] [--threads N]
 //                      [--kernel scalar|avx2]
 //   szx_cli info       -i data.szx
 //   szx_cli verify     -i data.f32 -z data.szx          (prints metrics)
+//   szx_cli verify     -z data.szx        (checksum / structural verification)
+//   szx_cli salvage    -i data.szx -o recon.f32 [--report PATH]
+//                      [--sentinel VAL] [--threads N]
 //   szx_cli tune       -i data.f32 [-t f32|f64] [-m ...] [-e ...]
 //                      (suggests a block size per Sec. 5.3)
 //
 // Raw files are flat little-endian float32/float64 arrays (the SDRBench
 // convention).
+//
+// Exit codes (stable contract, covered by tests/cli/test_cli.cpp):
+//   0  success
+//   2  usage error (bad flags, bad combination of arguments)
+//   3  corruption / verification failure (bad stream, bound violated,
+//      salvage found damage)
+//   4  I/O error (cannot open/read/write a file)
 #include <cstdio>
 #include <fstream>
+#include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -24,10 +37,17 @@
 #include "core/validate.hpp"
 #include "hybrid/hybrid.hpp"
 #include "metrics/metrics.hpp"
+#include "resilience/salvage.hpp"
 
 namespace {
 
 using namespace szx;
+
+// File-system failures are distinct from stream corruption in the exit-code
+// contract; ReadFile/WriteFile throw this and main maps it to exit 4.
+struct IoError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 [[noreturn]] void Usage(const char* msg = nullptr) {
   if (msg != nullptr) std::fprintf(stderr, "error: %s\n", msg);
@@ -35,45 +55,53 @@ using namespace szx;
                "usage:\n"
                "  szx_cli compress   -i IN -o OUT [-t f32|f64]"
                " [-m rel|abs|pwrel] [-e BOUND] [-b BLOCK] [--omp [N]]"
-               " [--threads N] [--kernel scalar|avx2] [--hybrid]\n"
+               " [--threads N] [--kernel scalar|avx2] [--hybrid]"
+               " [--integrity]\n"
                "  szx_cli decompress -i IN -o OUT [--omp [N]] [--threads N]"
                " [--kernel scalar|avx2]\n"
                "  szx_cli info       -i IN\n"
-               "  szx_cli verify     -i RAW -z COMPRESSED\n"
+               "  szx_cli verify     -i RAW -z COMPRESSED   (distortion check)\n"
+               "  szx_cli verify     -z COMPRESSED          (integrity check)\n"
+               "  szx_cli salvage    -i IN -o OUT [--report PATH]"
+               " [--sentinel VAL] [--threads N]\n"
                "  szx_cli tune       -i IN [-t f32|f64] [-m MODE] [-e BOUND]\n"
-               "  szx_cli validate   -i IN [-t f32|f64] [--deep]\n");
+               "  szx_cli validate   -i IN [-t f32|f64] [--deep]\n"
+               "exit codes: 0 success, 2 usage, 3 corruption/verification"
+               " failure, 4 I/O error\n");
   std::exit(2);
 }
 
 ByteBuffer ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) Usage(("cannot open " + path).c_str());
+  if (!in) throw IoError("cannot open " + path);
   const std::streamsize size = in.tellg();
   in.seekg(0);
   ByteBuffer buf(static_cast<std::size_t>(size));
   // szx-lint: allow(reinterpret-cast) -- ifstream::read requires char*; this is the file-I/O boundary
   in.read(reinterpret_cast<char*>(buf.data()), size);
-  if (!in) Usage(("cannot read " + path).c_str());
+  if (!in) throw IoError("cannot read " + path);
   return buf;
 }
 
 void WriteFile(const std::string& path, const void* data, std::size_t size) {
   std::ofstream out(path, std::ios::binary);
-  if (!out) Usage(("cannot open " + path + " for writing").c_str());
+  if (!out) throw IoError("cannot open " + path + " for writing");
   out.write(static_cast<const char*>(data), static_cast<std::streamsize>(size));
-  if (!out) Usage(("cannot write " + path).c_str());
+  if (!out) throw IoError("cannot write " + path);
 }
 
 struct Args {
-  std::string input, output, compressed;
+  std::string input, output, compressed, report;
   std::string dtype = "f32";
   std::string mode = "rel";
   double error_bound = 1e-3;
+  double sentinel = std::numeric_limits<double>::quiet_NaN();
   std::uint32_t block_size = 128;
   std::string kernel;  // empty = dispatcher's own choice
   bool omp = false;
   bool hybrid = false;
   bool deep = false;
+  bool integrity = false;
   int threads = 0;
 
   ErrorBoundMode Mode() const {
@@ -115,6 +143,12 @@ Args Parse(int argc, char** argv) {
       a.hybrid = true;
     } else if (arg == "--deep") {
       a.deep = true;
+    } else if (arg == "--integrity") {
+      a.integrity = true;
+    } else if (arg == "--report") {
+      a.report = next();
+    } else if (arg == "--sentinel") {
+      a.sentinel = std::atof(next().c_str());
     } else {
       Usage(("unknown flag " + arg).c_str());
     }
@@ -153,6 +187,7 @@ int DoCompress(const Args& a) {
   p.mode = a.Mode();
   p.error_bound = a.error_bound;
   p.block_size = a.block_size;
+  p.integrity = a.integrity;
   CompressionStats stats;
   ByteBuffer stream;
   if (a.hybrid) {
@@ -255,7 +290,68 @@ int DoValidate(const Args& a) {
     return 0;
   }
   std::printf("stream INVALID: %s\n", r.error.c_str());
-  return 1;
+  return 3;
+}
+
+template <typename T>
+int DoVerifyIntegrity(const Args& a, const ByteBuffer& stream) {
+  // Footer path (format v2): checksum every section and payload chunk.
+  // v1 streams carry no checksums, so fall back to a deep structural walk.
+  const Header h = PeekHeader(stream);
+  if (h.version == kFormatVersionIntegrity) {
+    const resilience::DamageReport r = resilience::VerifyIntegrity<T>(stream);
+    if (!a.report.empty()) {
+      const std::string json = r.ToJson();
+      WriteFile(a.report, json.data(), json.size());
+    }
+    if (r.clean) {
+      std::printf("integrity OK (%llu blocks, %zu chunks verified)\n",
+                  static_cast<unsigned long long>(h.num_blocks),
+                  r.chunks.size());
+      return 0;
+    }
+    std::printf("integrity FAILED: %s\n",
+                r.error.empty() ? "checksum mismatch" : r.error.c_str());
+    std::printf("%s\n", r.ToJson().c_str());
+    return 3;
+  }
+  const ValidationReport r = ValidateStream<T>(stream, /*deep=*/true);
+  if (r.ok) {
+    std::printf("structure OK (v%d stream has no checksums; deep-walked "
+                "%llu payload bytes)\n",
+                h.version,
+                static_cast<unsigned long long>(r.payload_bytes_walked));
+    return 0;
+  }
+  std::printf("structure INVALID: %s\n", r.error.c_str());
+  return 3;
+}
+
+template <typename T>
+int DoSalvage(const Args& a, const ByteBuffer& stream) {
+  resilience::SalvageOptions opt;
+  opt.num_threads = a.omp ? a.threads : 1;
+  opt.sentinel = a.sentinel;
+  const auto res = resilience::SalvageDecode<T>(stream, opt);
+  const resilience::DamageReport& r = res.report;
+  if (!a.report.empty()) {
+    const std::string json = r.ToJson();
+    WriteFile(a.report, json.data(), json.size());
+  }
+  if (!r.usable) {
+    std::fprintf(stderr, "salvage failed: %s\n", r.error.c_str());
+    return 3;
+  }
+  WriteFile(a.output, res.data.data(), res.data.size() * sizeof(T));
+  std::printf("salvaged %zu elements: %llu recovered, %llu mu-filled, "
+              "%llu lost (of %llu blocks)%s\n",
+              res.data.size(),
+              static_cast<unsigned long long>(r.blocks_recovered),
+              static_cast<unsigned long long>(r.blocks_mu_filled),
+              static_cast<unsigned long long>(r.blocks_lost),
+              static_cast<unsigned long long>(r.num_blocks),
+              r.clean ? "" : " -- stream was damaged");
+  return r.clean ? 0 : 3;
 }
 
 int DoVerify(const Args& a) {
@@ -281,7 +377,7 @@ int DoVerify(const Args& a) {
   std::printf("ratio    %.3f\n",
               static_cast<double>(raw.size()) /
                   static_cast<double>(stored_bytes));
-  return d.max_abs_error <= h.error_bound_abs ? 0 : 1;
+  return d.max_abs_error <= h.error_bound_abs ? 0 : 3;
 }
 
 }  // namespace
@@ -305,10 +401,29 @@ int main(int argc, char** argv) {
       return DoInfo(a);
     }
     if (cmd == "verify") {
-      if (a.input.empty() || a.compressed.empty()) {
-        Usage("-i and -z required");
+      if (a.compressed.empty()) Usage("-z required");
+      if (!a.input.empty()) return DoVerify(a);
+      // Integrity-only mode: no raw reference needed.
+      ByteBuffer stream = ReadFile(a.compressed);
+      if (hybrid::IsHybridStream(stream)) stream = hybrid::Unwrap(stream);
+      const Header h = PeekHeader(stream);
+      return h.dtype == static_cast<std::uint8_t>(DataType::kFloat32)
+                 ? DoVerifyIntegrity<float>(a, stream)
+                 : DoVerifyIntegrity<double>(a, stream);
+    }
+    if (cmd == "salvage") {
+      if (a.input.empty() || a.output.empty()) Usage("-i and -o required");
+      const ByteBuffer stream = ReadFile(a.input);
+      // Dtype dispatch must survive a damaged header: peek leniently and
+      // fall back to the -t flag when even the header is gone.
+      bool is_f64 = a.dtype == "f64";
+      try {
+        is_f64 = PeekHeader(stream).dtype ==
+                 static_cast<std::uint8_t>(DataType::kFloat64);
+      } catch (const Error&) {
       }
-      return DoVerify(a);
+      return is_f64 ? DoSalvage<double>(a, stream)
+                    : DoSalvage<float>(a, stream);
     }
     if (cmd == "tune") {
       if (a.input.empty()) Usage("-i required");
@@ -320,8 +435,11 @@ int main(int argc, char** argv) {
                               : DoValidate<double>(a);
     }
     Usage(("unknown command " + cmd).c_str());
+  } catch (const IoError& e) {
+    std::fprintf(stderr, "szx io error: %s\n", e.what());
+    return 4;
   } catch (const Error& e) {
     std::fprintf(stderr, "szx error: %s\n", e.what());
-    return 1;
+    return 3;
   }
 }

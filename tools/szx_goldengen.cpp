@@ -13,13 +13,17 @@ int main(int argc, char** argv) {
   const std::string dir = argc > 1 ? argv[1] : SZX_GOLDEN_SOURCE_DIR;
   try {
     szx::testkit::WriteGoldenCorpus(dir);
+    szx::testkit::WriteDamagedGoldenCorpus(dir);
   } catch (const szx::Error& e) {
     std::fprintf(stderr, "szx_goldengen: %s\n", e.what());
     return 1;
   }
   const auto& cases = szx::testkit::GoldenCases();
+  const auto& damaged = szx::testkit::DamagedGoldenCases();
   std::printf("wrote %zu golden streams + %s to %s\n", cases.size(),
               szx::testkit::kManifestFile, dir.c_str());
+  std::printf("wrote %zu damaged streams (+ reports) + %s\n", damaged.size(),
+              szx::testkit::kDamagedManifestFile);
   std::printf("review the git diff before committing: any byte change is a "
               "stream-format change.\n");
   return 0;
