@@ -12,11 +12,14 @@
 //       the fixed reference the speedup figures are measured against.
 //       --smoke shrinks the field and rep count so CI can assert the JSON
 //       contract in milliseconds (no timing thresholds).
-//   micro_codec --bench_omp_json=PATH [--smoke]
-//       thread-scaling grid (the paper's Fig. 13 axes): OMP compress and
-//       decompress at 1/2/4/8 threads x kernel x dtype, plus the serial
-//       decoder as reference, with speedup-vs-1-thread series and the
-//       detected hardware thread count recorded alongside the numbers.
+//   micro_codec --bench_omp_json=PATH [--smoke] [--force]
+//       thread-scaling grid (the paper's Fig. 13 axes): parallel compress
+//       and decompress at 1/2/4/8 threads x kernel x dtype x executor
+//       backend (work-stealing pool and, when built, OpenMP), plus the
+//       serial decoder as reference, with speedup-vs-1-thread series and
+//       the detected hardware thread count recorded alongside the numbers.
+//       Refuses to overwrite a grid recorded on a machine with more
+//       hardware threads unless --force is given (stale-bench trap).
 #include <benchmark/benchmark.h>
 
 #if defined(SZX_HAVE_OPENMP)
@@ -25,9 +28,12 @@
 
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <thread>
 
 #include "bench_util.hpp"
 #include "core/arena.hpp"
+#include "core/executor.hpp"
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/compressor.hpp"
@@ -582,6 +588,7 @@ int RunBenchJson(const std::string& path, bool smoke) {
 struct OmpRow {
   std::string bench;
   std::string kernel;
+  std::string executor;
   std::string dtype;
   int threads;
   double rel_eb;
@@ -594,6 +601,10 @@ struct OmpRow {
 };
 
 int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc != 0) {
+    return static_cast<int>(hc);
+  }
 #if defined(SZX_HAVE_OPENMP)
   return omp_get_max_threads();
 #else
@@ -602,10 +613,13 @@ int HardwareThreads() {
 }
 
 // Thread-scaling measurements for one dtype under one kernel implementation
-// (the caller installs the kernel via SetActiveKind so the whole process --
-// serial reference included -- runs the implementation named in the rows).
+// and one executor backend (the caller installs both via SetActiveKind /
+// SetActiveBackend so the whole process runs the combination named in the
+// rows).  The serial decoder reference is backend-independent, so it is
+// emitted only when `with_serial` is set (first backend pass).
 template <typename T>
 void RunOmpGridForType(std::vector<OmpRow>& rows, const char* kernel_name,
+                       const char* exec_name, bool with_serial,
                        const std::vector<T>& v, int reps, double rel_eb) {
   Params p;
   p.mode = ErrorBoundMode::kValueRangeRelative;
@@ -615,31 +629,62 @@ void RunOmpGridForType(std::vector<OmpRow>& rows, const char* kernel_name,
 
   // Serial decoder reference for the parallel-decode speedup figures.
   std::vector<T> out(v.size());
-  const auto st = szx::bench::TimeTrimmed(reps, [&] {
-    DecompressInto<T>(stream, std::span<T>(out));
-    benchmark::DoNotOptimize(out.data());
-  });
-  rows.push_back(
-      {"serial_decompress", kernel_name, DtypeName<T>(), 1, rel_eb, bytes, st});
+  if (with_serial) {
+    const auto st = szx::bench::TimeTrimmed(reps, [&] {
+      DecompressInto<T>(stream, std::span<T>(out));
+      benchmark::DoNotOptimize(out.data());
+    });
+    rows.push_back({"serial_decompress", kernel_name, "serial", DtypeName<T>(),
+                    1, rel_eb, bytes, st});
+  }
 
   for (const int threads : {1, 2, 4, 8}) {
     const auto ct = szx::bench::TimeTrimmed(reps, [&] {
       auto s = CompressOmp<T>(v, p, nullptr, threads);
       benchmark::DoNotOptimize(s.data());
     });
-    rows.push_back({"omp_compress", kernel_name, DtypeName<T>(), threads,
-                    rel_eb, bytes, ct});
+    rows.push_back({"omp_compress", kernel_name, exec_name, DtypeName<T>(),
+                    threads, rel_eb, bytes, ct});
     const auto dt = szx::bench::TimeTrimmed(reps, [&] {
       DecompressOmpInto<T>(stream, std::span<T>(out), threads);
       benchmark::DoNotOptimize(out.data());
     });
-    rows.push_back({"omp_decompress", kernel_name, DtypeName<T>(), threads,
-                    rel_eb, bytes, dt});
+    rows.push_back({"omp_decompress", kernel_name, exec_name, DtypeName<T>(),
+                    threads, rel_eb, bytes, dt});
   }
 }
 
-int RunBenchOmpJson(const std::string& path, bool smoke) {
+// Stale-grid trap: a BENCH_omp.json regenerated on a laptop must not
+// silently replace a grid measured on a bigger machine.  Reads the
+// hardware_threads field of an existing grid; returns 0 when absent.
+int RecordedHardwareThreads(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return 0;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string key = "\"hardware_threads\":";
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::atoi(text.c_str() + pos + key.size());
+}
+
+int RunBenchOmpJson(const std::string& path, bool smoke, bool force) {
   using szx::bench::JsonWriter;
+  const int recorded = RecordedHardwareThreads(path);
+  if (!force && recorded > HardwareThreads()) {
+    std::fprintf(stderr,
+                 "micro_codec: %s was measured on a machine with %d hardware "
+                 "threads but this one has %d -- overwriting would make the "
+                 "scaling grid look like a regression.  Pass --force to "
+                 "overwrite anyway.\n",
+                 path.c_str(), recorded, HardwareThreads());
+    return 1;
+  }
   const double scale = smoke ? 0.02 : szx::bench::BenchScale();
   const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 5);
   constexpr double kRelEb = 1e-2;
@@ -648,25 +693,39 @@ int RunBenchOmpJson(const std::string& path, bool smoke) {
   const std::vector<float>& vf = field.values;
   std::vector<double> vd(vf.begin(), vf.end());
 
-  const kernels::Kind prior = kernels::ActiveKind();
+  const kernels::Kind prior_kind = kernels::ActiveKind();
+  const exec::Backend prior_backend = exec::ActiveBackend();
   std::vector<kernels::Kind> kinds = {kernels::Kind::kScalar};
   if (kernels::Avx2Supported()) kinds.push_back(kernels::Kind::kAvx2);
+  std::vector<exec::Backend> backends = {exec::Backend::kPool};
+  if (exec::OmpAvailable()) backends.push_back(exec::Backend::kOmp);
   std::vector<OmpRow> rows;
   for (const kernels::Kind kind : kinds) {
     kernels::SetActiveKind(kind);
     const char* kname = kernels::KindName(kind);
-    RunOmpGridForType<float>(rows, kname, vf, reps, kRelEb);
-    RunOmpGridForType<double>(rows, kname, vd, reps, kRelEb);
+    bool with_serial = true;
+    for (const exec::Backend backend : backends) {
+      exec::SetActiveBackend(backend);
+      const char* ename = exec::BackendName(backend);
+      RunOmpGridForType<float>(rows, kname, ename, with_serial, vf, reps,
+                               kRelEb);
+      RunOmpGridForType<double>(rows, kname, ename, with_serial, vd, reps,
+                                kRelEb);
+      with_serial = false;
+    }
   }
-  kernels::SetActiveKind(prior);
+  kernels::SetActiveKind(prior_kind);
+  exec::SetActiveBackend(prior_backend);
 
   JsonWriter w;
   w.BeginObject();
-  w.Field("schema", "szx-bench-omp-v1");
+  w.Field("schema", "szx-bench-omp-v2");
   w.Field("smoke", smoke);
   w.Field("avx2_supported", kernels::Avx2Supported());
+  w.Field("omp_available", exec::OmpAvailable());
   // Scaling beyond this count measures oversubscription, not parallelism;
-  // readers of the grid must interpret the thread axis against it.
+  // readers of the grid must interpret the thread axis against it, and the
+  // overwrite trap above compares it before replacing an existing grid.
   w.Field("hardware_threads", HardwareThreads());
   w.Field("reps", reps);
   w.Field("rel_eb", kRelEb);
@@ -681,6 +740,7 @@ int RunBenchOmpJson(const std::string& path, bool smoke) {
     w.BeginObject();
     w.Field("bench", r.bench);
     w.Field("kernel", r.kernel);
+    w.Field("executor", r.executor);
     w.Field("dtype", r.dtype);
     w.Field("threads", r.threads);
     w.Field("rel_eb", r.rel_eb);
@@ -692,17 +752,19 @@ int RunBenchOmpJson(const std::string& path, bool smoke) {
     w.EndObject();
   }
   w.EndArray();
-  // Thread-scaling series (the paper's Fig. 13 y-axis): each OMP row over
-  // the same bench/kernel/dtype at 1 thread.
+  // Thread-scaling series (the paper's Fig. 13 y-axis): each parallel row
+  // over the same bench/kernel/executor/dtype at 1 thread.
   w.BeginArray("speedup_vs_1thread");
   for (const auto& r : rows) {
     if (r.threads == 1 || r.bench == "serial_decompress") continue;
     for (const auto& base : rows) {
       if (base.bench == r.bench && base.kernel == r.kernel &&
-          base.dtype == r.dtype && base.threads == 1) {
+          base.executor == r.executor && base.dtype == r.dtype &&
+          base.threads == 1) {
         w.BeginObject();
         w.Field("bench", r.bench);
         w.Field("kernel", r.kernel);
+        w.Field("executor", r.executor);
         w.Field("dtype", r.dtype);
         w.Field("threads", r.threads);
         w.Field("speedup", r.Gbps() / base.Gbps());
@@ -712,7 +774,9 @@ int RunBenchOmpJson(const std::string& path, bool smoke) {
   }
   w.EndArray();
   // Parallel decode at each thread count over the serial decoder -- the
-  // end-to-end figure the DecompressOmp acceptance bar reads.
+  // end-to-end figure the DecompressOmp acceptance bar reads.  The serial
+  // reference is emitted once per kernel/dtype, so each backend's rows
+  // compare against the identical baseline.
   w.BeginArray("decode_speedup_vs_serial");
   for (const auto& r : rows) {
     if (r.bench != "omp_decompress") continue;
@@ -721,6 +785,7 @@ int RunBenchOmpJson(const std::string& path, bool smoke) {
           base.dtype == r.dtype) {
         w.BeginObject();
         w.Field("kernel", r.kernel);
+        w.Field("executor", r.executor);
         w.Field("dtype", r.dtype);
         w.Field("threads", r.threads);
         w.Field("speedup", r.Gbps() / base.Gbps());
@@ -753,6 +818,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string omp_json_path;
   bool smoke = false;
+  bool force = false;
   std::vector<char*> rest;
   rest.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -762,12 +828,14 @@ int main(int argc, char** argv) {
       omp_json_path = argv[i] + 17;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      force = true;
     } else {
       rest.push_back(argv[i]);
     }
   }
   if (!omp_json_path.empty()) {
-    return RunBenchOmpJson(omp_json_path, smoke);
+    return RunBenchOmpJson(omp_json_path, smoke, force);
   }
   if (!json_path.empty()) {
     return RunBenchJson(json_path, smoke);

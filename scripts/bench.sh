@@ -5,10 +5,13 @@
 #                     bound on a CESM-like field, plus the byte-wise
 #                     pre-vectorization encode loop as the fixed reference
 #                     the speedup figures compare against.
-#   BENCH_omp.json    thread-scaling grid (paper Fig. 13 axes): OMP compress
-#                     and decompress at 1/2/4/8 threads x kernel x dtype,
-#                     with the serial decoder as reference and the detected
-#                     hardware thread count recorded alongside the numbers.
+#   BENCH_omp.json    thread-scaling grid (paper Fig. 13 axes): parallel
+#                     compress and decompress at 1/2/4/8 threads x kernel x
+#                     dtype x executor backend (pool + OpenMP), with the
+#                     serial decoder as reference and the detected hardware
+#                     thread count recorded alongside the numbers.  A grid
+#                     recorded on a bigger machine is not overwritten unless
+#                     --force is passed through.
 #
 # Usage:
 #   scripts/bench.sh            full grids -> BENCH_*.json at the repo root

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full local verification battery (docs/static-analysis.md):
 #   1. release build with warnings-as-errors, then tier1 + conformance +
+#      executor (work-stealing pool battery + golden determinism matrix
+#      across SZX_EXECUTOR x SZX_KERNEL x threads, docs/performance.md) +
 #      fuzz-smoke (stream corruption campaign + salvage-fuzz stacked-fault
 #      smoke, docs/resilience.md) + bench-smoke (codec grid and omp
 #      thread-scaling grid JSON contracts) + lint
 #   2. asan-ubsan build, then every tier under ASan/UBSan
-#   3. tsan build, then the OMP/cusim suites under ThreadSanitizer
+#   3. tsan build, then the OMP/pool-executor/cusim suites under
+#      ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
 # dominate the runtime; pass --fast to run only stage 1.
 set -euo pipefail
@@ -19,6 +22,7 @@ cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --preset tier1
 ctest --preset conformance
+ctest --preset executor
 ctest --preset fuzz-smoke
 ctest --preset bench-smoke
 ctest --preset lint
@@ -33,11 +37,12 @@ cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 ctest --preset asan-all
 
-echo "=== tsan build + OMP/cusim suites under ThreadSanitizer ==="
+echo "=== tsan build + OMP/pool-executor/cusim suites under ThreadSanitizer ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
   --target test_omp_codec test_cusim test_kernel_harness test_kernels \
-           test_salvage test_salvage_property
+           test_salvage test_salvage_property test_executor test_streaming \
+           test_pipeline
 ctest --preset tsan-omp
 
 echo "check.sh: all stages passed"

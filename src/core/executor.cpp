@@ -1,0 +1,557 @@
+// Implementation of the persistent work-stealing executor and the
+// backend-dispatched ParallelFor facade.  See executor.hpp for the model.
+//
+// Memory-order note: the Chase-Lev deque below uses seq_cst operations on
+// top_/bottom_ instead of the standalone fences of the canonical C11
+// formulation (Le et al., "Correct and Efficient Work-Stealing for Weak
+// Memory Models").  ThreadSanitizer does not model
+// std::atomic_thread_fence, so the fence formulation would report false
+// races; seq_cst on the two counters is strictly stronger and keeps the
+// whole protocol visible to TSan.  The szx workloads hand out coarse
+// chunk-sized slices, so the extra ordering cost is noise.
+#include "core/executor.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#if defined(SZX_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace szx::exec {
+
+namespace {
+
+// Parses a positive integer environment variable; 0 when unset/invalid.
+int PositiveEnvInt(const char* name) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || env[0] == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0 || v > 1 << 20) return 0;
+  return static_cast<int>(v);
+}
+
+Backend SelectBackend() {
+  const char* env = std::getenv("SZX_EXECUTOR");
+  if (env != nullptr && env[0] != '\0') {
+    if (std::strcmp(env, "pool") == 0) return Backend::kPool;
+    if (std::strcmp(env, "omp") == 0) {
+      if (OmpAvailable()) return Backend::kOmp;
+      // Fall back rather than fail so forced-backend test invocations stay
+      // portable to builds without OpenMP.
+      std::fprintf(stderr,
+                   "szx: SZX_EXECUTOR=omp requested but OpenMP is "
+                   "unavailable; using the pool executor\n");
+      return Backend::kPool;
+    }
+    std::fprintf(stderr,
+                 "szx: ignoring unknown SZX_EXECUTOR value '%s' "
+                 "(expected omp|pool)\n",
+                 env);
+  }
+  return Backend::kPool;
+}
+
+// -1 = not yet selected; otherwise a Backend value.  Lazy selection may race
+// on first use, but every racer computes the same SelectBackend() result, so
+// the benign double-store is TSan-clean through the atomic.
+std::atomic<int> g_backend{-1};
+
+// xorshift64* step for steal-victim selection; never returns 0 state.
+std::uint64_t NextRand(std::uint64_t& state) {
+  std::uint64_t x = state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state = x;
+  return x * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+const char* BackendName(Backend b) {
+  return b == Backend::kOmp ? "omp" : "pool";
+}
+
+bool OmpAvailable() {
+#if defined(SZX_HAVE_OPENMP)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Backend ActiveBackend() {
+  int b = g_backend.load(std::memory_order_relaxed);
+  if (b < 0) {
+    b = static_cast<int>(SelectBackend());
+    g_backend.store(b, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(b);
+}
+
+Backend SetActiveBackend(Backend b) {
+  if (b == Backend::kOmp && !OmpAvailable()) b = Backend::kPool;
+  g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
+  return b;
+}
+
+int DefaultThreads() {
+  if (const int v = PositiveEnvInt("SZX_THREADS"); v > 0) return v;
+#if defined(SZX_HAVE_OPENMP)
+  return std::max(1, omp_get_max_threads());
+#else
+  // Honor OMP_NUM_THREADS even without OpenMP so the differential test
+  // matrix drives identical widths through both backends.
+  if (const int v = PositiveEnvInt("OMP_NUM_THREADS"); v > 0) return v;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+#endif
+}
+
+int ResolveThreads(int requested) {
+  return requested > 0 ? requested : DefaultThreads();
+}
+
+// ---------------------------------------------------------------------------
+// Chase-Lev work-stealing deque of Slice pointers.
+//
+// Owner calls Push/Pop on the bottom end; any thread may Steal from the top.
+// The ring grows by copying live entries into a larger ring; retired rings
+// are kept alive until deque destruction because a lagging thief may still
+// load a cell from one (it only ever *reads a pointer value* there, and the
+// CAS on top_ rejects the claim unless that value is still current -- the
+// release-store of ring_ before the bottom_ publish makes a stale read with
+// a winning CAS impossible, per the growable Chase-Lev argument).
+// ---------------------------------------------------------------------------
+class Executor::WorkDeque {
+ public:
+  WorkDeque() {
+    rings_.push_back(std::make_unique<Ring>(kInitialCapacity));
+    ring_.store(rings_.back().get(), std::memory_order_release);
+  }
+
+  // Owner only.
+  void Push(Batch::Slice* s) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    if (b - t >= r->Capacity()) r = Grow(t, b);
+    r->Put(b, s);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only.
+  Batch::Slice* Pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Ring* r = ring_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    Batch::Slice* s = nullptr;
+    if (t <= b) {
+      s = r->Get(b);
+      if (t == b) {
+        // Single entry left: race the thieves for it via top_.
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+          s = nullptr;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+      }
+    } else {
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+  // Any thread.
+  Batch::Slice* Steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Ring* r = ring_.load(std::memory_order_acquire);
+    Batch::Slice* s = r->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race; the read value is discarded unused
+    }
+    return s;
+  }
+
+ private:
+  static constexpr std::int64_t kInitialCapacity = 256;  // power of two
+
+  struct Ring {
+    explicit Ring(std::int64_t cap)
+        : cells(static_cast<std::size_t>(cap)), mask(cap - 1) {}
+    Batch::Slice* Get(std::int64_t i) const {
+      return cells[static_cast<std::size_t>(i & mask)].load(
+          std::memory_order_relaxed);
+    }
+    void Put(std::int64_t i, Batch::Slice* s) {
+      cells[static_cast<std::size_t>(i & mask)].store(
+          s, std::memory_order_relaxed);
+    }
+    std::int64_t Capacity() const { return mask + 1; }
+
+    std::vector<std::atomic<Batch::Slice*>> cells;
+    std::int64_t mask;
+  };
+
+  Ring* Grow(std::int64_t t, std::int64_t b) {
+    Ring* old = rings_.back().get();
+    auto bigger = std::make_unique<Ring>(old->Capacity() * 2);
+    for (std::int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
+    Ring* raw = bigger.get();
+    rings_.push_back(std::move(bigger));
+    ring_.store(raw, std::memory_order_release);
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Ring*> ring_{nullptr};
+  std::vector<std::unique_ptr<Ring>> rings_;  // owner-mutated; retired rings
+                                              // stay allocated for thieves
+};
+
+struct Executor::Worker {
+  Executor* exec = nullptr;
+  int index = 0;
+  WorkDeque deque;
+  ScratchArena arena;
+  std::uint64_t steal_seed = 0;
+  std::thread thread;  // started last, joined in ~Executor
+};
+
+Executor::Worker*& Executor::TlsWorker() {
+  static thread_local Worker* w = nullptr;
+  return w;
+}
+
+Executor::Executor(int workers) {
+  int n = workers;
+  if (n <= 0) n = PositiveEnvInt("SZX_POOL_WORKERS");
+  if (n <= 0) n = DefaultThreads();
+  n = std::clamp(n, 1, kMaxWorkers);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->exec = this;
+    w->index = i;
+    w->steal_seed = 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(i);
+    workers_.push_back(std::move(w));
+  }
+  // Threads start only after the workers_ vector is fully built: WorkerLoop
+  // iterates peers for stealing.
+  for (auto& w : workers_) {
+    w->thread = std::thread([this, raw = w.get()] { WorkerLoop(*raw); });
+  }
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void Executor::WorkerLoop(Worker& w) {
+  TlsWorker() = &w;
+  for (;;) {
+    if (Batch::Slice* s = Acquire(&w)) {
+      s->batch->RunSlice(*s);
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(m_);
+    if (pending_.load(std::memory_order_relaxed) > 0) continue;  // missed one
+    if (stop_) break;  // pending drained; graceful exit
+    ++idlers_;
+    cv_.wait(lock, [this] {
+      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
+    });
+    --idlers_;
+  }
+  TlsWorker() = nullptr;
+}
+
+Executor::Batch::Slice* Executor::Acquire(Worker* self) {
+  if (self != nullptr) {
+    if (Batch::Slice* s = self->deque.Pop()) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  if (pending_.load(std::memory_order_relaxed) > 0) {
+    if (Batch::Slice* s = TakeFromInbox(self)) return s;
+    std::uint64_t local_seed = 0xD1B54A32D192ED03ULL;
+    std::uint64_t& seed = self != nullptr ? self->steal_seed : local_seed;
+    if (Batch::Slice* s = StealFromPeers(self, seed)) return s;
+  }
+  return nullptr;
+}
+
+Executor::Batch::Slice* Executor::TakeFromInbox(Worker* self) {
+  Batch::Slice* claimed = nullptr;
+  std::size_t moved = 0;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (inbox_.empty()) return nullptr;
+    // Take a fair share in one go; keep one, spill the rest to our own
+    // deque so peers can steal them without touching the inbox lock.
+    std::size_t take = 1;
+    if (self != nullptr && !workers_.empty()) {
+      take = std::max<std::size_t>(1, inbox_.size() / workers_.size());
+    }
+    take = std::min(take, inbox_.size());
+    claimed = inbox_.back();
+    inbox_.pop_back();
+    if (self != nullptr) {
+      for (std::size_t i = 1; i < take; ++i) {
+        self->deque.Push(inbox_.back());
+        inbox_.pop_back();
+        ++moved;
+      }
+    }
+  }
+  pending_.fetch_sub(1, std::memory_order_relaxed);
+  // Slices moved into our deque are stealable; make sure sleepers see them.
+  if (moved > 0) cv_.notify_all();
+  return claimed;
+}
+
+Executor::Batch::Slice* Executor::StealFromPeers(Worker* self,
+                                                 std::uint64_t& seed) {
+  const std::size_t n = workers_.size();
+  if (n == 0) return nullptr;
+  const std::size_t start = static_cast<std::size_t>(NextRand(seed) % n);
+  for (std::size_t k = 0; k < 2 * n; ++k) {
+    Worker* victim = workers_[(start + k) % n].get();
+    if (victim == self) continue;
+    if (Batch::Slice* s = victim->deque.Steal()) {
+      pending_.fetch_sub(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx) {
+  if (batch.unfinished_.load(std::memory_order_acquire) != 0) {
+    throw Error("Executor::Submit: batch is still in flight");
+  }
+  batch.owner_ = this;
+  batch.fn_ = fn;
+  batch.ctx_ = ctx;
+  {
+    std::lock_guard<std::mutex> lock(batch.m_);
+    batch.error_ = nullptr;
+  }
+  if (n == 0) return;  // Done() already true; Wait() is a no-op
+
+  const std::uint64_t width = static_cast<std::uint64_t>(workers()) * 4;
+  const std::uint32_t nslices = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>({n, kMaxSlices, std::max<std::uint64_t>(width, 1)}));
+  const std::uint64_t base = n / nslices;
+  const std::uint64_t extra = n % nslices;
+  std::uint64_t next = 0;
+  for (std::uint32_t i = 0; i < nslices; ++i) {
+    Batch::Slice& s = batch.slices_[i];
+    s.batch = &batch;
+    s.first = next;
+    next += base + (i < extra ? 1 : 0);
+    s.last = next;
+  }
+  {
+    std::lock_guard<std::mutex> lock(batch.m_);
+    batch.signalled_ = false;
+  }
+  batch.unfinished_.store(nslices, std::memory_order_release);
+
+  Worker* self = TlsWorker();
+  if (self != nullptr && self->exec == this) {
+    // Worker-side submit: our own deque, no inbox lock.
+    for (std::uint32_t i = 0; i < nslices; ++i) {
+      self->deque.Push(&batch.slices_[i]);
+    }
+    pending_.fetch_add(nslices, std::memory_order_relaxed);
+    cv_.notify_all();
+    return;
+  }
+  bool wake = false;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    if (stop_) {
+      batch.unfinished_.store(0, std::memory_order_release);
+      batch.signalled_ = true;
+      throw Error("Executor::Submit: executor is shut down");
+    }
+    for (std::uint32_t i = 0; i < nslices; ++i) {
+      inbox_.push_back(&batch.slices_[i]);
+    }
+    pending_.fetch_add(nslices, std::memory_order_relaxed);
+    wake = idlers_ > 0;
+  }
+  if (wake) cv_.notify_all();
+}
+
+void Executor::HelpUntilDone(Batch& b) {
+  Worker* self = TlsWorker();
+  if (self != nullptr && self->exec != this) self = nullptr;
+  while (!b.Done()) {
+    Batch::Slice* s = Acquire(self);
+    if (s == nullptr) return;  // remaining slices are mid-run elsewhere
+    s->batch->RunSlice(*s);
+  }
+}
+
+void Executor::ParallelFor(std::uint64_t n, TaskFn fn, void* ctx) {
+  if (n == 0) return;
+  Worker* self = TlsWorker();
+  if (self != nullptr && self->exec == this) {
+    // Nested: run inline.  Width comes from the outer batch's other slices.
+    for (std::uint64_t i = 0; i < n; ++i) fn(ctx, i);
+    return;
+  }
+  Batch batch;
+  Submit(batch, n, fn, ctx);
+  batch.Wait();
+}
+
+ScratchArena& Executor::WorkerScratch() {
+  if (Worker* w = TlsWorker()) return w->arena;
+  static thread_local ScratchArena fallback;
+  return fallback;
+}
+
+Executor& Executor::Default() {
+  static Executor instance;
+  return instance;
+}
+
+Executor::Batch::~Batch() {
+  // A batch must outlive its tasks; block (without rethrow) if needed.
+  // Always go through the mutex: a lock-free unfinished_ check could see 0
+  // while the finishing worker is still between its fetch_sub and taking
+  // m_ in FinishSlice, and destroying m_/cv_ under it is use-after-free.
+  // A never-submitted batch has signalled_ == true, so this is one
+  // uncontended lock round trip.
+  BlockUntilSignalled();
+}
+
+void Executor::Batch::RunSlice(const Slice& s) {
+  for (std::uint64_t i = s.first; i < s.last; ++i) {
+    try {
+      fn_(ctx_, i);
+    } catch (...) {
+      // Latch the first failure; keep running so every task executes
+      // exactly once (conservation) and peers never see a torn batch.
+      std::lock_guard<std::mutex> lock(m_);
+      if (!error_) error_ = std::current_exception();
+    }
+  }
+  FinishSlice();
+}
+
+void Executor::Batch::FinishSlice() {
+  if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Notify while holding the lock: the moment the waiter can observe
+    // signalled_ it may destroy the batch (it lives on the caller's
+    // stack), so cv_ must not be touched after m_ is released.
+    std::lock_guard<std::mutex> lock(m_);
+    signalled_ = true;
+    cv_.notify_all();
+  }
+}
+
+void Executor::Batch::BlockUntilSignalled() {
+  std::unique_lock<std::mutex> lock(m_);
+  cv_.wait(lock, [this] { return signalled_; });
+}
+
+void Executor::Batch::Wait() {
+  if (owner_ != nullptr) owner_->HelpUntilDone(*this);
+  BlockUntilSignalled();
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    err = error_;
+    error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+// ---------------------------------------------------------------------------
+// Backend-dispatched facade.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Serial loop with parallel-identical semantics: every index runs, the
+// first exception is rethrown at the end.
+void SerialFor(std::uint64_t n, TaskFn fn, void* ctx) {
+  std::exception_ptr first;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    try {
+      fn(ctx, i);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+#if defined(SZX_HAVE_OPENMP)
+// Fork-join reference path, kept for differential testing.  libgomp's
+// region-end barrier uses a futex TSan cannot see, so each iteration ends
+// with a release RMW on a shared atomic and the caller re-acquires it after
+// the region (same RegionPublish discipline omp_codec.cpp used to carry).
+void OmpFor(std::uint64_t n, int threads, TaskFn fn, void* ctx) {
+  const int width =
+      static_cast<int>(std::min<std::uint64_t>(n, static_cast<std::uint64_t>(threads)));
+  std::atomic<std::uint64_t> publish{0};
+  std::exception_ptr failure;
+#pragma omp parallel for num_threads(width) schedule(static)
+  for (std::int64_t i = 0; i < static_cast<std::int64_t>(n); ++i) {
+    try {
+      fn(ctx, static_cast<std::uint64_t>(i));
+    } catch (...) {
+#pragma omp critical(szx_exec_omp_failure)
+      {
+        if (!failure) failure = std::current_exception();
+      }
+    }
+    publish.fetch_add(1, std::memory_order_release);
+  }
+  (void)publish.load(std::memory_order_acquire);
+  if (failure) std::rethrow_exception(failure);
+}
+#endif
+
+}  // namespace
+
+void ParallelForImpl(std::uint64_t n, int max_threads, TaskFn fn, void* ctx) {
+  if (n == 0) return;
+  const int threads = ResolveThreads(max_threads);
+  if (n == 1 || threads == 1) {
+    SerialFor(n, fn, ctx);
+    return;
+  }
+#if defined(SZX_HAVE_OPENMP)
+  if (ActiveBackend() == Backend::kOmp) {
+    OmpFor(n, threads, fn, ctx);
+    return;
+  }
+#endif
+  Executor::Default().ParallelFor(n, fn, ctx);
+}
+
+}  // namespace szx::exec

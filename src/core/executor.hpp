@@ -1,0 +1,216 @@
+// Persistent work-stealing executor -- the parallel substrate behind every
+// multi-threaded codec path (omp_codec.cpp, resilience/salvage.cpp, the
+// streaming reader, and the double-buffered pipeline in core/pipeline.hpp).
+//
+// Why not fork-join: every OpenMP `parallel for` pays thread wake-up and a
+// region-end barrier per call, which dominates small frames and makes
+// compute/I-O overlap impossible (a region cannot outlive its call).  The
+// Executor keeps its workers alive across jobs: submission pushes work into
+// per-worker Chase-Lev deques, idle workers park on a condition variable,
+// and each worker owns a ScratchArena that is reused job after job, so
+// steady-state submission performs no heap allocation (asserted by
+// tests/core/test_executor.cpp with a counting allocator).
+//
+// Backend selection: the legacy OpenMP fork-join path remains available for
+// differential testing via SZX_EXECUTOR=omp|pool (default: pool; `omp`
+// falls back to pool when the build has no OpenMP).  The correctness
+// contract -- enforced by the `executor` CTest tier across the full
+// SZX_EXECUTOR x SZX_KERNEL x thread-count matrix -- is that every stream
+// is byte-identical to serial output for any backend and any thread count.
+//
+// Concurrency model (see docs/performance.md for the full design):
+//   - One Batch = one submission of n independent tasks fn(ctx, 0..n-1),
+//     split into at most kMaxSlices contiguous index slices held inline in
+//     the Batch (no allocation).
+//   - External submitters append slices to a mutex-guarded inbox; a worker
+//     that drains the inbox keeps one slice and pushes the rest into its
+//     own lock-free deque, where idle workers steal from the top (Chase-Lev
+//     owner-bottom / thief-top discipline, seq_cst variant so the protocol
+//     stays fully visible to ThreadSanitizer).
+//   - Batch::Wait lets the calling thread help execute pending slices
+//     instead of blocking, so a 1-worker pool still runs 2-wide.
+//   - Exceptions are latched per batch (first failure wins, every task
+//     still runs -- task-count conservation) and rethrown from Wait.
+//   - Destruction is graceful: queued work drains before workers exit.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "core/arena.hpp"
+#include "core/common.hpp"
+
+namespace szx::exec {
+
+/// Which substrate runs parallel regions.  kOmp keeps the historical
+/// OpenMP fork-join (differential baseline); kPool uses the persistent
+/// work-stealing Executor below.
+enum class Backend : std::uint8_t { kOmp = 0, kPool = 1 };
+
+const char* BackendName(Backend b);
+
+/// True when the build has OpenMP (SZX_EXECUTOR=omp is honored).
+bool OmpAvailable();
+
+/// Process-wide backend, resolved once from SZX_EXECUTOR=omp|pool (default
+/// pool, with a stderr warning for unknown values; omp falls back to pool
+/// when unavailable).  Mirrors kernels::ActiveKind's lazy-select contract.
+Backend ActiveBackend();
+
+/// Overrides the backend at runtime (bench/tests); returns what was
+/// actually installed (omp degrades to pool without OpenMP support).
+Backend SetActiveBackend(Backend b);
+
+/// Thread count used when a caller passes num_threads <= 0: SZX_THREADS if
+/// set, else the OpenMP default (which honors OMP_NUM_THREADS), else
+/// OMP_NUM_THREADS parsed directly, else std::thread::hardware_concurrency.
+int DefaultThreads();
+
+/// requested > 0 ? requested : DefaultThreads().
+int ResolveThreads(int requested);
+
+/// Type-erased task body: fn(ctx, index) for index in [0, n).
+using TaskFn = void (*)(void* ctx, std::uint64_t index);
+
+class Executor {
+ public:
+  /// Upper bound on slices per batch; also bounds stack usage of a Batch.
+  static constexpr std::uint32_t kMaxSlices = 256;
+  /// Safety cap on worker threads (oversubscription beyond this measures
+  /// nothing and only burns memory).
+  static constexpr int kMaxWorkers = 64;
+
+  /// workers <= 0 picks SZX_POOL_WORKERS if set, else DefaultThreads(),
+  /// clamped to [1, kMaxWorkers].
+  explicit Executor(int workers = 0);
+
+  /// Graceful: drains every queued slice, then joins all workers.  Must not
+  /// race Submit/Wait calls from other threads (external synchronization,
+  /// as for any destructor); batches submitted before destruction begin are
+  /// guaranteed complete when it returns.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int workers() const { return static_cast<int>(workers_.size()); }
+
+  /// One submission of n independent tasks.  Stack-allocatable and
+  /// reusable: Submit may be called again once Wait has returned.
+  class Batch {
+   public:
+    Batch() = default;
+    /// Blocks (without helping) if the batch is still in flight; a batch
+    /// must not be destroyed before its tasks finish.
+    ~Batch();
+    Batch(const Batch&) = delete;
+    Batch& operator=(const Batch&) = delete;
+
+    /// True once every task has run (the completion signal may still be in
+    /// flight; Wait() is the synchronizing call).
+    bool Done() const {
+      return unfinished_.load(std::memory_order_acquire) == 0;
+    }
+
+    /// Helps execute pending work while this batch is outstanding, then
+    /// blocks until completion.  Rethrows the first task exception.
+    void Wait();
+
+   private:
+    friend class Executor;
+    struct Slice {
+      Batch* batch = nullptr;
+      std::uint64_t first = 0;
+      std::uint64_t last = 0;  // exclusive
+    };
+
+    void RunSlice(const Slice& s);
+    void FinishSlice();
+    void BlockUntilSignalled();
+
+    Executor* owner_ = nullptr;
+    TaskFn fn_ = nullptr;
+    void* ctx_ = nullptr;
+    std::array<Slice, kMaxSlices> slices_{};
+    std::atomic<std::uint32_t> unfinished_{0};
+    std::mutex m_;
+    std::condition_variable cv_;
+    bool signalled_ = true;      // guarded by m_
+    std::exception_ptr error_;   // guarded by m_; first task failure
+  };
+
+  /// Enqueues n tasks without blocking (the caller joins via batch.Wait()).
+  /// The batch must be idle; throws szx::Error after shutdown began.
+  /// n == 0 completes immediately.
+  void Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx);
+
+  /// Submit + help + Wait.  Called from inside one of this executor's own
+  /// tasks it degrades to an inline serial loop (nested parallelism keeps
+  /// correctness, not extra width; first exception propagates directly).
+  void ParallelFor(std::uint64_t n, TaskFn fn, void* ctx);
+
+  template <typename F>
+  void ParallelFor(std::uint64_t n, F&& f) {
+    using Fn = std::remove_reference_t<F>;
+    ParallelFor(
+        n,
+        [](void* ctx, std::uint64_t i) { (*static_cast<Fn*>(ctx))(i); },
+        const_cast<std::remove_const_t<Fn>*>(std::addressof(f)));
+  }
+
+  /// Scratch arena of the current pool worker, or a thread_local fallback
+  /// on non-pool threads.  Reused across jobs (same ownership rules as any
+  /// ScratchArena: single thread, contents invalidated by Reset).
+  static ScratchArena& WorkerScratch();
+
+  /// Process-wide pool used by the ParallelFor facade below.  Constructed
+  /// on first use, drained and joined at process exit.
+  static Executor& Default();
+
+ private:
+  class WorkDeque;
+  struct Worker;
+
+  // Current pool worker of *some* executor on this thread, or nullptr.
+  static Worker*& TlsWorker();
+
+  void WorkerLoop(Worker& w);
+  Batch::Slice* Acquire(Worker* self);
+  Batch::Slice* TakeFromInbox(Worker* self);
+  Batch::Slice* StealFromPeers(Worker* self, std::uint64_t& seed);
+  void HelpUntilDone(Batch& b);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  std::vector<Batch::Slice*> inbox_;     // guarded by m_
+  std::atomic<std::int64_t> pending_{0};  // queued-but-unclaimed slices
+  int idlers_ = 0;                        // guarded by m_
+  bool stop_ = false;                     // guarded by m_
+};
+
+/// Backend-dispatched parallel loop: runs fn(ctx, i) for i in [0, n)
+/// exactly once each, on the active backend, with at most max_threads-wide
+/// parallelism on the OMP backend (the pool runs n tasks across however
+/// many workers exist -- callers control granularity via n).  max_threads
+/// <= 0 resolves via DefaultThreads(); n <= 1 or 1 thread runs inline.
+/// Every task runs even if one throws; the first exception is rethrown.
+void ParallelForImpl(std::uint64_t n, int max_threads, TaskFn fn, void* ctx);
+
+template <typename F>
+void ParallelFor(std::uint64_t n, int max_threads, F&& f) {
+  using Fn = std::remove_reference_t<F>;
+  ParallelForImpl(
+      n, max_threads,
+      [](void* ctx, std::uint64_t i) { (*static_cast<Fn*>(ctx))(i); },
+      const_cast<std::remove_const_t<Fn>*>(std::addressof(f)));
+}
+
+}  // namespace szx::exec

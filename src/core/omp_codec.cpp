@@ -1,19 +1,24 @@
+// Chunk-parallel encoder/decoder.  Parallelism is delegated to the
+// exec::ParallelFor facade (work-stealing pool by default, OpenMP fork-join
+// via SZX_EXECUTOR=omp for differential testing); the facade owns the
+// TSan-visible publish/acquire discipline and the exception latch, so the
+// chunk loops below are plain lambdas.  The historical entry points keep
+// their *Omp names: they are the chunk-parallel API regardless of backend,
+// and every byte they produce is identical to the serial codec for any
+// chunk count (fragments are contiguous block ranges stitched at offsets
+// fixed by exclusive prefix sums).
 #include "core/omp_codec.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "core/arena.hpp"
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/encode.hpp"
+#include "core/executor.hpp"
 #include "core/frame_index.hpp"
 #include "core/integrity.hpp"
 #include "core/kernels/kernels.hpp"
-
-#if defined(SZX_HAVE_OPENMP)
-#include <omp.h>
-#endif
 
 namespace szx {
 
@@ -113,31 +118,22 @@ void CompressBlockRange(std::span<const T> data, const Params& params,
   }
 }
 
-// libgomp's region-end barrier is futex-based and invisible to TSan, so the
-// happens-before edge from each worker's writes (arena fragments, the chunk
-// directory, the output buffer) to the calling thread's later reads — and to
-// the exit-time TLS destructors that free the arenas — must be restated with
-// atomics the tool can see.  Every chunk iteration ends with a release RMW
-// on the region's counter and the calling thread acquires the final value
-// after the region; one RMW per chunk is noise next to the chunk work.
-class RegionPublish {
- public:
-  void Publish() { sync_.fetch_add(1, std::memory_order_release); }
-  void AcquireAll() { (void)sync_.load(std::memory_order_acquire); }
-
- private:
-  std::atomic<unsigned> sync_{0};
-};
+// Clamps the requested width so every chunk spans at least 8 blocks
+// (byte-aligned type bits) and returns the resulting chunk count.
+std::uint64_t ClampChunks(int& threads, std::uint64_t num_blocks) {
+  const std::uint64_t max_useful =
+      num_blocks == 0 ? 1 : (num_blocks + 7) / 8;
+  if (static_cast<std::uint64_t>(threads) > max_useful) {
+    threads = static_cast<int>(max_useful);
+  }
+  return static_cast<std::uint64_t>(threads);
+}
 
 }  // namespace
 
 template <SupportedFloat T>
 ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
                        CompressionStats* stats, int num_threads) {
-#if !defined(SZX_HAVE_OPENMP)
-  (void)num_threads;
-  return Compress(data, params, stats);
-#else
   params.Validate();
   const double abs_bound = ResolveAbsoluteBound(data, params);
   const std::uint64_t n = data.size();
@@ -147,14 +143,8 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
                           ? kLosslessEbExpo
                           : BoundExponent(abs_bound);
 
-  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
-  // Each thread needs at least 8 blocks for byte-aligned type bits.
-  const std::uint64_t max_useful =
-      num_blocks == 0 ? 1 : (num_blocks + 7) / 8;
-  if (static_cast<std::uint64_t>(threads) > max_useful) {
-    threads = static_cast<int>(max_useful);
-  }
-  const std::uint64_t chunks = static_cast<std::uint64_t>(threads);
+  int threads = exec::ResolveThreads(num_threads);
+  const std::uint64_t chunks = ClampChunks(threads, num_blocks);
   // Chunk boundaries in blocks, rounded to multiples of 8.
   // szx-lint: allow(unchecked-alloc) -- num_blocks is the fill value, not the size; the vector holds one bound per encoder chunk
   std::vector<std::uint64_t> bounds(chunks + 1, num_blocks);
@@ -166,10 +156,10 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   }
 
   // One arena per chunk, owned (thread-locally) by the calling thread so the
-  // fragment memory outlives the parallel region regardless of what OpenMP
-  // does with its worker pool.  schedule(static, 1) gives each chunk to
-  // exactly one worker, so no arena is ever shared within a region, and the
-  // vector's high-water capacity is reused across calls.
+  // fragment memory outlives the parallel region regardless of which backend
+  // ran it.  Each chunk index is executed by exactly one thread per region,
+  // so no arena is ever shared within a region, and the vector's high-water
+  // capacity is reused across calls.
   thread_local std::vector<ScratchArena> arenas_tls;
   if (arenas_tls.size() < chunks) arenas_tls.resize(chunks);
   // Grab the caller's arenas by pointer before the parallel region: a
@@ -177,16 +167,12 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   // (empty) instance instead.
   ScratchArena* const arenas = arenas_tls.data();
   std::vector<SectionFragment<T>> frags(chunks);
-  RegionPublish sync;
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+  exec::ParallelFor(chunks, threads, [&](std::uint64_t c) {
     if (bounds[c] < bounds[c + 1]) {
       CompressBlockRange(data, params, abs_bound, eb_expo, bounds[c],
                          bounds[c + 1], arenas[c], frags[c]);
     }
-    sync.Publish();
-  }
-  sync.AcquireAll();
+  });
 
   // Exclusive prefix sums over the fragment sizes: every chunk's landing
   // offset in each of the six sections is known before a byte moves, so the
@@ -259,8 +245,7 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
   std::byte* const dst = out.data();
   const SectionFragment<T>* const fr = frags.data();
   const StitchOffsets* const ofs = at.data();
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+  exec::ParallelFor(chunks, threads, [&](std::uint64_t c) {
     const SectionFragment<T>& f = fr[c];
     const StitchOffsets& o = ofs[c];
     std::copy_n(f.type_bits.data(), f.type_bits.size(),
@@ -271,9 +256,7 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
     std::copy_n(f.ncb_mu.data(), f.ncb_n * sizeof(T), dst + mu_base + o.mu);
     std::copy_n(f.ncb_zsize.data(), f.ncb_n * 2, dst + zsize_base + o.zsize);
     std::copy_n(f.payload.data(), f.payload_n, dst + payload_base + o.payload);
-    sync.Publish();
-  }
-  sync.AcquireAll();
+  });
 
   // Footer append happens after the parallel stitch so the checksums cover
   // the final bytes; byte identity with the serial encoder is preserved
@@ -290,15 +273,10 @@ ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
     stats->absolute_bound = abs_bound;
   }
   return out;
-#endif
 }
 
 template <SupportedFloat T>
 void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
-#if !defined(SZX_HAVE_OPENMP)
-  (void)num_threads;
-  return DecompressInto(stream, out);
-#else
   const Sections<T> s = ParseSections<T>(stream);
   const Header& h = s.header;
   if (h.dtype != static_cast<std::uint8_t>(FloatTraits<T>::kTag)) {
@@ -314,7 +292,7 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
   const auto solution = static_cast<CommitSolution>(h.solution);
   const std::uint64_t nnc = h.num_blocks - h.num_constant;
 
-  int threads = num_threads > 0 ? num_threads : omp_get_max_threads();
+  int threads = exec::ResolveThreads(num_threads);
   const std::uint64_t max_useful = MaxUsefulChunks(h.num_blocks);
   if (static_cast<std::uint64_t>(threads) > max_useful) {
     threads = static_cast<int>(max_useful);
@@ -335,54 +313,29 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out, int num_threads) {
 
   // Directory pass 1: per-chunk type-bit popcounts (disjoint byte ranges),
   // then a serial O(chunks) exclusive prefix sum + total validation.
-  RegionPublish sync;
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
+  exec::ParallelFor(chunks, threads, [&](std::uint64_t c) {
     cd[c].ncb_base =
         CountNonConstant(s.type_bits, cd[c].first_block, cd[c].last_block);
-    sync.Publish();
-  }
-  sync.AcquireAll();
+  });
   FinalizeTypeTallies(h, dir);
 
   // Directory pass 2: per-chunk zsize sums over disjoint non-constant index
-  // ranges, then the payload prefix sum + total validation.  Exceptions
-  // must not escape an OpenMP region; latch the first failure.
-  std::exception_ptr failure = nullptr;
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
-    try {
-      const std::uint64_t next =
-          static_cast<std::uint64_t>(c) + 1 < chunks ? cd[c + 1].ncb_base
-                                                     : nnc;
-      cd[c].payload_base =
-          SumZsizes(s.ncb_zsize, cd[c].ncb_base, next - cd[c].ncb_base);
-    } catch (...) {
-#pragma omp critical
-      if (failure == nullptr) failure = std::current_exception();
-    }
-    sync.Publish();
-  }
-  sync.AcquireAll();
-  if (failure != nullptr) std::rethrow_exception(failure);
+  // ranges, then the payload prefix sum + total validation.  The facade
+  // latches the first exception and rethrows it after every chunk ran.
+  exec::ParallelFor(chunks, threads, [&](std::uint64_t c) {
+    const std::uint64_t next =
+        c + 1 < chunks ? cd[c + 1].ncb_base : nnc;
+    cd[c].payload_base =
+        SumZsizes(s.ncb_zsize, cd[c].ncb_base, next - cd[c].ncb_base);
+  });
   FinalizePayloadTallies(h, dir);
 
   // Decode chunks concurrently: every thread writes its blocks into `out`
   // at offsets precomputed by the directory — zero serialization and zero
-  // shared mutable state outside the failure latch.
-#pragma omp parallel for num_threads(threads) schedule(static, 1)
-  for (std::int64_t c = 0; c < static_cast<std::int64_t>(chunks); ++c) {
-    try {
-      DecodeChunkInto(s, solution, cd[c], out);
-    } catch (...) {
-#pragma omp critical
-      if (failure == nullptr) failure = std::current_exception();
-    }
-    sync.Publish();
-  }
-  sync.AcquireAll();
-  if (failure != nullptr) std::rethrow_exception(failure);
-#endif
+  // shared mutable state.
+  exec::ParallelFor(chunks, threads, [&](std::uint64_t c) {
+    DecodeChunkInto(s, solution, cd[c], out);
+  });
 }
 
 template <SupportedFloat T>

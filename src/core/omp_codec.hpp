@@ -1,4 +1,4 @@
-// OpenMP block-parallel SZx codec (paper Sec. 6.1).
+// Chunk-parallel SZx codec (paper Sec. 6.1).
 //
 // Compression assigns contiguous ranges of blocks to threads; each thread
 // emits private section fragments that are concatenated afterwards (ranges
@@ -6,8 +6,14 @@
 // Decompression resolves per-block payload offsets with a prefix sum over
 // the zsize array, then decodes all blocks in parallel.
 //
+// Parallelism runs on the exec::ParallelFor facade: the persistent
+// work-stealing pool by default, or OpenMP fork-join via SZX_EXECUTOR=omp
+// (see core/executor.hpp).  The *Omp names are historical; the entry
+// points are backend-agnostic.
+//
 // Streams produced by CompressOmp are byte-identical to serial Compress
-// output, and either decompressor accepts either stream.
+// output for every backend and thread count, and either decompressor
+// accepts either stream.
 #pragma once
 
 #include <span>
@@ -17,8 +23,9 @@
 
 namespace szx {
 
-/// `num_threads == 0` keeps the OpenMP default.  Falls back to the serial
-/// code path when built without OpenMP.
+/// `num_threads == 0` uses the executor default width (SZX_THREADS, then
+/// the OpenMP default, then hardware concurrency); the pool backend
+/// parallelizes even in builds without OpenMP.
 template <SupportedFloat T>
 ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
                        CompressionStats* stats = nullptr,

@@ -96,9 +96,10 @@ class StreamReader {
   bool NextOrSkip(std::vector<T>& out, SkipInfo* info = nullptr);
 
   /// Decode threads for subsequent Next calls: 1 (default) decodes frames
-  /// serially; 0 uses the OpenMP default; N > 1 decodes each frame through
-  /// the parallel chunk-directory decoder.  Without OpenMP in the build all
-  /// values fall back to the serial path.
+  /// serially; 0 uses the executor default width (exec::DefaultThreads);
+  /// N > 1 decodes each frame through the parallel chunk-directory decoder
+  /// on the active SZX_EXECUTOR backend (work-stealing pool by default,
+  /// which parallelizes even in builds without OpenMP).
   void set_num_threads(int num_threads) { num_threads_ = num_threads; }
   int num_threads() const { return num_threads_; }
 

@@ -1,0 +1,120 @@
+#include "iosim/file_backend.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace szx::iosim {
+
+ChunkFileWriter::ChunkFileWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("ChunkFileWriter: cannot open " + path);
+  }
+}
+
+void ChunkFileWriter::WriteChunk(std::span<const std::byte> chunk) {
+  if (!out_.is_open()) {
+    throw std::runtime_error("ChunkFileWriter: write after Close on " + path_);
+  }
+  const std::byte* src = chunk.data();
+  std::size_t n = chunk.size();
+  if (mutator_) {
+    scratch_.assign(chunk.begin(), chunk.end());
+    mutator_(stats_.chunks, scratch_);
+    if (scratch_.size() != chunk.size() ||
+        !std::equal(scratch_.begin(), scratch_.end(), chunk.begin())) {
+      ++stats_.mutated;
+    }
+    src = scratch_.data();
+    n = scratch_.size();
+  }
+  // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; bytes are only written, never interpreted
+  out_.write(reinterpret_cast<const char*>(src),
+             static_cast<std::streamsize>(n));
+  if (!out_) {
+    throw std::runtime_error("ChunkFileWriter: write failed on " + path_);
+  }
+  ++stats_.chunks;
+  stats_.bytes += n;
+}
+
+void ChunkFileWriter::Close() {
+  if (!out_.is_open()) {
+    return;
+  }
+  out_.flush();
+  const bool ok = static_cast<bool>(out_);
+  out_.close();
+  if (!ok) {
+    throw std::runtime_error("ChunkFileWriter: flush failed on " + path_);
+  }
+}
+
+ChunkFileReader::ChunkFileReader(const std::string& path,
+                                 TransientReadFaults faults)
+    : in_(path, std::ios::binary), path_(path), faults_(faults) {
+  if (!in_) {
+    throw std::runtime_error("ChunkFileReader: cannot open " + path);
+  }
+  if (faults_.max_attempts < 1) {
+    throw std::runtime_error("ChunkFileReader: max_attempts must be >= 1");
+  }
+}
+
+std::size_t ChunkFileReader::ReadChunk(std::span<std::byte> out) {
+  if (out.empty()) {
+    return 0;
+  }
+  const std::uint64_t ordinal = stats_.chunks + 1;  // 1-based, for the model
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    if (attempt > 1) {
+      ++stats_.retries;
+    }
+    // Every retry restarts from the identical chunk offset, so an injected
+    // failure can never skip bytes or deliver them twice.
+    in_.clear();
+    in_.seekg(static_cast<std::streamoff>(next_offset_));
+    if (!in_) {
+      throw std::runtime_error("ChunkFileReader: seek failed on " + path_);
+    }
+    // szx-lint: allow(reinterpret-cast) -- ifstream reads into char buffers; this is the file-I/O boundary, nothing is parsed here
+    in_.read(reinterpret_cast<char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+    const auto got = static_cast<std::size_t>(in_.gcount());
+    if (in_.bad()) {
+      throw std::runtime_error("ChunkFileReader: read failed on " + path_);
+    }
+    const bool inject_failure = faults_.period != 0 && got != 0 &&
+                                ordinal % faults_.period == 0 && attempt == 1;
+    if (inject_failure) {
+      if (attempt >= faults_.max_attempts) {
+        throw std::runtime_error(
+            "ChunkFileReader: transient fault persisted past max_attempts "
+            "on " +
+            path_);
+      }
+      continue;  // abandon this attempt; the loop rereads the same offset
+    }
+    if (got != 0) {
+      ++stats_.chunks;
+      stats_.bytes += got;
+      next_offset_ += got;
+    }
+    return got;
+  }
+}
+
+std::uint64_t FileSizeBytes(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("FileSizeBytes: cannot stat " + path + ": " +
+                             ec.message());
+  }
+  return static_cast<std::uint64_t>(size);
+}
+
+}  // namespace szx::iosim

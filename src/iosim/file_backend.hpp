@@ -1,0 +1,98 @@
+// Real-file chunked I/O backend: the bridge between the analytic PFS
+// models in this directory and the actual codec pipeline in
+// core/pipeline.hpp.  A ChunkFileWriter appends fixed-order chunks to a
+// file on disk (optionally mutated in flight -- the hook the fault-class
+// tests use to corrupt frames mid-pipeline), and a ChunkFileReader streams
+// them back with a deterministic transient-failure model and bounded
+// retries that must neither lose nor duplicate a chunk.
+//
+// Deliberately independent of src/core: buffers are std::vector<std::byte>
+// / std::span<std::byte> and the mutator is a std::function, so tests can
+// plug in testkit's InjectFault without iosim linking against it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace szx::iosim {
+
+/// Hook applied to each chunk in flight (fault injection in tests).  The
+/// chunk may be resized or rewritten arbitrarily; what the hook leaves in
+/// the vector is what reaches the file.
+using ChunkMutator =
+    std::function<void(std::uint64_t chunk_index, std::vector<std::byte>& chunk)>;
+
+struct FileIoStats {
+  std::uint64_t chunks = 0;    ///< chunks written / successfully read
+  std::uint64_t bytes = 0;     ///< payload bytes through the backend
+  std::uint64_t attempts = 0;  ///< read attempts, including retries
+  std::uint64_t retries = 0;   ///< attempts beyond each chunk's first
+  std::uint64_t mutated = 0;   ///< chunks the mutator touched
+};
+
+/// Deterministic transient-failure model for reads: the first attempt at
+/// every `period`-th chunk (1-based ordinal divisible by period) fails and
+/// is retried from the same file offset.  period == 0 disables injection.
+struct TransientReadFaults {
+  std::uint64_t period = 0;
+  int max_attempts = 3;  ///< per chunk, >= 1
+};
+
+class ChunkFileWriter {
+ public:
+  /// Creates/truncates `path`; throws std::runtime_error on failure.
+  explicit ChunkFileWriter(const std::string& path);
+
+  void set_mutator(ChunkMutator mutator) { mutator_ = std::move(mutator); }
+
+  /// Applies the mutator to a private copy, then appends it to the file.
+  void WriteChunk(std::span<const std::byte> chunk);
+
+  /// Flushes and closes; implicit in the destructor, explicit for tests
+  /// that reopen the file for reading.  Throws on flush failure.
+  void Close();
+
+  const FileIoStats& stats() const { return stats_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  ChunkMutator mutator_;
+  std::vector<std::byte> scratch_;
+  FileIoStats stats_;
+};
+
+class ChunkFileReader {
+ public:
+  /// Opens `path`; throws std::runtime_error on failure.
+  explicit ChunkFileReader(const std::string& path,
+                           TransientReadFaults faults = {});
+
+  /// Reads up to out.size() bytes into `out`; returns the byte count (0 at
+  /// end of file).  An injected transient failure abandons the attempt,
+  /// seeks back to the chunk's start offset, and retries -- the reread
+  /// starts at the identical offset, so retried chunks are neither lost
+  /// nor duplicated (asserted by stats and the pipeline fault tests).
+  /// Throws std::runtime_error when max_attempts is exhausted.
+  std::size_t ReadChunk(std::span<std::byte> out);
+
+  const FileIoStats& stats() const { return stats_; }
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  TransientReadFaults faults_;
+  FileIoStats stats_;
+  std::uint64_t next_offset_ = 0;  ///< file offset of the next chunk
+};
+
+/// Convenience: total size of `path` in bytes (for chunk-count planning);
+/// throws std::runtime_error when the file cannot be stat'ed.
+std::uint64_t FileSizeBytes(const std::string& path);
+
+}  // namespace szx::iosim

@@ -53,4 +53,27 @@ PhaseTime SimulateRawDump(const PfsSpec& pfs, int ranks,
 PhaseTime SimulateRawLoad(const PfsSpec& pfs, int ranks,
                           std::uint64_t bytes_per_rank);
 
+/// Overlap-aware dump makespan.  The serial-sum model above (compress the
+/// whole rank buffer, then write it) is what Fig. 16 charts; a pipelined
+/// rank instead splits the buffer into `chunks` pieces and overlaps chunk
+/// k's write with chunk k+1's compression:
+///
+///   serial    = tc * chunks + tw * chunks + latency
+///   pipelined = tc + max(tc, tw) * (chunks - 1) + tw + latency
+///
+/// where tc / tw are per-chunk compress / write times.  Algebraically
+/// pipelined <= serial, with equality exactly at chunks == 1, so the
+/// serial-sum figure is the baseline every overlap implementation must
+/// beat; the ideal speedup bound is (tc + tw) / max(tc, tw) < 2.
+struct PipelinedTime {
+  double serial_s = 0.0;     ///< serial-sum makespan (Fig. 16 model)
+  double pipelined_s = 0.0;  ///< overlap makespan
+  std::uint32_t chunks = 1;
+  double speedup() const { return serial_s / pipelined_s; }
+};
+
+PipelinedTime SimulatePipelinedDump(const PfsSpec& pfs, int ranks,
+                                    const RankWorkload& workload,
+                                    std::uint32_t chunks);
+
 }  // namespace szx::iosim

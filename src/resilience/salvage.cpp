@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
-#if defined(SZX_HAVE_OPENMP)
-#include <omp.h>
-#endif
+#include "core/executor.hpp"
 
 namespace szx::resilience {
 
@@ -368,20 +366,18 @@ void FooterSalvage(ByteSpan stream, const IntegrityFooterView& fv,
         cv[static_cast<std::size_t>(c)] = verdict;
         cf[static_cast<std::size_t>(c)] = fill;
       };
-#if defined(SZX_HAVE_OPENMP)
+      // Chunks are independent (disjoint refs/cv/cf/out ranges); the
+      // executor facade supplies the parallelism for num_threads != 1 and
+      // the serial aggregation below keeps the DamageReport deterministic
+      // for any backend and width.
       if (opt.num_threads != 1) {
-        const int threads = opt.num_threads > 0 ? opt.num_threads
-                                                : omp_get_max_threads();
-#pragma omp parallel for num_threads(threads) schedule(static)
-        for (std::int64_t c = 0; c < n64; ++c) {
-          salvage_chunk(c);
-        }
+        exec::ParallelFor(static_cast<std::uint64_t>(n64), opt.num_threads,
+                          [&](std::uint64_t c) {
+                            salvage_chunk(static_cast<std::int64_t>(c));
+                          });
       } else {
         for (std::int64_t c = 0; c < n64; ++c) salvage_chunk(c);
       }
-#else
-      for (std::int64_t c = 0; c < n64; ++c) salvage_chunk(c);
-#endif
     }
   }
 

@@ -1,5 +1,6 @@
 #include "testkit/golden.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <fstream>
 #include <sstream>
@@ -189,6 +190,24 @@ std::optional<std::string> VerifyDecode(const GoldenCase& c,
       return c.file + ": parallel decoder diverges from serial at element " +
              std::to_string(i);
     }
+  }
+  // The parallel encoder's contract is just as strict: CompressOmp at the
+  // environment-selected width (SZX_EXECUTOR / SZX_THREADS / SZX_KERNEL)
+  // must emit the golden bytes exactly.  The executor battery reruns this
+  // for every backend x kernel x thread-count cell.
+  ByteBuffer omp_stream;
+  try {
+    omp_stream = CompressOmp<T>(std::span<const T>(data), c.params);
+  } catch (const Error& e) {
+    return "parallel encoder failed on the golden case: " +
+           std::string(e.what());
+  }
+  if (omp_stream.size() != golden.size() ||
+      !std::equal(omp_stream.begin(), omp_stream.end(), golden.begin())) {
+    return c.file + ": parallel encoder output diverges from the golden "
+                    "stream (" +
+           std::to_string(omp_stream.size()) + " vs " +
+           std::to_string(golden.size()) + " bytes)";
   }
   const double abs_bound =
       ResolveAbsoluteBound<T>(std::span<const T>(data), c.params);

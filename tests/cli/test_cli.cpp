@@ -162,12 +162,46 @@ TEST_F(CliTest, KernelFlagProducesIdenticalStreams) {
   std::remove(scalar_out.c_str());
 }
 
-TEST_F(CliTest, RejectsBadKernelAndThreads) {
+TEST_F(CliTest, ExecutorFlagProducesIdenticalStreams) {
+  const std::string pool_out = TempPath("pool.szx");
+  // Both backends must emit the byte-identical stream (the executor
+  // contract); --executor omp in an OpenMP-free build falls back to the
+  // pool with a warning and equality is trivially preserved.
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + pool_out +
+                " -e 1e-3 --executor pool --threads 4"),
+            0);
+  ASSERT_EQ(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                " -e 1e-3 --executor omp --threads 4"),
+            0);
+  std::ifstream a(pool_out, std::ios::binary | std::ios::ate);
+  std::ifstream b(compressed_, std::ios::binary | std::ios::ate);
+  ASSERT_EQ(a.tellg(), b.tellg());
+  const auto size = static_cast<std::size_t>(a.tellg());
+  a.seekg(0);
+  b.seekg(0);
+  std::vector<char> abuf(size);
+  std::vector<char> bbuf(size);
+  a.read(abuf.data(), static_cast<std::streamsize>(size));
+  b.read(bbuf.data(), static_cast<std::streamsize>(size));
+  EXPECT_EQ(abuf, bbuf);
+  // --executor alone implies the parallel decode path, like --threads.
+  ASSERT_EQ(RunCli("decompress -i " + compressed_ + " -o " + recon_ +
+                " --executor pool"),
+            0);
+  const auto recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+  std::remove(pool_out.c_str());
+}
+
+TEST_F(CliTest, RejectsBadKernelThreadsAndExecutor) {
   EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
                 " --kernel neon"),
             0);
   EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
                 " --threads 0"),
+            0);
+  EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
+                " --executor fibers"),
             0);
 }
 

@@ -2,10 +2,10 @@
 //
 //   szx_cli compress   -i data.f32 -o data.szx [-t f32|f64]
 //                      [-m rel|abs|pwrel] [-e 1e-3] [-b 128] [--omp [N]]
-//                      [--threads N] [--kernel scalar|avx2] [--hybrid]
-//                      [--integrity]
+//                      [--threads N] [--kernel scalar|avx2]
+//                      [--executor omp|pool] [--hybrid] [--integrity]
 //   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]] [--threads N]
-//                      [--kernel scalar|avx2]
+//                      [--kernel scalar|avx2] [--executor omp|pool]
 //   szx_cli info       -i data.szx
 //   szx_cli verify     -i data.f32 -z data.szx          (prints metrics)
 //   szx_cli verify     -z data.szx        (checksum / structural verification)
@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/compressor.hpp"
+#include "core/executor.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/omp_codec.hpp"
 #include "core/tuning.hpp"
@@ -55,10 +56,10 @@ struct IoError : std::runtime_error {
                "usage:\n"
                "  szx_cli compress   -i IN -o OUT [-t f32|f64]"
                " [-m rel|abs|pwrel] [-e BOUND] [-b BLOCK] [--omp [N]]"
-               " [--threads N] [--kernel scalar|avx2] [--hybrid]"
-               " [--integrity]\n"
+               " [--threads N] [--kernel scalar|avx2] [--executor omp|pool]"
+               " [--hybrid] [--integrity]\n"
                "  szx_cli decompress -i IN -o OUT [--omp [N]] [--threads N]"
-               " [--kernel scalar|avx2]\n"
+               " [--kernel scalar|avx2] [--executor omp|pool]\n"
                "  szx_cli info       -i IN\n"
                "  szx_cli verify     -i RAW -z COMPRESSED   (distortion check)\n"
                "  szx_cli verify     -z COMPRESSED          (integrity check)\n"
@@ -97,7 +98,8 @@ struct Args {
   double error_bound = 1e-3;
   double sentinel = std::numeric_limits<double>::quiet_NaN();
   std::uint32_t block_size = 128;
-  std::string kernel;  // empty = dispatcher's own choice
+  std::string kernel;    // empty = dispatcher's own choice
+  std::string executor;  // empty = SZX_EXECUTOR / default backend
   bool omp = false;
   bool hybrid = false;
   bool deep = false;
@@ -139,6 +141,10 @@ Args Parse(int argc, char** argv) {
       if (a.threads < 1) Usage("--threads must be >= 1");
     } else if (arg == "--kernel") {
       a.kernel = next();
+    } else if (arg == "--executor") {
+      // Backend choice implies the parallel codec paths (like --threads).
+      a.omp = true;
+      a.executor = next();
     } else if (arg == "--hybrid") {
       a.hybrid = true;
     } else if (arg == "--deep") {
@@ -160,18 +166,32 @@ Args Parse(int argc, char** argv) {
   if (!a.kernel.empty() && a.kernel != "scalar" && a.kernel != "avx2") {
     Usage("--kernel must be scalar or avx2");
   }
+  if (!a.executor.empty() && a.executor != "omp" && a.executor != "pool") {
+    Usage("--executor must be omp or pool");
+  }
   return a;
 }
 
 // Installs the requested block-kernel implementation for the whole run.
 void ApplyKernelChoice(const Args& a) {
-  if (a.kernel.empty()) return;
-  const kernels::Kind want =
-      a.kernel == "avx2" ? kernels::Kind::kAvx2 : kernels::Kind::kScalar;
-  if (kernels::SetActiveKind(want) != want) {
-    std::fprintf(stderr,
-                 "szx: --kernel avx2 requested but AVX2 is unavailable; "
-                 "using scalar kernels\n");
+  if (!a.kernel.empty()) {
+    const kernels::Kind want =
+        a.kernel == "avx2" ? kernels::Kind::kAvx2 : kernels::Kind::kScalar;
+    if (kernels::SetActiveKind(want) != want) {
+      std::fprintf(stderr,
+                   "szx: --kernel avx2 requested but AVX2 is unavailable; "
+                   "using scalar kernels\n");
+    }
+  }
+  if (!a.executor.empty()) {
+    const exec::Backend want =
+        a.executor == "omp" ? exec::Backend::kOmp : exec::Backend::kPool;
+    if (want == exec::Backend::kOmp && !exec::OmpAvailable()) {
+      std::fprintf(stderr,
+                   "szx: --executor omp requested but this build has no "
+                   "OpenMP; using the work-stealing pool\n");
+    }
+    exec::SetActiveBackend(want);
   }
 }
 
