@@ -344,7 +344,7 @@ class JsonWriter {
 
 /// Minimal recursive-descent JSON syntax check (structure only, no schema).
 /// Returns true iff `text` is exactly one valid JSON value.
-bool ValidateJson(std::string_view text);
+[[nodiscard]] bool ValidateJson(std::string_view text);
 
 namespace detail {
 
@@ -424,7 +424,7 @@ inline bool JsonValue(std::string_view t, std::size_t& i, int depth) {
 
 }  // namespace detail
 
-inline bool ValidateJson(std::string_view text) {
+[[nodiscard]] inline bool ValidateJson(std::string_view text) {
   std::size_t i = 0;
   if (!detail::JsonValue(text, i, 0)) return false;
   detail::JsonSkipWs(text, i);

@@ -5,9 +5,16 @@
 #      across SZX_EXECUTOR x SZX_KERNEL x threads, docs/performance.md) +
 #      fuzz-smoke (stream corruption campaign + salvage-fuzz stacked-fault
 #      smoke, docs/resilience.md) + bench-smoke (codec grid and omp
-#      thread-scaling grid JSON contracts) + lint
-#   2. asan-ubsan build, then every tier under ASan/UBSan
-#   3. tsan build, then the OMP/pool-executor/cusim suites under
+#      thread-scaling grid JSON contracts) + lint + analysis (szx-lint tree
+#      gate twice -- human and --json paths -- lint self-tests, and the
+#      curated clang-tidy profile when the tool is installed)
+#   2. clang thread-safety analysis: rebuild under the clang-tsa preset
+#      (-Wthread-safety -Werror) so every annotated lock contract in
+#      src/core/sync.hpp + executor/streaming/pipeline/salvage is checked;
+#      skipped loudly when clang++ is not installed (GCC compiles the
+#      annotations as no-ops)
+#   3. asan-ubsan build, then every tier under ASan/UBSan
+#   4. tsan build, then the OMP/pool-executor/cusim suites under
 #      ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
 # dominate the runtime; pass --fast to run only stage 1.
@@ -17,7 +24,7 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/bench-smoke/lint ==="
+echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/bench-smoke/lint/analysis ==="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --preset tier1
@@ -26,10 +33,22 @@ ctest --preset executor
 ctest --preset fuzz-smoke
 ctest --preset bench-smoke
 ctest --preset lint
+ctest --preset analysis
 
 if [[ "$fast" == "1" ]]; then
-  echo "check.sh: --fast requested, skipping sanitizer tiers"
+  echo "check.sh: --fast requested, skipping clang-tsa and sanitizer tiers"
   exit 0
+fi
+
+echo "=== clang thread-safety analysis (-Wthread-safety -Werror) ==="
+if command -v clang++ >/dev/null 2>&1; then
+  cmake --preset clang-tsa
+  cmake --build --preset clang-tsa -j "$(nproc)"
+else
+  echo "check.sh: SKIPPING clang-tsa stage -- clang++ is not installed."
+  echo "          The SZX_GUARDED_BY/SZX_REQUIRES annotations compile as"
+  echo "          no-ops under GCC; run this stage on a machine with clang"
+  echo "          to statically verify the lock contracts."
 fi
 
 echo "=== asan-ubsan build + all tiers under ASan/UBSan ==="

@@ -1,0 +1,106 @@
+// Clang thread-safety-analysis annotations for the concurrency contracts in
+// this repo (docs/static-analysis.md).
+//
+// Under clang with -Wthread-safety (the `clang-tsa` preset) these macros
+// expand to the [[clang::...]] capability attributes, so locking contracts
+// -- which field is guarded by which mutex, which function must (or must
+// not) hold it -- are checked at compile time instead of only dynamically
+// by TSan.  Under GCC (the container's baked-in toolchain) every macro
+// expands to nothing and the annotated code compiles byte-identically with
+// zero warnings.
+//
+// The annotations attach to the wrappers in core/sync.hpp (szx::sync::Mutex
+// / MutexLock / CondVar): std::mutex itself carries no capability
+// attributes under libstdc++, so the analysis only sees lock state that
+// flows through the annotated wrapper API.  The usage contract:
+//
+//   szx::sync::Mutex m_;
+//   std::vector<int> inbox_ SZX_GUARDED_BY(m_);   // field contract
+//   void Drain() SZX_EXCLUDES(m_);                // caller must NOT hold m_
+//   void DrainLocked() SZX_REQUIRES(m_);          // caller MUST hold m_
+//
+// SZX_SYNCHRONIZED_BY is documentation-only (it expands to nothing under
+// every compiler): it names the non-mutex mechanism -- an Executor::Batch
+// join, single-owner access, a ParallelFor barrier -- that establishes the
+// happens-before edge for state the static analysis cannot see.  szx_lint's
+// memory-order audit (`szx-mo:` justifications) covers the atomic side of
+// the same contracts.
+#pragma once
+
+// clang supports these attributes via __attribute__((...)); the
+// __has_attribute probe keeps the header honest if a future clang renames
+// one.  GCC defines neither, so everything collapses to no-ops.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define SZX_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef SZX_THREAD_ANNOTATION
+#define SZX_THREAD_ANNOTATION(x)  // no-op under GCC and pre-TSA clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define SZX_CAPABILITY(x) SZX_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases.
+#define SZX_SCOPED_CAPABILITY SZX_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field contract: reads and writes require holding the named capability.
+#define SZX_GUARDED_BY(x) SZX_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer-target contract: dereferences require the capability (the
+/// pointer itself may be read freely).
+#define SZX_PT_GUARDED_BY(x) SZX_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Lock-ordering contracts between capabilities (deadlock detection).
+#define SZX_ACQUIRED_BEFORE(...) \
+  SZX_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SZX_ACQUIRED_AFTER(...) \
+  SZX_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function contract: the caller must hold the capability on entry (and
+/// still holds it on exit).
+#define SZX_REQUIRES(...) \
+  SZX_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define SZX_REQUIRES_SHARED(...) \
+  SZX_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function contract: acquires the capability (caller must not hold it).
+#define SZX_ACQUIRE(...) \
+  SZX_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define SZX_ACQUIRE_SHARED(...) \
+  SZX_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function contract: releases the capability (caller must hold it).
+#define SZX_RELEASE(...) \
+  SZX_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define SZX_RELEASE_SHARED(...) \
+  SZX_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Conditional acquisition: returns `ret` on success.
+#define SZX_TRY_ACQUIRE(...) \
+  SZX_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function contract: the caller must NOT hold the capability (prevents
+/// self-deadlock on non-recursive mutexes).
+#define SZX_EXCLUDES(...) SZX_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (for code paths the
+/// analysis cannot follow).
+#define SZX_ASSERT_CAPABILITY(x) \
+  SZX_THREAD_ANNOTATION(assert_capability(x))
+
+/// Declares that a function returns a reference to the capability guarding
+/// its result.
+#define SZX_RETURN_CAPABILITY(x) SZX_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Reserved for the
+/// sync primitives themselves; every use must explain why in a comment.
+#define SZX_NO_THREAD_SAFETY_ANALYSIS \
+  SZX_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Documentation-only: names the non-mutex mechanism that orders access to
+/// a field or function (Batch join, single owner, ParallelFor barrier).
+/// Expands to nothing under every compiler; exists so shared-state
+/// contracts that TSA cannot express are still greppable and reviewed.
+#define SZX_SYNCHRONIZED_BY(x)

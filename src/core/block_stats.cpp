@@ -1,3 +1,4 @@
+// szx-hot: per-block statistics inner loops; no allocation allowed.
 #include "core/block_stats.hpp"
 
 #include <cmath>

@@ -61,7 +61,7 @@ class ByteCursor {
   }
 
   template <typename T>
-  T Read() {
+  [[nodiscard]] T Read() {
     static_assert(std::is_trivially_copyable_v<T>);
     T value;
     ReadBytes(&value, sizeof(T));
@@ -76,7 +76,7 @@ class ByteCursor {
   }
 
   /// Returns a view of the next n bytes and advances.
-  ByteSpan Slice(std::size_t n) {
+  [[nodiscard]] ByteSpan Slice(std::size_t n) {
     Require(n);
     ByteSpan s = data_.subspan(pos_, n);
     pos_ += n;
@@ -84,12 +84,13 @@ class ByteCursor {
   }
 
   /// Slice of count elements of elem_size bytes each, overflow safe.
-  ByteSpan SliceArray(std::uint64_t count, std::size_t elem_size) {
+  [[nodiscard]] ByteSpan SliceArray(std::uint64_t count,
+                                    std::size_t elem_size) {
     return Slice(CheckedCount(count, elem_size));
   }
 
   /// Returns everything from the current position to the end and advances.
-  ByteSpan Rest() { return Slice(remaining()); }
+  [[nodiscard]] ByteSpan Rest() { return Slice(remaining()); }
 
   void Skip(std::size_t n) {
     Require(n);
@@ -104,7 +105,7 @@ class ByteCursor {
   std::size_t remaining() const { return data_.size() - pos_; }
   std::size_t position() const { return pos_; }
   std::size_t size() const { return data_.size(); }
-  bool AtEnd() const { return pos_ == data_.size(); }
+  [[nodiscard]] bool AtEnd() const { return pos_ == data_.size(); }
 
   /// Validates an allocation of `count` elements (`elem_size` bytes each)
   /// requested by an untrusted header field.  Rejects the request unless
@@ -112,8 +113,9 @@ class ByteCursor {
   /// `max_elems_per_byte` decoded elements — e.g. 1 for byte-per-element
   /// formats, 8 for >= 1-bit-per-symbol entropy codes, 255 for LZ with
   /// byte-long matches.  Returns count, narrowed, ready for resize().
-  std::size_t CheckedAlloc(std::uint64_t count, std::size_t elem_size,
-                           std::uint64_t max_elems_per_byte = 1) const {
+  [[nodiscard]] std::size_t CheckedAlloc(
+      std::uint64_t count, std::size_t elem_size,
+      std::uint64_t max_elems_per_byte = 1) const {
     const std::uint64_t rem = remaining();
     if (count != 0) {
       // count > rem * max_elems_per_byte, compared by division so neither

@@ -22,7 +22,7 @@ namespace szx {
 /// If the encoded stream would exceed the raw size, a raw-passthrough frame
 /// is emitted instead (still decodable by Decompress).
 template <SupportedFloat T>
-ByteBuffer Compress(std::span<const T> data, const Params& params,
+[[nodiscard]] ByteBuffer Compress(std::span<const T> data, const Params& params,
                     CompressionStats* stats = nullptr);
 
 /// Re-entrant variant: compresses into scratch owned by the caller and
@@ -35,13 +35,13 @@ ByteBuffer Compress(std::span<const T> data, const Params& params,
 /// steady-state calls perform zero heap allocations (docs/performance.md).
 /// One arena must not be shared between threads.
 template <SupportedFloat T>
-ByteSpan CompressInto(std::span<const T> data, const Params& params,
+[[nodiscard]] ByteSpan CompressInto(std::span<const T> data, const Params& params,
                       ScratchArena& arena, CompressionStats* stats = nullptr);
 
 /// Decompresses a stream produced by Compress<T>.  Throws szx::Error if the
 /// stream is truncated, corrupt, or of a different element type.
 template <SupportedFloat T>
-std::vector<T> Decompress(ByteSpan stream);
+[[nodiscard]] std::vector<T> Decompress(ByteSpan stream);
 
 /// In-place variant; `out.size()` must equal the element count in the
 /// stream header.
@@ -49,7 +49,7 @@ template <SupportedFloat T>
 void DecompressInto(ByteSpan stream, std::span<T> out);
 
 /// Reads the header without touching the body.
-Header PeekHeader(ByteSpan stream);
+[[nodiscard]] Header PeekHeader(ByteSpan stream);
 
 /// Resolves the absolute error bound a Params would enforce on `data`.
 ///
@@ -65,6 +65,6 @@ Header PeekHeader(ByteSpan stream);
 /// Always throws szx::Error for invalid Params (non-finite or non-positive
 /// error_bound, block size out of range), matching Compress.
 template <SupportedFloat T>
-double ResolveAbsoluteBound(std::span<const T> data, const Params& params);
+[[nodiscard]] double ResolveAbsoluteBound(std::span<const T> data, const Params& params);
 
 }  // namespace szx

@@ -9,6 +9,14 @@
 // races; seq_cst on the two counters is strictly stronger and keeps the
 // whole protocol visible to TSan.  The szx workloads hand out coarse
 // chunk-sized slices, so the extra ordering cost is noise.
+//
+// Every std::memory_order below carries a `szx-mo:` happens-before
+// justification; szx_lint's memory-order audit refuses an unjustified
+// order, so weakening one is impossible without writing down why the
+// weaker order still synchronizes.  Lock-based state goes through the
+// annotated sync::Mutex/MutexLock/CondVar wrappers so clang -Wthread-safety
+// (the clang-tsa preset) checks the locking contracts declared in
+// executor.hpp.
 #include "core/executor.hpp"
 
 #include <algorithm>
@@ -86,9 +94,13 @@ bool OmpAvailable() {
 }
 
 Backend ActiveBackend() {
+  // szx-mo: relaxed; the flag is a self-contained value, no data is
+  // published through it (racing first-use selectors all store the same
+  // SelectBackend() result, per the g_backend note above).
   int b = g_backend.load(std::memory_order_relaxed);
   if (b < 0) {
     b = static_cast<int>(SelectBackend());
+    // szx-mo: relaxed; same benign-race contract as the load above.
     g_backend.store(b, std::memory_order_relaxed);
   }
   return static_cast<Backend>(b);
@@ -96,6 +108,9 @@ Backend ActiveBackend() {
 
 Backend SetActiveBackend(Backend b) {
   if (b == Backend::kOmp && !OmpAvailable()) b = Backend::kPool;
+  // szx-mo: relaxed; bench/test override of a self-contained flag -- the
+  // caller sequences its own subsequent ActiveBackend() reads, and
+  // cross-thread overrides mid-run are unsupported by contract.
   g_backend.store(static_cast<int>(b), std::memory_order_relaxed);
   return b;
 }
@@ -132,37 +147,64 @@ class Executor::WorkDeque {
  public:
   WorkDeque() {
     rings_.push_back(std::make_unique<Ring>(kInitialCapacity));
+    // szx-mo: release publishes the fully-constructed ring; pairs with the
+    // acquire load of ring_ in Steal so a thief never sees a torn Ring.
     ring_.store(rings_.back().get(), std::memory_order_release);
   }
 
   // Owner only.
   void Push(Batch::Slice* s) {
+    // szx-mo: relaxed; bottom_ is only ever stored by this owner thread, so
+    // program order already sequences this read after every prior store.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    // szx-mo: acquire pairs with the thieves' seq_cst CAS on top_; seeing
+    // their increments keeps the b - t occupancy estimate conservative so
+    // Grow never copies a cell a thief might still legitimately claim.
     const std::int64_t t = top_.load(std::memory_order_acquire);
+    // szx-mo: relaxed; ring_ is only ever stored by this owner thread
+    // (ctor + Grow), so the owner's own read needs no synchronization.
     Ring* r = ring_.load(std::memory_order_relaxed);
     if (b - t >= r->Capacity()) r = Grow(t, b);
     r->Put(b, s);
+    // szx-mo: seq_cst publishes the Put above to thieves (release is the
+    // minimum; seq_cst keeps the Chase-Lev protocol in the single total
+    // order the file-header TSan note relies on) and pairs with the
+    // seq_cst bottom_ load in Steal.
     bottom_.store(b + 1, std::memory_order_seq_cst);
   }
 
   // Owner only.
   Batch::Slice* Pop() {
+    // szx-mo: relaxed; owner-only field, see Push.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    // szx-mo: relaxed; owner-only field, see Push.
     Ring* r = ring_.load(std::memory_order_relaxed);
+    // szx-mo: seq_cst; the reservation store must be globally ordered
+    // before the top_ load below (the classic Chase-Lev store-load fence),
+    // otherwise owner and thief could both take the last slice.
     bottom_.store(b, std::memory_order_seq_cst);
+    // szx-mo: seq_cst orders this load after the reservation store above
+    // in the single total order; pairs with the thieves' CAS on top_.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
     Batch::Slice* s = nullptr;
     if (t <= b) {
       s = r->Get(b);
       if (t == b) {
         // Single entry left: race the thieves for it via top_.
+        // szx-mo: success seq_cst claims the slice in the same total order
+        // the thieves use; failure relaxed -- t is discarded on failure, no
+        // data is read under the failed claim.
         if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                           std::memory_order_relaxed)) {
           s = nullptr;
         }
+        // szx-mo: relaxed; restores the owner-only bottom_ after the CAS
+        // settled the race -- thieves ordered themselves via top_, not this.
         bottom_.store(b + 1, std::memory_order_relaxed);
       }
     } else {
+      // szx-mo: relaxed; deque was empty, nothing was published or
+      // claimed, only the owner reads bottom_ next.
       bottom_.store(b + 1, std::memory_order_relaxed);
     }
     return s;
@@ -170,11 +212,21 @@ class Executor::WorkDeque {
 
   // Any thread.
   Batch::Slice* Steal() {
+    // szx-mo: seq_cst; must precede the bottom_ load below in the single
+    // total order (mirror of the owner's store-load ordering in Pop) so an
+    // empty check never misses a concurrent Pop reservation.
     std::int64_t t = top_.load(std::memory_order_seq_cst);
+    // szx-mo: seq_cst pairs with the owner's seq_cst publish in Push; a
+    // t < b read here guarantees the cell at t was Put before the publish.
     const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
     if (t >= b) return nullptr;
+    // szx-mo: acquire pairs with the release ring_ store in the ctor/Grow;
+    // everything copied into the ring before its publish is visible.
     Ring* r = ring_.load(std::memory_order_acquire);
     Batch::Slice* s = r->Get(t);
+    // szx-mo: success seq_cst claims index t in the protocol's total
+    // order; failure relaxed -- on failure s is discarded unused, so no
+    // ordering is needed (see the retired-ring note on the class).
     if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                       std::memory_order_relaxed)) {
       return nullptr;  // lost the race; the read value is discarded unused
@@ -189,10 +241,15 @@ class Executor::WorkDeque {
     explicit Ring(std::int64_t cap)
         : cells(static_cast<std::size_t>(cap)), mask(cap - 1) {}
     Batch::Slice* Get(std::int64_t i) const {
+      // szx-mo: relaxed; cells only carry the pointer value between
+      // threads -- the inter-thread ordering rides on top_/bottom_ (a
+      // stale read loses the subsequent top_ CAS, so it is never used).
       return cells[static_cast<std::size_t>(i & mask)].load(
           std::memory_order_relaxed);
     }
     void Put(std::int64_t i, Batch::Slice* s) {
+      // szx-mo: relaxed; the owner's seq_cst bottom_ publish in Push (or
+      // the ring_ release in Grow) orders this store before any thief read.
       cells[static_cast<std::size_t>(i & mask)].store(
           s, std::memory_order_relaxed);
     }
@@ -208,6 +265,9 @@ class Executor::WorkDeque {
     for (std::int64_t i = t; i < b; ++i) bigger->Put(i, old->Get(i));
     Ring* raw = bigger.get();
     rings_.push_back(std::move(bigger));
+    // szx-mo: release publishes the copied cells before the new ring
+    // pointer; pairs with the acquire ring_ load in Steal.  The old ring
+    // stays allocated (retired-ring note above) for lagging thieves.
     ring_.store(raw, std::memory_order_release);
     return raw;
   }
@@ -255,10 +315,10 @@ Executor::Executor(int workers) {
 
 Executor::~Executor() {
   {
-    std::lock_guard<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
@@ -271,13 +331,19 @@ void Executor::WorkerLoop(Worker& w) {
       s->batch->RunSlice(*s);
       continue;
     }
-    std::unique_lock<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
+    // szx-mo: relaxed; pending_ is a wake gate, not a publication channel
+    // -- slice contents are ordered by the deque protocol / inbox mutex,
+    // and a stale read here only costs one extra Acquire round trip.
     if (pending_.load(std::memory_order_relaxed) > 0) continue;  // missed one
     if (stop_) break;  // pending drained; graceful exit
     ++idlers_;
-    cv_.wait(lock, [this] {
-      return stop_ || pending_.load(std::memory_order_relaxed) > 0;
-    });
+    // szx-mo: relaxed; m_ (released by Wait, reacquired on wake) carries
+    // the happens-before edge -- the load is re-checked under the lock
+    // after every wakeup, so no ordering rides on the atomic itself.
+    while (!stop_ && pending_.load(std::memory_order_relaxed) <= 0) {
+      cv_.Wait(lock);
+    }
     --idlers_;
   }
   TlsWorker() = nullptr;
@@ -286,10 +352,14 @@ void Executor::WorkerLoop(Worker& w) {
 Executor::Batch::Slice* Executor::Acquire(Worker* self) {
   if (self != nullptr) {
     if (Batch::Slice* s = self->deque.Pop()) {
+      // szx-mo: relaxed; the counter only gates parking (see WorkerLoop),
+      // claim ordering came from the deque's seq_cst protocol.
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return s;
     }
   }
+  // szx-mo: relaxed; opportunistic gate -- a stale zero just parks the
+  // worker, and the submitter's notify (under m_) wakes it again.
   if (pending_.load(std::memory_order_relaxed) > 0) {
     if (Batch::Slice* s = TakeFromInbox(self)) return s;
     std::uint64_t local_seed = 0xD1B54A32D192ED03ULL;
@@ -303,7 +373,7 @@ Executor::Batch::Slice* Executor::TakeFromInbox(Worker* self) {
   Batch::Slice* claimed = nullptr;
   std::size_t moved = 0;
   {
-    std::lock_guard<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
     if (inbox_.empty()) return nullptr;
     // Take a fair share in one go; keep one, spill the rest to our own
     // deque so peers can steal them without touching the inbox lock.
@@ -322,9 +392,11 @@ Executor::Batch::Slice* Executor::TakeFromInbox(Worker* self) {
       }
     }
   }
+  // szx-mo: relaxed; wake-gate counter (see WorkerLoop) -- the inbox mutex
+  // above already ordered the claim itself.
   pending_.fetch_sub(1, std::memory_order_relaxed);
   // Slices moved into our deque are stealable; make sure sleepers see them.
-  if (moved > 0) cv_.notify_all();
+  if (moved > 0) cv_.NotifyAll();
   return claimed;
 }
 
@@ -337,6 +409,8 @@ Executor::Batch::Slice* Executor::StealFromPeers(Worker* self,
     Worker* victim = workers_[(start + k) % n].get();
     if (victim == self) continue;
     if (Batch::Slice* s = victim->deque.Steal()) {
+      // szx-mo: relaxed; wake-gate counter (see WorkerLoop) -- the claim
+      // was ordered by the victim deque's seq_cst CAS on top_.
       pending_.fetch_sub(1, std::memory_order_relaxed);
       return s;
     }
@@ -345,6 +419,8 @@ Executor::Batch::Slice* Executor::StealFromPeers(Worker* self,
 }
 
 void Executor::Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx) {
+  // szx-mo: acquire pairs with FinishSlice's acq_rel decrement to zero, so
+  // reusing an idle batch happens-after its previous tasks fully finished.
   if (batch.unfinished_.load(std::memory_order_acquire) != 0) {
     throw Error("Executor::Submit: batch is still in flight");
   }
@@ -352,7 +428,7 @@ void Executor::Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx) {
   batch.fn_ = fn;
   batch.ctx_ = ctx;
   {
-    std::lock_guard<std::mutex> lock(batch.m_);
+    sync::MutexLock lock(batch.m_);
     batch.error_ = nullptr;
   }
   if (n == 0) return;  // Done() already true; Wait() is a no-op
@@ -371,9 +447,12 @@ void Executor::Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx) {
     s.last = next;
   }
   {
-    std::lock_guard<std::mutex> lock(batch.m_);
+    sync::MutexLock lock(batch.m_);
     batch.signalled_ = false;
   }
+  // szx-mo: release publishes the fn_/ctx_/slices_ setup above to any
+  // worker whose first sight of this batch is a Done() acquire load; the
+  // slice-claim paths get the same edge from the deque/inbox protocols.
   batch.unfinished_.store(nslices, std::memory_order_release);
 
   Worker* self = TlsWorker();
@@ -382,25 +461,34 @@ void Executor::Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx) {
     for (std::uint32_t i = 0; i < nslices; ++i) {
       self->deque.Push(&batch.slices_[i]);
     }
+    // szx-mo: relaxed; wake-gate counter (see WorkerLoop) -- the slices
+    // were published by the deque's seq_cst bottom_ stores above.
     pending_.fetch_add(nslices, std::memory_order_relaxed);
-    cv_.notify_all();
+    cv_.NotifyAll();
     return;
   }
   bool wake = false;
   {
-    std::lock_guard<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
     if (stop_) {
+      // szx-mo: release; resets the never-ran batch to idle -- pairs with
+      // the acquire load at the top of Submit on any later reuse attempt.
       batch.unfinished_.store(0, std::memory_order_release);
-      batch.signalled_ = true;
+      {
+        sync::MutexLock batch_lock(batch.m_);
+        batch.signalled_ = true;
+      }
       throw Error("Executor::Submit: executor is shut down");
     }
     for (std::uint32_t i = 0; i < nslices; ++i) {
       inbox_.push_back(&batch.slices_[i]);
     }
+    // szx-mo: relaxed; wake-gate counter (see WorkerLoop) -- m_ orders the
+    // inbox_ pushes against the draining worker.
     pending_.fetch_add(nslices, std::memory_order_relaxed);
     wake = idlers_ > 0;
   }
-  if (wake) cv_.notify_all();
+  if (wake) cv_.NotifyAll();
 }
 
 void Executor::HelpUntilDone(Batch& b) {
@@ -454,7 +542,7 @@ void Executor::Batch::RunSlice(const Slice& s) {
     } catch (...) {
       // Latch the first failure; keep running so every task executes
       // exactly once (conservation) and peers never see a torn batch.
-      std::lock_guard<std::mutex> lock(m_);
+      sync::MutexLock lock(m_);
       if (!error_) error_ = std::current_exception();
     }
   }
@@ -462,19 +550,23 @@ void Executor::Batch::RunSlice(const Slice& s) {
 }
 
 void Executor::Batch::FinishSlice() {
+  // szx-mo: acq_rel; release publishes this slice's task effects to the
+  // thread that observes zero (Done()/Submit acquire loads), acquire makes
+  // the last decrementer happen-after every peer's decrement so the
+  // notify below covers all task bodies.
   if (unfinished_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     // Notify while holding the lock: the moment the waiter can observe
     // signalled_ it may destroy the batch (it lives on the caller's
     // stack), so cv_ must not be touched after m_ is released.
-    std::lock_guard<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
     signalled_ = true;
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
 }
 
 void Executor::Batch::BlockUntilSignalled() {
-  std::unique_lock<std::mutex> lock(m_);
-  cv_.wait(lock, [this] { return signalled_; });
+  sync::MutexLock lock(m_);
+  while (!signalled_) cv_.Wait(lock);
 }
 
 void Executor::Batch::Wait() {
@@ -482,7 +574,7 @@ void Executor::Batch::Wait() {
   BlockUntilSignalled();
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lock(m_);
+    sync::MutexLock lock(m_);
     err = error_;
     error_ = nullptr;
   }
@@ -529,8 +621,14 @@ void OmpFor(std::uint64_t n, int threads, TaskFn fn, void* ctx) {
         if (!failure) failure = std::current_exception();
       }
     }
+    // szx-mo: release publishes this iteration's writes; paired with the
+    // caller's acquire below because libgomp's region-end barrier uses a
+    // futex TSan cannot see (RegionPublish discipline, comment above).
     publish.fetch_add(1, std::memory_order_release);
   }
+  // szx-mo: acquire pairs with every iteration's release fetch_add above,
+  // making all region writes visible to the caller without relying on the
+  // TSan-invisible libgomp barrier.
   (void)publish.load(std::memory_order_acquire);
   if (failure) std::rethrow_exception(failure);
 }

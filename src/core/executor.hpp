@@ -32,20 +32,28 @@
 //   - Exceptions are latched per batch (first failure wins, every task
 //     still runs -- task-count conservation) and rethrown from Wait.
 //   - Destruction is graceful: queued work drains before workers exit.
+//
+// Thread-safety contracts are annotated for clang's -Wthread-safety (the
+// `clang-tsa` preset; no-ops under GCC): every mutex-guarded field carries
+// SZX_GUARDED_BY and every function that must / must not hold a lock says
+// so.  The lock-free Chase-Lev state (top_/bottom_/ring_, pending_,
+// unfinished_) is outside what TSA can model; its happens-before graph is
+// documented site by site with `szx-mo:` justifications that szx_lint's
+// memory-order audit enforces.
 #pragma once
 
 #include <array>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/arena.hpp"
 #include "core/common.hpp"
+#include "core/sync.hpp"
 
 namespace szx::exec {
 
@@ -57,12 +65,12 @@ enum class Backend : std::uint8_t { kOmp = 0, kPool = 1 };
 const char* BackendName(Backend b);
 
 /// True when the build has OpenMP (SZX_EXECUTOR=omp is honored).
-bool OmpAvailable();
+[[nodiscard]] bool OmpAvailable();
 
 /// Process-wide backend, resolved once from SZX_EXECUTOR=omp|pool (default
 /// pool, with a stderr warning for unknown values; omp falls back to pool
 /// when unavailable).  Mirrors kernels::ActiveKind's lazy-select contract.
-Backend ActiveBackend();
+[[nodiscard]] Backend ActiveBackend();
 
 /// Overrides the backend at runtime (bench/tests); returns what was
 /// actually installed (omp degrades to pool without OpenMP support).
@@ -71,10 +79,10 @@ Backend SetActiveBackend(Backend b);
 /// Thread count used when a caller passes num_threads <= 0: SZX_THREADS if
 /// set, else the OpenMP default (which honors OMP_NUM_THREADS), else
 /// OMP_NUM_THREADS parsed directly, else std::thread::hardware_concurrency.
-int DefaultThreads();
+[[nodiscard]] int DefaultThreads();
 
 /// requested > 0 ? requested : DefaultThreads().
-int ResolveThreads(int requested);
+[[nodiscard]] int ResolveThreads(int requested);
 
 /// Type-erased task body: fn(ctx, index) for index in [0, n).
 using TaskFn = void (*)(void* ctx, std::uint64_t index);
@@ -95,7 +103,7 @@ class Executor {
   /// race Submit/Wait calls from other threads (external synchronization,
   /// as for any destructor); batches submitted before destruction begin are
   /// guaranteed complete when it returns.
-  ~Executor();
+  ~Executor() SZX_EXCLUDES(m_);
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
@@ -109,19 +117,21 @@ class Executor {
     Batch() = default;
     /// Blocks (without helping) if the batch is still in flight; a batch
     /// must not be destroyed before its tasks finish.
-    ~Batch();
+    ~Batch() SZX_EXCLUDES(m_);
     Batch(const Batch&) = delete;
     Batch& operator=(const Batch&) = delete;
 
     /// True once every task has run (the completion signal may still be in
     /// flight; Wait() is the synchronizing call).
-    bool Done() const {
+    [[nodiscard]] bool Done() const {
+      // szx-mo: acquire pairs with the acq_rel fetch_sub in FinishSlice, so
+      // a zero read here happens-after every task body that decremented.
       return unfinished_.load(std::memory_order_acquire) == 0;
     }
 
     /// Helps execute pending work while this batch is outstanding, then
     /// blocks until completion.  Rethrows the first task exception.
-    void Wait();
+    void Wait() SZX_EXCLUDES(m_);
 
    private:
     friend class Executor;
@@ -131,25 +141,27 @@ class Executor {
       std::uint64_t last = 0;  // exclusive
     };
 
-    void RunSlice(const Slice& s);
-    void FinishSlice();
-    void BlockUntilSignalled();
+    void RunSlice(const Slice& s) SZX_EXCLUDES(m_);
+    void FinishSlice() SZX_EXCLUDES(m_);
+    void BlockUntilSignalled() SZX_EXCLUDES(m_);
 
     Executor* owner_ = nullptr;
     TaskFn fn_ = nullptr;
     void* ctx_ = nullptr;
     std::array<Slice, kMaxSlices> slices_{};
     std::atomic<std::uint32_t> unfinished_{0};
-    std::mutex m_;
-    std::condition_variable cv_;
-    bool signalled_ = true;      // guarded by m_
-    std::exception_ptr error_;   // guarded by m_; first task failure
+    sync::Mutex m_;
+    sync::CondVar cv_;
+    bool signalled_ SZX_GUARDED_BY(m_) = true;
+    /// First task failure (latched; later ones are dropped).
+    std::exception_ptr error_ SZX_GUARDED_BY(m_);
   };
 
   /// Enqueues n tasks without blocking (the caller joins via batch.Wait()).
   /// The batch must be idle; throws szx::Error after shutdown began.
   /// n == 0 completes immediately.
-  void Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx);
+  void Submit(Batch& batch, std::uint64_t n, TaskFn fn, void* ctx)
+      SZX_EXCLUDES(m_);
 
   /// Submit + help + Wait.  Called from inside one of this executor's own
   /// tasks it degrades to an inline serial loop (nested parallelism keeps
@@ -181,19 +193,19 @@ class Executor {
   // Current pool worker of *some* executor on this thread, or nullptr.
   static Worker*& TlsWorker();
 
-  void WorkerLoop(Worker& w);
-  Batch::Slice* Acquire(Worker* self);
-  Batch::Slice* TakeFromInbox(Worker* self);
+  void WorkerLoop(Worker& w) SZX_EXCLUDES(m_);
+  Batch::Slice* Acquire(Worker* self) SZX_EXCLUDES(m_);
+  Batch::Slice* TakeFromInbox(Worker* self) SZX_EXCLUDES(m_);
   Batch::Slice* StealFromPeers(Worker* self, std::uint64_t& seed);
-  void HelpUntilDone(Batch& b);
+  void HelpUntilDone(Batch& b) SZX_EXCLUDES(m_);
 
   std::vector<std::unique_ptr<Worker>> workers_;
-  std::mutex m_;
-  std::condition_variable cv_;
-  std::vector<Batch::Slice*> inbox_;     // guarded by m_
+  sync::Mutex m_;
+  sync::CondVar cv_;
+  std::vector<Batch::Slice*> inbox_ SZX_GUARDED_BY(m_);
   std::atomic<std::int64_t> pending_{0};  // queued-but-unclaimed slices
-  int idlers_ = 0;                        // guarded by m_
-  bool stop_ = false;                     // guarded by m_
+  int idlers_ SZX_GUARDED_BY(m_) = 0;
+  bool stop_ SZX_GUARDED_BY(m_) = false;
 };
 
 /// Backend-dispatched parallel loop: runs fn(ctx, i) for i in [0, n)

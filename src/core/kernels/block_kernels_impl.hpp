@@ -1,3 +1,4 @@
+// szx-hot: steady-state encode/decode kernels; no allocation allowed.
 // Shared scalar building blocks for the Solution-C block kernels.
 //
 // Internal to src/core/kernels/: the scalar table uses these loops whole,

@@ -1,3 +1,4 @@
+// szx-hot: per-block dispatch runs millions of times; no allocation.
 // Runtime kernel selection: cpuid-style detection once per process, with an
 // SZX_KERNEL=scalar|avx2 environment override for differential testing.
 #include <atomic>
@@ -52,9 +53,13 @@ std::atomic<int> g_kind{-1};
 }  // namespace
 
 Kind ActiveKind() {
+  // szx-mo: relaxed; self-contained flag, no data published through it
+  // (racing first-use selectors all store the same SelectKind() result,
+  // per the g_kind note above).
   int k = g_kind.load(std::memory_order_relaxed);
   if (k < 0) {
     k = static_cast<int>(SelectKind());
+    // szx-mo: relaxed; same benign-race contract as the load above.
     g_kind.store(k, std::memory_order_relaxed);
   }
   return static_cast<Kind>(k);
@@ -62,6 +67,9 @@ Kind ActiveKind() {
 
 Kind SetActiveKind(Kind kind) {
   if (kind == Kind::kAvx2 && !Avx2Supported()) kind = Kind::kScalar;
+  // szx-mo: relaxed; bench/test override of a self-contained flag -- the
+  // caller sequences its own subsequent ActiveKind() reads, and
+  // cross-thread overrides mid-run are unsupported by contract.
   g_kind.store(static_cast<int>(kind), std::memory_order_relaxed);
   return kind;
 }

@@ -1,3 +1,4 @@
+// szx-hot: steady-state encode/decode kernels; no allocation allowed.
 // AVX2 BlockOps tables: 8 (float) / 4 (double) lanes per iteration through
 // the fused normalize -> shift/mask -> XOR-with-previous -> lead-code
 // pipeline, then word-wide commits of the surviving mid bytes.

@@ -1,3 +1,4 @@
+// szx-hot: steady-state encode/decode kernels; no allocation allowed.
 // Portable scalar BlockOps tables (word-wide commits, no intrinsics).
 #include "core/kernels/block_kernels_impl.hpp"
 #include "core/kernels/kernels.hpp"

@@ -27,7 +27,7 @@ namespace szx {
 /// the OpenMP default, then hardware concurrency); the pool backend
 /// parallelizes even in builds without OpenMP.
 template <SupportedFloat T>
-ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
+[[nodiscard]] ByteBuffer CompressOmp(std::span<const T> data, const Params& params,
                        CompressionStats* stats = nullptr,
                        int num_threads = 0);
 
@@ -36,12 +36,12 @@ void DecompressOmpInto(ByteSpan stream, std::span<T> out,
                        int num_threads = 0);
 
 template <SupportedFloat T>
-std::vector<T> DecompressOmp(ByteSpan stream, int num_threads = 0);
+[[nodiscard]] std::vector<T> DecompressOmp(ByteSpan stream, int num_threads = 0);
 
 /// Exclusive prefix sum of the per-block compressed sizes; element i is the
 /// payload offset of non-constant block i and the final element the total.
 /// Exposed for tests and the cusim layer.
-std::vector<std::uint64_t> PrefixSumZsizes(ByteSpan zsize_section,
-                                           std::uint64_t count);
+[[nodiscard]] std::vector<std::uint64_t> PrefixSumZsizes(
+    ByteSpan zsize_section, std::uint64_t count);
 
 }  // namespace szx

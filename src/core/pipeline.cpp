@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/executor.hpp"
 
 namespace szx {
@@ -35,8 +36,12 @@ PipelineResult CompressChunksPipelined(StreamWriter<T>& writer,
   std::vector<T> back(chunk_elems);   // being (pre)fetched
 
   // Timed read into `back`; single-threaded at any instant, so the plain
-  // members need no synchronization (the Batch join orders them).
-  std::size_t back_filled = 0;
+  // members need no synchronization (the Batch join orders them):
+  // `back`, `back_filled`, and result.read_s are written by at most one
+  // thread between Submit and Wait, and Batch::Wait's acquire on
+  // unfinished_ (see executor.cpp FinishSlice) publishes the prefetch's
+  // writes before this thread swaps buffers.
+  std::size_t back_filled SZX_SYNCHRONIZED_BY(prefetch_batch_join) = 0;
   auto fetch_back = [&] {
     const auto t0 = Clock::now();
     back_filled = read_chunk(std::span<T>(back));

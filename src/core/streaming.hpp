@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/compressor.hpp"
 #include "core/integrity.hpp"
 
@@ -54,23 +55,27 @@ class StreamWriter {
   /// Returns the finished container and poisons the writer: any further
   /// Append or Finish throws szx::Error (the move-out left nothing valid
   /// to reuse; create a new writer instead).
-  ByteBuffer Finish() &&;
+  [[nodiscard]] ByteBuffer Finish() &&;
 
   std::uint64_t frames() const { return frames_; }
   std::uint64_t raw_bytes() const { return raw_bytes_; }
   std::uint64_t compressed_bytes() const { return buffer_.size(); }
 
  private:
-  Params params_;
-  StreamWriterOptions options_;
-  ByteBuffer buffer_;
+  // Single-owner state: a StreamWriter is confined to one thread at a time
+  // (Append internally fans out over the executor, but the Batch join
+  // inside CompressInto completes before Append returns, so these members
+  // are never touched concurrently).
+  Params params_ SZX_SYNCHRONIZED_BY(single_owner);
+  StreamWriterOptions options_ SZX_SYNCHRONIZED_BY(single_owner);
+  ByteBuffer buffer_ SZX_SYNCHRONIZED_BY(single_owner);
   // Owned compression scratch: frames are encoded via CompressInto, so
   // appending same-shaped chunks stops allocating once the arena and the
   // container buffer reach their high-water sizes.
-  ScratchArena arena_;
-  std::uint64_t frames_ = 0;
-  std::uint64_t raw_bytes_ = 0;
-  bool finished_ = false;
+  ScratchArena arena_ SZX_SYNCHRONIZED_BY(single_owner);
+  std::uint64_t frames_ SZX_SYNCHRONIZED_BY(single_owner) = 0;
+  std::uint64_t raw_bytes_ SZX_SYNCHRONIZED_BY(single_owner) = 0;
+  bool finished_ SZX_SYNCHRONIZED_BY(single_owner) = false;
 };
 
 template <SupportedFloat T>
@@ -82,7 +87,7 @@ class StreamReader {
 
   /// Decompresses the next frame into `out`.  Returns false cleanly at
   /// end of container; throws on truncation or checksum mismatch.
-  bool Next(std::vector<T>& out);
+  [[nodiscard]] bool Next(std::vector<T>& out);
 
   /// Recovery variant of Next: on a damaged frame, skips forward instead of
   /// throwing.  In a v2 container the reader scans for the next frame
@@ -93,7 +98,7 @@ class StreamReader {
   /// frame in `out`, false when the container is exhausted.  Never throws
   /// for data-dependent damage; `info` (optional) accumulates what was
   /// skipped.
-  bool NextOrSkip(std::vector<T>& out, SkipInfo* info = nullptr);
+  [[nodiscard]] bool NextOrSkip(std::vector<T>& out, SkipInfo* info = nullptr);
 
   /// Decode threads for subsequent Next calls: 1 (default) decodes frames
   /// serially; 0 uses the executor default width (exec::DefaultThreads);
@@ -113,11 +118,14 @@ class StreamReader {
 
   std::size_t FrameHeaderBytes() const;
 
-  ByteSpan container_;
-  std::size_t pos_ = 0;
-  int num_threads_ = 1;
-  std::uint8_t version_ = 1;
-  std::uint64_t frames_read_ = 0;
+  // Single-owner state: Next/NextOrSkip fan frame decode out over the
+  // executor, but DecodeOmpInto's ParallelFor barrier completes before the
+  // reader's position advances, so no member is ever shared across threads.
+  ByteSpan container_ SZX_SYNCHRONIZED_BY(single_owner);
+  std::size_t pos_ SZX_SYNCHRONIZED_BY(single_owner) = 0;
+  int num_threads_ SZX_SYNCHRONIZED_BY(single_owner) = 1;
+  std::uint8_t version_ SZX_SYNCHRONIZED_BY(single_owner) = 1;
+  std::uint64_t frames_read_ SZX_SYNCHRONIZED_BY(single_owner) = 0;
 };
 
 }  // namespace szx

@@ -1,0 +1,84 @@
+// Annotated synchronization primitives: the thread-safety-analysis-visible
+// wrappers every lock site in this repo goes through (docs/static-analysis.md).
+//
+// libstdc++'s std::mutex carries no capability attributes, so locking that
+// uses it directly is invisible to clang's -Wthread-safety.  These wrappers
+// bind the TSA capability model (core/annotations.hpp) to the standard
+// primitives at zero runtime cost: Mutex is layout-identical to std::mutex,
+// MutexLock is a std::unique_lock, and under GCC all annotations vanish.
+//
+// szx_lint's lock-discipline rule closes the loop: naked .lock()/.unlock()
+// calls on mutex-typed variables are findings everywhere outside this file
+// (which is allowlisted, the same status byte_cursor.hpp has for memcpy),
+// and CondVar waits must pass a held MutexLock.  So all locking is RAII,
+// through types the static analysis can see.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/annotations.hpp"
+
+namespace szx::sync {
+
+/// Annotated std::mutex.  Prefer MutexLock over calling lock()/unlock()
+/// directly; the manual methods exist for the RAII types and for the rare
+/// split-scope site that must carry its own SZX_ACQUIRE/SZX_RELEASE
+/// contract.
+class SZX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SZX_ACQUIRE() { m_.lock(); }
+  void unlock() SZX_RELEASE() { m_.unlock(); }
+  bool try_lock() SZX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// The wrapped primitive, for interop with APIs that demand a
+  /// std::mutex.  Locking through it bypasses the analysis -- keep such
+  /// sites inside this header.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// RAII lock over Mutex (std::unique_lock semantics: also usable as the
+/// lock a CondVar wait releases and reacquires).  The scoped-capability
+/// annotation tells the analysis the capability is held from construction
+/// to destruction.
+class SZX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) SZX_ACQUIRE(m) : lock_(m.native()) {}
+  ~MutexLock() SZX_RELEASE() = default;
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to Mutex/MutexLock.  Wait atomically releases
+/// the lock and reacquires it before returning, so from the caller's
+/// (and the analysis's) perspective the capability is held across the
+/// call; spurious wakeups make an explicit `while (!predicate) Wait(...)`
+/// loop mandatory, which also keeps the predicate's guarded reads inside
+/// the annotated caller instead of an opaque lambda.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace szx::sync

@@ -56,7 +56,9 @@ std::vector<BlockSizeChoice> SweepBlockSizes(
     p.block_size = bs;
     p.Validate();
     CompressionStats stats;
-    Compress<T>(sample, p, &stats);
+    // The sweep only needs the ratio out of `stats`; the stream is probe
+    // output, discarded on purpose.
+    (void)Compress<T>(sample, p, &stats);
     out.push_back({bs, stats.CompressionRatio(sizeof(T))});
   }
   return out;

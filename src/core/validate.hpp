@@ -21,6 +21,6 @@ struct ValidationReport {
 /// decodes every block into scratch (catches payload-level truncation the
 /// structure cannot see).  Never throws; failures land in the report.
 template <SupportedFloat T>
-ValidationReport ValidateStream(ByteSpan stream, bool deep = false);
+[[nodiscard]] ValidationReport ValidateStream(ByteSpan stream, bool deep = false);
 
 }  // namespace szx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/annotations.hpp"
 #include "core/executor.hpp"
 
 namespace szx::resilience {
@@ -255,8 +256,14 @@ void FooterSalvage(ByteSpan stream, const IntegrityFooterView& fv,
   }
 
   const std::uint32_t cc = fv.chunk_count;
-  std::vector<Verdict> cv(cc, Verdict::kUnverified);
-  std::vector<ChunkFill> cf(cc, ChunkFill::kSentinel);
+  // Per-chunk verdict/fill slots: each parallel salvage task writes only
+  // its own disjoint index, and the ParallelFor barrier (Batch::Wait's
+  // acquire on unfinished_) publishes every slot before the serial
+  // aggregation below reads them.
+  std::vector<Verdict> cv SZX_SYNCHRONIZED_BY(parallel_for_join)(
+      cc, Verdict::kUnverified);
+  std::vector<ChunkFill> cf SZX_SYNCHRONIZED_BY(parallel_for_join)(
+      cc, ChunkFill::kSentinel);
   std::vector<ChunkRef> refs(cc);
   bool have_refs = false;
 

@@ -100,12 +100,12 @@ struct DamageReport {
   std::vector<ByteRange> damaged_bytes;
 
   /// True iff every metadata table (and the header) verified.
-  bool AllTablesVerify() const;
+  [[nodiscard]] bool AllTablesVerify() const;
   /// True iff block k lies in a damaged_blocks range.
-  bool BlockDamaged(std::uint64_t k) const;
+  [[nodiscard]] bool BlockDamaged(std::uint64_t k) const;
   /// Canonical JSON rendering (stable field order) for pinned golden
   /// reports and the CLI --report output.
-  std::string ToJson() const;
+  [[nodiscard]] std::string ToJson() const;
 };
 
 struct SalvageOptions {
@@ -129,13 +129,13 @@ struct SalvageResult {
 /// data-dependent damage; a stream too broken to produce output returns
 /// report.usable == false with the reason in report.error.
 template <SupportedFloat T>
-SalvageResult<T> SalvageDecode(ByteSpan stream,
+[[nodiscard]] SalvageResult<T> SalvageDecode(ByteSpan stream,
                                const SalvageOptions& options = {});
 
 /// Verification-only pass: same verdicts as SalvageDecode but no output
 /// allocation and no payload decode (chunk verdicts come from checksums
 /// alone).  For footerless streams only structural checks are possible.
 template <SupportedFloat T>
-DamageReport VerifyIntegrity(ByteSpan stream);
+[[nodiscard]] DamageReport VerifyIntegrity(ByteSpan stream);
 
 }  // namespace szx::resilience

@@ -1,7 +1,6 @@
 #include "zfpref/zfp_block.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <vector>
 
 namespace szx::zfpref {

@@ -24,13 +24,13 @@ std::atomic<std::uint64_t> g_news{0};
 // Counting replacements for the global allocator.  Only the allocation count
 // matters; the forms all funnel through malloc/free.
 void* operator new(std::size_t size) {
-  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_news.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; pure allocation counter, single-threaded sampling around the calls under test
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
-  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_news.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; pure allocation counter, single-threaded sampling around the calls under test
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
                                    (size + static_cast<std::size_t>(align) - 1) /
                                        static_cast<std::size_t>(align) *
@@ -141,11 +141,11 @@ TEST(ScratchArena, CompressIntoIsAllocationFreeWhenWarm) {
   // any thread_local scratch inside the codec reach steady size.
   const ByteSpan first = CompressInto<float>(data, params, arena, &stats);
   const ByteBuffer expect(first.begin(), first.end());
-  CompressInto<float>(data, params, arena, &stats);
+  (void)CompressInto<float>(data, params, arena, &stats);
 
-  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);  // szx-mo: relaxed; single-threaded sample
   const ByteSpan frame = CompressInto<float>(data, params, arena, &stats);
-  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);  // szx-mo: relaxed; single-threaded sample
   EXPECT_EQ(after - before, 0u)
       << "steady-state CompressInto must not touch the heap";
 
@@ -165,15 +165,15 @@ TEST(ScratchArena, CompressIntoStaysWarmAcrossBounds) {
   Params params;
   for (double eb : {1e-2, 1e-3, 1e-4}) {
     params.error_bound = eb;
-    CompressInto<float>(data, params, arena);
-    CompressInto<float>(data, params, arena);
+    (void)CompressInto<float>(data, params, arena);
+    (void)CompressInto<float>(data, params, arena);
   }
-  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);  // szx-mo: relaxed; single-threaded sample
   for (double eb : {1e-2, 1e-3, 1e-4}) {
     params.error_bound = eb;
-    CompressInto<float>(data, params, arena);
+    (void)CompressInto<float>(data, params, arena);
   }
-  EXPECT_EQ(g_news.load(std::memory_order_relaxed) - before, 0u);
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed) - before, 0u);  // szx-mo: relaxed; single-threaded sample
 }
 
 }  // namespace

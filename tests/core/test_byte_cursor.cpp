@@ -42,12 +42,12 @@ TEST(ByteCursor, ReadAdvancesAndDecodesLittleEndian) {
 TEST(ByteCursor, ReadPastEndThrowsAtEveryWidth) {
   const ByteBuffer buf = MakeBytes(3);
   ByteCursor c{ByteSpan(buf)};
-  EXPECT_THROW(c.Read<std::uint32_t>(), Error);
-  EXPECT_THROW(c.Read<std::uint64_t>(), Error);
+  EXPECT_THROW((void)c.Read<std::uint32_t>(), Error);
+  EXPECT_THROW((void)c.Read<std::uint64_t>(), Error);
   // A failed read must not move the cursor.
   EXPECT_EQ(c.position(), 0u);
   EXPECT_EQ(c.Read<std::uint16_t>(), 0x0100u);
-  EXPECT_THROW(c.Read<std::uint16_t>(), Error);
+  EXPECT_THROW((void)c.Read<std::uint16_t>(), Error);
   EXPECT_EQ(c.position(), 2u);
 }
 
@@ -55,8 +55,8 @@ TEST(ByteCursor, EmptyStreamRejectsEveryRead) {
   ByteCursor c{ByteSpan()};
   EXPECT_TRUE(c.AtEnd());
   EXPECT_EQ(c.remaining(), 0u);
-  EXPECT_THROW(c.Read<std::uint8_t>(), Error);
-  EXPECT_THROW(c.Slice(1), Error);
+  EXPECT_THROW((void)c.Read<std::uint8_t>(), Error);
+  EXPECT_THROW((void)c.Slice(1), Error);
   EXPECT_THROW(c.Skip(1), Error);
   // Zero-byte operations on an empty stream are fine.
   EXPECT_NO_THROW(c.Skip(0));
@@ -84,7 +84,7 @@ TEST(ByteCursor, ReadSpanFillsTypedElements) {
   EXPECT_EQ(out[2], 0x0504u);
   EXPECT_EQ(c.remaining(), 2u);
   std::vector<std::uint32_t> too_big(2);
-  EXPECT_THROW(c.ReadSpan(std::span<std::uint32_t>(too_big)), Error);
+  EXPECT_THROW((void)c.ReadSpan(std::span<std::uint32_t>(too_big)), Error);
   std::vector<std::uint32_t> empty;
   EXPECT_NO_THROW(c.ReadSpan(std::span<std::uint32_t>(empty)));
 }
@@ -123,14 +123,14 @@ TEST(ByteCursor, SliceArrayAndSkipArrayRefuseToWrap) {
   {
     // count * elem_size wraps uint64; the unchecked product would be tiny.
     ByteCursor c{ByteSpan(buf)};
-    EXPECT_THROW(c.SliceArray(kU64Max / 2 + 1, 4), Error);
+    EXPECT_THROW((void)c.SliceArray(kU64Max / 2 + 1, 4), Error);
     EXPECT_THROW(c.SkipArray(kU64Max / 2 + 1, 4), Error);
     EXPECT_EQ(c.position(), 0u);
   }
   {
     // In-range product that still exceeds the stream must also throw.
     ByteCursor c{ByteSpan(buf)};
-    EXPECT_THROW(c.SliceArray(5, 4), Error);
+    EXPECT_THROW((void)c.SliceArray(5, 4), Error);
     EXPECT_NO_THROW(c.SkipArray(0, 8));
   }
 }
@@ -142,7 +142,7 @@ TEST(ByteCursor, CheckedAllocAcceptsPlausibleCounts) {
   EXPECT_EQ(c.CheckedAlloc(64, sizeof(float)), 64u);
   EXPECT_EQ(c.CheckedAlloc(1, sizeof(double)), 1u);
   EXPECT_EQ(c.CheckedAlloc(0, sizeof(float)), 0u);
-  EXPECT_THROW(c.CheckedAlloc(65, sizeof(float)), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(65, sizeof(float)), Error);
 }
 
 TEST(ByteCursor, CheckedAllocHonorsExpansionCap) {
@@ -150,17 +150,17 @@ TEST(ByteCursor, CheckedAllocHonorsExpansionCap) {
   ByteCursor c{ByteSpan(buf)};
   // 8 bytes at 8 elems/byte (1-bit-per-symbol entropy floor) -> up to 64.
   EXPECT_EQ(c.CheckedAlloc(64, 1, 8), 64u);
-  EXPECT_THROW(c.CheckedAlloc(65, 1, 8), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(65, 1, 8), Error);
   // LZ-style cap of 255 from byte-long match runs.
   EXPECT_EQ(c.CheckedAlloc(8u * 255u, 1, 255), 8u * 255u);
-  EXPECT_THROW(c.CheckedAlloc(8u * 255u + 1, 1, 255), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(8u * 255u + 1, 1, 255), Error);
 }
 
 TEST(ByteCursor, CheckedAllocRejectsAnythingOnEmptyRemainder) {
   const ByteBuffer buf = MakeBytes(4);
   ByteCursor c{ByteSpan(buf)};
   c.Skip(4);
-  EXPECT_THROW(c.CheckedAlloc(1, 1, kU64Max), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(1, 1, kU64Max), Error);
   EXPECT_EQ(c.CheckedAlloc(0, 1), 0u);
 }
 
@@ -169,9 +169,9 @@ TEST(ByteCursor, CheckedAllocCapCannotBeDefeatedByOverflow) {
   ByteCursor c{ByteSpan(buf)};
   // A count chosen so count * elem_size wraps to something small must still
   // be rejected -- either by the plausibility cap or the byte-size check.
-  EXPECT_THROW(c.CheckedAlloc(kU64Max, sizeof(float)), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(kU64Max, sizeof(float)), Error);
   // Plausible count whose byte size wraps: 16 elements of huge elem_size.
-  EXPECT_THROW(c.CheckedAlloc(16, kU64Max / 8), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(16, kU64Max / 8), Error);
 }
 
 TEST(ByteCursor, CheckedAllocIsPositionDependent) {
@@ -179,7 +179,7 @@ TEST(ByteCursor, CheckedAllocIsPositionDependent) {
   ByteCursor c{ByteSpan(buf)};
   EXPECT_EQ(c.CheckedAlloc(32, 1), 32u);
   c.Skip(16);
-  EXPECT_THROW(c.CheckedAlloc(32, 1), Error);
+  EXPECT_THROW((void)c.CheckedAlloc(32, 1), Error);
   EXPECT_EQ(c.CheckedAlloc(16, 1), 16u);
 }
 
@@ -217,7 +217,7 @@ TEST(ByteCursor, TruncationErrorMessageNamesTheCounts) {
   const ByteBuffer buf = MakeBytes(2);
   ByteCursor c{ByteSpan(buf)};
   try {
-    c.Slice(9);
+    (void)c.Slice(9);
     FAIL() << "Slice past end must throw";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("need 9 bytes, have 2"),

@@ -35,13 +35,13 @@ std::atomic<std::uint64_t> g_news{0};
 // Counting replacements for the global allocator.  Only the allocation count
 // matters; the forms all funnel through malloc/free.
 void* operator new(std::size_t size) {
-  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_news.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; pure allocation counter, sampled around joined Submit/Wait cycles
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
 void* operator new[](std::size_t size) { return ::operator new(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
-  g_news.fetch_add(1, std::memory_order_relaxed);
+  g_news.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; pure allocation counter, sampled around joined Submit/Wait cycles
   if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),
                                    (size + static_cast<std::size_t>(align) - 1) /
                                        static_cast<std::size_t>(align) *
@@ -71,7 +71,7 @@ namespace {
 
 void CountTask(void* ctx, std::uint64_t) {
   static_cast<std::atomic<std::uint64_t>*>(ctx)->fetch_add(
-      1, std::memory_order_relaxed);
+      1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
 }
 
 // Restores the process-wide backend on scope exit so tests that force one
@@ -110,10 +110,10 @@ TEST(Executor, ParallelForRunsEveryIndexExactlyOnce) {
   constexpr std::uint64_t kN = 20000;
   std::vector<std::atomic<std::uint32_t>> hits(kN);
   ex.ParallelFor(kN, [&](std::uint64_t i) {
-    hits[i].fetch_add(1, std::memory_order_relaxed);
+    hits[i].fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
   });
   for (std::uint64_t i = 0; i < kN; ++i) {
-    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1u) << "index " << i;
+    ASSERT_EQ(hits[i].load(std::memory_order_relaxed), 1u) << "index " << i;  // szx-mo: relaxed; read after the join that ordered the counts
   }
 }
 
@@ -121,13 +121,13 @@ TEST(Executor, ZeroAndTinyCounts) {
   Executor ex(3);
   std::atomic<std::uint64_t> ran{0};
   ex.ParallelFor(0, CountTask, &ran);
-  EXPECT_EQ(ran.load(), 0u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 0u);  // szx-mo: relaxed; read after the join that ordered the counts
   ex.ParallelFor(1, CountTask, &ran);
-  EXPECT_EQ(ran.load(), 1u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1u);  // szx-mo: relaxed; read after the join that ordered the counts
   Executor::Batch b;
   ex.Submit(b, 0, CountTask, &ran);
   b.Wait();  // must not hang
-  EXPECT_EQ(ran.load(), 1u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 // 100-seed randomized job graphs: random worker counts, random batch fans,
@@ -155,7 +155,7 @@ TEST(Executor, TaskCountConservationAcrossRandomJobGraphs) {
       }
       for (std::size_t i = 0; i < fan; ++i) batches[i].Wait();
     }
-    ASSERT_EQ(ran.load(), expect) << "seed " << seed;
+    ASSERT_EQ(ran.load(std::memory_order_relaxed), expect) << "seed " << seed;  // szx-mo: relaxed; read after the join that ordered the counts
   }
 }
 
@@ -165,15 +165,15 @@ TEST(Executor, ExceptionPropagatesAndEveryTaskStillRuns) {
   constexpr std::uint64_t kN = 1000;
   EXPECT_THROW(ex.ParallelFor(kN,
                               [&](std::uint64_t i) {
-                                ran.fetch_add(1, std::memory_order_relaxed);
+                                ran.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
                                 if (i == 137) throw Error("task 137 failed");
                               }),
                Error);
   // Conservation holds even with a failure latched: no task is skipped.
-  EXPECT_EQ(ran.load(), kN);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), kN);  // szx-mo: relaxed; read after the join that ordered the counts
   // The batch error slot was consumed; the executor stays usable.
   ex.ParallelFor(kN, CountTask, &ran);
-  EXPECT_EQ(ran.load(), 2 * kN);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 2 * kN);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, MultipleFailuresLatchExactlyOne) {
@@ -181,14 +181,14 @@ TEST(Executor, MultipleFailuresLatchExactlyOne) {
   std::atomic<std::uint64_t> ran{0};
   try {
     ex.ParallelFor(512, [&](std::uint64_t i) {
-      ran.fetch_add(1, std::memory_order_relaxed);
+      ran.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
       if (i % 7 == 0) throw Error("multi-failure");
     });
     FAIL() << "expected Error";
   } catch (const Error& e) {
     EXPECT_STREQ(e.what(), "multi-failure");
   }
-  EXPECT_EQ(ran.load(), 512u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 512u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, NestedParallelForRunsInline) {
@@ -199,7 +199,7 @@ TEST(Executor, NestedParallelForRunsInline) {
     // execute every inner index.
     ex.ParallelFor(16, CountTask, &ran);
   });
-  EXPECT_EQ(ran.load(), 8u * 16u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 8u * 16u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, NestedFacadeParallelFor) {
@@ -208,10 +208,10 @@ TEST(Executor, NestedFacadeParallelFor) {
   std::atomic<std::uint64_t> ran{0};
   exec::ParallelFor(6, 4, [&](std::uint64_t) {
     exec::ParallelFor(10, 4, [&](std::uint64_t) {
-      ran.fetch_add(1, std::memory_order_relaxed);
+      ran.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
     });
   });
-  EXPECT_EQ(ran.load(), 60u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 60u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, ShutdownWhileBusyDrainsAllWork) {
@@ -225,7 +225,7 @@ TEST(Executor, ShutdownWhileBusyDrainsAllWork) {
     ex.reset();
   }
   batch.Wait();
-  EXPECT_EQ(ran.load(), 5000u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 5000u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, SubmitWhileInFlightThrows) {
@@ -236,13 +236,13 @@ TEST(Executor, SubmitWhileInFlightThrows) {
       batch, 1,
       [](void* ctx, std::uint64_t) {
         auto* g = static_cast<std::atomic<int>*>(ctx);
-        while (g->load(std::memory_order_acquire) == 0) {
+        while (g->load(std::memory_order_acquire) == 0) {  // szx-mo: acquire; pairs with the release store below so the spin exit observes the gate
           std::this_thread::yield();
         }
       },
       &gate);
   EXPECT_THROW(ex.Submit(batch, 1, CountTask, &gate), Error);
-  gate.store(1, std::memory_order_release);
+  gate.store(1, std::memory_order_release);  // szx-mo: release; pairs with the acquire spin inside the task
   batch.Wait();
 }
 
@@ -254,7 +254,7 @@ TEST(Executor, BatchIsReusableAfterWait) {
     ex.Submit(batch, 64, CountTask, &ran);
     batch.Wait();
   }
-  EXPECT_EQ(ran.load(), 50u * 64u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 50u * 64u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 // Steal-race stress: many tiny batches against 2..8 workers, plus external
@@ -270,7 +270,7 @@ TEST(Executor, StealRaceStress) {
       expect += n;
       ex.ParallelFor(n, CountTask, &ran);
     }
-    ASSERT_EQ(ran.load(), expect) << "workers " << workers;
+    ASSERT_EQ(ran.load(std::memory_order_relaxed), expect) << "workers " << workers;  // szx-mo: relaxed; read after the join that ordered the counts
   }
 }
 
@@ -288,7 +288,7 @@ TEST(Executor, ConcurrentExternalSubmitters) {
     });
   }
   for (std::thread& t : submitters) t.join();
-  EXPECT_EQ(ran.load(), static_cast<std::uint64_t>(kSubmitters) * kRounds * kN);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), static_cast<std::uint64_t>(kSubmitters) * kRounds * kN);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 TEST(Executor, WorkerScratchIsUsablePerTask) {
@@ -301,9 +301,9 @@ TEST(Executor, WorkerScratchIsUsablePerTask) {
     for (std::uint64_t& v : span) v = i;
     std::uint64_t sum = 0;
     for (const std::uint64_t v : span) sum += v;
-    if (sum == 128 * i) ok.fetch_add(1, std::memory_order_relaxed);
+    if (sum == 128 * i) ok.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
   });
-  EXPECT_EQ(ok.load(), 64u);
+  EXPECT_EQ(ok.load(std::memory_order_relaxed), 64u);  // szx-mo: relaxed; read after the join that ordered the counts
   // External (non-worker) threads get a usable thread_local fallback.
   ScratchArena& external = Executor::WorkerScratch();
   external.Reset();
@@ -322,15 +322,15 @@ TEST(Executor, SteadyStateSubmissionIsZeroHeapAlloc) {
     ex.Submit(batch, 256, CountTask, &ran);
     batch.Wait();
   }
-  const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t before = g_news.load(std::memory_order_relaxed);  // szx-mo: relaxed; sampled between joined Submit/Wait cycles, the joins order the counts
   for (int round = 0; round < 50; ++round) {
     ex.Submit(batch, 256, CountTask, &ran);
     batch.Wait();
   }
-  const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+  const std::uint64_t after = g_news.load(std::memory_order_relaxed);  // szx-mo: relaxed; sampled between joined Submit/Wait cycles, the joins order the counts
   EXPECT_EQ(after - before, 0u)
       << "steady-state Submit/Wait must not touch the heap";
-  EXPECT_EQ(ran.load(), 100u * 256u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 100u * 256u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 // The facade must conserve tasks and propagate failures identically on
@@ -345,29 +345,29 @@ TEST(Facade, ConservationAndErrorsOnEveryBackend) {
     SetActiveBackend(b);
     std::atomic<std::uint64_t> ran{0};
     exec::ParallelFor(4096, 4, [&](std::uint64_t) {
-      ran.fetch_add(1, std::memory_order_relaxed);
+      ran.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
     });
-    EXPECT_EQ(ran.load(), 4096u) << BackendName(b);
+    EXPECT_EQ(ran.load(std::memory_order_relaxed), 4096u) << BackendName(b);  // szx-mo: relaxed; read after the join that ordered the counts
 
     std::atomic<std::uint64_t> attempted{0};
     EXPECT_THROW(
         exec::ParallelFor(512, 4,
                           [&](std::uint64_t i) {
-                            attempted.fetch_add(1, std::memory_order_relaxed);
+                            attempted.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
                             if (i == 99) throw Error("facade failure");
                           }),
         Error)
         << BackendName(b);
-    EXPECT_EQ(attempted.load(), 512u) << BackendName(b);
+    EXPECT_EQ(attempted.load(std::memory_order_relaxed), 512u) << BackendName(b);  // szx-mo: relaxed; read after the join that ordered the counts
   }
 }
 
 TEST(Facade, SerialWidthRunsInline) {
   std::atomic<std::uint64_t> ran{0};
   exec::ParallelFor(1000, 1, [&](std::uint64_t) {
-    ran.fetch_add(1, std::memory_order_relaxed);
+    ran.fetch_add(1, std::memory_order_relaxed);  // szx-mo: relaxed; conservation counter -- the batch join/thread join before every assert supplies the happens-before edge
   });
-  EXPECT_EQ(ran.load(), 1000u);
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1000u);  // szx-mo: relaxed; read after the join that ordered the counts
 }
 
 }  // namespace

@@ -125,7 +125,7 @@ TEST(PwRel, CompressesPositiveSmoothData) {
   p.mode = ErrorBoundMode::kPointwiseRelative;
   p.error_bound = 1e-2;
   CompressionStats stats;
-  Compress<float>(data, p, &stats);
+  (void)Compress<float>(data, p, &stats);  // only the ratio is under test
   EXPECT_GT(stats.CompressionRatio(sizeof(float)), 3.0);
 }
 

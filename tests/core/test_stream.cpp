@@ -32,7 +32,7 @@ TEST(ByteStream, TruncationThrows) {
   ByteWriter w(buf);
   w.Write<std::uint16_t>(7);
   ByteCursor r(buf);
-  EXPECT_THROW(r.Read<std::uint32_t>(), Error);
+  EXPECT_THROW((void)r.Read<std::uint32_t>(), Error);
 }
 
 TEST(ByteStream, SliceAdvances) {
@@ -42,8 +42,8 @@ TEST(ByteStream, SliceAdvances) {
   EXPECT_EQ(a.size(), 4u);
   EXPECT_EQ(r.position(), 4u);
   EXPECT_EQ(r.remaining(), 6u);
-  EXPECT_THROW(r.Slice(7), Error);
-  EXPECT_NO_THROW(r.Slice(6));
+  EXPECT_THROW((void)r.Slice(7), Error);
+  EXPECT_NO_THROW((void)r.Slice(6));
 }
 
 TEST(BitStream, SingleBits) {
@@ -98,7 +98,7 @@ TEST(BitStream, ReadPastEndThrows) {
   w.Flush();  // one byte: 2 data bits + 6 padding
   BitReader r(buf);
   r.ReadBits(8);
-  EXPECT_THROW(r.ReadBit(), Error);
+  EXPECT_THROW((void)r.ReadBit(), Error);
 }
 
 TEST(BitStream, PeekBitsDoesNotConsume) {

@@ -80,7 +80,7 @@ TEST(Streaming, ChecksumDetectsFrameCorruption) {
   container[container.size() - 10] ^= std::byte{0x20};
   StreamReader<float> reader(container);
   std::vector<float> out;
-  EXPECT_THROW(reader.Next(out), Error);
+  EXPECT_THROW((void)reader.Next(out), Error);
 }
 
 TEST(Streaming, TruncationRejected) {
@@ -93,7 +93,7 @@ TEST(Streaming, TruncationRejected) {
       {
         StreamReader<float> r(ByteSpan(container.data(), 12));
         std::vector<float> out;
-        r.Next(out);
+        (void)r.Next(out);
       },
       Error);
   // Cut inside the payload.
@@ -101,7 +101,7 @@ TEST(Streaming, TruncationRejected) {
       {
         StreamReader<float> r(ByteSpan(container.data(), 200));
         std::vector<float> out;
-        r.Next(out);
+        (void)r.Next(out);
       },
       Error);
 }

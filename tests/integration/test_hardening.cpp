@@ -140,7 +140,7 @@ TEST(Hardening, StreamingLyingFrameElementCountRejected) {
   PokeU64(container, 16, Fnv1a64(ByteSpan(container).subspan(kFrameOff)));
   StreamReader<float> reader(container);
   std::vector<float> out;
-  EXPECT_THROW(reader.Next(out), Error);
+  EXPECT_THROW((void)reader.Next(out), Error);
 }
 
 // The chunk directory (frame_index.hpp) is derived from the type-bit and

@@ -309,5 +309,325 @@ TEST(SzxLint, MultiLineAllocArgumentsAreSeen) {
   EXPECT_EQ(Count(fs, "unchecked-alloc"), 1);
 }
 
+// --- memory-order / szx-mo justifications --------------------------------
+
+TEST(SzxLintMo, BareMemoryOrderTokenNeedsJustification) {
+  const auto fs = LintText(
+      "x.cpp", "auto v = flag.load(std::memory_order_acquire);\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 1);
+}
+
+TEST(SzxLintMo, TrailingJustificationSatisfiesTheRule) {
+  const auto fs = LintText(
+      "x.cpp",
+      "auto v = flag.load(std::memory_order_acquire);  "
+      "// szx-mo: acquire; pairs with the release store in Publish\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 0);
+  EXPECT_EQ(Count(fs, "stale-mo"), 0);
+}
+
+TEST(SzxLintMo, StackedJustificationCoversTheNextStatement) {
+  const auto fs = LintText(
+      "x.cpp",
+      "// szx-mo: release; publishes the filled buffer to the consumer\n"
+      "ready.store(true, std::memory_order_release);\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 0);
+  EXPECT_EQ(Count(fs, "stale-mo"), 0);
+}
+
+TEST(SzxLintMo, OneJustificationCoversAWrappedStatement) {
+  // compare_exchange spells two orders, possibly on a continuation line;
+  // a single comment on the statement's first line must cover both.
+  const auto fs = LintText(
+      "x.cpp",
+      "// szx-mo: acq_rel success / acquire failure; CAS loop over head\n"
+      "while (!head.compare_exchange_weak(cur, next,\n"
+      "                                   std::memory_order_acq_rel,\n"
+      "                                   std::memory_order_acquire)) {\n"
+      "}\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 0);
+  EXPECT_EQ(Count(fs, "stale-mo"), 0);
+}
+
+TEST(SzxLintMo, JustificationIsHonoredInTheStrictZone) {
+  // szx-mo is documentation, not a suppression: unlike allow() it is
+  // accepted in src/resilience/.
+  const auto fs = LintText(
+      "src/resilience/salvage.cpp",
+      "done.store(true, std::memory_order_release);  "
+      "// szx-mo: release; pairs with the acquire in the reader\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 0);
+  EXPECT_EQ(Count(fs, "strict-zone"), 0);
+}
+
+TEST(SzxLintMo, ExplainedAllowSuppressesOutsideStrictZone) {
+  const auto fs = LintText(
+      "x.cpp",
+      "auto v = flag.load(std::memory_order_relaxed);  "
+      "// szx-lint: allow(memory-order) -- fixture exercising the decoder\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 0);
+}
+
+TEST(SzxLintMo, StrictZoneRefusesMemoryOrderAllow) {
+  const auto fs = LintText(
+      "src/resilience/salvage.cpp",
+      "auto v = flag.load(std::memory_order_relaxed);  "
+      "// szx-lint: allow(memory-order) -- trust me\n");
+  EXPECT_EQ(Count(fs, "memory-order"), 1);
+  EXPECT_EQ(Count(fs, "strict-zone"), 1);
+}
+
+TEST(SzxLintMo, EmptyJustificationIsStale) {
+  const auto fs = LintText(
+      "x.cpp",
+      "auto v = flag.load(std::memory_order_acquire);  // szx-mo:\n");
+  EXPECT_EQ(Count(fs, "stale-mo"), 1);
+  // An empty comment justifies nothing, so the site is still bare.
+  EXPECT_EQ(Count(fs, "memory-order"), 1);
+}
+
+TEST(SzxLintMo, JustificationAttachedToNothingIsStale) {
+  const auto fs = LintText(
+      "x.cpp", "int x = 0;  // szx-mo: relaxed; counter, joined later\n");
+  EXPECT_EQ(Count(fs, "stale-mo"), 1);
+}
+
+// --- implicit-seq-cst ----------------------------------------------------
+
+TEST(SzxLintSeqCst, FetchAddWithNoOrderIsFlaggedOnAnyReceiver) {
+  const auto fs = LintText("x.cpp", "counter.fetch_add(1);\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 1);
+}
+
+TEST(SzxLintSeqCst, FetchAddWithSpelledOrderIsClean) {
+  const auto fs = LintText(
+      "x.cpp",
+      "counter.fetch_add(1, std::memory_order_relaxed);  "
+      "// szx-mo: relaxed; conservation counter, read after the join\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 0);
+}
+
+TEST(SzxLintSeqCst, BareLoadOnDeclaredAtomicIsFlagged) {
+  const auto fs = LintText("x.cpp",
+                           "std::atomic<int> gate{0};\n"
+                           "int v = gate.load();\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 1);
+}
+
+TEST(SzxLintSeqCst, BareLoadOnNonAtomicReceiverIsClean) {
+  // load/store/exchange are ambiguous names; without a tracked atomic
+  // declaration they must not fire (weak_ptr::lock-style false positives).
+  const auto fs = LintText("x.cpp",
+                           "Codebook cb;\n"
+                           "auto t = cb.load();\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 0);
+}
+
+TEST(SzxLintSeqCst, OperatorFormsOnDeclaredAtomicAreFlagged) {
+  const auto fs = LintText("x.cpp",
+                           "std::atomic<int> hits{0};\n"
+                           "++hits;\n"
+                           "hits += 2;\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 2);
+}
+
+TEST(SzxLintSeqCst, OperatorsOnPlainIntsAreClean) {
+  const auto fs = LintText("x.cpp", "int i = 0;\n++i;\ni += 2;\n");
+  EXPECT_EQ(Count(fs, "implicit-seq-cst"), 0);
+}
+
+// --- naked-lock / condvar-wait -------------------------------------------
+
+TEST(SzxLintLock, DirectLockOnDeclaredMutexIsFlagged) {
+  const auto fs = LintText("x.cpp",
+                           "std::mutex m;\n"
+                           "m.lock();\n"
+                           "m.unlock();\n");
+  EXPECT_EQ(Count(fs, "naked-lock"), 2);
+}
+
+TEST(SzxLintLock, LockOnUntrackedReceiverIsClean) {
+  // weak_ptr::lock() and friends share the method name; only receivers
+  // declared as mutexes fire.
+  const auto fs = LintText("x.cpp",
+                           "std::weak_ptr<int> w;\n"
+                           "auto sp = w.lock();\n");
+  EXPECT_EQ(Count(fs, "naked-lock"), 0);
+}
+
+TEST(SzxLintLock, RaiiMutexLockIsClean) {
+  const auto fs = LintText("x.cpp",
+                           "sync::Mutex m;\n"
+                           "void f() { sync::MutexLock lock(m); }\n");
+  EXPECT_EQ(Count(fs, "naked-lock"), 0);
+  EXPECT_EQ(Count(fs, "condvar-wait"), 0);
+}
+
+TEST(SzxLintCv, RawCondvarDeclarationIsFlagged) {
+  const auto fs = LintText("x.cpp", "std::condition_variable cv;\n");
+  EXPECT_EQ(Count(fs, "condvar-wait"), 1);
+}
+
+TEST(SzxLintCv, WaitPassingHeldRaiiLockIsClean) {
+  const auto fs = LintText("x.cpp",
+                           "sync::Mutex m;\n"
+                           "sync::CondVar cv;\n"
+                           "void f() {\n"
+                           "  sync::MutexLock lock(m);\n"
+                           "  while (!ready) cv.Wait(lock);\n"
+                           "}\n");
+  EXPECT_EQ(Count(fs, "condvar-wait"), 0);
+}
+
+TEST(SzxLintCv, WaitPassingSomethingElseIsFlagged) {
+  const auto fs = LintText("x.cpp",
+                           "sync::Mutex m;\n"
+                           "sync::CondVar cv;\n"
+                           "void f() { cv.Wait(m); }\n");
+  EXPECT_EQ(Count(fs, "condvar-wait"), 1);
+}
+
+// --- hot-alloc -----------------------------------------------------------
+
+TEST(SzxLintHot, MarkedFileRejectsAllocation) {
+  const auto fs = LintText(
+      "kernels.cpp",
+      "// szx-hot: decode inner loop\n"
+      "void f(std::vector<int>& v) {\n"
+      "  v.push_back(1);\n"
+      "  auto* p = malloc(64);\n"
+      "  auto* q = new Block();\n"
+      "}\n");
+  EXPECT_EQ(Count(fs, "hot-alloc"), 3);
+}
+
+TEST(SzxLintHot, UnmarkedFileIsExemptFromTheRule) {
+  const auto fs = LintText("kernels.cpp",
+                           "void f(std::vector<int>& v) { v.push_back(1); }\n");
+  EXPECT_EQ(Count(fs, "hot-alloc"), 0);
+}
+
+TEST(SzxLintHot, ExplainedAllowSuppressesInMarkedFile) {
+  const auto fs = LintText(
+      "kernels.cpp",
+      "// szx-hot: decode inner loop\n"
+      "void f(std::vector<int>& v) {\n"
+      "  v.reserve(64);  // szx-lint: allow(hot-alloc) -- one-time warm-up "
+      "before the loop\n"
+      "}\n");
+  EXPECT_EQ(Count(fs, "hot-alloc"), 0);
+}
+
+TEST(SzxLintHot, PlacementishIdentifiersDoNotFire) {
+  // `new` only fires when followed by a type or array form; identifiers
+  // merely containing the letters are untouched by tokenization.
+  const auto fs = LintText("kernels.cpp",
+                           "// szx-hot: decode inner loop\n"
+                           "int renew_count = news_total;\n");
+  EXPECT_EQ(Count(fs, "hot-alloc"), 0);
+}
+
+// --- missing-nodiscard ---------------------------------------------------
+
+TEST(SzxLintNodiscard, StatusReturningHeaderDeclIsFlagged) {
+  const auto fs = LintText(
+      "src/core/validate.hpp",
+      "ValidationReport ValidateStream(ByteSpan stream, bool deep);\n");
+  EXPECT_EQ(Count(fs, "missing-nodiscard"), 1);
+}
+
+TEST(SzxLintNodiscard, AnnotatedDeclIsClean) {
+  const auto fs = LintText(
+      "src/core/validate.hpp",
+      "[[nodiscard]] ValidationReport ValidateStream(ByteSpan stream);\n");
+  EXPECT_EQ(Count(fs, "missing-nodiscard"), 0);
+}
+
+TEST(SzxLintNodiscard, BoolCheckPrefixNamesAreFlagged) {
+  const auto fs = LintText("a.hpp",
+                           "bool NextFrame(std::vector<float>& out);\n"
+                           "bool TryAcquire();\n");
+  EXPECT_EQ(Count(fs, "missing-nodiscard"), 2);
+}
+
+TEST(SzxLintNodiscard, PrefixMustEndAtAWordBoundary) {
+  // "Nextish" is not a Next* check; the prefix must be followed by an
+  // uppercase letter or the end of the name.
+  const auto fs = LintText("a.hpp", "bool Nextish(int x);\n");
+  EXPECT_EQ(Count(fs, "missing-nodiscard"), 0);
+}
+
+TEST(SzxLintNodiscard, RuleOnlyAuditsHeaders) {
+  const auto fs = LintText(
+      "src/core/validate.cpp",
+      "ValidationReport ValidateStream(ByteSpan stream, bool deep) {\n"
+      "  return {};\n"
+      "}\n");
+  EXPECT_EQ(Count(fs, "missing-nodiscard"), 0);
+}
+
+// --- rule registry and JSON output ---------------------------------------
+
+TEST(SzxLint, NewRuleFamiliesAreRegistered) {
+  const auto& rules = Rules();
+  for (const std::string_view name :
+       {"memory-order", "implicit-seq-cst", "naked-lock", "condvar-wait",
+        "hot-alloc", "missing-nodiscard", "stale-mo"}) {
+    const bool present =
+        std::any_of(rules.begin(), rules.end(),
+                    [&](const RuleInfo& r) { return r.name == name; });
+    EXPECT_TRUE(present) << name;
+  }
+}
+
+TEST(SzxLintJson, EmptyFindingsRenderTheFixedSchema) {
+  EXPECT_EQ(RenderJson({}),
+            "{\"version\": 1, \"findings\": [], \"count\": 0}\n");
+}
+
+TEST(SzxLintJson, FindingsRenderWithDeterministicFieldOrder) {
+  const std::vector<Finding> fs = {
+      {"src/a.cpp", 12, "raw-memcpy", "bad"},
+      {"src/b.cpp", 3, "memory-order", "needs szx-mo"},
+  };
+  EXPECT_EQ(RenderJson(fs),
+            "{\"version\": 1, \"findings\": ["
+            "{\"file\": \"src/a.cpp\", \"line\": 12, \"rule\": "
+            "\"raw-memcpy\", \"message\": \"bad\"}, "
+            "{\"file\": \"src/b.cpp\", \"line\": 3, \"rule\": "
+            "\"memory-order\", \"message\": \"needs szx-mo\"}"
+            "], \"count\": 2}\n");
+}
+
+TEST(SzxLintJson, StringsAreRfc8259Escaped) {
+  const std::vector<Finding> fs = {
+      {"dir\\file.cpp", 1, "r", "say \"hi\"\nthen\ttab\x01"},
+  };
+  const std::string out = RenderJson(fs);
+  EXPECT_NE(out.find("\"dir\\\\file.cpp\""), std::string::npos) << out;
+  EXPECT_NE(out.find("say \\\"hi\\\"\\nthen\\ttab\\u0001"), std::string::npos)
+      << out;
+}
+
+TEST(SzxLintJson, RealFindingsRoundTripThroughTheSchema) {
+  // Structural self-check over genuine linter output: one findings entry
+  // per finding, the count field agrees, and the document is one line.
+  const auto fs = LintText("x.cpp",
+                           "std::memcpy(d, s, n);\n"
+                           "auto v = flag.load(std::memory_order_acquire);\n");
+  ASSERT_GE(fs.size(), 2u);
+  const std::string out = RenderJson(fs);
+  std::size_t entries = 0;
+  for (std::size_t at = out.find("{\"file\": "); at != std::string::npos;
+       at = out.find("{\"file\": ", at + 1)) {
+    ++entries;
+  }
+  EXPECT_EQ(entries, fs.size());
+  EXPECT_NE(out.find("\"count\": " + std::to_string(fs.size())),
+            std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
+}
+
 }  // namespace
 }  // namespace szx::lint

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,8 +11,8 @@
 namespace szx::lint {
 namespace {
 
-constexpr std::array<std::string_view, 4> kAllowlist = {
-    "byte_cursor.hpp", "stream.hpp", "bitops.hpp", "arena.hpp"};
+constexpr std::array<std::string_view, 5> kAllowlist = {
+    "byte_cursor.hpp", "stream.hpp", "bitops.hpp", "arena.hpp", "sync.hpp"};
 
 // Header fields that arrive from an untrusted stream.  An allocation sized
 // by one of these without CheckedAlloc is the bug class this repo has been
@@ -44,6 +45,24 @@ const std::vector<RuleInfo> kRules = {
     {"simd-mem",
      "raw SIMD load/store/gather intrinsic; each one must explain its "
      "bounds guarantee"},
+    {"memory-order",
+     "std::memory_order use without an adjacent `// szx-mo:` happens-before "
+     "justification"},
+    {"implicit-seq-cst",
+     "atomic operation with no explicit memory order; spell the order and "
+     "justify it with szx-mo"},
+    {"naked-lock",
+     "direct .lock()/.unlock() on a mutex; use sync::MutexLock RAII"},
+    {"condvar-wait",
+     "condition-variable wait that does not pass a held MutexLock (or a raw "
+     "std::condition_variable declaration; use sync::CondVar)"},
+    {"hot-alloc",
+     "allocation inside an `// szx-hot` file; hot paths allocate only "
+     "through ScratchArena"},
+    {"missing-nodiscard",
+     "status-returning declaration without [[nodiscard]]"},
+    {"stale-mo",
+     "szx-mo comment that justifies no memory_order site (or is empty)"},
     {"strict-zone",
      "allow directive inside src/resilience/, where suppressions are "
      "refused outright"},
@@ -235,6 +254,53 @@ std::vector<Directive> ParseDirectives(const std::vector<Comment>& comments) {
     out.push_back(std::move(d));
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// szx-mo justification comments.  Every std::memory_order site must carry
+// one (trailing on its statement, or on the comment line(s) directly
+// above); the justification text is the happens-before argument reviewers
+// audit.  Target-line resolution mirrors allow directives.
+
+struct MoComment {
+  int comment_line = 0;
+  int target_line = 0;
+  bool has_text = false;
+  bool used = false;
+};
+
+std::vector<MoComment> ParseMoComments(const std::vector<Comment>& comments) {
+  std::vector<MoComment> out;
+  for (const Comment& cm : comments) {
+    std::string_view t(cm.text);
+    const std::size_t first = t.find_first_not_of(" \t");
+    if (first == std::string_view::npos) continue;
+    t.remove_prefix(first);
+    constexpr std::string_view kMarker = "szx-mo:";
+    if (t.substr(0, kMarker.size()) != kMarker) continue;
+    MoComment mc;
+    mc.comment_line = cm.line;
+    mc.target_line = cm.code_before ? cm.line : cm.line + 1;
+    mc.has_text = t.substr(kMarker.size()).find_first_not_of(" \t") !=
+                  std::string_view::npos;
+    out.push_back(mc);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path marker: a file whose leading comments include `// szx-hot`
+// opts into the allocation-free discipline (hot-alloc rule).
+
+bool HasHotMarker(const std::vector<Comment>& comments) {
+  for (const Comment& cm : comments) {
+    std::string_view t(cm.text);
+    const std::size_t first = t.find_first_not_of(" \t");
+    if (first == std::string_view::npos) continue;
+    t.remove_prefix(first);
+    if (t.substr(0, 7) == "szx-hot") return true;
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -466,6 +532,471 @@ void ScanSimdMem(Scan& s) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Lightweight scope/decl tracking for the concurrency rules.
+//
+// A full parse is out of scope for a lexical linter, but the concurrency
+// rules need to know what kind of thing a receiver is: `m_.lock()` is a
+// naked mutex lock while `weak.lock()` is a shared_ptr upgrade.  The
+// tracker records declarations of the four kinds the rules care about
+// (atomics, mutexes, RAII locks, condition variables) together with the
+// brace scope they live in, so a later use site can resolve its receiver
+// by name + position.  Receivers that never resolve are left alone --
+// precision over recall, with the atomic-only method names (fetch_add,
+// compare_exchange_*) as the recall backstop that needs no declaration.
+
+enum class DeclKind { kAtomic, kMutex, kLock, kCondVar };
+
+struct Decl {
+  std::string name;
+  DeclKind kind;
+  std::size_t name_pos = 0;  // where the declared name appears
+  std::size_t end = 0;       // end of the enclosing brace scope
+  bool raw_condvar = false;  // std::condition_variable (not sync::CondVar)
+};
+
+struct TypePattern {
+  std::string_view token;
+  DeclKind kind;
+  bool needs_template = false;  // '<' must follow (std::atomic<T>)
+  bool raw_condvar = false;
+};
+
+constexpr std::array<TypePattern, 14> kTypePatterns = {{
+    {"atomic", DeclKind::kAtomic, true, false},
+    {"mutex", DeclKind::kMutex, false, false},
+    {"timed_mutex", DeclKind::kMutex, false, false},
+    {"recursive_mutex", DeclKind::kMutex, false, false},
+    {"shared_mutex", DeclKind::kMutex, false, false},
+    {"Mutex", DeclKind::kMutex, false, false},
+    {"lock_guard", DeclKind::kLock, false, false},
+    {"unique_lock", DeclKind::kLock, false, false},
+    {"scoped_lock", DeclKind::kLock, false, false},
+    {"shared_lock", DeclKind::kLock, false, false},
+    {"MutexLock", DeclKind::kLock, false, false},
+    {"condition_variable", DeclKind::kCondVar, false, true},
+    {"condition_variable_any", DeclKind::kCondVar, false, true},
+    {"CondVar", DeclKind::kCondVar, false, false},
+}};
+
+// Innermost enclosing '}' for each declaration, via one brace-matching pass.
+std::vector<std::pair<std::size_t, std::size_t>> BracePairs(
+    std::string_view code) {
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '{') {
+      stack.push_back(i);
+    } else if (code[i] == '}' && !stack.empty()) {
+      pairs.emplace_back(stack.back(), i);
+      stack.pop_back();
+    }
+  }
+  return pairs;
+}
+
+std::vector<Decl> CollectDecls(std::string_view code) {
+  std::vector<Decl> decls;
+  const auto pairs = BracePairs(code);
+  for (const TypePattern& tp : kTypePatterns) {
+    for (std::size_t at = FindToken(code, tp.token, 0);
+         at != std::string_view::npos;
+         at = FindToken(code, tp.token, at + 1)) {
+      std::size_t i = at + tp.token.size();
+      if (i < code.size() && code[i] == '<') {
+        std::size_t close = std::string_view::npos;
+        Balanced(code, i, &close);
+        if (close == std::string_view::npos) continue;
+        i = close + 1;
+      } else if (tp.needs_template) {
+        continue;  // bare `atomic` word, not a declaration
+      }
+      i = SkipSpace(code, i);
+      if (i < code.size() && (code[i] == '&' || code[i] == '*')) {
+        i = SkipSpace(code, i + 1);
+      }
+      const std::size_t name_begin = i;
+      while (i < code.size() && IsIdentChar(code[i])) ++i;
+      if (i == name_begin) continue;  // no declared name follows
+      Decl d;
+      d.name.assign(code.substr(name_begin, i - name_begin));
+      d.kind = tp.kind;
+      d.name_pos = name_begin;
+      d.raw_condvar = tp.raw_condvar;
+      d.end = code.size();
+      std::size_t best_open = 0;
+      bool found = false;
+      for (const auto& [open, close] : pairs) {
+        if (open < name_begin && close > name_begin &&
+            (!found || open > best_open)) {
+          best_open = open;
+          d.end = close;
+          found = true;
+        }
+      }
+      decls.push_back(std::move(d));
+    }
+  }
+  return decls;
+}
+
+// Innermost declaration of `name` whose scope covers `pos`, or nullptr.
+const Decl* FindDecl(const std::vector<Decl>& decls, std::string_view name,
+                     std::size_t pos) {
+  const Decl* best = nullptr;
+  for (const Decl& d : decls) {
+    if (d.name == name && d.name_pos <= pos && pos < d.end &&
+        (best == nullptr || d.name_pos > best->name_pos)) {
+      best = &d;
+    }
+  }
+  return best;
+}
+
+// Receiver of a member call: the identifier directly before the '.' or
+// "->" at `dot`.  Complex receivers (call chains, array elements) return
+// empty -- the caller treats them as unresolvable.
+std::string_view ReceiverBefore(std::string_view code, std::size_t dot) {
+  std::size_t i = dot;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+  const std::size_t end = i;
+  while (i > 0 && IsIdentChar(code[i - 1])) --i;
+  return code.substr(i, end - i);
+}
+
+// True when `pos` is preceded by '.' or '->' (receiver call syntax);
+// `dot_out` gets the position of the '.' / '>' for receiver extraction.
+bool IsMemberCall(std::string_view code, std::size_t pos,
+                  std::size_t* dot_out) {
+  std::size_t i = pos;
+  while (i > 0 && std::isspace(static_cast<unsigned char>(code[i - 1]))) --i;
+  if (i == 0) return false;
+  if (code[i - 1] == '.') {
+    *dot_out = i - 1;
+    return true;
+  }
+  if (code[i - 1] == '>' && i >= 2 && code[i - 2] == '-') {
+    *dot_out = i - 2;
+    return true;
+  }
+  return false;
+}
+
+// `memory_order` as the *prefix* of an identifier (memory_order_relaxed,
+// memory_order::acquire): left boundary must be non-identifier, the right
+// side is free.
+bool ContainsMemoryOrder(std::string_view text) {
+  for (std::size_t at = text.find("memory_order"); at != std::string_view::npos;
+       at = text.find("memory_order", at + 1)) {
+    if (at == 0 || !IsIdentChar(text[at - 1])) return true;
+  }
+  return false;
+}
+
+// Line on which the statement containing `pos` starts: the first code
+// after the previous ';', '{', or '}'.  szx-mo justifications attach to
+// either the token's own line or this line, so one comment covers a
+// wrapped multi-line statement (compare_exchange with two orders).
+int StatementStartLine(std::string_view code, std::size_t pos,
+                       const std::vector<std::size_t>& lines) {
+  std::size_t i = pos;
+  while (i > 0) {
+    const char c = code[i - 1];
+    if (c == ';' || c == '{' || c == '}') break;
+    --i;
+  }
+  i = SkipSpace(code, i);
+  if (i > pos) i = pos;
+  return LineOf(i, lines);
+}
+
+// Rule: memory-order.  Every memory_order token needs an szx-mo
+// justification targeting its line or its statement's first line.
+void ScanMemoryOrder(Scan& s, std::vector<MoComment>& mo) {
+  for (std::size_t at = s.code.find("memory_order");
+       at != std::string_view::npos;
+       at = s.code.find("memory_order", at + 1)) {
+    if (at > 0 && IsIdentChar(s.code[at - 1])) continue;
+    const int token_line = LineOf(at, s.lines);
+    const int stmt_line = StatementStartLine(s.code, at, s.lines);
+    bool justified = false;
+    for (MoComment& mc : mo) {
+      if (!mc.has_text) continue;
+      if (mc.target_line == token_line || mc.target_line == stmt_line) {
+        mc.used = true;
+        justified = true;
+      }
+    }
+    if (!justified) {
+      s.Add(at, "memory-order",
+            "std::memory_order use without an adjacent `// szx-mo:` "
+            "justification; write down the happens-before edge this "
+            "order provides (or why a weaker one suffices)");
+    }
+  }
+}
+
+// Rule: implicit-seq-cst.  Atomic operations that spell no memory order
+// default to seq_cst -- usually unintentional on a hot path, and always
+// unreviewed.  Method names that exist only on std::atomic are flagged on
+// any receiver; ambiguous names (load/store/exchange) only on receivers
+// declared atomic; ++/--/+=/= on declared atomics are the operator forms.
+constexpr std::array<std::string_view, 7> kAtomicOnlyOps = {
+    "fetch_add", "fetch_sub", "fetch_and",
+    "fetch_or",  "fetch_xor", "compare_exchange_strong",
+    "compare_exchange_weak"};
+constexpr std::array<std::string_view, 3> kAtomicAmbiguousOps = {
+    "load", "store", "exchange"};
+
+void ScanImplicitSeqCst(Scan& s, const std::vector<Decl>& decls) {
+  auto check_call = [&](std::string_view op, bool need_decl) {
+    for (std::size_t at = FindToken(s.code, op, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, op, at + 1)) {
+      std::size_t dot = 0;
+      if (!IsMemberCall(s.code, at, &dot)) continue;
+      const std::size_t open = SkipSpace(s.code, at + op.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      if (need_decl) {
+        const std::string_view recv = ReceiverBefore(s.code, dot);
+        const Decl* d = recv.empty() ? nullptr : FindDecl(decls, recv, at);
+        if (d == nullptr || d->kind != DeclKind::kAtomic) continue;
+      }
+      if (ContainsMemoryOrder(Balanced(s.code, open, nullptr))) continue;
+      s.Add(at, "implicit-seq-cst",
+            std::string(op) +
+                " with no explicit memory order (implicit seq_cst); spell "
+                "the order and justify it with szx-mo");
+    }
+  };
+  for (std::string_view op : kAtomicOnlyOps) check_call(op, false);
+  for (std::string_view op : kAtomicAmbiguousOps) check_call(op, true);
+
+  for (const Decl& d : decls) {
+    if (d.kind != DeclKind::kAtomic) continue;
+    for (std::size_t at = FindToken(s.code, d.name, d.name_pos + 1);
+         at != std::string_view::npos && at < d.end;
+         at = FindToken(s.code, d.name, at + 1)) {
+      if (at == d.name_pos) continue;
+      // Prefix ++x / --x.
+      std::size_t i = at;
+      while (i > 0 && std::isspace(static_cast<unsigned char>(s.code[i - 1])))
+        --i;
+      const bool pre = i >= 2 && ((s.code[i - 1] == '+' && s.code[i - 2] == '+') ||
+                                  (s.code[i - 1] == '-' && s.code[i - 2] == '-'));
+      // Postfix / compound / plain assignment.
+      std::size_t j = SkipSpace(s.code, at + d.name.size());
+      bool post = false;
+      if (j + 1 < s.code.size()) {
+        const char a = s.code[j];
+        const char b = s.code[j + 1];
+        post = (a == '+' && b == '+') || (a == '-' && b == '-') ||
+               ((a == '+' || a == '-' || a == '|' || a == '&' || a == '^') &&
+                b == '=') ||
+               (a == '=' && b != '=');
+      }
+      if (pre || post) {
+        s.Add(at, "implicit-seq-cst",
+              "operator on std::atomic '" + d.name +
+                  "' is an implicit seq_cst RMW; use an explicit "
+                  "fetch_/store call with a justified order");
+      }
+    }
+  }
+}
+
+// Rule: naked-lock.  Direct lock()/unlock() on a mutex-typed receiver
+// bypasses RAII (leaks the lock on exception) and the thread-safety
+// analysis (sync::MutexLock carries the SZX_ACQUIRE/RELEASE contract).
+void ScanNakedLock(Scan& s, const std::vector<Decl>& decls) {
+  for (std::string_view op : {"lock", "unlock", "try_lock"}) {
+    for (std::size_t at = FindToken(s.code, op, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, op, at + 1)) {
+      std::size_t dot = 0;
+      if (!IsMemberCall(s.code, at, &dot)) continue;
+      const std::size_t open = SkipSpace(s.code, at + op.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      const std::string_view recv = ReceiverBefore(s.code, dot);
+      const Decl* d = recv.empty() ? nullptr : FindDecl(decls, recv, at);
+      if (d == nullptr || d->kind != DeclKind::kMutex) continue;
+      s.Add(at, "naked-lock",
+            "." + std::string(op) + "() on mutex '" + std::string(recv) +
+                "'; hold it through sync::MutexLock so release is RAII "
+                "and the acquisition is visible to -Wthread-safety");
+    }
+  }
+}
+
+// Rule: condvar-wait.  A wait must pass the held RAII lock so the
+// atomic release-and-reacquire contract is explicit (and analyzable);
+// raw std::condition_variable declarations bypass the annotated wrapper.
+void ScanCondvarWait(Scan& s, const std::vector<Decl>& decls) {
+  for (const Decl& d : decls) {
+    if (d.kind == DeclKind::kCondVar && d.raw_condvar) {
+      s.Add(d.name_pos, "condvar-wait",
+            "raw std::condition_variable '" + d.name +
+                "'; declare sync::CondVar so waits type-check against "
+                "the annotated MutexLock");
+    }
+  }
+  for (std::string_view op : {"wait", "Wait", "wait_for", "wait_until"}) {
+    for (std::size_t at = FindToken(s.code, op, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, op, at + 1)) {
+      std::size_t dot = 0;
+      if (!IsMemberCall(s.code, at, &dot)) continue;
+      const std::size_t open = SkipSpace(s.code, at + op.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      const std::string_view recv = ReceiverBefore(s.code, dot);
+      const Decl* d = recv.empty() ? nullptr : FindDecl(decls, recv, at);
+      if (d == nullptr || d->kind != DeclKind::kCondVar) continue;
+      std::string_view args = Balanced(s.code, open, nullptr);
+      const std::size_t comma = args.find(',');
+      std::string_view first =
+          comma == std::string_view::npos ? args : args.substr(0, comma);
+      while (!first.empty() &&
+             std::isspace(static_cast<unsigned char>(first.front())))
+        first.remove_prefix(1);
+      while (!first.empty() &&
+             std::isspace(static_cast<unsigned char>(first.back())))
+        first.remove_suffix(1);
+      const bool ident_only =
+          !first.empty() &&
+          std::all_of(first.begin(), first.end(),
+                      [](char c) { return IsIdentChar(c); });
+      const Decl* lock =
+          ident_only ? FindDecl(decls, first, at) : nullptr;
+      if (lock != nullptr && lock->kind == DeclKind::kLock) continue;
+      s.Add(at, "condvar-wait",
+            "condition-variable wait whose first argument is not a held "
+            "RAII lock declared in scope; pass the sync::MutexLock "
+            "guarding the predicate");
+    }
+  }
+}
+
+// Rule: hot-alloc (only in files marked `// szx-hot`).  The kernels and
+// dispatch layer must stay allocation-free: steady-state throughput is
+// the paper's headline number, and one stray push_back turns into a
+// realloc storm across millions of blocks.
+constexpr std::array<std::string_view, 5> kAllocCalls = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "strdup"};
+constexpr std::array<std::string_view, 8> kReallocMethods = {
+    "push_back", "emplace_back", "resize", "reserve",
+    "insert",    "emplace",      "append", "assign"};
+
+void ScanHotAlloc(Scan& s) {
+  for (std::size_t at = FindToken(s.code, "new", 0);
+       at != std::string_view::npos;
+       at = FindToken(s.code, "new", at + 1)) {
+    const std::size_t i = SkipSpace(s.code, at + 3);
+    if (i >= s.code.size()) continue;
+    if (!IsIdentChar(s.code[i]) && s.code[i] != '[') continue;
+    s.Add(at, "hot-alloc",
+          "operator new in an szx-hot file; hot paths allocate through "
+          "ScratchArena (exec::Executor::WorkerScratch) or preallocated "
+          "buffers");
+  }
+  for (std::string_view fn : kAllocCalls) {
+    for (std::size_t at = FindToken(s.code, fn, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, fn, at + 1)) {
+      const std::size_t open = SkipSpace(s.code, at + fn.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      s.Add(at, "hot-alloc",
+            std::string(fn) + " in an szx-hot file; use ScratchArena");
+    }
+  }
+  for (std::string_view m : kReallocMethods) {
+    for (std::size_t at = FindToken(s.code, m, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, m, at + 1)) {
+      std::size_t dot = 0;
+      if (!IsMemberCall(s.code, at, &dot)) continue;
+      const std::size_t open = SkipSpace(s.code, at + m.size());
+      if (open >= s.code.size() || s.code[open] != '(') continue;
+      s.Add(at, "hot-alloc",
+            "." + std::string(m) +
+                " may reallocate in an szx-hot file; size buffers up "
+                "front or use ScratchArena");
+    }
+  }
+}
+
+// Rule: missing-nodiscard (headers only).  Status-returning declarations
+// whose result silently vanishing is a latent bug: report types, and
+// bool-returning functions named like checks.
+constexpr std::array<std::string_view, 3> kStatusTypes = {
+    "ValidationReport", "DamageReport", "SalvageResult"};
+constexpr std::array<std::string_view, 9> kBoolCheckPrefixes = {
+    "Next", "Try", "Validate", "Verify", "Check",
+    "Read", "Peek", "Parse",   "Done"};
+
+void ScanMissingNodiscard(Scan& s) {
+  auto segment_has_nodiscard = [&](std::size_t at) {
+    std::size_t i = at;
+    while (i > 0) {
+      const char c = s.code[i - 1];
+      if (c == ';' || c == '{' || c == '}') break;
+      --i;
+    }
+    return s.code.substr(i, at - i).find("nodiscard") !=
+           std::string_view::npos;
+  };
+  auto flag = [&](std::size_t at, std::string_view what) {
+    s.Add(at, "missing-nodiscard",
+          std::string(what) +
+              " without [[nodiscard]]; a silently dropped status/report "
+              "is a latent bug");
+  };
+  for (std::string_view ty : kStatusTypes) {
+    for (std::size_t at = FindToken(s.code, ty, 0);
+         at != std::string_view::npos;
+         at = FindToken(s.code, ty, at + 1)) {
+      std::size_t i = at + ty.size();
+      if (i < s.code.size() && s.code[i] == '<') {
+        std::size_t close = std::string_view::npos;
+        Balanced(s.code, i, &close);
+        if (close == std::string_view::npos) continue;
+        i = close + 1;
+      }
+      i = SkipSpace(s.code, i);
+      const std::size_t name_begin = i;
+      while (i < s.code.size() && IsIdentChar(s.code[i])) ++i;
+      if (i == name_begin) continue;
+      i = SkipSpace(s.code, i);
+      if (i >= s.code.size() || s.code[i] != '(') continue;
+      if (segment_has_nodiscard(at)) continue;
+      flag(at, "declaration returning " + std::string(ty));
+    }
+  }
+  for (std::size_t at = FindToken(s.code, "bool", 0);
+       at != std::string_view::npos;
+       at = FindToken(s.code, "bool", at + 1)) {
+    std::size_t i = SkipSpace(s.code, at + 4);
+    const std::size_t name_begin = i;
+    while (i < s.code.size() && IsIdentChar(s.code[i])) ++i;
+    if (i == name_begin) continue;
+    const std::string_view name = s.code.substr(name_begin, i - name_begin);
+    bool check_like = false;
+    for (std::string_view p : kBoolCheckPrefixes) {
+      if (name.size() < p.size() || name.substr(0, p.size()) != p) continue;
+      const char next = name.size() == p.size() ? '\0' : name[p.size()];
+      if (next == '\0' ||
+          std::isupper(static_cast<unsigned char>(next)) != 0) {
+        check_like = true;
+        break;
+      }
+    }
+    if (!check_like) continue;
+    i = SkipSpace(s.code, i);
+    if (i >= s.code.size() || s.code[i] != '(') continue;
+    if (segment_has_nodiscard(at)) continue;
+    flag(at, "bool check '" + std::string(name) + "'");
+  }
+}
+
 }  // namespace
 
 const std::vector<RuleInfo>& Rules() { return kRules; }
@@ -502,6 +1033,7 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
   const Stripped st = Strip(text);
   const std::vector<std::size_t> lines = LineStarts(st.code);
   std::vector<Directive> directives = ParseDirectives(st.comments);
+  std::vector<MoComment> mo_comments = ParseMoComments(st.comments);
 
   // A standalone directive targets the next line that has code, so several
   // directives may stack above one statement.
@@ -520,6 +1052,16 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
     while (t <= last_line && !line_has_code(t)) ++t;
     d.target_line = t;
   }
+  // szx-mo comments stack the same way: a block of justification lines
+  // above a statement targets its first code line.
+  for (MoComment& mc : mo_comments) {
+    if (mc.target_line == mc.comment_line) continue;  // trailing comment
+    int t = mc.comment_line + 1;
+    while (t <= last_line && !line_has_code(t)) ++t;
+    mc.target_line = t;
+  }
+
+  const std::vector<Decl> decls = CollectDecls(st.code);
 
   std::vector<Finding> raw;
   Scan scan{st.code, lines, raw, path};
@@ -529,6 +1071,22 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
   ScanUncheckedAlloc(scan);
   ScanUncheckedNarrow(scan);
   ScanSimdMem(scan);
+  ScanMemoryOrder(scan, mo_comments);
+  ScanImplicitSeqCst(scan, decls);
+  ScanNakedLock(scan, decls);
+  ScanCondvarWait(scan, decls);
+  if (HasHotMarker(st.comments)) ScanHotAlloc(scan);
+  {
+    // Headers own the API surface; an out-of-line definition repeating the
+    // attribute is noise, so the nodiscard rule only audits declarations.
+    std::string p(path);
+    if (p.size() >= 4 && (p.compare(p.size() - 4, 4, ".hpp") == 0 ||
+                          p.compare(p.size() - 4, 4, ".hxx") == 0)) {
+      ScanMissingNodiscard(scan);
+    } else if (p.size() >= 2 && p.compare(p.size() - 2, 2, ".h") == 0) {
+      ScanMissingNodiscard(scan);
+    }
+  }
 
   // Apply directives: a finding is suppressed by a matching allow on its
   // line (or on the directly preceding comment-only line).
@@ -580,6 +1138,22 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
     }
   }
 
+  // szx-mo hygiene: a justification must say something and must attach to
+  // a real memory_order site, so stale comments rot loudly like stale
+  // allows do.  (Justifications are not suppressions -- they are honored
+  // in the strict zone too.)
+  for (const MoComment& mc : mo_comments) {
+    if (!mc.has_text) {
+      findings.push_back({std::string(path), mc.comment_line, "stale-mo",
+                          "empty szx-mo justification; write the "
+                          "happens-before argument"});
+    } else if (!mc.used) {
+      findings.push_back({std::string(path), mc.comment_line, "stale-mo",
+                          "szx-mo comment attaches to no memory_order "
+                          "site; delete or move it"});
+    }
+  }
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               return a.line != b.line ? a.line < b.line : a.rule < b.rule;
@@ -599,6 +1173,53 @@ std::string FormatFinding(const Finding& f) {
   std::ostringstream ss;
   ss << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
   return ss.str();
+}
+
+namespace {
+
+// RFC 8259 string escaping (quote, backslash, and control characters).
+void AppendJsonString(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string RenderJson(const std::vector<Finding>& findings) {
+  std::string out = "{\"version\": 1, \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{\"file\": ";
+    AppendJsonString(out, f.file);
+    out += ", \"line\": " + std::to_string(f.line);
+    out += ", \"rule\": ";
+    AppendJsonString(out, f.rule);
+    out += ", \"message\": ";
+    AppendJsonString(out, f.message);
+    out += "}";
+  }
+  out += "], \"count\": " + std::to_string(findings.size()) + "}\n";
+  return out;
 }
 
 }  // namespace szx::lint

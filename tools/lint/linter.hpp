@@ -57,4 +57,11 @@ std::vector<Finding> LintFile(const std::string& path);
 /// Formats a finding as "path:line: [rule] message".
 std::string FormatFinding(const Finding& f);
 
+/// Renders findings as a machine-readable JSON document for CI annotation:
+///   {"version": 1, "findings": [{"file", "line", "rule", "message"}, ...],
+///    "count": N}
+/// Deterministic field order, RFC 8259 string escaping; the self-test in
+/// tests/lint validates the schema.
+std::string RenderJson(const std::vector<Finding>& findings);
+
 }  // namespace szx::lint

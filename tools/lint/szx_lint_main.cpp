@@ -1,10 +1,11 @@
 // Command-line driver for szx-lint.  Usage:
 //
-//   szx_lint [--list-rules] <file-or-dir>...
+//   szx_lint [--list-rules] [--json] <file-or-dir>...
 //
 // Directories are walked recursively for C++ sources; findings print as
-// `path:line: [rule] message` and the exit status is the number of findings
-// clamped to 1, so ctest can gate on it.
+// `path:line: [rule] message` (or one JSON document with --json, for CI
+// annotation) and the exit status is the number of findings clamped to 1,
+// so ctest can gate on it.
 #include <algorithm>
 #include <filesystem>
 #include <iostream>
@@ -27,6 +28,7 @@ bool IsCppSource(const fs::path& p) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list-rules") {
@@ -35,8 +37,13 @@ int main(int argc, char** argv) {
       }
       return 0;
     }
+    if (arg == "--json") {
+      json = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: szx_lint [--list-rules] <file-or-dir>...\n";
+      std::cout << "usage: szx_lint [--list-rules] [--json] "
+                   "<file-or-dir>...\n";
       return 0;
     }
     roots.push_back(arg);
@@ -65,23 +72,24 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::size_t total = 0;
+  std::vector<szx::lint::Finding> all;
   for (const std::string& f : files) {
     try {
-      for (const auto& finding : szx::lint::LintFile(f)) {
-        std::cout << szx::lint::FormatFinding(finding) << "\n";
-        ++total;
+      for (auto& finding : szx::lint::LintFile(f)) {
+        if (!json) std::cout << szx::lint::FormatFinding(finding) << "\n";
+        all.push_back(std::move(finding));
       }
     } catch (const std::exception& e) {
       std::cerr << e.what() << "\n";
       return 2;
     }
   }
-  if (total != 0) {
-    std::cerr << "szx_lint: " << total << " finding(s) in " << files.size()
-              << " file(s)\n";
+  if (json) std::cout << szx::lint::RenderJson(all);
+  if (!all.empty()) {
+    std::cerr << "szx_lint: " << all.size() << " finding(s) in "
+              << files.size() << " file(s)\n";
     return 1;
   }
-  std::cout << "szx_lint: clean (" << files.size() << " files)\n";
+  if (!json) std::cout << "szx_lint: clean (" << files.size() << " files)\n";
   return 0;
 }
