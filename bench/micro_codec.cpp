@@ -5,11 +5,18 @@
 //
 // Two entry modes (scripts/bench.sh, docs/performance.md):
 //   micro_codec [gbench flags]            google-benchmark suite (default)
-//   micro_codec --bench_json=PATH [--smoke]
+//   micro_codec --bench_json=PATH [--smoke] [--force]
 //       machine-readable perf-regression grid: GB/s for each kernel
 //       implementation x dtype x error bound on a CESM-like field, plus a
 //       re-implementation of the pre-vectorization byte-wise encode loop as
 //       the fixed reference the speedup figures are measured against.
+//       Since schema v2 the grid also carries the baseline-codec axis:
+//       szref/sz2/zfpref compress+decompress per kernel tier with the
+//       parallel chunked-Huffman decode at 1/2/4/8 threads, and the fused
+//       Lorenzo predict+quantize kernel row whose speedup-vs-scalar series
+//       records the vectorization acceptance bar.  Like the omp grid, it
+//       refuses to overwrite a grid recorded on a machine with more
+//       hardware threads unless --force is given (stale-bench trap).
 //       --smoke shrinks the field and rep count so CI can assert the JSON
 //       contract in milliseconds (no timing thresholds).
 //   micro_codec --bench_omp_json=PATH [--smoke] [--force]
@@ -46,6 +53,7 @@
 #include "data/datasets.hpp"
 #include "lzref/lzref.hpp"
 #include "szref/huffman.hpp"
+#include "szref/sz2.hpp"
 #include "szref/szref.hpp"
 #include "zfpref/zfp_block.hpp"
 #include "zfpref/zfpref.hpp"
@@ -504,7 +512,196 @@ void RunGridForType(std::vector<GridRow>& rows, const std::vector<T>& v,
   }
 }
 
-int RunBenchJson(const std::string& path, bool smoke) {
+int HardwareThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  if (hc != 0) {
+    return static_cast<int>(hc);
+  }
+#if defined(SZX_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+// Stale-grid trap shared by both JSON modes: a grid regenerated on a laptop
+// must not silently replace one measured on a bigger machine.  Reads the
+// hardware_threads field of an existing grid; returns 0 when absent.
+int RecordedHardwareThreads(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return 0;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  const std::string key = "\"hardware_threads\":";
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    return 0;
+  }
+  return std::atoi(text.c_str() + pos + key.size());
+}
+
+bool RefuseStaleOverwrite(const std::string& path, bool force) {
+  const int recorded = RecordedHardwareThreads(path);
+  if (!force && recorded > HardwareThreads()) {
+    std::fprintf(stderr,
+                 "micro_codec: %s was measured on a machine with %d hardware "
+                 "threads but this one has %d -- overwriting would make the "
+                 "grid look like a regression.  Pass --force to overwrite "
+                 "anyway.\n",
+                 path.c_str(), recorded, HardwareThreads());
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Baseline-codec rows (szref / sz2 / zfpref) for the --bench_json grid.
+// ---------------------------------------------------------------------------
+
+// One end-to-end baseline-codec measurement: codec x kernel tier x thread
+// count (threads matter only for the parallel chunked-Huffman decode; the
+// compress rows and the serial zfp decoder carry threads=1).
+struct BaselineCodecRow {
+  std::string bench;
+  std::string kernel;
+  int threads;
+  double rel_eb;
+  std::size_t bytes;
+  szx::bench::TrimmedTiming timing;
+
+  double Gbps() const {
+    return static_cast<double>(bytes) / 1e9 / timing.mean_s;
+  }
+};
+
+// The kernel tiers worth measuring on this machine: scalar plus every
+// vectorized tier the CPU actually runs (forced fallbacks would just
+// re-measure scalar under another name).
+std::vector<kernels::Kind> MeasurableKinds() {
+  std::vector<kernels::Kind> kinds;
+  for (const kernels::TierInfo& t : kernels::KernelTiers()) {
+    if (!t.supported) continue;
+    if (t.kind != kernels::Kind::kScalar &&
+        &kernels::BaselineOpsFor(t.kind) ==
+            &kernels::ScalarBaselineOps()) {
+      continue;  // alias tier (e.g. neon on x86): nothing new to measure
+    }
+    kinds.push_back(t.kind);
+  }
+  return kinds;
+}
+
+// Measures one codec under the *currently installed* kernel tier.  The
+// decode closure receives the thread count for the parallel Huffman stage.
+template <typename CompressFn, typename DecompressFn>
+void MeasureBaselineCodec(std::vector<BaselineCodecRow>& rows,
+                          const char* codec_name, const char* kernel_name,
+                          std::size_t bytes, double rel_eb, int reps,
+                          bool threaded_decode, CompressFn&& compress,
+                          DecompressFn&& decompress) {
+  const auto ct = szx::bench::TimeTrimmed(reps, [&] {
+    auto stream = compress();
+    benchmark::DoNotOptimize(stream.data());
+  });
+  rows.push_back({std::string(codec_name) + "_compress", kernel_name, 1,
+                  rel_eb, bytes, ct});
+  const ByteBuffer stream = compress();
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto dt = szx::bench::TimeTrimmed(reps, [&] {
+      auto recon = decompress(stream, threads);
+      benchmark::DoNotOptimize(recon.data());
+    });
+    rows.push_back({std::string(codec_name) + "_decompress", kernel_name,
+                    threads, rel_eb, bytes, dt});
+    if (!threaded_decode) break;  // serial decoder: one row is the truth
+  }
+}
+
+// Fused Lorenzo predict+quantize (prequant then row-wise integer delta over
+// the full 2-D grid) -- the kernel-level row behind the vectorization
+// acceptance bar: each vector tier's speedup over scalar is recorded in
+// predict_quantize_speedup_vs_scalar.
+void MeasurePredictQuantize(std::vector<BaselineCodecRow>& rows,
+                            const std::vector<float>& v, std::size_t ny,
+                            std::size_t nx, double rel_eb, int reps) {
+  const double eb = rel_eb;  // the row is a kernel microbench; scale is moot
+  const double half_inv = 1.0 / (2.0 * eb);
+  std::vector<std::int32_t> q(v.size());
+  std::vector<std::int32_t> delta(v.size());
+  for (const kernels::Kind kind : MeasurableKinds()) {
+    const kernels::BaselineOps& ops = kernels::BaselineOpsFor(kind);
+    const auto t = szx::bench::TimeTrimmed(reps, [&] {
+      ops.prequant_f32(v.data(), v.size(), half_inv, q.data());
+      for (std::size_t y = 0; y < ny; ++y) {
+        const std::size_t row = y * nx;
+        // szx-lint: allow(ptr-arith) -- row < ny*nx == v.size() by loop bounds; the kernel ABI takes raw row pointers
+        const std::int32_t* qrow = q.data() + row;
+        const std::int32_t* qy = y > 0 ? qrow - nx : nullptr;
+        // szx-lint: allow(ptr-arith) -- same row offset into the delta grid of identical size
+        std::int32_t* drow = delta.data() + row;
+        ops.lorenzo_delta_i32(qrow, qy, nullptr, nullptr,
+                              /*has_left=*/false, nx, drow);
+      }
+      benchmark::DoNotOptimize(delta.data());
+    });
+    rows.push_back({"predict_quantize", kernels::KindName(kind), 1, rel_eb,
+                    v.size() * sizeof(float), t});
+  }
+}
+
+void RunBaselineGrid(std::vector<BaselineCodecRow>& rows,
+                     const data::Field& field, int reps) {
+  constexpr double kRelEb = 1e-3;
+  const std::vector<float>& v = field.values;
+  const std::size_t bytes = v.size() * sizeof(float);
+  const std::vector<std::size_t> dims = field.dims;
+
+  szref::SzParams szp;
+  szp.mode = ErrorBoundMode::kValueRangeRelative;
+  szp.error_bound = kRelEb;
+  szref::Sz2Params sz2p;
+  sz2p.mode = ErrorBoundMode::kValueRangeRelative;
+  sz2p.error_bound = kRelEb;
+  zfpref::ZfpParams zp;
+  zp.mode = ErrorBoundMode::kValueRangeRelative;
+  zp.error_bound = kRelEb;
+
+  const kernels::Kind prior = kernels::ActiveKind();
+  for (const kernels::Kind kind : MeasurableKinds()) {
+    kernels::SetActiveKind(kind);
+    const char* kname = kernels::KindName(kind);
+    MeasureBaselineCodec(
+        rows, "szref", kname, bytes, kRelEb, reps, /*threaded_decode=*/true,
+        [&] { return szref::SzCompress(v, dims, szp); },
+        [&](ByteSpan s, int threads) {
+          return szref::SzDecompress(s, threads);
+        });
+    MeasureBaselineCodec(
+        rows, "sz2", kname, bytes, kRelEb, reps, /*threaded_decode=*/true,
+        [&] { return szref::Sz2Compress(v, dims, sz2p); },
+        [&](ByteSpan s, int threads) {
+          return szref::Sz2Decompress(s, threads);
+        });
+    MeasureBaselineCodec(
+        rows, "zfpref", kname, bytes, kRelEb, reps,
+        /*threaded_decode=*/false,
+        [&] { return zfpref::ZfpCompress(v, dims, zp); },
+        [&](ByteSpan s, int) { return zfpref::ZfpDecompress(s); });
+  }
+  kernels::SetActiveKind(prior);
+
+  // The field is 2-D (CESM slice): ny x nx for the kernel-level row.
+  const std::size_t nx = dims.back();
+  MeasurePredictQuantize(rows, v, v.size() / nx, nx, kRelEb, reps);
+}
+
+int RunBenchJson(const std::string& path, bool smoke, bool force) {
+  if (RefuseStaleOverwrite(path, force)) {
+    return 1;
+  }
   using szx::bench::JsonWriter;
   const double scale = smoke ? 0.02 : szx::bench::BenchScale();
   const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 7);
@@ -516,13 +713,18 @@ int RunBenchJson(const std::string& path, bool smoke) {
   std::vector<GridRow> rows;
   RunGridForType<float>(rows, vf, reps);
   RunGridForType<double>(rows, vd, reps);
+  std::vector<BaselineCodecRow> baseline_rows;
+  RunBaselineGrid(baseline_rows, field, reps);
 
   JsonWriter w;
   w.BeginObject();
-  w.Field("schema", "szx-bench-codec-v1");
+  w.Field("schema", "szx-bench-codec-v2");
   w.Field("smoke", smoke);
   w.Field("active_kernel", kernels::KindName(kernels::ActiveKind()));
   w.Field("avx2_supported", kernels::Avx2Supported());
+  w.Field("avx512_supported", kernels::Avx512Supported());
+  w.Field("neon_supported", kernels::NeonSupported());
+  w.Field("hardware_threads", HardwareThreads());
   w.Field("reps", reps);
   w.BeginObject("field");
   w.Field("app", "CESM-ATM");
@@ -563,6 +765,39 @@ int RunBenchJson(const std::string& path, bool smoke) {
     }
   }
   w.EndArray();
+  // Baseline-codec axis: end-to-end szref/sz2/zfpref throughput per kernel
+  // tier, with the parallel chunked-Huffman decode swept over 1/2/4/8
+  // threads, plus the fused predict+quantize kernel row.
+  w.BeginArray("baseline_results");
+  for (const auto& r : baseline_rows) {
+    w.BeginObject();
+    w.Field("bench", r.bench);
+    w.Field("kernel", r.kernel);
+    w.Field("threads", r.threads);
+    w.Field("rel_eb", r.rel_eb);
+    w.Field("bytes", r.bytes);
+    w.Field("mean_s", r.timing.mean_s);
+    w.Field("min_s", r.timing.min_s);
+    w.Field("max_s", r.timing.max_s);
+    w.Field("gbps", r.Gbps());
+    w.EndObject();
+  }
+  w.EndArray();
+  // Vectorized Lorenzo predict+quantize over the scalar kernel at one
+  // thread -- the number the >= 1.5x vectorization acceptance bar reads.
+  w.BeginArray("predict_quantize_speedup_vs_scalar");
+  for (const auto& r : baseline_rows) {
+    if (r.bench != "predict_quantize" || r.kernel == "scalar") continue;
+    for (const auto& base : baseline_rows) {
+      if (base.bench == "predict_quantize" && base.kernel == "scalar") {
+        w.BeginObject();
+        w.Field("kernel", r.kernel);
+        w.Field("speedup", r.Gbps() / base.Gbps());
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
   w.EndObject();
 
   if (!szx::bench::ValidateJson(w.Str())) {
@@ -577,7 +812,7 @@ int RunBenchJson(const std::string& path, bool smoke) {
   out << w.Str() << '\n';
   out.close();
   std::printf("wrote %s (%zu results, reps=%d, %zu elements)\n", path.c_str(),
-              rows.size(), reps, vf.size());
+              rows.size() + baseline_rows.size(), reps, vf.size());
   return out.good() ? 0 : 1;
 }
 
@@ -599,18 +834,6 @@ struct OmpRow {
     return static_cast<double>(bytes) / 1e9 / timing.mean_s;
   }
 };
-
-int HardwareThreads() {
-  const unsigned hc = std::thread::hardware_concurrency();
-  if (hc != 0) {
-    return static_cast<int>(hc);
-  }
-#if defined(SZX_HAVE_OPENMP)
-  return omp_get_max_threads();
-#else
-  return 1;
-#endif
-}
 
 // Thread-scaling measurements for one dtype under one kernel implementation
 // and one executor backend (the caller installs both via SetActiveKind /
@@ -654,35 +877,9 @@ void RunOmpGridForType(std::vector<OmpRow>& rows, const char* kernel_name,
   }
 }
 
-// Stale-grid trap: a BENCH_omp.json regenerated on a laptop must not
-// silently replace a grid measured on a bigger machine.  Reads the
-// hardware_threads field of an existing grid; returns 0 when absent.
-int RecordedHardwareThreads(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return 0;
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string text = ss.str();
-  const std::string key = "\"hardware_threads\":";
-  const std::size_t pos = text.find(key);
-  if (pos == std::string::npos) {
-    return 0;
-  }
-  return std::atoi(text.c_str() + pos + key.size());
-}
-
 int RunBenchOmpJson(const std::string& path, bool smoke, bool force) {
   using szx::bench::JsonWriter;
-  const int recorded = RecordedHardwareThreads(path);
-  if (!force && recorded > HardwareThreads()) {
-    std::fprintf(stderr,
-                 "micro_codec: %s was measured on a machine with %d hardware "
-                 "threads but this one has %d -- overwriting would make the "
-                 "scaling grid look like a regression.  Pass --force to "
-                 "overwrite anyway.\n",
-                 path.c_str(), recorded, HardwareThreads());
+  if (RefuseStaleOverwrite(path, force)) {
     return 1;
   }
   const double scale = smoke ? 0.02 : szx::bench::BenchScale();
@@ -838,7 +1035,7 @@ int main(int argc, char** argv) {
     return RunBenchOmpJson(omp_json_path, smoke, force);
   }
   if (!json_path.empty()) {
-    return RunBenchJson(json_path, smoke);
+    return RunBenchJson(json_path, smoke, force);
   }
   int rest_argc = static_cast<int>(rest.size());
   benchmark::Initialize(&rest_argc, rest.data());

@@ -4,7 +4,15 @@
 #   BENCH_codec.json  GB/s for each kernel implementation x dtype x error
 #                     bound on a CESM-like field, plus the byte-wise
 #                     pre-vectorization encode loop as the fixed reference
-#                     the speedup figures compare against.
+#                     the speedup figures compare against.  Since schema v2
+#                     the grid also carries the baseline-codec axis
+#                     (szref/sz2/zfpref compress+decompress per kernel tier,
+#                     parallel chunked-Huffman decode at 1/2/4/8 threads)
+#                     and the fused Lorenzo predict+quantize row whose
+#                     speedup-vs-scalar series records the vectorization
+#                     acceptance bar.  Shares the omp grid's stale-bench
+#                     trap: a grid recorded on a bigger machine is not
+#                     overwritten unless --force is passed through.
 #   BENCH_omp.json    thread-scaling grid (paper Fig. 13 axes): parallel
 #                     compress and decompress at 1/2/4/8 threads x kernel x
 #                     dtype x executor backend (pool + OpenMP), with the
@@ -19,8 +27,9 @@
 #
 # Knobs: SZX_BENCH_SCALE (field size), SZX_BENCH_REPS (timed repetitions;
 # the harness floors this at 7 and trims the fastest/slowest quintile), and
-# SZX_KERNEL=scalar|avx2 to force the full-path rows onto one implementation
-# (the omp grid switches kernels itself and ignores the override).
+# SZX_KERNEL=scalar|avx2|avx512|neon to force the full-path rows onto one
+# implementation (the omp grid and the baseline-codec axis switch kernels
+# themselves and ignore the override).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

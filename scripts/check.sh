@@ -14,8 +14,9 @@
 #      skipped loudly when clang++ is not installed (GCC compiles the
 #      annotations as no-ops)
 #   3. asan-ubsan build, then every tier under ASan/UBSan
-#   4. tsan build, then the OMP/pool-executor/cusim suites under
-#      ThreadSanitizer
+#   4. tsan build, then the OMP/pool-executor/cusim suites plus the
+#      baseline codecs (parallel chunked-Huffman decode at SZX_THREADS=4)
+#      under ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
 # dominate the runtime; pass --fast to run only stage 1.
 set -euo pipefail
@@ -61,7 +62,10 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
   --target test_omp_codec test_cusim test_kernel_harness test_kernels \
            test_salvage test_salvage_property test_executor test_streaming \
-           test_pipeline
-ctest --preset tsan-omp
+           test_pipeline test_huffman test_szref test_sz2
+# SZX_THREADS=4 forces the chunked-Huffman parallel decode (szref/sz2) onto
+# multiple pool workers even on small boxes, so tsan actually sees the
+# concurrent decode path rather than a single-threaded fallback.
+SZX_THREADS=4 ctest --preset tsan-omp
 
 echo "check.sh: all stages passed"

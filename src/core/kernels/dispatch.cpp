@@ -1,6 +1,9 @@
 // szx-hot: per-block dispatch runs millions of times; no allocation.
 // Runtime kernel selection: cpuid-style detection once per process, with an
-// SZX_KERNEL=scalar|avx2 environment override for differential testing.
+// SZX_KERNEL=scalar|avx2|avx512|neon environment override for differential
+// testing.  Unsupported overrides fall back down the chain (neon -> scalar,
+// avx512 -> avx2 -> scalar) with a warning so forced-kernel test runs stay
+// portable; the CLI's --kernel flag layers strict validation on top.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -10,8 +13,38 @@
 
 namespace szx::kernels {
 
+// Defined in kernels_avx512.cpp / kernels_neon.cpp, which are the only TUs
+// that see the per-file SZX_HAVE_AVX512 / SZX_HAVE_NEON definitions.
+bool Avx512Compiled();
+bool NeonCompiled();
+
 const char* KindName(Kind kind) {
-  return kind == Kind::kAvx2 ? "avx2" : "scalar";
+  switch (kind) {
+    case Kind::kAvx2:
+      return "avx2";
+    case Kind::kAvx512:
+      return "avx512";
+    case Kind::kNeon:
+      return "neon";
+    case Kind::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool ParseKind(const char* name, Kind& out) {
+  if (std::strcmp(name, "scalar") == 0) {
+    out = Kind::kScalar;
+  } else if (std::strcmp(name, "avx2") == 0) {
+    out = Kind::kAvx2;
+  } else if (std::strcmp(name, "avx512") == 0) {
+    out = Kind::kAvx512;
+  } else if (std::strcmp(name, "neon") == 0) {
+    out = Kind::kNeon;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 bool Avx2Supported() {
@@ -22,27 +55,102 @@ bool Avx2Supported() {
 #endif
 }
 
+bool Avx512Supported() {
+#if defined(__x86_64__) || defined(__i386__)
+  // The baseline kernels use F (math), VL (256/128-bit forms), DQ
+  // (conversions) and BW; require the full set the TU was built with.
+  return Avx512Compiled() && __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0;
+#else
+  return false;
+#endif
+}
+
+bool NeonSupported() {
+  // NEON is architecturally mandatory on aarch64, so compiled == supported.
+  return NeonCompiled();
+}
+
+bool KindCompiled(Kind kind) {
+  switch (kind) {
+    case Kind::kAvx2:
+#if defined(SZX_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Kind::kAvx512:
+      return Avx512Compiled();
+    case Kind::kNeon:
+      return NeonCompiled();
+    case Kind::kScalar:
+      break;
+  }
+  return true;
+}
+
+bool KindSupported(Kind kind) {
+  switch (kind) {
+    case Kind::kAvx2:
+      return Avx2Supported();
+    case Kind::kAvx512:
+      return Avx512Supported();
+    case Kind::kNeon:
+      return NeonSupported();
+    case Kind::kScalar:
+      break;
+  }
+  return true;
+}
+
+std::array<TierInfo, kNumKinds> KernelTiers() {
+  std::array<TierInfo, kNumKinds> tiers{};
+  const Kind kinds[kNumKinds] = {Kind::kScalar, Kind::kAvx2, Kind::kAvx512,
+                                 Kind::kNeon};
+  for (int i = 0; i < kNumKinds; ++i) {
+    tiers[static_cast<std::size_t>(i)] = {kinds[i], KindCompiled(kinds[i]),
+                                          KindSupported(kinds[i])};
+  }
+  return tiers;
+}
+
 namespace {
+
+// Fallback chain for unsupported requests: each x86 tier degrades to the
+// next-widest supported one; neon (the only non-x86 tier) goes to scalar.
+Kind Degrade(Kind kind) {
+  if (kind == Kind::kAvx512 && Avx2Supported()) return Kind::kAvx2;
+  return Kind::kScalar;
+}
 
 Kind SelectKind() {
   const char* env = std::getenv("SZX_KERNEL");
   if (env != nullptr && env[0] != '\0') {
-    if (std::strcmp(env, "scalar") == 0) return Kind::kScalar;
-    if (std::strcmp(env, "avx2") == 0) {
-      if (Avx2Supported()) return Kind::kAvx2;
+    Kind requested = Kind::kScalar;
+    if (ParseKind(env, requested)) {
+      if (KindSupported(requested)) return requested;
       // Fall back rather than fail so forced-kernel test invocations stay
-      // portable to machines without AVX2.
+      // portable to machines without the requested ISA.
+      const Kind fallback = Degrade(requested);
       std::fprintf(stderr,
-                   "szx: SZX_KERNEL=avx2 requested but AVX2 is unavailable; "
-                   "using scalar kernels\n");
-      return Kind::kScalar;
+                   "szx: SZX_KERNEL=%s requested but unavailable; using %s "
+                   "kernels\n",
+                   env, KindName(fallback));
+      return fallback;
     }
     std::fprintf(stderr,
                  "szx: ignoring unknown SZX_KERNEL value '%s' "
-                 "(expected scalar|avx2)\n",
+                 "(expected scalar|avx2|avx512|neon)\n",
                  env);
   }
-  return Avx2Supported() ? Kind::kAvx2 : Kind::kScalar;
+  // Auto-detection prefers the widest generally-profitable tier: AVX2 on
+  // x86 (AVX-512 stays opt-in -- its BlockOps alias AVX2, and downclocking
+  // makes it a measured choice, not a default), NEON on aarch64.
+  if (Avx2Supported()) return Kind::kAvx2;
+  if (NeonSupported()) return Kind::kNeon;
+  return Kind::kScalar;
 }
 
 // -1 = not yet selected; otherwise a Kind value.  Lazy selection may race on
@@ -66,7 +174,7 @@ Kind ActiveKind() {
 }
 
 Kind SetActiveKind(Kind kind) {
-  if (kind == Kind::kAvx2 && !Avx2Supported()) kind = Kind::kScalar;
+  while (!KindSupported(kind)) kind = Degrade(kind);
   // szx-mo: relaxed; bench/test override of a self-contained flag -- the
   // caller sequences its own subsequent ActiveKind() reads, and
   // cross-thread overrides mid-run are unsupported by contract.
@@ -76,10 +184,36 @@ Kind SetActiveKind(Kind kind) {
 
 template <SupportedFloat T>
 const BlockOps<T>& ActiveOps() {
-  return ActiveKind() == Kind::kAvx2 ? Avx2Ops<T>() : ScalarOps<T>();
+  switch (ActiveKind()) {
+    case Kind::kAvx2:
+      return Avx2Ops<T>();
+    case Kind::kAvx512:
+      return Avx512Ops<T>();
+    case Kind::kNeon:
+      return NeonOps<T>();
+    case Kind::kScalar:
+      break;
+  }
+  return ScalarOps<T>();
 }
 
 template const BlockOps<float>& ActiveOps<float>();
 template const BlockOps<double>& ActiveOps<double>();
+
+const BaselineOps& BaselineOpsFor(Kind kind) {
+  switch (kind) {
+    case Kind::kAvx2:
+      return Avx2BaselineOps();
+    case Kind::kAvx512:
+      return Avx512BaselineOps();
+    case Kind::kNeon:
+      return NeonBaselineOps();
+    case Kind::kScalar:
+      break;
+  }
+  return ScalarBaselineOps();
+}
+
+const BaselineOps& ActiveBaselineOps() { return BaselineOpsFor(ActiveKind()); }
 
 }  // namespace szx::kernels

@@ -16,8 +16,11 @@
 //     that must compare implementations inside one process.
 #pragma once
 
+#include <array>
 #include <bit>
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
 
 #include "core/encode.hpp"
 
@@ -26,21 +29,52 @@ namespace szx::kernels {
 static_assert(std::endian::native == std::endian::little,
               "the word-wide commit kernels assume a little-endian target");
 
-/// Which implementation a BlockOps table belongs to.
-enum class Kind { kScalar = 0, kAvx2 = 1 };
+/// Which implementation a BlockOps/BaselineOps table belongs to.
+enum class Kind { kScalar = 0, kAvx2 = 1, kAvx512 = 2, kNeon = 3 };
+
+inline constexpr int kNumKinds = 4;
 
 const char* KindName(Kind kind);
 
+/// Parses a SZX_KERNEL / --kernel spelling into a Kind.  Returns false for
+/// unknown names (the caller decides whether that is a warning or an error).
+[[nodiscard]] bool ParseKind(const char* name, Kind& out);
+
 /// True when the AVX2 kernels were compiled in and the CPU supports them.
 bool Avx2Supported();
+
+/// True when the AVX-512 kernels were compiled in (kernels_avx512.cpp built
+/// with -mavx512{f,bw,vl,dq}) and the CPU reports all four feature bits.
+bool Avx512Supported();
+
+/// True when the NEON kernels were compiled in (aarch64 builds only; NEON is
+/// architecturally guaranteed there, so compiled implies supported).
+bool NeonSupported();
+
+/// Whether a tier's implementation was compiled into this binary at all.
+bool KindCompiled(Kind kind);
+
+/// Compiled and usable on this CPU.
+bool KindSupported(Kind kind);
+
+/// One row of the dispatch table, for introspection (`szx_cli --kernel list`).
+struct TierInfo {
+  Kind kind;
+  bool compiled;
+  bool supported;
+};
+
+/// All tiers in preference order (scalar, avx2, avx512, neon).
+std::array<TierInfo, kNumKinds> KernelTiers();
 
 /// The process-wide selection (env override applied), chosen on first use.
 Kind ActiveKind();
 
 /// Replaces the process-wide selection (used by the CLI's --kernel flag and
-/// the bench grid to switch implementations without a subprocess).  Requesting
-/// avx2 on hardware without it falls back to scalar, mirroring the env
-/// override.  Returns the kind actually installed.
+/// the bench grid to switch implementations without a subprocess).
+/// Requesting an unsupported tier falls back down the chain (neon -> scalar,
+/// avx512 -> avx2 -> scalar), mirroring the env override.  Returns the kind
+/// actually installed.
 Kind SetActiveKind(Kind kind);
 
 /// Word-wide commits may store up to sizeof(Bits)-1 bytes past the live
@@ -89,8 +123,136 @@ const BlockOps<T>& ScalarOps();
 template <SupportedFloat T>
 const BlockOps<T>& Avx2Ops();
 
+/// The AVX-512 tier aliases the AVX2 BlockOps table: the word-wide commit
+/// kernels are load/store bound and gain nothing from wider vectors, and the
+/// alias keeps forced-kernel golden reruns byte-identical by construction.
+template <SupportedFloat T>
+const BlockOps<T>& Avx512Ops();
+
+/// The NEON tier aliases the scalar BlockOps table on non-aarch64 builds.
+template <SupportedFloat T>
+const BlockOps<T>& NeonOps();
+
 /// The table matching ActiveKind().
 template <SupportedFloat T>
 const BlockOps<T>& ActiveOps();
+
+// ---------------------------------------------------------------------------
+// Baseline-codec kernels (szref/sz2 prequantized Lorenzo, zfpref lifting).
+// ---------------------------------------------------------------------------
+
+/// Saturation limit for prequantized Lorenzo codes: with |q| <= 2^27 the
+/// 7-term 3-D stencil sum stays inside int32 (7 * 2^27 < 2^31), so the
+/// vectorized delta kernels never overflow.  Values that clamp simply fail
+/// the error-bound check and take the exact-value escape path.
+inline constexpr std::int32_t kPrequantClamp = std::int32_t{1} << 27;
+
+/// Canonical scalar prequantizer: q = clamp(nearbyint(v / (2*eb))), with
+/// NaN mapping to 0.  This exact function is the contract every SIMD tier's
+/// lanes must reproduce bit-for-bit, and the one the szref/sz2 decoders use
+/// to recompute the q-grid entry of an escaped (exactly stored) value -- the
+/// encoder and decoder grids stay identical because both sides call it.
+inline std::int32_t PrequantOne(float v, double half_inv) {
+  const double qd = std::nearbyint(static_cast<double>(v) * half_inv);
+  if (std::isnan(qd)) return 0;
+  constexpr double kClamp = static_cast<double>(kPrequantClamp);
+  if (qd > kClamp) return kPrequantClamp;
+  if (qd < -kClamp) return -kPrequantClamp;
+  return static_cast<std::int32_t>(qd);
+}
+
+/// Scalar Lorenzo delta for one row element (shared by every tier's edge
+/// tail).  `q` points at the row, `qy`/`qz`/`qyz` at the same offsets in the
+/// -y / -z / -yz neighbour rows (null on a boundary; `qyz` is non-null only
+/// when both `qy` and `qz` are).  `has_left` marks that index -1 into each
+/// row is a valid left-neighbour column.  All sums fit int32 by the
+/// kPrequantClamp contract; the intermediate is int64 so hostile inputs
+/// still produce defined (wrapped) results.
+inline std::int32_t LorenzoDeltaOne(const std::int32_t* q,
+                                    const std::int32_t* qy,
+                                    const std::int32_t* qz,
+                                    const std::int32_t* qyz, bool has_left,
+                                    std::size_t i) {
+  const bool left = has_left || i > 0;
+  std::int64_t pred = 0;
+  if (left) pred += q[i - 1];
+  if (qy != nullptr) {
+    pred += qy[i];
+    if (left) pred -= qy[i - 1];
+  }
+  if (qz != nullptr) {
+    pred += qz[i];
+    if (left) pred -= qz[i - 1];
+  }
+  if (qyz != nullptr) {
+    pred -= qyz[i];
+    if (left) pred += qyz[i - 1];
+  }
+  return static_cast<std::int32_t>(static_cast<std::int64_t>(q[i]) - pred);
+}
+
+/// Integer Lorenzo prediction at flat index i = (z*ny + y)*nx + x of a grid
+/// with row stride sy and plane stride sz; border neighbours contribute
+/// zero.  This is the decode-side inverse of LorenzoDeltaOne's row-pointer
+/// form: a decoder reconstructs q[i] = LorenzoPredictAt(...) + delta.
+inline std::int64_t LorenzoPredictAt(const std::int32_t* q, std::size_t i,
+                                     std::size_t x, std::size_t y,
+                                     std::size_t z, std::size_t sy,
+                                     std::size_t sz) {
+  std::int64_t pred = 0;
+  if (x > 0) pred += q[i - 1];
+  if (y > 0) {
+    pred += q[i - sy];
+    if (x > 0) pred -= q[i - sy - 1];
+  }
+  if (z > 0) {
+    pred += q[i - sz];
+    if (x > 0) pred -= q[i - sz - 1];
+  }
+  if (y > 0 && z > 0) {
+    pred -= q[i - sy - sz];
+    if (x > 0) pred += q[i - sy - sz - 1];
+  }
+  return pred;
+}
+
+/// Scalar dequantizer for one element: (float)(2*eb * q).
+inline float DequantOne(std::int32_t q, double twice_eb) {
+  return static_cast<float>(twice_eb * static_cast<double>(q));
+}
+
+/// Function table for the baseline-codec hot loops.  Pointers are never
+/// null; every tier is bit-identical to ScalarBaselineOps by contract
+/// (tests/core/test_baseline_kernels.cpp enforces it).
+struct BaselineOps {
+  /// q[i] = PrequantOne(src[i], half_inv) for i in [0, n).
+  void (*prequant_f32)(const float* src, std::size_t n, double half_inv,
+                       std::int32_t* q);
+  /// d[i] = LorenzoDeltaOne(q, qy, qz, qyz, has_left, i) over one row.
+  void (*lorenzo_delta_i32)(const std::int32_t* q, const std::int32_t* qy,
+                            const std::int32_t* qz, const std::int32_t* qyz,
+                            bool has_left, std::size_t n, std::int32_t* d);
+  /// out[i] = (float)(twice_eb * q[i]) for i in [0, n).
+  void (*dequant_f32)(const std::int32_t* q, std::size_t n, double twice_eb,
+                      float* out);
+  /// ZFP 4^dims forward/inverse lifting transform, in place (dims in 1..3,
+  /// validated by the caller).
+  void (*zfp_fwd_xform)(std::int32_t* block, int dims);
+  void (*zfp_inv_xform)(std::int32_t* block, int dims);
+};
+
+const BaselineOps& ScalarBaselineOps();
+const BaselineOps& Avx2BaselineOps();
+/// AVX-512 vectorizes prequant/delta/dequant 16-wide; the zfp lifting
+/// entries alias the AVX2 path (transform is 128-bit wide by shape).
+const BaselineOps& Avx512BaselineOps();
+/// NEON vectorizes prequant/delta/dequant; zfp lifting aliases scalar.
+const BaselineOps& NeonBaselineOps();
+
+/// The table for an explicit tier (falls back like SetActiveKind).
+const BaselineOps& BaselineOpsFor(Kind kind);
+
+/// The table matching ActiveKind().
+const BaselineOps& ActiveBaselineOps();
 
 }  // namespace szx::kernels

@@ -1,0 +1,166 @@
+// szx-hot: baseline-codec hot loops; steady state must not allocate.
+// AVX-512 tier.  This is the only TU compiled with -mavx512{f,bw,vl,dq}
+// (SZX_HAVE_AVX512 is a per-source definition); everything else reaches it
+// through function pointers, so the rest of the binary stays runnable on
+// CPUs without AVX-512.
+//
+// The BlockOps table aliases AVX2: the word-wide commit kernels are
+// load/store bound, and the alias keeps forced-kernel golden reruns
+// byte-identical by construction.  The BaselineOps prequant/delta/dequant
+// lanes are 16-wide ports of the AVX2 arithmetic (IEEE-exact double math
+// and pure epi32 ops), so results match the scalar table bit-for-bit; the
+// ZFP lifting entries alias AVX2 (the transform is 128-bit wide by shape).
+#include "core/kernels/baseline_impl.hpp"
+#include "core/kernels/kernels.hpp"
+
+#if defined(SZX_HAVE_AVX512)
+#include <immintrin.h>
+#endif
+
+namespace szx::kernels {
+
+bool Avx512Compiled() {
+#if defined(SZX_HAVE_AVX512)
+  return true;
+#else
+  return false;
+#endif
+}
+
+template <SupportedFloat T>
+const BlockOps<T>& Avx512Ops() {
+  return Avx2Ops<T>();
+}
+
+template const BlockOps<float>& Avx512Ops<float>();
+template const BlockOps<double>& Avx512Ops<double>();
+
+#if defined(SZX_HAVE_AVX512)
+
+namespace {
+
+inline __m512i Load16i(const std::int32_t* p) {
+  // szx-lint: allow(simd-mem) -- reads 16 ints at p; the vector loop bound i+16 <= n keeps the load in the caller's row
+  return _mm512_loadu_si512(p);
+}
+
+inline void Store16i(std::int32_t* p, __m512i v) {
+  // szx-lint: allow(simd-mem) -- writes 16 ints at p; the vector loop bound i+16 <= n keeps the store in the caller's row
+  _mm512_storeu_si512(p, v);
+}
+
+void PrequantAvx512(const float* src, std::size_t n, double half_inv,
+                    std::int32_t* q) {
+  const __m512d hinv = _mm512_set1_pd(half_inv);
+  const __m512d chi = _mm512_set1_pd(static_cast<double>(kPrequantClamp));
+  const __m512d clo = _mm512_set1_pd(-static_cast<double>(kPrequantClamp));
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    // szx-lint: allow(simd-mem) -- reads 16 floats at src+i; the loop bound i+16 <= n keeps the load in the caller's row
+    const __m512 v = _mm512_loadu_ps(src + i);
+    __m512d lo =
+        _mm512_mul_pd(_mm512_cvtps_pd(_mm512_castps512_ps256(v)), hinv);
+    __m512d hi =
+        _mm512_mul_pd(_mm512_cvtps_pd(_mm512_extractf32x8_ps(v, 1)), hinv);
+    lo = _mm512_roundscale_pd(lo,
+                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    hi = _mm512_roundscale_pd(hi,
+                              _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+    // NaN lanes -> +0.0 (PrequantOne maps NaN to 0), then saturate like the
+    // scalar clamp; min/max see no NaN after the mask.
+    lo = _mm512_maskz_mov_pd(_mm512_cmp_pd_mask(lo, lo, _CMP_ORD_Q), lo);
+    hi = _mm512_maskz_mov_pd(_mm512_cmp_pd_mask(hi, hi, _CMP_ORD_Q), hi);
+    lo = _mm512_min_pd(_mm512_max_pd(lo, clo), chi);
+    hi = _mm512_min_pd(_mm512_max_pd(hi, clo), chi);
+    const __m256i ilo = _mm512_cvtpd_epi32(lo);
+    const __m256i ihi = _mm512_cvtpd_epi32(hi);
+    Store16i(q + i,
+             _mm512_inserti32x8(_mm512_castsi256_si512(ilo), ihi, 1));
+  }
+  detail::PrequantRange(src, i, n, half_inv, q);
+}
+
+template <bool kHasY, bool kHasZ>
+void LorenzoDeltaAvx512Impl(const std::int32_t* q, const std::int32_t* qy,
+                            const std::int32_t* qz, const std::int32_t* qyz,
+                            bool has_left, std::size_t n, std::int32_t* d) {
+  std::size_t i = 0;
+  if (!has_left && n > 0) {
+    d[0] = LorenzoDeltaOne(q, qy, qz, qyz, false, 0);
+    i = 1;
+  }
+  for (; i + 16 <= n; i += 16) {
+    __m512i pred = Load16i(q + i - 1);
+    if constexpr (kHasY) {
+      pred = _mm512_add_epi32(pred, Load16i(qy + i));
+      pred = _mm512_sub_epi32(pred, Load16i(qy + i - 1));
+    }
+    if constexpr (kHasZ) {
+      pred = _mm512_add_epi32(pred, Load16i(qz + i));
+      pred = _mm512_sub_epi32(pred, Load16i(qz + i - 1));
+    }
+    if constexpr (kHasY && kHasZ) {
+      pred = _mm512_sub_epi32(pred, Load16i(qyz + i));
+      pred = _mm512_add_epi32(pred, Load16i(qyz + i - 1));
+    }
+    Store16i(d + i, _mm512_sub_epi32(Load16i(q + i), pred));
+  }
+  detail::LorenzoDeltaRange(q, qy, qz, qyz, has_left, i, n, d);
+}
+
+void LorenzoDeltaAvx512(const std::int32_t* q, const std::int32_t* qy,
+                        const std::int32_t* qz, const std::int32_t* qyz,
+                        bool has_left, std::size_t n, std::int32_t* d) {
+  if (qy != nullptr && qz != nullptr) {
+    LorenzoDeltaAvx512Impl<true, true>(q, qy, qz, qyz, has_left, n, d);
+  } else if (qy != nullptr) {
+    LorenzoDeltaAvx512Impl<true, false>(q, qy, nullptr, nullptr, has_left, n,
+                                        d);
+  } else if (qz != nullptr) {
+    LorenzoDeltaAvx512Impl<false, true>(q, nullptr, qz, nullptr, has_left, n,
+                                        d);
+  } else {
+    LorenzoDeltaAvx512Impl<false, false>(q, nullptr, nullptr, nullptr,
+                                         has_left, n, d);
+  }
+}
+
+void DequantAvx512(const std::int32_t* q, std::size_t n, double twice_eb,
+                   float* out) {
+  const __m512d eb2 = _mm512_set1_pd(twice_eb);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512i qv = Load16i(q + i);
+    const __m512d lo = _mm512_mul_pd(
+        _mm512_cvtepi32_pd(_mm512_castsi512_si256(qv)), eb2);
+    const __m512d hi = _mm512_mul_pd(
+        _mm512_cvtepi32_pd(_mm512_extracti32x8_epi32(qv, 1)), eb2);
+    // szx-lint: allow(simd-mem) -- writes 16 floats at out+i; the loop bound i+16 <= n keeps the store in the caller's row
+    _mm512_storeu_ps(
+        out + i,
+        _mm512_insertf32x8(_mm512_castps256_ps512(_mm512_cvtpd_ps(lo)),
+                           _mm512_cvtpd_ps(hi), 1));
+  }
+  detail::DequantRange(q, i, n, twice_eb, out);
+}
+
+}  // namespace
+
+const BaselineOps& Avx512BaselineOps() {
+  static const BaselineOps kOps = [] {
+    BaselineOps ops = Avx2BaselineOps();  // ZFP lifting shares the AVX2 path
+    ops.prequant_f32 = &PrequantAvx512;
+    ops.lorenzo_delta_i32 = &LorenzoDeltaAvx512;
+    ops.dequant_f32 = &DequantAvx512;
+    return ops;
+  }();
+  return kOps;
+}
+
+#else  // !SZX_HAVE_AVX512
+
+const BaselineOps& Avx512BaselineOps() { return Avx2BaselineOps(); }
+
+#endif  // SZX_HAVE_AVX512
+
+}  // namespace szx::kernels

@@ -1,0 +1,148 @@
+// szx-hot: baseline-codec hot loops; steady state must not allocate.
+// NEON tier (aarch64 builds; SZX_HAVE_NEON is a per-source definition set
+// only when targeting aarch64, where NEON is architecturally mandatory).
+//
+// The BlockOps table aliases scalar: the word-wide commit kernels lean on
+// x86-style unaligned word stores and have not been ported.  BaselineOps
+// vectorizes prequant (2-wide float64x2 math -- the same IEEE-exact
+// double arithmetic as kernels::PrequantOne, so lanes match scalar
+// bit-for-bit), the Lorenzo delta (4-wide s32), and dequant; the ZFP
+// lifting entries alias the scalar path.
+#include "core/kernels/baseline_impl.hpp"
+#include "core/kernels/kernels.hpp"
+
+#if defined(SZX_HAVE_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace szx::kernels {
+
+bool NeonCompiled() {
+#if defined(SZX_HAVE_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+template <SupportedFloat T>
+const BlockOps<T>& NeonOps() {
+  return ScalarOps<T>();
+}
+
+template const BlockOps<float>& NeonOps<float>();
+template const BlockOps<double>& NeonOps<double>();
+
+#if defined(SZX_HAVE_NEON)
+
+namespace {
+
+// Rounds to integral (nearest-even), maps NaN lanes to +0.0, clamps to
+// +/-kPrequantClamp -- the vector form of the PrequantOne tail.
+inline float64x2_t RoundMaskClamp(float64x2_t x, float64x2_t clo,
+                                  float64x2_t chi) {
+  x = vrndnq_f64(x);
+  const uint64x2_t ord = vceqq_f64(x, x);  // all-ones on non-NaN lanes
+  x = vreinterpretq_f64_u64(vandq_u64(vreinterpretq_u64_f64(x), ord));
+  return vminq_f64(vmaxq_f64(x, clo), chi);
+}
+
+void PrequantNeon(const float* src, std::size_t n, double half_inv,
+                  std::int32_t* q) {
+  const float64x2_t hinv = vdupq_n_f64(half_inv);
+  const float64x2_t chi = vdupq_n_f64(static_cast<double>(kPrequantClamp));
+  const float64x2_t clo = vdupq_n_f64(-static_cast<double>(kPrequantClamp));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t v = vld1q_f32(src + i);
+    float64x2_t lo = vmulq_f64(vcvt_f64_f32(vget_low_f32(v)), hinv);
+    float64x2_t hi = vmulq_f64(vcvt_f64_f32(vget_high_f32(v)), hinv);
+    lo = RoundMaskClamp(lo, clo, chi);
+    hi = RoundMaskClamp(hi, clo, chi);
+    // The lanes are integral and inside +/-2^27, so the s64 conversion and
+    // the s32 narrowing are both exact.
+    const int32x2_t ilo = vmovn_s64(vcvtq_s64_f64(lo));
+    const int32x2_t ihi = vmovn_s64(vcvtq_s64_f64(hi));
+    vst1q_s32(q + i, vcombine_s32(ilo, ihi));
+  }
+  detail::PrequantRange(src, i, n, half_inv, q);
+}
+
+template <bool kHasY, bool kHasZ>
+void LorenzoDeltaNeonImpl(const std::int32_t* q, const std::int32_t* qy,
+                          const std::int32_t* qz, const std::int32_t* qyz,
+                          bool has_left, std::size_t n, std::int32_t* d) {
+  std::size_t i = 0;
+  if (!has_left && n > 0) {
+    d[0] = LorenzoDeltaOne(q, qy, qz, qyz, false, 0);
+    i = 1;
+  }
+  for (; i + 4 <= n; i += 4) {
+    int32x4_t pred = vld1q_s32(q + i - 1);
+    if constexpr (kHasY) {
+      pred = vaddq_s32(pred, vld1q_s32(qy + i));
+      pred = vsubq_s32(pred, vld1q_s32(qy + i - 1));
+    }
+    if constexpr (kHasZ) {
+      pred = vaddq_s32(pred, vld1q_s32(qz + i));
+      pred = vsubq_s32(pred, vld1q_s32(qz + i - 1));
+    }
+    if constexpr (kHasY && kHasZ) {
+      pred = vsubq_s32(pred, vld1q_s32(qyz + i));
+      pred = vaddq_s32(pred, vld1q_s32(qyz + i - 1));
+    }
+    vst1q_s32(d + i, vsubq_s32(vld1q_s32(q + i), pred));
+  }
+  detail::LorenzoDeltaRange(q, qy, qz, qyz, has_left, i, n, d);
+}
+
+void LorenzoDeltaNeon(const std::int32_t* q, const std::int32_t* qy,
+                      const std::int32_t* qz, const std::int32_t* qyz,
+                      bool has_left, std::size_t n, std::int32_t* d) {
+  if (qy != nullptr && qz != nullptr) {
+    LorenzoDeltaNeonImpl<true, true>(q, qy, qz, qyz, has_left, n, d);
+  } else if (qy != nullptr) {
+    LorenzoDeltaNeonImpl<true, false>(q, qy, nullptr, nullptr, has_left, n, d);
+  } else if (qz != nullptr) {
+    LorenzoDeltaNeonImpl<false, true>(q, nullptr, qz, nullptr, has_left, n, d);
+  } else {
+    LorenzoDeltaNeonImpl<false, false>(q, nullptr, nullptr, nullptr, has_left,
+                                       n, d);
+  }
+}
+
+void DequantNeon(const std::int32_t* q, std::size_t n, double twice_eb,
+                 float* out) {
+  const float64x2_t eb2 = vdupq_n_f64(twice_eb);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int32x4_t qv = vld1q_s32(q + i);
+    const float64x2_t lo =
+        vmulq_f64(vcvtq_f64_s64(vmovl_s32(vget_low_s32(qv))), eb2);
+    const float64x2_t hi =
+        vmulq_f64(vcvtq_f64_s64(vmovl_s32(vget_high_s32(qv))), eb2);
+    vst1q_f32(out + i, vcombine_f32(vcvt_f32_f64(lo), vcvt_f32_f64(hi)));
+  }
+  detail::DequantRange(q, i, n, twice_eb, out);
+}
+
+}  // namespace
+
+const BaselineOps& NeonBaselineOps() {
+  static const BaselineOps kOps = [] {
+    BaselineOps ops = ScalarBaselineOps();  // ZFP lifting stays scalar
+    ops.prequant_f32 = &PrequantNeon;
+    ops.lorenzo_delta_i32 = &LorenzoDeltaNeon;
+    ops.dequant_f32 = &DequantNeon;
+    return ops;
+  }();
+  return kOps;
+}
+
+#else  // !SZX_HAVE_NEON
+
+const BaselineOps& NeonBaselineOps() { return ScalarBaselineOps(); }
+
+#endif  // SZX_HAVE_NEON
+
+}  // namespace szx::kernels

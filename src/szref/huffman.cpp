@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/executor.hpp"
+
 namespace szx::szref {
 namespace {
 
@@ -190,7 +192,12 @@ void HuffmanCodec::Encode(std::span<const std::uint16_t> symbols,
 void HuffmanCodec::Decode(BitReader& br, std::size_t count,
                           std::vector<std::uint16_t>& out) const {
   out.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
+  DecodeRange(br, out.data(), count);
+}
+
+void HuffmanCodec::DecodeRange(BitReader& br, std::uint16_t* out,
+                               std::size_t n) const {
+  for (std::size_t i = 0; i < n; ++i) {
     // Fast path: one table probe resolves codes up to kFastBits long.
     const std::uint32_t probe =
         static_cast<std::uint32_t>(br.PeekBits(kFastBits));
@@ -225,6 +232,75 @@ void HuffmanCodec::Decode(BitReader& br, std::size_t count,
       }
     }
   }
+}
+
+void HuffmanCodec::EncodeChunked(std::span<const std::uint16_t> symbols,
+                                 ByteBuffer& out) const {
+  const std::size_t chunks =
+      symbols.empty() ? 0
+                      : (symbols.size() + kChunkSymbols - 1) / kChunkSymbols;
+  // Chunk code bytes are produced into a staging buffer first so the offset
+  // table can precede them in the output without a second pass.
+  std::vector<std::uint64_t> ends;
+  ends.reserve(chunks);
+  ByteBuffer code_bytes;
+  BitWriter bw(code_bytes);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t first = c * kChunkSymbols;
+    const std::size_t n = std::min(kChunkSymbols, symbols.size() - first);
+    Encode(symbols.subspan(first, n), bw);
+    // Byte-align every chunk boundary: a decoder seeks to ends[c - 1] and
+    // starts reading without knowing how its predecessor's last byte ended.
+    bw.Flush();
+    ends.push_back(code_bytes.size());
+  }
+  ByteWriter w(out);
+  w.Write(CheckedNarrow<std::uint32_t>(chunks));
+  for (const std::uint64_t e : ends) w.Write(e);
+  w.WriteBytes(code_bytes.data(), code_bytes.size());
+}
+
+void HuffmanCodec::DecodeChunked(ByteCursor& in, std::size_t count,
+                                 std::vector<std::uint16_t>& out,
+                                 int num_threads) const {
+  const std::uint32_t chunks = in.Read<std::uint32_t>();
+  const std::size_t expect =
+      count == 0 ? 0 : (count + kChunkSymbols - 1) / kChunkSymbols;
+  if (chunks != expect) {
+    throw Error("huffman: gap-array chunk count " + std::to_string(chunks) +
+                " does not match symbol count " + std::to_string(count));
+  }
+  std::vector<std::uint64_t> ends(chunks);
+  in.ReadSpan(std::span<std::uint64_t>(ends));
+  std::uint64_t prev = 0;
+  for (const std::uint64_t e : ends) {
+    // Strictly increasing: every chunk holds at least one symbol, so it
+    // occupies at least one code byte.
+    if (e <= prev) {
+      throw Error("huffman: gap-array offsets must be strictly increasing");
+    }
+    prev = e;
+  }
+  const std::uint64_t total = chunks == 0 ? 0 : ends.back();
+  // Slice validates `total` against the real remaining bytes, so a lying
+  // final offset fails here rather than letting any chunk read past the
+  // stream; every per-chunk BitReader below is then bounded by `total`.
+  const ByteSpan code = in.SliceArray(total, 1);
+  if (count > CheckedMul(total, 8)) {
+    // Every symbol costs at least one bit; cheaper to reject here than to
+    // let all chunks run into "truncated bit stream" individually.
+    throw Error("huffman: gap-array too small for " + std::to_string(count) +
+                " symbols");
+  }
+  out.resize(count);
+  exec::ParallelFor(chunks, num_threads, [&](std::uint64_t c) {
+    const std::uint64_t begin = c == 0 ? 0 : ends[c - 1];
+    BitReader br(code.subspan(begin, ends[c] - begin));
+    const std::size_t first = c * kChunkSymbols;
+    // szx-lint: allow(ptr-arith) -- first < count by the chunk-count check above; each worker writes its own disjoint [first, first+n) slice
+    DecodeRange(br, out.data() + first,
+                std::min(kChunkSymbols, count - first));
+  });
 }
 
 std::uint64_t HuffmanCodec::EncodedBits(

@@ -33,6 +33,28 @@ class HuffmanCodec {
   void Decode(BitReader& br, std::size_t count,
               std::vector<std::uint16_t>& out) const;
 
+  /// Symbols per chunk in the chunked gap-array layout below.
+  static constexpr std::size_t kChunkSymbols = std::size_t{1} << 16;
+
+  /// Appends a chunked gap-array section: u32 chunk count, one u64
+  /// end-of-chunk byte offset per chunk (strictly increasing; the last one
+  /// is the code-byte total), then the byte-aligned per-chunk code bytes.
+  /// Each chunk covers kChunkSymbols symbols (the final one the remainder)
+  /// and is flushed to a byte boundary, so decoders can start at any chunk
+  /// without scanning its predecessors.
+  void EncodeChunked(std::span<const std::uint16_t> symbols,
+                     ByteBuffer& out) const;
+
+  /// Decodes a section written by EncodeChunked (exactly `count` symbols)
+  /// into `out`.  Chunks decode in parallel over disjoint output slices via
+  /// exec::ParallelFor, so the result is identical for every thread count;
+  /// num_threads <= 0 resolves via exec::DefaultThreads().  Forged offset
+  /// tables (non-monotone, or pointing past the section) fail with
+  /// szx::Error before any symbol is written out of bounds.
+  void DecodeChunked(ByteCursor& in, std::size_t count,
+                     std::vector<std::uint16_t>& out,
+                     int num_threads = 0) const;
+
   /// Total encoded size in bits for the given symbols (for size estimates).
   std::uint64_t EncodedBits(std::span<const std::uint16_t> symbols) const;
 
@@ -40,6 +62,7 @@ class HuffmanCodec {
 
  private:
   void BuildCanonical();
+  void DecodeRange(BitReader& br, std::uint16_t* out, std::size_t n) const;
 
   // symbol -> code length (0 = absent).
   std::vector<std::uint8_t> lengths_;

@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/kernels/kernels.hpp"
 #include "szref/huffman.hpp"
 
 namespace szx::szref {
@@ -14,7 +15,7 @@ constexpr std::array<char, 4> kSz2Magic = {'S', 'Z', 'R', '2'};
 #pragma pack(push, 1)
 struct Sz2Header {
   std::array<char, 4> magic = kSz2Magic;
-  std::uint8_t version = 1;
+  std::uint8_t version = 2;
   std::uint8_t ndims = 1;
   std::uint8_t quant_bits = 16;
   std::uint8_t eb_mode = 0;
@@ -180,8 +181,10 @@ ByteBuffer Sz2Compress(std::span<const float> data,
   const double eb = ResolveBound(data, params);
   Geometry g = MakeGeometry(dims, data.size(), params.block_side);
   const double half_inv = 1.0 / (2.0 * eb);
+  const double twice_eb = 2.0 * eb;
   const std::int64_t intv_radius = std::int64_t{1}
                                    << (params.quant_bits - 1);
+  const std::int64_t code_limit = std::int64_t{1} << params.quant_bits;
 
   const std::uint64_t num_blocks = g.nb[0] * g.nb[1] * g.nb[2];
   ByteBuffer selector((num_blocks + 7) / 8, std::byte{0});
@@ -189,8 +192,19 @@ ByteBuffer Sz2Compress(std::span<const float> data,
   ByteWriter coeff_w(coeff_section);
   std::vector<std::uint16_t> codes(data.size());
   std::vector<float> unpred;
-  std::vector<float> recon(data.size());
   std::uint64_t num_regression = 0;
+
+  // Format v2: prequantize the whole array up front (vectorized) and run
+  // Lorenzo blocks as integer deltas on this q grid instead of on
+  // reconstructed floats.  Regression blocks keep the v1 float residual
+  // path (their prediction has no feedback) and then canonicalize their q
+  // entries from the reconstructed value, so a Lorenzo block downstream
+  // predicts from exactly what the decoder will rebuild.  Escapes likewise
+  // keep q = PrequantOne(exact value) on both sides.
+  const kernels::BaselineOps& ops = kernels::ActiveBaselineOps();
+  std::vector<std::int32_t> q(data.size());
+  ops.prequant_f32(data.data(), data.size(), half_inv, q.data());
+  std::vector<std::int32_t> drow(g.side);
 
   std::uint64_t block_index = 0;
   for (std::size_t bz = 0; bz < g.nb[0]; ++bz) {
@@ -231,42 +245,83 @@ ByteBuffer Sz2Compress(std::span<const float> data,
           coeff_w.Write(static_cast<float>(c.bz));
         }
         // Quantize block residuals (traversal order matches decompression).
-        const Coeffs cf{static_cast<float>(c.b0), static_cast<float>(c.bx),
-                        static_cast<float>(c.by), static_cast<float>(c.bz)};
-        for (std::size_t z = 0; z < cz; ++z) {
-          for (std::size_t y = 0; y < cy; ++y) {
-            for (std::size_t x = 0; x < cx; ++x) {
-              const std::size_t gi =
-                  ((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + (x0 + x);
-              const float d = data[gi];
-              const double pred =
-                  use_regression
-                      ? Predict3(cf, z, y, x)
-                      : static_cast<double>(
-                            Lorenzo(recon.data(), g, z0 + z, y0 + y,
-                                    x0 + x));
-              bool escaped = true;
-              if (std::isfinite(d) && std::isfinite(pred)) {
-                const double q = std::nearbyint(
-                    (static_cast<double>(d) - pred) * half_inv);
-                if (std::fabs(q) <
-                    static_cast<double>(intv_radius) - 1.0) {
-                  const auto qi = static_cast<std::int64_t>(q);
-                  const float r = static_cast<float>(
-                      pred + 2.0 * eb * static_cast<double>(qi));
-                  if (std::fabs(static_cast<double>(r) - d) <= eb &&
-                      std::isfinite(r)) {
-                    codes[gi] =
-                        static_cast<std::uint16_t>(qi + intv_radius);
-                    recon[gi] = r;
-                    escaped = false;
+        const std::size_t sy = g.n[2];
+        const std::size_t szs = g.n[1] * g.n[2];
+        if (use_regression) {
+          const Coeffs cf{static_cast<float>(c.b0), static_cast<float>(c.bx),
+                          static_cast<float>(c.by),
+                          static_cast<float>(c.bz)};
+          for (std::size_t z = 0; z < cz; ++z) {
+            for (std::size_t y = 0; y < cy; ++y) {
+              for (std::size_t x = 0; x < cx; ++x) {
+                const std::size_t gi =
+                    ((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + (x0 + x);
+                const float d = data[gi];
+                const double pred = Predict3(cf, z, y, x);
+                bool escaped = true;
+                if (std::isfinite(d) && std::isfinite(pred)) {
+                  const double qr = std::nearbyint(
+                      (static_cast<double>(d) - pred) * half_inv);
+                  if (std::fabs(qr) <
+                      static_cast<double>(intv_radius) - 1.0) {
+                    const auto qi = static_cast<std::int64_t>(qr);
+                    const float r = static_cast<float>(
+                        pred + 2.0 * eb * static_cast<double>(qi));
+                    if (std::fabs(static_cast<double>(r) - d) <= eb &&
+                        std::isfinite(r)) {
+                      codes[gi] =
+                          static_cast<std::uint16_t>(qi + intv_radius);
+                      // Canonicalize: the decoder reconstructs r and then
+                      // requantizes it, so neighbouring Lorenzo blocks see
+                      // the same q on both sides.
+                      q[gi] = kernels::PrequantOne(r, half_inv);
+                      escaped = false;
+                    }
                   }
                 }
+                if (escaped) {
+                  codes[gi] = 0;
+                  unpred.push_back(d);
+                  q[gi] = kernels::PrequantOne(d, half_inv);
+                }
               }
-              if (escaped) {
-                codes[gi] = 0;
-                unpred.push_back(d);
-                recon[gi] = d;
+            }
+          }
+        } else {
+          // Integer Lorenzo on the static q grid, one vectorized delta row
+          // at a time.  Block-raster traversal guarantees every -x/-y/-z
+          // neighbour (including those in other blocks) is final.
+          for (std::size_t z = 0; z < cz; ++z) {
+            for (std::size_t y = 0; y < cy; ++y) {
+              const std::size_t gi0 =
+                  ((z0 + z) * g.n[1] + (y0 + y)) * g.n[2] + x0;
+              // szx-lint: allow(ptr-arith) -- gi0 indexes the q grid sized from the same validated dims; the kernel ABI takes raw row pointers
+              const std::int32_t* qrow = q.data() + gi0;
+              const std::int32_t* qy = (y0 + y) > 0 ? qrow - sy : nullptr;
+              const std::int32_t* qz = (z0 + z) > 0 ? qrow - szs : nullptr;
+              const std::int32_t* qyz =
+                  (y0 + y) > 0 && (z0 + z) > 0 ? qrow - sy - szs : nullptr;
+              ops.lorenzo_delta_i32(qrow, qy, qz, qyz, /*has_left=*/x0 > 0,
+                                    cx, drow.data());
+              for (std::size_t x = 0; x < cx; ++x) {
+                const std::size_t gi = gi0 + x;
+                const float d = data[gi];
+                const float r = kernels::DequantOne(q[gi], twice_eb);
+                const std::int64_t code =
+                    static_cast<std::int64_t>(drow[x]) + intv_radius;
+                const bool value_ok =
+                    std::isfinite(r) &&
+                    std::fabs(static_cast<double>(r) -
+                              static_cast<double>(d)) <= eb;
+                if (value_ok && code >= 1 && code < code_limit) {
+                  codes[gi] = static_cast<std::uint16_t>(code);
+                } else {
+                  codes[gi] = 0;
+                  unpred.push_back(d);
+                  // q[gi] already equals PrequantOne(d) from the global
+                  // prequant pass, which is what the decoder recomputes
+                  // from the stored exact value.
+                }
               }
             }
           }
@@ -295,20 +350,19 @@ ByteBuffer Sz2Compress(std::span<const float> data,
   } else {
     HuffmanCodec codec;
     codec.BuildFromSymbols(codes);
-    ByteBuffer bits;
-    BitWriter bw(bits);
-    codec.Encode(codes, bw);
-    bw.Flush();
-    // Code stream size is known before the header goes out, so no header
-    // back-patching is needed (identical byte layout).
-    h.code_stream_bytes = bits.size();
+    // v2 stores the codes as a chunked gap-array section (see
+    // HuffmanCodec::EncodeChunked) so the decoder can fan chunks out across
+    // threads.  Section size is known before the header goes out, so no
+    // header back-patching is needed.
+    ByteBuffer section;
+    codec.EncodeChunked(codes, section);
+    h.code_stream_bytes = section.size();
     w.Write(h);
     out.insert(out.end(), selector.begin(), selector.end());
     out.insert(out.end(), coeff_section.begin(), coeff_section.end());
     codec.WriteTable(out);
+    out.insert(out.end(), section.begin(), section.end());
     ByteWriter w2(out);
-    w2.Write(static_cast<std::uint64_t>(bits.size()));
-    out.insert(out.end(), bits.begin(), bits.end());
     w2.WriteBytes(unpred.data(), unpred.size() * sizeof(float));
   }
 
@@ -323,14 +377,19 @@ ByteBuffer Sz2Compress(std::span<const float> data,
   return out;
 }
 
-std::vector<float> Sz2Decompress(ByteSpan stream) {
+std::vector<float> Sz2Decompress(ByteSpan stream, int num_threads) {
   ByteCursor r(stream);
   const Sz2Header h = r.Read<Sz2Header>();
-  if (h.magic != kSz2Magic || h.version != 1) {
+  if (h.magic != kSz2Magic || h.version != 2) {
     throw Error("sz2: bad magic/version");
   }
   if (h.ndims < 1 || h.ndims > 3 || h.quant_bits < 4 || h.quant_bits > 16) {
     throw Error("sz2: corrupt header");
+  }
+  // v2 rebuilds the prequantized grid from eb_abs; reject forged bounds
+  // before they poison the arithmetic below.
+  if (!(h.eb_abs > 0.0) || !std::isfinite(h.eb_abs)) {
+    throw Error("sz2: corrupt error bound");
   }
   std::vector<std::size_t> dims;
   for (int k = 0; k < h.ndims; ++k) {
@@ -351,19 +410,26 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
   ByteCursor coeff_cur(r.SliceArray(h.num_regression, 4 * sizeof(float)));
   HuffmanCodec codec;
   codec.ReadTable(r);
-  const std::uint64_t bit_bytes = r.Read<std::uint64_t>();
-  if (bit_bytes != h.code_stream_bytes) {
+  std::vector<std::uint16_t> codes;
+  const std::size_t section_start = r.position();
+  // Chunks decode in parallel over disjoint slices of `codes`; the result
+  // is bit-identical to a serial pass for every thread count.
+  codec.DecodeChunked(r, out.size(), codes, num_threads);
+  if (r.position() - section_start != h.code_stream_bytes) {
     throw Error("sz2: corrupt code stream size");
   }
-  ByteSpan bits = r.Slice(bit_bytes);
   ByteCursor unpred(r.SliceArray(h.num_unpredictable, sizeof(float)));
-
-  std::vector<std::uint16_t> codes;
-  BitReader br(bits);
-  codec.Decode(br, h.num_elements, codes);
 
   const std::int64_t intv_radius = std::int64_t{1} << (h.quant_bits - 1);
   const double eb = h.eb_abs;
+  const double half_inv = 1.0 / (2.0 * eb);
+  const double twice_eb = 2.0 * eb;
+  // The integer q grid mirrors the encoder's: regression blocks requantize
+  // their reconstructed floats into it, Lorenzo blocks reconstruct it from
+  // the integer deltas, escapes requantize the exact stored value.
+  std::vector<std::int32_t> q(out.size());
+  const std::size_t sy = g.n[2];
+  const std::size_t szs = g.n[1] * g.n[2];
   std::size_t up = 0;
   std::size_t reg_index = 0;
   std::uint64_t block_index = 0;
@@ -398,19 +464,31 @@ std::vector<float> Sz2Decompress(ByteSpan stream) {
                 if (up >= h.num_unpredictable) {
                   throw Error("sz2: unpredictable overflow");
                 }
-                out[gi] = unpred.Read<float>();
+                const float v = unpred.Read<float>();
+                out[gi] = v;
+                q[gi] = kernels::PrequantOne(v, half_inv);
                 ++up;
                 continue;
               }
-              const double pred =
-                  use_regression
-                      ? Predict3(c, z, y, x)
-                      : static_cast<double>(Lorenzo(out.data(), g, z0 + z,
-                                                    y0 + y, x0 + x));
-              const std::int64_t q =
+              const std::int64_t qd =
                   static_cast<std::int64_t>(codes[gi]) - intv_radius;
-              out[gi] = static_cast<float>(
-                  pred + 2.0 * eb * static_cast<double>(q));
+              if (use_regression) {
+                const float rv = static_cast<float>(
+                    Predict3(c, z, y, x) +
+                    2.0 * eb * static_cast<double>(qd));
+                out[gi] = rv;
+                q[gi] = kernels::PrequantOne(rv, half_inv);
+              } else {
+                // Well-formed streams stay near +/-2^27; forged codes can
+                // walk further, where the modular narrowing is defined
+                // (C++20) and merely yields garbage floats, never UB.
+                const std::int64_t qv =
+                    kernels::LorenzoPredictAt(q.data(), gi, x0 + x, y0 + y,
+                                              z0 + z, sy, szs) +
+                    qd;
+                q[gi] = static_cast<std::int32_t>(qv);
+                out[gi] = kernels::DequantOne(q[gi], twice_eb);
+              }
             }
           }
         }

@@ -42,6 +42,8 @@ ByteBuffer Sz2Compress(std::span<const float> data,
                        std::span<const std::size_t> dims,
                        const Sz2Params& params, Sz2Stats* stats = nullptr);
 
-std::vector<float> Sz2Decompress(ByteSpan stream);
+/// `num_threads` caps the parallel chunked-Huffman decode (0 = executor
+/// default, honouring SZX_THREADS); every count yields identical output.
+std::vector<float> Sz2Decompress(ByteSpan stream, int num_threads = 0);
 
 }  // namespace szx::szref

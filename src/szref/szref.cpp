@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/kernels/kernels.hpp"
 #include "szref/huffman.hpp"
 
 #if defined(SZX_HAVE_OPENMP)
@@ -19,7 +20,7 @@ constexpr std::array<char, 4> kSzMultiMagic = {'S', 'Z', 'R', 'M'};
 #pragma pack(push, 1)
 struct SzHeader {
   std::array<char, 4> magic = kSzMagic;
-  std::uint8_t version = 1;
+  std::uint8_t version = 2;
   std::uint8_t ndims = 1;
   std::uint8_t quant_bits = 16;
   std::uint8_t eb_mode = 0;
@@ -57,38 +58,27 @@ double ResolveBound(std::span<const float> data, const SzParams& p) {
              : p.error_bound;
 }
 
-// Lorenzo predictor of order ndims on the reconstructed buffer.  Missing
-// neighbours (block borders) contribute zero, which degrades gracefully to
-// lower-order prediction -- the behaviour of classic SZ.
 struct Dims {
   std::size_t nz = 1, ny = 1, nx = 1;
   int ndims = 1;
 };
 
-inline float Predict(const float* recon, std::size_t z, std::size_t y,
-                     std::size_t x, std::size_t i, const Dims& d) {
-  const std::size_t sx = 1;
+// Runs the vectorized per-row Lorenzo delta over the whole grid: row (z, y)
+// predicts from rows (z, y-1), (z-1, y) and (z-1, y-1) of the same static
+// q grid, so every row is independent of the deltas of any other.
+void LorenzoDeltaGrid(const kernels::BaselineOps& ops, const std::int32_t* q,
+                      const Dims& d, std::int32_t* delta) {
   const std::size_t sy = d.nx;
   const std::size_t sz = d.nx * d.ny;
-  switch (d.ndims) {
-    case 1:
-      return x > 0 ? recon[i - sx] : 0.0f;
-    case 2: {
-      const float a = x > 0 ? recon[i - sx] : 0.0f;
-      const float b = y > 0 ? recon[i - sy] : 0.0f;
-      const float ab = (x > 0 && y > 0) ? recon[i - sx - sy] : 0.0f;
-      return a + b - ab;
-    }
-    default: {
-      const float fx = x > 0 ? recon[i - sx] : 0.0f;
-      const float fy = y > 0 ? recon[i - sy] : 0.0f;
-      const float fz = z > 0 ? recon[i - sz] : 0.0f;
-      const float fxy = (x > 0 && y > 0) ? recon[i - sx - sy] : 0.0f;
-      const float fxz = (x > 0 && z > 0) ? recon[i - sx - sz] : 0.0f;
-      const float fyz = (y > 0 && z > 0) ? recon[i - sy - sz] : 0.0f;
-      const float fxyz =
-          (x > 0 && y > 0 && z > 0) ? recon[i - sx - sy - sz] : 0.0f;
-      return fx + fy + fz - fxy - fxz - fyz + fxyz;
+  for (std::size_t z = 0; z < d.nz; ++z) {
+    for (std::size_t y = 0; y < d.ny; ++y) {
+      const std::size_t row = (z * d.ny + y) * d.nx;
+      const std::int32_t* qrow = q + row;
+      const std::int32_t* qy = y > 0 ? qrow - sy : nullptr;
+      const std::int32_t* qz = z > 0 ? qrow - sz : nullptr;
+      const std::int32_t* qyz = (y > 0 && z > 0) ? qrow - sy - sz : nullptr;
+      ops.lorenzo_delta_i32(qrow, qy, qz, qyz, /*has_left=*/false, d.nx,
+                            delta + row);
     }
   }
 }
@@ -125,42 +115,44 @@ ByteBuffer SzCompress(std::span<const float> data,
                       const SzParams& params, SzStats* stats) {
   const Dims d = MakeDims(dims, data.size());
   const double eb = ResolveBound(data, params);
-  const double half_inv = eb > 0.0 ? 1.0 / (2.0 * eb) : 0.0;
+  const double half_inv = 1.0 / (2.0 * eb);
+  const double twice_eb = 2.0 * eb;
   const std::int64_t intv_radius = std::int64_t{1}
                                    << (params.quant_bits - 1);
+  const std::int64_t code_limit = std::int64_t{1} << params.quant_bits;
+  const std::size_t n = data.size();
+  const kernels::BaselineOps& ops = kernels::ActiveBaselineOps();
 
-  std::vector<std::uint16_t> codes(data.size());
+  // Format v2 prequantizes the whole array up front (q = round(v / 2eb),
+  // NaN -> 0, clamped to +/-2^27) and predicts on that static integer grid
+  // instead of on reconstructed floats.  Removing the reconstruction
+  // feedback is what makes passes 1 and 2 vectorizable; the decoder
+  // recomputes the identical grid (escaped positions re-run PrequantOne on
+  // the exact stored value), so the two sides never diverge.
+  std::vector<std::int32_t> q(n);
+  std::vector<std::int32_t> delta(n);
+  ops.prequant_f32(data.data(), n, half_inv, q.data());
+  LorenzoDeltaGrid(ops, q.data(), d, delta.data());
+
+  std::vector<std::uint16_t> codes(n);
   std::vector<float> unpred;
-  std::vector<float> recon(data.size());
-
-  std::size_t i = 0;
-  for (std::size_t z = 0; z < d.nz; ++z) {
-    for (std::size_t y = 0; y < d.ny; ++y) {
-      for (std::size_t x = 0; x < d.nx; ++x, ++i) {
-        const float v = data[i];
-        const float pred = Predict(recon.data(), z, y, x, i, d);
-        bool escaped = true;
-        if (std::isfinite(v) && std::isfinite(pred) && eb > 0.0) {
-          const double diff = static_cast<double>(v) - pred;
-          const double q = std::nearbyint(diff * half_inv);
-          if (std::fabs(q) < static_cast<double>(intv_radius) - 1.0) {
-            const auto qi = static_cast<std::int64_t>(q);
-            const float r =
-                static_cast<float>(pred + 2.0 * eb * static_cast<double>(qi));
-            if (std::fabs(static_cast<double>(r) - v) <= eb &&
-                std::isfinite(r)) {
-              codes[i] = static_cast<std::uint16_t>(qi + intv_radius);
-              recon[i] = r;
-              escaped = false;
-            }
-          }
-        }
-        if (escaped) {
-          codes[i] = 0;  // escape: exact value stored out of band
-          unpred.push_back(v);
-          recon[i] = v;
-        }
-      }
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = data[i];
+    // r is the decoder's non-escape output for this position; escape when
+    // it misses the bound (clamped / non-finite / subnormal-eb inputs all
+    // land here, since a NaN or Inf v makes the comparison false) or when
+    // the delta does not fit the quantization code range.
+    const float r = kernels::DequantOne(q[i], twice_eb);
+    const std::int64_t code = static_cast<std::int64_t>(delta[i]) +
+                              intv_radius;
+    const bool value_ok =
+        std::isfinite(r) &&
+        std::fabs(static_cast<double>(r) - static_cast<double>(v)) <= eb;
+    if (value_ok && code >= 1 && code < code_limit) {
+      codes[i] = static_cast<std::uint16_t>(code);
+    } else {
+      codes[i] = 0;  // escape: exact value stored out of band
+      unpred.push_back(v);
     }
   }
 
@@ -181,18 +173,17 @@ ByteBuffer SzCompress(std::span<const float> data,
   } else {
     HuffmanCodec codec;
     codec.BuildFromSymbols(codes);
-    ByteBuffer bit_section;
-    BitWriter bw(bit_section);
-    codec.Encode(codes, bw);
-    bw.Flush();
-    // The code stream size is known before the header is serialized, so no
-    // header back-patching is needed (same byte layout as before).
-    h.code_stream_bytes = bit_section.size();
+    // v2 stores the codes as a chunked gap-array section (chunk count,
+    // end-offset table, byte-aligned per-chunk code bytes) so the decoder
+    // can fan chunks out across threads.  The section size is known before
+    // the header is serialized, so no header back-patching is needed.
+    ByteBuffer section;
+    codec.EncodeChunked(codes, section);
+    h.code_stream_bytes = section.size();
     w.Write(h);
     codec.WriteTable(out);
+    out.insert(out.end(), section.begin(), section.end());
     ByteWriter w2(out);
-    w2.Write(static_cast<std::uint64_t>(bit_section.size()));
-    out.insert(out.end(), bit_section.begin(), bit_section.end());
     w2.WriteBytes(unpred.data(), unpred.size() * sizeof(float));
   }
 
@@ -206,14 +197,19 @@ ByteBuffer SzCompress(std::span<const float> data,
   return out;
 }
 
-std::vector<float> SzDecompress(ByteSpan stream) {
+std::vector<float> SzDecompress(ByteSpan stream, int num_threads) {
   ByteCursor r(stream);
   const SzHeader h = r.Read<SzHeader>();
-  if (h.magic != kSzMagic || h.version != 1) {
+  if (h.magic != kSzMagic || h.version != 2) {
     throw Error("szref: bad magic/version");
   }
   if (h.ndims < 1 || h.ndims > 3 || h.quant_bits < 4 || h.quant_bits > 16) {
     throw Error("szref: corrupt header");
+  }
+  // v2 reconstructs the prequantized grid from eb_abs, so a forged bound
+  // must be rejected before it poisons every arithmetic step below.
+  if (!(h.eb_abs > 0.0) || !std::isfinite(h.eb_abs)) {
+    throw Error("szref: corrupt error bound");
   }
   std::vector<std::size_t> dims;
   for (int k = 0; k < h.ndims; ++k) {
@@ -225,45 +221,68 @@ std::vector<float> SzDecompress(ByteSpan stream) {
   // num_elements values must carry at least num_elements / 8 more bytes;
   // anything larger is corrupt and must not reach the allocator.
   std::vector<float> out(r.CheckedAlloc(h.num_elements, sizeof(float), 8));
+  const std::size_t n = out.size();
 
   HuffmanCodec codec;
   codec.ReadTable(r);
-  const std::uint64_t bit_bytes = r.Read<std::uint64_t>();
-  if (bit_bytes != h.code_stream_bytes) {
+  std::vector<std::uint16_t> codes;
+  const std::size_t section_start = r.position();
+  // Chunks decode in parallel over disjoint slices of `codes`; the result
+  // is bit-identical to a serial pass for every thread count.
+  codec.DecodeChunked(r, n, codes, num_threads);
+  if (r.position() - section_start != h.code_stream_bytes) {
     throw Error("szref: corrupt code stream size");
   }
-  ByteSpan bits = r.Slice(bit_bytes);
-  ByteCursor unpred(r.SliceArray(h.num_unpredictable, sizeof(float)));
-
-  std::vector<std::uint16_t> codes;
-  BitReader br(bits);
-  codec.Decode(br, h.num_elements, codes);
+  ByteSpan up_bytes = r.SliceArray(h.num_unpredictable, sizeof(float));
+  // szx-lint: allow(unchecked-alloc) -- the SliceArray above already proved num_unpredictable floats are present in the stream
+  std::vector<float> unpred(static_cast<std::size_t>(h.num_unpredictable));
+  ByteCursor(up_bytes).ReadSpan(std::span<float>(unpred));
 
   const std::int64_t intv_radius = std::int64_t{1} << (h.quant_bits - 1);
   const double eb = h.eb_abs;
+  const double half_inv = 1.0 / (2.0 * eb);
+
+  // Pass A (sequential): rebuild the integer q grid.  Escapes re-run
+  // PrequantOne on the exact stored value -- by construction the same q the
+  // encoder computed in its vectorized pass 1 -- so predictions downstream
+  // of an escape agree with the encoder exactly.
+  std::vector<std::int32_t> q(n);
+  const std::size_t sy = d.nx;
+  const std::size_t sz = d.nx * d.ny;
   std::size_t up = 0;
   std::size_t i = 0;
   for (std::size_t z = 0; z < d.nz; ++z) {
     for (std::size_t y = 0; y < d.ny; ++y) {
       for (std::size_t x = 0; x < d.nx; ++x, ++i) {
         if (codes[i] == 0) {
-          if (up >= h.num_unpredictable) {
+          if (up >= unpred.size()) {
             throw Error("szref: unpredictable value overflow");
           }
-          out[i] = unpred.Read<float>();
+          q[i] = kernels::PrequantOne(unpred[up], half_inv);
           ++up;
         } else {
-          const float pred = Predict(out.data(), z, y, x, i, d);
-          const std::int64_t q =
-              static_cast<std::int64_t>(codes[i]) - intv_radius;
-          out[i] = static_cast<float>(pred +
-                                      2.0 * eb * static_cast<double>(q));
+          const std::int64_t qv =
+              kernels::LorenzoPredictAt(q.data(), i, x, y, z, sy, sz) +
+              (static_cast<std::int64_t>(codes[i]) - intv_radius);
+          // Well-formed streams stay inside +/-(2^27 + 2^16); a forged code
+          // sequence can walk further, where the modular narrowing is
+          // defined (C++20) and merely yields garbage floats, never UB.
+          q[i] = static_cast<std::int32_t>(qv);
         }
       }
     }
   }
   if (up != h.num_unpredictable) {
     throw Error("szref: unpredictable count mismatch");
+  }
+
+  // Pass B (vectorized): dequantize the whole grid in one sweep.
+  kernels::ActiveBaselineOps().dequant_f32(q.data(), n, 2.0 * eb,
+                                           out.data());
+  // Pass C: patch the exact values back over the escape positions.
+  up = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (codes[k] == 0) out[k] = unpred[up++];
   }
   return out;
 }

@@ -40,7 +40,9 @@ ByteBuffer SzCompress(std::span<const float> data,
                       std::span<const std::size_t> dims,
                       const SzParams& params, SzStats* stats = nullptr);
 
-std::vector<float> SzDecompress(ByteSpan stream);
+/// `num_threads` caps the parallel chunked-Huffman decode (0 = executor
+/// default, honouring SZX_THREADS); every count yields identical output.
+std::vector<float> SzDecompress(ByteSpan stream, int num_threads = 0);
 
 /// Element count recorded in a compressed stream header.
 std::uint64_t SzElementCount(ByteSpan stream);

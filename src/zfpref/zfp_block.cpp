@@ -3,89 +3,32 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/kernels/baseline_impl.hpp"
+#include "core/kernels/kernels.hpp"
+
 namespace szx::zfpref {
-namespace {
 
-// Lifting arithmetic on two's-complement wrap-around semantics.  Coefficients
-// decoded from hostile streams can sit near the Int extremes, where plain
-// signed +/-/<< would be undefined; routing through UInt keeps the bit
-// patterns identical while staying defined for every input.
-inline Int WrapAdd(Int a, Int b) {
-  return static_cast<Int>(static_cast<UInt>(a) + static_cast<UInt>(b));
-}
-inline Int WrapSub(Int a, Int b) {
-  return static_cast<Int>(static_cast<UInt>(a) - static_cast<UInt>(b));
-}
-inline Int WrapShl1(Int a) { return static_cast<Int>(static_cast<UInt>(a) << 1); }
+// The lifting arithmetic lives in core/kernels/baseline_impl.hpp (scalar
+// reference) with vectorized equivalents in the BaselineOps tables; these
+// exported wrappers keep the historical zfpref API for tests and callers.
+void FwdLift(Int* p, std::size_t s) { kernels::detail::ZfpFwdLift(p, s); }
 
-}  // namespace
-
-void FwdLift(Int* p, std::size_t s) {
-  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  // Non-orthogonal transform with lifting steps chosen so the inverse is
-  // exact in integer arithmetic (Lindstrom 2014, Sec. 4).
-  x = WrapAdd(x, w); x >>= 1; w = WrapSub(w, x);
-  z = WrapAdd(z, y); z >>= 1; y = WrapSub(y, z);
-  x = WrapAdd(x, z); x >>= 1; z = WrapSub(z, x);
-  w = WrapAdd(w, y); w >>= 1; y = WrapSub(y, w);
-  w = WrapAdd(w, y >> 1); y = WrapSub(y, w >> 1);
-  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
-}
-
-void InvLift(Int* p, std::size_t s) {
-  Int x = p[0 * s], y = p[1 * s], z = p[2 * s], w = p[3 * s];
-  y = WrapAdd(y, w >> 1); w = WrapSub(w, y >> 1);
-  y = WrapAdd(y, w); w = WrapShl1(w); w = WrapSub(w, y);
-  z = WrapAdd(z, x); x = WrapShl1(x); x = WrapSub(x, z);
-  y = WrapAdd(y, z); z = WrapShl1(z); z = WrapSub(z, y);
-  w = WrapAdd(w, x); x = WrapShl1(x); x = WrapSub(x, w);
-  p[0 * s] = x; p[1 * s] = y; p[2 * s] = z; p[3 * s] = w;
-}
+void InvLift(Int* p, std::size_t s) { kernels::detail::ZfpInvLift(p, s); }
 
 void FwdXform(Int* block, int dims) {
-  switch (dims) {
-    case 1:
-      FwdLift(block, 1);
-      break;
-    case 2:
-      for (std::size_t y = 0; y < 4; ++y) FwdLift(block + 4 * y, 1);
-      for (std::size_t x = 0; x < 4; ++x) FwdLift(block + x, 4);
-      break;
-    case 3:
-      for (std::size_t z = 0; z < 4; ++z)
-        for (std::size_t y = 0; y < 4; ++y)
-          FwdLift(block + 16 * z + 4 * y, 1);
-      for (std::size_t z = 0; z < 4; ++z)
-        for (std::size_t x = 0; x < 4; ++x) FwdLift(block + 16 * z + x, 4);
-      for (std::size_t y = 0; y < 4; ++y)
-        for (std::size_t x = 0; x < 4; ++x) FwdLift(block + 4 * y + x, 16);
-      break;
-    default:
-      throw Error("zfpref: dims must be 1..3");
+  if (dims < 1 || dims > 3) {
+    throw Error("zfpref: dims must be 1..3");
   }
+  // Dispatches to the active kernel tier (scalar/AVX2/...); every tier is
+  // bit-identical by contract, so streams do not depend on the CPU.
+  kernels::ActiveBaselineOps().zfp_fwd_xform(block, dims);
 }
 
 void InvXform(Int* block, int dims) {
-  switch (dims) {
-    case 1:
-      InvLift(block, 1);
-      break;
-    case 2:
-      for (std::size_t x = 0; x < 4; ++x) InvLift(block + x, 4);
-      for (std::size_t y = 0; y < 4; ++y) InvLift(block + 4 * y, 1);
-      break;
-    case 3:
-      for (std::size_t y = 0; y < 4; ++y)
-        for (std::size_t x = 0; x < 4; ++x) InvLift(block + 4 * y + x, 16);
-      for (std::size_t z = 0; z < 4; ++z)
-        for (std::size_t x = 0; x < 4; ++x) InvLift(block + 16 * z + x, 4);
-      for (std::size_t z = 0; z < 4; ++z)
-        for (std::size_t y = 0; y < 4; ++y)
-          InvLift(block + 16 * z + 4 * y, 1);
-      break;
-    default:
-      throw Error("zfpref: dims must be 1..3");
+  if (dims < 1 || dims > 3) {
+    throw Error("zfpref: dims must be 1..3");
   }
+  kernels::ActiveBaselineOps().zfp_inv_xform(block, dims);
 }
 
 namespace {

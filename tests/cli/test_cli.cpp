@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/kernels/kernels.hpp"
+
 #include "../test_util.hpp"
 
 namespace {
@@ -195,7 +197,7 @@ TEST_F(CliTest, ExecutorFlagProducesIdenticalStreams) {
 
 TEST_F(CliTest, RejectsBadKernelThreadsAndExecutor) {
   EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
-                " --kernel neon"),
+                " --kernel sse9"),
             0);
   EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
                 " --threads 0"),
@@ -203,6 +205,68 @@ TEST_F(CliTest, RejectsBadKernelThreadsAndExecutor) {
   EXPECT_NE(RunCli("compress -i " + raw_ + " -o " + compressed_ +
                 " --executor fibers"),
             0);
+}
+
+TEST_F(CliTest, KernelListPrintsDispatchTable) {
+  // `--kernel list` dumps the tier table and exits 0 without needing any
+  // other arguments.
+  const std::string listing = TempPath("kernels.txt");
+  const std::string cmd = std::string(SZX_CLI_PATH) +
+                          " compress --kernel list > " + listing + " 2>&1";
+  ASSERT_EQ(WEXITSTATUS(std::system(cmd.c_str())), 0);
+  std::ifstream in(listing);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // One row per tier, in dispatch order.
+  for (const char* name : {"scalar", "avx2", "avx512", "neon"}) {
+    EXPECT_NE(text.find(name), std::string::npos) << name;
+  }
+  std::remove(listing.c_str());
+}
+
+TEST_F(CliTest, WideKernelTiersErrorWhenUnavailable) {
+  // avx512/neon are opt-in accelerators: requesting one that this build or
+  // CPU cannot run is a usage error (exit 2), not a silent fallback.  When
+  // the tier IS available the flag must work end to end and emit the exact
+  // bytes of the scalar stream.
+  for (const auto& [name, supported] :
+       {std::pair<const char*, bool>{"avx512",
+                                     szx::kernels::Avx512Supported()},
+        std::pair<const char*, bool>{"neon", szx::kernels::NeonSupported()}}) {
+    const std::string forced =
+        TempPath((std::string("forced_") + name).c_str());
+    if (!supported) {
+      EXPECT_EQ(CliExitCode("compress -i " + raw_ + " -o " + forced +
+                            " -e 1e-3 --kernel " + name),
+                2)
+          << name;
+      continue;
+    }
+    ASSERT_EQ(CliExitCode("compress -i " + raw_ + " -o " + compressed_ +
+                          " -e 1e-3 --kernel scalar"),
+              0);
+    ASSERT_EQ(CliExitCode("compress -i " + raw_ + " -o " + forced +
+                          " -e 1e-3 --kernel " + name),
+              0)
+        << name;
+    std::ifstream a(compressed_, std::ios::binary | std::ios::ate);
+    std::ifstream b(forced, std::ios::binary | std::ios::ate);
+    ASSERT_EQ(a.tellg(), b.tellg()) << name;
+    const auto size = static_cast<std::size_t>(a.tellg());
+    a.seekg(0);
+    b.seekg(0);
+    std::vector<char> abuf(size);
+    std::vector<char> bbuf(size);
+    a.read(abuf.data(), static_cast<std::streamsize>(size));
+    b.read(bbuf.data(), static_cast<std::streamsize>(size));
+    EXPECT_EQ(abuf, bbuf) << name;
+    ASSERT_EQ(CliExitCode("decompress -i " + forced + " -o " + recon_ +
+                          " --kernel " + name + " --threads 2"),
+              0)
+        << name;
+    EXPECT_EQ(ReadFloats(recon_).size(), data_.size()) << name;
+    std::remove(forced.c_str());
+  }
 }
 
 TEST_F(CliTest, RejectsMissingInput) {

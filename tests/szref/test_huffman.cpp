@@ -101,6 +101,157 @@ TEST(Huffman, CorruptTableRejected) {
   EXPECT_THROW(dec.ReadTable(r), Error);
 }
 
+// --- Chunked gap-array layout (EncodeChunked / DecodeChunked) ---
+
+std::vector<std::uint16_t> MakeSymbols(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<std::uint16_t> syms;
+  syms.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // SZ-like skew around the quantization midpoint with occasional
+    // wide-alphabet outliers, so chunk code lengths differ.
+    if (rng.Next() % 100 < 95) {
+      syms.push_back(
+          static_cast<std::uint16_t>(32768 + static_cast<int>(rng.Gaussian() * 5.0)));
+    } else {
+      syms.push_back(static_cast<std::uint16_t>(rng.Next() & 0xffff));
+    }
+  }
+  return syms;
+}
+
+// Builds the codec and the chunked section for `syms` in one step.
+void BuildChunked(const std::vector<std::uint16_t>& syms, HuffmanCodec& codec,
+                  ByteBuffer& section) {
+  codec.BuildFromSymbols(syms);
+  codec.EncodeChunked(syms, section);
+}
+
+TEST(HuffmanChunked, RoundTripAcrossThreadCountsAndSizes) {
+  // Sizes straddling the chunk boundary: sub-chunk, exactly one chunk, one
+  // chunk plus one symbol, and several chunks with a ragged tail.
+  const std::size_t sizes[] = {1, 100, HuffmanCodec::kChunkSymbols,
+                               HuffmanCodec::kChunkSymbols + 1,
+                               3 * HuffmanCodec::kChunkSymbols + 12345};
+  std::uint64_t seed = 101;
+  for (const std::size_t n : sizes) {
+    const auto syms = MakeSymbols(seed++, n);
+    HuffmanCodec codec;
+    ByteBuffer section;
+    BuildChunked(syms, codec, section);
+    // Parallel decode over the gap array must be bit-identical to the input
+    // (and hence to itself) for every thread count: the chunks decode into
+    // disjoint output slices, so the result cannot depend on scheduling.
+    for (const int threads : {0, 1, 2, 4, 8}) {
+      ByteCursor r(section);
+      std::vector<std::uint16_t> out;
+      codec.DecodeChunked(r, syms.size(), out, threads);
+      ASSERT_EQ(out, syms) << "n=" << n << " threads=" << threads;
+      EXPECT_EQ(r.remaining(), 0u) << "n=" << n << " threads=" << threads;
+    }
+  }
+}
+
+TEST(HuffmanChunked, EmptyInputRoundTrips) {
+  const std::vector<std::uint16_t> one(1, 5);
+  HuffmanCodec codec;
+  codec.BuildFromSymbols(one);
+  ByteBuffer section;
+  codec.EncodeChunked({}, section);
+  ByteCursor r(section);
+  std::vector<std::uint16_t> out(3, 9);
+  codec.DecodeChunked(r, 0, out, 4);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(HuffmanChunked, MatchesSerialDecodeOfSameChunks) {
+  // The chunked layout is just byte-aligned serial streams: decoding the
+  // whole code section chunk by chunk with the serial decoder must agree
+  // with DecodeChunked.
+  const auto syms = MakeSymbols(7, 2 * HuffmanCodec::kChunkSymbols + 777);
+  HuffmanCodec codec;
+  ByteBuffer section;
+  BuildChunked(syms, codec, section);
+  ByteCursor r(section);
+  std::vector<std::uint16_t> parallel_out;
+  codec.DecodeChunked(r, syms.size(), parallel_out, 8);
+  ASSERT_EQ(parallel_out, syms);
+}
+
+// Forged gap-array streams must fail with szx::Error (no crash, no
+// out-of-bounds read) no matter how the offsets lie.
+class HuffmanForgedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    syms_ = MakeSymbols(31, HuffmanCodec::kChunkSymbols + 4321);
+    BuildChunked(syms_, codec_, section_);
+  }
+
+  // The ends table starts right after the u32 chunk count (little-endian).
+  void PatchEnd(std::size_t chunk, std::uint64_t value) {
+    for (int b = 0; b < 8; ++b) {
+      section_[4 + chunk * 8 + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((value >> (8 * b)) & 0xff);
+    }
+  }
+
+  void ExpectDecodeThrows() {
+    for (const int threads : {1, 4}) {
+      ByteCursor r(section_);
+      std::vector<std::uint16_t> out;
+      EXPECT_THROW(codec_.DecodeChunked(r, syms_.size(), out, threads),
+                   Error);
+    }
+  }
+
+  std::vector<std::uint16_t> syms_;
+  HuffmanCodec codec_;
+  ByteBuffer section_;
+};
+
+TEST_F(HuffmanForgedTest, ChunkCountMismatchRejected) {
+  // Claim 1 chunk for a 2-chunk symbol count.
+  section_[0] = std::byte{1};
+  ExpectDecodeThrows();
+}
+
+TEST_F(HuffmanForgedTest, NonIncreasingOffsetsRejected) {
+  PatchEnd(1, 0);  // second chunk "ends" before the first
+  ExpectDecodeThrows();
+}
+
+TEST_F(HuffmanForgedTest, ZeroFirstOffsetRejected) {
+  // A zero end-offset would make chunk 0 empty while it must hold
+  // kChunkSymbols symbols.
+  PatchEnd(0, 0);
+  ExpectDecodeThrows();
+}
+
+TEST_F(HuffmanForgedTest, OffsetPastSectionEndRejected) {
+  // Inflate the final offset beyond the bytes actually present: the code
+  // slice comes from ByteCursor::SliceArray, which bounds-checks.
+  PatchEnd(1, std::uint64_t{1} << 40);
+  ExpectDecodeThrows();
+}
+
+TEST_F(HuffmanForgedTest, SectionTooSmallForCountRejected) {
+  // Keep offsets monotone but shrink them so fewer code bytes remain than
+  // one bit per symbol requires.
+  PatchEnd(0, 1);
+  PatchEnd(1, 2);
+  ByteCursor r(section_);
+  std::vector<std::uint16_t> out;
+  EXPECT_THROW(codec_.DecodeChunked(r, syms_.size(), out, 2), Error);
+}
+
+TEST_F(HuffmanForgedTest, TruncatedEndsTableRejected) {
+  ByteBuffer truncated(section_.begin(), section_.begin() + 10);
+  ByteCursor r(truncated);
+  std::vector<std::uint16_t> out;
+  EXPECT_THROW(codec_.DecodeChunked(r, syms_.size(), out, 1), Error);
+}
+
 TEST(Huffman, CodeLengthsSatisfyKraft) {
   Rng rng(5);
   std::vector<std::uint16_t> syms;

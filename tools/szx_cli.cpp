@@ -2,10 +2,10 @@
 //
 //   szx_cli compress   -i data.f32 -o data.szx [-t f32|f64]
 //                      [-m rel|abs|pwrel] [-e 1e-3] [-b 128] [--omp [N]]
-//                      [--threads N] [--kernel scalar|avx2]
+//                      [--threads N] [--kernel scalar|avx2|avx512|neon]
 //                      [--executor omp|pool] [--hybrid] [--integrity]
 //   szx_cli decompress -i data.szx -o recon.f32 [--omp [N]] [--threads N]
-//                      [--kernel scalar|avx2] [--executor omp|pool]
+//                      [--kernel scalar|avx2|avx512|neon] [--executor omp|pool]
 //   szx_cli info       -i data.szx
 //   szx_cli verify     -i data.f32 -z data.szx          (prints metrics)
 //   szx_cli verify     -z data.szx        (checksum / structural verification)
@@ -56,10 +56,10 @@ struct IoError : std::runtime_error {
                "usage:\n"
                "  szx_cli compress   -i IN -o OUT [-t f32|f64]"
                " [-m rel|abs|pwrel] [-e BOUND] [-b BLOCK] [--omp [N]]"
-               " [--threads N] [--kernel scalar|avx2] [--executor omp|pool]"
+               " [--threads N] [--kernel scalar|avx2|avx512|neon] [--executor omp|pool]"
                " [--hybrid] [--integrity]\n"
                "  szx_cli decompress -i IN -o OUT [--omp [N]] [--threads N]"
-               " [--kernel scalar|avx2] [--executor omp|pool]\n"
+               " [--kernel scalar|avx2|avx512|neon] [--executor omp|pool]\n"
                "  szx_cli info       -i IN\n"
                "  szx_cli verify     -i RAW -z COMPRESSED   (distortion check)\n"
                "  szx_cli verify     -z COMPRESSED          (integrity check)\n"
@@ -163,8 +163,11 @@ Args Parse(int argc, char** argv) {
   if (a.mode != "rel" && a.mode != "abs" && a.mode != "pwrel") {
     Usage("-m must be rel, abs or pwrel");
   }
-  if (!a.kernel.empty() && a.kernel != "scalar" && a.kernel != "avx2") {
-    Usage("--kernel must be scalar or avx2");
+  if (!a.kernel.empty() && a.kernel != "list") {
+    kernels::Kind parsed{};
+    if (!kernels::ParseKind(a.kernel.c_str(), parsed)) {
+      Usage("--kernel must be scalar, avx2, avx512, neon or list");
+    }
   }
   if (!a.executor.empty() && a.executor != "omp" && a.executor != "pool") {
     Usage("--executor must be omp or pool");
@@ -172,15 +175,42 @@ Args Parse(int argc, char** argv) {
   return a;
 }
 
+// `--kernel list`: one row per tier of the dispatch table, plus which one
+// the dispatcher would run right now.
+void PrintKernelTable() {
+  const kernels::Kind active = kernels::ActiveKind();
+  std::printf("kernel   compiled  supported  active\n");
+  for (const kernels::TierInfo& t : kernels::KernelTiers()) {
+    std::printf("%-7s  %-8s  %-9s  %s\n", kernels::KindName(t.kind),
+                t.compiled ? "yes" : "no", t.supported ? "yes" : "no",
+                t.kind == active ? "*" : "");
+  }
+}
+
 // Installs the requested block-kernel implementation for the whole run.
 void ApplyKernelChoice(const Args& a) {
   if (!a.kernel.empty()) {
-    const kernels::Kind want =
-        a.kernel == "avx2" ? kernels::Kind::kAvx2 : kernels::Kind::kScalar;
+    if (a.kernel == "list") {
+      PrintKernelTable();
+      std::exit(0);
+    }
+    kernels::Kind want = kernels::Kind::kScalar;
+    (void)kernels::ParseKind(a.kernel.c_str(), want);  // validated in Parse
+    // scalar/avx2 keep their historical degrade-with-warning semantics
+    // (portable scripts rely on them); the opt-in avx512/neon tiers fail
+    // loudly instead, so a benchmark never silently measures the wrong ISA.
+    if ((want == kernels::Kind::kAvx512 || want == kernels::Kind::kNeon) &&
+        !kernels::KindSupported(want)) {
+      Usage((a.kernel + " kernels are not available in this build/on this "
+                        "CPU (see --kernel list)")
+                .c_str());
+    }
     if (kernels::SetActiveKind(want) != want) {
       std::fprintf(stderr,
-                   "szx: --kernel avx2 requested but AVX2 is unavailable; "
-                   "using scalar kernels\n");
+                   "szx: --kernel %s requested but unavailable; using %s "
+                   "kernels\n",
+                   a.kernel.c_str(),
+                   kernels::KindName(kernels::ActiveKind()));
     }
   }
   if (!a.executor.empty()) {
