@@ -27,6 +27,13 @@
 //       the detected hardware thread count recorded alongside the numbers.
 //       Refuses to overwrite a grid recorded on a machine with more
 //       hardware threads unless --force is given (stale-bench trap).
+//   micro_codec --bench_container_json=PATH [--smoke] [--force]
+//       format-v3 container grid: full-timestep decode vs centered ROI
+//       decodes at 1/5/10/25% of the field x 1/2/4/8 threads, cold
+//       (uncached) and warm (decoded-chunk LRU cache hit path), with
+//       derived roi_cost_vs_full and warm_speedup_vs_cold series -- the
+//       seekability and cache acceptance bars read by docs/performance.md.
+//       Shares the stale-bench overwrite trap with the other grids.
 #include <benchmark/benchmark.h>
 
 #if defined(SZX_HAVE_OPENMP)
@@ -44,6 +51,7 @@
 #include "core/block_plan.hpp"
 #include "core/block_stats.hpp"
 #include "core/compressor.hpp"
+#include "core/container.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/random_access.hpp"
 #include "core/streaming.hpp"
@@ -1009,11 +1017,195 @@ int RunBenchOmpJson(const std::string& path, bool smoke, bool force) {
   return out.good() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --bench_container_json mode: ROI seek + decoded-chunk cache grid.
+// ---------------------------------------------------------------------------
+
+struct ContainerRow {
+  std::string bench;    // full_decode | roi_cold | roi_warm
+  double roi_fraction;  // 1.0 for full_decode
+  int threads;
+  std::uint64_t elements;  // elements the query decodes
+  std::size_t bytes;       // decoded output bytes of the query
+  szx::bench::TrimmedTiming timing;
+
+  double Gbps() const {
+    return static_cast<double>(bytes) / 1e9 / timing.mean_s;
+  }
+};
+
+int RunBenchContainerJson(const std::string& path, bool smoke, bool force) {
+  using szx::bench::JsonWriter;
+  if (RefuseStaleOverwrite(path, force)) {
+    return 1;
+  }
+  const double scale = smoke ? 0.02 : szx::bench::BenchScale();
+  const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 5);
+  constexpr double kRelEb = 1e-2;
+  constexpr std::uint64_t kTimesteps = 2;
+  const data::Field field = data::GenerateField(data::App::kCesm, "CLDHGH",
+                                                scale);
+  const std::vector<float>& vf = field.values;
+  const std::uint64_t ept = vf.size();
+  // ~64 chunks per timestep regardless of --smoke scaling, so the smallest
+  // ROI fraction below still covers at least one whole chunk and the cost
+  // ratios stay comparable across scales.
+  const std::uint64_t chunk_elements =
+      std::max<std::uint64_t>(256, (ept + 63) / 64);
+
+  ContainerWriter cw;
+  ContainerWriter::FieldSpec spec;
+  spec.name = field.name;
+  spec.params.mode = ErrorBoundMode::kValueRangeRelative;
+  spec.params.error_bound = kRelEb;
+  spec.elements_per_timestep = ept;
+  spec.chunk_elements = chunk_elements;
+  const std::uint32_t fid = cw.AddField(spec, DataType::kFloat32);
+  for (std::uint64_t ts = 0; ts < kTimesteps; ++ts) {
+    cw.AppendTimestep<float>(fid, std::span<const float>(vf));
+  }
+  const ByteBuffer container = cw.Finish();
+
+  const ContainerReader cold_reader(container);
+  // Sized for every decoded chunk of the queried timestep, single shard so
+  // the capacity bound is exact (with N shards each gets capacity/N, which
+  // could evict a hot chunk): the warm rows then measure pure cache hits.
+  ChunkCache cache(static_cast<std::size_t>(ept) * sizeof(float) * 2, 1);
+  const ContainerReader warm_reader(container, &cache);
+
+  constexpr double kRoiFractions[] = {0.01, 0.05, 0.10, 0.25};
+  std::vector<float> out(vf.size());
+  std::vector<ContainerRow> rows;
+  for (const int threads : {1, 2, 4, 8}) {
+    const auto ft = szx::bench::TimeTrimmed(reps, [&] {
+      cold_reader.DecompressRange<float>(fid, 0, 0, std::span<float>(out),
+                                         threads);
+      benchmark::DoNotOptimize(out.data());
+    });
+    rows.push_back(
+        {"full_decode", 1.0, threads, ept, ept * sizeof(float), ft});
+    for (const double frac : kRoiFractions) {
+      const std::uint64_t count = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(static_cast<double>(ept) * frac));
+      const std::uint64_t first = (ept - count) / 2;  // center the ROI
+      const std::span<float> roi(out.data(), count);
+      const auto ct = szx::bench::TimeTrimmed(reps, [&] {
+        cold_reader.DecompressRange<float>(fid, 0, first, roi, threads);
+        benchmark::DoNotOptimize(out.data());
+      });
+      rows.push_back(
+          {"roi_cold", frac, threads, count, count * sizeof(float), ct});
+      // Populate the cache outside the timed region; every timed rep then
+      // exercises the hit path (probe + bounds-checked copy).
+      warm_reader.DecompressRange<float>(fid, 0, first, roi, threads);
+      const auto wt = szx::bench::TimeTrimmed(reps, [&] {
+        warm_reader.DecompressRange<float>(fid, 0, first, roi, threads);
+        benchmark::DoNotOptimize(out.data());
+      });
+      rows.push_back(
+          {"roi_warm", frac, threads, count, count * sizeof(float), wt});
+    }
+  }
+  const ChunkCacheStats cs = cache.Stats();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "szx-bench-container-v1");
+  w.Field("smoke", smoke);
+  // Scaling beyond this count measures oversubscription, not parallelism;
+  // the overwrite trap above compares it before replacing an existing grid.
+  w.Field("hardware_threads", HardwareThreads());
+  w.Field("reps", reps);
+  w.Field("rel_eb", kRelEb);
+  w.BeginObject("field");
+  w.Field("app", "CESM-ATM");
+  w.Field("name", field.name);
+  w.Field("elements", vf.size());
+  w.Field("scale", scale);
+  w.Field("timesteps", kTimesteps);
+  w.Field("chunk_elements", chunk_elements);
+  w.Field("container_bytes", container.size());
+  w.EndObject();
+  w.BeginObject("cache");
+  w.Field("capacity_bytes", cache.capacity_bytes());
+  w.Field("hits", cs.hits);
+  w.Field("misses", cs.misses);
+  w.Field("insertions", cs.insertions);
+  w.Field("evictions", cs.evictions);
+  w.EndObject();
+  w.BeginArray("results");
+  for (const auto& r : rows) {
+    w.BeginObject();
+    w.Field("bench", r.bench);
+    w.Field("roi_fraction", r.roi_fraction);
+    w.Field("threads", r.threads);
+    w.Field("elements", r.elements);
+    w.Field("bytes", r.bytes);
+    w.Field("mean_s", r.timing.mean_s);
+    w.Field("min_s", r.timing.min_s);
+    w.Field("max_s", r.timing.max_s);
+    w.Field("gbps", r.Gbps());
+    w.EndObject();
+  }
+  w.EndArray();
+  // ROI cost relative to decoding the whole timestep at the same thread
+  // count -- the seekability acceptance bar: an ROI covering <=10% of the
+  // container must cost <=25% of the full decode.
+  w.BeginArray("roi_cost_vs_full");
+  for (const auto& r : rows) {
+    if (r.bench != "roi_cold") continue;
+    for (const auto& base : rows) {
+      if (base.bench == "full_decode" && base.threads == r.threads) {
+        w.BeginObject();
+        w.Field("roi_fraction", r.roi_fraction);
+        w.Field("threads", r.threads);
+        w.Field("cost", r.timing.mean_s / base.timing.mean_s);
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  // Warm-cache repeat query over the identical cold query -- the cache
+  // acceptance bar: a repeat query over hot chunks must run >=5x faster.
+  w.BeginArray("warm_speedup_vs_cold");
+  for (const auto& r : rows) {
+    if (r.bench != "roi_warm") continue;
+    for (const auto& base : rows) {
+      if (base.bench == "roi_cold" && base.threads == r.threads &&
+          base.roi_fraction == r.roi_fraction) {
+        w.BeginObject();
+        w.Field("roi_fraction", r.roi_fraction);
+        w.Field("threads", r.threads);
+        w.Field("speedup", base.timing.mean_s / r.timing.mean_s);
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (!szx::bench::ValidateJson(w.Str())) {
+    std::fprintf(stderr, "micro_codec: generated JSON failed validation\n");
+    return 1;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "micro_codec: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  os << w.Str() << '\n';
+  os.close();
+  std::printf("wrote %s (%zu results, reps=%d, %zu elements, %d hw threads)\n",
+              path.c_str(), rows.size(), reps, vf.size(), HardwareThreads());
+  return os.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string omp_json_path;
+  std::string container_json_path;
   bool smoke = false;
   bool force = false;
   std::vector<char*> rest;
@@ -1023,6 +1215,8 @@ int main(int argc, char** argv) {
       json_path = argv[i] + 13;
     } else if (std::strncmp(argv[i], "--bench_omp_json=", 17) == 0) {
       omp_json_path = argv[i] + 17;
+    } else if (std::strncmp(argv[i], "--bench_container_json=", 23) == 0) {
+      container_json_path = argv[i] + 23;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--force") == 0) {
@@ -1030,6 +1224,9 @@ int main(int argc, char** argv) {
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  if (!container_json_path.empty()) {
+    return RunBenchContainerJson(container_json_path, smoke, force);
   }
   if (!omp_json_path.empty()) {
     return RunBenchOmpJson(omp_json_path, smoke, force);

@@ -20,6 +20,13 @@
 #                     thread count recorded alongside the numbers.  A grid
 #                     recorded on a bigger machine is not overwritten unless
 #                     --force is passed through.
+#   BENCH_container.json
+#                     format-v3 container grid: full-timestep decode vs
+#                     centered ROI decodes at 1/5/10/25% of the field x
+#                     1/2/4/8 threads, cold (uncached) and warm (decoded-
+#                     chunk LRU cache), with roi_cost_vs_full and
+#                     warm_speedup_vs_cold series -- the seekability and
+#                     cache acceptance bars.  Same stale-bench trap.
 #
 # Usage:
 #   scripts/bench.sh            full grids -> BENCH_*.json at the repo root
@@ -35,13 +42,16 @@ cd "$(dirname "$0")/.."
 
 out="BENCH_codec.json"
 omp_out="BENCH_omp.json"
+container_out="BENCH_container.json"
 if [[ "${1:-}" == "--smoke" ]]; then
   out="BENCH_codec_smoke.json"
   omp_out="BENCH_omp_smoke.json"
+  container_out="BENCH_container_smoke.json"
 fi
 
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" --target micro_codec
 ./build/bench/micro_codec --bench_json="${out}" "$@"
 ./build/bench/micro_codec --bench_omp_json="${omp_out}" "$@"
-echo "bench.sh: wrote ${out} and ${omp_out}"
+./build/bench/micro_codec --bench_container_json="${container_out}" "$@"
+echo "bench.sh: wrote ${out}, ${omp_out} and ${container_out}"

@@ -3,9 +3,13 @@
 #   1. release build with warnings-as-errors, then tier1 + conformance +
 #      executor (work-stealing pool battery + golden determinism matrix
 #      across SZX_EXECUTOR x SZX_KERNEL x threads, docs/performance.md) +
+#      container (format-v3 seekable container + decoded-chunk cache +
+#      container salvage + golden containers across SZX_EXECUTOR x threads,
+#      docs/FORMAT.md "Format v3") +
 #      fuzz-smoke (stream corruption campaign + salvage-fuzz stacked-fault
-#      smoke, docs/resilience.md) + bench-smoke (codec grid and omp
-#      thread-scaling grid JSON contracts) + lint + analysis (szx-lint tree
+#      smoke, docs/resilience.md) + bench-smoke (codec grid, omp
+#      thread-scaling grid, and container ROI/cache grid JSON contracts)
+#      + lint + analysis (szx-lint tree
 #      gate twice -- human and --json paths -- lint self-tests, and the
 #      curated clang-tidy profile when the tool is installed)
 #   2. clang thread-safety analysis: rebuild under the clang-tsa preset
@@ -16,7 +20,8 @@
 #   3. asan-ubsan build, then every tier under ASan/UBSan
 #   4. tsan build, then the OMP/pool-executor/cusim suites plus the
 #      baseline codecs (parallel chunked-Huffman decode at SZX_THREADS=4)
-#      under ThreadSanitizer
+#      and the container tier's concurrent pieces (decoded-chunk LRU cache
+#      property battery, container salvage) under ThreadSanitizer
 # Each stage stops the script on failure.  Expect the sanitizer stages to
 # dominate the runtime; pass --fast to run only stage 1.
 set -euo pipefail
@@ -31,6 +36,7 @@ cmake --build --preset release -j "$(nproc)"
 ctest --preset tier1
 ctest --preset conformance
 ctest --preset executor
+ctest --preset container
 ctest --preset fuzz-smoke
 ctest --preset bench-smoke
 ctest --preset lint
@@ -62,7 +68,8 @@ cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" \
   --target test_omp_codec test_cusim test_kernel_harness test_kernels \
            test_salvage test_salvage_property test_executor test_streaming \
-           test_pipeline test_huffman test_szref test_sz2
+           test_pipeline test_huffman test_szref test_sz2 \
+           test_chunk_cache test_container_salvage
 # SZX_THREADS=4 forces the chunked-Huffman parallel decode (szref/sz2) onto
 # multiple pool workers even on small boxes, so tsan actually sees the
 # concurrent decode path rather than a single-threaded fallback.

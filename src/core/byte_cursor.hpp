@@ -27,6 +27,15 @@ inline std::uint64_t CheckedMul(std::uint64_t a, std::uint64_t b) {
   return a * b;
 }
 
+/// Overflow-checked add for offset/length computations on untrusted fields.
+inline std::uint64_t CheckedAdd(std::uint64_t a, std::uint64_t b) {
+  if (b > std::numeric_limits<std::uint64_t>::max() - a) {
+    throw Error("szx: size computation overflow (" + std::to_string(a) +
+                " + " + std::to_string(b) + ")");
+  }
+  return a + b;
+}
+
 /// Value-preserving narrowing cast; throws instead of silently truncating.
 template <typename To, typename From>
 inline To CheckedNarrow(From value) {

@@ -1,0 +1,125 @@
+#include "core/chunk_cache.hpp"
+
+#include <bit>
+
+namespace szx {
+namespace {
+
+std::size_t ClampShards(unsigned shards) {
+  const unsigned clamped = shards == 0 ? 1u : (shards > 64u ? 64u : shards);
+  return std::bit_ceil(static_cast<std::size_t>(clamped));
+}
+
+}  // namespace
+
+ChunkCache::ChunkCache(std::size_t capacity_bytes, unsigned shards)
+    : capacity_(capacity_bytes), shard_mask_(ClampShards(shards) - 1) {
+  shards_.reserve(shard_mask_ + 1);
+  for (std::size_t i = 0; i <= shard_mask_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ChunkCache::Shard& ChunkCache::ShardFor(const ChunkKey& key) {
+  return *shards_[KeyHash{}(key) & shard_mask_];
+}
+
+ChunkCache::Value ChunkCache::Lookup(const ChunkKey& key) {
+  Shard& s = ShardFor(key);
+  {
+    sync::MutexLock lock(s.m);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      // Splice to the front: O(1), no allocation, iterators stay valid.
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+      // szx-mo: relaxed -- monotonic telemetry counter; Stats() needs no
+      // ordering with the shard state, which the mutex already serializes.
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second->value;
+    }
+  }
+  // szx-mo: relaxed -- monotonic telemetry counter, no ordering required.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void ChunkCache::Insert(const ChunkKey& key, Value value) {
+  if (value == nullptr) {
+    throw Error("szx: chunk cache rejects null values");
+  }
+  const std::size_t value_bytes = value->size();
+  // Per-shard share of the global budget (shard count is a power of two, so
+  // this is exact up to rounding; a value bigger than the share is inserted
+  // then immediately evicted, keeping the accounting uniform).
+  const std::size_t shard_cap = capacity_ / (shard_mask_ + 1);
+  std::uint64_t evicted = 0;
+  Shard& s = ShardFor(key);
+  {
+    sync::MutexLock lock(s.m);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      s.bytes -= it->second->value->size();
+      s.bytes += value_bytes;
+      it->second->value = std::move(value);
+      s.lru.splice(s.lru.begin(), s.lru, it->second);
+    } else {
+      s.lru.push_front(Entry{key, std::move(value)});
+      s.map.emplace(key, s.lru.begin());
+      s.bytes += value_bytes;
+    }
+    while (s.bytes > shard_cap && !s.lru.empty()) {
+      const Entry& tail = s.lru.back();
+      s.bytes -= tail.value->size();
+      s.map.erase(tail.key);
+      s.lru.pop_back();
+      ++evicted;
+    }
+  }
+  // szx-mo: relaxed -- monotonic telemetry counters, no ordering required.
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  if (evicted != 0) {
+    // szx-mo: relaxed -- monotonic telemetry counter, no ordering required.
+    evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  }
+}
+
+void ChunkCache::Clear() {
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->m);
+    shard->map.clear();
+    shard->lru.clear();
+    shard->bytes = 0;
+  }
+}
+
+ChunkCacheStats ChunkCache::Stats() const {
+  ChunkCacheStats out;
+  // szx-mo: relaxed -- counter snapshot; exactness is only promised after
+  // concurrent Lookup/Insert calls have quiesced (see header contract).
+  out.hits = hits_.load(std::memory_order_relaxed);
+  // szx-mo: relaxed -- same snapshot contract as above.
+  out.misses = misses_.load(std::memory_order_relaxed);
+  // szx-mo: relaxed -- same snapshot contract as above.
+  out.insertions = insertions_.load(std::memory_order_relaxed);
+  // szx-mo: relaxed -- same snapshot contract as above.
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::size_t ChunkCache::SizeBytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    sync::MutexLock lock(shard->m);
+    total += shard->bytes;
+  }
+  return total;
+}
+
+std::uint64_t ChunkCache::NewStreamId() {
+  static std::atomic<std::uint64_t> next{1};
+  // szx-mo: relaxed -- uniqueness needs only atomicity of the increment;
+  // callers publish the id to other threads via their own synchronization.
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace szx

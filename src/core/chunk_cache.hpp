@@ -1,0 +1,146 @@
+// Decoded-chunk LRU cache for the format-v3 container reader
+// (core/container.hpp).
+//
+// ROI queries over a hot region of a container decode the same chunks again
+// and again; the cache keeps those decoded bytes so a repeat query costs a
+// map probe plus a bounds-checked copy instead of an entropy decode.  The
+// key ties an entry to (reader stream id, directory entry index, error-bound
+// bit pattern): stream ids are process-unique, so entries from a closed
+// reader can never alias a newer one, and a reader opened over the same
+// container at a different bound misses instead of returning wrong bytes.
+//
+// Concurrency model (docs/performance.md "Container + chunk cache"):
+//   - The table is sharded by key hash; each shard owns a sync::Mutex
+//     guarding its map + intrusive LRU list + byte count (SZX_GUARDED_BY,
+//     checked under the clang-tsa preset).
+//   - Values are shared_ptr<const ByteBuffer>: a reader that lost the race
+//     against eviction still holds its bytes alive, so hits never copy
+//     under the shard lock for longer than the list splice.
+//   - Hit/miss/eviction counters are relaxed atomics (monotonic telemetry,
+//     no ordering required); every access carries an `szx-mo:` justification
+//     enforced by szx_lint's memory-order audit.
+//   - Steady-state hits are zero-alloc: Lookup performs a find, a list
+//     splice, and a shared_ptr refcount bump.  Only misses (which decoded a
+//     chunk anyway) allocate, for the inserted buffer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/annotations.hpp"
+#include "core/common.hpp"
+#include "core/sync.hpp"
+
+namespace szx {
+
+/// Identity of one decoded chunk: which reader, which directory entry, and
+/// under which absolute error bound (bit pattern, so NaN/-0.0 compare
+/// deterministically) the bytes were produced.
+struct ChunkKey {
+  std::uint64_t stream_id = 0;
+  std::uint64_t entry = 0;
+  std::uint64_t bound_bits = 0;
+
+  friend bool operator==(const ChunkKey&, const ChunkKey&) = default;
+};
+
+/// Monotonic telemetry counters.  `hits + misses` equals the number of
+/// Lookup calls ever made (the conservation property pinned by
+/// tests/core/test_chunk_cache.cpp).
+struct ChunkCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Sharded, size-bounded LRU of decoded chunk bytes.  Thread-safe; all
+/// methods may be called concurrently from pool workers.
+class ChunkCache {
+ public:
+  using Value = std::shared_ptr<const ByteBuffer>;
+
+  /// `capacity_bytes` bounds the decoded bytes retained across all shards
+  /// (0 keeps nothing: every Insert evicts itself).  `shards` is clamped to
+  /// [1, 64] and rounded up to a power of two.
+  explicit ChunkCache(std::size_t capacity_bytes, unsigned shards = 8);
+
+  ChunkCache(const ChunkCache&) = delete;
+  ChunkCache& operator=(const ChunkCache&) = delete;
+
+  /// Returns the cached bytes for `key` (marking the entry most recently
+  /// used), or nullptr on miss.  Exactly one of the hit/miss counters is
+  /// bumped per call.
+  [[nodiscard]] Value Lookup(const ChunkKey& key);
+
+  /// Inserts (or replaces) the entry, then evicts least-recently-used
+  /// entries from the shard until it fits its share of the capacity.  A
+  /// value larger than the shard capacity is evicted immediately; readers
+  /// holding the returned shared_ptr are unaffected either way.
+  void Insert(const ChunkKey& key, Value value);
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+  /// Snapshot of the telemetry counters (relaxed reads; exact once
+  /// concurrent Lookups have quiesced).
+  [[nodiscard]] ChunkCacheStats Stats() const;
+
+  [[nodiscard]] std::size_t capacity_bytes() const { return capacity_; }
+
+  /// Decoded bytes currently retained across all shards.
+  [[nodiscard]] std::size_t SizeBytes() const;
+
+  /// Process-unique id for a new container reader; never returns the same
+  /// value twice, so cache entries of distinct readers cannot collide.
+  [[nodiscard]] static std::uint64_t NewStreamId();
+
+ private:
+  struct Entry {
+    ChunkKey key;
+    Value value;
+  };
+  using LruList = std::list<Entry>;
+
+  struct KeyHash {
+    std::size_t operator()(const ChunkKey& k) const noexcept {
+      // SplitMix64 finalizer over the three words; cheap and well mixed,
+      // so shard selection and bucket spread share one hash.
+      std::uint64_t h = k.stream_id * 0x9e3779b97f4a7c15ull;
+      h ^= k.entry + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= k.bound_bits + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+      h ^= h >> 30;
+      h *= 0xbf58476d1ce4e5b9ull;
+      h ^= h >> 27;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct Shard {
+    sync::Mutex m;
+    LruList lru SZX_GUARDED_BY(m);  ///< front = most recently used
+    std::unordered_map<ChunkKey, LruList::iterator, KeyHash> map
+        SZX_GUARDED_BY(m);
+    std::size_t bytes SZX_GUARDED_BY(m) = 0;
+  };
+
+  [[nodiscard]] Shard& ShardFor(const ChunkKey& key);
+
+  const std::size_t capacity_;
+  const std::size_t shard_mask_;  // shard count - 1 (power of two)
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Telemetry only: monotonic counters read by Stats(); no ordering with
+  // the shard state is needed, so every access is relaxed (szx-mo at each
+  // site).
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> insertions_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace szx

@@ -38,7 +38,10 @@ void DecompressRangeInto(ByteSpan stream, std::uint64_t first,
     throw Error("szx: stream element type mismatch");
   }
   const std::uint64_t count = out.size();
-  if (first > h.num_elements || count > h.num_elements - first) {
+  // CheckedAdd refuses a (first, count) pair whose sum wraps around u64, so
+  // a forged range can neither pass this comparison by wrapping nor reach
+  // the block arithmetic below with an inconsistent end position.
+  if (CheckedAdd(first, count) > h.num_elements) {
     throw Error("szx: range exceeds stream element count");
   }
   if (count == 0) return;
@@ -108,7 +111,14 @@ void DecompressRangeInto(ByteSpan stream, std::uint64_t first,
 template <SupportedFloat T>
 std::vector<T> DecompressRange(ByteSpan stream, std::uint64_t first,
                                std::uint64_t count) {
-  std::vector<T> out(count);
+  // Validate the range against the header before sizing the allocation, so
+  // a forged (first, count) pair cannot drive a huge resize and the sum is
+  // overflow-checked before any memory is committed.
+  const Header h = ParseHeader(stream);
+  if (CheckedAdd(first, count) > h.num_elements) {
+    throw Error("szx: range exceeds stream element count");
+  }
+  std::vector<T> out(CheckedNarrow<std::size_t>(count));
   DecompressRangeInto<T>(stream, first, std::span<T>(out));
   return out;
 }

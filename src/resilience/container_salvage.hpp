@@ -1,0 +1,74 @@
+// Salvage for format-v3 containers (core/container.hpp).
+//
+// A container localizes damage by construction: every chunk is a complete,
+// independently-decodable stream with its own directory checksum, so one
+// flipped byte quarantines exactly the elements that chunk covers and
+// nothing else.  SalvageContainerTimestep exploits that:
+//
+//   - entry checksum verifies              -> bit-exact decode of the chunk
+//   - entry checksum fails, chunk is a v2
+//     stream with a surviving footer       -> tiered SalvageDecode of that
+//     chunk alone (mu-fill degradation per docs/resilience.md)
+//   - chunk unusable                       -> sentinel fill of its elements
+//
+// The directory itself is protected by the self-checksummed trailer; a
+// container whose directory fails that check never constructs a reader and
+// is out of scope here (nothing can be located without the offsets).
+#pragma once
+
+#include "core/container.hpp"
+#include "resilience/salvage.hpp"
+
+namespace szx::resilience {
+
+/// Outcome for one chunk of the salvaged (field, timestep).
+struct ContainerChunkDamage {
+  std::uint64_t entry = 0;          ///< directory entry index
+  std::uint64_t first_element = 0;  ///< within the timestep
+  std::uint64_t last_element = 0;   ///< exclusive
+  Verdict verdict = Verdict::kUnverified;
+  ChunkFill fill = ChunkFill::kDecoded;
+
+  friend bool operator==(const ContainerChunkDamage&,
+                         const ContainerChunkDamage&) = default;
+};
+
+/// Deterministic for a given (container, field, timestep, options) input,
+/// independent of thread count.
+struct ContainerSalvageReport {
+  bool usable = false;  ///< output was produced (possibly degraded)
+  bool clean = false;   ///< every chunk decoded bit-exactly
+  std::string error;    ///< fatal reason when !usable
+
+  std::uint64_t num_elements = 0;
+  std::uint64_t chunks_total = 0;
+  std::uint64_t chunks_recovered = 0;  ///< bit-exact decodes
+  std::uint64_t chunks_degraded = 0;   ///< per-chunk salvage produced output
+  std::uint64_t chunks_lost = 0;       ///< sentinel-filled
+
+  /// One record per non-bit-exact chunk, in entry order.
+  std::vector<ContainerChunkDamage> damaged;
+
+  /// Canonical JSON rendering (stable field order) for the CLI query
+  /// subcommand and pinned golden reports.
+  [[nodiscard]] std::string ToJson() const;
+};
+
+template <SupportedFloat T>
+struct ContainerSalvageResult {
+  std::vector<T> data;  ///< elements_per_timestep values; empty if !usable
+  ContainerSalvageReport report;
+};
+
+/// Best-effort decode of one (field, timestep) of a possibly damaged
+/// container.  Never throws for data-dependent damage; structural
+/// precondition failures (bad field index, dtype mismatch, output over
+/// options.max_output_bytes) return report.usable == false with the reason
+/// in report.error.  options.num_threads parallelizes over chunks with
+/// identical output and report for every value.
+template <SupportedFloat T>
+[[nodiscard]] ContainerSalvageResult<T> SalvageContainerTimestep(
+    const ContainerReader& reader, std::uint32_t field,
+    std::uint64_t timestep, const SalvageOptions& options = {});
+
+}  // namespace szx::resilience

@@ -6,7 +6,9 @@
 #include <sstream>
 
 #include "core/compressor.hpp"
+#include "core/container.hpp"
 #include "core/omp_codec.hpp"
+#include "resilience/container_salvage.hpp"
 #include "resilience/salvage.hpp"
 #include "testkit/oracle.hpp"
 
@@ -363,6 +365,403 @@ std::optional<std::string> VerifyDamagedGoldenCase(const DamagedGoldenCase& c,
   if (report != expected) {
     return c.file + ": salvage DamageReport diverges from " +
            DamagedReportFile(c) + " -- salvage semantics drifted";
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Container corpus.
+
+namespace {
+
+ContainerGoldenField MakeField(const char* name, DataType dtype, Gen gen,
+                               std::size_t ept, std::uint64_t timesteps,
+                               std::uint64_t chunk, std::uint64_t seed,
+                               Params params) {
+  return {name, dtype, gen, ept, timesteps, chunk, seed, params};
+}
+
+template <SupportedFloat T>
+void AppendFieldTimesteps(ContainerWriter& w, std::uint32_t id,
+                          const ContainerGoldenField& f) {
+  for (std::uint64_t t = 0; t < f.timesteps; ++t) {
+    const std::vector<T> data =
+        Generate<T>(f.gen, f.elements_per_timestep, f.seed + t);
+    w.AppendTimestep<T>(id, data);
+  }
+}
+
+}  // namespace
+
+const std::vector<ContainerGoldenCase>& ContainerGoldenCases() {
+  using enum ErrorBoundMode;
+  using enum CommitSolution;
+  static const std::vector<ContainerGoldenCase> kCases = {
+      // Single field, several timesteps, power-of-two chunks.
+      {"container_single_f32.szx3",
+       {MakeField("wave", DataType::kFloat32, Gen::kWave, 4096, 3, 1024, 301,
+                  MakeParams(kAbsolute, 1e-3, 128, kC))}},
+      // Two fields with different dtypes, bounds, timestep counts, and a
+      // ragged tail chunk (3000 % 896 != 0).
+      {"container_multi.szx3",
+       {MakeField("wave", DataType::kFloat32, Gen::kWave, 3000, 2, 896, 302,
+                  MakeParams(kValueRangeRelative, 1e-3, 128, kC)),
+        MakeField("noise", DataType::kFloat64, Gen::kNoise, 2000, 1, 512, 303,
+                  MakeParams(kAbsolute, 1e-4, 128, kC))}},
+      // Integrity params: every chunk is a v2 stream with its own footer.
+      {"container_integrity.szx3",
+       {MakeField("mixed", DataType::kFloat32, Gen::kMixedScales, 2100, 2, 700,
+                  304, [] {
+                    Params p = MakeParams(ErrorBoundMode::kAbsolute, 1e-2, 64,
+                                          CommitSolution::kC);
+                    p.integrity = true;
+                    return p;
+                  }())}},
+  };
+  return kCases;
+}
+
+ByteBuffer EncodeContainerGoldenCase(const ContainerGoldenCase& c) {
+  ContainerWriter w;
+  std::vector<std::uint32_t> ids;
+  ids.reserve(c.fields.size());
+  for (const ContainerGoldenField& f : c.fields) {
+    ContainerWriter::FieldSpec spec;
+    spec.name = f.name;
+    spec.params = f.params;
+    spec.elements_per_timestep = f.elements_per_timestep;
+    spec.chunk_elements = f.chunk_elements;
+    ids.push_back(w.AddField(spec, f.dtype));
+  }
+  for (std::size_t i = 0; i < c.fields.size(); ++i) {
+    if (c.fields[i].dtype == DataType::kFloat32) {
+      AppendFieldTimesteps<float>(w, ids[i], c.fields[i]);
+    } else {
+      AppendFieldTimesteps<double>(w, ids[i], c.fields[i]);
+    }
+  }
+  return w.Finish();
+}
+
+std::string ContainerManifestText() {
+  std::ostringstream os;
+  os << "# Container (format v3) corpus -- regenerate with szx_goldengen.\n"
+     << "# A diff here is a container-layout change and must be reviewed.\n";
+  for (const ContainerGoldenCase& c : ContainerGoldenCases()) {
+    const ByteBuffer bytes = EncodeContainerGoldenCase(c);
+    os << c.file << "  bytes=" << bytes.size() << "  fnv1a64=" << std::hex
+       << Fnv1a64(bytes) << std::dec << "  fields=" << c.fields.size();
+    for (const ContainerGoldenField& f : c.fields) {
+      os << "  [" << f.name << " "
+         << (f.dtype == DataType::kFloat32 ? "f32" : "f64") << " "
+         << GenName(f.gen) << " ept=" << f.elements_per_timestep
+         << " ts=" << f.timesteps << " chunk=" << f.chunk_elements
+         << " seed=" << f.seed << " mode=" << ModeName(f.params.mode)
+         << " eb=" << f.params.error_bound << "]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void WriteContainerGoldenCorpus(const std::string& dir) {
+  for (const ContainerGoldenCase& c : ContainerGoldenCases()) {
+    WriteFileBytes(dir + "/" + c.file, EncodeContainerGoldenCase(c));
+  }
+  const std::string manifest = ContainerManifestText();
+  WriteFileBytes(dir + "/" + kContainerManifestFile,
+                 // szx-lint: allow(reinterpret-cast) -- views locally built manifest text as bytes for writing
+                 ByteSpan(reinterpret_cast<const std::byte*>(manifest.data()),
+                          manifest.size()));
+}
+
+namespace {
+
+/// Decode checks for one field of a pinned container: error-bound oracle on
+/// every timestep, then ROI probes (uncached and cache-backed) that must
+/// equal the full-decode slice bit-for-bit.
+template <SupportedFloat T>
+std::optional<std::string> VerifyContainerField(
+    const ContainerReader& reader, const ContainerReader& cached,
+    std::uint32_t id, const ContainerGoldenField& f) {
+  using Bits = typename FloatTraits<T>::Bits;
+  const std::uint64_t ept = f.elements_per_timestep;
+  for (std::uint64_t t = 0; t < f.timesteps; ++t) {
+    const std::vector<T> data = Generate<T>(f.gen, ept, f.seed + t);
+    std::vector<T> full;
+    try {
+      full = reader.DecompressTimestep<T>(id, t);
+    } catch (const Error& e) {
+      return f.name + ": decoder rejects the pinned container: " + e.what();
+    }
+    const double abs_bound =
+        ResolveAbsoluteBound<T>(std::span<const T>(data), f.params);
+    if (auto err = CheckErrorBound<T>(data, full, f.params, abs_bound)) {
+      return f.name + " timestep " + std::to_string(t) + ": " + *err;
+    }
+    // Deterministic ROI probes, including a chunk-straddling one.
+    const std::uint64_t probes[] = {0, ept / 3,
+                                    ept - std::min<std::uint64_t>(ept, 5)};
+    for (const std::uint64_t first : probes) {
+      const std::uint64_t count = std::min<std::uint64_t>(
+          ept - first, 2 * f.chunk_elements + 7);
+      std::vector<T> roi(static_cast<std::size_t>(count));
+      std::vector<T> roi_cached(roi.size());
+      reader.DecompressRange<T>(id, t, first, std::span<T>(roi));
+      cached.DecompressRange<T>(id, t, first, std::span<T>(roi_cached));
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::size_t at = static_cast<std::size_t>(i);
+        const Bits want = std::bit_cast<Bits>(
+            full[static_cast<std::size_t>(first + i)]);
+        if (std::bit_cast<Bits>(roi[at]) != want) {
+          return f.name + ": ROI decode diverges from the full-decode slice "
+                          "at element " +
+                 std::to_string(first + i);
+        }
+        if (std::bit_cast<Bits>(roi_cached[at]) != want) {
+          return f.name + ": cache-backed ROI decode diverges at element " +
+                 std::to_string(first + i);
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> VerifyContainerGoldenCase(
+    const ContainerGoldenCase& c, const std::string& dir) {
+  ByteBuffer pinned;
+  try {
+    pinned = ReadFileBytes(dir + "/" + c.file);
+  } catch (const Error& e) {
+    return std::string(e.what()) + " (regenerate with szx_goldengen)";
+  }
+  // Re-encode under the environment-selected executor and thread count:
+  // the container layout must be byte-identical for every backend width.
+  const ByteBuffer fresh = EncodeContainerGoldenCase(c);
+  if (fresh.size() != pinned.size()) {
+    return c.file + ": writer output is " + std::to_string(fresh.size()) +
+           " bytes but the pinned container is " +
+           std::to_string(pinned.size()) + " -- the container layout drifted";
+  }
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    if (fresh[i] != pinned[i]) {
+      return c.file + ": writer output diverges from the pinned container "
+                      "at byte " +
+             std::to_string(i) + " -- the container layout drifted";
+    }
+  }
+  try {
+    ContainerReader reader(pinned);
+    ChunkCache cache(32u << 20);
+    ContainerReader cached(pinned, &cache);
+    if (reader.num_fields() != c.fields.size()) {
+      return c.file + ": pinned container has " +
+             std::to_string(reader.num_fields()) + " fields, recipe has " +
+             std::to_string(c.fields.size());
+    }
+    for (std::uint32_t i = 0; i < c.fields.size(); ++i) {
+      const ContainerGoldenField& f = c.fields[i];
+      const auto err =
+          f.dtype == DataType::kFloat32
+              ? VerifyContainerField<float>(reader, cached, i, f)
+              : VerifyContainerField<double>(reader, cached, i, f);
+      if (err) return c.file + ": " + *err;
+    }
+  } catch (const Error& e) {
+    return c.file + ": reader rejects the pinned container: " + e.what();
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Damaged-container corpus.
+
+const std::vector<DamagedContainerGoldenCase>&
+DamagedContainerGoldenCases() {
+  static const std::vector<DamagedContainerGoldenCase> kCases = [] {
+    const auto& clean = ContainerGoldenCases();
+    // Size-preserving classes only: the directory must survive injection or
+    // the reader (correctly) refuses the whole container.
+    return std::vector<DamagedContainerGoldenCase>{
+        {"container_damaged_bitflip.szx3", clean[0], FaultClass::kBitFlip,
+         401},
+        {"container_damaged_zerofill.szx3", clean[2], FaultClass::kZeroFill,
+         402},
+    };
+  }();
+  return kCases;
+}
+
+ByteBuffer EncodeDamagedContainerGoldenCase(
+    const DamagedContainerGoldenCase& c) {
+  ByteBuffer bytes = EncodeContainerGoldenCase(c.clean);
+  const ContainerReader reader(bytes);
+  if (reader.num_entries() == 0) {
+    throw Error("testkit: damaged-container recipe has no chunks");
+  }
+  // Payload region = [first chunk offset, end of last chunk): faults stay
+  // off the header and directory so damage is a chunk property, not a
+  // refuse-the-container property.
+  const std::size_t begin =
+      static_cast<std::size_t>(reader.entry(0).offset);
+  const ContainerChunkEntry& last = reader.entry(reader.num_entries() - 1);
+  const std::size_t end = static_cast<std::size_t>(last.offset + last.bytes);
+  ByteBuffer payload(bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(end));
+  const std::size_t before = payload.size();
+  InjectFault(payload, c.cls, c.fault_seed);
+  if (payload.size() != before) {
+    throw Error("testkit: damaged-container fault class must preserve size");
+  }
+  std::copy(payload.begin(), payload.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(begin));
+  return bytes;
+}
+
+namespace {
+
+template <SupportedFloat T>
+std::string SalvageAllTimesteps(const ContainerReader& reader,
+                                const ContainerGoldenField& f) {
+  std::string out = "[";
+  for (std::uint64_t t = 0; t < f.timesteps; ++t) {
+    const auto r = resilience::SalvageContainerTimestep<T>(reader, 0, t);
+    if (t > 0) out += ",";
+    out += r.report.ToJson();
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string ContainerSalvageReportJson(const DamagedContainerGoldenCase& c,
+                                       ByteSpan container) {
+  const ContainerReader reader(container);
+  const ContainerGoldenField& f = c.clean.fields.at(0);
+  return f.dtype == DataType::kFloat32
+             ? SalvageAllTimesteps<float>(reader, f)
+             : SalvageAllTimesteps<double>(reader, f);
+}
+
+std::string DamagedContainerReportFile(const DamagedContainerGoldenCase& c) {
+  const std::string stem = c.file.substr(0, c.file.rfind(".szx3"));
+  return stem + ".report.json";
+}
+
+std::string DamagedContainerManifestText() {
+  std::ostringstream os;
+  os << "# Damaged container corpus -- regenerate with szx_goldengen.\n"
+     << "# Each container carries a size-preserving payload-region fault;\n"
+     << "# the .report.json next to it is the expected per-timestep\n"
+     << "# container-salvage report.  A diff here is a salvage-semantics\n"
+     << "# change.\n";
+  for (const DamagedContainerGoldenCase& c : DamagedContainerGoldenCases()) {
+    const ByteBuffer bytes = EncodeDamagedContainerGoldenCase(c);
+    os << c.file << "  bytes=" << bytes.size() << "  fnv1a64=" << std::hex
+       << Fnv1a64(bytes) << std::dec << "  fault=" << FaultClassName(c.cls)
+       << " seed=" << c.fault_seed << "  base=" << c.clean.file << "\n";
+  }
+  return os.str();
+}
+
+void WriteDamagedContainerGoldenCorpus(const std::string& dir) {
+  for (const DamagedContainerGoldenCase& c : DamagedContainerGoldenCases()) {
+    const ByteBuffer bytes = EncodeDamagedContainerGoldenCase(c);
+    WriteFileBytes(dir + "/" + c.file, bytes);
+    const std::string json = ContainerSalvageReportJson(c, bytes);
+    // szx-lint: allow(reinterpret-cast) -- views locally built JSON text as bytes for writing
+    const auto* json_bytes = reinterpret_cast<const std::byte*>(json.data());
+    WriteFileBytes(dir + "/" + DamagedContainerReportFile(c),
+                   ByteSpan(json_bytes, json.size()));
+  }
+  const std::string manifest = DamagedContainerManifestText();
+  WriteFileBytes(dir + "/" + kDamagedContainerManifestFile,
+                 // szx-lint: allow(reinterpret-cast) -- views locally built manifest text as bytes for writing
+                 ByteSpan(reinterpret_cast<const std::byte*>(manifest.data()),
+                          manifest.size()));
+}
+
+namespace {
+
+/// Undamaged chunks must decode bit-identically to the clean container:
+/// damage stays quarantined to the chunks the fault actually touched.
+template <SupportedFloat T>
+std::optional<std::string> CheckDamageQuarantine(
+    const ContainerReader& clean, const ContainerReader& damaged,
+    const ContainerGoldenField& f) {
+  using Bits = typename FloatTraits<T>::Bits;
+  for (std::uint64_t t = 0; t < f.timesteps; ++t) {
+    const std::vector<T> want = clean.DecompressTimestep<T>(0, t);
+    const auto r = resilience::SalvageContainerTimestep<T>(damaged, 0, t);
+    if (!r.report.usable) {
+      return "salvage of timestep " + std::to_string(t) +
+             " unusable: " + r.report.error;
+    }
+    const std::uint64_t cpt =
+        (f.elements_per_timestep + f.chunk_elements - 1) / f.chunk_elements;
+    for (std::uint64_t c = 0; c < cpt; ++c) {
+      // Skip chunks the report lists as damaged.
+      bool is_damaged = false;
+      for (const resilience::ContainerChunkDamage& d : r.report.damaged) {
+        if (d.entry == damaged.EntryIndex(0, t, c)) is_damaged = true;
+      }
+      if (is_damaged) continue;
+      const std::uint64_t begin = c * f.chunk_elements;
+      const std::uint64_t end = std::min<std::uint64_t>(
+          begin + f.chunk_elements, f.elements_per_timestep);
+      for (std::uint64_t i = begin; i < end; ++i) {
+        const std::size_t at = static_cast<std::size_t>(i);
+        if (std::bit_cast<Bits>(r.data[at]) !=
+            std::bit_cast<Bits>(want[at])) {
+          return "undamaged chunk " + std::to_string(c) + " of timestep " +
+                 std::to_string(t) + " diverges from the clean decode";
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> VerifyDamagedContainerGoldenCase(
+    const DamagedContainerGoldenCase& c, const std::string& dir) {
+  ByteBuffer pinned;
+  ByteBuffer pinned_report;
+  try {
+    pinned = ReadFileBytes(dir + "/" + c.file);
+    pinned_report = ReadFileBytes(dir + "/" + DamagedContainerReportFile(c));
+  } catch (const Error& e) {
+    return std::string(e.what()) + " (regenerate with szx_goldengen)";
+  }
+  const ByteBuffer fresh = EncodeDamagedContainerGoldenCase(c);
+  if (fresh != pinned) {
+    return c.file + ": re-injected container diverges from the pinned "
+                    "bytes -- the writer or fault injector drifted";
+  }
+  const std::string report = ContainerSalvageReportJson(c, pinned);
+  const std::string expected(
+      // szx-lint: allow(reinterpret-cast) -- checked-in JSON bytes back to text for comparison
+      reinterpret_cast<const char*>(pinned_report.data()),
+      pinned_report.size());
+  if (report != expected) {
+    return c.file + ": container-salvage report diverges from " +
+           DamagedContainerReportFile(c) + " -- salvage semantics drifted";
+  }
+  try {
+    const ByteBuffer clean_bytes = EncodeContainerGoldenCase(c.clean);
+    const ContainerReader clean(clean_bytes);
+    const ContainerReader damaged(pinned);
+    const ContainerGoldenField& f = c.clean.fields.at(0);
+    const auto err = f.dtype == DataType::kFloat32
+                         ? CheckDamageQuarantine<float>(clean, damaged, f)
+                         : CheckDamageQuarantine<double>(clean, damaged, f);
+    if (err) return c.file + ": " + *err;
+  } catch (const Error& e) {
+    return c.file + ": " + std::string(e.what());
   }
   return std::nullopt;
 }

@@ -97,4 +97,87 @@ void WriteDamagedGoldenCorpus(const std::string& dir);
 std::optional<std::string> VerifyDamagedGoldenCase(const DamagedGoldenCase& c,
                                                    const std::string& dir);
 
+// ---------------------------------------------------------------------------
+// Container corpus: pinned format-v3 containers (core/container.hpp), the
+// seekable multi-field framing.  Byte equality of a re-encode pins the
+// container layout (header, chunk framing, directory); the verify step also
+// proves ROI decode == full-decode slice on the pinned bytes, with and
+// without a decoded-chunk cache.
+
+struct ContainerGoldenField {
+  std::string name;
+  DataType dtype;
+  Gen gen;
+  std::size_t elements_per_timestep;
+  std::uint64_t timesteps;
+  std::uint64_t chunk_elements;
+  std::uint64_t seed;  ///< timestep t uses seed + t
+  Params params;
+};
+
+struct ContainerGoldenCase {
+  std::string file;  ///< file name inside the corpus directory
+  std::vector<ContainerGoldenField> fields;
+};
+
+/// Single-field, multi-field/mixed-dtype/ragged-tail, and integrity (v2
+/// chunk) containers.
+const std::vector<ContainerGoldenCase>& ContainerGoldenCases();
+
+/// Builds the case's container (what goldengen writes to disk).
+ByteBuffer EncodeContainerGoldenCase(const ContainerGoldenCase& c);
+
+/// Manifest for the container corpus (one line per case).
+std::string ContainerManifestText();
+inline constexpr const char* kContainerManifestFile = "CONTAINER_MANIFEST.txt";
+
+/// Writes container_*.szx3 + the manifest into `dir`.
+void WriteContainerGoldenCorpus(const std::string& dir);
+
+/// Checks one case: re-encode must be byte-identical (the container layout
+/// drifted otherwise), every (field, timestep) must decode within its
+/// error bound, and deterministic ROI probes must match the full-decode
+/// slice bit-for-bit both uncached and through a shared ChunkCache.
+/// Returns std::nullopt on success.
+std::optional<std::string> VerifyContainerGoldenCase(
+    const ContainerGoldenCase& c, const std::string& dir);
+
+// Damaged-container corpus: a size-preserving fault injected into the
+// payload region only (the directory must survive or nothing can be
+// located), plus the pinned per-timestep container-salvage report.
+
+struct DamagedContainerGoldenCase {
+  std::string file;           ///< damaged container (container_damaged_*.szx3)
+  ContainerGoldenCase clean;  ///< recipe for the pristine container
+  FaultClass cls;             ///< size-preserving class (bit flip, zero fill)
+  std::uint64_t fault_seed;
+};
+
+const std::vector<DamagedContainerGoldenCase>& DamagedContainerGoldenCases();
+
+/// Rebuilds the damaged container (clean encode + payload-region fault).
+ByteBuffer EncodeDamagedContainerGoldenCase(
+    const DamagedContainerGoldenCase& c);
+
+/// JSON array of SalvageContainerTimestep reports, one element per
+/// timestep of field 0.
+std::string ContainerSalvageReportJson(const DamagedContainerGoldenCase& c,
+                                       ByteSpan container);
+
+/// `file` with its .szx3 suffix replaced by .report.json.
+std::string DamagedContainerReportFile(const DamagedContainerGoldenCase& c);
+
+std::string DamagedContainerManifestText();
+inline constexpr const char* kDamagedContainerManifestFile =
+    "DAMAGED_CONTAINER_MANIFEST.txt";
+
+/// Writes container_damaged_*.szx3 + .report.json + the manifest into `dir`.
+void WriteDamagedContainerGoldenCorpus(const std::string& dir);
+
+/// Re-injection must reproduce the pinned bytes; salvaging the pinned
+/// container must reproduce the pinned report; undamaged chunks must decode
+/// bit-identically to the clean container.  Returns std::nullopt on success.
+std::optional<std::string> VerifyDamagedContainerGoldenCase(
+    const DamagedContainerGoldenCase& c, const std::string& dir);
+
 }  // namespace szx::testkit

@@ -431,4 +431,81 @@ TEST_F(CliTest, Float64RoundTrip) {
   std::remove(raw64.c_str());
 }
 
+TEST_F(CliTest, ContainerPackQueryUnpackRoundTrip) {
+  const std::string container = TempPath("c.szx3");
+  // Two timesteps of 25000 elements each out of the 50000-element input.
+  ASSERT_EQ(RunCli("pack -o " + container + " --field temp:" + raw_ +
+                   " --timesteps 2 -m abs -e 1e-3 --chunk 4096"),
+            0);
+  ASSERT_EQ(RunCli("query -i " + container), 0);
+  // info recognizes a container and prints the directory instead of
+  // rejecting the magic.
+  ASSERT_EQ(RunCli("info -i " + container), 0);
+  // Full-timestep unpack obeys the bound.
+  ASSERT_EQ(RunCli("unpack -i " + container + " -o " + recon_ +
+                   " --field temp --timestep 1"),
+            0);
+  const auto full = ReadFloats(recon_);
+  ASSERT_EQ(full.size(), 25000u);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    ASSERT_NEAR(full[i], data_[25000 + i], 1e-3) << i;
+  }
+  // ROI unpack is bit-identical to the full-decode slice.
+  const std::string roi_path = TempPath("roi.f32");
+  ASSERT_EQ(RunCli("unpack -i " + container + " -o " + roi_path +
+                   " --field temp --timestep 1 --first 5000 --count 6000"),
+            0);
+  const auto roi = ReadFloats(roi_path);
+  ASSERT_EQ(roi.size(), 6000u);
+  for (std::size_t i = 0; i < roi.size(); ++i) {
+    ASSERT_EQ(roi[i], full[5000 + i]) << i;
+  }
+  std::remove(container.c_str());
+  std::remove(roi_path.c_str());
+}
+
+TEST_F(CliTest, ContainerExitCodeContract) {
+  const std::string container = TempPath("c.szx3");
+  ASSERT_EQ(CliExitCode("pack -o " + container + " --field a:" + raw_ +
+                        " -m abs -e 1e-3"),
+            0);
+  // Usage errors.
+  EXPECT_EQ(CliExitCode("pack -o " + container), 2);
+  EXPECT_EQ(CliExitCode("pack --field a:" + raw_), 2);
+  EXPECT_EQ(CliExitCode("query"), 2);
+  EXPECT_EQ(CliExitCode("unpack -i " + container + " -o " + recon_ +
+                        " --field a --first 3"),
+            2);
+  // Unknown field / bad timestep are corruption-contract failures (3).
+  EXPECT_EQ(CliExitCode("unpack -i " + container + " -o " + recon_ +
+                        " --field nope"),
+            3);
+  EXPECT_EQ(CliExitCode("unpack -i " + container + " -o " + recon_ +
+                        " --field a --timestep 7"),
+            3);
+  // Missing file is I/O (4).
+  EXPECT_EQ(CliExitCode("query -i /nonexistent/c.szx3"), 4);
+  // A flipped payload byte shows up in query as a damaged chunk (3), and a
+  // truncated directory makes the reader refuse outright (3).
+  {
+    std::ifstream in(container, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    bytes[100] = static_cast<char>(bytes[100] ^ 0x20);
+    std::ofstream out(container + ".bad", std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    std::ofstream trunc(container + ".trunc", std::ios::binary);
+    trunc.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() - 9));
+  }
+  EXPECT_EQ(CliExitCode("query -i " + container + ".bad"), 3);
+  EXPECT_EQ(CliExitCode("query -i " + container + ".trunc"), 3);
+  EXPECT_EQ(CliExitCode("unpack -i " + container + ".trunc -o " + recon_),
+            3);
+  std::remove(container.c_str());
+  std::remove((container + ".bad").c_str());
+  std::remove((container + ".trunc").c_str());
+}
+
 }  // namespace

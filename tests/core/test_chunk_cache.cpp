@@ -1,0 +1,194 @@
+// Decoded-chunk LRU cache: eviction order, capacity enforcement, stats
+// conservation, and a 100-seed concurrent-reader property test.
+#include "core/chunk_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+#include "core/container.hpp"
+#include "../test_util.hpp"
+
+namespace szx {
+namespace {
+
+using testing::MakePattern;
+using testing::Pattern;
+using testing::Rng;
+
+ChunkCache::Value MakeValue(std::size_t bytes, std::uint8_t fill) {
+  auto buf = std::make_shared<ByteBuffer>(bytes, std::byte{fill});
+  return buf;
+}
+
+ChunkKey Key(std::uint64_t entry) {
+  return ChunkKey{/*stream_id=*/1, entry, /*bound_bits=*/0};
+}
+
+TEST(ChunkCache, HitMissAndLruEviction) {
+  // One shard so the LRU order is globally observable.
+  ChunkCache cache(300, /*shards=*/1);
+  EXPECT_EQ(cache.capacity_bytes(), 300u);
+  EXPECT_EQ(cache.Lookup(Key(0)), nullptr);
+  cache.Insert(Key(0), MakeValue(100, 0));
+  cache.Insert(Key(1), MakeValue(100, 1));
+  cache.Insert(Key(2), MakeValue(100, 2));
+  EXPECT_EQ(cache.SizeBytes(), 300u);
+  // Touch 0 so 1 becomes the LRU victim.
+  ASSERT_NE(cache.Lookup(Key(0)), nullptr);
+  cache.Insert(Key(3), MakeValue(100, 3));
+  EXPECT_EQ(cache.Lookup(Key(1)), nullptr);  // evicted
+  ASSERT_NE(cache.Lookup(Key(0)), nullptr);
+  ASSERT_NE(cache.Lookup(Key(2)), nullptr);
+  ASSERT_NE(cache.Lookup(Key(3)), nullptr);
+  const ChunkCacheStats s = cache.Stats();
+  EXPECT_EQ(s.insertions, 4u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 4u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+TEST(ChunkCache, ReplaceUpdatesValueAndBytes) {
+  ChunkCache cache(1000, 1);
+  cache.Insert(Key(7), MakeValue(100, 0xaa));
+  cache.Insert(Key(7), MakeValue(200, 0xbb));
+  EXPECT_EQ(cache.SizeBytes(), 200u);
+  const ChunkCache::Value v = cache.Lookup(Key(7));
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->size(), 200u);
+  EXPECT_EQ((*v)[0], std::byte{0xbb});
+}
+
+TEST(ChunkCache, EvictionNeverInvalidatesHeldValues) {
+  ChunkCache cache(100, 1);
+  cache.Insert(Key(0), MakeValue(100, 0x11));
+  const ChunkCache::Value held = cache.Lookup(Key(0));
+  ASSERT_NE(held, nullptr);
+  cache.Insert(Key(1), MakeValue(100, 0x22));  // evicts entry 0
+  EXPECT_EQ(cache.Lookup(Key(0)), nullptr);
+  // The shared_ptr keeps the evicted bytes alive for existing readers.
+  EXPECT_EQ((*held)[0], std::byte{0x11});
+}
+
+TEST(ChunkCache, ZeroAndTinyCapacityStayBounded) {
+  ChunkCache zero(0, 1);
+  zero.Insert(Key(0), MakeValue(64, 0));
+  EXPECT_EQ(zero.SizeBytes(), 0u);
+  EXPECT_EQ(zero.Lookup(Key(0)), nullptr);
+  // A value larger than the whole shard is evicted by its own insert: the
+  // cache never holds more than capacity at rest.
+  ChunkCache tiny(32, 1);
+  tiny.Insert(Key(0), MakeValue(64, 0));
+  EXPECT_EQ(tiny.Lookup(Key(0)), nullptr);
+}
+
+TEST(ChunkCache, KeysDifferingInAnyFieldAreDistinct) {
+  ChunkCache cache(1 << 16, 4);
+  const ChunkKey a{1, 2, 3};
+  cache.Insert(a, MakeValue(8, 0x01));
+  for (const ChunkKey other :
+       {ChunkKey{9, 2, 3}, ChunkKey{1, 9, 3}, ChunkKey{1, 2, 9}}) {
+    EXPECT_EQ(cache.Lookup(other), nullptr);
+  }
+  ASSERT_NE(cache.Lookup(a), nullptr);
+  EXPECT_THROW(cache.Insert(a, nullptr), Error);
+}
+
+TEST(ChunkCache, ClearResetsResidencyNotStats) {
+  ChunkCache cache(1000, 2);
+  cache.Insert(Key(0), MakeValue(10, 0));
+  cache.Insert(Key(1), MakeValue(10, 0));
+  cache.Clear();
+  EXPECT_EQ(cache.SizeBytes(), 0u);
+  EXPECT_EQ(cache.Lookup(Key(0)), nullptr);
+  EXPECT_EQ(cache.Stats().insertions, 2u);
+}
+
+// Satellite: 100-seed property test for eviction under concurrent readers.
+//
+// One container is built once; each seed picks a random capacity and shard
+// count, then several reader threads issue random ROI queries through a
+// shared cache.  Properties checked:
+//   - every query's output is bit-identical to the full-decode reference,
+//     no matter what was evicted or decoded concurrently;
+//   - hit/miss counters conserve: hits + misses == total lookups, and
+//     every miss corresponds to one insertion.
+TEST(ChunkCacheProperty, ConcurrentReadersSeeIdenticalBytes) {
+  constexpr std::uint64_t kChunk = 512;
+  constexpr std::uint64_t kChunks = 64;
+  const auto data =
+      MakePattern<float>(Pattern::kNoisySine, kChunk * kChunks, 77);
+  ContainerWriter w;
+  ContainerWriter::FieldSpec spec;
+  spec.name = "prop";
+  spec.elements_per_timestep = data.size();
+  spec.chunk_elements = kChunk;
+  const std::uint32_t f = w.AddField(spec, DataType::kFloat32);
+  w.AppendTimestep<float>(f, data);
+  const ByteBuffer c = w.Finish();
+  const std::vector<float> reference =
+      ContainerReader(c).DecompressTimestep<float>(0, 0);
+
+  constexpr int kSeeds = 100;
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 16;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    Rng rng(0xC0FFEEu + static_cast<std::uint64_t>(seed));
+    // Capacities from "nothing fits" through "everything fits".
+    const std::size_t capacity = static_cast<std::size_t>(
+        rng.Next() % (kChunks * kChunk * sizeof(float) * 2));
+    const unsigned shards = 1u << (rng.Next() % 4);
+    ChunkCache cache(capacity, shards);
+    ContainerReader reader(c, &cache);
+    std::atomic<int> mismatches{0};
+    std::atomic<std::uint64_t> lookups{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        Rng trng(static_cast<std::uint64_t>(seed) * 1000 +
+                 static_cast<std::uint64_t>(t));
+        std::vector<float> roi;
+        for (int q = 0; q < kQueriesPerThread; ++q) {
+          const std::uint64_t first = trng.Next() % data.size();
+          const std::uint64_t count =
+              1 + trng.Next() % std::min<std::uint64_t>(
+                                    data.size() - first, 4 * kChunk);
+          roi.resize(count);
+          reader.DecompressRange<float>(0, 0, first, std::span<float>(roi),
+                                        /*max_threads=*/1);
+          const std::uint64_t c0 = first / kChunk;
+          const std::uint64_t c1 = (first + count - 1) / kChunk;
+          // szx-mo: test-local tally; thread.join() below publishes it.
+          lookups.fetch_add(c1 - c0 + 1, std::memory_order_relaxed);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            if (roi[i] != reference[first + i]) {
+              // szx-mo: test-local tally; thread.join() publishes it.
+              mismatches.fetch_add(1, std::memory_order_relaxed);
+              break;
+            }
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    // szx-mo: relaxed reads after join(); join() is the synchronization.
+    EXPECT_EQ(mismatches.load(std::memory_order_relaxed), 0)
+        << "seed=" << seed;
+    const ChunkCacheStats s = cache.Stats();
+    // szx-mo: relaxed read after join(); join() is the synchronization.
+    EXPECT_EQ(s.hits + s.misses, lookups.load(std::memory_order_relaxed))
+        << "seed=" << seed;
+    EXPECT_EQ(s.insertions, s.misses) << "seed=" << seed;
+    EXPECT_LE(cache.SizeBytes(), cache.capacity_bytes()) << "seed=" << seed;
+    // Evicted chunks re-decode bit-identically: drain once more serially.
+    std::vector<float> again(data.size());
+    reader.DecompressRange<float>(0, 0, 0, std::span<float>(again), 1);
+    EXPECT_EQ(again, reference) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace szx

@@ -89,6 +89,22 @@ TEST(RandomAccess, OutOfBoundsRejected) {
   EXPECT_NO_THROW(DecompressRange<float>(stream, 1000, 0));
 }
 
+TEST(RandomAccess, RangeEndWrappingPastElementCountRejected) {
+  // Forged request whose first + count wraps past UINT64_MAX: unchecked
+  // addition would come out small, pass the num_elements comparison, and
+  // index blocks far outside the stream.  CheckedAdd must refuse before
+  // any allocation or block arithmetic.
+  const auto data = MakePattern<float>(Pattern::kRamp, 1000, 1);
+  Params p;
+  const auto stream = Compress<float>(data, p);
+  EXPECT_THROW(DecompressRange<float>(stream, UINT64_MAX - 2, 4), Error);
+  EXPECT_THROW(DecompressRange<float>(stream, 4, UINT64_MAX - 2), Error);
+  std::vector<float> out(4);
+  EXPECT_THROW(DecompressRangeInto<float>(stream, UINT64_MAX - 2,
+                                          std::span<float>(out)),
+               Error);
+}
+
 TEST(RandomAccess, RawPassthroughStreams) {
   Rng rng(17);
   std::vector<float> data(5000);

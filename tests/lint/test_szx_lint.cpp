@@ -629,5 +629,28 @@ TEST(SzxLintJson, RealFindingsRoundTripThroughTheSchema) {
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 1);
 }
 
+// The decoded-chunk cache is the densest atomics surface in the tree: its
+// telemetry counters and stream-id generator name a memory_order on every
+// access.  Pin the real files lint-clean so each order keeps its adjacent
+// // szx-mo justification and every accessor keeps [[nodiscard]] — a
+// regression here means someone weakened the strict memory-order rule or
+// the cache drifted out from under it.
+TEST(SzxLintTree, ChunkCacheStaysLintClean) {
+  for (const char* rel : {"src/core/chunk_cache.hpp",
+                          "src/core/chunk_cache.cpp"}) {
+    const std::string path = std::string(SZX_TREE_ROOT) + "/" + rel;
+    const auto fs = LintFile(path);
+    std::string rendered;
+    for (const Finding& f : fs) rendered += FormatFinding(f) + "\n";
+    EXPECT_TRUE(fs.empty()) << rendered;
+  }
+}
+
+TEST(SzxLintTree, ChunkCacheIsNotAllowlisted) {
+  // The pin above is only meaningful if the rules actually apply there.
+  EXPECT_FALSE(IsAllowlisted("src/core/chunk_cache.cpp"));
+  EXPECT_FALSE(IsAllowlisted("src/core/chunk_cache.hpp"));
+}
+
 }  // namespace
 }  // namespace szx::lint

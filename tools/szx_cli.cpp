@@ -13,6 +13,12 @@
 //                      [--sentinel VAL] [--threads N]
 //   szx_cli tune       -i data.f32 [-t f32|f64] [-m ...] [-e ...]
 //                      (suggests a block size per Sec. 5.3)
+//   szx_cli pack       -o out.szx3 --field NAME:PATH[:f32|f64] ...
+//                      [--timesteps K] [--chunk N] [-m ...] [-e ...] [-b ...]
+//                      [--integrity] [--threads N]
+//   szx_cli unpack     -i in.szx3 -o out.f32 --field NAME [--timestep T]
+//                      [--first N --count N] [--threads N]
+//   szx_cli query      -i in.szx3 [--json]   (directory + chunk checksums)
 //
 // Raw files are flat little-endian float32/float64 arrays (the SDRBench
 // convention).
@@ -24,6 +30,7 @@
 //      salvage found damage)
 //   4  I/O error (cannot open/read/write a file)
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <limits>
 #include <stdexcept>
@@ -31,6 +38,7 @@
 #include <vector>
 
 #include "core/compressor.hpp"
+#include "core/container.hpp"
 #include "core/executor.hpp"
 #include "core/kernels/kernels.hpp"
 #include "core/omp_codec.hpp"
@@ -67,6 +75,12 @@ struct IoError : std::runtime_error {
                " [--sentinel VAL] [--threads N]\n"
                "  szx_cli tune       -i IN [-t f32|f64] [-m MODE] [-e BOUND]\n"
                "  szx_cli validate   -i IN [-t f32|f64] [--deep]\n"
+               "  szx_cli pack       -o OUT --field NAME:PATH[:f32|f64] ..."
+               " [--timesteps K] [--chunk N] [-m MODE] [-e BOUND] [-b BLOCK]"
+               " [--integrity] [--threads N]\n"
+               "  szx_cli unpack     -i IN -o OUT --field NAME [--timestep T]"
+               " [--first N --count N] [--threads N]\n"
+               "  szx_cli query      -i IN [--json]\n"
                "exit codes: 0 success, 2 usage, 3 corruption/verification"
                " failure, 4 I/O error\n");
   std::exit(2);
@@ -104,7 +118,15 @@ struct Args {
   bool hybrid = false;
   bool deep = false;
   bool integrity = false;
+  bool json = false;
   int threads = 0;
+  std::vector<std::string> fields;  // pack: NAME:PATH[:dtype]; unpack: NAME
+  std::uint64_t timesteps = 1;      // pack: split each field file into K
+  std::uint64_t chunk = 0;          // pack: chunk elements (0 = default)
+  std::uint64_t timestep = 0;       // unpack: which timestep
+  std::uint64_t first = 0;          // unpack ROI start
+  std::uint64_t count = 0;          // unpack ROI length
+  bool has_range = false;
 
   ErrorBoundMode Mode() const {
     if (mode == "abs") return ErrorBoundMode::kAbsolute;
@@ -155,6 +177,23 @@ Args Parse(int argc, char** argv) {
       a.report = next();
     } else if (arg == "--sentinel") {
       a.sentinel = std::atof(next().c_str());
+    } else if (arg == "--field") {
+      a.fields.push_back(next());
+    } else if (arg == "--timesteps") {
+      a.timesteps = std::strtoull(next().c_str(), nullptr, 10);
+      if (a.timesteps < 1) Usage("--timesteps must be >= 1");
+    } else if (arg == "--chunk") {
+      a.chunk = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--timestep") {
+      a.timestep = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--first") {
+      a.first = std::strtoull(next().c_str(), nullptr, 10);
+      a.has_range = true;
+    } else if (arg == "--count") {
+      a.count = std::strtoull(next().c_str(), nullptr, 10);
+      a.has_range = true;
+    } else if (arg == "--json") {
+      a.json = true;
     } else {
       Usage(("unknown flag " + arg).c_str());
     }
@@ -277,8 +316,14 @@ int DoDecompress(const Args& a) {
   return 0;
 }
 
+int DoQuery(const Args& a);
+
 int DoInfo(const Args& a) {
   ByteBuffer stream = ReadFile(a.input);
+  if (IsContainer(stream)) {
+    // Format-v3 container: info degrades to the query summary.
+    return DoQuery(a);
+  }
   if (hybrid::IsHybridStream(stream)) {
     std::printf("hybrid wrapper (SZx + lossless stage)\n");
     stream = hybrid::Unwrap(stream);
@@ -404,6 +449,188 @@ int DoSalvage(const Args& a, const ByteBuffer& stream) {
   return r.clean ? 0 : 3;
 }
 
+// One --field spec for pack: NAME:PATH[:f32|f64] (dtype defaults to -t).
+struct PackField {
+  std::string name;
+  std::string path;
+  DataType dtype = DataType::kFloat32;
+};
+
+PackField ParsePackField(const std::string& spec, const std::string& dt) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos || c1 == 0 || c1 + 1 >= spec.size()) {
+    Usage("--field expects NAME:PATH[:f32|f64]");
+  }
+  PackField f;
+  f.name = spec.substr(0, c1);
+  std::string rest = spec.substr(c1 + 1);
+  std::string dtype = dt;
+  const std::size_t c2 = rest.rfind(':');
+  if (c2 != std::string::npos &&
+      (rest.substr(c2 + 1) == "f32" || rest.substr(c2 + 1) == "f64")) {
+    dtype = rest.substr(c2 + 1);
+    rest = rest.substr(0, c2);
+  }
+  if (rest.empty()) Usage("--field expects NAME:PATH[:f32|f64]");
+  f.path = rest;
+  f.dtype = dtype == "f64" ? DataType::kFloat64 : DataType::kFloat32;
+  return f;
+}
+
+template <typename T>
+void PackAppend(ContainerWriter& w, std::uint32_t id, const ByteBuffer& raw,
+                std::uint64_t timesteps, std::uint64_t ept, int threads) {
+  std::vector<T> data(static_cast<std::size_t>(ept));
+  ByteCursor cur(raw);
+  for (std::uint64_t t = 0; t < timesteps; ++t) {
+    cur.ReadSpan(std::span<T>(data));
+    w.AppendTimestep<T>(id, data, threads);
+  }
+}
+
+int DoPack(const Args& a) {
+  ContainerWriter w;
+  for (const std::string& spec : a.fields) {
+    const PackField f = ParsePackField(spec, a.dtype);
+    const std::size_t elem =
+        f.dtype == DataType::kFloat32 ? sizeof(float) : sizeof(double);
+    const ByteBuffer raw = ReadFile(f.path);
+    if (raw.size() % elem != 0) {
+      Usage((f.path + ": size is not a multiple of the element size")
+                .c_str());
+    }
+    const std::uint64_t total = raw.size() / elem;
+    if (total == 0 || total % a.timesteps != 0) {
+      Usage((f.path + ": element count does not split into --timesteps")
+                .c_str());
+    }
+    const std::uint64_t ept = total / a.timesteps;
+    ContainerWriter::FieldSpec spec_out;
+    spec_out.name = f.name;
+    spec_out.params.mode = a.Mode();
+    spec_out.params.error_bound = a.error_bound;
+    spec_out.params.block_size = a.block_size;
+    spec_out.params.integrity = a.integrity;
+    spec_out.elements_per_timestep = ept;
+    spec_out.chunk_elements = a.chunk;
+    const std::uint32_t id = w.AddField(spec_out, f.dtype);
+    if (f.dtype == DataType::kFloat32) {
+      PackAppend<float>(w, id, raw, a.timesteps, ept, a.threads);
+    } else {
+      PackAppend<double>(w, id, raw, a.timesteps, ept, a.threads);
+    }
+  }
+  const ByteBuffer out = w.Finish();
+  WriteFile(a.output, out.data(), out.size());
+  std::printf("packed %zu field(s) x %llu timestep(s) -> %zu bytes\n",
+              a.fields.size(), static_cast<unsigned long long>(a.timesteps),
+              out.size());
+  return 0;
+}
+
+template <typename T>
+int DoUnpackField(const Args& a, const ContainerReader& r,
+                  std::uint32_t field) {
+  const ContainerField& f = r.field(field);
+  const std::uint64_t first = a.has_range ? a.first : 0;
+  const std::uint64_t count =
+      a.has_range ? a.count : f.elements_per_timestep;
+  std::vector<T> out(static_cast<std::size_t>(count));
+  r.DecompressRange<T>(field, a.timestep, first, std::span<T>(out),
+                       a.threads);
+  WriteFile(a.output, out.data(), out.size() * sizeof(T));
+  std::printf("wrote %zu %s values (field %s, timestep %llu, first %llu)\n",
+              out.size(),
+              f.dtype == DataType::kFloat32 ? "float32" : "float64",
+              f.name.c_str(), static_cast<unsigned long long>(a.timestep),
+              static_cast<unsigned long long>(first));
+  return 0;
+}
+
+int DoUnpack(const Args& a) {
+  const ByteBuffer bytes = ReadFile(a.input);
+  const ContainerReader r(bytes);
+  std::uint32_t field = 0;
+  if (!a.fields.empty()) {
+    const auto found = r.FindField(a.fields.front());
+    if (!found) {
+      std::fprintf(stderr, "szx error: no field named %s\n",
+                   a.fields.front().c_str());
+      return 3;
+    }
+    field = *found;
+  } else if (r.num_fields() != 1) {
+    Usage("--field NAME required for multi-field containers");
+  }
+  if (a.has_range && a.count == 0) Usage("--first needs a nonzero --count");
+  return r.field(field).dtype == DataType::kFloat32
+             ? DoUnpackField<float>(a, r, field)
+             : DoUnpackField<double>(a, r, field);
+}
+
+int DoQuery(const Args& a) {
+  const ByteBuffer bytes = ReadFile(a.input);
+  const ContainerReader r(bytes);
+  // Checksum every chunk so damage shows up in the directory listing (and
+  // in the exit code) without decoding anything.
+  std::vector<std::uint64_t> damaged;
+  for (std::uint64_t e = 0; e < r.num_entries(); ++e) {
+    if (!r.VerifyChunk(e)) damaged.push_back(e);
+  }
+  if (a.json) {
+    std::string os = "{\"fields\":[";
+    for (std::uint32_t i = 0; i < r.num_fields(); ++i) {
+      const ContainerField& f = r.field(i);
+      if (i > 0) os += ",";
+      os += "{\"name\":\"" + f.name + "\",\"dtype\":\"";
+      os += f.dtype == DataType::kFloat32 ? "f32" : "f64";
+      os += "\",\"elements_per_timestep\":" +
+            std::to_string(f.elements_per_timestep) +
+            ",\"timesteps\":" + std::to_string(f.timesteps) +
+            ",\"chunk_elements\":" + std::to_string(f.chunk_elements) +
+            ",\"chunks_per_timestep\":" +
+            std::to_string(f.chunks_per_timestep) +
+            ",\"first_entry\":" + std::to_string(f.first_entry) + "}";
+    }
+    os += "],\"entries\":" + std::to_string(r.num_entries()) +
+          ",\"damaged_entries\":[";
+    for (std::size_t i = 0; i < damaged.size(); ++i) {
+      if (i > 0) os += ",";
+      os += std::to_string(damaged[i]);
+    }
+    os += "]}\n";
+    std::fputs(os.c_str(), stdout);
+  } else {
+    std::printf("szx container v3: %zu field(s), %llu chunk(s)\n",
+                static_cast<std::size_t>(r.num_fields()),
+                static_cast<unsigned long long>(r.num_entries()));
+    for (std::uint32_t i = 0; i < r.num_fields(); ++i) {
+      const ContainerField& f = r.field(i);
+      std::printf("  %-16s %s  %llu elem/ts x %llu ts, chunk %llu "
+                  "(%llu/ts), entries [%llu, %llu)\n",
+                  f.name.c_str(),
+                  f.dtype == DataType::kFloat32 ? "f32" : "f64",
+                  static_cast<unsigned long long>(f.elements_per_timestep),
+                  static_cast<unsigned long long>(f.timesteps),
+                  static_cast<unsigned long long>(f.chunk_elements),
+                  static_cast<unsigned long long>(f.chunks_per_timestep),
+                  static_cast<unsigned long long>(f.first_entry),
+                  static_cast<unsigned long long>(
+                      f.first_entry +
+                      f.timesteps * f.chunks_per_timestep));
+    }
+    if (damaged.empty()) {
+      std::printf("  all chunk checksums OK\n");
+    } else {
+      std::printf("  %zu DAMAGED chunk(s):", damaged.size());
+      for (const std::uint64_t e : damaged) std::printf(" %llu",
+          static_cast<unsigned long long>(e));
+      std::printf("\n");
+    }
+  }
+  return damaged.empty() ? 0 : 3;
+}
+
 int DoVerify(const Args& a) {
   const ByteBuffer raw = ReadFile(a.input);
   ByteBuffer stream = ReadFile(a.compressed);
@@ -478,6 +705,19 @@ int main(int argc, char** argv) {
     if (cmd == "tune") {
       if (a.input.empty()) Usage("-i required");
       return a.dtype == "f32" ? DoTune<float>(a) : DoTune<double>(a);
+    }
+    if (cmd == "pack") {
+      if (a.output.empty()) Usage("-o required");
+      if (a.fields.empty()) Usage("at least one --field NAME:PATH required");
+      return DoPack(a);
+    }
+    if (cmd == "unpack") {
+      if (a.input.empty() || a.output.empty()) Usage("-i and -o required");
+      return DoUnpack(a);
+    }
+    if (cmd == "query") {
+      if (a.input.empty()) Usage("-i required");
+      return DoQuery(a);
     }
     if (cmd == "validate") {
       if (a.input.empty()) Usage("-i required");

@@ -14,16 +14,25 @@ int main(int argc, char** argv) {
   try {
     szx::testkit::WriteGoldenCorpus(dir);
     szx::testkit::WriteDamagedGoldenCorpus(dir);
+    szx::testkit::WriteContainerGoldenCorpus(dir);
+    szx::testkit::WriteDamagedContainerGoldenCorpus(dir);
   } catch (const szx::Error& e) {
     std::fprintf(stderr, "szx_goldengen: %s\n", e.what());
     return 1;
   }
   const auto& cases = szx::testkit::GoldenCases();
   const auto& damaged = szx::testkit::DamagedGoldenCases();
+  const auto& containers = szx::testkit::ContainerGoldenCases();
+  const auto& dcontainers = szx::testkit::DamagedContainerGoldenCases();
   std::printf("wrote %zu golden streams + %s to %s\n", cases.size(),
               szx::testkit::kManifestFile, dir.c_str());
   std::printf("wrote %zu damaged streams (+ reports) + %s\n", damaged.size(),
               szx::testkit::kDamagedManifestFile);
+  std::printf("wrote %zu containers + %s\n", containers.size(),
+              szx::testkit::kContainerManifestFile);
+  std::printf("wrote %zu damaged containers (+ reports) + %s\n",
+              dcontainers.size(),
+              szx::testkit::kDamagedContainerManifestFile);
   std::printf("review the git diff before committing: any byte change is a "
               "stream-format change.\n");
   return 0;
