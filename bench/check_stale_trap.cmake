@@ -2,13 +2,16 @@
 # grid recorded on a machine with more hardware threads must not be
 # overwritten without --force.  Run via:
 #   cmake -DMICRO_CODEC=<path> -DWORK_DIR=<dir> -P check_stale_trap.cmake
-foreach(mode omp codec container)
+foreach(mode omp codec container serve)
   if(mode STREQUAL "omp")
     set(flag "--bench_omp_json")
     set(schema "szx-bench-omp-v2")
   elseif(mode STREQUAL "container")
     set(flag "--bench_container_json")
     set(schema "szx-bench-container-v1")
+  elseif(mode STREQUAL "serve")
+    set(flag "--bench_serve_json")
+    set(schema "szx-bench-serve-v1")
   else()
     set(flag "--bench_json")
     set(schema "szx-bench-codec-v2")

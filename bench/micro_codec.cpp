@@ -34,6 +34,12 @@
 //       derived roi_cost_vs_full and warm_speedup_vs_cold series -- the
 //       seekability and cache acceptance bars read by docs/performance.md.
 //       Shares the stale-bench overwrite trap with the other grids.
+//   micro_codec --bench_serve_json=PATH [--smoke] [--force]
+//       szx-serve service grid: an in-process Server over MemoryTransport
+//       pairs (the real frame codec and admission path, no kernel sockets)
+//       driven by 1/2/4 concurrent client connections x compress and
+//       decompress jobs x 1/2/4 workers, reporting requests/s and payload
+//       GB/s per cell.  Same stale-bench overwrite trap.
 #include <benchmark/benchmark.h>
 
 #if defined(SZX_HAVE_OPENMP)
@@ -60,6 +66,9 @@
 #include "cusim/cusim_codec.hpp"
 #include "data/datasets.hpp"
 #include "lzref/lzref.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
 #include "szref/huffman.hpp"
 #include "szref/sz2.hpp"
 #include "szref/szref.hpp"
@@ -1200,12 +1209,212 @@ int RunBenchContainerJson(const std::string& path, bool smoke, bool force) {
   return os.good() ? 0 : 1;
 }
 
+// ---------------------------------------------------------------------------
+// --bench_serve_json mode: in-process szx-serve throughput grid.
+// ---------------------------------------------------------------------------
+
+struct ServeRow {
+  std::string bench;  // compress | decompress
+  int connections;
+  int workers;
+  std::uint64_t requests;       // requests completed per timed rep
+  std::uint64_t payload_bytes;  // uncompressed payload moved per rep
+  szx::bench::TrimmedTiming timing;
+
+  double Rps() const { return static_cast<double>(requests) / timing.mean_s; }
+  double Gbps() const {
+    return static_cast<double>(payload_bytes) / 1e9 / timing.mean_s;
+  }
+};
+
+// One grid cell: `connections` concurrent clients, each on its own
+// MemoryTransport pair with its own server-side connection thread, each
+// issuing `reqs` synchronous Calls.  Every response must be kOk -- this is
+// a throughput bench, shedding or degradation in the middle would silently
+// time a different code path.
+szx::bench::TrimmedTiming TimeServeCell(serve::Server& server,
+                                        int connections, int reqs,
+                                        serve::Opcode op,
+                                        const ByteBuffer& body, int reps) {
+  return szx::bench::TimeTrimmed(reps, [&] {
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<std::size_t>(connections));
+    for (int c = 0; c < connections; ++c) {
+      clients.emplace_back([&server, reqs, op, &body] {
+        serve::TransportPair pair = serve::MakeMemoryTransportPair();
+        std::thread conn([&server, &pair] {
+          server.ServeConnection(*pair.server);
+        });
+        serve::Client client(*pair.client);
+        for (int r = 0; r < reqs; ++r) {
+          const serve::ClientResponse rsp = client.Call(op, body);
+          if (rsp.header.status != serve::Status::kOk) {
+            pair.client->Close();
+            conn.join();
+            throw std::runtime_error("serve bench: non-OK response");
+          }
+        }
+        pair.client->ShutdownWrite();  // drain to EOF, not a hard close
+        conn.join();
+      });
+    }
+    for (std::thread& t : clients) {
+      t.join();
+    }
+  });
+}
+
+int RunBenchServeJson(const std::string& path, bool smoke, bool force) {
+  using szx::bench::JsonWriter;
+  if (RefuseStaleOverwrite(path, force)) {
+    return 1;
+  }
+  const double scale = smoke ? 0.01 : szx::bench::BenchScale() * 0.25;
+  const int reps = smoke ? 2 : std::max(szx::bench::BenchReps(), 5);
+  const int reqs_per_conn = smoke ? 2 : 8;
+  constexpr double kRelEb = 1e-3;
+  const data::Field field = data::GenerateField(data::App::kCesm, "CLDHGH",
+                                                scale);
+  const std::vector<float>& vf = field.values;
+  const std::uint64_t raw_bytes = vf.size() * sizeof(float);
+
+  // Request bodies: a compress job is spec + raw elements; a decompress
+  // job is the compressed stream a compress job answers with.
+  serve::CompressSpec spec;
+  spec.error_bound = kRelEb;
+  ByteBuffer compress_body;
+  serve::AppendCompressSpec(compress_body, spec);
+  const auto raw = std::as_bytes(std::span<const float>(vf));
+  compress_body.insert(compress_body.end(), raw.begin(), raw.end());
+
+  ByteBuffer decompress_body;
+  {
+    serve::Server bootstrap;
+    serve::TransportPair pair = serve::MakeMemoryTransportPair();
+    std::thread conn([&bootstrap, &pair] {
+      bootstrap.ServeConnection(*pair.server);
+    });
+    serve::Client client(*pair.client);
+    serve::ClientResponse rsp =
+        client.Call(serve::Opcode::kCompress, compress_body);
+    pair.client->ShutdownWrite();
+    conn.join();
+    if (rsp.header.status != serve::Status::kOk) {
+      std::fprintf(stderr, "micro_codec: serve bootstrap compress failed\n");
+      return 1;
+    }
+    decompress_body = std::move(rsp.body);
+  }
+
+  struct OpCase {
+    const char* name;
+    serve::Opcode op;
+    const ByteBuffer* body;
+  };
+  const OpCase cases[] = {
+      {"compress", serve::Opcode::kCompress, &compress_body},
+      {"decompress", serve::Opcode::kDecompress, &decompress_body},
+  };
+
+  std::vector<ServeRow> rows;
+  for (const int workers : {1, 2, 4}) {
+    serve::ServerConfig config;
+    config.workers = workers;
+    // Room for every client's synchronous window: the grid measures job
+    // throughput, never the shed path (kBusy would be a different bench).
+    config.queue_capacity = 64;
+    serve::Server server(config);
+    for (const int connections : {1, 2, 4}) {
+      for (const OpCase& oc : cases) {
+        const auto t = TimeServeCell(server, connections, reqs_per_conn,
+                                     oc.op, *oc.body, reps);
+        const auto total_reqs =
+            static_cast<std::uint64_t>(connections) *
+            static_cast<std::uint64_t>(reqs_per_conn);
+        rows.push_back({oc.name, connections, workers, total_reqs,
+                        total_reqs * raw_bytes, t});
+      }
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("schema", "szx-bench-serve-v1");
+  w.Field("smoke", smoke);
+  // The overwrite trap compares this before replacing an existing grid: a
+  // 1-core rerun must not silently replace a multi-core record.
+  w.Field("hardware_threads", HardwareThreads());
+  w.Field("reps", reps);
+  w.Field("requests_per_connection", reqs_per_conn);
+  w.Field("rel_eb", kRelEb);
+  w.BeginObject("field");
+  w.Field("app", "CESM-ATM");
+  w.Field("name", field.name);
+  w.Field("elements", vf.size());
+  w.Field("raw_bytes", raw_bytes);
+  w.Field("compressed_bytes", decompress_body.size());
+  w.Field("scale", scale);
+  w.EndObject();
+  w.BeginArray("results");
+  for (const ServeRow& r : rows) {
+    w.BeginObject();
+    w.Field("bench", r.bench);
+    w.Field("connections", r.connections);
+    w.Field("workers", r.workers);
+    w.Field("requests", r.requests);
+    w.Field("payload_bytes", r.payload_bytes);
+    w.Field("mean_s", r.timing.mean_s);
+    w.Field("min_s", r.timing.min_s);
+    w.Field("max_s", r.timing.max_s);
+    w.Field("rps", r.Rps());
+    w.Field("gbps", r.Gbps());
+    w.EndObject();
+  }
+  w.EndArray();
+  // Throughput at N connections over the same cell at 1 connection -- how
+  // much service-level concurrency the admission path actually converts
+  // into work instead of queueing.
+  w.BeginArray("conn_scaling");
+  for (const ServeRow& r : rows) {
+    if (r.connections == 1) continue;
+    for (const ServeRow& base : rows) {
+      if (base.connections == 1 && base.bench == r.bench &&
+          base.workers == r.workers) {
+        w.BeginObject();
+        w.Field("bench", r.bench);
+        w.Field("connections", r.connections);
+        w.Field("workers", r.workers);
+        w.Field("speedup", r.Rps() / base.Rps());
+        w.EndObject();
+      }
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+
+  if (!szx::bench::ValidateJson(w.Str())) {
+    std::fprintf(stderr, "micro_codec: generated JSON failed validation\n");
+    return 1;
+  }
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    std::fprintf(stderr, "micro_codec: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  os << w.Str() << '\n';
+  os.close();
+  std::printf("wrote %s (%zu results, reps=%d, %zu elements, %d hw threads)\n",
+              path.c_str(), rows.size(), reps, vf.size(), HardwareThreads());
+  return os.good() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string json_path;
   std::string omp_json_path;
   std::string container_json_path;
+  std::string serve_json_path;
   bool smoke = false;
   bool force = false;
   std::vector<char*> rest;
@@ -1217,6 +1426,8 @@ int main(int argc, char** argv) {
       omp_json_path = argv[i] + 17;
     } else if (std::strncmp(argv[i], "--bench_container_json=", 23) == 0) {
       container_json_path = argv[i] + 23;
+    } else if (std::strncmp(argv[i], "--bench_serve_json=", 19) == 0) {
+      serve_json_path = argv[i] + 19;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
     } else if (std::strcmp(argv[i], "--force") == 0) {
@@ -1224,6 +1435,9 @@ int main(int argc, char** argv) {
     } else {
       rest.push_back(argv[i]);
     }
+  }
+  if (!serve_json_path.empty()) {
+    return RunBenchServeJson(serve_json_path, smoke, force);
   }
   if (!container_json_path.empty()) {
     return RunBenchContainerJson(container_json_path, smoke, force);

@@ -27,6 +27,12 @@
 #                     chunk LRU cache), with roi_cost_vs_full and
 #                     warm_speedup_vs_cold series -- the seekability and
 #                     cache acceptance bars.  Same stale-bench trap.
+#   BENCH_serve.json  szx-serve service grid: in-process Server over
+#                     MemoryTransport pairs (real frame codec and admission
+#                     path, no kernel sockets), 1/2/4 concurrent client
+#                     connections x compress/decompress jobs x 1/2/4
+#                     workers, with requests/s, payload GB/s, and the
+#                     conn_scaling series.  Same stale-bench trap.
 #
 # Usage:
 #   scripts/bench.sh            full grids -> BENCH_*.json at the repo root
@@ -43,10 +49,12 @@ cd "$(dirname "$0")/.."
 out="BENCH_codec.json"
 omp_out="BENCH_omp.json"
 container_out="BENCH_container.json"
+serve_out="BENCH_serve.json"
 if [[ "${1:-}" == "--smoke" ]]; then
   out="BENCH_codec_smoke.json"
   omp_out="BENCH_omp_smoke.json"
   container_out="BENCH_container_smoke.json"
+  serve_out="BENCH_serve_smoke.json"
 fi
 
 cmake --preset release
@@ -54,4 +62,5 @@ cmake --build --preset release -j "$(nproc)" --target micro_codec
 ./build/bench/micro_codec --bench_json="${out}" "$@"
 ./build/bench/micro_codec --bench_omp_json="${omp_out}" "$@"
 ./build/bench/micro_codec --bench_container_json="${container_out}" "$@"
-echo "bench.sh: wrote ${out}, ${omp_out} and ${container_out}"
+./build/bench/micro_codec --bench_serve_json="${serve_out}" "$@"
+echo "bench.sh: wrote ${out}, ${omp_out}, ${container_out} and ${serve_out}"

@@ -30,13 +30,14 @@ cd "$(dirname "$0")/.."
 fast=0
 [[ "${1:-}" == "--fast" ]] && fast=1
 
-echo "=== release build (Werror) + tier1/conformance/fuzz-smoke/bench-smoke/lint/analysis ==="
+echo "=== release build (Werror) + tier1/conformance/serve/fuzz-smoke/bench-smoke/lint/analysis ==="
 cmake --preset release
 cmake --build --preset release -j "$(nproc)"
 ctest --preset tier1
 ctest --preset conformance
 ctest --preset executor
 ctest --preset container
+ctest --preset serve
 ctest --preset fuzz-smoke
 ctest --preset bench-smoke
 ctest --preset lint
@@ -69,7 +70,9 @@ cmake --build --preset tsan -j "$(nproc)" \
   --target test_omp_codec test_cusim test_kernel_harness test_kernels \
            test_salvage test_salvage_property test_executor test_streaming \
            test_pipeline test_huffman test_szref test_sz2 \
-           test_chunk_cache test_container_salvage
+           test_chunk_cache test_container_salvage \
+           test_serve_server test_serve_chaos test_cancel \
+           test_container_cancel_race
 # SZX_THREADS=4 forces the chunked-Huffman parallel decode (szref/sz2) onto
 # multiple pool workers even on small boxes, so tsan actually sees the
 # concurrent decode path rather than a single-threaded fallback.

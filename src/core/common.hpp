@@ -19,6 +19,16 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Cooperative-cancellation unwind (exec::CancelToken): a parallel region or
+/// service job observed its token and abandoned the operation.  Derived from
+/// Error so existing catch sites treat it as "this operation failed", but
+/// callers that distinguish "caller asked us to stop" from "input is bad"
+/// (the serve daemon's deadline handling) can catch it specifically.
+class Cancelled : public Error {
+ public:
+  explicit Cancelled(const std::string& what) : Error(what) {}
+};
+
 /// How the user-supplied error bound is interpreted.
 enum class ErrorBoundMode : std::uint8_t {
   kAbsolute = 0,            ///< |d - d'| <= eb

@@ -636,8 +636,59 @@ void OmpFor(std::uint64_t n, int threads, TaskFn fn, void* ctx) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Cooperative cancellation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+thread_local const CancelToken* tls_cancel_token = nullptr;
+
+// Wraps a task body with the cancellation protocol: check the token before
+// running (so an armed token drains the remaining tasks as instant throws)
+// and re-install it on the executing thread (so nested parallel loops in
+// the body observe it too -- the body may run on a pool worker that never
+// saw the caller's ScopedCancel).
+struct CancelAdapter {
+  TaskFn fn = nullptr;
+  void* ctx = nullptr;
+  const CancelToken* token = nullptr;
+
+  static void Run(void* self, std::uint64_t i) {
+    auto* a = static_cast<CancelAdapter*>(self);
+    a->token->ThrowIfCancelled();
+    ScopedCancel scope(a->token);
+    a->fn(a->ctx, i);
+  }
+};
+
+}  // namespace
+
+void CancelToken::ThrowIfCancelled() const {
+  if (cancelled()) {
+    throw Cancelled("szx: operation cancelled (deadline or explicit cancel)");
+  }
+}
+
+const CancelToken* CurrentCancelToken() noexcept { return tls_cancel_token; }
+
+ScopedCancel::ScopedCancel(const CancelToken* token) noexcept
+    : prev_(tls_cancel_token) {
+  tls_cancel_token = token;
+}
+
+ScopedCancel::~ScopedCancel() { tls_cancel_token = prev_; }
+
 void ParallelForImpl(std::uint64_t n, int max_threads, TaskFn fn, void* ctx) {
   if (n == 0) return;
+  // Capture the caller's cancel token before dispatch: the adapter lives on
+  // this stack frame, and every backend below joins before returning, so
+  // handing workers a pointer to it is safe.
+  CancelAdapter adapter{fn, ctx, CurrentCancelToken()};
+  if (adapter.token != nullptr) {
+    fn = &CancelAdapter::Run;
+    ctx = &adapter;
+  }
   const int threads = ResolveThreads(max_threads);
   if (n == 1 || threads == 1) {
     SerialFor(n, fn, ctx);

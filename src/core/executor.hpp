@@ -44,6 +44,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <thread>
@@ -86,6 +87,80 @@ Backend SetActiveBackend(Backend b);
 
 /// Type-erased task body: fn(ctx, index) for index in [0, n).
 using TaskFn = void (*)(void* ctx, std::uint64_t index);
+
+/// Cooperative cancellation for parallel regions (the executor hook the
+/// serve daemon's per-request deadlines ride on).  A token is armed either
+/// explicitly (Cancel) or by a steady-clock deadline (CancelAt); once a
+/// ScopedCancel installs it on a thread, every ParallelForImpl dispatched
+/// from that thread checks it at task granularity and unwinds the whole
+/// region with szx::Cancelled -- which means a chunked decode abandons work
+/// at the next chunk boundary instead of running to completion.
+///
+/// Thread safety: Cancel/CancelAt/cancelled may race freely (atomics); a
+/// token must outlive every region that can observe it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms the token immediately.  Idempotent; callable from any thread.
+  void Cancel() noexcept {
+    // szx-mo: release pairs with the acquire load in cancelled(), so a
+    // worker that observes true also observes everything the cancelling
+    // thread wrote before Cancel (e.g. the reason a job was abandoned).
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// Arms the token once the steady clock passes `deadline`.  A zero
+  /// time_point (the default state) means "no deadline".
+  void CancelAt(std::chrono::steady_clock::time_point deadline) noexcept {
+    // szx-mo: release for the same publish contract as Cancel(); readers
+    // acquire the value in cancelled() before comparing against now().
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+
+  /// True once Cancel was called or the deadline passed.
+  [[nodiscard]] bool cancelled() const noexcept {
+    // szx-mo: acquire pairs with the release store in Cancel (see there).
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    // szx-mo: acquire pairs with the release store in CancelAt; observing a
+    // nonzero deadline happens-after it was armed.
+    const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+    return d != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// Throws szx::Cancelled when the token is armed; the cooperative check
+  /// cancellable loops call at each unit of work.
+  void ThrowIfCancelled() const;
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  /// steady_clock ns-since-epoch of the deadline; 0 = no deadline armed.
+  std::atomic<std::int64_t> deadline_ns_{0};
+};
+
+/// The cancel token governing parallel work dispatched from the current
+/// thread, or nullptr (the default: nothing is cancellable).
+[[nodiscard]] const CancelToken* CurrentCancelToken() noexcept;
+
+/// RAII installation of a CancelToken on the current thread.  Regions
+/// dispatched while the scope is alive (including from pool workers running
+/// tasks of those regions) observe the token; scopes nest, restoring the
+/// previous token on destruction.  Passing nullptr shields an inner region
+/// from an outer token.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancelToken* token) noexcept;
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  const CancelToken* prev_ = nullptr;
+};
 
 class Executor {
  public:
@@ -214,6 +289,13 @@ class Executor {
 /// many workers exist -- callers control granularity via n).  max_threads
 /// <= 0 resolves via DefaultThreads(); n <= 1 or 1 thread runs inline.
 /// Every task runs even if one throws; the first exception is rethrown.
+///
+/// Cancellation: when the calling thread carries a CancelToken (ScopedCancel
+/// above), every task body first checks it -- an armed token makes each
+/// remaining task throw szx::Cancelled immediately, so the region drains at
+/// task granularity and Cancelled is rethrown to the caller.  The token also
+/// propagates onto the worker running each task, so nested parallel loops
+/// inside task bodies stay cancellable.
 void ParallelForImpl(std::uint64_t n, int max_threads, TaskFn fn, void* ctx);
 
 template <typename F>

@@ -1,25 +1,96 @@
 #include "iosim/file_backend.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
 
 namespace szx::iosim {
 
-ChunkFileWriter::ChunkFileWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
-  if (!out_) {
-    throw std::runtime_error("ChunkFileWriter: cannot open " + path);
+namespace {
+
+// Per-operation budget for syscalls that make no forward progress (EINTR,
+// or a short I/O of zero bytes that is not EOF).  A descriptor that stays
+// interrupted this long is broken, not busy; erroring beats livelocking.
+constexpr int kMaxTransientRetries = 64;
+
+std::string ErrnoText(int err) { return std::strerror(err); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ChunkFileWriter
+
+ChunkFileWriter::ChunkFileWriter(const std::string& path) : path_(path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("ChunkFileWriter: cannot open " + path + ": " +
+                             ErrnoText(errno));
+  }
+}
+
+ChunkFileWriter::~ChunkFileWriter() {
+  if (fd_ >= 0) {
+    ::close(fd_);  // best effort; Close() is the throwing path
+  }
+}
+
+RawWriteOp ChunkFileWriter::set_raw_write(RawWriteOp op) {
+  return std::exchange(raw_write_, std::move(op));
+}
+
+void ChunkFileWriter::WriteFull(std::span<const std::byte> data) {
+  std::size_t done = 0;
+  int stalls = 0;
+  while (done < data.size()) {
+    const std::span<const std::byte> rest = data.subspan(done);
+    int err = 0;
+    long long n = 0;
+    if (raw_write_) {
+      n = raw_write_(rest.data(), rest.size(), err);
+    } else {
+      n = ::write(fd_, rest.data(), rest.size());
+      err = errno;
+    }
+    if (n < 0) {
+      if (err == EINTR) {
+        ++stats_.eintr_retries;
+        if (++stalls > kMaxTransientRetries) {
+          throw std::runtime_error(
+              "ChunkFileWriter: EINTR persisted past the retry budget on " +
+              path_);
+        }
+        continue;  // same position: nothing was written
+      }
+      throw std::runtime_error("ChunkFileWriter: write failed on " + path_ +
+                               ": " + ErrnoText(err));
+    }
+    if (n == 0) {
+      // A zero-byte write that is not an error: no forward progress.
+      if (++stalls > kMaxTransientRetries) {
+        throw std::runtime_error(
+            "ChunkFileWriter: write made no progress on " + path_);
+      }
+      continue;
+    }
+    if (static_cast<std::size_t>(n) < rest.size()) {
+      ++stats_.short_ios;  // resumed from the exact interrupted byte
+    }
+    done += static_cast<std::size_t>(n);
+    stalls = 0;
   }
 }
 
 void ChunkFileWriter::WriteChunk(std::span<const std::byte> chunk) {
-  if (!out_.is_open()) {
+  if (fd_ < 0) {
     throw std::runtime_error("ChunkFileWriter: write after Close on " + path_);
   }
-  const std::byte* src = chunk.data();
-  std::size_t n = chunk.size();
+  std::span<const std::byte> src = chunk;
   if (mutator_) {
     scratch_.assign(chunk.begin(), chunk.end());
     mutator_(stats_.chunks, scratch_);
@@ -27,40 +98,88 @@ void ChunkFileWriter::WriteChunk(std::span<const std::byte> chunk) {
         !std::equal(scratch_.begin(), scratch_.end(), chunk.begin())) {
       ++stats_.mutated;
     }
-    src = scratch_.data();
-    n = scratch_.size();
+    src = std::span<const std::byte>(scratch_);
   }
-  // szx-lint: allow(reinterpret-cast) -- ofstream::write requires char*; bytes are only written, never interpreted
-  out_.write(reinterpret_cast<const char*>(src),
-             static_cast<std::streamsize>(n));
-  if (!out_) {
-    throw std::runtime_error("ChunkFileWriter: write failed on " + path_);
-  }
+  WriteFull(src);
   ++stats_.chunks;
-  stats_.bytes += n;
+  stats_.bytes += src.size();
 }
 
 void ChunkFileWriter::Close() {
-  if (!out_.is_open()) {
+  if (fd_ < 0) {
     return;
   }
-  out_.flush();
-  const bool ok = static_cast<bool>(out_);
-  out_.close();
-  if (!ok) {
-    throw std::runtime_error("ChunkFileWriter: flush failed on " + path_);
+  const int fd = std::exchange(fd_, -1);
+  if (::close(fd) != 0) {
+    throw std::runtime_error("ChunkFileWriter: close failed on " + path_ +
+                             ": " + ErrnoText(errno));
   }
 }
 
+// ---------------------------------------------------------------------------
+// ChunkFileReader
+
 ChunkFileReader::ChunkFileReader(const std::string& path,
                                  TransientReadFaults faults)
-    : in_(path, std::ios::binary), path_(path), faults_(faults) {
-  if (!in_) {
-    throw std::runtime_error("ChunkFileReader: cannot open " + path);
-  }
+    : path_(path), faults_(faults) {
   if (faults_.max_attempts < 1) {
     throw std::runtime_error("ChunkFileReader: max_attempts must be >= 1");
   }
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) {
+    throw std::runtime_error("ChunkFileReader: cannot open " + path + ": " +
+                             ErrnoText(errno));
+  }
+}
+
+ChunkFileReader::~ChunkFileReader() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+RawReadOp ChunkFileReader::set_raw_read(RawReadOp op) {
+  return std::exchange(raw_read_, std::move(op));
+}
+
+std::size_t ChunkFileReader::ReadFullAt(std::span<std::byte> out,
+                                        std::uint64_t offset) {
+  std::size_t done = 0;
+  int stalls = 0;
+  while (done < out.size()) {
+    const std::span<std::byte> rest = out.subspan(done);
+    int err = 0;
+    long long n = 0;
+    if (raw_read_) {
+      n = raw_read_(rest.data(), rest.size(), offset + done, err);
+    } else {
+      n = ::pread(fd_, rest.data(), rest.size(),
+                  static_cast<off_t>(offset + done));
+      err = errno;
+    }
+    if (n < 0) {
+      if (err == EINTR) {
+        ++stats_.eintr_retries;
+        if (++stalls > kMaxTransientRetries) {
+          throw std::runtime_error(
+              "ChunkFileReader: EINTR persisted past the retry budget on " +
+              path_);
+        }
+        continue;  // positioned read: the resume offset cannot drift
+      }
+      throw std::runtime_error("ChunkFileReader: read failed on " + path_ +
+                               ": " + ErrnoText(err));
+    }
+    if (n == 0) {
+      break;  // end of file mid-chunk: deliver what exists
+    }
+    if (static_cast<std::size_t>(n) < rest.size()) {
+      ++stats_.short_ios;  // short read: resume at offset + done, byte-exact
+    }
+    done += static_cast<std::size_t>(n);
+    stalls = 0;
+  }
+  return done;
 }
 
 std::size_t ChunkFileReader::ReadChunk(std::span<std::byte> out) {
@@ -75,18 +194,7 @@ std::size_t ChunkFileReader::ReadChunk(std::span<std::byte> out) {
     }
     // Every retry restarts from the identical chunk offset, so an injected
     // failure can never skip bytes or deliver them twice.
-    in_.clear();
-    in_.seekg(static_cast<std::streamoff>(next_offset_));
-    if (!in_) {
-      throw std::runtime_error("ChunkFileReader: seek failed on " + path_);
-    }
-    // szx-lint: allow(reinterpret-cast) -- ifstream reads into char buffers; this is the file-I/O boundary, nothing is parsed here
-    in_.read(reinterpret_cast<char*>(out.data()),
-             static_cast<std::streamsize>(out.size()));
-    const auto got = static_cast<std::size_t>(in_.gcount());
-    if (in_.bad()) {
-      throw std::runtime_error("ChunkFileReader: read failed on " + path_);
-    }
+    const std::size_t got = ReadFullAt(out, next_offset_);
     const bool inject_failure = faults_.period != 0 && got != 0 &&
                                 ordinal % faults_.period == 0 && attempt == 1;
     if (inject_failure) {

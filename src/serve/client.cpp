@@ -1,0 +1,49 @@
+#include "serve/client.hpp"
+
+#include <array>
+
+namespace szx::serve {
+
+std::uint64_t Client::Send(Opcode opcode, ByteSpan body,
+                           std::uint32_t deadline_ms, std::uint16_t flags) {
+  RequestHeader header;
+  header.opcode = opcode;
+  header.flags = flags;
+  header.request_id = next_id_++;
+  header.deadline_ms = deadline_ms;
+  ByteBuffer frame;
+  AppendRequestFrame(frame, header, body);
+  transport_.Write(frame);
+  return header.request_id;
+}
+
+std::optional<ClientResponse> Client::Receive() {
+  std::array<std::byte, kFrameHeaderBytes> header_buf{};
+  if (!ReadExact(transport_, header_buf)) return std::nullopt;
+  ClientResponse rsp;
+  rsp.header = ParseResponseHeader(header_buf);
+  rsp.body.resize(CheckedNarrow<std::size_t>(rsp.header.body_bytes));
+  if (!ReadExact(transport_, std::span<std::byte>(rsp.body))) {
+    throw TransportError("szx-serve: stream ended before response body");
+  }
+  std::array<std::byte, kChecksumBytes> check{};
+  if (!ReadExact(transport_, check)) {
+    throw TransportError("szx-serve: stream ended before response checksum");
+  }
+  const auto want =
+      ByteCursor(ByteSpan(check.data(), check.size())).Read<std::uint64_t>();
+  rsp.body_checksum_ok = want == BodyChecksum(rsp.body);
+  return rsp;
+}
+
+ClientResponse Client::Call(Opcode opcode, ByteSpan body,
+                            std::uint32_t deadline_ms, std::uint16_t flags) {
+  (void)Send(opcode, body, deadline_ms, flags);
+  auto rsp = Receive();
+  if (!rsp.has_value()) {
+    throw TransportError("szx-serve: server closed before answering");
+  }
+  return std::move(*rsp);
+}
+
+}  // namespace szx::serve

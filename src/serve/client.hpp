@@ -1,0 +1,48 @@
+// Minimal szx-serve client: frame assembly/parsing over any Transport.
+// Shared by the szx_cli `client` subcommand, the chaos/unit tests, and the
+// in-process serve benchmark, so all of them speak the one protocol
+// implementation instead of three hand-rolled ones.
+#pragma once
+
+#include <optional>
+
+#include "serve/protocol.hpp"
+#include "serve/transport.hpp"
+
+namespace szx::serve {
+
+struct ClientResponse {
+  ResponseHeader header;
+  ByteBuffer body;
+  bool body_checksum_ok = true;  ///< response survived the wire intact
+};
+
+/// Not thread-safe: one Client per connection per thread.  Pipelining is
+/// allowed (send several requests, then read the responses); responses to
+/// concurrent jobs may arrive in any order -- match on header.request_id.
+class Client {
+ public:
+  explicit Client(Transport& transport) : transport_(transport) {}
+
+  /// Writes one request frame; returns its request id (monotonic per
+  /// client).  Throws TransportError if the connection is gone.
+  std::uint64_t Send(Opcode opcode, ByteSpan body, std::uint32_t deadline_ms = 0,
+                     std::uint16_t flags = 0);
+
+  /// Reads one response frame.  Returns nullopt on clean EOF (server
+  /// closed); throws TransportError on a torn frame and szx::Error on
+  /// framing loss (bad magic/version).
+  [[nodiscard]] std::optional<ClientResponse> Receive();
+
+  /// Send + Receive for the common one-job-at-a-time case.  Throws
+  /// TransportError when the server closed without answering.
+  [[nodiscard]] ClientResponse Call(Opcode opcode, ByteSpan body,
+                                    std::uint32_t deadline_ms = 0,
+                                    std::uint16_t flags = 0);
+
+ private:
+  Transport& transport_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace szx::serve

@@ -1,0 +1,655 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <optional>
+
+#include "core/compressor.hpp"
+#include "core/container.hpp"
+#include "resilience/container_salvage.hpp"
+#include "resilience/salvage.hpp"
+
+namespace szx::serve {
+
+namespace {
+
+constexpr const char* kWireDamageJson =
+    "{\"wire_damaged\":true,\"error\":\"request body failed its frame "
+    "checksum\"}";
+
+void AppendText(ByteBuffer& out, const std::string& text) {
+  ByteWriter(out).WriteBytes(text.data(), text.size());
+}
+
+std::string ErrorJson(const std::string& what) {
+  std::string s = "{\"error\":\"";
+  for (const char c : what) {
+    if (c == '"' || c == '\\') s.push_back('\\');
+    s.push_back(c == '\n' ? ' ' : c);
+  }
+  s += "\"}";
+  return s;
+}
+
+template <SupportedFloat T>
+void AppendElements(ByteBuffer& out, const std::vector<T>& values) {
+  ByteWriter(out).WriteBytes(values.data(), values.size() * sizeof(T));
+}
+
+/// Best-effort dtype sniff for salvage dispatch: the header's dtype byte
+/// sits at offset 5 (magic + version).  A stream too short or damaged to
+/// carry one defaults to float32 -- the salvage pass then reports whatever
+/// the checksums actually support.
+DataType GuessDtype(ByteSpan stream) {
+  if (stream.size() >= 6) {
+    ByteCursor cur(stream);
+    cur.Skip(5);
+    if (cur.Read<std::uint8_t>() ==
+        static_cast<std::uint8_t>(DataType::kFloat64)) {
+      return DataType::kFloat64;
+    }
+  }
+  return DataType::kFloat32;
+}
+
+std::string QueryMetaJson(const ContainerReader& reader,
+                          const QuerySpec& spec) {
+  const ContainerField& f = reader.field(spec.field);
+  std::string s = "{\"type\":\"query\",\"num_fields\":";
+  s += std::to_string(reader.num_fields());
+  s += ",\"field\":\"";
+  s += f.name;  // names are directory-validated (bounded, non-empty)
+  s += "\",\"dtype\":\"";
+  s += f.dtype == DataType::kFloat64 ? "float64" : "float32";
+  s += "\",\"timestep\":" + std::to_string(spec.timestep);
+  s += ",\"timesteps\":" + std::to_string(f.timesteps);
+  s += ",\"elements_per_timestep\":" +
+       std::to_string(f.elements_per_timestep);
+  s += ",\"chunks_per_timestep\":" + std::to_string(f.chunks_per_timestep);
+  s += "}";
+  return s;
+}
+
+}  // namespace
+
+// One accepted connection, owned by the ServeConnection stack frame.  The
+// read loop (connection thread) and job completions (pool workers) share
+// the inflight window and the poison flag under `m`; whole response frames
+// serialize under `write_m` so concurrent jobs never interleave bytes.
+struct Server::Connection {
+  Transport* transport = nullptr;
+
+  sync::Mutex m;
+  sync::CondVar window_cv;  ///< signalled on inflight decrement / poison
+  std::uint32_t inflight SZX_GUARDED_BY(m) = 0;
+  bool dead SZX_GUARDED_BY(m) = false;  ///< wire failed; abandon the loop
+
+  sync::Mutex write_m;  ///< one response frame on the wire at a time
+
+  // Connection-thread-only state (no locking: single owner).
+  std::uint32_t consecutive_busy = 0;
+  std::uint32_t busy_spent = 0;
+  std::vector<std::unique_ptr<Job>> outstanding;
+};
+
+// One admitted request.  Owned by its connection's `outstanding` list; the
+// pool task borrows it, and the Batch inside guarantees the borrow ends
+// before destruction (Batch's destructor joins).
+struct Server::Job {
+  Server* server = nullptr;
+  Connection* conn = nullptr;
+  RequestHeader request;
+  ByteBuffer body;
+  bool checksum_ok = true;
+  exec::CancelToken cancel;
+  exec::Executor::Batch batch;
+};
+
+Server::Server(ServerConfig config)
+    : config_(config), pool_(config.workers) {
+  config_.queue_capacity = std::max<std::uint32_t>(1, config_.queue_capacity);
+  config_.max_inflight_per_conn =
+      std::max<std::uint32_t>(1, config_.max_inflight_per_conn);
+  if (config_.chunk_cache_bytes != 0) {
+    chunk_cache_ = std::make_unique<ChunkCache>(config_.chunk_cache_bytes);
+  }
+}
+
+Server::~Server() {
+  Stop();
+  sync::MutexLock lock(m_);
+  while (connections_active_ > 0) drained_.Wait(lock);
+  // pool_ destructs after the lock releases: every connection has reaped
+  // its jobs, so the pool drains nothing but is torn down gracefully.
+}
+
+void Server::Stop() {
+  sync::MutexLock lock(m_);
+  stopping_ = true;
+  // Closing under m_ is safe: transports unregister under m_ before their
+  // ServeConnection frame dies, so every pointer here is alive.
+  for (Transport* t : live_transports_) t->Close();
+}
+
+ServerStats Server::stats() {
+  sync::MutexLock lock(m_);
+  return stats_;
+}
+
+void Server::CountStatus(Status status) {
+  sync::MutexLock lock(m_);
+  switch (status) {
+    case Status::kOk: ++stats_.completed_ok; break;
+    case Status::kPartial: ++stats_.completed_partial; break;
+    case Status::kBadRequest: ++stats_.bad_request; break;
+    case Status::kCorrupt: ++stats_.corrupt; break;
+    case Status::kBusy: ++stats_.shed_busy; break;
+    case Status::kDeadlineExceeded: ++stats_.deadline_exceeded; break;
+    case Status::kShuttingDown: ++stats_.shutting_down; break;
+    case Status::kInternalError: ++stats_.internal_error; break;
+  }
+}
+
+bool Server::TryAdmit() {
+  sync::MutexLock lock(m_);
+  if (jobs_admitted_ >= config_.queue_capacity) return false;
+  ++jobs_admitted_;
+  return true;
+}
+
+void Server::ReleaseAdmission() {
+  sync::MutexLock lock(m_);
+  --jobs_admitted_;
+}
+
+void Server::ServeConnection(Transport& transport) {
+  {
+    sync::MutexLock lock(m_);
+    ++stats_.connections;
+    if (stopping_) {
+      transport.Close();
+      return;
+    }
+    ++connections_active_;
+    live_transports_.push_back(&transport);
+  }
+
+  Connection conn;
+  conn.transport = &transport;
+  bool wire_failed = false;
+  try {
+    ReadLoop(conn);
+  } catch (const TransportError&) {
+    wire_failed = true;  // torn frame / mid-body EOF
+  } catch (const Error&) {
+    wire_failed = true;  // framing lost (bad magic or version)
+  } catch (...) {
+    wire_failed = true;
+  }
+
+  // Drain: every admitted job still writes its typed response (the client
+  // may have half-closed and be waiting for exactly these).
+  for (auto& job : conn.outstanding) job->batch.Wait();
+  conn.outstanding.clear();
+
+  if (wire_failed) {
+    transport.Close();
+  } else {
+    transport.ShutdownWrite();  // responses stay deliverable; reads see EOF
+  }
+
+  sync::MutexLock lock(m_);
+  if (wire_failed) ++stats_.transport_errors;
+  std::erase(live_transports_, &transport);
+  --connections_active_;
+  drained_.NotifyAll();
+}
+
+void Server::ReadLoop(Connection& conn) {
+  Transport& t = *conn.transport;
+  std::array<std::byte, kFrameHeaderBytes> header_buf{};
+
+  for (;;) {
+    // Backpressure point: at the window limit the loop parks here, the
+    // transport's bounded buffer fills, and the client's writes block.
+    {
+      sync::MutexLock lock(conn.m);
+      while (conn.inflight >= config_.max_inflight_per_conn && !conn.dead) {
+        conn.window_cv.Wait(lock);
+      }
+      if (conn.dead) return;
+    }
+    // Reap finished jobs (their Batches are Done; Wait cannot block).
+    std::erase_if(conn.outstanding, [](const std::unique_ptr<Job>& j) {
+      if (!j->batch.Done()) return false;
+      j->batch.Wait();
+      return true;
+    });
+
+    if (!ReadExact(t, header_buf)) return;  // clean EOF between frames
+    const RequestHeader req = ParseRequestHeader(header_buf);
+
+    ByteBuffer body;
+    bool checksum_ok = true;
+    const bool size_ok = ReadBody(conn, req, body, checksum_ok);
+    {
+      sync::MutexLock lock(m_);
+      ++stats_.requests;
+      if (!checksum_ok) ++stats_.damaged_bodies;
+    }
+
+    if (!size_ok) {
+      CountStatus(Status::kBadRequest);
+      ByteBuffer reason;
+      AppendText(reason, ErrorJson("request body exceeds the size limit"));
+      if (!RespondNow(conn, req.request_id, Status::kBadRequest, 0, reason)) {
+        return;
+      }
+      continue;
+    }
+
+    bool stopping = false;
+    {
+      sync::MutexLock lock(m_);
+      stopping = stopping_;
+    }
+    if (stopping) {
+      CountStatus(Status::kShuttingDown);
+      (void)RespondNow(conn, req.request_id, Status::kShuttingDown, 0, {});
+      return;
+    }
+
+    if (!IsKnownOpcode(static_cast<std::uint8_t>(req.opcode))) {
+      CountStatus(Status::kBadRequest);
+      ByteBuffer reason;
+      AppendText(reason, ErrorJson("unknown opcode"));
+      if (!RespondNow(conn, req.request_id, Status::kBadRequest, 0, reason)) {
+        return;
+      }
+      continue;
+    }
+
+    if (!TryAdmit()) {
+      // Shed: typed BUSY with an exponential backoff hint; each shed spends
+      // connection budget so a client that never backs off gets closed.
+      ++conn.busy_spent;
+      const std::uint32_t shift = std::min<std::uint32_t>(
+          conn.consecutive_busy, 16);
+      ++conn.consecutive_busy;
+      const std::uint64_t hinted =
+          std::uint64_t{config_.busy_backoff_base_ms} << shift;
+      const std::uint32_t backoff = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(hinted, config_.busy_backoff_max_ms));
+      CountStatus(Status::kBusy);
+      const bool wrote =
+          RespondNow(conn, req.request_id, Status::kBusy, backoff, {});
+      if (!wrote || conn.busy_spent >= config_.busy_budget) return;
+      continue;
+    }
+    conn.consecutive_busy = 0;
+
+    auto job = std::make_unique<Job>();
+    job->server = this;
+    job->conn = &conn;
+    job->request = req;
+    job->body = std::move(body);
+    job->checksum_ok = checksum_ok;
+    if (req.deadline_ms != 0) {
+      job->cancel.CancelAt(std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(req.deadline_ms));
+    }
+    {
+      sync::MutexLock lock(conn.m);
+      ++conn.inflight;
+    }
+    Job* raw = job.get();
+    conn.outstanding.push_back(std::move(job));
+    pool_.Submit(
+        raw->batch, 1,
+        [](void* ctx, std::uint64_t) {
+          auto* j = static_cast<Job*>(ctx);
+          j->server->RunJob(*j);
+        },
+        raw);
+  }
+}
+
+bool Server::ReadBody(Connection& conn, const RequestHeader& header,
+                      ByteBuffer& body, bool& checksum_ok) {
+  Transport& t = *conn.transport;
+  if (header.body_bytes > config_.max_body_bytes) {
+    // Drain the oversized body in bounded chunks to keep framing intact
+    // (memory stays O(chunk), not O(body)), then reject it.
+    std::array<std::byte, 4096> chunk{};
+    std::uint64_t left = CheckedAdd(header.body_bytes, kChecksumBytes);
+    while (left > 0) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(left, chunk.size()));
+      if (!ReadExact(t, std::span(chunk).first(n))) {
+        throw TransportError("szx-serve: stream ended inside oversized body");
+      }
+      left -= n;
+    }
+    checksum_ok = true;
+    return false;
+  }
+
+  body.resize(CheckedNarrow<std::size_t>(header.body_bytes));
+  if (!ReadExact(t, std::span<std::byte>(body))) {
+    throw TransportError("szx-serve: stream ended before request body");
+  }
+  std::array<std::byte, kChecksumBytes> check{};
+  if (!ReadExact(t, check)) {
+    throw TransportError("szx-serve: stream ended before body checksum");
+  }
+  const auto want =
+      ByteCursor(ByteSpan(check.data(), check.size())).Read<std::uint64_t>();
+  checksum_ok = want == BodyChecksum(body);
+  return true;
+}
+
+bool Server::WriteResponse(Connection& conn, const ResponseHeader& header,
+                           ByteSpan body) {
+  ByteBuffer frame;
+  AppendResponseFrame(frame, header, body);
+  sync::MutexLock lock(conn.write_m);
+  try {
+    conn.transport->Write(frame);
+    return true;
+  } catch (const TransportError&) {
+    {
+      sync::MutexLock poison(conn.m);
+      conn.dead = true;
+      conn.window_cv.NotifyAll();
+    }
+    conn.transport->Close();  // unparks a reader blocked mid-frame
+    return false;
+  }
+}
+
+bool Server::RespondNow(Connection& conn, std::uint64_t request_id,
+                        Status status, std::uint32_t info, ByteSpan body) {
+  ResponseHeader rsp;
+  rsp.status = status;
+  rsp.request_id = request_id;
+  rsp.info = info;
+  return WriteResponse(conn, rsp, body);
+}
+
+void Server::RunJob(Job& job) {
+  ResponseHeader rsp;
+  rsp.request_id = job.request.request_id;
+  ByteBuffer body;
+  try {
+    if (job.cancel.cancelled()) {
+      // Expired while queued: answered without running.
+      rsp.status = Status::kDeadlineExceeded;
+    } else {
+      exec::ScopedCancel scope(&job.cancel);
+      ExecuteJob(job, rsp, body);
+    }
+  } catch (const Cancelled&) {
+    rsp.status = Status::kDeadlineExceeded;
+    body.clear();
+  } catch (const std::exception& e) {
+    rsp.status = Status::kInternalError;
+    body.clear();
+    AppendText(body, ErrorJson(e.what()));
+  } catch (...) {
+    rsp.status = Status::kInternalError;
+    body.clear();
+  }
+  if (!job.checksum_ok) rsp.flags |= kFlagBodyDamaged;
+  (void)WriteResponse(*job.conn, rsp, body);
+  CountStatus(rsp.status);
+  ReleaseAdmission();
+  sync::MutexLock lock(job.conn->m);
+  --job.conn->inflight;
+  job.conn->window_cv.NotifyAll();
+}
+
+void Server::ExecuteJob(Job& job, ResponseHeader& rsp, ByteBuffer& body) {
+  switch (job.request.opcode) {
+    case Opcode::kPing: {
+      const bool degrade = config_.allow_degrade &&
+                           (job.request.flags & kFlagNoDegrade) == 0;
+      if (job.checksum_ok) {
+        rsp.status = Status::kOk;
+        body = job.body;
+      } else if (degrade) {
+        rsp.status = Status::kPartial;  // echo what actually arrived
+        AppendReportAndData(body, kWireDamageJson, job.body);
+      } else {
+        rsp.status = Status::kCorrupt;
+        AppendText(body, kWireDamageJson);
+      }
+      return;
+    }
+    case Opcode::kCompress: DispatchCompress(job, rsp, body); return;
+    case Opcode::kDecompress: DispatchDecompress(job, rsp, body); return;
+    case Opcode::kSalvage: DispatchSalvage(job, rsp, body); return;
+    case Opcode::kQuery: DispatchQuery(job, rsp, body); return;
+  }
+  rsp.status = Status::kBadRequest;  // unreachable: ReadLoop screens opcodes
+}
+
+namespace {
+
+template <SupportedFloat T>
+void CompressJob(ByteSpan raw, const Params& params, ResponseHeader& rsp,
+                 ByteBuffer& body) {
+  if (raw.size() % sizeof(T) != 0) {
+    rsp.status = Status::kBadRequest;
+    AppendText(body, ErrorJson("raw payload is not a whole element count"));
+    return;
+  }
+  std::vector<T> elems(raw.size() / sizeof(T));
+  ByteCursor(raw).ReadSpan(std::span<T>(elems));
+  try {
+    // Per-worker arena: steady-state compression on the pool allocates
+    // nothing beyond the response copy.
+    const ByteSpan stream = CompressInto<T>(
+        elems, params, exec::Executor::WorkerScratch());
+    rsp.status = Status::kOk;
+    body.assign(stream.begin(), stream.end());
+  } catch (const Cancelled&) {
+    throw;
+  } catch (const Error& e) {
+    rsp.status = Status::kBadRequest;  // unusable Params combination
+    AppendText(body, ErrorJson(e.what()));
+  }
+}
+
+template <SupportedFloat T>
+void DecompressJob(ByteSpan stream, bool checksum_ok, bool degrade,
+                   ResponseHeader& rsp, ByteBuffer& body) {
+  if (checksum_ok) {
+    try {
+      const std::vector<T> out = Decompress<T>(stream);
+      rsp.status = Status::kOk;
+      AppendElements(body, out);
+      return;
+    } catch (const Cancelled&) {
+      throw;
+    } catch (const Error& e) {
+      if (!degrade) {
+        rsp.status = Status::kCorrupt;
+        AppendText(body, ErrorJson(e.what()));
+        return;
+      }
+      // fall through to salvage
+    }
+  } else if (!degrade) {
+    rsp.status = Status::kCorrupt;
+    AppendText(body, kWireDamageJson);
+    return;
+  }
+  resilience::SalvageOptions options;
+  options.num_threads = 1;  // deterministic report, independent of pool size
+  const auto result = resilience::SalvageDecode<T>(stream, options);
+  if (!result.report.usable) {
+    rsp.status = Status::kCorrupt;
+    AppendText(body, result.report.ToJson());
+    return;
+  }
+  rsp.status = (result.report.clean && checksum_ok) ? Status::kOk
+                                                    : Status::kPartial;
+  ByteBuffer data;
+  AppendElements(data, result.data);
+  AppendReportAndData(body, result.report.ToJson(), data);
+}
+
+template <SupportedFloat T>
+void SalvageJob(ByteSpan stream, bool checksum_ok, ResponseHeader& rsp,
+                ByteBuffer& body) {
+  resilience::SalvageOptions options;
+  options.num_threads = 1;
+  const auto result = resilience::SalvageDecode<T>(stream, options);
+  if (!result.report.usable) {
+    rsp.status = Status::kCorrupt;
+    AppendText(body, result.report.ToJson());
+    return;
+  }
+  rsp.status = (result.report.clean && checksum_ok) ? Status::kOk
+                                                    : Status::kPartial;
+  ByteBuffer data;
+  AppendElements(data, result.data);
+  AppendReportAndData(body, result.report.ToJson(), data);
+}
+
+template <SupportedFloat T>
+void QueryJob(const ContainerReader& reader, const QuerySpec& spec,
+              bool checksum_ok, bool degrade, ResponseHeader& rsp,
+              ByteBuffer& body) {
+  const std::string meta = QueryMetaJson(reader, spec);
+  if (checksum_ok) {
+    try {
+      const std::vector<T> out = reader.DecompressTimestep<T>(
+          spec.field, spec.timestep);
+      rsp.status = Status::kOk;
+      ByteBuffer data;
+      AppendElements(data, out);
+      AppendReportAndData(body, meta, data);
+      return;
+    } catch (const Cancelled&) {
+      throw;
+    } catch (const Error& e) {
+      if (!degrade) {
+        rsp.status = Status::kCorrupt;
+        AppendText(body, ErrorJson(e.what()));
+        return;
+      }
+      // fall through to chunk-level salvage
+    }
+  } else if (!degrade) {
+    rsp.status = Status::kCorrupt;
+    AppendText(body, kWireDamageJson);
+    return;
+  }
+  resilience::SalvageOptions options;
+  options.num_threads = 1;
+  const auto result = resilience::SalvageContainerTimestep<T>(
+      reader, spec.field, spec.timestep, options);
+  if (!result.report.usable) {
+    rsp.status = Status::kCorrupt;
+    AppendText(body, result.report.ToJson());
+    return;
+  }
+  rsp.status = (result.report.clean && checksum_ok) ? Status::kOk
+                                                    : Status::kPartial;
+  ByteBuffer data;
+  AppendElements(data, result.data);
+  AppendReportAndData(body, result.report.ToJson(), data);
+}
+
+}  // namespace
+
+void Server::DispatchCompress(Job& job, ResponseHeader& rsp,
+                              ByteBuffer& body) {
+  if (!job.checksum_ok) {
+    // Raw input bytes are the one thing salvage cannot reconstruct: there
+    // is no redundancy to lean on, so even the degradation path refuses.
+    rsp.status = Status::kCorrupt;
+    AppendText(body, kWireDamageJson);
+    return;
+  }
+  ByteCursor cur(job.body);
+  CompressSpec spec;
+  try {
+    spec = ReadCompressSpec(cur);
+  } catch (const Error& e) {
+    rsp.status = Status::kBadRequest;
+    AppendText(body, ErrorJson(e.what()));
+    return;
+  }
+  Params params;
+  params.mode = spec.mode;
+  params.error_bound = spec.error_bound;
+  params.block_size = spec.block_size;
+  params.integrity = spec.integrity != 0;
+  const ByteSpan raw = cur.Rest();
+  if (spec.dtype == DataType::kFloat64) {
+    CompressJob<double>(raw, params, rsp, body);
+  } else {
+    CompressJob<float>(raw, params, rsp, body);
+  }
+}
+
+void Server::DispatchDecompress(Job& job, ResponseHeader& rsp,
+                                ByteBuffer& body) {
+  const bool degrade =
+      config_.allow_degrade && (job.request.flags & kFlagNoDegrade) == 0;
+  if (GuessDtype(job.body) == DataType::kFloat64) {
+    DecompressJob<double>(job.body, job.checksum_ok, degrade, rsp, body);
+  } else {
+    DecompressJob<float>(job.body, job.checksum_ok, degrade, rsp, body);
+  }
+}
+
+void Server::DispatchSalvage(Job& job, ResponseHeader& rsp,
+                             ByteBuffer& body) {
+  if (GuessDtype(job.body) == DataType::kFloat64) {
+    SalvageJob<double>(job.body, job.checksum_ok, rsp, body);
+  } else {
+    SalvageJob<float>(job.body, job.checksum_ok, rsp, body);
+  }
+}
+
+void Server::DispatchQuery(Job& job, ResponseHeader& rsp, ByteBuffer& body) {
+  const bool degrade =
+      config_.allow_degrade && (job.request.flags & kFlagNoDegrade) == 0;
+  ByteCursor cur(job.body);
+  QuerySpec spec;
+  try {
+    spec = ReadQuerySpec(cur);
+  } catch (const Error& e) {
+    rsp.status = Status::kBadRequest;
+    AppendText(body, ErrorJson(e.what()));
+    return;
+  }
+  const ByteSpan container = cur.Rest();
+  std::optional<ContainerReader> reader;
+  try {
+    reader.emplace(container, chunk_cache_.get());
+  } catch (const Error& e) {
+    // No validated directory means nothing can be located; chunk-level
+    // salvage has no offsets to work from, so this is terminal.
+    rsp.status = Status::kCorrupt;
+    AppendText(body, ErrorJson(e.what()));
+    return;
+  }
+  if (spec.field >= reader->num_fields() ||
+      spec.timestep >= reader->field(spec.field).timesteps) {
+    rsp.status = Status::kBadRequest;
+    AppendText(body, ErrorJson("query field/timestep out of range"));
+    return;
+  }
+  if (reader->field(spec.field).dtype == DataType::kFloat64) {
+    QueryJob<double>(*reader, spec, job.checksum_ok, degrade, rsp, body);
+  } else {
+    QueryJob<float>(*reader, spec, job.checksum_ok, degrade, rsp, body);
+  }
+}
+
+}  // namespace szx::serve

@@ -1,0 +1,107 @@
+#include "serve/transport.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace szx::serve {
+
+bool ReadExact(Transport& t, std::span<std::byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = t.Read(out.subspan(got));
+    if (n == 0) {
+      if (got == 0) return false;
+      throw TransportError("szx-serve: stream ended mid-frame (" +
+                           std::to_string(got) + " of " +
+                           std::to_string(out.size()) + " bytes)");
+    }
+    got += n;
+  }
+  return true;
+}
+
+std::size_t ReadUpToEof(Transport& t, std::span<std::byte> out) {
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const std::size_t n = t.Read(out.subspan(got));
+    if (n == 0) break;
+    got += n;
+  }
+  return got;
+}
+
+MemoryPipe::MemoryPipe(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+std::size_t MemoryPipe::Read(std::span<std::byte> out) {
+  if (out.empty()) return 0;
+  sync::MutexLock lock(m_);
+  while (size_ == 0 && !write_closed_ && !hard_closed_) {
+    readable_.Wait(lock);
+  }
+  if (hard_closed_) {
+    // Hard close discards buffered bytes: the connection is gone, a clean
+    // EOF would misreport a torn stream as a complete one.
+    return 0;
+  }
+  if (size_ == 0) return 0;  // write side closed and drained: EOF
+  const std::size_t n = std::min(out.size(), size_);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = ring_[(head_ + i) % ring_.size()];
+  }
+  head_ = (head_ + n) % ring_.size();
+  size_ -= n;
+  writable_.NotifyAll();
+  return n;
+}
+
+void MemoryPipe::Write(ByteSpan data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+    sync::MutexLock lock(m_);
+    while (size_ == ring_.size() && !write_closed_ && !hard_closed_) {
+      writable_.Wait(lock);
+    }
+    if (write_closed_ || hard_closed_) {
+      throw TransportError("szx-serve: write on closed transport");
+    }
+    const std::size_t n = std::min(data.size() - written, ring_.size() - size_);
+    for (std::size_t i = 0; i < n; ++i) {
+      ring_[(head_ + size_ + i) % ring_.size()] = data[written + i];
+    }
+    size_ += n;
+    written += n;
+    readable_.NotifyAll();
+  }
+}
+
+void MemoryPipe::CloseWrite() {
+  sync::MutexLock lock(m_);
+  write_closed_ = true;
+  readable_.NotifyAll();
+  writable_.NotifyAll();
+}
+
+void MemoryPipe::CloseAll() {
+  sync::MutexLock lock(m_);
+  write_closed_ = true;
+  hard_closed_ = true;
+  readable_.NotifyAll();
+  writable_.NotifyAll();
+}
+
+std::size_t MemoryPipe::buffered() {
+  sync::MutexLock lock(m_);
+  return size_;
+}
+
+TransportPair MakeMemoryTransportPair(std::size_t capacity) {
+  auto to_server = std::make_shared<MemoryPipe>(capacity);
+  auto to_client = std::make_shared<MemoryPipe>(capacity);
+  TransportPair pair;
+  pair.client = std::make_unique<MemoryTransport>(to_client, to_server);
+  pair.server = std::make_unique<MemoryTransport>(to_server, to_client);
+  return pair;
+}
+
+}  // namespace szx::serve

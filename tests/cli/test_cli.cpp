@@ -402,6 +402,113 @@ TEST_F(CliTest, IntegrityVerifyAndSalvage) {
   std::remove(report.c_str());
 }
 
+// ---------------------------------------------------------------------------
+// `client` against a real szx_serve daemon over TCP loopback.
+
+#ifndef SZX_SERVE_PATH
+#error "SZX_SERVE_PATH must be defined by the build"
+#endif
+
+// Runs szx_serve with --port 0 (kernel-assigned) plus the given flags and
+// parses the advertised port.  The daemon exits on its own once max_conns
+// connections were served; Stop() then pcloses (and so reaps) it.
+class ScopedDaemon {
+ public:
+  explicit ScopedDaemon(const std::string& flags) {
+    const std::string cmd =
+        std::string(SZX_SERVE_PATH) + " --port 0 " + flags + " 2>/dev/null";
+    pipe_ = ::popen(cmd.c_str(), "r");
+    if (pipe_ == nullptr) return;
+    char line[128] = {};
+    if (std::fgets(line, sizeof(line), pipe_) != nullptr) {
+      unsigned parsed = 0;
+      if (std::sscanf(line, "szx-serve listening on %u", &parsed) == 1) {
+        port_ = static_cast<int>(parsed);
+      }
+    }
+  }
+  ~ScopedDaemon() { Stop(); }
+  ScopedDaemon(const ScopedDaemon&) = delete;
+  ScopedDaemon& operator=(const ScopedDaemon&) = delete;
+
+  int port() const { return port_; }
+  void Stop() {
+    if (pipe_ != nullptr) {
+      ::pclose(pipe_);
+      pipe_ = nullptr;
+    }
+  }
+
+ private:
+  FILE* pipe_ = nullptr;
+  int port_ = -1;
+};
+
+TEST_F(CliTest, ClientUsageErrorsExitTwo) {
+  EXPECT_EQ(CliExitCode("client --op ping"), 2);  // --port missing
+  EXPECT_EQ(CliExitCode("client --port 1 --op transmogrify"), 2);
+  EXPECT_EQ(CliExitCode("client --port 1 --op decompress"), 2);  // -i missing
+  EXPECT_EQ(CliExitCode("client --port 70000 --op ping"), 2);
+}
+
+TEST_F(CliTest, ClientConnectionFailureExitsFour) {
+  // Nothing listens on loopback port 1; connect is refused immediately.
+  EXPECT_EQ(CliExitCode("client --host 127.0.0.1 --port 1 --op ping"), 4);
+  // Unparseable address is also a connection-level failure, not usage.
+  EXPECT_EQ(CliExitCode("client --host not.a.numeric.address --port 1"
+                        " --op ping"),
+            4);
+}
+
+TEST_F(CliTest, ClientTcpRoundTrip) {
+  ScopedDaemon daemon("--max-conns 4");
+  ASSERT_GT(daemon.port(), 0) << "daemon failed to start";
+  const std::string port = std::to_string(daemon.port());
+  const std::string report = TempPath("client_report.json");
+
+  // Remote compress with integrity footers, then remote decompress.
+  ASSERT_EQ(CliExitCode("client --port " + port + " --op compress -i " +
+                        raw_ + " -o " + compressed_ +
+                        " -m abs -e 1e-3 --integrity"),
+            0);
+  ASSERT_EQ(CliExitCode("client --port " + port + " --op decompress -i " +
+                        compressed_ + " -o " + recon_),
+            0);
+  const std::vector<float> recon = ReadFloats(recon_);
+  ASSERT_EQ(recon.size(), data_.size());
+  for (std::size_t i = 0; i < recon.size(); i += 97) {
+    ASSERT_NEAR(recon[i], data_[i], 1e-3) << i;
+  }
+
+  // Damage the stream: remote salvage degrades to partial (exit 3) and
+  // still delivers elements plus a machine-readable report.
+  {
+    std::fstream f(compressed_,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-3000, std::ios::end);
+    const char junk = 0x5a;
+    f.write(&junk, 1);
+  }
+  const std::string salvaged = TempPath("client_salvaged.f32");
+  EXPECT_EQ(CliExitCode("client --port " + port + " --op salvage -i " +
+                        compressed_ + " -o " + salvaged + " --report " +
+                        report),
+            3);
+  EXPECT_EQ(ReadFloats(salvaged).size(), data_.size());
+  std::ifstream rep(report);
+  const std::string json((std::istreambuf_iterator<char>(rep)),
+                         std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"usable\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"clean\":false"), std::string::npos);
+
+  // Liveness after the degradation path: a plain ping still answers OK.
+  EXPECT_EQ(CliExitCode("client --port " + port + " --op ping"), 0);
+
+  daemon.Stop();  // 4 connections served: the daemon has already exited
+  std::remove(salvaged.c_str());
+  std::remove(report.c_str());
+}
+
 TEST_F(CliTest, VerifyWithoutIntegrityFooterDeepWalks) {
   // v1 streams have no checksums; verify -z falls back to the structural
   // validator and still reports a clean stream as 0.

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <span>
 #include <stdexcept>
@@ -166,6 +167,169 @@ TEST_F(FileBackendTest, WriteAfterCloseThrows) {
   out.WriteChunk(payload);
   out.Close();
   EXPECT_THROW(out.WriteChunk(payload), std::runtime_error);
+}
+
+// --- EINTR / short-I/O hardening (injected raw ops) -----------------------
+//
+// The raw ops serve an in-memory file image so the tests can script exact
+// interrupted-syscall schedules.  Before the resume loop, a short read
+// mid-chunk surfaced as a torn chunk (trailing garbage bytes); these tests
+// pin the repaired contract byte-for-byte.
+
+// Positioned read over `image` that never moves more than `cap` bytes per
+// call and fails with EINTR on the call ordinals in `eintr_on` (1-based).
+RawReadOp ScriptedRead(const std::vector<std::byte>& image, std::size_t cap,
+                       std::vector<int> eintr_on, int* calls) {
+  return [&image, cap, eintr_on = std::move(eintr_on), calls](
+             std::byte* dst, std::size_t n, std::uint64_t offset,
+             int& err) -> long long {
+    const int call = ++*calls;
+    if (std::find(eintr_on.begin(), eintr_on.end(), call) != eintr_on.end()) {
+      err = EINTR;
+      return -1;
+    }
+    if (offset >= image.size()) return 0;
+    const std::size_t give =
+        std::min({n, image.size() - static_cast<std::size_t>(offset), cap});
+    std::copy_n(image.begin() + static_cast<std::ptrdiff_t>(offset), give,
+                dst);
+    return static_cast<long long>(give);
+  };
+}
+
+TEST_F(FileBackendTest, ShortReadsMidChunkAreResumedByteExactly) {
+  const auto path = Path("shortread");
+  const auto payload = Pattern(4'096, 11);
+  {
+    ChunkFileWriter out(path);
+    out.WriteChunk(payload);
+    out.Close();
+  }
+  ChunkFileReader in(path);
+  int calls = 0;
+  in.set_raw_read(ScriptedRead(payload, 100, {}, &calls));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_EQ(in.ReadChunk(out), payload.size());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(calls, 41);  // ceil(4096 / 100)
+  EXPECT_EQ(in.stats().short_ios, 40u);    // every call but the last
+  EXPECT_EQ(in.stats().chunks, 1u);
+  EXPECT_EQ(in.stats().retries, 0u);  // resumes are not chunk-level retries
+  EXPECT_EQ(in.stats().bytes, payload.size());
+}
+
+TEST_F(FileBackendTest, EintrMidChunkIsRetriedNotSurfaced) {
+  const auto path = Path("eintrread");
+  const auto payload = Pattern(1'000, 12);
+  {
+    ChunkFileWriter out(path);
+    out.WriteChunk(payload);
+    out.Close();
+  }
+  ChunkFileReader in(path);
+  int calls = 0;
+  // Interrupt the 1st and 3rd syscalls; serve 400 bytes otherwise.
+  in.set_raw_read(ScriptedRead(payload, 400, {1, 3}, &calls));
+  std::vector<std::byte> out(payload.size());
+  ASSERT_EQ(in.ReadChunk(out), payload.size());
+  EXPECT_EQ(out, payload);
+  EXPECT_EQ(in.stats().eintr_retries, 2u);
+  EXPECT_EQ(in.stats().retries, 0u);  // EINTR is below the chunk-retry model
+}
+
+TEST_F(FileBackendTest, PersistentEintrExhaustsTheBudgetAndThrows) {
+  const auto path = Path("eintrstuck");
+  {
+    ChunkFileWriter out(path);
+    out.WriteChunk(Pattern(64, 13));
+    out.Close();
+  }
+  ChunkFileReader in(path);
+  in.set_raw_read([](std::byte*, std::size_t, std::uint64_t,
+                     int& err) -> long long {
+    err = EINTR;
+    return -1;  // interrupted forever: must error out, not livelock
+  });
+  std::vector<std::byte> out(64);
+  EXPECT_THROW((void)in.ReadChunk(out), std::runtime_error);
+}
+
+TEST_F(FileBackendTest, HardReadErrorsAreNotRetried) {
+  const auto path = Path("hardread");
+  {
+    ChunkFileWriter out(path);
+    out.WriteChunk(Pattern(64, 14));
+    out.Close();
+  }
+  ChunkFileReader in(path);
+  int calls = 0;
+  in.set_raw_read([&calls](std::byte*, std::size_t, std::uint64_t,
+                           int& err) -> long long {
+    ++calls;
+    err = EIO;
+    return -1;
+  });
+  std::vector<std::byte> out(64);
+  EXPECT_THROW((void)in.ReadChunk(out), std::runtime_error);
+  EXPECT_EQ(calls, 1);  // EIO is terminal, not a transient to spin on
+}
+
+TEST_F(FileBackendTest, ShortAndInterruptedWritesAreResumed) {
+  const auto path = Path("shortwrite");
+  const auto payload = Pattern(1'024, 15);
+  ChunkFileWriter out(path);
+  std::vector<std::byte> sink;  // what "the kernel" accepted, in order
+  int calls = 0;
+  out.set_raw_write([&](const std::byte* src, std::size_t n,
+                        int& err) -> long long {
+    ++calls;
+    if (calls % 4 == 0) {
+      err = EINTR;
+      return -1;
+    }
+    const std::size_t give = std::min<std::size_t>(n, 50);
+    sink.insert(sink.end(), src, src + give);
+    return static_cast<long long>(give);
+  });
+  out.WriteChunk(payload);
+  // The file image must be the payload exactly once, in order -- the
+  // resume loop may never re-send an accepted byte or drop an unsent one.
+  EXPECT_EQ(sink, payload);
+  EXPECT_GT(out.stats().eintr_retries, 0u);
+  EXPECT_GT(out.stats().short_ios, 0u);
+  EXPECT_EQ(out.stats().chunks, 1u);
+  EXPECT_EQ(out.stats().bytes, payload.size());
+}
+
+TEST_F(FileBackendTest, PersistentWriteEintrThrows) {
+  const auto path = Path("writestuck");
+  ChunkFileWriter out(path);
+  out.set_raw_write([](const std::byte*, std::size_t, int& err) -> long long {
+    err = EINTR;
+    return -1;
+  });
+  EXPECT_THROW(out.WriteChunk(Pattern(16, 16)), std::runtime_error);
+}
+
+TEST_F(FileBackendTest, RestoredRawOpsUseTheRealFileAgain) {
+  const auto path = Path("restore");
+  const auto payload = Pattern(256, 17);
+  {
+    ChunkFileWriter out(path);
+    out.WriteChunk(payload);
+    out.Close();
+  }
+  ChunkFileReader in(path);
+  int calls = 0;
+  in.set_raw_read(ScriptedRead(payload, 64, {}, &calls));
+  std::vector<std::byte> first(payload.size());
+  ASSERT_EQ(in.ReadChunk(first), payload.size());
+  ASSERT_GT(calls, 1);
+  // Empty op = back to the real pread; the second chunk read hits EOF on
+  // the real (one-chunk) file rather than the in-memory script.
+  in.set_raw_read(RawReadOp{});
+  std::vector<std::byte> second(payload.size());
+  EXPECT_EQ(in.ReadChunk(second), 0u);
 }
 
 // --- Overlap makespan model (SimulatePipelinedDump) -----------------------

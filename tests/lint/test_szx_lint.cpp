@@ -237,8 +237,25 @@ TEST(SzxLint, StrictZonePathsAreRecognized) {
   EXPECT_TRUE(IsStrictZone("src/resilience/salvage.cpp"));
   EXPECT_TRUE(IsStrictZone("/root/repo/src/resilience/salvage.hpp"));
   EXPECT_TRUE(IsStrictZone("resilience/salvage.cpp"));
+  EXPECT_TRUE(IsStrictZone("src/serve/server.cpp"));
+  EXPECT_TRUE(IsStrictZone("/root/repo/src/serve/protocol.hpp"));
+  EXPECT_TRUE(IsStrictZone("serve/transport.hpp"));
   EXPECT_FALSE(IsStrictZone("src/core/format.hpp"));
   EXPECT_FALSE(IsStrictZone("src/iosim/retry_sim.cpp"));
+  // tools/ adapters (FdTransport, the daemon) sit outside the zone: the
+  // sockaddr ABI casts there carry explained allow directives.
+  EXPECT_FALSE(IsStrictZone("tools/serve_net.hpp"));
+  EXPECT_FALSE(IsStrictZone("tools/szx_serve.cpp"));
+}
+
+TEST(SzxLint, ServeStrictZoneRefusesAllowDirectives) {
+  // The network-facing parser must fix findings, not suppress them.
+  const auto fs = LintText(
+      "src/serve/protocol.cpp",
+      "// szx-lint: allow(raw-memcpy) -- framing is hot\n"
+      "std::memcpy(d, s, n);\n");
+  EXPECT_EQ(Count(fs, "raw-memcpy"), 1);
+  EXPECT_EQ(Count(fs, "strict-zone"), 1);
 }
 
 TEST(SzxLint, StrictZoneRefusesAllowDirectives) {
@@ -650,6 +667,30 @@ TEST(SzxLintTree, ChunkCacheIsNotAllowlisted) {
   // The pin above is only meaningful if the rules actually apply there.
   EXPECT_FALSE(IsAllowlisted("src/core/chunk_cache.cpp"));
   EXPECT_FALSE(IsAllowlisted("src/core/chunk_cache.hpp"));
+}
+
+// src/serve/ terminates untrusted network bytes, so it lints as a strict
+// zone: every file must be clean with zero allow directives.  Pin the real
+// tree so a suppression (or a new finding) in the service layer fails CI
+// rather than shipping.
+TEST(SzxLintTree, ServeStaysLintClean) {
+  for (const char* rel :
+       {"src/serve/protocol.hpp", "src/serve/protocol.cpp",
+        "src/serve/transport.hpp", "src/serve/transport.cpp",
+        "src/serve/server.hpp", "src/serve/server.cpp",
+        "src/serve/client.hpp", "src/serve/client.cpp"}) {
+    const std::string path = std::string(SZX_TREE_ROOT) + "/" + rel;
+    ASSERT_TRUE(IsStrictZone(path)) << path;
+    const auto fs = LintFile(path);
+    std::string rendered;
+    for (const Finding& f : fs) rendered += FormatFinding(f) + "\n";
+    EXPECT_TRUE(fs.empty()) << rendered;
+  }
+}
+
+TEST(SzxLintTree, ServeIsNotAllowlisted) {
+  EXPECT_FALSE(IsAllowlisted("src/serve/server.cpp"));
+  EXPECT_FALSE(IsAllowlisted("src/serve/protocol.cpp"));
 }
 
 }  // namespace

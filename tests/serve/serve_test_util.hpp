@@ -1,0 +1,50 @@
+// Shared harness for the serve test suites: a Server plus per-connection
+// threads over bounded in-memory transports.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "serve/transport.hpp"
+
+namespace szx::serve::testutil {
+
+class ServeHarness {
+ public:
+  explicit ServeHarness(ServerConfig config = {},
+                        std::size_t pipe_capacity = std::size_t{64} << 10)
+      : pipe_capacity_(pipe_capacity), server_(config) {}
+
+  ~ServeHarness() { Shutdown(); }
+
+  /// Opens a connection served on its own thread; returns the client end.
+  MemoryTransport& Connect() {
+    pairs_.push_back(MakeMemoryTransportPair(pipe_capacity_));
+    MemoryTransport* server_end = pairs_.back().server.get();
+    threads_.emplace_back(
+        [this, server_end] { server_.ServeConnection(*server_end); });
+    return *pairs_.back().client;
+  }
+
+  /// Stops the server and joins every connection thread (idempotent).
+  void Shutdown() {
+    server_.Stop();
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  Server& server() { return server_; }
+
+ private:
+  std::size_t pipe_capacity_;
+  Server server_;
+  std::vector<TransportPair> pairs_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace szx::serve::testutil

@@ -1,0 +1,185 @@
+// Chaos integration suite: the five storage-fault classes injected into the
+// wire (FaultyTransport), each at three seeds, against servers of 1, 2 and
+// 4 workers -- plus a stacked-fault scenario.  The invariants are the
+// acceptance criteria of docs/serve.md:
+//
+//   - no crash, no deadlock (the suite terminating IS the assertion; TSan
+//     reruns it for the no-race leg),
+//   - every response that arrives parses with a valid typed status,
+//   - the server survives: a fresh connection afterwards still gets kOk,
+//     and every admission slot was released (queue_capacity sequential
+//     jobs all succeed -- nothing leaked).
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compressor.hpp"
+#include "serve_test_util.hpp"
+#include "testkit/faulty_transport.hpp"
+
+namespace szx::serve {
+namespace {
+
+using testkit::FaultClass;
+using testkit::FaultyTransport;
+using testutil::ServeHarness;
+
+ByteBuffer SampleStream(bool integrity) {
+  std::vector<float> data(8192);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<float>(i % 97) * 0.5f;
+  }
+  Params p;
+  p.integrity = integrity;
+  return Compress<float>(data, p);
+}
+
+bool ValidStatus(Status s) {
+  return static_cast<std::uint8_t>(s) <=
+         static_cast<std::uint8_t>(Status::kInternalError);
+}
+
+/// Drains every response still deliverable; returns how many parsed.
+/// Connection-ending outcomes (EOF, torn frame, framing loss) are all
+/// legal under chaos -- what is not legal is a hang or an invalid status.
+int DrainResponses(Client& client) {
+  int parsed = 0;
+  for (;;) {
+    std::optional<ClientResponse> rsp;
+    try {
+      rsp = client.Receive();
+    } catch (const TransportError&) {
+      break;
+    } catch (const Error&) {
+      break;  // response framing lost (damage echoes)
+    }
+    if (!rsp.has_value()) break;
+    EXPECT_TRUE(ValidStatus(rsp->header.status));
+    EXPECT_EQ(rsp->header.version, kProtocolVersion);
+    ++parsed;
+  }
+  return parsed;
+}
+
+/// After chaos: the server must still serve a fresh connection, and all
+/// queue slots must have been released.
+void ExpectServerSurvived(ServeHarness& h) {
+  Client probe(h.Connect());
+  const std::uint32_t slots = h.server().config().queue_capacity;
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    const ClientResponse rsp = probe.Call(Opcode::kPing, {});
+    ASSERT_EQ(rsp.header.status, Status::kOk)
+        << "admission slot leaked: job " << i << " of " << slots;
+  }
+}
+
+void RunChaosConnection(Transport& wire) {
+  Client client(wire);
+  const ByteBuffer v2 = SampleStream(/*integrity=*/true);
+  const ByteBuffer v1 = SampleStream(/*integrity=*/false);
+  const ByteBuffer ping_body(2048, std::byte{7});
+  try {
+    (void)client.Send(Opcode::kDecompress, v2);
+    (void)client.Send(Opcode::kPing, ping_body);
+    (void)client.Send(Opcode::kSalvage, v2);
+    (void)client.Send(Opcode::kDecompress, v1, /*deadline_ms=*/2000);
+    wire.ShutdownWrite();
+  } catch (const TransportError&) {
+    // kTruncate half-closed the stream mid-send: a dead peer, by design.
+  }
+  (void)DrainResponses(client);
+}
+
+struct ChaosCase {
+  FaultClass cls;
+  std::uint64_t seed;
+  int workers;
+};
+
+class ChaosMatrix : public ::testing::TestWithParam<ChaosCase> {};
+
+TEST_P(ChaosMatrix, ServerSurvivesWireDamage) {
+  const ChaosCase& c = GetParam();
+  ServerConfig cfg;
+  cfg.workers = c.workers;
+  cfg.queue_capacity = 8;
+  ServeHarness h(cfg, /*pipe_capacity=*/32 << 10);
+
+  // Two chaotic connections back to back on the same server: state leaked
+  // by the first would surface in the second.
+  for (int round = 0; round < 2; ++round) {
+    MemoryTransport& raw = h.Connect();
+    FaultyTransport faulty(raw, c.cls, c.seed + 1000u * round,
+                           /*damage_every=*/2);
+    RunChaosConnection(faulty);
+    EXPECT_FALSE(faulty.records().empty());
+  }
+  ExpectServerSurvived(h);
+}
+
+std::vector<ChaosCase> AllCases() {
+  std::vector<ChaosCase> cases;
+  for (const FaultClass cls : testkit::kAllFaultClasses) {
+    for (const std::uint64_t seed : {11u, 22u, 33u}) {
+      for (const int workers : {1, 2, 4}) {
+        cases.push_back({cls, seed, workers});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultsXSeedsXWorkers, ChaosMatrix, ::testing::ValuesIn(AllCases()),
+    [](const auto& param_info) {
+      return std::string(FaultClassName(param_info.param.cls)) + "_seed" +
+             std::to_string(param_info.param.seed) + "_w" +
+             std::to_string(param_info.param.workers);
+    });
+
+TEST(ChaosStacked, TwoFaultLayersStacked) {
+  // kZeroFill under kBitFlip: frames lose a region to zeros AND take bit
+  // flips -- the degradation matrix must still hold every invariant.
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    ServerConfig cfg;
+    cfg.workers = 2;
+    cfg.queue_capacity = 8;
+    ServeHarness h(cfg, /*pipe_capacity=*/32 << 10);
+    MemoryTransport& raw = h.Connect();
+    FaultyTransport inner(raw, FaultClass::kZeroFill, seed,
+                          /*damage_every=*/2);
+    FaultyTransport outer(inner, FaultClass::kBitFlip, seed + 500,
+                          /*damage_every=*/3);
+    RunChaosConnection(outer);
+    ExpectServerSurvived(h);
+  }
+}
+
+TEST(ChaosDamagedYieldsTypedOutcome, BodyDamageNeverDropsTheConnection) {
+  // Damage confined to the BODY region (framing intact): the contract
+  // tightens from "survive" to "exactly one typed response per request,
+  // partial or error, with the damaged flag set".
+  ServeHarness h;
+  MemoryTransport& raw = h.Connect();
+  Client client(raw);
+  const ByteBuffer stream = SampleStream(/*integrity=*/true);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    ByteBuffer damaged = stream;
+    (void)testkit::InjectFault(damaged, FaultClass::kZeroFill, seed);
+    // The frame itself is clean; the damage models pre-wire storage loss.
+    const ClientResponse rsp = client.Call(Opcode::kSalvage, damaged);
+    ASSERT_TRUE(ValidStatus(rsp.header.status));
+    EXPECT_TRUE(rsp.header.status == Status::kOk ||
+                rsp.header.status == Status::kPartial ||
+                rsp.header.status == Status::kCorrupt)
+        << StatusName(rsp.header.status);
+    if (rsp.header.status != Status::kCorrupt) {
+      const ReportAndData split = SplitReportAndData(rsp.body);
+      EXPECT_NE(split.report.find("\"usable\":true"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(client.Call(Opcode::kPing, {}).header.status, Status::kOk);
+}
+
+}  // namespace
+}  // namespace szx::serve

@@ -1,0 +1,157 @@
+// Wire-protocol unit tests: frame round trips, framing-loss detection,
+// tolerated-unknown fields, and the body sub-layouts (CompressSpec,
+// QuerySpec, report+data).
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace szx::serve {
+namespace {
+
+ByteBuffer Bytes(std::initializer_list<int> values) {
+  ByteBuffer out;
+  for (const int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(Protocol, RequestFrameRoundTrips) {
+  RequestHeader h;
+  h.opcode = Opcode::kDecompress;
+  h.flags = kFlagNoDegrade;
+  h.request_id = 0xdeadbeef12345678ull;
+  h.deadline_ms = 250;
+  const ByteBuffer body = Bytes({1, 2, 3, 4, 5});
+
+  ByteBuffer frame;
+  AppendRequestFrame(frame, h, body);
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + body.size() + kChecksumBytes);
+
+  const RequestHeader parsed = ParseRequestHeader(frame);
+  EXPECT_EQ(parsed.version, kProtocolVersion);
+  EXPECT_EQ(parsed.opcode, Opcode::kDecompress);
+  EXPECT_EQ(parsed.flags, kFlagNoDegrade);
+  EXPECT_EQ(parsed.request_id, h.request_id);
+  EXPECT_EQ(parsed.deadline_ms, 250u);
+  EXPECT_EQ(parsed.body_bytes, body.size());
+
+  // The trailing checksum covers exactly the body bytes.
+  const ByteSpan tail = ByteSpan(frame).subspan(kFrameHeaderBytes + body.size());
+  EXPECT_EQ(ByteCursor(tail).Read<std::uint64_t>(), BodyChecksum(body));
+}
+
+TEST(Protocol, ResponseFrameRoundTrips) {
+  ResponseHeader h;
+  h.status = Status::kBusy;
+  h.flags = kFlagBodyDamaged;
+  h.request_id = 7;
+  h.info = 123;  // retry backoff hint
+  ByteBuffer frame;
+  AppendResponseFrame(frame, h, {});
+
+  const ResponseHeader parsed = ParseResponseHeader(frame);
+  EXPECT_EQ(parsed.status, Status::kBusy);
+  EXPECT_EQ(parsed.flags, kFlagBodyDamaged);
+  EXPECT_EQ(parsed.request_id, 7u);
+  EXPECT_EQ(parsed.info, 123u);
+  EXPECT_EQ(parsed.body_bytes, 0u);
+}
+
+TEST(Protocol, BadMagicAndVersionAreFramingLoss) {
+  RequestHeader h;
+  ByteBuffer frame;
+  AppendRequestFrame(frame, h, {});
+
+  ByteBuffer bad_magic = frame;
+  bad_magic[0] = std::byte{'X'};
+  EXPECT_THROW((void)ParseRequestHeader(bad_magic), Error);
+
+  ByteBuffer bad_version = frame;
+  bad_version[4] = std::byte{99};
+  EXPECT_THROW((void)ParseRequestHeader(bad_version), Error);
+
+  EXPECT_THROW((void)ParseRequestHeader(ByteSpan(frame).first(10)), Error);
+
+  // A response frame is not a request frame (and vice versa).
+  ByteBuffer rsp;
+  AppendResponseFrame(rsp, ResponseHeader{}, {});
+  EXPECT_THROW((void)ParseRequestHeader(rsp), Error);
+  EXPECT_THROW((void)ParseResponseHeader(frame), Error);
+}
+
+TEST(Protocol, UnknownOpcodeSurvivesParsing) {
+  RequestHeader h;
+  ByteBuffer frame;
+  AppendRequestFrame(frame, h, {});
+  frame[5] = std::byte{200};  // opcode byte
+  const RequestHeader parsed = ParseRequestHeader(frame);  // must not throw
+  EXPECT_FALSE(IsKnownOpcode(static_cast<std::uint8_t>(parsed.opcode)));
+  EXPECT_TRUE(IsKnownOpcode(static_cast<std::uint8_t>(Opcode::kQuery)));
+}
+
+TEST(Protocol, CompressSpecRoundTrips) {
+  CompressSpec spec;
+  spec.dtype = DataType::kFloat64;
+  spec.mode = ErrorBoundMode::kAbsolute;
+  spec.integrity = 1;
+  spec.block_size = 64;
+  spec.error_bound = 1e-4;
+
+  ByteBuffer body;
+  AppendCompressSpec(body, spec);
+  ASSERT_EQ(body.size(), kCompressSpecBytes);
+
+  ByteCursor cur(body);
+  const CompressSpec parsed = ReadCompressSpec(cur);
+  EXPECT_EQ(parsed.dtype, DataType::kFloat64);
+  EXPECT_EQ(parsed.mode, ErrorBoundMode::kAbsolute);
+  EXPECT_EQ(parsed.integrity, 1);
+  EXPECT_EQ(parsed.block_size, 64u);
+  EXPECT_EQ(parsed.error_bound, 1e-4);
+  EXPECT_TRUE(cur.AtEnd());
+
+  // Out-of-range enum values are rejected (the server answers kBadRequest).
+  ByteBuffer bad = body;
+  bad[0] = std::byte{9};
+  ByteCursor bad_cur(bad);
+  EXPECT_THROW((void)ReadCompressSpec(bad_cur), Error);
+}
+
+TEST(Protocol, QuerySpecRoundTrips) {
+  QuerySpec spec;
+  spec.field = 3;
+  spec.timestep = 17;
+  ByteBuffer body;
+  AppendQuerySpec(body, spec);
+  ASSERT_EQ(body.size(), kQuerySpecBytes);
+  ByteCursor cur(body);
+  const QuerySpec parsed = ReadQuerySpec(cur);
+  EXPECT_EQ(parsed.field, 3u);
+  EXPECT_EQ(parsed.timestep, 17u);
+
+  ByteCursor truncated(ByteSpan(body).first(7));
+  EXPECT_THROW((void)ReadQuerySpec(truncated), Error);
+}
+
+TEST(Protocol, ReportAndDataRoundTrips) {
+  const std::string report = "{\"usable\":true}";
+  const ByteBuffer data = Bytes({9, 8, 7});
+  ByteBuffer body;
+  AppendReportAndData(body, report, data);
+
+  const ReportAndData split = SplitReportAndData(body);
+  EXPECT_EQ(split.report, report);
+  ASSERT_EQ(split.data.size(), data.size());
+  EXPECT_TRUE(std::equal(split.data.begin(), split.data.end(), data.begin()));
+
+  // Truncated report length is rejected.
+  EXPECT_THROW((void)SplitReportAndData(ByteSpan(body).first(3)), Error);
+}
+
+TEST(Protocol, StatusAndOpcodeNamesAreStable) {
+  EXPECT_STREQ(OpcodeName(Opcode::kSalvage), "salvage");
+  EXPECT_STREQ(StatusName(Status::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(StatusName(Status::kPartial), "partial");
+}
+
+}  // namespace
+}  // namespace szx::serve

@@ -64,8 +64,8 @@ const std::vector<RuleInfo> kRules = {
     {"stale-mo",
      "szx-mo comment that justifies no memory_order site (or is empty)"},
     {"strict-zone",
-     "allow directive inside src/resilience/, where suppressions are "
-     "refused outright"},
+     "allow directive inside a strict zone (src/resilience/, src/serve/), "
+     "where suppressions are refused outright"},
     {"unexplained-allow", "allow directive without a `-- reason`"},
     {"unused-allow", "allow directive that suppresses nothing"},
     {"unknown-rule", "allow directive naming a rule that does not exist"},
@@ -1017,10 +1017,17 @@ bool IsAllowlisted(std::string_view path) {
 bool IsStrictZone(std::string_view path) {
   std::string p(path);
   std::replace(p.begin(), p.end(), '\\', '/');
-  constexpr std::string_view kZone = "src/resilience/";
-  return p.find(kZone) != std::string::npos ||
-         p.compare(0, std::string_view("resilience/").size(),
-                   "resilience/") == 0;
+  // Salvage parses adversarially damaged bytes; serve terminates untrusted
+  // network input.  Both must stay free of rule suppressions.
+  constexpr std::string_view kZones[] = {"src/resilience/", "src/serve/"};
+  constexpr std::string_view kBares[] = {"resilience/", "serve/"};
+  for (const std::string_view zone : kZones) {
+    if (p.find(zone) != std::string::npos) return true;
+  }
+  for (const std::string_view bare : kBares) {
+    if (p.compare(0, bare.size(), bare) == 0) return true;
+  }
+  return false;
 }
 
 std::vector<Finding> LintText(std::string_view path, std::string_view text) {
@@ -1108,8 +1115,9 @@ std::vector<Finding> LintText(std::string_view path, std::string_view text) {
       // Directives are refused wholesale here, so the underlying finding
       // also surfaces (it was never marked used above).
       findings.push_back({std::string(path), d.comment_line, "strict-zone",
-                          "allow directives are refused in src/resilience/; "
-                          "fix the code instead of suppressing the rule"});
+                          "allow directives are refused in strict zones "
+                          "(src/resilience/, src/serve/); fix the code "
+                          "instead of suppressing the rule"});
       continue;
     }
     if (d.parse_error) {

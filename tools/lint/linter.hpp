@@ -41,9 +41,10 @@ const std::vector<RuleInfo>& Rules();
 /// are skipped there (byte_cursor.hpp, stream.hpp, bitops.hpp).
 bool IsAllowlisted(std::string_view path);
 
-/// True for paths under the salvage decoder (src/resilience/), which parses
-/// adversarially damaged bytes: the allowlist bypass does not apply there
-/// and allow() directives are refused rather than honored.
+/// True for paths in a strict zone -- code that parses adversarially
+/// damaged bytes (src/resilience/) or terminates untrusted network input
+/// (src/serve/): the allowlist bypass does not apply there and allow()
+/// directives are refused rather than honored.
 bool IsStrictZone(std::string_view path);
 
 /// Lints one translation unit given as text.  `path` is used for

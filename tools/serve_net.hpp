@@ -1,0 +1,137 @@
+// POSIX TCP plumbing for szx-serve -- deliberately OUTSIDE src/serve/ (a
+// lint strict zone): sockaddr juggling and fd ownership live here at the
+// tool boundary, while the protocol/server logic stays transport-agnostic.
+//
+// Everything retries EINTR and treats short reads/writes as the normal
+// case, per the same discipline as src/iosim/file_backend.
+#ifndef SZX_TOOLS_SERVE_NET_HPP_
+#define SZX_TOOLS_SERVE_NET_HPP_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "serve/transport.hpp"
+
+namespace szx::servenet {
+
+/// Blocking socket transport: one fd, owned.  Read returns what the kernel
+/// has (short reads are normal); Write loops until every byte is accepted.
+class FdTransport final : public serve::Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+  ~FdTransport() override { Close(); }
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  std::size_t Read(std::span<std::byte> out) override {
+    if (out.empty()) return 0;
+    for (;;) {
+      const ssize_t n = ::read(fd_, out.data(), out.size());
+      if (n >= 0) return static_cast<std::size_t>(n);  // 0 = orderly EOF
+      if (errno == EINTR) continue;
+      throw serve::TransportError(std::string("socket read: ") +
+                                  std::strerror(errno));
+    }
+  }
+
+  void Write(ByteSpan data) override {
+    std::size_t sent = 0;
+    while (sent < data.size()) {
+      const ByteSpan rest = data.subspan(sent);
+      const ssize_t n = ::write(fd_, rest.data(), rest.size());
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      throw serve::TransportError(std::string("socket write: ") +
+                                  std::strerror(errno));
+    }
+  }
+
+  void ShutdownWrite() override {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void Close() override {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on 127.0.0.1:port (port 0 = kernel-assigned); returns
+/// the fd and stores the actual port.  Returns -1 on failure with errno set.
+inline int ListenTcp(std::uint16_t port, std::uint16_t& actual_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  // szx-lint: allow(reinterpret-cast) -- the BSD socket ABI types bind/accept/getsockname against the sockaddr base struct
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  // szx-lint: allow(reinterpret-cast) -- the BSD socket ABI types bind/accept/getsockname against the sockaddr base struct
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  actual_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+/// Accepts one connection, retrying EINTR.  Returns -1 on failure.
+inline int AcceptConn(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0 || errno != EINTR) return fd;
+  }
+}
+
+/// Connects to host:port (numeric IPv4, e.g. "127.0.0.1").  Returns -1 on
+/// failure with errno set.
+inline int ConnectTcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    errno = EINVAL;
+    return -1;
+  }
+  for (;;) {
+    // szx-lint: allow(reinterpret-cast) -- the BSD socket ABI types bind/accept/getsockname against the sockaddr base struct
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return -1;
+  }
+}
+
+}  // namespace szx::servenet
+
+#endif  // SZX_TOOLS_SERVE_NET_HPP_

@@ -19,6 +19,11 @@
 //   szx_cli unpack     -i in.szx3 -o out.f32 --field NAME [--timestep T]
 //                      [--first N --count N] [--threads N]
 //   szx_cli query      -i in.szx3 [--json]   (directory + chunk checksums)
+//   szx_cli client     --port P [--host H] --op ping|compress|decompress|
+//                      salvage|query [-i IN] [-o OUT] [--deadline MS]
+//                      [--report PATH] [--no-degrade] [--field-index N]
+//                      [--timestep T] [-t ...] [-m ...] [-e ...] [-b ...]
+//                      [--integrity]     (submit one job to a szx_serve)
 //
 // Raw files are flat little-endian float32/float64 arrays (the SDRBench
 // convention).
@@ -27,8 +32,9 @@
 //   0  success
 //   2  usage error (bad flags, bad combination of arguments)
 //   3  corruption / verification failure (bad stream, bound violated,
-//      salvage found damage)
-//   4  I/O error (cannot open/read/write a file)
+//      salvage found damage, server answered with a non-OK status)
+//   4  I/O error (cannot open/read/write a file; cannot connect to or
+//      talk to a szx_serve daemon)
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -47,6 +53,8 @@
 #include "hybrid/hybrid.hpp"
 #include "metrics/metrics.hpp"
 #include "resilience/salvage.hpp"
+#include "serve/client.hpp"
+#include "serve_net.hpp"
 
 namespace {
 
@@ -81,8 +89,14 @@ struct IoError : std::runtime_error {
                "  szx_cli unpack     -i IN -o OUT --field NAME [--timestep T]"
                " [--first N --count N] [--threads N]\n"
                "  szx_cli query      -i IN [--json]\n"
+               "  szx_cli client     --port P [--host H] --op"
+               " ping|compress|decompress|salvage|query [-i IN] [-o OUT]"
+               " [--deadline MS] [--report PATH] [--no-degrade]"
+               " [--field-index N] [--timestep T] [-t f32|f64] [-m MODE]"
+               " [-e BOUND] [-b BLOCK] [--integrity]\n"
                "exit codes: 0 success, 2 usage, 3 corruption/verification"
-               " failure, 4 I/O error\n");
+               " failure or non-OK server status, 4 I/O or connection"
+               " error\n");
   std::exit(2);
 }
 
@@ -127,6 +141,12 @@ struct Args {
   std::uint64_t first = 0;          // unpack ROI start
   std::uint64_t count = 0;          // unpack ROI length
   bool has_range = false;
+  std::string host = "127.0.0.1";   // client: szx_serve address
+  int port = -1;                    // client: szx_serve port (required)
+  std::string op = "ping";          // client: job opcode
+  std::uint32_t deadline_ms = 0;    // client: per-request deadline (0 = none)
+  std::uint32_t field_index = 0;    // client query: container field index
+  bool no_degrade = false;          // client: strict mode (no partials)
 
   ErrorBoundMode Mode() const {
     if (mode == "abs") return ErrorBoundMode::kAbsolute;
@@ -194,6 +214,22 @@ Args Parse(int argc, char** argv) {
       a.has_range = true;
     } else if (arg == "--json") {
       a.json = true;
+    } else if (arg == "--host") {
+      a.host = next();
+    } else if (arg == "--port") {
+      a.port = std::atoi(next().c_str());
+      if (a.port < 0 || a.port > 65535) Usage("--port must be 0..65535");
+    } else if (arg == "--op") {
+      a.op = next();
+    } else if (arg == "--deadline") {
+      const long v = std::strtol(next().c_str(), nullptr, 10);
+      if (v < 0) Usage("--deadline must be >= 0 (milliseconds)");
+      a.deadline_ms = static_cast<std::uint32_t>(v);
+    } else if (arg == "--field-index") {
+      a.field_index = static_cast<std::uint32_t>(
+          std::strtoul(next().c_str(), nullptr, 10));
+    } else if (arg == "--no-degrade") {
+      a.no_degrade = true;
     } else {
       Usage(("unknown flag " + arg).c_str());
     }
@@ -657,6 +693,124 @@ int DoVerify(const Args& a) {
   return d.max_abs_error <= h.error_bound_abs ? 0 : 3;
 }
 
+// ---------------------------------------------------------------------------
+// `client`: submit one job to a running szx_serve daemon (docs/serve.md).
+
+serve::Opcode ParseClientOp(const std::string& op) {
+  if (op == "ping") return serve::Opcode::kPing;
+  if (op == "compress") return serve::Opcode::kCompress;
+  if (op == "decompress") return serve::Opcode::kDecompress;
+  if (op == "salvage") return serve::Opcode::kSalvage;
+  if (op == "query") return serve::Opcode::kQuery;
+  Usage("--op must be ping, compress, decompress, salvage or query");
+}
+
+// Splits a report+data response body, prints/saves the report, and writes
+// the payload to -o.  Returns 0 for kOk, 3 for anything degraded.
+int HandleReportAndData(const Args& a, const serve::ClientResponse& rsp) {
+  const serve::ReportAndData split = serve::SplitReportAndData(rsp.body);
+  if (!a.report.empty()) {
+    WriteFile(a.report, split.report.data(), split.report.size());
+  } else {
+    std::fprintf(stderr, "%s\n", split.report.c_str());
+  }
+  if (!a.output.empty()) {
+    WriteFile(a.output, split.data.data(), split.data.size());
+  }
+  return rsp.header.status == serve::Status::kOk ? 0 : 3;
+}
+
+int DoClient(const Args& a) {
+  if (a.port < 0) Usage("client requires --port");
+  const serve::Opcode op = ParseClientOp(a.op);
+  if (op != serve::Opcode::kPing && a.input.empty()) {
+    Usage(("--op " + a.op + " requires -i").c_str());
+  }
+
+  ByteBuffer body;
+  switch (op) {
+    case serve::Opcode::kPing:
+      if (!a.input.empty()) body = ReadFile(a.input);
+      break;
+    case serve::Opcode::kCompress: {
+      serve::CompressSpec spec;
+      spec.dtype = a.dtype == "f64" ? DataType::kFloat64 : DataType::kFloat32;
+      spec.mode = a.Mode();
+      spec.integrity = a.integrity ? 1 : 0;
+      spec.block_size = a.block_size;
+      spec.error_bound = a.error_bound;
+      serve::AppendCompressSpec(body, spec);
+      const ByteBuffer raw = ReadFile(a.input);
+      ByteWriter(body).WriteBytes(raw.data(), raw.size());
+      break;
+    }
+    case serve::Opcode::kDecompress:
+    case serve::Opcode::kSalvage:
+      body = ReadFile(a.input);
+      break;
+    case serve::Opcode::kQuery: {
+      serve::QuerySpec spec;
+      spec.field = a.field_index;
+      spec.timestep = a.timestep;
+      serve::AppendQuerySpec(body, spec);
+      const ByteBuffer container = ReadFile(a.input);
+      ByteWriter(body).WriteBytes(container.data(), container.size());
+      break;
+    }
+  }
+
+  const int fd = servenet::ConnectTcp(
+      a.host, static_cast<std::uint16_t>(a.port));
+  if (fd < 0) {
+    std::fprintf(stderr, "szx client: cannot connect to %s:%d: %s\n",
+                 a.host.c_str(), a.port, std::strerror(errno));
+    return 4;
+  }
+  servenet::FdTransport transport(fd);
+  serve::Client client(transport);
+
+  serve::ClientResponse rsp;
+  try {
+    rsp = client.Call(op, body, a.deadline_ms,
+                      a.no_degrade ? serve::kFlagNoDegrade : 0);
+  } catch (const serve::TransportError& e) {
+    std::fprintf(stderr, "szx client: transport error: %s\n", e.what());
+    return 4;
+  }
+
+  std::fprintf(stderr, "status %s", serve::StatusName(rsp.header.status));
+  if (rsp.header.status == serve::Status::kBusy) {
+    std::fprintf(stderr, " (retry in %u ms)", rsp.header.info);
+  }
+  if ((rsp.header.flags & serve::kFlagBodyDamaged) != 0) {
+    std::fprintf(stderr, " (request body was damaged in transit)");
+  }
+  std::fprintf(stderr, "\n");
+
+  switch (rsp.header.status) {
+    case serve::Status::kOk:
+      // Salvage and query answer report+data even on full success.
+      if (op == serve::Opcode::kSalvage || op == serve::Opcode::kQuery) {
+        return HandleReportAndData(a, rsp);
+      }
+      if (!a.output.empty()) {
+        WriteFile(a.output, rsp.body.data(), rsp.body.size());
+      }
+      return 0;
+    case serve::Status::kPartial:
+      return HandleReportAndData(a, rsp);
+    default:
+      // Error statuses carry a JSON reason (or a report) in the body.
+      if (!rsp.body.empty()) {
+        const std::string reason(
+            // szx-lint: allow(reinterpret-cast) -- response reason text is printable bytes at the tool boundary, not stream parsing
+            reinterpret_cast<const char*>(rsp.body.data()), rsp.body.size());
+        std::fprintf(stderr, "%s\n", reason.c_str());
+      }
+      return 3;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -723,6 +877,9 @@ int main(int argc, char** argv) {
       if (a.input.empty()) Usage("-i required");
       return a.dtype == "f32" ? DoValidate<float>(a)
                               : DoValidate<double>(a);
+    }
+    if (cmd == "client") {
+      return DoClient(a);
     }
     Usage(("unknown command " + cmd).c_str());
   } catch (const IoError& e) {
