@@ -71,8 +71,8 @@ cmake --build --preset tsan -j "$(nproc)" \
            test_salvage test_salvage_property test_executor test_streaming \
            test_pipeline test_huffman test_szref test_sz2 \
            test_chunk_cache test_container_salvage \
-           test_serve_server test_serve_chaos test_cancel \
-           test_container_cancel_race
+           test_serve_server test_serve_chaos test_serve_fd_transport \
+           test_cancel test_container_cancel_race
 # SZX_THREADS=4 forces the chunked-Huffman parallel decode (szref/sz2) onto
 # multiple pool workers even on small boxes, so tsan actually sees the
 # concurrent decode path rather than a single-threaded fallback.

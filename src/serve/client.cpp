@@ -1,6 +1,7 @@
 #include "serve/client.hpp"
 
 #include <array>
+#include <string>
 
 namespace szx::serve {
 
@@ -22,6 +23,14 @@ std::optional<ClientResponse> Client::Receive() {
   if (!ReadExact(transport_, header_buf)) return std::nullopt;
   ClientResponse rsp;
   rsp.header = ParseResponseHeader(header_buf);
+  if (rsp.header.body_bytes > max_body_bytes_) {
+    // A valid header with an absurd size means framing can no longer be
+    // trusted; fail the connection instead of attempting the allocation.
+    throw TransportError("szx-serve: response body of " +
+                         std::to_string(rsp.header.body_bytes) +
+                         " bytes exceeds the client limit of " +
+                         std::to_string(max_body_bytes_));
+  }
   rsp.body.resize(CheckedNarrow<std::size_t>(rsp.header.body_bytes));
   if (!ReadExact(transport_, std::span<std::byte>(rsp.body))) {
     throw TransportError("szx-serve: stream ended before response body");

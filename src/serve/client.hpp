@@ -22,7 +22,15 @@ struct ClientResponse {
 /// concurrent jobs may arrive in any order -- match on header.request_id.
 class Client {
  public:
-  explicit Client(Transport& transport) : transport_(transport) {}
+  /// Responses above 1 GiB are rejected unless the caller raises the
+  /// bound: a valid magic/version with a garbage body_bytes must become a
+  /// TransportError, not a ~2^64-byte allocation.
+  static constexpr std::uint64_t kDefaultMaxBodyBytes = std::uint64_t{1}
+                                                        << 30;
+
+  explicit Client(Transport& transport,
+                  std::uint64_t max_body_bytes = kDefaultMaxBodyBytes)
+      : transport_(transport), max_body_bytes_(max_body_bytes) {}
 
   /// Writes one request frame; returns its request id (monotonic per
   /// client).  Throws TransportError if the connection is gone.
@@ -30,8 +38,9 @@ class Client {
                      std::uint16_t flags = 0);
 
   /// Reads one response frame.  Returns nullopt on clean EOF (server
-  /// closed); throws TransportError on a torn frame and szx::Error on
-  /// framing loss (bad magic/version).
+  /// closed); throws TransportError on a torn frame or a body size past
+  /// the client's bound, and szx::Error on framing loss (bad
+  /// magic/version).
   [[nodiscard]] std::optional<ClientResponse> Receive();
 
   /// Send + Receive for the common one-job-at-a-time case.  Throws
@@ -42,6 +51,7 @@ class Client {
 
  private:
   Transport& transport_;
+  std::uint64_t max_body_bytes_;
   std::uint64_t next_id_ = 1;
 };
 

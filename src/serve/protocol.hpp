@@ -151,6 +151,11 @@ void AppendQuerySpec(ByteBuffer& out, const QuerySpec& spec);
 /// caller maps that to kBadRequest).
 [[nodiscard]] QuerySpec ReadQuerySpec(ByteCursor& cursor);
 
+/// Formats `{"error":"<what>"}` with quote/backslash escaping and \u00XX
+/// escapes for every control byte, so arbitrary exception text (including
+/// \r, \t, or embedded NUL) always yields valid JSON.
+[[nodiscard]] std::string ErrorJson(const std::string& what);
+
 /// Partial-result body layout (kPartial, and kOk for salvage jobs):
 ///   u32 report_bytes | report JSON | payload
 void AppendReportAndData(ByteBuffer& out, const std::string& report,

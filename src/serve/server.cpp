@@ -22,16 +22,6 @@ void AppendText(ByteBuffer& out, const std::string& text) {
   ByteWriter(out).WriteBytes(text.data(), text.size());
 }
 
-std::string ErrorJson(const std::string& what) {
-  std::string s = "{\"error\":\"";
-  for (const char c : what) {
-    if (c == '"' || c == '\\') s.push_back('\\');
-    s.push_back(c == '\n' ? ' ' : c);
-  }
-  s += "\"}";
-  return s;
-}
-
 template <SupportedFloat T>
 void AppendElements(ByteBuffer& out, const std::vector<T>& values) {
   ByteWriter(out).WriteBytes(values.data(), values.size() * sizeof(T));

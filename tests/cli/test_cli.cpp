@@ -9,6 +9,10 @@
 #include <string>
 #include <vector>
 
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -443,6 +447,65 @@ class ScopedDaemon {
   FILE* pipe_ = nullptr;
   int port_ = -1;
 };
+
+// Regression: a stop signal must terminate the daemon even while a
+// connection sits idle inside a blocked read.  The graceful-stop path
+// relies on FdTransport::Close using shutdown(2) to wake that reader; a
+// bare close(2) would leave the connection thread parked and main hung in
+// join() forever.
+TEST_F(CliTest, DaemonStopsPromptlyWithAnIdleConnection) {
+  int out[2] = {-1, -1};
+  ASSERT_EQ(::pipe(out), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(out[1], STDOUT_FILENO);
+    ::close(out[0]);
+    ::close(out[1]);
+    ::execl(SZX_SERVE_PATH, "szx_serve", "--port", "0",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(out[1]);
+  FILE* from_daemon = ::fdopen(out[0], "r");
+  ASSERT_NE(from_daemon, nullptr);
+  char line[128] = {};
+  ASSERT_NE(std::fgets(line, sizeof(line), from_daemon), nullptr);
+  unsigned port = 0;
+  ASSERT_EQ(std::sscanf(line, "szx-serve listening on %u", &port), 1);
+
+  // Connect and then go idle: the daemon's connection thread is now
+  // parked in a blocking read with no bytes coming.
+  const int sock = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(sock, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  // szx-lint: allow(reinterpret-cast) -- the BSD socket ABI types connect against the sockaddr base struct
+  ASSERT_EQ(::connect(sock, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  pid_t reaped = 0;
+  for (int i = 0; i < 100; ++i) {  // up to ~10 s before declaring a hang
+    reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) break;
+    ::usleep(100 * 1000);
+  }
+  if (reaped != pid) {
+    ::kill(pid, SIGKILL);
+    (void)::waitpid(pid, &status, 0);
+    FAIL() << "daemon did not exit within 10s of SIGTERM "
+              "(idle connection blocked the stop path)";
+  }
+  EXPECT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+  ::close(sock);
+  ::fclose(from_daemon);
+}
 
 TEST_F(CliTest, ClientUsageErrorsExitTwo) {
   EXPECT_EQ(CliExitCode("client --op ping"), 2);  // --port missing

@@ -147,6 +147,18 @@ TEST(Protocol, ReportAndDataRoundTrips) {
   EXPECT_THROW((void)SplitReportAndData(ByteSpan(body).first(3)), Error);
 }
 
+TEST(Protocol, ErrorJsonEscapesQuotesBackslashesAndControlBytes) {
+  EXPECT_EQ(ErrorJson("plain text"), "{\"error\":\"plain text\"}");
+  EXPECT_EQ(ErrorJson("a\"b\\c"), "{\"error\":\"a\\\"b\\\\c\"}");
+  // Every byte below 0x20 -- including \r, \t, and embedded NUL -- must be
+  // \u-escaped, or exception text would produce invalid JSON bodies.
+  std::string ctl = "x\n\r\ty";
+  ctl.push_back('\0');
+  ctl.push_back('\x1f');
+  EXPECT_EQ(ErrorJson(ctl),
+            "{\"error\":\"x\\u000a\\u000d\\u0009y\\u0000\\u001f\"}");
+}
+
 TEST(Protocol, StatusAndOpcodeNamesAreStable) {
   EXPECT_STREQ(OpcodeName(Opcode::kSalvage), "salvage");
   EXPECT_STREQ(StatusName(Status::kDeadlineExceeded), "deadline-exceeded");

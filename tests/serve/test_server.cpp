@@ -168,6 +168,33 @@ TEST(Server, OversizedBodyIsDrainedAndRejected) {
   EXPECT_EQ(client.Call(Opcode::kPing, {}).header.status, Status::kOk);
 }
 
+TEST(Server, ClientRejectsResponseBodyBeyondItsBound) {
+  // A response header can carry a valid magic/version while body_bytes is
+  // garbage; the client must fail the connection with TransportError, not
+  // attempt a near-2^64 allocation.
+  TransportPair pair = MakeMemoryTransportPair();
+  ResponseHeader h;
+  ByteBuffer frame;
+  AppendResponseFrame(frame, h, {});
+  for (std::size_t i = 24; i < kFrameHeaderBytes; ++i) {
+    frame[i] = std::byte{0xFF};  // body_bytes := 2^64 - 1
+  }
+  pair.server->Write(ByteSpan(frame).first(kFrameHeaderBytes));
+
+  Client client(*pair.client);
+  EXPECT_THROW((void)client.Receive(), TransportError);
+
+  // A caller-raised bound admits sizes the default would admit anyway.
+  const ByteBuffer small(128, std::byte{3});
+  ByteBuffer ok_frame;
+  AppendResponseFrame(ok_frame, h, small);
+  pair.server->Write(ok_frame);
+  Client roomy(*pair.client, std::uint64_t{4} << 30);
+  const auto rsp = roomy.Receive();
+  ASSERT_TRUE(rsp.has_value());
+  EXPECT_EQ(rsp->body, small);
+}
+
 TEST(Server, DamagedDecompressBodyDegradesToPartialWithReport) {
   ServeHarness h;
   MemoryTransport& t = h.Connect();

@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstring>
@@ -24,10 +25,21 @@ namespace szx::servenet {
 
 /// Blocking socket transport: one fd, owned.  Read returns what the kernel
 /// has (short reads are normal); Write loops until every byte is accepted.
+///
+/// Close() only shuts the socket down (SHUT_RDWR): that is what actually
+/// wakes a thread parked in a blocking read/write (a bare ::close on a
+/// socket fd does NOT unblock concurrent readers on Linux), and it keeps
+/// the fd number reserved so a response can never land on a recycled fd.
+/// The ::close itself happens in the destructor, once the owning
+/// connection thread has drained its jobs and no other thread can touch
+/// the transport.
 class FdTransport final : public serve::Transport {
  public:
   explicit FdTransport(int fd) : fd_(fd) {}
-  ~FdTransport() override { Close(); }
+  ~FdTransport() override {
+    Close();
+    if (fd_ >= 0) ::close(fd_);
+  }
   FdTransport(const FdTransport&) = delete;
   FdTransport& operator=(const FdTransport&) = delete;
 
@@ -44,32 +56,47 @@ class FdTransport final : public serve::Transport {
 
   void Write(ByteSpan data) override {
     std::size_t sent = 0;
+    int stalls = 0;
     while (sent < data.size()) {
       const ByteSpan rest = data.subspan(sent);
       const ssize_t n = ::write(fd_, rest.data(), rest.size());
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
+        stalls = 0;
         continue;
       }
       if (n < 0 && errno == EINTR) continue;
+      if (n == 0) {
+        // POSIX permits a zero-byte result that is not an error; errno is
+        // stale then, so retry under a bounded budget (iosim's WriteFull
+        // discipline) instead of reporting a meaningless strerror.
+        if (++stalls > kMaxWriteStalls) {
+          throw serve::TransportError(
+              "socket write: made no progress past the retry budget");
+        }
+        continue;
+      }
       throw serve::TransportError(std::string("socket write: ") +
                                   std::strerror(errno));
     }
   }
 
-  void ShutdownWrite() override {
-    if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
-  }
+  void ShutdownWrite() override { ::shutdown(fd_, SHUT_WR); }
 
   void Close() override {
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
+    // szx-mo: acq_rel exchange -- sole ordering point between concurrent
+    // closers (connection thread, pool workers, Server::Stop); exactly one
+    // caller performs the shutdown, the rest see it already done.
+    if (!shut_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_, SHUT_RDWR);  // blocked reads return 0, writes fail
     }
   }
 
  private:
-  int fd_ = -1;
+  static constexpr int kMaxWriteStalls = 64;
+
+  const int fd_;  ///< immutable for the object's lifetime: no close/IO race
+  std::atomic<bool> shut_{false};
 };
 
 /// Binds and listens on 127.0.0.1:port (port 0 = kernel-assigned); returns

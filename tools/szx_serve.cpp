@@ -27,16 +27,20 @@ namespace {
 
 using namespace szx;
 
-// The signal handler must unblock accept(); closing the listen fd is
-// async-signal-safe and makes the accept loop fall out.  volatile
-// sig_atomic_t is the C signal idiom, not an atomics site -- no
-// inter-thread ordering is built on it.
+// The signal handler must unblock accept().  It uses shutdown(2)
+// (async-signal-safe per POSIX.1-2008), NOT close(2): shutdown wakes the
+// blocked accept with EINVAL while keeping the fd number reserved, so main
+// stays the one and only closer and a racing close can never hit an fd
+// already recycled by a live connection socket.  volatile sig_atomic_t is
+// the C signal idiom, not an atomics site -- no inter-thread ordering is
+// built on it.
+volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_listen_fd = -1;
 
 extern "C" void HandleStopSignal(int) {
+  g_stop = 1;
   const int fd = g_listen_fd;
-  g_listen_fd = -1;
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 [[noreturn]] void Usage(const char* msg = nullptr) {
@@ -119,7 +123,7 @@ int main(int argc, char** argv) {
   std::uint64_t served = 0;
   while (a.max_conns == 0 || served < a.max_conns) {
     const int fd = servenet::AcceptConn(listen_fd);
-    if (fd < 0) break;  // listen fd closed by a stop signal (or fatal error)
+    if (fd < 0) break;  // listen socket shut down by a signal (or fatal)
     ++served;
     conns.emplace_back([&server, fd] {
       servenet::FdTransport transport(fd);
@@ -127,14 +131,16 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Signal stop (listen fd already gone): force-close live connections so
-  // the process exits promptly.  --max-conns drain: let every accepted
-  // connection run to its natural end before stopping the pool.
-  const bool forced = g_listen_fd < 0;
-  if (!forced) {
-    g_listen_fd = -1;
-    ::close(listen_fd);
-  }
+  // Main is the sole closer of the listen fd.  Publish -1 first so a
+  // handler firing from here on skips its shutdown() instead of touching
+  // an fd number the kernel may be about to recycle.
+  g_listen_fd = -1;
+  ::close(listen_fd);
+
+  // Signal stop: force-close live connections so the process exits
+  // promptly.  --max-conns drain: let every accepted connection run to its
+  // natural end before stopping the pool.
+  const bool forced = g_stop != 0;
   if (forced) {
     server.Stop();
     for (std::thread& t : conns) t.join();
